@@ -1,0 +1,49 @@
+//! Criterion bench backing Table I: end-to-end effective-resistance
+//! computation (build + all-edge queries) for the paper's Alg. 3, the WWW'15
+//! random-projection baseline and the exact direct method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use effres::prelude::*;
+use effres::random_projection::RandomProjectionOptions;
+use effres_graph::generators;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("effective_resistances_all_edges");
+    group.sample_size(10);
+    let cases = vec![
+        (
+            "grid2d_32",
+            generators::grid_2d(32, 32, 0.5, 2.0, 1).expect("generator"),
+        ),
+        (
+            "social_pa_1k",
+            generators::preferential_attachment(1000, 3, 0.5, 1.5, 2).expect("generator"),
+        ),
+    ];
+    for (name, graph) in cases {
+        group.bench_with_input(BenchmarkId::new("alg3", name), &graph, |b, g| {
+            b.iter(|| {
+                let est = EffectiveResistanceEstimator::build(g, &EffresConfig::default())
+                    .expect("build");
+                est.query_all_edges(g).expect("queries")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("www15", name), &graph, |b, g| {
+            b.iter(|| {
+                let est = RandomProjectionEstimator::build(g, &RandomProjectionOptions::default())
+                    .expect("build");
+                est.query_all_edges(g).expect("queries")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact", name), &graph, |b, g| {
+            b.iter(|| {
+                let est = ExactEffectiveResistance::build(g, 1.0).expect("build");
+                est.query_all_edges(g).expect("queries")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench backing Table II: the reduction time of the power-grid
+//! reduction flow under the three effective-resistance methods.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use effres::prelude::EffresConfig;
+use effres::random_projection::RandomProjectionOptions;
+use effres_powergrid::generator::{synthetic_grid, SyntheticGridOptions};
+use effres_powergrid::reduce::{reduce, ErMethod, ReductionOptions};
+
+fn bench_reduction(c: &mut Criterion) {
+    let grid = synthetic_grid(&SyntheticGridOptions {
+        rows: 32,
+        cols: 32,
+        pad_count: 8,
+        ..SyntheticGridOptions::default()
+    })
+    .expect("generator");
+
+    let mut group = c.benchmark_group("pg_reduction");
+    group.sample_size(10);
+    let methods = vec![
+        ("exact_er", ErMethod::Exact),
+        (
+            "www15_er",
+            ErMethod::RandomProjection(RandomProjectionOptions::default()),
+        ),
+        ("alg3_er", ErMethod::ApproxInverse(EffresConfig::default())),
+    ];
+    for (name, method) in methods {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &method, |b, m| {
+            b.iter(|| {
+                reduce(
+                    &grid,
+                    &ReductionOptions {
+                        er_method: m.clone(),
+                        ..ReductionOptions::default()
+                    },
+                )
+                .expect("reduction")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Microbenchmarks of the sparse kernels that the effective-resistance
+//! pipeline is built on: full Cholesky, incomplete Cholesky, the minimum
+//! degree and RCM orderings and PCG solves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use effres_graph::{generators, laplacian::grounded_laplacian};
+use effres_sparse::cg::{pcg, CgOptions};
+use effres_sparse::cholesky::CholeskyFactor;
+use effres_sparse::ichol::IncompleteCholesky;
+use effres_sparse::{amd, rcm};
+
+fn bench_kernels(c: &mut Criterion) {
+    let graph = generators::grid_2d(40, 40, 0.5, 2.0, 5).expect("generator");
+    let lap = grounded_laplacian(&graph, 1.0);
+    let n = lap.ncols();
+    let rhs: Vec<f64> = (0..n).map(|i| ((i % 17) as f64 - 8.0) / 8.0).collect();
+
+    let mut group = c.benchmark_group("sparse_kernels");
+    group.sample_size(20);
+    group.bench_function("cholesky_full", |b| {
+        b.iter(|| CholeskyFactor::factor(&lap).expect("spd"))
+    });
+    group.bench_function("ichol_droptol_1e3", |b| {
+        b.iter(|| IncompleteCholesky::with_drop_tolerance(&lap, 1e-3).expect("spd"))
+    });
+    group.bench_function("amd_ordering", |b| b.iter(|| amd::amd(&lap).expect("square")));
+    group.bench_function("rcm_ordering", |b| b.iter(|| rcm::rcm(&lap).expect("square")));
+    let ic = IncompleteCholesky::with_drop_tolerance(&lap, 1e-3).expect("spd");
+    group.bench_function("pcg_ic_solve", |b| {
+        b.iter(|| pcg(&lap, &rhs, &ic, CgOptions::default()).expect("converges"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

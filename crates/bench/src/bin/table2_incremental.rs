@@ -1,0 +1,117 @@
+//! Regenerates Table II (lower): DC incremental analysis.
+//!
+//! Starting from a fully reduced grid, 10% of the blocks are modified (an
+//! ECO-style perturbation), only those blocks are re-reduced, and the
+//! reduced model is re-solved. The experiment is repeated for the three
+//! effective-resistance methods and compared against solving the modified
+//! grid directly.
+//!
+//! Usage: `cargo run -p effres-bench --bin table2_incremental --release [scale]`
+
+use effres::prelude::EffresConfig;
+use effres::random_projection::RandomProjectionOptions;
+use effres_powergrid::analysis::dc_solve;
+use effres_powergrid::generator::{synthetic_grid, SyntheticGridOptions};
+use effres_powergrid::incremental::{run_incremental_experiment, IncrementalReducer};
+use effres_powergrid::reduce::{ErMethod, ReductionOptions};
+use std::time::Instant;
+
+struct MethodResult {
+    reduction_time: f64,
+    solve_time: f64,
+    error_mv: f64,
+    relative_percent: f64,
+}
+
+fn run_method(grid: &effres_powergrid::PowerGrid, method: ErMethod) -> MethodResult {
+    let mut reducer = IncrementalReducer::new(
+        grid.clone(),
+        ReductionOptions {
+            er_method: method,
+            ..ReductionOptions::default()
+        },
+    )
+    .expect("initial reduction");
+    let run = run_incremental_experiment(&mut reducer, 0.10, 777).expect("incremental run");
+    MethodResult {
+        reduction_time: run.reduction_time.as_secs_f64(),
+        solve_time: run.solve_time.as_secs_f64(),
+        error_mv: run.average_error * 1e3,
+        relative_percent: run.relative_error * 100.0,
+    }
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let sizes: Vec<(&str, usize)> = vec![
+        ("pg-small", (32.0 * scale.sqrt()) as usize),
+        ("pg-medium", (48.0 * scale.sqrt()) as usize),
+        ("pg-large", (64.0 * scale.sqrt()) as usize),
+    ];
+    println!("Table II (lower): DC incremental analysis (10% of blocks modified)\n");
+    println!(
+        "{:<10} {:>16} {:>9} | {:>22} | {:>22} | {:>22}",
+        "case", "orig |V|(|R|)", "Tinc(s)", "Acc. ER", "App. ER (WWW15)", "App. ER (Alg.3)"
+    );
+    println!(
+        "{:<10} {:>16} {:>9} | {:>7} {:>7} {:>6} | {:>7} {:>7} {:>6} | {:>7} {:>7} {:>6}",
+        "", "", "", "Tred", "Tinc", "Rel%", "Tred", "Tinc", "Rel%", "Tred", "Tinc", "Rel%"
+    );
+
+    let mut speedups_total = Vec::new();
+    for (name, side) in sizes {
+        let grid = synthetic_grid(&SyntheticGridOptions {
+            rows: side.max(16),
+            cols: side.max(16),
+            pad_count: (side / 4).max(4),
+            ..SyntheticGridOptions::default()
+        })
+        .expect("generator");
+
+        // Direct re-solve of the modified grid ("Original" column).
+        let direct_start = Instant::now();
+        let _ = dc_solve(&grid).expect("dc");
+        let direct_time = direct_start.elapsed().as_secs_f64();
+
+        let acc = run_method(&grid, ErMethod::Exact);
+        let rp = run_method(
+            &grid,
+            ErMethod::RandomProjection(RandomProjectionOptions::default()),
+        );
+        let alg3 = run_method(&grid, ErMethod::ApproxInverse(EffresConfig::default()));
+
+        println!(
+            "{:<10} {:>9}({:>6}) {:>9.3} | {:>7.3} {:>7.3} {:>6.2} | {:>7.3} {:>7.3} {:>6.2} | {:>7.3} {:>7.3} {:>6.2}",
+            name,
+            grid.node_count(),
+            grid.resistor_count(),
+            direct_time,
+            acc.reduction_time,
+            acc.solve_time,
+            acc.relative_percent,
+            rp.reduction_time,
+            rp.solve_time,
+            rp.relative_percent,
+            alg3.reduction_time,
+            alg3.solve_time,
+            alg3.relative_percent,
+        );
+        println!(
+            "{:<10} Err(mV): acc {:.3}  www15 {:.3}  alg3 {:.3}",
+            "", acc.error_mv, rp.error_mv, alg3.error_mv
+        );
+        speedups_total.push(
+            (acc.reduction_time + acc.solve_time)
+                / (alg3.reduction_time + alg3.solve_time).max(1e-9),
+        );
+    }
+    println!();
+    println!(
+        "average total-time speedup of Alg. 3 over accurate effective resistances: {:.1}x \
+         (paper: 2.5x)",
+        effres::stats::geometric_mean(&speedups_total)
+    );
+}

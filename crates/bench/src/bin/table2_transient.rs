@@ -1,0 +1,168 @@
+//! Regenerates Table II (upper): power-grid reduction + transient analysis.
+//!
+//! For a suite of synthetic IBM-like power grids, the binary compares the
+//! original grid against three reduced models that differ only in how the
+//! effective resistances of the reduction flow are computed: exactly, with
+//! the WWW'15 random-projection baseline, and with the paper's Alg. 3. It
+//! reports the reduced sizes, reduction time `Tred`, transient time `Ttr`,
+//! and the average/relative port-voltage error of the transient solution.
+//!
+//! Usage: `cargo run -p effres-bench --bin table2_transient --release [scale]`
+
+use effres::prelude::EffresConfig;
+use effres::random_projection::RandomProjectionOptions;
+use effres_bench::secs;
+use effres_powergrid::analysis::{transient_solve, LoadScale, TransientOptions};
+use effres_powergrid::generator::{synthetic_grid, SyntheticGridOptions};
+use effres_powergrid::reduce::{reduce, ErMethod, ReductionOptions};
+use effres_powergrid::PowerGrid;
+use std::time::Instant;
+
+fn transient_options() -> TransientOptions {
+    TransientOptions {
+        time_step: 1e-11,
+        steps: 1000,
+        record_nodes: Vec::new(),
+        load_scale: LoadScale::Pulse {
+            period: 2e-9,
+            duty: 0.5,
+        },
+    }
+}
+
+struct MethodResult {
+    nodes: usize,
+    resistors: usize,
+    reduction_time: f64,
+    transient_time: f64,
+    error_mv: f64,
+    relative_percent: f64,
+}
+
+fn run_method(grid: &PowerGrid, original_avg: &[f64], method: ErMethod) -> MethodResult {
+    let options = ReductionOptions {
+        er_method: method,
+        ..ReductionOptions::default()
+    };
+    let reduced = reduce(grid, &options).expect("reduction");
+    let tr_start = Instant::now();
+    let solution = transient_solve(&reduced.grid, &transient_options()).expect("transient");
+    let transient_time = tr_start.elapsed().as_secs_f64();
+    let supply = grid.supply_voltage();
+    let max_drop = original_avg
+        .iter()
+        .fold(0.0_f64, |m, &v| m.max(supply - v))
+        .max(f64::MIN_POSITIVE);
+    let mut sum = 0.0;
+    let mut count = 0;
+    for &port in &grid.port_nodes() {
+        if let Some(node) = reduced.node_map[port] {
+            sum += (original_avg[port] - solution.average_voltages[node]).abs();
+            count += 1;
+        }
+    }
+    let err = if count == 0 { 0.0 } else { sum / count as f64 };
+    MethodResult {
+        nodes: reduced.stats.reduced_nodes,
+        resistors: reduced.stats.reduced_resistors,
+        reduction_time: reduced.stats.total_time.as_secs_f64(),
+        transient_time,
+        error_mv: err * 1e3,
+        relative_percent: err / max_drop * 100.0,
+    }
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let sizes: Vec<(&str, usize)> = vec![
+        ("pg-small", (32.0 * scale.sqrt()) as usize),
+        ("pg-medium", (48.0 * scale.sqrt()) as usize),
+        ("pg-large", (64.0 * scale.sqrt()) as usize),
+    ];
+    println!("Table II (upper): graph-sparsification-based PG reduction for transient analysis\n");
+    println!(
+        "{:<10} {:>16} {:>9} | {:>22} | {:>22} | {:>22}",
+        "case", "orig |V|(|R|)", "Ttr(s)", "Acc. ER", "App. ER (WWW15)", "App. ER (Alg.3)"
+    );
+    println!(
+        "{:<10} {:>16} {:>9} | {:>7} {:>7} {:>6} | {:>7} {:>7} {:>6} | {:>7} {:>7} {:>6}",
+        "", "", "", "Tred", "Ttr", "Rel%", "Tred", "Ttr", "Rel%", "Tred", "Ttr", "Rel%"
+    );
+
+    let mut speedups_tred = Vec::new();
+    let mut speedups_total = Vec::new();
+    for (name, side) in sizes {
+        let grid = synthetic_grid(&SyntheticGridOptions {
+            rows: side.max(16),
+            cols: side.max(16),
+            pad_count: (side / 4).max(4),
+            ..SyntheticGridOptions::default()
+        })
+        .expect("generator");
+
+        let orig_start = Instant::now();
+        let original = transient_solve(&grid, &transient_options()).expect("transient");
+        let orig_time = orig_start.elapsed().as_secs_f64();
+
+        let acc = run_method(&grid, &original.average_voltages, ErMethod::Exact);
+        let rp = run_method(
+            &grid,
+            &original.average_voltages,
+            ErMethod::RandomProjection(RandomProjectionOptions::default()),
+        );
+        let alg3 = run_method(
+            &grid,
+            &original.average_voltages,
+            ErMethod::ApproxInverse(EffresConfig::default()),
+        );
+
+        println!(
+            "{:<10} {:>9}({:>6}) {:>9.3} | {:>7.3} {:>7.3} {:>6.2} | {:>7.3} {:>7.3} {:>6.2} | {:>7.3} {:>7.3} {:>6.2}",
+            name,
+            grid.node_count(),
+            grid.resistor_count(),
+            orig_time,
+            acc.reduction_time,
+            acc.transient_time,
+            acc.relative_percent,
+            rp.reduction_time,
+            rp.transient_time,
+            rp.relative_percent,
+            alg3.reduction_time,
+            alg3.transient_time,
+            alg3.relative_percent,
+        );
+        println!(
+            "{:<10} reduced |V|(|R|): acc {}({})  www15 {}({})  alg3 {}({})   Err(mV): acc {:.3} www15 {:.3} alg3 {:.3}",
+            "",
+            acc.nodes,
+            acc.resistors,
+            rp.nodes,
+            rp.resistors,
+            alg3.nodes,
+            alg3.resistors,
+            acc.error_mv,
+            rp.error_mv,
+            alg3.error_mv,
+        );
+        speedups_tred.push(acc.reduction_time / alg3.reduction_time.max(1e-9));
+        speedups_total.push(
+            (acc.reduction_time + acc.transient_time)
+                / (alg3.reduction_time + alg3.transient_time).max(1e-9),
+        );
+    }
+    println!();
+    println!(
+        "average reduction-time speedup of Alg. 3 over accurate effective resistances: {:.1}x \
+         (paper: 6.4x)",
+        effres::stats::geometric_mean(&speedups_tred)
+    );
+    println!(
+        "average total-time speedup (reduction + transient): {:.1}x (paper: 1.7x)",
+        effres::stats::geometric_mean(&speedups_total)
+    );
+    let _ = secs(std::time::Duration::ZERO);
+}

@@ -1,0 +1,349 @@
+//! Sparse approximate inverse of a Cholesky factor (Alg. 2 of the paper).
+//!
+//! Let `L` be the (incomplete) Cholesky factor of the grounded Laplacian and
+//! `Z = L⁻¹`. Lemma 1 shows `Z` is nonnegative and that its columns obey the
+//! recurrence
+//!
+//! ```text
+//! z_j = (1 / L_jj) e_j + Σ_{i > j, L_ij ≠ 0} (−L_ij / L_jj) z_i
+//! ```
+//!
+//! so the columns can be built from the last one backwards. The algorithm
+//! keeps every column sparse by pruning: after assembling the candidate
+//! column `z*_j` from the already-pruned columns, the smallest entries whose
+//! absolute values sum to at most `ε · ‖z*_j‖₁` are dropped (the `trunc_k`
+//! rule of Eq. (10)). Theorem 1 then bounds the column error by
+//! `depth(j) · ε`.
+
+use crate::error::EffresError;
+use effres_sparse::sparse_vec::{SparseAccumulator, SparseVec};
+use effres_sparse::CscMatrix;
+
+/// Statistics gathered while building the approximate inverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ApproxInverseStats {
+    /// Total number of stored nonzeros across all columns of `Z̃`.
+    pub nnz: usize,
+    /// Largest number of nonzeros in a single column.
+    pub max_column_nnz: usize,
+    /// Number of entries removed by the pruning rule.
+    pub pruned_entries: usize,
+    /// Number of columns kept exactly because they were already small.
+    pub small_columns_kept: usize,
+}
+
+/// A sparse approximation `Z̃ ≈ L⁻¹` of the inverse of a lower-triangular
+/// Cholesky factor, stored column by column.
+#[derive(Debug, Clone)]
+pub struct SparseApproximateInverse {
+    columns: Vec<SparseVec>,
+    stats: ApproxInverseStats,
+    epsilon: f64,
+}
+
+impl SparseApproximateInverse {
+    /// Runs Alg. 2 on the factor `L` with pruning threshold `epsilon`.
+    ///
+    /// Columns whose candidate has at most `max(dense_column_threshold, ln n)`
+    /// entries are kept without pruning, as in step 3 of Alg. 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::Sparse`] if the factor is not square, and
+    /// [`EffresError::InvalidConfig`] if `epsilon` is not in `[0, 1)` or a
+    /// diagonal entry of the factor is missing or nonpositive.
+    pub fn from_factor(
+        factor: &CscMatrix,
+        epsilon: f64,
+        dense_column_threshold: usize,
+    ) -> Result<Self, EffresError> {
+        if factor.nrows() != factor.ncols() {
+            return Err(EffresError::Sparse(
+                effres_sparse::SparseError::NotSquare {
+                    nrows: factor.nrows(),
+                    ncols: factor.ncols(),
+                },
+            ));
+        }
+        if !(0.0..1.0).contains(&epsilon) {
+            return Err(EffresError::InvalidConfig {
+                name: "epsilon",
+                message: "must lie in [0, 1)".to_string(),
+            });
+        }
+        let n = factor.ncols();
+        let keep_limit = dense_column_threshold.max((n.max(2) as f64).ln().ceil() as usize);
+        let mut columns: Vec<SparseVec> = vec![SparseVec::new(n); n];
+        let mut stats = ApproxInverseStats::default();
+        let mut accumulator = SparseAccumulator::new(n);
+
+        for j in (0..n).rev() {
+            let rows = factor.column_rows(j);
+            let vals = factor.column_values(j);
+            let diag_pos = rows.binary_search(&j).map_err(|_| EffresError::InvalidConfig {
+                name: "factor",
+                message: format!("missing diagonal entry in column {j}"),
+            })?;
+            let diag = vals[diag_pos];
+            if !(diag > 0.0) {
+                return Err(EffresError::InvalidConfig {
+                    name: "factor",
+                    message: format!("nonpositive diagonal {diag} in column {j}"),
+                });
+            }
+            // z*_j = (1 / L_jj) e_j + Σ (−L_ij / L_jj) z̃_i.
+            accumulator.add(j, 1.0 / diag);
+            for (pos, &i) in rows.iter().enumerate() {
+                if i <= j {
+                    continue;
+                }
+                let scale = -vals[pos] / diag;
+                if scale != 0.0 {
+                    accumulator.axpy(scale, &columns[i]);
+                }
+            }
+            let candidate = accumulator.take();
+
+            let column = if candidate.nnz() <= keep_limit {
+                stats.small_columns_kept += 1;
+                candidate
+            } else {
+                let (pruned, dropped) = prune_column(&candidate, epsilon);
+                stats.pruned_entries += dropped;
+                pruned
+            };
+            stats.nnz += column.nnz();
+            stats.max_column_nnz = stats.max_column_nnz.max(column.nnz());
+            columns[j] = column;
+        }
+
+        Ok(SparseApproximateInverse {
+            columns,
+            stats,
+            epsilon,
+        })
+    }
+
+    /// Order of the factor (number of columns).
+    pub fn order(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The pruning threshold the inverse was built with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Column `j` of `Z̃` (an approximation of `L⁻¹ e_j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn column(&self, j: usize) -> &SparseVec {
+        &self.columns[j]
+    }
+
+    /// Total number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.stats.nnz
+    }
+
+    /// `nnz(Z̃) / (n · log₂ n)`, the density figure reported in Table I.
+    pub fn nnz_ratio(&self) -> f64 {
+        let n = self.order().max(2) as f64;
+        self.stats.nnz as f64 / (n * n.log2())
+    }
+
+    /// Build statistics.
+    pub fn stats(&self) -> ApproxInverseStats {
+        self.stats
+    }
+
+    /// Squared Euclidean distance between two columns — the effective
+    /// resistance kernel `‖z̃_p − z̃_q‖²` of Eq. (22).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn column_distance_squared(&self, p: usize, q: usize) -> f64 {
+        self.columns[p].distance_squared(&self.columns[q])
+    }
+}
+
+/// Applies the `trunc_k` pruning rule: drops the largest possible set of
+/// smallest-magnitude entries whose absolute values sum to at most
+/// `epsilon * ‖x‖₁`. Returns the pruned vector and the number of dropped
+/// entries.
+fn prune_column(x: &SparseVec, epsilon: f64) -> (SparseVec, usize) {
+    let norm1 = x.norm1();
+    if norm1 == 0.0 || epsilon == 0.0 {
+        return (x.clone(), 0);
+    }
+    let budget = epsilon * norm1;
+    // Sort entry magnitudes ascending and find the largest prefix whose sum
+    // stays within the budget.
+    let mut magnitudes: Vec<f64> = x.values().iter().map(|v| v.abs()).collect();
+    magnitudes.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let mut dropped = 0usize;
+    let mut acc = 0.0;
+    for &m in &magnitudes {
+        if acc + m <= budget {
+            acc += m;
+            dropped += 1;
+        } else {
+            break;
+        }
+    }
+    if dropped == 0 {
+        return (x.clone(), 0);
+    }
+    let keep = x.nnz() - dropped;
+    (x.truncate_to(keep), dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depth::FilledGraphDepth;
+    use effres_sparse::cholesky::CholeskyFactor;
+    use effres_sparse::trisolve;
+    use effres_sparse::TripletMatrix;
+
+    fn grid_laplacian(rows: usize, cols: usize, shift: f64) -> CscMatrix {
+        let idx = |r: usize, c: usize| r * cols + c;
+        let n = rows * cols;
+        let mut t = TripletMatrix::new(n, n);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    t.add_laplacian_edge(idx(r, c), idx(r, c + 1), 1.0);
+                }
+                if r + 1 < rows {
+                    t.add_laplacian_edge(idx(r, c), idx(r + 1, c), 1.0);
+                }
+            }
+        }
+        t.push(0, 0, shift);
+        t.to_csc()
+    }
+
+    #[test]
+    fn zero_epsilon_reproduces_exact_inverse_columns() {
+        let a = grid_laplacian(4, 4, 1e-3);
+        let chol = CholeskyFactor::factor(&a).expect("spd");
+        let l = chol.factor_l();
+        let z = SparseApproximateInverse::from_factor(l, 0.0, 0).expect("valid");
+        for j in 0..a.ncols() {
+            let exact = trisolve::solve_lower_unit_sparse(l, j);
+            let diff = z.column(j).diff_norm1(&exact);
+            assert!(diff < 1e-12, "column {j}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn columns_are_nonnegative_for_laplacian_factor() {
+        // Lemma 1: Z = L^{-1} is nonnegative for Laplacian Cholesky factors,
+        // and pruning only removes entries, so Z̃ must stay nonnegative.
+        let a = grid_laplacian(5, 5, 1e-4);
+        let chol = CholeskyFactor::factor(&a).expect("spd");
+        let z = SparseApproximateInverse::from_factor(chol.factor_l(), 1e-3, 4).expect("valid");
+        for j in 0..a.ncols() {
+            assert!(z.column(j).values().iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn theorem1_error_bound_holds() {
+        // ‖z_p − z̃_p‖₁ / ‖z_p‖₁ ≤ depth(p) · ε for every column.
+        let a = grid_laplacian(6, 6, 1e-3);
+        let chol = CholeskyFactor::factor(&a).expect("spd");
+        let l = chol.factor_l();
+        let epsilon = 1e-2;
+        let z = SparseApproximateInverse::from_factor(l, epsilon, 0).expect("valid");
+        let depth = FilledGraphDepth::from_factor(l);
+        for p in 0..a.ncols() {
+            let exact = trisolve::solve_lower_unit_sparse(l, p);
+            let err = z.column(p).diff_norm1(&exact) / exact.norm1();
+            let bound = depth.depth(p) as f64 * epsilon + 1e-12;
+            assert!(
+                err <= bound,
+                "column {p}: error {err} exceeds bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_nnz_monotonically_in_epsilon() {
+        let a = grid_laplacian(8, 8, 1e-3);
+        let chol = CholeskyFactor::factor(&a).expect("spd");
+        let l = chol.factor_l();
+        let tight = SparseApproximateInverse::from_factor(l, 1e-4, 0).expect("valid");
+        let loose = SparseApproximateInverse::from_factor(l, 1e-1, 0).expect("valid");
+        assert!(loose.nnz() < tight.nnz());
+        assert!(loose.stats().pruned_entries > 0);
+        assert!(loose.nnz_ratio() < tight.nnz_ratio());
+    }
+
+    #[test]
+    fn small_columns_are_kept_exactly() {
+        // A diagonal factor has single-entry columns: no pruning can occur.
+        let mut t = TripletMatrix::new(4, 4);
+        for j in 0..4 {
+            t.push(j, j, 2.0);
+        }
+        let z = SparseApproximateInverse::from_factor(&t.to_csc(), 0.5, 4).expect("valid");
+        assert_eq!(z.stats().small_columns_kept, 4);
+        for j in 0..4 {
+            assert_eq!(z.column(j).nnz(), 1);
+            assert!((z.column(j).get(j) - 0.5).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn column_distance_matches_effective_resistance_on_path() {
+        // For a path graph grounded at node 0, the effective resistance
+        // between adjacent nodes i and i+1 is 1 (unit conductances), and
+        // Z = L^{-1} reproduces it through ‖z_p − z_q‖².
+        let n = 6;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n - 1 {
+            t.add_laplacian_edge(i, i + 1, 1.0);
+        }
+        t.push(0, 0, 1e3); // strong ground so the matrix is well conditioned
+        let a = t.to_csc();
+        let chol = CholeskyFactor::factor(&a).expect("spd");
+        let z = SparseApproximateInverse::from_factor(chol.factor_l(), 0.0, 0).expect("valid");
+        // R(2, 3) should be close to 1 (exact up to the 1e-3 ground leakage).
+        let r = z.column_distance_squared(2, 3);
+        assert!((r - 1.0).abs() < 1e-2, "R = {r}");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let a = grid_laplacian(2, 2, 1.0);
+        let chol = CholeskyFactor::factor(&a).expect("spd");
+        assert!(SparseApproximateInverse::from_factor(chol.factor_l(), 1.0, 0).is_err());
+        assert!(SparseApproximateInverse::from_factor(chol.factor_l(), -0.1, 0).is_err());
+        let rect = CscMatrix::zeros(2, 3);
+        assert!(SparseApproximateInverse::from_factor(&rect, 0.1, 0).is_err());
+        // Missing diagonal.
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, -0.5);
+        assert!(SparseApproximateInverse::from_factor(&t.to_csc(), 0.1, 0).is_err());
+    }
+
+    #[test]
+    fn prune_column_respects_budget() {
+        let x = SparseVec::from_sorted(6, vec![0, 1, 2, 3, 4], vec![10.0, 0.1, 0.2, 5.0, 0.05]);
+        let (pruned, dropped) = prune_column(&x, 0.03);
+        // Budget = 0.03 * 15.35 ≈ 0.46: can drop 0.05 + 0.1 + 0.2 = 0.35 but
+        // not also 5.0.
+        assert_eq!(dropped, 3);
+        assert_eq!(pruned.nnz(), 2);
+        assert!(pruned.get(0) == 10.0 && pruned.get(3) == 5.0);
+        let (unchanged, zero_dropped) = prune_column(&x, 0.0);
+        assert_eq!(zero_dropped, 0);
+        assert_eq!(unchanged.nnz(), 5);
+    }
+}

@@ -1,0 +1,168 @@
+//! Centrality measures built on effective resistances.
+//!
+//! The paper's introduction motivates effective resistances with graph
+//! data-mining applications; the two classic ones are implemented here on
+//! top of the Alg. 3 estimator:
+//!
+//! * **Spanning-edge centrality** (the WWW'15 application): the probability
+//!   `w_e · R(u, v)` that edge `e = (u, v)` appears in a uniformly random
+//!   spanning tree. Edges whose removal disconnects the graph (bridges) have
+//!   centrality exactly 1.
+//! * **Current-flow closeness centrality** (also known as information
+//!   centrality): the reciprocal of the average effective resistance from a
+//!   node to all other nodes, `(n - 1) / Σ_q R(v, q)`. Nodes that are
+//!   electrically close to the rest of the graph score high.
+
+use crate::config::EffresConfig;
+use crate::error::EffresError;
+use crate::estimator::EffectiveResistanceEstimator;
+use effres_graph::Graph;
+
+/// Spanning-edge centralities of every edge, in edge-id order.
+///
+/// Uses the Alg. 3 estimator with the given configuration; pass
+/// [`EffresConfig::default`] for the paper's parameters.
+///
+/// # Errors
+///
+/// Propagates estimator construction and query errors.
+pub fn spanning_edge_centralities(
+    graph: &Graph,
+    config: &EffresConfig,
+) -> Result<Vec<f64>, EffresError> {
+    let estimator = EffectiveResistanceEstimator::build(graph, config)?;
+    let resistances = estimator.query_all_edges(graph)?;
+    Ok(graph
+        .edges()
+        .zip(resistances)
+        .map(|((_, e), r)| (e.weight * r).min(1.0))
+        .collect())
+}
+
+/// Current-flow closeness centrality of the listed nodes.
+///
+/// For each requested node `v` the value is `(n - 1) / Σ_{q ≠ v} R(v, q)`.
+/// The sum runs over all other nodes, so this costs `O(n)` queries per
+/// requested node; with the approximate inverse each query is `O(log n)` on
+/// average, keeping the total near-linear per node.
+///
+/// # Errors
+///
+/// Propagates estimator construction and query errors, including
+/// [`EffresError::NodeOutOfBounds`] for invalid requested nodes.
+pub fn current_flow_closeness(
+    graph: &Graph,
+    nodes: &[usize],
+    config: &EffresConfig,
+) -> Result<Vec<f64>, EffresError> {
+    let estimator = EffectiveResistanceEstimator::build(graph, config)?;
+    let n = graph.node_count();
+    let mut out = Vec::with_capacity(nodes.len());
+    for &v in nodes {
+        if v >= n {
+            return Err(EffresError::NodeOutOfBounds {
+                node: v,
+                node_count: n,
+            });
+        }
+        let mut total = 0.0;
+        for q in 0..n {
+            if q != v {
+                total += estimator.query(v, q)?;
+            }
+        }
+        if total == 0.0 {
+            out.push(0.0);
+        } else {
+            out.push((n as f64 - 1.0) / total);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use effres_graph::generators;
+
+    fn exact_config() -> EffresConfig {
+        EffresConfig::default()
+            .with_drop_tolerance(0.0)
+            .with_epsilon(0.0)
+    }
+
+    #[test]
+    fn bridge_edges_have_centrality_one() {
+        // Two triangles connected by a single bridge edge.
+        let graph = Graph::from_edges(
+            6,
+            vec![
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (2, 3, 2.0), // the bridge
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (3, 5, 1.0),
+            ],
+        )
+        .expect("valid");
+        let centralities = spanning_edge_centralities(&graph, &exact_config()).expect("build");
+        assert!((centralities[3] - 1.0).abs() < 1e-9, "bridge centrality {}", centralities[3]);
+        for (id, &c) in centralities.iter().enumerate() {
+            assert!(c > 0.0 && c <= 1.0 + 1e-12, "edge {id}: {c}");
+            if id != 3 {
+                assert!(c < 0.99, "non-bridge edge {id} should not look like a bridge");
+            }
+        }
+    }
+
+    #[test]
+    fn centralities_sum_to_n_minus_components() {
+        // Σ_e w_e R_e equals n - (number of spanning trees' components),
+        // i.e. n - 1 for a connected graph — the matrix-tree identity the
+        // WWW'15 paper exploits.
+        let graph = generators::random_connected(60, 80, 0.5, 2.0, 3).expect("generator");
+        let centralities = spanning_edge_centralities(&graph, &exact_config()).expect("build");
+        let sum: f64 = centralities.iter().sum();
+        assert!(
+            (sum - (graph.node_count() as f64 - 1.0)).abs() < 1e-6,
+            "sum {sum} vs {}",
+            graph.node_count() - 1
+        );
+    }
+
+    #[test]
+    fn approximate_centralities_track_exact_ones() {
+        let graph = generators::grid_2d(12, 12, 0.5, 2.0, 5).expect("generator");
+        let exact = spanning_edge_centralities(&graph, &exact_config()).expect("build");
+        let approx = spanning_edge_centralities(&graph, &EffresConfig::default()).expect("build");
+        let worst = exact
+            .iter()
+            .zip(&approx)
+            .map(|(e, a)| ((e - a) / e).abs())
+            .fold(0.0_f64, f64::max);
+        assert!(worst < 0.15, "worst relative deviation {worst}");
+    }
+
+    #[test]
+    fn star_center_has_highest_closeness() {
+        let mut graph = Graph::new(6);
+        for leaf in 1..6 {
+            graph.add_edge(0, leaf, 1.0).expect("valid");
+        }
+        let values =
+            current_flow_closeness(&graph, &[0, 1, 2, 3, 4, 5], &exact_config()).expect("build");
+        for leaf in 1..6 {
+            assert!(values[0] > values[leaf], "center must beat leaf {leaf}");
+        }
+        // Closeness of the center: (n-1) / sum_q R(0,q) = 5 / 5 = 1.
+        assert!((values[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_nodes_rejected() {
+        let graph = Graph::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0)]).expect("valid");
+        assert!(current_flow_closeness(&graph, &[7], &exact_config()).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Configuration of the effective-resistance estimator.
+
+use crate::error::EffresError;
+
+/// Fill-reducing ordering applied before factoring the grounded Laplacian.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ordering {
+    /// Natural ordering (no permutation).
+    Natural,
+    /// Reverse Cuthill–McKee: cheap, effective on mesh-like graphs.
+    #[default]
+    Rcm,
+    /// Minimum degree: better fill reduction on irregular graphs, slower to
+    /// compute.
+    MinimumDegree,
+}
+
+/// Configuration of [`crate::EffectiveResistanceEstimator`] (Alg. 3).
+///
+/// The defaults reproduce the parameters of the paper's experiments:
+/// incomplete-Cholesky drop tolerance `1e-3` and pruning threshold
+/// `epsilon = 1e-3`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EffresConfig {
+    /// Drop tolerance of the incomplete Cholesky factorization (Section III-C).
+    pub drop_tolerance: f64,
+    /// Column pruning threshold `ε` of Alg. 2: each approximate column
+    /// satisfies `‖z̃_j − z*_j‖₁ ≤ ε · ‖z*_j‖₁`.
+    pub epsilon: f64,
+    /// Conductance of the implicit ground edge added to one node per
+    /// connected component (Section II-A).
+    ///
+    /// Because the net current of every effective-resistance query is zero,
+    /// the computed resistance is independent of this value; choosing a
+    /// conductance comparable to the edge weights (the default of `1.0`)
+    /// keeps the columns of `L⁻¹` well scaled, which is what makes the
+    /// `ε`-pruning of Alg. 2 accurate.
+    pub ground_conductance: f64,
+    /// Fill-reducing ordering.
+    pub ordering: Ordering,
+    /// Columns with at most `max(dense_column_threshold, log n)` nonzeros are
+    /// kept exactly (step 3 of Alg. 2). The paper uses `log n`; the floor lets
+    /// tiny graphs behave sensibly.
+    pub dense_column_threshold: usize,
+}
+
+impl Default for EffresConfig {
+    fn default() -> Self {
+        EffresConfig {
+            drop_tolerance: 1e-3,
+            epsilon: 1e-3,
+            ground_conductance: 1.0,
+            ordering: Ordering::default(),
+            dense_column_threshold: 4,
+        }
+    }
+}
+
+impl EffresConfig {
+    /// Creates the default configuration (the paper's parameters).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pruning threshold `ε`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the incomplete-Cholesky drop tolerance.
+    pub fn with_drop_tolerance(mut self, drop_tolerance: f64) -> Self {
+        self.drop_tolerance = drop_tolerance;
+        self
+    }
+
+    /// Sets the fill-reducing ordering.
+    pub fn with_ordering(mut self, ordering: Ordering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Sets the ground conductance.
+    pub fn with_ground_conductance(mut self, ground_conductance: f64) -> Self {
+        self.ground_conductance = ground_conductance;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::InvalidConfig`] when a parameter is out of range.
+    pub fn validate(&self) -> Result<(), EffresError> {
+        if !(self.drop_tolerance >= 0.0) || !self.drop_tolerance.is_finite() {
+            return Err(EffresError::InvalidConfig {
+                name: "drop_tolerance",
+                message: "must be finite and nonnegative".to_string(),
+            });
+        }
+        if !(self.epsilon >= 0.0) || !(self.epsilon < 1.0) {
+            return Err(EffresError::InvalidConfig {
+                name: "epsilon",
+                message: "must lie in [0, 1)".to_string(),
+            });
+        }
+        if !(self.ground_conductance > 0.0) || !self.ground_conductance.is_finite() {
+            return Err(EffresError::InvalidConfig {
+                name: "ground_conductance",
+                message: "must be positive and finite".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = EffresConfig::default();
+        assert_eq!(c.drop_tolerance, 1e-3);
+        assert_eq!(c.epsilon, 1e-3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = EffresConfig::new()
+            .with_epsilon(1e-2)
+            .with_drop_tolerance(1e-4)
+            .with_ordering(Ordering::MinimumDegree)
+            .with_ground_conductance(1e-3);
+        assert_eq!(c.epsilon, 1e-2);
+        assert_eq!(c.drop_tolerance, 1e-4);
+        assert_eq!(c.ordering, Ordering::MinimumDegree);
+        assert_eq!(c.ground_conductance, 1e-3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        assert!(EffresConfig::new().with_epsilon(1.5).validate().is_err());
+        assert!(EffresConfig::new().with_epsilon(-0.1).validate().is_err());
+        assert!(EffresConfig::new()
+            .with_drop_tolerance(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(EffresConfig::new()
+            .with_ground_conductance(0.0)
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Depth of nodes in the filled graph (Eq. 11 of the paper).
+//!
+//! The filled graph `G_L = (V, F)` is the undirected graph of the Cholesky
+//! factor pattern, `F = {(i, j) | i ≠ j and L(i, j) ≠ 0}`. The depth of a
+//! node `p` is
+//!
+//! ```text
+//! depth(p) = 0                                   if L(p+1..n, p) = 0
+//! depth(p) = 1 + max { depth(i) : i > p, L(i, p) ≠ 0 }   otherwise
+//! ```
+//!
+//! Theorem 1 bounds the relative 1-norm error of the approximate inverse's
+//! column `p` by `depth(p) · ε`, so the maximum depth (the `dpt` column of
+//! Table I) is the key structural quantity of the error analysis.
+
+use effres_sparse::CscMatrix;
+
+/// Per-node depths in the filled graph of a lower-triangular factor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilledGraphDepth {
+    depths: Vec<usize>,
+}
+
+impl FilledGraphDepth {
+    /// Computes the depth of every node from the factor pattern.
+    ///
+    /// The factor must be lower triangular (entries with row ≥ column); the
+    /// values are irrelevant, only the pattern is used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not square.
+    pub fn from_factor(factor: &CscMatrix) -> Self {
+        assert_eq!(
+            factor.nrows(),
+            factor.ncols(),
+            "factor must be square to define a filled graph"
+        );
+        let n = factor.ncols();
+        let mut depths = vec![0usize; n];
+        // Process columns from the last to the first: all row indices in a
+        // lower-triangular column are ≥ the column index, so the recursion of
+        // Eq. (11) only references already-computed depths.
+        for p in (0..n).rev() {
+            let mut max_child: Option<usize> = None;
+            for &i in factor.column_rows(p) {
+                if i > p {
+                    max_child = Some(max_child.map_or(depths[i], |m: usize| m.max(depths[i])));
+                }
+            }
+            depths[p] = match max_child {
+                Some(m) => m + 1,
+                None => 0,
+            };
+        }
+        FilledGraphDepth { depths }
+    }
+
+    /// Depth of node `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of bounds.
+    pub fn depth(&self, p: usize) -> usize {
+        self.depths[p]
+    }
+
+    /// All depths, indexed by node.
+    pub fn depths(&self) -> &[usize] {
+        &self.depths
+    }
+
+    /// Maximum depth over all nodes (the `dpt` column of Table I).
+    pub fn max_depth(&self) -> usize {
+        self.depths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average depth over all nodes.
+    pub fn average_depth(&self) -> f64 {
+        if self.depths.is_empty() {
+            0.0
+        } else {
+            self.depths.iter().sum::<usize>() as f64 / self.depths.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use effres_sparse::TripletMatrix;
+
+    /// Bidiagonal factor of a path graph: depth decreases along the chain.
+    #[test]
+    fn path_factor_depths_form_a_chain() {
+        let n = 5;
+        let mut t = TripletMatrix::new(n, n);
+        for j in 0..n {
+            t.push(j, j, 1.0);
+            if j + 1 < n {
+                t.push(j + 1, j, -0.5);
+            }
+        }
+        let d = FilledGraphDepth::from_factor(&t.to_csc());
+        assert_eq!(d.depths(), &[4, 3, 2, 1, 0]);
+        assert_eq!(d.max_depth(), 4);
+        assert!((d.average_depth() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_factor_has_zero_depth() {
+        let mut t = TripletMatrix::new(3, 3);
+        for j in 0..3 {
+            t.push(j, j, 2.0);
+        }
+        let d = FilledGraphDepth::from_factor(&t.to_csc());
+        assert_eq!(d.depths(), &[0, 0, 0]);
+        assert_eq!(d.max_depth(), 0);
+    }
+
+    #[test]
+    fn star_factor_depth_is_one_for_leaves() {
+        // Leaves 0..3 all connect to node 4 (the last column): their depth is
+        // 1 + depth(4) = 1.
+        let n = 5;
+        let mut t = TripletMatrix::new(n, n);
+        for j in 0..n {
+            t.push(j, j, 1.0);
+        }
+        for leaf in 0..4 {
+            t.push(4, leaf, -0.3);
+        }
+        let d = FilledGraphDepth::from_factor(&t.to_csc());
+        assert_eq!(d.depths(), &[1, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn depth_follows_longest_downward_path() {
+        // Column 0 connects to 1 and 3; column 1 connects to 2; column 2
+        // connects to 3. Longest path from 0: 0-1-2-3 → depth 3.
+        let n = 4;
+        let mut t = TripletMatrix::new(n, n);
+        for j in 0..n {
+            t.push(j, j, 1.0);
+        }
+        t.push(1, 0, -1.0);
+        t.push(3, 0, -1.0);
+        t.push(2, 1, -1.0);
+        t.push(3, 2, -1.0);
+        let d = FilledGraphDepth::from_factor(&t.to_csc());
+        assert_eq!(d.depths(), &[3, 2, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_rectangular_factor() {
+        let t = TripletMatrix::new(2, 3);
+        let _ = FilledGraphDepth::from_factor(&t.to_csc());
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type of the effective-resistance algorithms.
+
+use effres_graph::GraphError;
+use effres_sparse::SparseError;
+use std::fmt;
+
+/// Errors produced by the effective-resistance estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EffresError {
+    /// A failure in the underlying sparse linear algebra.
+    Sparse(SparseError),
+    /// A failure in graph construction or a graph algorithm.
+    Graph(GraphError),
+    /// A query referenced a node that does not exist.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes of the graph the estimator was built for.
+        node_count: usize,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Constraint description.
+        message: String,
+    },
+}
+
+impl fmt::Display for EffresError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EffresError::Sparse(e) => write!(f, "sparse linear algebra error: {e}"),
+            EffresError::Graph(e) => write!(f, "graph error: {e}"),
+            EffresError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "query node {node} out of bounds for {node_count} nodes")
+            }
+            EffresError::InvalidConfig { name, message } => {
+                write!(f, "invalid configuration `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EffresError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EffresError::Sparse(e) => Some(e),
+            EffresError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for EffresError {
+    fn from(e: SparseError) -> Self {
+        EffresError::Sparse(e)
+    }
+}
+
+impl From<GraphError> for EffresError {
+    fn from(e: GraphError) -> Self {
+        EffresError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let s: EffresError = SparseError::NotSquare { nrows: 1, ncols: 2 }.into();
+        assert!(s.to_string().contains("sparse"));
+        let g: EffresError = GraphError::SelfLoop { node: 3 }.into();
+        assert!(g.to_string().contains("graph"));
+        let q = EffresError::NodeOutOfBounds {
+            node: 9,
+            node_count: 4,
+        };
+        assert!(q.to_string().contains("9"));
+    }
+
+    #[test]
+    fn source_chains_are_preserved() {
+        use std::error::Error;
+        let s: EffresError = SparseError::NotSquare { nrows: 1, ncols: 2 }.into();
+        assert!(s.source().is_some());
+        let q = EffresError::NodeOutOfBounds {
+            node: 0,
+            node_count: 0,
+        };
+        assert!(q.source().is_none());
+    }
+}

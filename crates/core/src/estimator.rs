@@ -1,0 +1,319 @@
+//! The end-to-end effective-resistance estimator (Alg. 3 of the paper).
+//!
+//! The pipeline is:
+//!
+//! 1. build the grounded Laplacian of the graph;
+//! 2. apply a fill-reducing ordering;
+//! 3. compute an incomplete Cholesky factorization `L Lᵀ ≈ P L_G Pᵀ` with a
+//!    drop tolerance (1e-3 in the paper's experiments);
+//! 4. run Alg. 2 to obtain the sparse approximate inverse `Z̃ ≈ L⁻¹`;
+//! 5. answer each query `(p, q)` as `R(p, q) ≈ ‖z̃_{π(p)} − z̃_{π(q)}‖²`.
+
+use crate::approx_inverse::SparseApproximateInverse;
+use crate::config::{EffresConfig, Ordering};
+use crate::depth::FilledGraphDepth;
+use crate::error::EffresError;
+use effres_graph::laplacian::grounded_laplacian;
+use effres_graph::Graph;
+use effres_sparse::ichol::{IcholOptions, IncompleteCholesky};
+use effres_sparse::{amd, rcm, CscMatrix, Permutation};
+
+/// Summary of the data structures built by the estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorStats {
+    /// Number of nodes.
+    pub node_count: usize,
+    /// Nonzeros in the incomplete Cholesky factor.
+    pub factor_nnz: usize,
+    /// Nonzeros in the approximate inverse `Z̃`.
+    pub inverse_nnz: usize,
+    /// `nnz(Z̃) / (n log₂ n)` — the density column of Table I.
+    pub inverse_nnz_ratio: f64,
+    /// Maximum filled-graph depth (the `dpt` column of Table I).
+    pub max_depth: usize,
+    /// Entries dropped by the incomplete factorization.
+    pub ichol_dropped: usize,
+    /// Entries pruned by Alg. 2.
+    pub pruned_entries: usize,
+}
+
+/// Effective-resistance estimator based on the sparse approximate inverse of
+/// the (incomplete) Cholesky factor.
+#[derive(Debug, Clone)]
+pub struct EffectiveResistanceEstimator {
+    inverse: SparseApproximateInverse,
+    permutation: Permutation,
+    stats: EstimatorStats,
+}
+
+impl EffectiveResistanceEstimator {
+    /// Builds the estimator for a weighted undirected graph (Alg. 3, steps 1–2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::InvalidConfig`] for invalid configuration and
+    /// [`EffresError::Sparse`] if a factorization step fails.
+    pub fn build(graph: &Graph, config: &EffresConfig) -> Result<Self, EffresError> {
+        config.validate()?;
+        let lap = grounded_laplacian(graph, config.ground_conductance);
+        Self::build_from_laplacian(&lap, config)
+    }
+
+    /// Builds the estimator from an already-grounded SDD matrix (used by the
+    /// power-grid reduction flow, whose reduced blocks are conductance
+    /// matrices rather than graphs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::InvalidConfig`] for invalid configuration and
+    /// [`EffresError::Sparse`] if a factorization step fails.
+    pub fn build_from_laplacian(
+        matrix: &CscMatrix,
+        config: &EffresConfig,
+    ) -> Result<Self, EffresError> {
+        config.validate()?;
+        let permutation = match config.ordering {
+            Ordering::Natural => Permutation::identity(matrix.ncols()),
+            Ordering::Rcm => rcm::rcm(matrix)?,
+            Ordering::MinimumDegree => amd::amd(matrix)?,
+        };
+        let permuted = if permutation.is_identity() {
+            matrix.clone()
+        } else {
+            matrix.permute_symmetric(&permutation)?
+        };
+        let ichol = IncompleteCholesky::factor(
+            &permuted,
+            IcholOptions {
+                drop_tolerance: config.drop_tolerance,
+                ..IcholOptions::default()
+            },
+        )?;
+        let depth = FilledGraphDepth::from_factor(ichol.factor_l());
+        let inverse = SparseApproximateInverse::from_factor(
+            ichol.factor_l(),
+            config.epsilon,
+            config.dense_column_threshold,
+        )?;
+        let stats = EstimatorStats {
+            node_count: matrix.ncols(),
+            factor_nnz: ichol.nnz(),
+            inverse_nnz: inverse.nnz(),
+            inverse_nnz_ratio: inverse.nnz_ratio(),
+            max_depth: depth.max_depth(),
+            ichol_dropped: ichol.stats().dropped,
+            pruned_entries: inverse.stats().pruned_entries,
+        };
+        Ok(EffectiveResistanceEstimator {
+            inverse,
+            permutation,
+            stats,
+        })
+    }
+
+    /// Number of nodes covered by the estimator.
+    pub fn node_count(&self) -> usize {
+        self.stats.node_count
+    }
+
+    /// Build statistics (factor size, inverse size, maximum depth, ...).
+    pub fn stats(&self) -> EstimatorStats {
+        self.stats
+    }
+
+    /// Approximate effective resistance between `p` and `q` (Eq. (22)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::NodeOutOfBounds`] for invalid node indices.
+    pub fn query(&self, p: usize, q: usize) -> Result<f64, EffresError> {
+        self.check(p)?;
+        self.check(q)?;
+        if p == q {
+            return Ok(0.0);
+        }
+        let pp = self.permutation.new(p);
+        let qq = self.permutation.new(q);
+        Ok(self.inverse.column_distance_squared(pp, qq))
+    }
+
+    /// Approximate effective resistances for a batch of queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error produced by [`EffectiveResistanceEstimator::query`].
+    pub fn query_many(&self, queries: &[(usize, usize)]) -> Result<Vec<f64>, EffresError> {
+        queries.iter().map(|&(p, q)| self.query(p, q)).collect()
+    }
+
+    /// Approximate effective resistances of every edge of `graph`, in edge-id
+    /// order. This is the `Q_r = E` workload of Table I.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::NodeOutOfBounds`] if the graph has more nodes
+    /// than the estimator.
+    pub fn query_all_edges(&self, graph: &Graph) -> Result<Vec<f64>, EffresError> {
+        graph.edges().map(|(_, e)| self.query(e.u, e.v)).collect()
+    }
+
+    /// Access to the underlying approximate inverse (for diagnostics).
+    pub fn approximate_inverse(&self) -> &SparseApproximateInverse {
+        &self.inverse
+    }
+
+    fn check(&self, node: usize) -> Result<(), EffresError> {
+        if node >= self.stats.node_count {
+            Err(EffresError::NodeOutOfBounds {
+                node,
+                node_count: self.stats.node_count,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactEffectiveResistance;
+    use crate::stats::relative_errors;
+    use effres_graph::generators;
+
+    fn build_pair(graph: &Graph, config: &EffresConfig) -> (EffectiveResistanceEstimator, ExactEffectiveResistance) {
+        let approx = EffectiveResistanceEstimator::build(graph, config).expect("build");
+        let exact = ExactEffectiveResistance::build(graph, config.ground_conductance).expect("build");
+        (approx, exact)
+    }
+
+    #[test]
+    fn matches_exact_on_small_mesh() {
+        let g = generators::grid_2d(10, 10, 0.5, 2.0, 11).expect("valid");
+        let config = EffresConfig::default();
+        let (approx, exact) = build_pair(&g, &config);
+        let queries: Vec<(usize, usize)> = g.edges().map(|(_, e)| (e.u, e.v)).collect();
+        let a = approx.query_many(&queries).expect("in bounds");
+        let b = exact.query_many(&queries).expect("in bounds");
+        let (avg, max) = relative_errors(&a, &b);
+        assert!(avg < 1e-2, "average relative error {avg}");
+        assert!(max < 1e-1, "max relative error {max}");
+    }
+
+    #[test]
+    fn matches_exact_on_social_like_graph() {
+        let g = generators::preferential_attachment(300, 3, 0.5, 1.5, 2).expect("valid");
+        let config = EffresConfig::default();
+        let (approx, exact) = build_pair(&g, &config);
+        let queries: Vec<(usize, usize)> = g.edges().map(|(_, e)| (e.u, e.v)).take(200).collect();
+        let a = approx.query_many(&queries).expect("in bounds");
+        let b = exact.query_many(&queries).expect("in bounds");
+        let (avg, max) = relative_errors(&a, &b);
+        assert!(avg < 2e-2, "average relative error {avg}");
+        assert!(max < 2e-1, "max relative error {max}");
+    }
+
+    #[test]
+    fn error_scales_roughly_linearly_with_epsilon() {
+        // Eq. (26): the relative error is bounded by alpha * epsilon, so
+        // shrinking epsilon by 100x should shrink the observed error by a
+        // comparable factor (we allow slack because the bound is not tight).
+        let g = generators::grid_2d(12, 12, 1.0, 1.0, 3).expect("valid");
+        let queries: Vec<(usize, usize)> = g.edges().map(|(_, e)| (e.u, e.v)).collect();
+        let exact = ExactEffectiveResistance::build(&g, 1e-6).expect("build");
+        let truth = exact.query_many(&queries).expect("in bounds");
+        // Use exact factorization (drop tolerance 0) to isolate the epsilon error.
+        let loose_cfg = EffresConfig::default()
+            .with_drop_tolerance(0.0)
+            .with_epsilon(1e-2);
+        let tight_cfg = EffresConfig::default()
+            .with_drop_tolerance(0.0)
+            .with_epsilon(1e-4);
+        let loose = EffectiveResistanceEstimator::build(&g, &loose_cfg).expect("build");
+        let tight = EffectiveResistanceEstimator::build(&g, &tight_cfg).expect("build");
+        let (avg_loose, _) = relative_errors(&loose.query_many(&queries).expect("ok"), &truth);
+        let (avg_tight, _) = relative_errors(&tight.query_many(&queries).expect("ok"), &truth);
+        assert!(
+            avg_tight < avg_loose / 5.0,
+            "tight {avg_tight} not much better than loose {avg_loose}"
+        );
+    }
+
+    #[test]
+    fn zero_epsilon_and_zero_drop_is_exact() {
+        let g = generators::random_connected(60, 80, 0.5, 2.0, 7).expect("valid");
+        let cfg = EffresConfig::default()
+            .with_drop_tolerance(0.0)
+            .with_epsilon(0.0);
+        let (approx, exact) = build_pair(&g, &cfg);
+        for &(p, q) in &[(0, 59), (5, 40), (13, 27)] {
+            let a = approx.query(p, q).expect("in bounds");
+            let b = exact.query(p, q).expect("in bounds");
+            assert!((a - b).abs() / b < 1e-9, "({p},{q}): {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn orderings_give_consistent_results() {
+        let g = generators::grid_2d(8, 8, 1.0, 2.0, 5).expect("valid");
+        let exact = ExactEffectiveResistance::build(&g, 1e-6).expect("build");
+        for ordering in [Ordering::Natural, Ordering::Rcm, Ordering::MinimumDegree] {
+            let cfg = EffresConfig::default().with_ordering(ordering);
+            let approx = EffectiveResistanceEstimator::build(&g, &cfg).expect("build");
+            let a = approx.query(0, 63).expect("in bounds");
+            let b = exact.query(0, 63).expect("in bounds");
+            assert!(
+                (a - b).abs() / b < 0.1,
+                "{ordering:?}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetry_and_identity_of_queries() {
+        let g = generators::grid_2d(6, 6, 1.0, 1.0, 0).expect("valid");
+        let approx = EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
+        assert_eq!(approx.query(4, 4).expect("in bounds"), 0.0);
+        let a = approx.query(2, 30).expect("in bounds");
+        let b = approx.query(30, 2).expect("in bounds");
+        assert!((a - b).abs() < 1e-14);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = generators::grid_2d(12, 12, 1.0, 1.0, 0).expect("valid");
+        let approx = EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
+        let s = approx.stats();
+        assert_eq!(s.node_count, 144);
+        assert!(s.factor_nnz >= 144);
+        assert!(s.inverse_nnz >= 144);
+        assert!(s.max_depth > 0);
+        assert!(s.inverse_nnz_ratio > 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_and_bad_config_rejected() {
+        let g = generators::grid_2d(3, 3, 1.0, 1.0, 0).expect("valid");
+        let approx = EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
+        assert!(approx.query(0, 100).is_err());
+        assert!(EffectiveResistanceEstimator::build(
+            &g,
+            &EffresConfig::default().with_epsilon(2.0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn disconnected_graphs_are_supported() {
+        // Two disjoint squares; queries within a component behave normally.
+        let mut g = Graph::new(8);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 7), (7, 4)] {
+            g.add_edge(u, v, 1.0).expect("valid");
+        }
+        let approx = EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
+        let exact = ExactEffectiveResistance::build(&g, 1e-6).expect("build");
+        let a = approx.query(0, 2).expect("in bounds");
+        let b = exact.query(0, 2).expect("in bounds");
+        assert!((a - b).abs() / b < 0.05);
+    }
+}

@@ -1,0 +1,199 @@
+//! Exact effective resistances through a full sparse Cholesky factorization.
+//!
+//! `R(p, q) = (e_p − e_q)ᵀ L_G⁻¹ (e_p − e_q)` where `L_G` is the grounded
+//! Laplacian (Eq. (3) of the paper). Each query requires one sparse solve;
+//! this is the "Acc. Eff. Res." reference of the paper's experiments and the
+//! ground truth for the error columns of Table I.
+
+use crate::config::Ordering;
+use crate::error::EffresError;
+use effres_graph::laplacian::grounded_laplacian;
+use effres_graph::Graph;
+use effres_sparse::cholesky::CholeskyFactor;
+use effres_sparse::{amd, rcm, CscMatrix, Permutation};
+
+/// Exact effective-resistance oracle backed by a full sparse Cholesky
+/// factorization of the grounded Laplacian.
+#[derive(Debug, Clone)]
+pub struct ExactEffectiveResistance {
+    factorization: CholeskyFactor,
+    node_count: usize,
+}
+
+impl ExactEffectiveResistance {
+    /// Builds the oracle for a weighted graph, grounding each connected
+    /// component with `ground_conductance` and ordering with minimum degree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::Sparse`] if the factorization fails (which for
+    /// a valid grounded Laplacian indicates numerical breakdown).
+    pub fn build(graph: &Graph, ground_conductance: f64) -> Result<Self, EffresError> {
+        let lap = grounded_laplacian(graph, ground_conductance);
+        Self::build_from_matrix(&lap, Ordering::MinimumDegree)
+    }
+
+    /// Builds the oracle from an already-grounded SDD matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::Sparse`] on factorization failure.
+    pub fn build_from_matrix(matrix: &CscMatrix, ordering: Ordering) -> Result<Self, EffresError> {
+        let perm = match ordering {
+            Ordering::Natural => Permutation::identity(matrix.ncols()),
+            Ordering::Rcm => rcm::rcm(matrix)?,
+            Ordering::MinimumDegree => amd::amd(matrix)?,
+        };
+        let factorization = CholeskyFactor::factor_permuted(matrix, perm)?;
+        Ok(ExactEffectiveResistance {
+            node_count: matrix.ncols(),
+            factorization,
+        })
+    }
+
+    /// Number of nodes the oracle covers.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of nonzeros in the Cholesky factor.
+    pub fn factor_nnz(&self) -> usize {
+        self.factorization.nnz()
+    }
+
+    /// Exact effective resistance between `p` and `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::NodeOutOfBounds`] for invalid node indices.
+    pub fn query(&self, p: usize, q: usize) -> Result<f64, EffresError> {
+        self.check(p)?;
+        self.check(q)?;
+        if p == q {
+            return Ok(0.0);
+        }
+        let mut rhs = vec![0.0; self.node_count];
+        rhs[p] = 1.0;
+        rhs[q] = -1.0;
+        let x = self.factorization.solve(&rhs);
+        Ok(x[p] - x[q])
+    }
+
+    /// Exact effective resistances for a batch of queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error produced by [`ExactEffectiveResistance::query`].
+    pub fn query_many(&self, queries: &[(usize, usize)]) -> Result<Vec<f64>, EffresError> {
+        queries.iter().map(|&(p, q)| self.query(p, q)).collect()
+    }
+
+    /// Exact effective resistances of every edge of `graph`, in edge-id order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::NodeOutOfBounds`] if the graph has more nodes
+    /// than the oracle.
+    pub fn query_all_edges(&self, graph: &Graph) -> Result<Vec<f64>, EffresError> {
+        graph
+            .edges()
+            .map(|(_, e)| self.query(e.u, e.v))
+            .collect()
+    }
+
+    fn check(&self, node: usize) -> Result<(), EffresError> {
+        if node >= self.node_count {
+            Err(EffresError::NodeOutOfBounds {
+                node,
+                node_count: self.node_count,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use effres_graph::generators;
+
+    #[test]
+    fn series_resistors_add() {
+        // Path 0-1-2 with conductances 2 and 4: R(0,2) = 1/2 + 1/4 = 0.75.
+        let g = Graph::from_edges(3, vec![(0, 1, 2.0), (1, 2, 4.0)]).expect("valid");
+        let exact = ExactEffectiveResistance::build(&g, 1e-9).expect("spd");
+        let r = exact.query(0, 2).expect("in bounds");
+        assert!((r - 0.75).abs() < 1e-6);
+        assert_eq!(exact.query(1, 1).expect("in bounds"), 0.0);
+    }
+
+    #[test]
+    fn parallel_resistors_combine() {
+        // Two parallel unit resistors between 0 and 1: R = 0.5.
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 1.0).expect("valid");
+        g.add_edge(0, 1, 1.0).expect("valid");
+        let exact = ExactEffectiveResistance::build(&g, 1e-9).expect("spd");
+        assert!((exact.query(0, 1).expect("in bounds") - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn symmetry_of_queries() {
+        let g = generators::grid_2d(5, 5, 0.5, 2.0, 3).expect("valid");
+        let exact = ExactEffectiveResistance::build(&g, 1e-6).expect("spd");
+        let a = exact.query(0, 24).expect("in bounds");
+        let b = exact.query(24, 0).expect("in bounds");
+        assert!((a - b).abs() < 1e-10);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn ordering_does_not_change_results() {
+        let g = generators::grid_2d(4, 4, 1.0, 1.0, 0).expect("valid");
+        let lap = grounded_laplacian(&g, 1e-6);
+        let nat = ExactEffectiveResistance::build_from_matrix(&lap, Ordering::Natural).expect("spd");
+        let rcm = ExactEffectiveResistance::build_from_matrix(&lap, Ordering::Rcm).expect("spd");
+        let amd =
+            ExactEffectiveResistance::build_from_matrix(&lap, Ordering::MinimumDegree).expect("spd");
+        for &(p, q) in &[(0, 15), (3, 12), (5, 10)] {
+            let r0 = nat.query(p, q).expect("in bounds");
+            let r1 = rcm.query(p, q).expect("in bounds");
+            let r2 = amd.query(p, q).expect("in bounds");
+            assert!((r0 - r1).abs() < 1e-9);
+            assert!((r0 - r2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn effective_resistance_bounded_by_shortest_path_resistance() {
+        // Rayleigh monotonicity: adding parallel paths can only lower the
+        // resistance, so R(p,q) <= shortest-path resistance.
+        let g = generators::grid_2d(6, 6, 1.0, 1.0, 1).expect("valid");
+        let exact = ExactEffectiveResistance::build(&g, 1e-8).expect("spd");
+        let d = effres_graph::traversal::resistance_distances(&g, 0);
+        for q in [5, 17, 35] {
+            let r = exact.query(0, q).expect("in bounds");
+            assert!(r <= d[q] + 1e-9, "R {r} > path {p}", p = d[q]);
+        }
+    }
+
+    #[test]
+    fn query_all_edges_matches_individual_queries() {
+        let g = generators::random_connected(30, 30, 0.5, 1.5, 5).expect("valid");
+        let exact = ExactEffectiveResistance::build(&g, 1e-6).expect("spd");
+        let all = exact.query_all_edges(&g).expect("in bounds");
+        assert_eq!(all.len(), g.edge_count());
+        for (id, e) in g.edges().take(5) {
+            assert!((all[id] - exact.query(e.u, e.v).expect("in bounds")).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let g = Graph::from_edges(2, vec![(0, 1, 1.0)]).expect("valid");
+        let exact = ExactEffectiveResistance::build(&g, 1e-6).expect("spd");
+        assert!(exact.query(0, 5).is_err());
+        assert!(exact.query_many(&[(0, 1), (9, 0)]).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Error metrics and sampling helpers used by the experiments.
+//!
+//! Table I reports, for every graph, the average (`Ea`) and maximum (`Em`)
+//! relative errors of the approximate effective resistances, estimated on
+//! 1000 randomly selected edges whose exact resistances are computed with
+//! the direct method. The helpers here reproduce that protocol.
+
+use effres_graph::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Average and maximum relative error of `approx` with respect to `exact`.
+///
+/// Entries with a zero exact value are skipped (they carry no relative-error
+/// information).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn relative_errors(approx: &[f64], exact: &[f64]) -> (f64, f64) {
+    assert_eq!(approx.len(), exact.len(), "length mismatch");
+    let mut sum = 0.0;
+    let mut max = 0.0_f64;
+    let mut count = 0usize;
+    for (&a, &e) in approx.iter().zip(exact) {
+        if e == 0.0 {
+            continue;
+        }
+        let rel = ((a - e) / e).abs();
+        sum += rel;
+        max = max.max(rel);
+        count += 1;
+    }
+    if count == 0 {
+        (0.0, 0.0)
+    } else {
+        (sum / count as f64, max)
+    }
+}
+
+/// Samples up to `count` distinct edges of the graph (as node pairs), using a
+/// fixed seed so experiments are reproducible. If the graph has fewer than
+/// `count` edges, all edges are returned.
+pub fn sample_edges(graph: &Graph, count: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut ids: Vec<usize> = (0..graph.edge_count()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    ids.truncate(count);
+    ids.sort_unstable();
+    ids.iter()
+        .map(|&id| {
+            let e = graph.edge(id);
+            (e.u, e.v)
+        })
+        .collect()
+}
+
+/// Samples `count` random node pairs (not necessarily edges) with distinct
+/// endpoints, for query workloads beyond `Q_r = E`.
+pub fn sample_node_pairs(graph: &Graph, count: usize, seed: u64) -> Vec<(usize, usize)> {
+    use rand::Rng;
+    let n = graph.node_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(count);
+    if n < 2 {
+        return pairs;
+    }
+    while pairs.len() < count {
+        let p = rng.gen_range(0..n);
+        let q = rng.gen_range(0..n);
+        if p != q {
+            pairs.push((p, q));
+        }
+    }
+    pairs
+}
+
+/// Geometric mean of a slice of positive values (used for the "average
+/// speedup" summary lines of the paper).
+///
+/// Returns `0.0` for an empty slice.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use effres_graph::generators;
+
+    #[test]
+    fn relative_errors_basic() {
+        let exact = [1.0, 2.0, 4.0];
+        let approx = [1.1, 2.0, 3.0];
+        let (avg, max) = relative_errors(&approx, &exact);
+        assert!((max - 0.25).abs() < 1e-12);
+        assert!((avg - (0.1 + 0.0 + 0.25) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_errors_skip_zero_reference() {
+        let (avg, max) = relative_errors(&[1.0, 5.0], &[0.0, 5.0]);
+        assert_eq!(avg, 0.0);
+        assert_eq!(max, 0.0);
+    }
+
+    #[test]
+    fn sample_edges_is_deterministic_and_bounded() {
+        let g = generators::grid_2d(6, 6, 1.0, 1.0, 0).expect("valid");
+        let a = sample_edges(&g, 10, 3);
+        let b = sample_edges(&g, 10, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        let all = sample_edges(&g, 10_000, 3);
+        assert_eq!(all.len(), g.edge_count());
+    }
+
+    #[test]
+    fn sample_node_pairs_have_distinct_endpoints() {
+        let g = generators::grid_2d(4, 4, 1.0, 1.0, 0).expect("valid");
+        for (p, q) in sample_node_pairs(&g, 50, 1) {
+            assert_ne!(p, q);
+        }
+        assert!(sample_node_pairs(&Graph::new(1), 5, 0).is_empty());
+    }
+
+    #[test]
+    fn geometric_mean_of_speedups() {
+        assert!((geometric_mean(&[10.0, 1000.0]) - 100.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Connected components.
+
+use crate::graph::{Graph, NodeId};
+
+/// The decomposition of a graph into connected components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Component label of each node (labels are `0..count`).
+    labels: Vec<usize>,
+    /// Number of components.
+    count: usize,
+    /// The lowest-index node of each component.
+    representatives: Vec<NodeId>,
+}
+
+impl Components {
+    /// Component label of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn label(&self, node: NodeId) -> usize {
+        self.labels[node]
+    }
+
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The lowest-index node of each component, indexed by component label.
+    pub fn representatives(&self) -> &[NodeId] {
+        &self.representatives
+    }
+
+    /// All component labels, indexed by node.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Nodes of the component with the given label.
+    pub fn members(&self, label: usize) -> Vec<NodeId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == label)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether two nodes are in the same component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of bounds.
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        self.labels[a] == self.labels[b]
+    }
+}
+
+/// Computes the connected components of a graph with breadth-first searches.
+pub fn connected_components(graph: &Graph) -> Components {
+    let n = graph.node_count();
+    let mut labels = vec![usize::MAX; n];
+    let mut representatives = Vec::new();
+    let mut count = 0;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if labels[start] != usize::MAX {
+            continue;
+        }
+        labels[start] = count;
+        representatives.push(start);
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for (u, _) in graph.neighbors(v) {
+                if labels[u] == usize::MAX {
+                    labels[u] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components {
+        labels,
+        count,
+        representatives,
+    }
+}
+
+/// Whether the graph is connected (a graph with no nodes counts as connected).
+pub fn is_connected(graph: &Graph) -> bool {
+    graph.node_count() == 0 || connected_components(graph).count() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn single_component() {
+        let g = Graph::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).expect("valid");
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 1);
+        assert!(is_connected(&g));
+        assert_eq!(c.representatives(), &[0]);
+        assert!(c.same_component(0, 3));
+    }
+
+    #[test]
+    fn isolated_nodes_are_their_own_components() {
+        let g = Graph::new(3);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.members(1), vec![1]);
+        assert!(!c.same_component(0, 2));
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn two_components_identified() {
+        let g = Graph::from_edges(5, vec![(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)]).expect("valid");
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.label(0), c.label(1));
+        assert_eq!(c.label(2), c.label(4));
+        assert_ne!(c.label(0), c.label(2));
+        assert_eq!(c.members(c.label(2)), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(is_connected(&Graph::new(0)));
+    }
+}

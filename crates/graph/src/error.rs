@@ -1,0 +1,69 @@
+//! Error type for graph construction and algorithms.
+
+use std::fmt;
+
+/// Errors produced by graph construction and graph algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node index was out of bounds.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An edge weight was not positive and finite.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A self-loop was requested where none is allowed.
+    SelfLoop {
+        /// The node at both endpoints.
+        node: usize,
+    },
+    /// An algorithm parameter was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} out of bounds for a graph with {node_count} nodes")
+            }
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "edge weight {weight} must be positive and finite")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
+            GraphError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::NodeOutOfBounds {
+            node: 5,
+            node_count: 3,
+        };
+        assert!(e.to_string().contains("node 5"));
+        assert!(GraphError::SelfLoop { node: 1 }.to_string().contains("self-loop"));
+        assert!(GraphError::InvalidWeight { weight: -1.0 }
+            .to_string()
+            .contains("-1"));
+    }
+}

@@ -1,0 +1,544 @@
+//! Synthetic graph generators.
+//!
+//! The paper's evaluation suite (Table I) spans three structural regimes:
+//! mesh-like graphs from circuit simulation (ibmpg*, thupg*, G2/G3 circuit),
+//! finite-element meshes (fe_tooth, fe_rotor, NACA0015) and social /
+//! collaboration networks (com-DBLP, com-Amazon, com-Youtube, coAu*). The
+//! benchmark data itself is not redistributable, so this module generates
+//! synthetic stand-ins with the same structural character:
+//!
+//! * [`grid_2d`] and [`power_grid_mesh`] — planar, low filled-graph depth,
+//!   circuit-like;
+//! * [`grid_3d`] and [`fe_mesh`] — 3-D meshes with larger separators, like
+//!   the finite-element cases;
+//! * [`preferential_attachment`] and [`small_world`] — heavy-tailed /
+//!   clustered graphs, like the social-network cases.
+//!
+//! All generators take an explicit seed so experiments are reproducible.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 2-D grid graph of `rows x cols` nodes with 4-neighbour connectivity and
+/// edge weights drawn uniformly from `[min_weight, max_weight]`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if a dimension is zero or the
+/// weight range is invalid.
+pub fn grid_2d(
+    rows: usize,
+    cols: usize,
+    min_weight: f64,
+    max_weight: f64,
+    seed: u64,
+) -> Result<Graph, GraphError> {
+    validate_dims(&[rows, cols])?;
+    validate_weights(min_weight, max_weight)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut g = Graph::with_capacity(rows * cols, 2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(idx(r, c), idx(r, c + 1), draw(&mut rng, min_weight, max_weight))?;
+            }
+            if r + 1 < rows {
+                g.add_edge(idx(r, c), idx(r + 1, c), draw(&mut rng, min_weight, max_weight))?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// A 3-D grid graph of `nx x ny x nz` nodes with 6-neighbour connectivity.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for zero dimensions or an invalid
+/// weight range.
+pub fn grid_3d(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    min_weight: f64,
+    max_weight: f64,
+    seed: u64,
+) -> Result<Graph, GraphError> {
+    validate_dims(&[nx, ny, nz])?;
+    validate_weights(min_weight, max_weight)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut g = Graph::with_capacity(nx * ny * nz, 3 * nx * ny * nz);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    g.add_edge(idx(x, y, z), idx(x + 1, y, z), draw(&mut rng, min_weight, max_weight))?;
+                }
+                if y + 1 < ny {
+                    g.add_edge(idx(x, y, z), idx(x, y + 1, z), draw(&mut rng, min_weight, max_weight))?;
+                }
+                if z + 1 < nz {
+                    g.add_edge(idx(x, y, z), idx(x, y, z + 1), draw(&mut rng, min_weight, max_weight))?;
+                }
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// A finite-element-like mesh: a 3-D grid with additional "diagonal" edges
+/// inside each cell, giving denser rows and larger separators than a plain
+/// grid — structurally similar to tetrahedral FE matrices such as fe_tooth.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for zero dimensions or an invalid
+/// weight range.
+pub fn fe_mesh(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    min_weight: f64,
+    max_weight: f64,
+    seed: u64,
+) -> Result<Graph, GraphError> {
+    let mut g = grid_3d(nx, ny, nz, min_weight, max_weight, seed)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                // Face diagonals in the x-y plane.
+                if x + 1 < nx && y + 1 < ny {
+                    g.add_edge(
+                        idx(x, y, z),
+                        idx(x + 1, y + 1, z),
+                        draw(&mut rng, min_weight, max_weight),
+                    )?;
+                }
+                // Body diagonal.
+                if x + 1 < nx && y + 1 < ny && z + 1 < nz {
+                    g.add_edge(
+                        idx(x, y, z),
+                        idx(x + 1, y + 1, z + 1),
+                        draw(&mut rng, min_weight, max_weight),
+                    )?;
+                }
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Parameters of the IBM-like power-grid mesh generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerGridMeshOptions {
+    /// Number of rows of the lower metal layer.
+    pub rows: usize,
+    /// Number of columns of the lower metal layer.
+    pub cols: usize,
+    /// Fraction of grid edges that are removed to mimic irregular routing
+    /// (0.0 keeps the full mesh; must be `< 0.5` to stay connected in practice).
+    pub missing_edge_fraction: f64,
+    /// Conductance of wire segments (drawn around this value).
+    pub wire_conductance: f64,
+    /// Conductance of vias connecting the two layers (typically larger).
+    pub via_conductance: f64,
+    /// Stride (in grid nodes) of the coarser upper layer.
+    pub upper_layer_stride: usize,
+    /// Seed of the generator.
+    pub seed: u64,
+}
+
+impl Default for PowerGridMeshOptions {
+    fn default() -> Self {
+        PowerGridMeshOptions {
+            rows: 32,
+            cols: 32,
+            missing_edge_fraction: 0.05,
+            wire_conductance: 10.0,
+            via_conductance: 100.0,
+            upper_layer_stride: 4,
+            seed: 1,
+        }
+    }
+}
+
+/// A two-layer power-grid-like mesh: a dense lower grid, a coarser upper grid
+/// and via edges between them, with a small fraction of missing segments.
+/// Structurally similar to the IBM power-grid benchmarks the paper uses.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for invalid options.
+pub fn power_grid_mesh(options: PowerGridMeshOptions) -> Result<Graph, GraphError> {
+    validate_dims(&[options.rows, options.cols, options.upper_layer_stride])?;
+    if !(0.0..0.5).contains(&options.missing_edge_fraction) {
+        return Err(GraphError::InvalidParameter {
+            name: "missing_edge_fraction",
+            message: "must be in [0, 0.5)".to_string(),
+        });
+    }
+    if options.wire_conductance <= 0.0 || options.via_conductance <= 0.0 {
+        return Err(GraphError::InvalidParameter {
+            name: "conductance",
+            message: "wire and via conductances must be positive".to_string(),
+        });
+    }
+    let rows = options.rows;
+    let cols = options.cols;
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let lower = |r: usize, c: usize| r * cols + c;
+    let upper_rows = rows.div_ceil(options.upper_layer_stride);
+    let upper_cols = cols.div_ceil(options.upper_layer_stride);
+    let n_lower = rows * cols;
+    let upper = |r: usize, c: usize| n_lower + r * upper_cols + c;
+    let n = n_lower + upper_rows * upper_cols;
+    let mut g = Graph::with_capacity(n, 3 * n);
+
+    // Lower layer mesh with a fraction of missing segments.
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols && rng.gen::<f64>() >= options.missing_edge_fraction {
+                let w = options.wire_conductance * rng.gen_range(0.5..1.5);
+                g.add_edge(lower(r, c), lower(r, c + 1), w)?;
+            }
+            if r + 1 < rows && rng.gen::<f64>() >= options.missing_edge_fraction {
+                let w = options.wire_conductance * rng.gen_range(0.5..1.5);
+                g.add_edge(lower(r, c), lower(r + 1, c), w)?;
+            }
+        }
+    }
+    // Upper (coarse) layer mesh.
+    for r in 0..upper_rows {
+        for c in 0..upper_cols {
+            if c + 1 < upper_cols {
+                let w = 4.0 * options.wire_conductance * rng.gen_range(0.5..1.5);
+                g.add_edge(upper(r, c), upper(r, c + 1), w)?;
+            }
+            if r + 1 < upper_rows {
+                let w = 4.0 * options.wire_conductance * rng.gen_range(0.5..1.5);
+                g.add_edge(upper(r, c), upper(r + 1, c), w)?;
+            }
+        }
+    }
+    // Vias.
+    for r in 0..upper_rows {
+        for c in 0..upper_cols {
+            let lr = (r * options.upper_layer_stride).min(rows - 1);
+            let lc = (c * options.upper_layer_stride).min(cols - 1);
+            g.add_edge(upper(r, c), lower(lr, lc), options.via_conductance)?;
+        }
+    }
+    // Connect any stray isolated lower nodes (possible when many edges were
+    // removed) to a neighbour so the graph is connected.
+    let comps = crate::components::connected_components(&g);
+    if comps.count() > 1 {
+        let main_label = comps.label(upper(0, 0));
+        for node in 0..n_lower {
+            if comps.label(node) != main_label {
+                let r = node / cols;
+                let c = node % cols;
+                let target = if c + 1 < cols { lower(r, c + 1) } else { lower(r, c - 1) };
+                if comps.label(target) == main_label || target != node {
+                    g.add_edge(node, target, options.wire_conductance)?;
+                }
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// A Barabási–Albert preferential-attachment graph: nodes arrive one at a
+/// time and connect to `edges_per_node` existing nodes chosen proportionally
+/// to their degree. Produces the heavy-tailed degree distribution of the
+/// social-network cases in Table I.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `nodes <= edges_per_node` or
+/// `edges_per_node == 0`, or for an invalid weight range.
+pub fn preferential_attachment(
+    nodes: usize,
+    edges_per_node: usize,
+    min_weight: f64,
+    max_weight: f64,
+    seed: u64,
+) -> Result<Graph, GraphError> {
+    if edges_per_node == 0 || nodes <= edges_per_node {
+        return Err(GraphError::InvalidParameter {
+            name: "edges_per_node",
+            message: "need 0 < edges_per_node < nodes".to_string(),
+        });
+    }
+    validate_weights(min_weight, max_weight)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_capacity(nodes, nodes * edges_per_node);
+    // Target list where each node appears once per incident edge endpoint;
+    // sampling uniformly from it implements preferential attachment.
+    let mut targets: Vec<usize> = Vec::with_capacity(2 * nodes * edges_per_node);
+    // Seed clique over the first edges_per_node + 1 nodes.
+    for u in 0..=edges_per_node {
+        for v in (u + 1)..=edges_per_node {
+            g.add_edge(u, v, draw(&mut rng, min_weight, max_weight))?;
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    for new_node in (edges_per_node + 1)..nodes {
+        let mut chosen: Vec<usize> = Vec::with_capacity(edges_per_node);
+        while chosen.len() < edges_per_node {
+            let target = targets[rng.gen_range(0..targets.len())];
+            if target != new_node && !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        for &t in &chosen {
+            g.add_edge(new_node, t, draw(&mut rng, min_weight, max_weight))?;
+            targets.push(new_node);
+            targets.push(t);
+        }
+    }
+    Ok(g)
+}
+
+/// A Watts–Strogatz small-world graph: a ring lattice where each node links
+/// to its `neighbors_per_side` nearest neighbours on each side, with every
+/// edge's far endpoint rewired with probability `rewire_probability`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for degenerate parameters or an
+/// invalid weight range.
+pub fn small_world(
+    nodes: usize,
+    neighbors_per_side: usize,
+    rewire_probability: f64,
+    min_weight: f64,
+    max_weight: f64,
+    seed: u64,
+) -> Result<Graph, GraphError> {
+    if nodes < 4 || neighbors_per_side == 0 || 2 * neighbors_per_side >= nodes {
+        return Err(GraphError::InvalidParameter {
+            name: "nodes/neighbors_per_side",
+            message: "need nodes >= 4 and 0 < 2*neighbors_per_side < nodes".to_string(),
+        });
+    }
+    if !(0.0..=1.0).contains(&rewire_probability) {
+        return Err(GraphError::InvalidParameter {
+            name: "rewire_probability",
+            message: "must be in [0, 1]".to_string(),
+        });
+    }
+    validate_weights(min_weight, max_weight)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_capacity(nodes, nodes * neighbors_per_side);
+    let mut existing = std::collections::HashSet::new();
+    for u in 0..nodes {
+        for k in 1..=neighbors_per_side {
+            let mut v = (u + k) % nodes;
+            if rng.gen::<f64>() < rewire_probability {
+                // Rewire to a random non-neighbour.
+                for _ in 0..16 {
+                    let candidate = rng.gen_range(0..nodes);
+                    if candidate != u && !existing.contains(&key(u, candidate)) {
+                        v = candidate;
+                        break;
+                    }
+                }
+            }
+            if v != u && existing.insert(key(u, v)) {
+                g.add_edge(u, v, draw(&mut rng, min_weight, max_weight))?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// A connected Erdős–Rényi-style random graph: a random spanning tree plus
+/// `extra_edges` uniformly random non-duplicate edges.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `nodes == 0` or the weight
+/// range is invalid.
+pub fn random_connected(
+    nodes: usize,
+    extra_edges: usize,
+    min_weight: f64,
+    max_weight: f64,
+    seed: u64,
+) -> Result<Graph, GraphError> {
+    if nodes == 0 {
+        return Err(GraphError::InvalidParameter {
+            name: "nodes",
+            message: "must be positive".to_string(),
+        });
+    }
+    validate_weights(min_weight, max_weight)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_capacity(nodes, nodes + extra_edges);
+    // Random spanning tree: connect node i to a random earlier node.
+    for i in 1..nodes {
+        let j = rng.gen_range(0..i);
+        g.add_edge(i, j, draw(&mut rng, min_weight, max_weight))?;
+    }
+    let mut existing: std::collections::HashSet<(usize, usize)> =
+        g.edges().map(|(_, e)| (e.u, e.v)).collect();
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra_edges && attempts < 50 * extra_edges + 100 {
+        attempts += 1;
+        let u = rng.gen_range(0..nodes);
+        let v = rng.gen_range(0..nodes);
+        if u == v {
+            continue;
+        }
+        let k = key(u, v);
+        if existing.insert(k) {
+            g.add_edge(u, v, draw(&mut rng, min_weight, max_weight))?;
+            added += 1;
+        }
+    }
+    Ok(g)
+}
+
+fn key(u: usize, v: usize) -> (usize, usize) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+fn draw(rng: &mut StdRng, min_weight: f64, max_weight: f64) -> f64 {
+    if min_weight == max_weight {
+        min_weight
+    } else {
+        rng.gen_range(min_weight..max_weight)
+    }
+}
+
+fn validate_dims(dims: &[usize]) -> Result<(), GraphError> {
+    if dims.iter().any(|&d| d == 0) {
+        return Err(GraphError::InvalidParameter {
+            name: "dimensions",
+            message: "all dimensions must be positive".to_string(),
+        });
+    }
+    Ok(())
+}
+
+fn validate_weights(min_weight: f64, max_weight: f64) -> Result<(), GraphError> {
+    if !(min_weight > 0.0) || !(max_weight >= min_weight) || !max_weight.is_finite() {
+        return Err(GraphError::InvalidParameter {
+            name: "weights",
+            message: "need 0 < min_weight <= max_weight < inf".to_string(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn grid_2d_counts() {
+        let g = grid_2d(4, 5, 1.0, 1.0, 0).expect("valid");
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 4 * 4 + 3 * 5);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn grid_3d_counts() {
+        let g = grid_3d(3, 3, 3, 0.5, 2.0, 7).expect("valid");
+        assert_eq!(g.node_count(), 27);
+        assert_eq!(g.edge_count(), 3 * (2 * 3 * 3));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn fe_mesh_is_denser_than_grid() {
+        let grid = grid_3d(4, 4, 4, 1.0, 1.0, 0).expect("valid");
+        let fe = fe_mesh(4, 4, 4, 1.0, 1.0, 0).expect("valid");
+        assert!(fe.edge_count() > grid.edge_count());
+        assert!(is_connected(&fe));
+    }
+
+    #[test]
+    fn power_grid_mesh_is_connected_and_two_layered() {
+        let g = power_grid_mesh(PowerGridMeshOptions::default()).expect("valid");
+        assert!(g.node_count() > 32 * 32);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn power_grid_mesh_rejects_bad_fraction() {
+        let mut o = PowerGridMeshOptions::default();
+        o.missing_edge_fraction = 0.9;
+        assert!(power_grid_mesh(o).is_err());
+    }
+
+    #[test]
+    fn preferential_attachment_has_heavy_hubs() {
+        let g = preferential_attachment(300, 3, 1.0, 1.0, 42).expect("valid");
+        assert!(is_connected(&g));
+        let max_degree = (0..g.node_count()).map(|v| g.degree(v)).max().expect("nonempty");
+        let avg_degree = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            max_degree as f64 > 3.0 * avg_degree,
+            "expected a hub: max {max_degree}, avg {avg_degree}"
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_rejects_bad_parameters() {
+        assert!(preferential_attachment(3, 3, 1.0, 1.0, 0).is_err());
+        assert!(preferential_attachment(10, 0, 1.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn small_world_is_connected_for_moderate_rewiring() {
+        let g = small_world(200, 3, 0.1, 1.0, 2.0, 5).expect("valid");
+        assert!(is_connected(&g));
+        assert!(g.edge_count() >= 200 * 3 - 20);
+    }
+
+    #[test]
+    fn small_world_rejects_bad_parameters() {
+        assert!(small_world(3, 1, 0.1, 1.0, 1.0, 0).is_err());
+        assert!(small_world(10, 6, 0.1, 1.0, 1.0, 0).is_err());
+        assert!(small_world(10, 2, 1.5, 1.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let g = random_connected(100, 150, 0.1, 1.0, 3).expect("valid");
+        assert!(is_connected(&g));
+        assert!(g.edge_count() >= 99);
+    }
+
+    #[test]
+    fn generators_are_deterministic_for_a_fixed_seed() {
+        let a = preferential_attachment(100, 2, 0.5, 1.5, 9).expect("valid");
+        let b = preferential_attachment(100, 2, 0.5, 1.5, 9).expect("valid");
+        assert_eq!(a, b);
+        let c = grid_2d(5, 5, 0.5, 1.5, 11).expect("valid");
+        let d = grid_2d(5, 5, 0.5, 1.5, 11).expect("valid");
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn weight_validation() {
+        assert!(grid_2d(2, 2, 0.0, 1.0, 0).is_err());
+        assert!(grid_2d(2, 2, 2.0, 1.0, 0).is_err());
+        assert!(grid_2d(0, 2, 1.0, 1.0, 0).is_err());
+    }
+}

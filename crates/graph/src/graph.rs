@@ -1,0 +1,338 @@
+//! The weighted undirected graph type.
+
+use crate::error::GraphError;
+
+/// Index of a node in a [`Graph`].
+pub type NodeId = usize;
+
+/// Index of an edge in a [`Graph`].
+pub type EdgeId = usize;
+
+/// A weighted undirected edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// One endpoint (the smaller index by convention of [`Graph::add_edge`]).
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// Positive edge weight (a conductance, in the circuit interpretation).
+    pub weight: f64,
+}
+
+impl Edge {
+    /// The endpoint of the edge that is not `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint of the edge.
+    pub fn other(&self, node: NodeId) -> NodeId {
+        if node == self.u {
+            self.v
+        } else if node == self.v {
+            self.u
+        } else {
+            panic!("node {node} is not an endpoint of edge ({}, {})", self.u, self.v)
+        }
+    }
+}
+
+/// A weighted undirected graph with a fixed node set and a growable edge list.
+///
+/// Parallel edges are allowed (they behave like parallel conductances); the
+/// Laplacian construction sums them. Self-loops are rejected because they do
+/// not affect effective resistances.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Graph {
+    node_count: usize,
+    edges: Vec<Edge>,
+    /// adjacency[v] lists (neighbor, edge id) pairs.
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// Creates a graph with `node_count` isolated nodes.
+    pub fn new(node_count: usize) -> Self {
+        Graph {
+            node_count,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); node_count],
+        }
+    }
+
+    /// Creates a graph with preallocated capacity for `edge_capacity` edges.
+    pub fn with_capacity(node_count: usize, edge_capacity: usize) -> Self {
+        Graph {
+            node_count,
+            edges: Vec::with_capacity(edge_capacity),
+            adjacency: vec![Vec::new(); node_count],
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error produced by [`Graph::add_edge`].
+    pub fn from_edges<I>(node_count: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId, f64)>,
+    {
+        let mut g = Graph::new(node_count);
+        for (u, v, w) in edges {
+            g.add_edge(u, v, w)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected edge with the given positive weight and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`], [`GraphError::SelfLoop`] or
+    /// [`GraphError::InvalidWeight`] when the edge is malformed.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> Result<EdgeId, GraphError> {
+        if u >= self.node_count {
+            return Err(GraphError::NodeOutOfBounds {
+                node: u,
+                node_count: self.node_count,
+            });
+        }
+        if v >= self.node_count {
+            return Err(GraphError::NodeOutOfBounds {
+                node: v,
+                node_count: self.node_count,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if !(weight > 0.0) || !weight.is_finite() {
+            return Err(GraphError::InvalidWeight { weight });
+        }
+        let id = self.edges.len();
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push(Edge { u: a, v: b, weight });
+        self.adjacency[a].push((b, id));
+        self.adjacency[b].push((a, id));
+        Ok(id)
+    }
+
+    /// Appends `count` isolated nodes and returns the id of the first new node.
+    pub fn add_nodes(&mut self, count: usize) -> NodeId {
+        let first = self.node_count;
+        self.node_count += count;
+        self.adjacency.resize(self.node_count, Vec::new());
+        first
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id]
+    }
+
+    /// Iterates over all edges in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
+        self.edges.iter().copied().enumerate()
+    }
+
+    /// Iterates over the `(neighbor, edge_id)` pairs incident to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        self.adjacency[node].iter().copied()
+    }
+
+    /// Number of incident edges of `node` (parallel edges counted separately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node].len()
+    }
+
+    /// Sum of the weights of the edges incident to `node` (the weighted degree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn weighted_degree(&self, node: NodeId) -> f64 {
+        self.adjacency[node]
+            .iter()
+            .map(|&(_, e)| self.edges[e].weight)
+            .sum()
+    }
+
+    /// Total edge weight of the graph.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Returns a copy of the graph with parallel edges merged (weights summed).
+    pub fn coalesced(&self) -> Graph {
+        use std::collections::HashMap;
+        let mut combined: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+        for e in &self.edges {
+            *combined.entry((e.u, e.v)).or_insert(0.0) += e.weight;
+        }
+        let mut pairs: Vec<((NodeId, NodeId), f64)> = combined.into_iter().collect();
+        pairs.sort_unstable_by_key(|&((u, v), _)| (u, v));
+        let mut g = Graph::with_capacity(self.node_count, pairs.len());
+        for ((u, v), w) in pairs {
+            g.add_edge(u, v, w).expect("edges come from a valid graph");
+        }
+        g
+    }
+
+    /// Builds the subgraph induced by `nodes`, renumbering them to
+    /// `0..nodes.len()` in the given order. Returns the subgraph together
+    /// with the mapping from new node ids to original node ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if any listed node does not
+    /// exist, or [`GraphError::InvalidParameter`] if a node is repeated.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> Result<(Graph, Vec<NodeId>), GraphError> {
+        let mut map = vec![usize::MAX; self.node_count];
+        for (new, &old) in nodes.iter().enumerate() {
+            if old >= self.node_count {
+                return Err(GraphError::NodeOutOfBounds {
+                    node: old,
+                    node_count: self.node_count,
+                });
+            }
+            if map[old] != usize::MAX {
+                return Err(GraphError::InvalidParameter {
+                    name: "nodes",
+                    message: format!("node {old} listed twice"),
+                });
+            }
+            map[old] = new;
+        }
+        let mut g = Graph::new(nodes.len());
+        for e in &self.edges {
+            let nu = map[e.u];
+            let nv = map[e.v];
+            if nu != usize::MAX && nv != usize::MAX {
+                g.add_edge(nu, nv, e.weight)?;
+            }
+        }
+        Ok((g, nodes.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edges_and_query() {
+        let mut g = Graph::new(4);
+        let e0 = g.add_edge(0, 1, 1.0).expect("valid");
+        let e1 = g.add_edge(2, 1, 2.0).expect("valid");
+        assert_eq!(e0, 0);
+        assert_eq!(e1, 1);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.weighted_degree(1), 3.0);
+        assert_eq!(g.total_weight(), 3.0);
+        // Edge endpoints are normalized to (min, max).
+        assert_eq!(g.edge(1).u, 1);
+        assert_eq!(g.edge(1).v, 2);
+        assert_eq!(g.edge(1).other(1), 2);
+    }
+
+    #[test]
+    fn invalid_edges_rejected() {
+        let mut g = Graph::new(2);
+        assert!(matches!(
+            g.add_edge(0, 2, 1.0),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+        assert!(matches!(g.add_edge(0, 0, 1.0), Err(GraphError::SelfLoop { .. })));
+        assert!(matches!(
+            g.add_edge(0, 1, 0.0),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(0, 1, f64::NAN),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn coalesced_merges_parallel_edges() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0).expect("valid");
+        g.add_edge(1, 0, 2.0).expect("valid");
+        g.add_edge(1, 2, 1.0).expect("valid");
+        let c = g.coalesced();
+        assert_eq!(c.edge_count(), 2);
+        assert_eq!(c.weighted_degree(0), 3.0);
+        assert_eq!(c.total_weight(), 4.0);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 1.0).expect("valid");
+        g.add_edge(1, 2, 1.0).expect("valid");
+        g.add_edge(3, 4, 1.0).expect("valid");
+        let (sub, mapping) = g.induced_subgraph(&[1, 2, 3]).expect("valid nodes");
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(mapping, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn induced_subgraph_rejects_duplicates() {
+        let g = Graph::new(3);
+        assert!(g.induced_subgraph(&[0, 0]).is_err());
+        assert!(g.induced_subgraph(&[7]).is_err());
+    }
+
+    #[test]
+    fn add_nodes_extends_graph() {
+        let mut g = Graph::new(1);
+        let first = g.add_nodes(2);
+        assert_eq!(first, 1);
+        assert_eq!(g.node_count(), 3);
+        g.add_edge(0, 2, 1.0).expect("valid");
+    }
+
+    #[test]
+    fn from_edges_builds_graph() {
+        let g = Graph::from_edges(3, vec![(0, 1, 1.0), (1, 2, 0.5)]).expect("valid");
+        assert_eq!(g.edge_count(), 2);
+        assert!(Graph::from_edges(2, vec![(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        let e = Edge {
+            u: 0,
+            v: 1,
+            weight: 1.0,
+        };
+        let _ = e.other(5);
+    }
+}

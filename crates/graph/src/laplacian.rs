@@ -1,0 +1,171 @@
+//! Laplacian and incidence matrices of weighted graphs.
+//!
+//! The effective resistance of a node pair `(p, q)` is
+//! `R(p, q) = (e_p - e_q)^T L⁺ (e_p - e_q)` where `L = Bᵀ W B` is the graph
+//! Laplacian (Section II-A of the paper). The Laplacian is singular, so the
+//! paper grounds it by adding a small conductance from one node of every
+//! connected component to an implicit ground node; [`grounded_laplacian`]
+//! reproduces exactly that construction.
+
+use crate::components::connected_components;
+use crate::graph::Graph;
+use effres_sparse::{CscMatrix, CsrMatrix, TripletMatrix};
+
+/// Builds the (singular) graph Laplacian `L = Bᵀ W B`.
+pub fn laplacian(graph: &Graph) -> CscMatrix {
+    let n = graph.node_count();
+    let mut t = TripletMatrix::with_capacity(n, n, 4 * graph.edge_count() + n);
+    for (_, e) in graph.edges() {
+        t.add_laplacian_edge(e.u, e.v, e.weight);
+    }
+    t.to_csc()
+}
+
+/// Builds the grounded Laplacian: the Laplacian plus a small conductance
+/// `ground_conductance` added to the diagonal entry of one representative
+/// node per connected component. The result is symmetric positive definite
+/// (an SDD M-matrix), matching the matrix the paper factorizes.
+///
+/// # Panics
+///
+/// Panics if `ground_conductance` is not positive and finite.
+pub fn grounded_laplacian(graph: &Graph, ground_conductance: f64) -> CscMatrix {
+    assert!(
+        ground_conductance > 0.0 && ground_conductance.is_finite(),
+        "ground conductance must be positive and finite"
+    );
+    let n = graph.node_count();
+    let mut t = TripletMatrix::with_capacity(n, n, 4 * graph.edge_count() + n);
+    for (_, e) in graph.edges() {
+        t.add_laplacian_edge(e.u, e.v, e.weight);
+    }
+    let comps = connected_components(graph);
+    for &representative in comps.representatives() {
+        t.push(representative, representative, ground_conductance);
+    }
+    t.to_csc()
+}
+
+/// Builds the signed incidence matrix `B` (rows are edges, columns are nodes):
+/// `B[e][u] = 1` and `B[e][v] = -1` for edge `e = (u, v)` with `u < v`.
+pub fn incidence_matrix(graph: &Graph) -> CsrMatrix {
+    let m = graph.edge_count();
+    let n = graph.node_count();
+    let mut t = TripletMatrix::with_capacity(m, n, 2 * m);
+    for (id, e) in graph.edges() {
+        t.push(id, e.u, 1.0);
+        t.push(id, e.v, -1.0);
+    }
+    t.to_csr()
+}
+
+/// Edge weights as a vector indexed by edge id (the diagonal of `W`).
+pub fn edge_weights(graph: &Graph) -> Vec<f64> {
+    graph.edges().map(|(_, e)| e.weight).collect()
+}
+
+/// Verifies the factorization identity `L = Bᵀ W B` up to `tol`
+/// (mainly used in tests and examples).
+pub fn laplacian_identity_error(graph: &Graph) -> f64 {
+    let l = laplacian(graph);
+    let b = incidence_matrix(graph).to_csc();
+    let w = edge_weights(graph);
+    // Compute Bᵀ W B by scaling the rows of B.
+    let mut scaled = b.clone();
+    // Scale entry-by-entry: each entry of column j belongs to a row (edge) e.
+    let rowidx = scaled.rowidx().to_vec();
+    for (pos, value) in scaled.values_mut().iter_mut().enumerate() {
+        *value *= w[rowidx[pos]];
+    }
+    let btwb = b
+        .transpose()
+        .matmul(&scaled)
+        .expect("shapes are compatible");
+    let diff = btwb
+        .add_scaled(1.0, &l, -1.0)
+        .expect("same shape");
+    diff.values().iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).expect("valid")
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let l = laplacian(&triangle());
+        let ones = vec![1.0; 3];
+        for v in l.matvec(&ones) {
+            assert!(v.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn laplacian_diagonal_is_weighted_degree() {
+        let g = triangle();
+        let l = laplacian(&g);
+        for i in 0..3 {
+            assert!((l.get(i, i) - g.weighted_degree(i)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn grounded_laplacian_is_positive_definite() {
+        let g = triangle();
+        let l = grounded_laplacian(&g, 1e-3);
+        assert!(effres_sparse::cholesky::CholeskyFactor::factor(&l).is_ok());
+    }
+
+    #[test]
+    fn grounded_laplacian_grounds_every_component() {
+        // Two disconnected edges -> two components -> two grounded diagonals.
+        let g = Graph::from_edges(4, vec![(0, 1, 1.0), (2, 3, 1.0)]).expect("valid");
+        let lap = laplacian(&g);
+        let grounded = grounded_laplacian(&g, 0.5);
+        let mut boosted = 0;
+        for i in 0..4 {
+            if (grounded.get(i, i) - lap.get(i, i) - 0.5).abs() < 1e-14 {
+                boosted += 1;
+            }
+        }
+        assert_eq!(boosted, 2);
+        assert!(effres_sparse::cholesky::CholeskyFactor::factor(&grounded).is_ok());
+    }
+
+    #[test]
+    fn incidence_identity_holds() {
+        assert!(laplacian_identity_error(&triangle()) < 1e-14);
+        let g = Graph::from_edges(
+            6,
+            vec![
+                (0, 1, 1.0),
+                (1, 2, 0.5),
+                (2, 3, 2.0),
+                (3, 4, 1.5),
+                (4, 5, 1.0),
+                (0, 5, 0.25),
+            ],
+        )
+        .expect("valid");
+        assert!(laplacian_identity_error(&g) < 1e-14);
+    }
+
+    #[test]
+    fn incidence_matrix_shape() {
+        let b = incidence_matrix(&triangle());
+        assert_eq!(b.nrows(), 3);
+        assert_eq!(b.ncols(), 3);
+        assert_eq!(b.nnz(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn grounded_laplacian_rejects_zero_conductance() {
+        let _ = grounded_laplacian(&triangle(), 0.0);
+    }
+}

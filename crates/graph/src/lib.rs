@@ -1,0 +1,44 @@
+//! Weighted graph substrate for the `effres` workspace.
+//!
+//! The crate provides everything the effective-resistance algorithms and the
+//! power-grid reduction flow need from a graph library:
+//!
+//! * a weighted undirected multigraph type ([`Graph`]) with adjacency queries;
+//! * Laplacian and incidence matrix construction ([`laplacian`]);
+//! * connected components and traversals ([`components`], [`traversal`]);
+//! * synthetic graph generators covering the regimes of the paper's
+//!   evaluation suite — regular meshes, power-grid-like meshes,
+//!   finite-element-like 3-D meshes, preferential-attachment and small-world
+//!   graphs ([`generators`]);
+//! * a multilevel edge-cut partitioner standing in for METIS ([`partition`]);
+//! * spanning trees ([`spanning`]).
+//!
+//! # Example
+//!
+//! ```
+//! use effres_graph::{Graph, laplacian::grounded_laplacian};
+//!
+//! # fn main() -> Result<(), effres_graph::GraphError> {
+//! let mut g = Graph::new(3);
+//! g.add_edge(0, 1, 1.0)?;
+//! g.add_edge(1, 2, 2.0)?;
+//! let lap = grounded_laplacian(&g, 1e-6);
+//! assert_eq!(lap.nrows(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod components;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod laplacian;
+pub mod partition;
+pub mod spanning;
+pub mod traversal;
+
+pub use error::GraphError;
+pub use graph::{Edge, EdgeId, Graph, NodeId};

@@ -1,0 +1,507 @@
+//! Multilevel graph partitioning.
+//!
+//! The power-grid reduction flow (Alg. 1 of the paper) starts by partitioning
+//! the grid into blocks; the authors use METIS. This module provides a
+//! self-contained multilevel recursive-bisection partitioner in the same
+//! spirit: heavy-edge-matching coarsening, BFS region-growing initial
+//! bisection on the coarsest graph, and greedy Fiduccia–Mattheyses-style
+//! boundary refinement during uncoarsening. It optimizes edge cut under a
+//! node-balance constraint, which is all the reduction flow needs.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Size (in nodes) below which a graph is bisected directly instead of being
+/// coarsened further.
+const COARSEN_LIMIT: usize = 64;
+
+/// Allowed imbalance: a side may hold at most `BALANCE_TOLERANCE` times half
+/// of the total node weight.
+const BALANCE_TOLERANCE: f64 = 1.10;
+
+/// A k-way node partition of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    labels: Vec<usize>,
+    parts: usize,
+}
+
+impl Partition {
+    /// Builds a partition from explicit labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] if a label is `>= parts`.
+    pub fn from_labels(labels: Vec<usize>, parts: usize) -> Result<Self, GraphError> {
+        if let Some(&bad) = labels.iter().find(|&&l| l >= parts) {
+            return Err(GraphError::InvalidParameter {
+                name: "labels",
+                message: format!("label {bad} out of range for {parts} parts"),
+            });
+        }
+        Ok(Partition { labels, parts })
+    }
+
+    /// Part label of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn part_of(&self, node: NodeId) -> usize {
+        self.labels[node]
+    }
+
+    /// Number of parts.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// All labels, indexed by node.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Nodes assigned to `part`.
+    pub fn members(&self, part: usize) -> Vec<NodeId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == part)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of nodes in each part.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.parts];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Total weight of edges whose endpoints lie in different parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has a different number of nodes.
+    pub fn edge_cut(&self, graph: &Graph) -> f64 {
+        assert_eq!(graph.node_count(), self.labels.len(), "node count mismatch");
+        graph
+            .edges()
+            .filter(|(_, e)| self.labels[e.u] != self.labels[e.v])
+            .map(|(_, e)| e.weight)
+            .sum()
+    }
+
+    /// Ratio of the largest part size to the ideal size `n / parts`.
+    pub fn imbalance(&self) -> f64 {
+        let sizes = self.part_sizes();
+        let max = sizes.iter().copied().max().unwrap_or(0) as f64;
+        let ideal = self.labels.len() as f64 / self.parts as f64;
+        if ideal == 0.0 {
+            1.0
+        } else {
+            max / ideal
+        }
+    }
+}
+
+/// Partitions a graph into `parts` blocks with multilevel recursive bisection.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `parts == 0` or
+/// `parts > graph.node_count()` for a nonempty graph.
+pub fn partition_graph(graph: &Graph, parts: usize, seed: u64) -> Result<Partition, GraphError> {
+    if parts == 0 {
+        return Err(GraphError::InvalidParameter {
+            name: "parts",
+            message: "must be positive".to_string(),
+        });
+    }
+    let n = graph.node_count();
+    if n > 0 && parts > n {
+        return Err(GraphError::InvalidParameter {
+            name: "parts",
+            message: format!("cannot split {n} nodes into {parts} parts"),
+        });
+    }
+    let mut labels = vec![0usize; n];
+    if parts == 1 || n == 0 {
+        return Partition::from_labels(labels, parts.max(1));
+    }
+    let all_nodes: Vec<NodeId> = (0..n).collect();
+    let weights = vec![1.0; n];
+    recursive_bisect(graph, &all_nodes, &weights, parts, 0, &mut labels, seed);
+    Partition::from_labels(labels, parts)
+}
+
+/// Recursively bisects the subgraph induced by `nodes` into `parts` parts,
+/// writing labels `first_label..first_label + parts` into `labels`.
+fn recursive_bisect(
+    graph: &Graph,
+    nodes: &[NodeId],
+    node_weights: &[f64],
+    parts: usize,
+    first_label: usize,
+    labels: &mut [usize],
+    seed: u64,
+) {
+    if parts == 1 {
+        for &v in nodes {
+            labels[v] = first_label;
+        }
+        return;
+    }
+    // Build the induced subgraph (local indices 0..nodes.len()).
+    let (sub, mapping) = graph
+        .induced_subgraph(nodes)
+        .expect("nodes come from the caller's valid set");
+    let local_weights: Vec<f64> = mapping.iter().map(|&old| node_weights[old]).collect();
+    let left_parts = parts / 2;
+    let right_parts = parts - left_parts;
+    let target_fraction = left_parts as f64 / parts as f64;
+    let side = multilevel_bisect(&sub, &local_weights, target_fraction, seed);
+    let mut left_nodes = Vec::new();
+    let mut right_nodes = Vec::new();
+    for (local, &global) in mapping.iter().enumerate() {
+        if side[local] {
+            right_nodes.push(global);
+        } else {
+            left_nodes.push(global);
+        }
+    }
+    // Degenerate splits can happen on tiny or disconnected graphs; fall back
+    // to an even split by index so recursion always terminates.
+    if left_nodes.is_empty() || right_nodes.is_empty() {
+        let mut sorted = nodes.to_vec();
+        sorted.sort_unstable();
+        let cut = (sorted.len() * left_parts) / parts;
+        left_nodes = sorted[..cut.max(1).min(sorted.len() - 1)].to_vec();
+        right_nodes = sorted[cut.max(1).min(sorted.len() - 1)..].to_vec();
+    }
+    recursive_bisect(graph, &left_nodes, node_weights, left_parts, first_label, labels, seed.wrapping_add(1));
+    recursive_bisect(
+        graph,
+        &right_nodes,
+        node_weights,
+        right_parts,
+        first_label + left_parts,
+        labels,
+        seed.wrapping_add(2),
+    );
+}
+
+/// Bisects a graph with the multilevel scheme; returns `side[v] == true` for
+/// nodes assigned to the second side. `target_fraction` is the desired weight
+/// fraction of the *first* side.
+fn multilevel_bisect(graph: &Graph, node_weights: &[f64], target_fraction: f64, seed: u64) -> Vec<bool> {
+    let n = graph.node_count();
+    if n <= COARSEN_LIMIT {
+        let mut side = initial_bisection(graph, node_weights, target_fraction, seed);
+        refine(graph, node_weights, &mut side, target_fraction, 8);
+        return side;
+    }
+    // Coarsen.
+    let (coarse, coarse_weights, fine_to_coarse) = coarsen(graph, node_weights, seed);
+    // Stop coarsening if it is no longer making progress.
+    let side_coarse = if coarse.node_count() as f64 > 0.95 * n as f64 {
+        let mut side = initial_bisection(graph, node_weights, target_fraction, seed);
+        refine(graph, node_weights, &mut side, target_fraction, 8);
+        return side;
+    } else {
+        multilevel_bisect(&coarse, &coarse_weights, target_fraction, seed.wrapping_add(17))
+    };
+    // Project and refine.
+    let mut side: Vec<bool> = (0..n).map(|v| side_coarse[fine_to_coarse[v]]).collect();
+    refine(graph, node_weights, &mut side, target_fraction, 4);
+    side
+}
+
+/// Heavy-edge-matching coarsening. Returns the coarse graph, its node
+/// weights, and the fine-to-coarse node map.
+fn coarsen(graph: &Graph, node_weights: &[f64], seed: u64) -> (Graph, Vec<f64>, Vec<usize>) {
+    let n = graph.node_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut visit_order: Vec<NodeId> = (0..n).collect();
+    visit_order.shuffle(&mut rng);
+    let mut matched = vec![usize::MAX; n];
+    let mut coarse_count = 0usize;
+    for &v in &visit_order {
+        if matched[v] != usize::MAX {
+            continue;
+        }
+        // Find the heaviest unmatched neighbour.
+        let mut best: Option<(f64, NodeId)> = None;
+        for (u, e) in graph.neighbors(v) {
+            if matched[u] == usize::MAX && u != v {
+                let w = graph.edge(e).weight;
+                if best.map_or(true, |(bw, _)| w > bw) {
+                    best = Some((w, u));
+                }
+            }
+        }
+        match best {
+            Some((_, u)) => {
+                matched[v] = coarse_count;
+                matched[u] = coarse_count;
+            }
+            None => {
+                matched[v] = coarse_count;
+            }
+        }
+        coarse_count += 1;
+    }
+    let mut coarse_weights = vec![0.0; coarse_count];
+    for v in 0..n {
+        coarse_weights[matched[v]] += node_weights[v];
+    }
+    // Build the coarse graph, merging parallel edges.
+    let mut coarse = Graph::with_capacity(coarse_count, graph.edge_count());
+    for (_, e) in graph.edges() {
+        let cu = matched[e.u];
+        let cv = matched[e.v];
+        if cu != cv {
+            coarse
+                .add_edge(cu, cv, e.weight)
+                .expect("coarse indices are in range");
+        }
+    }
+    (coarse.coalesced(), coarse_weights, matched)
+}
+
+/// BFS region-growing initial bisection: grow side 0 from a pseudo-peripheral
+/// seed until it holds `target_fraction` of the total node weight.
+fn initial_bisection(
+    graph: &Graph,
+    node_weights: &[f64],
+    target_fraction: f64,
+    seed: u64,
+) -> Vec<bool> {
+    let n = graph.node_count();
+    let total: f64 = node_weights.iter().sum();
+    let target = total * target_fraction;
+    let mut side = vec![true; n];
+    if n == 0 {
+        return side;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = *(0..n).collect::<Vec<_>>().choose(&mut rng).expect("nonempty");
+    let start = farthest_node(graph, start);
+    let mut grown = 0.0;
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    visited[start] = true;
+    queue.push_back(start);
+    let mut order: Vec<NodeId> = Vec::new();
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for (u, _) in graph.neighbors(v) {
+            if !visited[u] {
+                visited[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    // Include unreachable nodes at the end so disconnected graphs still split.
+    for v in 0..n {
+        if !visited[v] {
+            order.push(v);
+        }
+    }
+    for v in order {
+        if grown >= target {
+            break;
+        }
+        side[v] = false;
+        grown += node_weights[v];
+    }
+    side
+}
+
+/// Farthest node from `start` by BFS (a cheap pseudo-peripheral heuristic).
+fn farthest_node(graph: &Graph, start: NodeId) -> NodeId {
+    let n = graph.node_count();
+    let mut dist = vec![usize::MAX; n];
+    dist[start] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    let mut far = start;
+    while let Some(v) = queue.pop_front() {
+        for (u, _) in graph.neighbors(v) {
+            if dist[u] == usize::MAX {
+                dist[u] = dist[v] + 1;
+                if dist[u] > dist[far] {
+                    far = u;
+                }
+                queue.push_back(u);
+            }
+        }
+    }
+    far
+}
+
+/// Greedy boundary refinement: repeatedly move the boundary node with the
+/// best cut-weight gain to the other side, as long as balance permits.
+fn refine(
+    graph: &Graph,
+    node_weights: &[f64],
+    side: &mut [bool],
+    target_fraction: f64,
+    max_passes: usize,
+) {
+    let n = graph.node_count();
+    let total: f64 = node_weights.iter().sum();
+    let target0 = total * target_fraction;
+    let target1 = total - target0;
+    let max0 = target0 * BALANCE_TOLERANCE + f64::EPSILON;
+    let max1 = target1 * BALANCE_TOLERANCE + f64::EPSILON;
+    let mut weight0: f64 = (0..n).filter(|&v| !side[v]).map(|v| node_weights[v]).sum();
+    let mut weight1 = total - weight0;
+
+    for _ in 0..max_passes {
+        let mut improved = false;
+        for v in 0..n {
+            // Gain of moving v to the other side.
+            let mut same = 0.0;
+            let mut other = 0.0;
+            for (u, e) in graph.neighbors(v) {
+                let w = graph.edge(e).weight;
+                if side[u] == side[v] {
+                    same += w;
+                } else {
+                    other += w;
+                }
+            }
+            let gain = other - same;
+            if gain <= 0.0 {
+                continue;
+            }
+            // Check balance after the move.
+            let (new0, new1) = if side[v] {
+                (weight0 + node_weights[v], weight1 - node_weights[v])
+            } else {
+                (weight0 - node_weights[v], weight1 + node_weights[v])
+            };
+            if new0 > max0 || new1 > max1 || new0 < 0.0 || new1 < 0.0 {
+                continue;
+            }
+            side[v] = !side[v];
+            weight0 = new0;
+            weight1 = new1;
+            improved = true;
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn partition_grid_into_four_balanced_parts() {
+        let g = generators::grid_2d(16, 16, 1.0, 1.0, 0).expect("valid");
+        let p = partition_graph(&g, 4, 0).expect("valid");
+        assert_eq!(p.parts(), 4);
+        assert_eq!(p.labels().len(), 256);
+        assert!(p.imbalance() < 1.3, "imbalance {} too high", p.imbalance());
+        let sizes = p.part_sizes();
+        assert!(sizes.iter().all(|&s| s > 0), "empty part: {sizes:?}");
+        // The edge cut should be far below the total edge weight.
+        assert!(p.edge_cut(&g) < 0.3 * g.total_weight());
+    }
+
+    #[test]
+    fn partition_into_one_part_is_trivial() {
+        let g = generators::grid_2d(4, 4, 1.0, 1.0, 0).expect("valid");
+        let p = partition_graph(&g, 1, 0).expect("valid");
+        assert_eq!(p.edge_cut(&g), 0.0);
+        assert!(p.labels().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn grid_bisection_cut_is_near_optimal() {
+        // A 8x8 unit grid has an optimal bisection cut of 8; the multilevel
+        // partitioner should get within a factor of ~2.
+        let g = generators::grid_2d(8, 8, 1.0, 1.0, 3).expect("valid");
+        let p = partition_graph(&g, 2, 3).expect("valid");
+        assert!(p.edge_cut(&g) <= 16.0, "cut {} too large", p.edge_cut(&g));
+        assert!(p.imbalance() <= 1.25);
+    }
+
+    #[test]
+    fn partition_handles_disconnected_graphs() {
+        let g = Graph::from_edges(6, vec![(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0)]).expect("valid");
+        let p = partition_graph(&g, 3, 1).expect("valid");
+        assert_eq!(p.parts(), 3);
+        assert!(p.part_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn partition_social_graph() {
+        let g = generators::preferential_attachment(400, 3, 1.0, 1.0, 11).expect("valid");
+        let p = partition_graph(&g, 8, 11).expect("valid");
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 400);
+        assert!(p.part_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let g = Graph::new(3);
+        assert!(partition_graph(&g, 0, 0).is_err());
+        assert!(partition_graph(&g, 5, 0).is_err());
+        assert!(Partition::from_labels(vec![0, 3], 2).is_err());
+    }
+
+    #[test]
+    fn members_and_part_of_agree() {
+        let g = generators::grid_2d(6, 6, 1.0, 1.0, 2).expect("valid");
+        let p = partition_graph(&g, 3, 2).expect("valid");
+        for part in 0..3 {
+            for v in p.members(part) {
+                assert_eq!(p.part_of(v), part);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_partitions() {
+        let g = Graph::new(0);
+        let p = partition_graph(&g, 1, 0).expect("valid");
+        assert_eq!(p.labels().len(), 0);
+    }
+
+    #[test]
+    fn partition_is_deterministic_for_a_fixed_seed() {
+        let g = generators::grid_2d(10, 10, 1.0, 1.0, 4).expect("valid");
+        let a = partition_graph(&g, 4, 9).expect("valid");
+        let b = partition_graph(&g, 4, 9).expect("valid");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_labels_round_trips_accessors() {
+        let p = Partition::from_labels(vec![1, 0, 1, 2], 3).expect("valid");
+        assert_eq!(p.parts(), 3);
+        assert_eq!(p.part_of(0), 1);
+        assert_eq!(p.members(1), vec![0, 2]);
+        assert_eq!(p.part_sizes(), vec![1, 2, 1]);
+        // Imbalance of a 4-node, 3-part split: largest part 2 vs ideal 4/3.
+        assert!((p.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_cut_counts_only_cross_part_weight() {
+        let g = Graph::from_edges(4, vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 4.0)]).expect("valid");
+        let p = Partition::from_labels(vec![0, 0, 1, 1], 2).expect("valid");
+        assert_eq!(p.edge_cut(&g), 2.0);
+    }
+}

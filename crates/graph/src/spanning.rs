@@ -1,0 +1,264 @@
+//! Spanning trees.
+//!
+//! Spanning trees serve two purposes in this workspace: they provide exact
+//! closed-form effective resistances for validation (on a tree, the effective
+//! resistance between two nodes is the sum of edge resistances along the
+//! unique path), and low-stretch-ish trees seed the sparsifier used in the
+//! power-grid reduction flow.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::collections::VecDeque;
+
+/// A spanning forest represented by its edge ids and parent pointers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningForest {
+    /// Edge ids of the tree edges.
+    edges: Vec<EdgeId>,
+    /// Parent of every node in its BFS/greedy tree (`usize::MAX` for roots).
+    parent: Vec<NodeId>,
+}
+
+impl SpanningForest {
+    /// Edge ids of the forest.
+    pub fn edge_ids(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Parent array (roots have `usize::MAX`).
+    pub fn parent(&self) -> &[NodeId] {
+        &self.parent
+    }
+
+    /// Number of tree edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the forest has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether an edge id is part of the forest.
+    pub fn contains_edge(&self, edge: EdgeId) -> bool {
+        self.edges.contains(&edge)
+    }
+}
+
+/// Builds a breadth-first spanning forest (one BFS tree per component).
+pub fn bfs_spanning_forest(graph: &Graph) -> SpanningForest {
+    let n = graph.node_count();
+    let mut parent = vec![usize::MAX; n];
+    let mut visited = vec![false; n];
+    let mut edges = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for (u, e) in graph.neighbors(v) {
+                if !visited[u] {
+                    visited[u] = true;
+                    parent[u] = v;
+                    edges.push(e);
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    SpanningForest { edges, parent }
+}
+
+/// Builds a maximum-weight spanning forest with Kruskal's algorithm (heaviest
+/// conductances first). Heavy edges carry most of the current, so this is the
+/// natural "backbone" tree for sparsification.
+pub fn maximum_weight_spanning_forest(graph: &Graph) -> SpanningForest {
+    let n = graph.node_count();
+    let mut order: Vec<EdgeId> = (0..graph.edge_count()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        graph
+            .edge(b)
+            .weight
+            .partial_cmp(&graph.edge(a).weight)
+            .expect("edge weights are finite")
+    });
+    let mut uf = UnionFind::new(n);
+    let mut edges = Vec::new();
+    let mut parent = vec![usize::MAX; n];
+    for e in order {
+        let edge = graph.edge(e);
+        if uf.union(edge.u, edge.v) {
+            edges.push(e);
+            // Parent pointers are only meaningful per BFS tree; record a
+            // simple orientation for inspection.
+            if parent[edge.v] == usize::MAX && edge.v != edge.u {
+                parent[edge.v] = edge.u;
+            } else {
+                parent[edge.u] = edge.v;
+            }
+        }
+    }
+    SpanningForest { edges, parent }
+}
+
+/// Union-find with path compression and union by size.
+#[derive(Debug, Clone)]
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Unites the sets of `a` and `b`; returns `true` if they were distinct.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+}
+
+/// Effective resistance between `p` and `q` along the unique tree path of a
+/// spanning tree (sum of `1 / weight` over path edges); `None` if `p` and `q`
+/// are in different trees of the forest.
+///
+/// # Panics
+///
+/// Panics if `p` or `q` is out of bounds.
+pub fn tree_path_resistance(
+    graph: &Graph,
+    forest: &SpanningForest,
+    p: NodeId,
+    q: NodeId,
+) -> Option<f64> {
+    assert!(p < graph.node_count() && q < graph.node_count(), "node out of bounds");
+    if p == q {
+        return Some(0.0);
+    }
+    // Build the forest adjacency.
+    let n = graph.node_count();
+    let mut adj: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
+    for &e in forest.edge_ids() {
+        let edge = graph.edge(e);
+        adj[edge.u].push((edge.v, 1.0 / edge.weight));
+        adj[edge.v].push((edge.u, 1.0 / edge.weight));
+    }
+    // BFS from p accumulating path resistance.
+    let mut dist = vec![f64::INFINITY; n];
+    dist[p] = 0.0;
+    let mut queue = VecDeque::new();
+    queue.push_back(p);
+    while let Some(v) = queue.pop_front() {
+        if v == q {
+            return Some(dist[q]);
+        }
+        for &(u, r) in &adj[v] {
+            if dist[u].is_infinite() {
+                dist[u] = dist[v] + r;
+                queue.push_back(u);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn grid(rows: usize, cols: usize) -> Graph {
+        let idx = |r: usize, c: usize| r * cols + c;
+        let mut g = Graph::new(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    g.add_edge(idx(r, c), idx(r, c + 1), 1.0).expect("valid");
+                }
+                if r + 1 < rows {
+                    g.add_edge(idx(r, c), idx(r + 1, c), 1.0).expect("valid");
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_forest_has_n_minus_components_edges() {
+        let g = grid(3, 4);
+        let f = bfs_spanning_forest(&g);
+        assert_eq!(f.len(), 11);
+        let disconnected = Graph::from_edges(4, vec![(0, 1, 1.0), (2, 3, 1.0)]).expect("valid");
+        assert_eq!(bfs_spanning_forest(&disconnected).len(), 2);
+    }
+
+    #[test]
+    fn maximum_weight_forest_prefers_heavy_edges() {
+        let g = Graph::from_edges(3, vec![(0, 1, 1.0), (1, 2, 10.0), (0, 2, 5.0)]).expect("valid");
+        let f = maximum_weight_spanning_forest(&g);
+        assert_eq!(f.len(), 2);
+        assert!(f.contains_edge(1), "heaviest edge must be kept");
+        assert!(f.contains_edge(2));
+        assert!(!f.contains_edge(0));
+    }
+
+    #[test]
+    fn tree_path_resistance_sums_reciprocal_weights() {
+        let g = Graph::from_edges(4, vec![(0, 1, 2.0), (1, 2, 4.0), (2, 3, 1.0)]).expect("valid");
+        let f = bfs_spanning_forest(&g);
+        let r = tree_path_resistance(&g, &f, 0, 3).expect("connected");
+        assert!((r - (0.5 + 0.25 + 1.0)).abs() < 1e-14);
+        assert_eq!(tree_path_resistance(&g, &f, 2, 2), Some(0.0));
+    }
+
+    #[test]
+    fn tree_path_resistance_none_across_components() {
+        let g = Graph::from_edges(4, vec![(0, 1, 1.0), (2, 3, 1.0)]).expect("valid");
+        let f = bfs_spanning_forest(&g);
+        assert_eq!(tree_path_resistance(&g, &f, 0, 3), None);
+    }
+
+    #[test]
+    fn forest_is_acyclic_spanning_structure() {
+        let g = grid(4, 4);
+        let f = maximum_weight_spanning_forest(&g);
+        assert_eq!(f.len(), 15);
+        // All nodes reachable through forest edges from node 0.
+        let sub = Graph::from_edges(
+            16,
+            f.edge_ids().iter().map(|&e| {
+                let edge = g.edge(e);
+                (edge.u, edge.v, edge.weight)
+            }),
+        )
+        .expect("valid");
+        assert!(crate::components::is_connected(&sub));
+    }
+}

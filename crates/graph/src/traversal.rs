@@ -1,0 +1,182 @@
+//! Breadth-first and depth-first traversals.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Breadth-first search distances (in hops) from `start`.
+///
+/// Unreachable nodes get `usize::MAX`.
+///
+/// # Panics
+///
+/// Panics if `start` is out of bounds.
+pub fn bfs_distances(graph: &Graph, start: NodeId) -> Vec<usize> {
+    assert!(start < graph.node_count(), "start node out of bounds");
+    let mut dist = vec![usize::MAX; graph.node_count()];
+    dist[start] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        for (u, _) in graph.neighbors(v) {
+            if dist[u] == usize::MAX {
+                dist[u] = dist[v] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Order in which nodes are visited by a breadth-first search from `start`
+/// (only nodes reachable from `start` appear).
+///
+/// # Panics
+///
+/// Panics if `start` is out of bounds.
+pub fn bfs_order(graph: &Graph, start: NodeId) -> Vec<NodeId> {
+    assert!(start < graph.node_count(), "start node out of bounds");
+    let mut visited = vec![false; graph.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[start] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for (u, _) in graph.neighbors(v) {
+            if !visited[u] {
+                visited[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// Order in which nodes are first visited by an iterative depth-first search
+/// from `start` (only reachable nodes appear).
+///
+/// # Panics
+///
+/// Panics if `start` is out of bounds.
+pub fn dfs_order(graph: &Graph, start: NodeId) -> Vec<NodeId> {
+    assert!(start < graph.node_count(), "start node out of bounds");
+    let mut visited = vec![false; graph.node_count()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(v) = stack.pop() {
+        if visited[v] {
+            continue;
+        }
+        visited[v] = true;
+        order.push(v);
+        // Push neighbours in reverse so lower-numbered nodes are visited first.
+        let mut nbrs: Vec<NodeId> = graph.neighbors(v).map(|(u, _)| u).collect();
+        nbrs.sort_unstable_by(|a, b| b.cmp(a));
+        for u in nbrs {
+            if !visited[u] {
+                stack.push(u);
+            }
+        }
+    }
+    order
+}
+
+/// Weighted shortest-path distances from `start` where each edge's length is
+/// the *resistance* `1 / weight` (Dijkstra). Used to sanity-check effective
+/// resistances: on a tree the effective resistance equals this distance.
+///
+/// # Panics
+///
+/// Panics if `start` is out of bounds.
+pub fn resistance_distances(graph: &Graph, start: NodeId) -> Vec<f64> {
+    assert!(start < graph.node_count(), "start node out of bounds");
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[start] = 0.0;
+    // Binary heap of (distance, node) with reversed ordering.
+    use std::cmp::Ordering;
+    #[derive(PartialEq)]
+    struct Item(f64, NodeId);
+    impl Eq for Item {}
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .0
+                .partial_cmp(&self.0)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| other.1.cmp(&self.1))
+        }
+    }
+    let mut heap = std::collections::BinaryHeap::new();
+    heap.push(Item(0.0, start));
+    while let Some(Item(d, v)) = heap.pop() {
+        if d > dist[v] {
+            continue;
+        }
+        for (u, e) in graph.neighbors(v) {
+            let length = 1.0 / graph.edge(e).weight;
+            let nd = d + length;
+            if nd < dist[u] {
+                dist[u] = nd;
+                heap.push(Item(nd, u));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1, 1.0))).expect("valid")
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_distance_unreachable_is_max() {
+        let g = Graph::from_edges(3, vec![(0, 1, 1.0)]).expect("valid");
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn bfs_and_dfs_orders_cover_reachable_nodes() {
+        let g = path(4);
+        assert_eq!(bfs_order(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(dfs_order(&g, 0), vec![0, 1, 2, 3]);
+        let star = Graph::from_edges(4, vec![(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)]).expect("valid");
+        assert_eq!(dfs_order(&star, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_order(&star, 0).len(), 4);
+    }
+
+    #[test]
+    fn resistance_distances_sum_on_path() {
+        let g = Graph::from_edges(3, vec![(0, 1, 2.0), (1, 2, 4.0)]).expect("valid");
+        let d = resistance_distances(&g, 0);
+        assert!((d[1] - 0.5).abs() < 1e-14);
+        assert!((d[2] - 0.75).abs() < 1e-14);
+    }
+
+    #[test]
+    fn resistance_distances_pick_lower_resistance_route() {
+        // Two routes from 0 to 2: direct edge with small conductance (high
+        // resistance) and a two-hop route with high conductance.
+        let g = Graph::from_edges(3, vec![(0, 2, 0.1), (0, 1, 10.0), (1, 2, 10.0)]).expect("valid");
+        let d = resistance_distances(&g, 0);
+        assert!((d[2] - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,471 @@
+//! Conductance-matrix stamping, DC analysis and transient analysis.
+//!
+//! The stamped system is the standard nodal-analysis conductance matrix of a
+//! resistive supply net with Norton-equivalent pads: it is symmetric
+//! positive definite as long as every connected component has a path to
+//! ground (through a pad or a ground resistor). Transient analysis uses
+//! backward Euler with a fixed time step, factoring `G + C/h` once and
+//! back-substituting for every step — exactly the protocol of the paper's
+//! Table II (1000 fixed-size time steps, one factorization).
+
+use crate::error::PowerGridError;
+use crate::netlist::{PowerGrid, Terminal};
+use effres_sparse::cholesky::CholeskyFactor;
+use effres_sparse::{amd, CscMatrix, Permutation, TripletMatrix};
+
+/// The stamped linear system `G v = b` of a power grid.
+#[derive(Debug, Clone)]
+pub struct StampedSystem {
+    /// Conductance matrix (symmetric positive definite).
+    pub matrix: CscMatrix,
+    /// Right-hand side: pad injections minus load currents.
+    pub rhs: Vec<f64>,
+    /// Node capacitances (diagonal of the capacitance matrix).
+    pub capacitance: Vec<f64>,
+}
+
+/// Builds the conductance matrix, right-hand side and capacitance vector.
+pub fn stamp(grid: &PowerGrid) -> StampedSystem {
+    let n = grid.node_count();
+    let mut t = TripletMatrix::with_capacity(n, n, 4 * grid.resistor_count() + grid.pads().len());
+    for r in grid.resistors() {
+        match (r.a, r.b) {
+            (Terminal::Node(i), Terminal::Node(j)) => t.add_laplacian_edge(i, j, r.conductance),
+            (Terminal::Node(i), Terminal::Ground) | (Terminal::Ground, Terminal::Node(i)) => {
+                t.push(i, i, r.conductance);
+            }
+            (Terminal::Ground, Terminal::Ground) => {}
+        }
+    }
+    let mut rhs = vec![0.0; n];
+    for pad in grid.pads() {
+        t.push(pad.node, pad.node, pad.conductance);
+        rhs[pad.node] += pad.conductance * pad.voltage;
+    }
+    for load in grid.loads() {
+        rhs[load.node] -= load.amps;
+    }
+    let mut capacitance = vec![0.0; n];
+    for c in grid.capacitors() {
+        capacitance[c.node] += c.farads;
+    }
+    StampedSystem {
+        matrix: t.to_csc(),
+        rhs,
+        capacitance,
+    }
+}
+
+/// A DC operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    voltages: Vec<f64>,
+}
+
+impl DcSolution {
+    /// Node voltages, indexed by node id.
+    pub fn voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// Voltage of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn voltage(&self, node: usize) -> f64 {
+        self.voltages[node]
+    }
+
+    /// Maximum voltage drop with respect to the given supply voltage.
+    pub fn max_drop(&self, supply: f64) -> f64 {
+        self.voltages
+            .iter()
+            .fold(0.0_f64, |m, &v| m.max(supply - v))
+    }
+}
+
+/// Solves the DC operating point of a power grid with a sparse Cholesky
+/// factorization (minimum-degree ordered).
+///
+/// # Errors
+///
+/// Returns [`PowerGridError::Sparse`] if the conductance matrix is singular
+/// (e.g. a floating subnet without any path to ground).
+pub fn dc_solve(grid: &PowerGrid) -> Result<DcSolution, PowerGridError> {
+    let system = stamp(grid);
+    let voltages = solve_spd(&system.matrix, &system.rhs)?;
+    Ok(DcSolution { voltages })
+}
+
+/// Factors an SPD matrix with minimum-degree ordering and solves one system.
+pub(crate) fn solve_spd(matrix: &CscMatrix, rhs: &[f64]) -> Result<Vec<f64>, PowerGridError> {
+    let factor = factor_spd(matrix)?;
+    Ok(factor.solve(rhs))
+}
+
+/// Factors an SPD matrix with minimum-degree ordering.
+pub(crate) fn factor_spd(matrix: &CscMatrix) -> Result<CholeskyFactor, PowerGridError> {
+    let perm = amd::amd(matrix).unwrap_or_else(|_| Permutation::identity(matrix.ncols()));
+    Ok(CholeskyFactor::factor_permuted(matrix, perm)?)
+}
+
+/// A recorded voltage waveform of a single node.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Waveform {
+    /// Sample times in seconds.
+    pub times: Vec<f64>,
+    /// Node voltage at each sample time.
+    pub values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Maximum absolute difference with another waveform sampled on the same
+    /// time grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the waveforms have different lengths.
+    pub fn max_abs_difference(&self, other: &Waveform) -> f64 {
+        assert_eq!(self.values.len(), other.values.len(), "length mismatch");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+}
+
+/// Options of the backward-Euler transient analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientOptions {
+    /// Fixed time step in seconds.
+    pub time_step: f64,
+    /// Number of time steps (the paper uses 1000).
+    pub steps: usize,
+    /// Nodes whose waveforms are recorded.
+    pub record_nodes: Vec<usize>,
+    /// Current-load scaling over time: the load of every current source is
+    /// multiplied by `waveform(t)`. The default is a 1 GHz-ish square pulse
+    /// train, giving the switching-activity look of Fig. 1.
+    pub load_scale: LoadScale,
+}
+
+/// Time profile applied to every current load during transient analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadScale {
+    /// Constant loads (DC currents held for the whole window).
+    Constant,
+    /// Square pulses of the given period and duty cycle (fraction of the
+    /// period during which the load is on).
+    Pulse {
+        /// Pulse period in seconds.
+        period: f64,
+        /// Fraction of the period with the load active (0, 1].
+        duty: f64,
+    },
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        TransientOptions {
+            time_step: 1e-11,
+            steps: 1000,
+            record_nodes: Vec::new(),
+            load_scale: LoadScale::Pulse {
+                period: 2e-9,
+                duty: 0.5,
+            },
+        }
+    }
+}
+
+/// Result of a transient analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientSolution {
+    /// Final node voltages.
+    pub final_voltages: Vec<f64>,
+    /// Per-node time-averaged voltages (used for the error columns of Table II).
+    pub average_voltages: Vec<f64>,
+    /// Recorded waveforms, in the order of `record_nodes`.
+    pub waveforms: Vec<Waveform>,
+}
+
+/// Runs a backward-Euler transient analysis: one factorization of
+/// `G + C / h`, then one back-substitution per step.
+///
+/// Nodes without capacitance are handled naturally (their row of `C` is
+/// zero). The initial condition is the DC operating point with all loads
+/// inactive (the supply network at its quiescent state).
+///
+/// # Errors
+///
+/// Returns [`PowerGridError::InvalidParameter`] for a nonpositive step count
+/// or time step, [`PowerGridError::NodeOutOfBounds`] for invalid recorded
+/// nodes and [`PowerGridError::Sparse`] if the system cannot be factored.
+pub fn transient_solve(
+    grid: &PowerGrid,
+    options: &TransientOptions,
+) -> Result<TransientSolution, PowerGridError> {
+    let system = stamp(grid);
+    transient_solve_stamped(&system, grid, options)
+}
+
+/// Transient analysis on an already-stamped system (used by the reduction
+/// flow, whose reduced models are matrices rather than netlists).
+///
+/// # Errors
+///
+/// See [`transient_solve`].
+pub fn transient_solve_stamped(
+    system: &StampedSystem,
+    grid: &PowerGrid,
+    options: &TransientOptions,
+) -> Result<TransientSolution, PowerGridError> {
+    let n = system.matrix.ncols();
+    if options.steps == 0 || !(options.time_step > 0.0) {
+        return Err(PowerGridError::InvalidParameter {
+            name: "transient options",
+            message: "steps and time_step must be positive".to_string(),
+        });
+    }
+    for &node in &options.record_nodes {
+        if node >= n {
+            return Err(PowerGridError::NodeOutOfBounds {
+                node,
+                node_count: n,
+            });
+        }
+    }
+    let h = options.time_step;
+    // System matrix G + C / h.
+    let mut c_over_h = TripletMatrix::new(n, n);
+    for (i, &c) in system.capacitance.iter().enumerate() {
+        if c > 0.0 {
+            c_over_h.push(i, i, c / h);
+        }
+    }
+    let lhs = system
+        .matrix
+        .add_scaled(1.0, &c_over_h.to_csc(), 1.0)?;
+    let factor = factor_spd(&lhs)?;
+
+    // Quiescent initial condition: loads off.
+    let mut quiescent_rhs = system.rhs.clone();
+    for load in grid.loads() {
+        quiescent_rhs[load.node] += load.amps;
+    }
+    let mut v = solve_spd(&system.matrix, &quiescent_rhs)?;
+
+    let mut waveforms: Vec<Waveform> = options
+        .record_nodes
+        .iter()
+        .map(|_| Waveform::default())
+        .collect();
+    let mut average = vec![0.0; n];
+
+    for step in 1..=options.steps {
+        let time = step as f64 * h;
+        let scale = match options.load_scale {
+            LoadScale::Constant => 1.0,
+            LoadScale::Pulse { period, duty } => {
+                let phase = (time / period).fract();
+                if phase < duty {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        };
+        // rhs(t) = pad injections − scaled loads + (C/h) v_prev.
+        let mut rhs = system.rhs.clone();
+        for load in grid.loads() {
+            // `system.rhs` already contains the full DC load; rescale it.
+            rhs[load.node] += load.amps * (1.0 - scale);
+        }
+        for (i, &c) in system.capacitance.iter().enumerate() {
+            if c > 0.0 {
+                rhs[i] += c / h * v[i];
+            }
+        }
+        v = factor.solve(&rhs);
+        for (i, &vi) in v.iter().enumerate() {
+            average[i] += vi;
+        }
+        for (w, &node) in waveforms.iter_mut().zip(&options.record_nodes) {
+            w.times.push(time);
+            w.values.push(v[node]);
+        }
+    }
+    for a in &mut average {
+        *a /= options.steps as f64;
+    }
+    Ok(TransientSolution {
+        final_voltages: v,
+        average_voltages: average,
+        waveforms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Terminal;
+
+    fn ladder(n: usize) -> PowerGrid {
+        // A resistor ladder from a 1 V pad at node 0 to a load at node n-1.
+        let mut g = PowerGrid::new(n);
+        for i in 0..n - 1 {
+            g.add_resistor(Terminal::Node(i), Terminal::Node(i + 1), 10.0)
+                .expect("ok");
+        }
+        g.add_pad(0, 1.0, 1000.0).expect("ok");
+        g.add_load(n - 1, 0.01).expect("ok");
+        g.add_capacitor(n - 1, 1e-12).expect("ok");
+        g
+    }
+
+    #[test]
+    fn dc_ladder_voltages_match_hand_calculation() {
+        // 0.01 A through 4 segments of 0.1 Ω each plus the pad resistance
+        // 1 mΩ: drop per segment = 1 mV, pad drop = 10 µV.
+        let g = ladder(5);
+        let sol = dc_solve(&g).expect("solvable");
+        let v = sol.voltages();
+        let pad_drop = 0.01 / 1000.0;
+        assert!((v[0] - (1.0 - pad_drop)).abs() < 1e-9);
+        for i in 0..4 {
+            assert!(((v[i] - v[i + 1]) - 0.001).abs() < 1e-9);
+        }
+        assert!((sol.max_drop(1.0) - (pad_drop + 0.004)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stamp_is_symmetric_positive_definite() {
+        let g = ladder(6);
+        let s = stamp(&g);
+        assert!(s.matrix.is_symmetric(1e-12));
+        assert!(CholeskyFactor::factor(&s.matrix).is_ok());
+        assert_eq!(s.capacitance.iter().filter(|&&c| c > 0.0).count(), 1);
+    }
+
+    #[test]
+    fn floating_grid_is_rejected() {
+        // A grid without any pad or ground path has a singular matrix.
+        let mut g = PowerGrid::new(2);
+        g.add_resistor(Terminal::Node(0), Terminal::Node(1), 1.0)
+            .expect("ok");
+        g.add_load(1, 0.001).expect("ok");
+        assert!(dc_solve(&g).is_err());
+    }
+
+    #[test]
+    fn transient_settles_to_dc_with_constant_loads() {
+        let g = ladder(5);
+        let dc = dc_solve(&g).expect("solvable");
+        let tr = transient_solve(
+            &g,
+            &TransientOptions {
+                time_step: 1e-10,
+                steps: 400,
+                record_nodes: vec![4],
+                load_scale: LoadScale::Constant,
+            },
+        )
+        .expect("solvable");
+        // After many time constants the transient solution reaches DC.
+        assert!((tr.final_voltages[4] - dc.voltage(4)).abs() < 1e-6);
+        assert_eq!(tr.waveforms.len(), 1);
+        assert_eq!(tr.waveforms[0].values.len(), 400);
+    }
+
+    #[test]
+    fn pulsed_loads_produce_voltage_ripple() {
+        let g = ladder(5);
+        let tr = transient_solve(
+            &g,
+            &TransientOptions {
+                time_step: 1e-11,
+                steps: 1000,
+                record_nodes: vec![4],
+                load_scale: LoadScale::Pulse {
+                    period: 2e-9,
+                    duty: 0.5,
+                },
+            },
+        )
+        .expect("solvable");
+        let w = &tr.waveforms[0];
+        let min = w.values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = w.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 1e-4, "expected ripple, got {min}..{max}");
+        assert!(max <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn transient_option_validation() {
+        let g = ladder(3);
+        assert!(transient_solve(
+            &g,
+            &TransientOptions {
+                steps: 0,
+                ..TransientOptions::default()
+            }
+        )
+        .is_err());
+        assert!(transient_solve(
+            &g,
+            &TransientOptions {
+                record_nodes: vec![99],
+                ..TransientOptions::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn waveform_difference() {
+        let a = Waveform {
+            times: vec![0.0, 1.0],
+            values: vec![1.0, 2.0],
+        };
+        let b = Waveform {
+            times: vec![0.0, 1.0],
+            values: vec![1.5, 1.0],
+        };
+        assert_eq!(a.max_abs_difference(&b), 1.0);
+    }
+
+    #[test]
+    fn average_voltages_are_between_extremes() {
+        let g = ladder(4);
+        let tr = transient_solve(
+            &g,
+            &TransientOptions {
+                time_step: 1e-11,
+                steps: 200,
+                record_nodes: vec![3],
+                load_scale: LoadScale::Pulse {
+                    period: 1e-9,
+                    duty: 0.5,
+                },
+            },
+        )
+        .expect("solvable");
+        let w = &tr.waveforms[0];
+        let min = w.values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = w.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let avg = tr.average_voltages[3];
+        assert!(avg >= min - 1e-12 && avg <= max + 1e-12);
+        assert_eq!(tr.final_voltages.len(), 4);
+    }
+
+    #[test]
+    fn stamped_rhs_reflects_pads_and_loads() {
+        let g = ladder(3);
+        let s = stamp(&g);
+        // Pad injection at node 0: 1000 S * 1 V; load at node 2: -0.01 A.
+        assert!((s.rhs[0] - 1000.0).abs() < 1e-12);
+        assert!((s.rhs[2] + 0.01).abs() < 1e-15);
+        assert_eq!(s.rhs[1], 0.0);
+    }
+}

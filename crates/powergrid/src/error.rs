@@ -1,0 +1,114 @@
+//! Error type of the power-grid crate.
+
+use effres::EffresError;
+use effres_graph::GraphError;
+use effres_sparse::SparseError;
+use std::fmt;
+
+/// Errors produced by power-grid construction, analysis and reduction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerGridError {
+    /// A failure in the underlying sparse linear algebra.
+    Sparse(SparseError),
+    /// A failure in the graph substrate.
+    Graph(GraphError),
+    /// A failure in the effective-resistance engine.
+    Effres(EffresError),
+    /// A node index was out of bounds.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the grid.
+        node_count: usize,
+    },
+    /// An element value (resistance, capacitance, current, voltage) was invalid.
+    InvalidElement {
+        /// Description of the element.
+        element: String,
+        /// Why it was rejected.
+        message: String,
+    },
+    /// The netlist text could not be parsed.
+    Parse {
+        /// Line number (1-based).
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// A configuration or algorithm parameter was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        message: String,
+    },
+}
+
+impl fmt::Display for PowerGridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerGridError::Sparse(e) => write!(f, "sparse linear algebra error: {e}"),
+            PowerGridError::Graph(e) => write!(f, "graph error: {e}"),
+            PowerGridError::Effres(e) => write!(f, "effective resistance error: {e}"),
+            PowerGridError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} out of bounds for a grid with {node_count} nodes")
+            }
+            PowerGridError::InvalidElement { element, message } => {
+                write!(f, "invalid element {element}: {message}")
+            }
+            PowerGridError::Parse { line, message } => {
+                write!(f, "netlist parse error at line {line}: {message}")
+            }
+            PowerGridError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PowerGridError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PowerGridError::Sparse(e) => Some(e),
+            PowerGridError::Graph(e) => Some(e),
+            PowerGridError::Effres(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for PowerGridError {
+    fn from(e: SparseError) -> Self {
+        PowerGridError::Sparse(e)
+    }
+}
+
+impl From<GraphError> for PowerGridError {
+    fn from(e: GraphError) -> Self {
+        PowerGridError::Graph(e)
+    }
+}
+
+impl From<EffresError> for PowerGridError {
+    fn from(e: EffresError) -> Self {
+        PowerGridError::Effres(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: PowerGridError = SparseError::NotSquare { nrows: 1, ncols: 2 }.into();
+        assert!(e.to_string().contains("sparse"));
+        let e: PowerGridError = GraphError::SelfLoop { node: 0 }.into();
+        assert!(e.to_string().contains("graph"));
+        let e = PowerGridError::Parse {
+            line: 12,
+            message: "bad token".to_string(),
+        };
+        assert!(e.to_string().contains("line 12"));
+    }
+}

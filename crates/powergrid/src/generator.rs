@@ -1,0 +1,240 @@
+//! Synthetic IBM-like power-grid generator.
+//!
+//! The IBM power-grid benchmarks used in the paper's Table II are not
+//! redistributable, so the experiments run on synthetic grids with the same
+//! structure: a two-layer wire mesh (built on
+//! [`effres_graph::generators::power_grid_mesh`]), supply pads attached to
+//! the coarse upper layer, current-source loads scattered over the lower
+//! layer and decoupling capacitors at the load nodes. The generator also
+//! writes SPICE decks so the parser and the generator round-trip.
+
+use crate::error::PowerGridError;
+use crate::netlist::{PowerGrid, Terminal};
+use effres_graph::generators::{power_grid_mesh, PowerGridMeshOptions};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Options of the synthetic power-grid generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticGridOptions {
+    /// Rows of the lower metal layer.
+    pub rows: usize,
+    /// Columns of the lower metal layer.
+    pub cols: usize,
+    /// Supply voltage in volts.
+    pub supply_voltage: f64,
+    /// Number of supply pads (attached to upper-layer nodes).
+    pub pad_count: usize,
+    /// Pad conductance in siemens.
+    pub pad_conductance: f64,
+    /// Fraction of lower-layer nodes that carry a current load.
+    pub load_fraction: f64,
+    /// Average load current in amperes.
+    pub average_load_current: f64,
+    /// Decoupling capacitance attached to every load node, in farads.
+    pub load_capacitance: f64,
+    /// Seed of the generator.
+    pub seed: u64,
+}
+
+impl Default for SyntheticGridOptions {
+    fn default() -> Self {
+        SyntheticGridOptions {
+            rows: 48,
+            cols: 48,
+            supply_voltage: 1.8,
+            pad_count: 16,
+            pad_conductance: 1.0e3,
+            load_fraction: 0.25,
+            average_load_current: 5e-4,
+            load_capacitance: 5e-13,
+            seed: 7,
+        }
+    }
+}
+
+impl SyntheticGridOptions {
+    /// A small grid suitable for unit tests and doc examples.
+    pub fn small() -> Self {
+        SyntheticGridOptions {
+            rows: 12,
+            cols: 12,
+            pad_count: 4,
+            ..SyntheticGridOptions::default()
+        }
+    }
+
+    /// A grid of roughly the requested node count (rows ≈ cols ≈ √nodes).
+    pub fn with_target_nodes(nodes: usize) -> Self {
+        let side = (nodes as f64).sqrt().ceil().max(8.0) as usize;
+        SyntheticGridOptions {
+            rows: side,
+            cols: side,
+            pad_count: (side / 4).max(4),
+            ..SyntheticGridOptions::default()
+        }
+    }
+}
+
+/// Generates a synthetic IBM-like power grid.
+///
+/// # Errors
+///
+/// Returns [`PowerGridError::InvalidParameter`] for degenerate options and
+/// propagates element construction errors.
+pub fn synthetic_grid(options: &SyntheticGridOptions) -> Result<PowerGrid, PowerGridError> {
+    if options.rows < 4 || options.cols < 4 {
+        return Err(PowerGridError::InvalidParameter {
+            name: "rows/cols",
+            message: "the mesh must be at least 4x4".to_string(),
+        });
+    }
+    if options.pad_count == 0 {
+        return Err(PowerGridError::InvalidParameter {
+            name: "pad_count",
+            message: "at least one pad is required".to_string(),
+        });
+    }
+    if !(0.0..=1.0).contains(&options.load_fraction) {
+        return Err(PowerGridError::InvalidParameter {
+            name: "load_fraction",
+            message: "must lie in [0, 1]".to_string(),
+        });
+    }
+    let mesh = power_grid_mesh(PowerGridMeshOptions {
+        rows: options.rows,
+        cols: options.cols,
+        seed: options.seed,
+        ..PowerGridMeshOptions::default()
+    })?;
+    let mut grid = PowerGrid::new(mesh.node_count());
+    for (_, e) in mesh.edges() {
+        grid.add_resistor(Terminal::Node(e.u), Terminal::Node(e.v), e.weight)?;
+    }
+    let mut rng = StdRng::seed_from_u64(options.seed ^ 0xabcd_ef01_2345_6789);
+    // Pads on upper-layer nodes (the nodes appended after the lower mesh).
+    let lower_count = options.rows * options.cols;
+    let mut upper_nodes: Vec<usize> = (lower_count..mesh.node_count()).collect();
+    upper_nodes.shuffle(&mut rng);
+    let pad_count = options.pad_count.min(upper_nodes.len()).max(1);
+    for &node in upper_nodes.iter().take(pad_count) {
+        grid.add_pad(node, options.supply_voltage, options.pad_conductance)?;
+    }
+    // Loads and decap on a fraction of lower-layer nodes.
+    let mut lower_nodes: Vec<usize> = (0..lower_count).collect();
+    lower_nodes.shuffle(&mut rng);
+    let load_count = ((lower_count as f64) * options.load_fraction).round() as usize;
+    for &node in lower_nodes.iter().take(load_count) {
+        let amps = options.average_load_current * rng.gen_range(0.5..1.5);
+        grid.add_load(node, amps)?;
+        grid.add_capacitor(node, options.load_capacitance)?;
+    }
+    Ok(grid)
+}
+
+/// Writes a power grid as a SPICE deck accepted by [`crate::parser::parse_netlist`].
+///
+/// Ideal-source conversion: pads are written as voltage sources (their
+/// conductance is restored to the parser's default when read back).
+pub fn write_netlist(grid: &PowerGrid) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "* synthetic power grid: {} nodes", grid.node_count());
+    for (k, r) in grid.resistors().iter().enumerate() {
+        let name = |t| match t {
+            Terminal::Node(n) => format!("n{n}"),
+            Terminal::Ground => "0".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "R{k} {} {} {}",
+            name(r.a),
+            name(r.b),
+            1.0 / r.conductance
+        );
+    }
+    for (k, c) in grid.capacitors().iter().enumerate() {
+        let _ = writeln!(out, "C{k} n{} 0 {}", c.node, c.farads);
+    }
+    for (k, l) in grid.loads().iter().enumerate() {
+        let _ = writeln!(out, "I{k} n{} 0 {}", l.node, l.amps);
+    }
+    for (k, p) in grid.pads().iter().enumerate() {
+        let _ = writeln!(out, "V{k} n{} 0 {}", p.node, p.voltage);
+    }
+    let _ = writeln!(out, ".op");
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::dc_solve;
+    use crate::parser::parse_netlist;
+
+    #[test]
+    fn small_grid_is_well_formed_and_solvable() {
+        let grid = synthetic_grid(&SyntheticGridOptions::small()).expect("valid");
+        assert!(grid.node_count() > 144);
+        assert!(grid.pads().len() >= 1);
+        assert!(grid.loads().len() > 10);
+        let sol = dc_solve(&grid).expect("solvable");
+        let supply = grid.supply_voltage();
+        // All node voltages below supply and above supply minus a sane drop.
+        for &v in sol.voltages() {
+            assert!(v <= supply + 1e-9);
+            assert!(v >= supply * 0.5, "excessive drop: {v}");
+        }
+        assert!(sol.max_drop(supply) > 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = synthetic_grid(&SyntheticGridOptions::small()).expect("valid");
+        let b = synthetic_grid(&SyntheticGridOptions::small()).expect("valid");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn target_node_count_scales() {
+        let o = SyntheticGridOptions::with_target_nodes(2500);
+        assert!(o.rows >= 50 && o.cols >= 50);
+        let small = SyntheticGridOptions::with_target_nodes(10);
+        assert!(small.rows >= 8);
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let mut o = SyntheticGridOptions::small();
+        o.rows = 2;
+        assert!(synthetic_grid(&o).is_err());
+        let mut o = SyntheticGridOptions::small();
+        o.pad_count = 0;
+        assert!(synthetic_grid(&o).is_err());
+        let mut o = SyntheticGridOptions::small();
+        o.load_fraction = 2.0;
+        assert!(synthetic_grid(&o).is_err());
+    }
+
+    #[test]
+    fn netlist_round_trip_preserves_topology_and_dc_solution() {
+        let grid = synthetic_grid(&SyntheticGridOptions::small()).expect("valid");
+        let deck = write_netlist(&grid);
+        let parsed = parse_netlist(&deck).expect("valid deck");
+        assert_eq!(parsed.node_count(), grid.node_count());
+        assert_eq!(parsed.resistor_count(), grid.resistor_count());
+        assert_eq!(parsed.loads().len(), grid.loads().len());
+        assert_eq!(parsed.pads().len(), grid.pads().len());
+        // Voltages agree within the pad-conductance modeling difference.
+        let a = dc_solve(&grid).expect("solvable");
+        let b = dc_solve(&parsed).expect("solvable");
+        let max_diff = a
+            .voltages()
+            .iter()
+            .zip(b.voltages())
+            .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()));
+        assert!(max_diff < 5e-3, "round-trip voltage difference {max_diff}");
+    }
+}

@@ -1,0 +1,305 @@
+//! DC incremental analysis with per-block re-reduction.
+//!
+//! The second half of Table II: during physical design the power grid is
+//! modified locally (wires resized, decap or loads moved) to fix violations,
+//! and the analysis must be re-run. Because the reduction of Alg. 1 is
+//! block-local (the Schur complement of each block only involves that
+//! block's nodes), only the modified blocks need to be re-reduced — roughly
+//! 10 % of them in the paper's experiment — which is where the fast
+//! effective-resistance algorithm pays off a second time.
+
+use crate::analysis::dc_solve;
+use crate::error::PowerGridError;
+use crate::netlist::{PowerGrid, Terminal};
+use crate::reduce::{
+    reduce_block, resistor_graph, stitch, BlockReduced, GridPartition, ReducedGrid,
+    ReductionOptions,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Maintains a block-wise reduced model that can be updated incrementally
+/// when a subset of blocks changes.
+#[derive(Debug, Clone)]
+pub struct IncrementalReducer {
+    grid: PowerGrid,
+    options: ReductionOptions,
+    partition: GridPartition,
+    blocks: Vec<BlockReduced>,
+}
+
+impl IncrementalReducer {
+    /// Performs the initial full reduction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reduction errors.
+    pub fn new(grid: PowerGrid, options: ReductionOptions) -> Result<Self, PowerGridError> {
+        let partition = GridPartition::build(&grid, &options)?;
+        let mut blocks = Vec::with_capacity(partition.block_count());
+        for block in 0..partition.block_count() {
+            blocks.push(reduce_block(&partition, block, &options)?);
+        }
+        Ok(IncrementalReducer {
+            grid,
+            options,
+            partition,
+            blocks,
+        })
+    }
+
+    /// The grid currently represented by the reducer.
+    pub fn grid(&self) -> &PowerGrid {
+        &self.grid
+    }
+
+    /// The partition shared by all incremental updates.
+    pub fn partition(&self) -> &GridPartition {
+        &self.partition
+    }
+
+    /// Stitches the current blocks into a reduced grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stitching errors.
+    pub fn reduced(&self) -> Result<ReducedGrid, PowerGridError> {
+        stitch(&self.grid, &self.partition, &self.blocks)
+    }
+
+    /// Replaces the grid with a modified version (same node set and resistor
+    /// topology; element values and loads may differ) and re-reduces only the
+    /// listed dirty blocks. Returns the time spent re-reducing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerGridError::InvalidParameter`] if the modified grid has
+    /// a different node count or a dirty block id is out of range, and
+    /// propagates reduction errors.
+    pub fn update(
+        &mut self,
+        modified: PowerGrid,
+        dirty_blocks: &[usize],
+    ) -> Result<Duration, PowerGridError> {
+        if modified.node_count() != self.grid.node_count() {
+            return Err(PowerGridError::InvalidParameter {
+                name: "modified",
+                message: "incremental updates must keep the node set".to_string(),
+            });
+        }
+        for &b in dirty_blocks {
+            if b >= self.partition.block_count() {
+                return Err(PowerGridError::InvalidParameter {
+                    name: "dirty_blocks",
+                    message: format!("block {b} out of range"),
+                });
+            }
+        }
+        let start = Instant::now();
+        // Refresh the resistor graph (values may have changed) while keeping
+        // the partition labels and node classification.
+        let (graph, ground) = resistor_graph(&modified);
+        self.partition.graph = graph;
+        self.partition.ground_conductance = ground;
+        self.grid = modified;
+        for &b in dirty_blocks {
+            self.blocks[b] = reduce_block(&self.partition, b, &self.options)?;
+        }
+        Ok(start.elapsed())
+    }
+}
+
+/// Result of one DC incremental analysis experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncrementalRun {
+    /// Time spent re-reducing the dirty blocks.
+    pub reduction_time: Duration,
+    /// Time spent solving the reduced model.
+    pub solve_time: Duration,
+    /// Average absolute port-voltage error against the full solve.
+    pub average_error: f64,
+    /// Error relative to the maximum voltage drop.
+    pub relative_error: f64,
+}
+
+/// Scales the intra-block wire conductances and load currents of the listed
+/// blocks, mimicking an ECO-style grid modification. Returns the modified grid.
+pub fn perturb_blocks(
+    grid: &PowerGrid,
+    partition: &GridPartition,
+    blocks: &[usize],
+    seed: u64,
+) -> PowerGrid {
+    let dirty: std::collections::HashSet<usize> = blocks.iter().copied().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut modified = PowerGrid::new(grid.node_count());
+    for r in grid.resistors() {
+        let in_dirty_block = |t: Terminal| match t {
+            Terminal::Node(n) => dirty.contains(&partition.partition.part_of(n)),
+            Terminal::Ground => false,
+        };
+        let scale = if in_dirty_block(r.a) && in_dirty_block(r.b) {
+            rng.gen_range(0.7..1.4)
+        } else {
+            1.0
+        };
+        modified
+            .add_resistor(r.a, r.b, r.conductance * scale)
+            .expect("copied element is valid");
+    }
+    for load in grid.loads() {
+        let scale = if dirty.contains(&partition.partition.part_of(load.node)) {
+            rng.gen_range(0.8..1.3)
+        } else {
+            1.0
+        };
+        modified
+            .add_load(load.node, load.amps * scale)
+            .expect("copied element is valid");
+    }
+    for pad in grid.pads() {
+        modified
+            .add_pad(pad.node, pad.voltage, pad.conductance)
+            .expect("copied element is valid");
+    }
+    for cap in grid.capacitors() {
+        modified
+            .add_capacitor(cap.node, cap.farads)
+            .expect("copied element is valid");
+    }
+    modified
+}
+
+/// Selects `fraction` of the blocks at random (at least one).
+pub fn select_dirty_blocks(partition: &GridPartition, fraction: f64, seed: u64) -> Vec<usize> {
+    let count = ((partition.block_count() as f64 * fraction).round() as usize)
+        .clamp(1, partition.block_count());
+    let mut ids: Vec<usize> = (0..partition.block_count()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    ids.truncate(count);
+    ids.sort_unstable();
+    ids
+}
+
+/// Runs one incremental experiment: perturb `fraction` of the blocks,
+/// re-reduce only those, solve the reduced model and compare its port
+/// voltages against a full DC solve of the modified grid.
+///
+/// # Errors
+///
+/// Propagates reduction and solve errors.
+pub fn run_incremental_experiment(
+    reducer: &mut IncrementalReducer,
+    fraction: f64,
+    seed: u64,
+) -> Result<IncrementalRun, PowerGridError> {
+    let dirty = select_dirty_blocks(reducer.partition(), fraction, seed);
+    let modified = perturb_blocks(reducer.grid(), reducer.partition(), &dirty, seed);
+    let reference = dc_solve(&modified)?;
+    let reduction_time = reducer.update(modified, &dirty)?;
+    let solve_start = Instant::now();
+    let reduced = reducer.reduced()?;
+    let solution = dc_solve(&reduced.grid)?;
+    let solve_time = solve_start.elapsed();
+    let (average_error, relative_error) = crate::reduce::compare_port_voltages(
+        reducer.grid(),
+        reference.voltages(),
+        &reduced,
+        solution.voltages(),
+    );
+    Ok(IncrementalRun {
+        reduction_time,
+        solve_time,
+        average_error,
+        relative_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{synthetic_grid, SyntheticGridOptions};
+    use crate::reduce::ErMethod;
+    use effres::prelude::EffresConfig;
+
+    fn reducer() -> IncrementalReducer {
+        let grid = synthetic_grid(&SyntheticGridOptions::small()).expect("valid");
+        IncrementalReducer::new(
+            grid,
+            ReductionOptions {
+                er_method: ErMethod::ApproxInverse(EffresConfig::default()),
+                ..ReductionOptions::default()
+            },
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn initial_reduction_matches_full_flow() {
+        let reducer = reducer();
+        let reduced = reducer.reduced().expect("valid");
+        assert!(reduced.stats.reduced_nodes < reduced.stats.original_nodes);
+    }
+
+    #[test]
+    fn incremental_update_tracks_the_modified_grid() {
+        let mut reducer = reducer();
+        let run = run_incremental_experiment(&mut reducer, 0.2, 3).expect("valid");
+        assert!(
+            run.relative_error < 0.05,
+            "incremental result too inaccurate: {}",
+            run.relative_error
+        );
+    }
+
+    #[test]
+    fn dirty_block_selection_respects_fraction() {
+        let reducer = reducer();
+        let blocks = reducer.partition().block_count();
+        let dirty = select_dirty_blocks(reducer.partition(), 0.5, 1);
+        assert!(!dirty.is_empty());
+        assert!(dirty.len() <= blocks);
+        assert!(dirty.iter().all(|&b| b < blocks));
+        let all = select_dirty_blocks(reducer.partition(), 1.0, 1);
+        assert_eq!(all.len(), blocks);
+    }
+
+    #[test]
+    fn perturbation_only_touches_dirty_blocks() {
+        let reducer = reducer();
+        let dirty = vec![0];
+        let modified = perturb_blocks(reducer.grid(), reducer.partition(), &dirty, 7);
+        assert_eq!(modified.node_count(), reducer.grid().node_count());
+        assert_eq!(modified.resistor_count(), reducer.grid().resistor_count());
+        // At least one resistor changed, and clean-block resistors are intact.
+        let changed = reducer
+            .grid()
+            .resistors()
+            .iter()
+            .zip(modified.resistors())
+            .filter(|(a, b)| (a.conductance - b.conductance).abs() > 1e-12)
+            .count();
+        assert!(changed > 0);
+        for (a, b) in reducer.grid().resistors().iter().zip(modified.resistors()) {
+            let clean = |t: Terminal| match t {
+                Terminal::Node(n) => reducer.partition().partition.part_of(n) != 0,
+                Terminal::Ground => true,
+            };
+            if clean(a.a) && clean(a.b) {
+                assert_eq!(a.conductance, b.conductance);
+            }
+        }
+    }
+
+    #[test]
+    fn update_validates_inputs() {
+        let mut reducer = reducer();
+        let wrong_size = PowerGrid::new(3);
+        assert!(reducer.update(wrong_size, &[0]).is_err());
+        let ok_grid = reducer.grid().clone();
+        assert!(reducer.update(ok_grid, &[9999]).is_err());
+    }
+}

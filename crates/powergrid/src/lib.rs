@@ -1,0 +1,51 @@
+//! Power-grid modeling, analysis and effective-resistance-based reduction.
+//!
+//! This crate is the application substrate of the paper's evaluation
+//! (Sections II-A, IV-B): IBM-benchmark-style power grids, their DC and
+//! transient analysis, and the graph-sparsification-based reduction flow of
+//! Alg. 1 (partition → Schur-complement elimination → effective-resistance
+//! port merging → effective-resistance sampling sparsification → stitching),
+//! where the effective resistances can be computed exactly, with the
+//! random-projection baseline, or with the paper's Alg. 3.
+//!
+//! * [`netlist`] — the power-grid circuit model (resistors, current loads,
+//!   voltage pads, decoupling capacitors) and port classification;
+//! * [`parser`] — a SPICE-subset netlist parser for IBM-PG-style decks;
+//! * [`generator`] — synthetic IBM-like power-grid generator;
+//! * [`analysis`] — conductance-matrix stamping, DC analysis and
+//!   backward-Euler transient analysis with waveform recording;
+//! * [`schur`] — sparse Schur-complement elimination of internal nodes;
+//! * [`sparsify`] — effective-resistance port merging and spectral
+//!   sparsification by edge sampling;
+//! * [`reduce`] — the full Alg. 1 reduction pipeline;
+//! * [`incremental`] — DC incremental analysis with per-block re-reduction.
+//!
+//! # Example
+//!
+//! ```
+//! use effres_powergrid::generator::{synthetic_grid, SyntheticGridOptions};
+//! use effres_powergrid::analysis::dc_solve;
+//!
+//! # fn main() -> Result<(), effres_powergrid::PowerGridError> {
+//! let grid = synthetic_grid(&SyntheticGridOptions::small())?;
+//! let solution = dc_solve(&grid)?;
+//! assert_eq!(solution.voltages().len(), grid.node_count());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod error;
+pub mod generator;
+pub mod incremental;
+pub mod netlist;
+pub mod parser;
+pub mod reduce;
+pub mod schur;
+pub mod sparsify;
+
+pub use error::PowerGridError;
+pub use netlist::{NodeKind, PowerGrid};

@@ -1,0 +1,355 @@
+//! The power-grid circuit model.
+//!
+//! A [`PowerGrid`] is a single supply net modeled the way the IBM power-grid
+//! benchmarks are analyzed: resistive wire segments between nodes (or from a
+//! node to the ideal ground), current-source loads pulling current from a
+//! node, supply pads modeled as a series resistance to the ideal supply
+//! (a Norton equivalent, which keeps the conductance matrix symmetric
+//! positive definite) and decoupling capacitors to ground for transient
+//! analysis.
+//!
+//! A *port* node — the definition used throughout the paper — is a node
+//! attached to a voltage source (pad) or a current source (load). Port nodes
+//! must survive any reduction.
+
+use crate::error::PowerGridError;
+
+/// One terminal of a two-terminal element: a grid node or the ideal ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminal {
+    /// A grid node, by index.
+    Node(usize),
+    /// The ideal ground / reference node.
+    Ground,
+}
+
+/// A resistive segment between two terminals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resistor {
+    /// First terminal.
+    pub a: Terminal,
+    /// Second terminal.
+    pub b: Terminal,
+    /// Conductance in siemens (`1 / resistance`).
+    pub conductance: f64,
+}
+
+/// A DC or transient current load pulling `amps` from a node to ground.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurrentLoad {
+    /// The loaded node.
+    pub node: usize,
+    /// DC current drawn in amperes.
+    pub amps: f64,
+}
+
+/// A supply pad: a connection to the ideal supply voltage through a series
+/// conductance (Norton equivalent of a voltage source with source resistance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupplyPad {
+    /// The node the pad attaches to.
+    pub node: usize,
+    /// Supply voltage in volts.
+    pub voltage: f64,
+    /// Pad conductance in siemens.
+    pub conductance: f64,
+}
+
+/// A decoupling capacitor from a node to ground.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capacitor {
+    /// The decoupled node.
+    pub node: usize,
+    /// Capacitance in farads.
+    pub farads: f64,
+}
+
+/// Classification of a node for the reduction flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Connected to a voltage or current source; must be preserved.
+    Port,
+    /// Any other node; may be eliminated or merged.
+    Internal,
+}
+
+/// A single-net power-grid circuit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PowerGrid {
+    node_count: usize,
+    resistors: Vec<Resistor>,
+    loads: Vec<CurrentLoad>,
+    pads: Vec<SupplyPad>,
+    capacitors: Vec<Capacitor>,
+}
+
+impl PowerGrid {
+    /// Creates an empty grid with `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        PowerGrid {
+            node_count,
+            ..PowerGrid::default()
+        }
+    }
+
+    /// Number of nodes (the ideal ground is not counted).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of resistive segments.
+    pub fn resistor_count(&self) -> usize {
+        self.resistors.len()
+    }
+
+    /// Registered resistors.
+    pub fn resistors(&self) -> &[Resistor] {
+        &self.resistors
+    }
+
+    /// Registered current loads.
+    pub fn loads(&self) -> &[CurrentLoad] {
+        &self.loads
+    }
+
+    /// Registered supply pads.
+    pub fn pads(&self) -> &[SupplyPad] {
+        &self.pads
+    }
+
+    /// Registered decoupling capacitors.
+    pub fn capacitors(&self) -> &[Capacitor] {
+        &self.capacitors
+    }
+
+    /// Appends `count` nodes and returns the index of the first new node.
+    pub fn add_nodes(&mut self, count: usize) -> usize {
+        let first = self.node_count;
+        self.node_count += count;
+        first
+    }
+
+    /// Adds a resistor between two terminals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerGridError::NodeOutOfBounds`] for invalid nodes and
+    /// [`PowerGridError::InvalidElement`] for nonpositive conductance or a
+    /// resistor with both terminals identical.
+    pub fn add_resistor(
+        &mut self,
+        a: Terminal,
+        b: Terminal,
+        conductance: f64,
+    ) -> Result<(), PowerGridError> {
+        self.check_terminal(a)?;
+        self.check_terminal(b)?;
+        if a == b {
+            return Err(PowerGridError::InvalidElement {
+                element: format!("resistor {a:?}-{b:?}"),
+                message: "terminals must differ".to_string(),
+            });
+        }
+        if !(conductance > 0.0) || !conductance.is_finite() {
+            return Err(PowerGridError::InvalidElement {
+                element: format!("resistor {a:?}-{b:?}"),
+                message: format!("conductance {conductance} must be positive and finite"),
+            });
+        }
+        self.resistors.push(Resistor { a, b, conductance });
+        Ok(())
+    }
+
+    /// Adds a current load at a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerGridError::NodeOutOfBounds`] for an invalid node and
+    /// [`PowerGridError::InvalidElement`] for a non-finite current.
+    pub fn add_load(&mut self, node: usize, amps: f64) -> Result<(), PowerGridError> {
+        self.check_node(node)?;
+        if !amps.is_finite() {
+            return Err(PowerGridError::InvalidElement {
+                element: format!("current load at node {node}"),
+                message: format!("current {amps} must be finite"),
+            });
+        }
+        self.loads.push(CurrentLoad { node, amps });
+        Ok(())
+    }
+
+    /// Adds a supply pad at a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerGridError::NodeOutOfBounds`] for an invalid node and
+    /// [`PowerGridError::InvalidElement`] for nonpositive pad conductance or a
+    /// non-finite voltage.
+    pub fn add_pad(
+        &mut self,
+        node: usize,
+        voltage: f64,
+        conductance: f64,
+    ) -> Result<(), PowerGridError> {
+        self.check_node(node)?;
+        if !(conductance > 0.0) || !conductance.is_finite() || !voltage.is_finite() {
+            return Err(PowerGridError::InvalidElement {
+                element: format!("pad at node {node}"),
+                message: "voltage must be finite and conductance positive".to_string(),
+            });
+        }
+        self.pads.push(SupplyPad {
+            node,
+            voltage,
+            conductance,
+        });
+        Ok(())
+    }
+
+    /// Adds a decoupling capacitor at a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerGridError::NodeOutOfBounds`] for an invalid node and
+    /// [`PowerGridError::InvalidElement`] for a nonpositive capacitance.
+    pub fn add_capacitor(&mut self, node: usize, farads: f64) -> Result<(), PowerGridError> {
+        self.check_node(node)?;
+        if !(farads > 0.0) || !farads.is_finite() {
+            return Err(PowerGridError::InvalidElement {
+                element: format!("capacitor at node {node}"),
+                message: format!("capacitance {farads} must be positive and finite"),
+            });
+        }
+        self.capacitors.push(Capacitor { node, farads });
+        Ok(())
+    }
+
+    /// Classification of every node: ports are the nodes touched by a pad or
+    /// a current load.
+    pub fn node_kinds(&self) -> Vec<NodeKind> {
+        let mut kinds = vec![NodeKind::Internal; self.node_count];
+        for pad in &self.pads {
+            kinds[pad.node] = NodeKind::Port;
+        }
+        for load in &self.loads {
+            kinds[load.node] = NodeKind::Port;
+        }
+        kinds
+    }
+
+    /// Indices of the port nodes, sorted.
+    pub fn port_nodes(&self) -> Vec<usize> {
+        self.node_kinds()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &k)| k == NodeKind::Port)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Nominal supply voltage (maximum pad voltage), or `0.0` without pads.
+    pub fn supply_voltage(&self) -> f64 {
+        self.pads.iter().fold(0.0_f64, |m, p| m.max(p.voltage))
+    }
+
+    /// Total DC load current.
+    pub fn total_load_current(&self) -> f64 {
+        self.loads.iter().map(|l| l.amps).sum()
+    }
+
+    fn check_node(&self, node: usize) -> Result<(), PowerGridError> {
+        if node >= self.node_count {
+            Err(PowerGridError::NodeOutOfBounds {
+                node,
+                node_count: self.node_count,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_terminal(&self, t: Terminal) -> Result<(), PowerGridError> {
+        match t {
+            Terminal::Node(n) => self.check_node(n),
+            Terminal::Ground => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> PowerGrid {
+        // 0 --R-- 1 --R-- 2 ; pad at 0, load at 2.
+        let mut g = PowerGrid::new(3);
+        g.add_resistor(Terminal::Node(0), Terminal::Node(1), 10.0).expect("ok");
+        g.add_resistor(Terminal::Node(1), Terminal::Node(2), 10.0).expect("ok");
+        g.add_pad(0, 1.8, 100.0).expect("ok");
+        g.add_load(2, 0.01).expect("ok");
+        g.add_capacitor(2, 1e-12).expect("ok");
+        g
+    }
+
+    #[test]
+    fn counts_and_accessors() {
+        let g = tiny_grid();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.resistor_count(), 2);
+        assert_eq!(g.pads().len(), 1);
+        assert_eq!(g.loads().len(), 1);
+        assert_eq!(g.capacitors().len(), 1);
+        assert_eq!(g.supply_voltage(), 1.8);
+        assert!((g.total_load_current() - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn port_classification() {
+        let g = tiny_grid();
+        let kinds = g.node_kinds();
+        assert_eq!(kinds[0], NodeKind::Port);
+        assert_eq!(kinds[1], NodeKind::Internal);
+        assert_eq!(kinds[2], NodeKind::Port);
+        assert_eq!(g.port_nodes(), vec![0, 2]);
+    }
+
+    #[test]
+    fn invalid_elements_rejected() {
+        let mut g = PowerGrid::new(2);
+        assert!(g
+            .add_resistor(Terminal::Node(0), Terminal::Node(0), 1.0)
+            .is_err());
+        assert!(g
+            .add_resistor(Terminal::Node(0), Terminal::Node(5), 1.0)
+            .is_err());
+        assert!(g
+            .add_resistor(Terminal::Node(0), Terminal::Node(1), -1.0)
+            .is_err());
+        assert!(g.add_pad(0, f64::NAN, 1.0).is_err());
+        assert!(g.add_pad(9, 1.0, 1.0).is_err());
+        assert!(g.add_load(0, f64::INFINITY).is_err());
+        assert!(g.add_capacitor(0, 0.0).is_err());
+    }
+
+    #[test]
+    fn add_nodes_extends() {
+        let mut g = PowerGrid::new(1);
+        let first = g.add_nodes(2);
+        assert_eq!(first, 1);
+        assert_eq!(g.node_count(), 3);
+        assert!(g
+            .add_resistor(Terminal::Node(0), Terminal::Node(2), 1.0)
+            .is_ok());
+    }
+
+    #[test]
+    fn ground_resistors_allowed() {
+        let mut g = PowerGrid::new(1);
+        assert!(g
+            .add_resistor(Terminal::Node(0), Terminal::Ground, 5.0)
+            .is_ok());
+        assert!(g
+            .add_resistor(Terminal::Ground, Terminal::Ground, 5.0)
+            .is_err());
+    }
+}

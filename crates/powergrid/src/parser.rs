@@ -1,0 +1,231 @@
+//! SPICE-subset netlist parser for IBM-PG-style decks.
+//!
+//! The IBM power-grid benchmarks are distributed as SPICE decks containing
+//! resistors, current sources, voltage sources and (for the transient cases)
+//! capacitors. The benchmarks themselves are not redistributable, so this
+//! parser exists to accept decks in the same format — either real ones the
+//! user supplies or decks written by [`crate::generator::write_netlist`].
+//!
+//! Supported cards:
+//!
+//! ```text
+//! R<name> <node1> <node2> <resistance>
+//! C<name> <node1> 0       <capacitance>
+//! I<name> <node1> 0       <current>
+//! V<name> <node1> 0       <voltage>
+//! * comment
+//! .op / .end / .tran ... (ignored)
+//! ```
+//!
+//! Node `0` (or `gnd`) is the ideal ground. Ideal voltage sources are
+//! converted to Norton-equivalent pads with a configurable (large) pad
+//! conductance so the stamped system stays symmetric positive definite.
+
+use crate::error::PowerGridError;
+use crate::netlist::{PowerGrid, Terminal};
+use std::collections::HashMap;
+
+/// Pad conductance used when converting ideal voltage sources to Norton pads.
+pub const DEFAULT_PAD_CONDUCTANCE: f64 = 1.0e4;
+
+/// Parses a SPICE-subset netlist into a [`PowerGrid`].
+///
+/// # Errors
+///
+/// Returns [`PowerGridError::Parse`] for malformed cards and propagates
+/// element errors from [`PowerGrid`].
+pub fn parse_netlist(text: &str) -> Result<PowerGrid, PowerGridError> {
+    let mut names: HashMap<String, usize> = HashMap::new();
+    let mut grid = PowerGrid::new(0);
+
+    let mut resolve = |grid: &mut PowerGrid, token: &str| -> Terminal {
+        if token == "0" || token.eq_ignore_ascii_case("gnd") {
+            return Terminal::Ground;
+        }
+        let next = names.len();
+        let id = *names.entry(token.to_string()).or_insert(next);
+        while grid.node_count() <= id {
+            grid.add_nodes(1);
+        }
+        Terminal::Node(id)
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let number = lineno + 1;
+        if line.is_empty() || line.starts_with('*') || line.starts_with('.') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.len() < 4 {
+            return Err(PowerGridError::Parse {
+                line: number,
+                message: format!("expected at least 4 tokens, found {}", tokens.len()),
+            });
+        }
+        let value: f64 = parse_value(tokens[3]).ok_or_else(|| PowerGridError::Parse {
+            line: number,
+            message: format!("cannot parse value `{}`", tokens[3]),
+        })?;
+        let kind = tokens[0]
+            .chars()
+            .next()
+            .expect("nonempty token")
+            .to_ascii_uppercase();
+        let a = resolve(&mut grid, tokens[1]);
+        let b = resolve(&mut grid, tokens[2]);
+        match kind {
+            'R' => {
+                if value <= 0.0 {
+                    // Some decks contain zero-ohm via resistors; model them as
+                    // a very large conductance instead of failing.
+                    let (na, nb) = (a, b);
+                    grid.add_resistor(na, nb, 1.0e9)?;
+                } else {
+                    grid.add_resistor(a, b, 1.0 / value)?;
+                }
+            }
+            'C' => {
+                let node = node_of(a, b).ok_or_else(|| PowerGridError::Parse {
+                    line: number,
+                    message: "capacitors must connect a node to ground".to_string(),
+                })?;
+                grid.add_capacitor(node, value)?;
+            }
+            'I' => {
+                let node = node_of(a, b).ok_or_else(|| PowerGridError::Parse {
+                    line: number,
+                    message: "current sources must connect a node to ground".to_string(),
+                })?;
+                grid.add_load(node, value)?;
+            }
+            'V' => {
+                let node = node_of(a, b).ok_or_else(|| PowerGridError::Parse {
+                    line: number,
+                    message: "voltage sources must connect a node to ground".to_string(),
+                })?;
+                grid.add_pad(node, value, DEFAULT_PAD_CONDUCTANCE)?;
+            }
+            other => {
+                return Err(PowerGridError::Parse {
+                    line: number,
+                    message: format!("unsupported element type `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(grid)
+}
+
+/// Returns the non-ground node of a two-terminal element, if exactly one
+/// terminal is a node.
+fn node_of(a: Terminal, b: Terminal) -> Option<usize> {
+    match (a, b) {
+        (Terminal::Node(n), Terminal::Ground) | (Terminal::Ground, Terminal::Node(n)) => Some(n),
+        _ => None,
+    }
+}
+
+/// Parses a SPICE value with an optional engineering suffix.
+fn parse_value(token: &str) -> Option<f64> {
+    let lower = token.to_ascii_lowercase();
+    let (number, multiplier) = if let Some(stripped) = lower.strip_suffix("meg") {
+        (stripped, 1e6)
+    } else if let Some(stripped) = lower.strip_suffix('k') {
+        (stripped, 1e3)
+    } else if let Some(stripped) = lower.strip_suffix('m') {
+        (stripped, 1e-3)
+    } else if let Some(stripped) = lower.strip_suffix('u') {
+        (stripped, 1e-6)
+    } else if let Some(stripped) = lower.strip_suffix('n') {
+        (stripped, 1e-9)
+    } else if let Some(stripped) = lower.strip_suffix('p') {
+        (stripped, 1e-12)
+    } else if let Some(stripped) = lower.strip_suffix('f') {
+        (stripped, 1e-15)
+    } else {
+        (lower.as_str(), 1.0)
+    };
+    number.parse::<f64>().ok().map(|v| v * multiplier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::dc_solve;
+
+    const DECK: &str = "\
+* tiny test deck
+V1 n0 0 1.8
+R1 n0 n1 0.1
+R2 n1 n2 0.1
+R3 n2 0 1k
+C1 n2 0 10p
+I1 n2 0 5m
+.op
+.end
+";
+
+    #[test]
+    fn parses_all_supported_cards() {
+        let grid = parse_netlist(DECK).expect("valid deck");
+        assert_eq!(grid.node_count(), 3);
+        assert_eq!(grid.resistor_count(), 3);
+        assert_eq!(grid.pads().len(), 1);
+        assert_eq!(grid.loads().len(), 1);
+        assert_eq!(grid.capacitors().len(), 1);
+        assert!((grid.loads()[0].amps - 5e-3).abs() < 1e-12);
+        assert!((grid.capacitors()[0].farads - 10e-12).abs() < 1e-20);
+    }
+
+    #[test]
+    fn parsed_deck_is_solvable() {
+        let grid = parse_netlist(DECK).expect("valid deck");
+        let sol = dc_solve(&grid).expect("solvable");
+        // Voltage should drop along the chain: v(n0) > v(n1) > v(n2).
+        let v = sol.voltages();
+        assert!(v[0] > v[1] && v[1] > v[2]);
+        assert!(v[0] <= 1.8 + 1e-9);
+    }
+
+    #[test]
+    fn engineering_suffixes() {
+        let close = |token: &str, expected: f64| {
+            let value = parse_value(token).expect("parsable");
+            assert!(
+                ((value - expected) / expected).abs() < 1e-12,
+                "{token}: {value} vs {expected}"
+            );
+        };
+        close("5k", 5000.0);
+        close("2meg", 2e6);
+        close("3m", 3e-3);
+        close("4u", 4e-6);
+        close("7n", 7e-9);
+        close("8p", 8e-12);
+        close("1.5", 1.5);
+        assert_eq!(parse_value("bogus"), None);
+    }
+
+    #[test]
+    fn zero_ohm_resistors_become_large_conductances() {
+        let grid = parse_netlist("R1 a b 0\nV1 a 0 1.0\nI1 b 0 1m\n").expect("valid");
+        assert_eq!(grid.resistor_count(), 1);
+        assert!(grid.resistors()[0].conductance >= 1e9);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_netlist("R1 a b").is_err());
+        assert!(parse_netlist("R1 a b xyz").is_err());
+        assert!(parse_netlist("Q1 a b 5").is_err());
+        assert!(parse_netlist("C1 a b 5p").is_err());
+        assert!(parse_netlist("V1 a b 1.0").is_err());
+    }
+
+    #[test]
+    fn comments_and_directives_are_skipped() {
+        let grid = parse_netlist("* only comments\n.op\n.end\n").expect("valid");
+        assert_eq!(grid.node_count(), 0);
+    }
+}

@@ -1,0 +1,756 @@
+//! Graph-sparsification-based power-grid reduction (Alg. 1 of the paper).
+//!
+//! The flow:
+//!
+//! 1. partition the resistor network into blocks (the paper uses METIS with
+//!    `#ports / 50` blocks; we use the multilevel partitioner of
+//!    [`effres_graph::partition`]);
+//! 2. classify nodes as *ports* (attached to a pad, a load or a ground
+//!    resistor), *non-port interface* nodes (non-ports with a neighbour in
+//!    another block) and *non-port interior* nodes;
+//! 3. per block, eliminate the interior nodes exactly with a Schur
+//!    complement ([`crate::schur`]);
+//! 4. per reduced block, compute the effective resistance of every edge —
+//!    exactly, with the WWW'15 random-projection baseline, or with the
+//!    paper's Alg. 3 — merge electrically-equivalent nodes and sparsify the
+//!    block by effective-resistance sampling ([`crate::sparsify`]);
+//! 5. stitch the reduced blocks and the original cross-block edges back into
+//!    a reduced power grid carrying the original pads, loads and capacitors.
+
+use crate::error::PowerGridError;
+use crate::netlist::{PowerGrid, Terminal};
+use crate::schur::SchurReduction;
+use crate::sparsify::{
+    apply_merge, merge_by_effective_resistance, sparsify_by_effective_resistance, SparsifyOptions,
+};
+use effres::prelude::*;
+use effres::random_projection::RandomProjectionOptions;
+use effres_graph::partition::{partition_graph, Partition};
+use effres_graph::Graph;
+use effres_sparse::TripletMatrix;
+use std::time::{Duration, Instant};
+
+/// How the effective resistances of step 4 are computed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErMethod {
+    /// Exact effective resistances via a full sparse Cholesky factorization
+    /// (the "Acc. Eff. Res." columns of Table II).
+    Exact,
+    /// The WWW'15 random-projection baseline.
+    RandomProjection(RandomProjectionOptions),
+    /// The paper's Alg. 3 (sparse approximate inverse of the Cholesky factor).
+    ApproxInverse(EffresConfig),
+}
+
+impl Default for ErMethod {
+    fn default() -> Self {
+        ErMethod::ApproxInverse(EffresConfig::default())
+    }
+}
+
+/// Options of the reduction flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionOptions {
+    /// Target number of ports per block (the paper uses 50).
+    pub ports_per_block: usize,
+    /// Effective-resistance method used for merging and sparsification.
+    pub er_method: ErMethod,
+    /// Nodes joined by an edge with effective resistance below
+    /// `merge_threshold_factor ×` (median edge resistance of the block) are
+    /// merged. `0.0` disables merging.
+    pub merge_threshold_factor: f64,
+    /// Edge-sampling sparsifier options.
+    pub sparsify: SparsifyOptions,
+    /// Absolute threshold below which Schur-complement entries are dropped.
+    pub schur_drop_tolerance: f64,
+    /// Seed of the partitioner.
+    pub seed: u64,
+}
+
+impl Default for ReductionOptions {
+    fn default() -> Self {
+        ReductionOptions {
+            ports_per_block: 50,
+            er_method: ErMethod::default(),
+            merge_threshold_factor: 0.01,
+            sparsify: SparsifyOptions::default(),
+            schur_drop_tolerance: 1e-12,
+            seed: 1,
+        }
+    }
+}
+
+/// Role of a node in the reduction flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReductionNodeKind {
+    /// Attached to a pad, load or ground resistor; always kept.
+    Port,
+    /// Non-port node with a neighbour in another block; kept for stitching.
+    Interface,
+    /// Non-port node whose neighbours are all in its own block; eliminated.
+    Interior,
+}
+
+/// Partition and node classification shared by the full and incremental flows.
+#[derive(Debug, Clone)]
+pub struct GridPartition {
+    /// The resistor-network graph (node–node resistors only).
+    pub graph: Graph,
+    /// Conductance to ground of every node (from node–ground resistors).
+    pub ground_conductance: Vec<f64>,
+    /// Block label of every node.
+    pub partition: Partition,
+    /// Role of every node.
+    pub kinds: Vec<ReductionNodeKind>,
+}
+
+impl GridPartition {
+    /// Builds the resistor graph, partitions it and classifies the nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph and partitioning errors.
+    pub fn build(grid: &PowerGrid, options: &ReductionOptions) -> Result<Self, PowerGridError> {
+        let (graph, ground_conductance) = resistor_graph(grid);
+        let mut is_port = vec![false; grid.node_count()];
+        for pad in grid.pads() {
+            is_port[pad.node] = true;
+        }
+        for load in grid.loads() {
+            is_port[load.node] = true;
+        }
+        for (node, &g) in ground_conductance.iter().enumerate() {
+            if g > 0.0 {
+                is_port[node] = true;
+            }
+        }
+        let port_count = is_port.iter().filter(|&&p| p).count().max(1);
+        let blocks = (port_count / options.ports_per_block.max(1)).max(1);
+        let blocks = blocks.min(grid.node_count().max(1));
+        let partition = partition_graph(&graph, blocks, options.seed)?;
+        let mut kinds = vec![ReductionNodeKind::Interior; grid.node_count()];
+        for node in 0..grid.node_count() {
+            if is_port[node] {
+                kinds[node] = ReductionNodeKind::Port;
+                continue;
+            }
+            let my_block = partition.part_of(node);
+            let interface = graph
+                .neighbors(node)
+                .any(|(u, _)| partition.part_of(u) != my_block);
+            if interface {
+                kinds[node] = ReductionNodeKind::Interface;
+            }
+        }
+        Ok(GridPartition {
+            graph,
+            ground_conductance,
+            partition,
+            kinds,
+        })
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.partition.parts()
+    }
+
+    /// Nodes of a block.
+    pub fn block_nodes(&self, block: usize) -> Vec<usize> {
+        self.partition.members(block)
+    }
+}
+
+/// The reduced model of one block, expressed in original node ids so blocks
+/// can be re-reduced independently and re-stitched (incremental analysis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockReduced {
+    /// Block id.
+    pub block: usize,
+    /// Representative original id of every kept node of the block
+    /// (after merging; representatives map to themselves).
+    pub merge_representative: Vec<(usize, usize)>,
+    /// Reduced intra-block resistors `(original u, original v, conductance)`.
+    pub edges: Vec<(usize, usize, f64)>,
+    /// Reduced conductances to ground `(original node, conductance)`.
+    pub grounds: Vec<(usize, f64)>,
+    /// Wall-clock time spent computing effective resistances.
+    pub er_time: Duration,
+    /// Wall-clock time spent in the Schur elimination.
+    pub schur_time: Duration,
+}
+
+/// Statistics of a full reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReductionStats {
+    /// Nodes of the original grid.
+    pub original_nodes: usize,
+    /// Resistors of the original grid.
+    pub original_resistors: usize,
+    /// Nodes of the reduced grid.
+    pub reduced_nodes: usize,
+    /// Resistors of the reduced grid.
+    pub reduced_resistors: usize,
+    /// Number of blocks.
+    pub blocks: usize,
+    /// Total reduction time.
+    pub total_time: Duration,
+    /// Time spent computing effective resistances.
+    pub er_time: Duration,
+    /// Time spent in Schur eliminations.
+    pub schur_time: Duration,
+}
+
+/// A reduced power grid together with the mapping back to original nodes.
+#[derive(Debug, Clone)]
+pub struct ReducedGrid {
+    /// The reduced netlist (ports, pads, loads and capacitors preserved).
+    pub grid: PowerGrid,
+    /// For every original node, its index in the reduced grid (ports and
+    /// interface nodes only; eliminated nodes map to `None`).
+    pub node_map: Vec<Option<usize>>,
+    /// Reduction statistics.
+    pub stats: ReductionStats,
+}
+
+/// Runs the full Alg. 1 reduction.
+///
+/// # Errors
+///
+/// Propagates partitioning, factorization and effective-resistance errors.
+pub fn reduce(grid: &PowerGrid, options: &ReductionOptions) -> Result<ReducedGrid, PowerGridError> {
+    let start = Instant::now();
+    let partition = GridPartition::build(grid, options)?;
+    let mut blocks = Vec::with_capacity(partition.block_count());
+    for block in 0..partition.block_count() {
+        blocks.push(reduce_block(&partition, block, options)?);
+    }
+    let mut reduced = stitch(grid, &partition, &blocks)?;
+    reduced.stats.total_time = start.elapsed();
+    Ok(reduced)
+}
+
+/// Builds the node–node resistor graph and the per-node ground conductances.
+pub(crate) fn resistor_graph(grid: &PowerGrid) -> (Graph, Vec<f64>) {
+    let mut graph = Graph::with_capacity(grid.node_count(), grid.resistor_count());
+    let mut ground = vec![0.0; grid.node_count()];
+    for r in grid.resistors() {
+        match (r.a, r.b) {
+            (Terminal::Node(i), Terminal::Node(j)) => {
+                graph
+                    .add_edge(i, j, r.conductance)
+                    .expect("netlist nodes are in range");
+            }
+            (Terminal::Node(i), Terminal::Ground) | (Terminal::Ground, Terminal::Node(i)) => {
+                ground[i] += r.conductance;
+            }
+            (Terminal::Ground, Terminal::Ground) => {}
+        }
+    }
+    (graph, ground)
+}
+
+/// Reduces one block: Schur elimination of its interior nodes, effective
+/// resistances, merging and sparsification.
+pub(crate) fn reduce_block(
+    partition: &GridPartition,
+    block: usize,
+    options: &ReductionOptions,
+) -> Result<BlockReduced, PowerGridError> {
+    let nodes = partition.block_nodes(block);
+    let kept: Vec<usize> = nodes
+        .iter()
+        .copied()
+        .filter(|&n| partition.kinds[n] != ReductionNodeKind::Interior)
+        .collect();
+    // Interior nodes reachable from kept nodes (floating interior components
+    // cannot influence the kept nodes and are silently dropped).
+    let in_block = {
+        let mut mask = vec![false; partition.graph.node_count()];
+        for &n in &nodes {
+            mask[n] = true;
+        }
+        mask
+    };
+    let mut reachable = vec![false; partition.graph.node_count()];
+    let mut stack: Vec<usize> = kept.clone();
+    for &k in &kept {
+        reachable[k] = true;
+    }
+    while let Some(v) = stack.pop() {
+        for (u, _) in partition.graph.neighbors(v) {
+            if in_block[u] && !reachable[u] {
+                reachable[u] = true;
+                stack.push(u);
+            }
+        }
+    }
+    let members: Vec<usize> = nodes.iter().copied().filter(|&n| reachable[n]).collect();
+    let interior: Vec<usize> = members
+        .iter()
+        .copied()
+        .filter(|&n| partition.kinds[n] == ReductionNodeKind::Interior)
+        .collect();
+
+    // Local numbering of the block members.
+    let mut local = vec![usize::MAX; partition.graph.node_count()];
+    for (i, &n) in members.iter().enumerate() {
+        local[n] = i;
+    }
+    // Block conductance matrix: intra-block edges + ground conductances.
+    let mut t = TripletMatrix::new(members.len(), members.len());
+    for &n in &members {
+        for (u, e) in partition.graph.neighbors(n) {
+            if in_block[u] && reachable[u] && n < u {
+                t.add_laplacian_edge(local[n], local[u], partition.graph.edge(e).weight);
+            }
+        }
+        if partition.ground_conductance[n] > 0.0 {
+            t.push(local[n], local[n], partition.ground_conductance[n]);
+        }
+    }
+    let block_matrix = t.to_csc();
+
+    let schur_start = Instant::now();
+    let (reduced_matrix, kept_local): (effres_sparse::CscMatrix, Vec<usize>) = if interior.is_empty()
+    {
+        (block_matrix.clone(), (0..members.len()).collect())
+    } else {
+        let keep_local: Vec<usize> = kept.iter().map(|&n| local[n]).collect();
+        let schur =
+            SchurReduction::eliminate(&block_matrix, &keep_local, options.schur_drop_tolerance)?;
+        (schur.reduced_matrix().clone(), keep_local)
+    };
+    let schur_time = schur_start.elapsed();
+    // Original ids of the reduced matrix rows.
+    let kept_original: Vec<usize> = kept_local.iter().map(|&l| members[l]).collect();
+
+    // Interpret the reduced matrix as a weighted graph + ground conductances.
+    let k = kept_original.len();
+    let mut block_graph = Graph::new(k);
+    let mut grounds = vec![0.0f64; k];
+    for j in 0..k {
+        let mut row_sum = reduced_matrix.get(j, j);
+        for (i, v) in reduced_matrix.column(j) {
+            if i == j {
+                continue;
+            }
+            row_sum += v;
+            if i < j && v < 0.0 {
+                block_graph
+                    .add_edge(i, j, -v)
+                    .expect("indices are in range");
+            }
+        }
+        grounds[j] = row_sum.max(0.0);
+    }
+
+    // Effective resistances of the block edges.
+    let er_start = Instant::now();
+    let resistances = block_effective_resistances(&block_graph, &options.er_method)?;
+    let er_time = er_start.elapsed();
+
+    // Merge electrically-equivalent nodes.
+    let threshold = if options.merge_threshold_factor > 0.0 && !resistances.is_empty() {
+        let mut sorted = resistances.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite resistances"));
+        options.merge_threshold_factor * sorted[sorted.len() / 2]
+    } else {
+        0.0
+    };
+    let merge = merge_by_effective_resistance(&block_graph, &resistances, threshold);
+    let (contracted, contract_map) = apply_merge(&block_graph, &merge);
+    // Resistances of the contracted edges: minimum over the parallel original
+    // edges that map onto each contracted edge (merging changes resistances
+    // only marginally because merged nodes were electrically equivalent).
+    let mut contracted_er = vec![f64::INFINITY; contracted.edge_count()];
+    {
+        use std::collections::HashMap;
+        let mut index: HashMap<(usize, usize), usize> = HashMap::new();
+        for (id, e) in contracted.edges() {
+            index.insert((e.u, e.v), id);
+        }
+        for (id, e) in block_graph.edges() {
+            let (mut u, mut v) = (contract_map[e.u], contract_map[e.v]);
+            if u == v {
+                continue;
+            }
+            if u > v {
+                std::mem::swap(&mut u, &mut v);
+            }
+            if let Some(&cid) = index.get(&(u, v)) {
+                contracted_er[cid] = contracted_er[cid].min(resistances[id]);
+            }
+        }
+        for r in &mut contracted_er {
+            if !r.is_finite() {
+                *r = 1.0;
+            }
+        }
+    }
+    // Sparsify.
+    let sparsified =
+        sparsify_by_effective_resistance(&contracted, &contracted_er, &options.sparsify)?;
+
+    // Express the result in original node ids.
+    let representative_of_contracted: Vec<usize> = {
+        // contracted index -> original id of its representative.
+        let mut reps = vec![usize::MAX; contracted.node_count()];
+        for (local_idx, &orig) in kept_original.iter().enumerate() {
+            let c = contract_map[local_idx];
+            if reps[c] == usize::MAX || orig < reps[c] {
+                reps[c] = reps[c].min(orig);
+            }
+        }
+        reps
+    };
+    let merge_representative: Vec<(usize, usize)> = kept_original
+        .iter()
+        .enumerate()
+        .map(|(local_idx, &orig)| (orig, representative_of_contracted[contract_map[local_idx]]))
+        .collect();
+    let edges: Vec<(usize, usize, f64)> = sparsified
+        .edges()
+        .map(|(_, e)| {
+            (
+                representative_of_contracted[e.u],
+                representative_of_contracted[e.v],
+                e.weight,
+            )
+        })
+        .collect();
+    let mut ground_out: Vec<(usize, f64)> = Vec::new();
+    {
+        let mut acc = vec![0.0f64; contracted.node_count()];
+        for (local_idx, &g) in grounds.iter().enumerate() {
+            acc[contract_map[local_idx]] += g;
+        }
+        for (c, &g) in acc.iter().enumerate() {
+            if g > 0.0 {
+                ground_out.push((representative_of_contracted[c], g));
+            }
+        }
+    }
+    Ok(BlockReduced {
+        block,
+        merge_representative,
+        edges,
+        grounds: ground_out,
+        er_time,
+        schur_time,
+    })
+}
+
+/// Computes the effective resistance of every edge of a block graph with the
+/// configured method.
+fn block_effective_resistances(
+    graph: &Graph,
+    method: &ErMethod,
+) -> Result<Vec<f64>, PowerGridError> {
+    if graph.edge_count() == 0 {
+        return Ok(Vec::new());
+    }
+    let values = match method {
+        ErMethod::Exact => ExactEffectiveResistance::build(graph, 1.0)?.query_all_edges(graph)?,
+        ErMethod::RandomProjection(options) => {
+            RandomProjectionEstimator::build(graph, options)?.query_all_edges(graph)?
+        }
+        ErMethod::ApproxInverse(config) => {
+            EffectiveResistanceEstimator::build(graph, config)?.query_all_edges(graph)?
+        }
+    };
+    // Effective resistances are positive; clamp any numerical noise so the
+    // samplers downstream stay well defined.
+    Ok(values.into_iter().map(|r| r.max(1e-15)).collect())
+}
+
+/// Stitches the reduced blocks and the original cross-block edges into a
+/// reduced power grid.
+pub(crate) fn stitch(
+    grid: &PowerGrid,
+    partition: &GridPartition,
+    blocks: &[BlockReduced],
+) -> Result<ReducedGrid, PowerGridError> {
+    let n = grid.node_count();
+    // Global merge representative (identity for nodes never mentioned).
+    let mut representative: Vec<usize> = (0..n).collect();
+    for block in blocks {
+        for &(node, rep) in &block.merge_representative {
+            representative[node] = rep;
+        }
+    }
+    // Final node set: representatives of all kept nodes.
+    let mut final_nodes: Vec<usize> = Vec::new();
+    for block in blocks {
+        for &(_, rep) in &block.merge_representative {
+            final_nodes.push(rep);
+        }
+    }
+    final_nodes.sort_unstable();
+    final_nodes.dedup();
+    let mut dense = vec![usize::MAX; n];
+    for (new, &old) in final_nodes.iter().enumerate() {
+        dense[old] = new;
+    }
+    let map_node = |node: usize| -> Option<usize> {
+        let rep = representative[node];
+        if dense[rep] == usize::MAX {
+            None
+        } else {
+            Some(dense[rep])
+        }
+    };
+
+    let mut reduced = PowerGrid::new(final_nodes.len());
+    // Intra-block reduced resistors and grounds.
+    for block in blocks {
+        for &(u, v, g) in &block.edges {
+            let (nu, nv) = (dense[u], dense[v]);
+            if nu != nv {
+                reduced.add_resistor(Terminal::Node(nu), Terminal::Node(nv), g)?;
+            }
+        }
+        for &(node, g) in &block.grounds {
+            reduced.add_resistor(Terminal::Node(dense[node]), Terminal::Ground, g)?;
+        }
+    }
+    // Original cross-block edges (their endpoints are kept by construction).
+    for (_, e) in partition.graph.edges() {
+        if partition.partition.part_of(e.u) != partition.partition.part_of(e.v) {
+            let nu = map_node(e.u);
+            let nv = map_node(e.v);
+            match (nu, nv) {
+                (Some(a), Some(b)) if a != b => {
+                    reduced.add_resistor(Terminal::Node(a), Terminal::Node(b), e.weight)?;
+                }
+                _ => {}
+            }
+        }
+    }
+    // Ports carry their pads, loads and capacitors.
+    for pad in grid.pads() {
+        if let Some(node) = map_node(pad.node) {
+            reduced.add_pad(node, pad.voltage, pad.conductance)?;
+        }
+    }
+    for load in grid.loads() {
+        if let Some(node) = map_node(load.node) {
+            reduced.add_load(node, load.amps)?;
+        }
+    }
+    for cap in grid.capacitors() {
+        if let Some(node) = map_node(cap.node) {
+            reduced.add_capacitor(node, cap.farads)?;
+        }
+    }
+
+    let node_map: Vec<Option<usize>> = (0..n)
+        .map(|node| {
+            if partition.kinds[node] == ReductionNodeKind::Interior {
+                None
+            } else {
+                map_node(node)
+            }
+        })
+        .collect();
+
+    let stats = ReductionStats {
+        original_nodes: grid.node_count(),
+        original_resistors: grid.resistor_count(),
+        reduced_nodes: reduced.node_count(),
+        reduced_resistors: reduced.resistor_count(),
+        blocks: blocks.len(),
+        total_time: Duration::ZERO,
+        er_time: blocks.iter().map(|b| b.er_time).sum(),
+        schur_time: blocks.iter().map(|b| b.schur_time).sum(),
+    };
+    Ok(ReducedGrid {
+        grid: reduced,
+        node_map,
+        stats,
+    })
+}
+
+/// Compares the port voltages of the original and reduced models.
+///
+/// Returns `(average absolute error, relative error)` where the relative
+/// error divides by the maximum voltage drop of the original solution — the
+/// `Err(mV)` / `Rel(%)` columns of Table II.
+pub fn compare_port_voltages(
+    grid: &PowerGrid,
+    original_voltages: &[f64],
+    reduced: &ReducedGrid,
+    reduced_voltages: &[f64],
+) -> (f64, f64) {
+    let supply = grid.supply_voltage();
+    let max_drop = original_voltages
+        .iter()
+        .fold(0.0_f64, |m, &v| m.max(supply - v))
+        .max(f64::MIN_POSITIVE);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for &port in &grid.port_nodes() {
+        if let Some(reduced_node) = reduced.node_map[port] {
+            sum += (original_voltages[port] - reduced_voltages[reduced_node]).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return (0.0, 0.0);
+    }
+    let err = sum / count as f64;
+    (err, err / max_drop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{dc_solve, stamp};
+    use crate::generator::{synthetic_grid, SyntheticGridOptions};
+
+    fn small_grid() -> PowerGrid {
+        synthetic_grid(&SyntheticGridOptions::small()).expect("valid")
+    }
+
+    fn dc_voltages_of_reduced(reduced: &ReducedGrid) -> Vec<f64> {
+        dc_solve(&reduced.grid).expect("solvable").voltages().to_vec()
+    }
+
+    #[test]
+    fn classification_covers_all_nodes() {
+        let grid = small_grid();
+        let options = ReductionOptions::default();
+        let partition = GridPartition::build(&grid, &options).expect("valid");
+        assert_eq!(partition.kinds.len(), grid.node_count());
+        let ports = partition
+            .kinds
+            .iter()
+            .filter(|&&k| k == ReductionNodeKind::Port)
+            .count();
+        assert!(ports >= grid.port_nodes().len());
+        assert!(partition.block_count() >= 1);
+    }
+
+    #[test]
+    fn reduction_shrinks_the_grid_and_keeps_ports() {
+        let grid = small_grid();
+        let reduced = reduce(&grid, &ReductionOptions::default()).expect("valid");
+        assert!(reduced.stats.reduced_nodes < reduced.stats.original_nodes);
+        assert_eq!(reduced.grid.pads().len(), grid.pads().len());
+        assert_eq!(reduced.grid.loads().len(), grid.loads().len());
+        for &port in &grid.port_nodes() {
+            assert!(reduced.node_map[port].is_some(), "port {port} lost");
+        }
+    }
+
+    #[test]
+    fn reduced_dc_solution_matches_original_at_ports() {
+        let grid = small_grid();
+        for method in [
+            ErMethod::Exact,
+            ErMethod::ApproxInverse(EffresConfig::default()),
+        ] {
+            let options = ReductionOptions {
+                er_method: method.clone(),
+                ..ReductionOptions::default()
+            };
+            let reduced = reduce(&grid, &options).expect("valid");
+            let original = dc_solve(&grid).expect("solvable");
+            let reduced_v = dc_voltages_of_reduced(&reduced);
+            let (err, rel) =
+                compare_port_voltages(&grid, original.voltages(), &reduced, &reduced_v);
+            assert!(
+                rel < 0.05,
+                "{method:?}: port voltage error {err} ({rel} relative) too large"
+            );
+        }
+    }
+
+    #[test]
+    fn approximate_er_reduction_matches_exact_er_reduction_quality() {
+        let grid = small_grid();
+        let original = dc_solve(&grid).expect("solvable");
+        let quality = |method: ErMethod| {
+            let options = ReductionOptions {
+                er_method: method,
+                ..ReductionOptions::default()
+            };
+            let reduced = reduce(&grid, &options).expect("valid");
+            let reduced_v = dc_voltages_of_reduced(&reduced);
+            compare_port_voltages(&grid, original.voltages(), &reduced, &reduced_v).1
+        };
+        let exact_rel = quality(ErMethod::Exact);
+        let approx_rel = quality(ErMethod::ApproxInverse(EffresConfig::default()));
+        // The Alg. 3 based reduction should match the accuracy of the exact
+        // one (Table II: "almost no increase in reduction errors").
+        assert!(
+            approx_rel <= exact_rel * 2.0 + 0.01,
+            "approx {approx_rel} vs exact {exact_rel}"
+        );
+    }
+
+    #[test]
+    fn schur_only_reduction_is_exact_at_ports() {
+        // With sparsification effectively disabled (huge oversampling) and no
+        // merging, the reduction is a pure Schur elimination and must be
+        // exact at the ports.
+        let grid = small_grid();
+        let options = ReductionOptions {
+            merge_threshold_factor: 0.0,
+            sparsify: SparsifyOptions {
+                oversampling: 1e9,
+                seed: 1,
+            },
+            ..ReductionOptions::default()
+        };
+        let reduced = reduce(&grid, &options).expect("valid");
+        let original = dc_solve(&grid).expect("solvable");
+        let reduced_v = dc_voltages_of_reduced(&reduced);
+        let (err, _rel) = compare_port_voltages(&grid, original.voltages(), &reduced, &reduced_v);
+        assert!(err < 1e-6, "pure Schur reduction should be exact, err {err}");
+    }
+
+    #[test]
+    fn stamped_reduced_system_is_spd() {
+        let grid = small_grid();
+        let reduced = reduce(&grid, &ReductionOptions::default()).expect("valid");
+        let system = stamp(&reduced.grid);
+        assert!(system.matrix.is_symmetric(1e-9));
+        assert!(effres_sparse::cholesky::CholeskyFactor::factor(&system.matrix).is_ok());
+    }
+
+    #[test]
+    fn ground_resistors_are_treated_as_ports_and_survive_reduction() {
+        // A ladder with a leakage resistor to ground in the middle: the
+        // leakage node must be classified as a port (it has a ground path)
+        // and the reduced model must reproduce the original DC solution.
+        let mut grid = PowerGrid::new(6);
+        for i in 0..5 {
+            grid.add_resistor(Terminal::Node(i), Terminal::Node(i + 1), 10.0)
+                .expect("valid");
+        }
+        grid.add_resistor(Terminal::Node(3), Terminal::Ground, 0.5)
+            .expect("valid");
+        grid.add_pad(0, 1.0, 100.0).expect("valid");
+        grid.add_load(5, 0.01).expect("valid");
+        let options = ReductionOptions::default();
+        let partition = GridPartition::build(&grid, &options).expect("valid");
+        assert_eq!(partition.kinds[3], ReductionNodeKind::Port);
+        let reduced = reduce(&grid, &options).expect("valid");
+        assert!(reduced.node_map[3].is_some());
+        let original = dc_solve(&grid).expect("solvable");
+        let reduced_v = dc_voltages_of_reduced(&reduced);
+        let (err, _) = compare_port_voltages(&grid, original.voltages(), &reduced, &reduced_v);
+        assert!(err < 1e-9, "tiny circuit should be reduced exactly, err {err}");
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let grid = small_grid();
+        let reduced = reduce(&grid, &ReductionOptions::default()).expect("valid");
+        assert_eq!(reduced.stats.original_nodes, grid.node_count());
+        assert_eq!(reduced.stats.reduced_nodes, reduced.grid.node_count());
+        assert!(reduced.stats.total_time >= reduced.stats.er_time);
+        assert!(reduced.stats.blocks >= 1);
+    }
+}

@@ -1,0 +1,281 @@
+//! Sparse Schur-complement elimination.
+//!
+//! Step 2 of Alg. 1 eliminates the non-port interior nodes of each block
+//! without loss of accuracy: with the node set split into kept nodes `k` and
+//! eliminated nodes `e`,
+//!
+//! ```text
+//! S = G_kk − G_ke · G_ee⁻¹ · G_ek
+//! ```
+//!
+//! is the exact reduced conductance matrix seen from the kept nodes. The
+//! right-hand side reduces as `b_k' = b_k − G_ke G_ee⁻¹ b_e` and the interior
+//! solution can be recovered afterwards as `v_e = G_ee⁻¹ (b_e − G_ek v_k)`.
+
+use crate::analysis::factor_spd;
+use crate::error::PowerGridError;
+use effres_sparse::cholesky::CholeskyFactor;
+use effres_sparse::{CscMatrix, TripletMatrix};
+
+/// Result of a Schur-complement elimination.
+#[derive(Debug, Clone)]
+pub struct SchurReduction {
+    /// The reduced matrix over the kept nodes (in the order of `kept`).
+    reduced: CscMatrix,
+    /// Original indices of the kept nodes.
+    kept: Vec<usize>,
+    /// Original indices of the eliminated nodes.
+    eliminated: Vec<usize>,
+    /// Factorization of the eliminated block `G_ee`.
+    interior_factor: CholeskyFactor,
+    /// Coupling block `G_ek` (eliminated rows, kept columns).
+    coupling: CscMatrix,
+}
+
+impl SchurReduction {
+    /// Eliminates every node of `matrix` that is not listed in `keep`.
+    ///
+    /// Entries of the Schur complement smaller in magnitude than
+    /// `drop_tolerance` (absolute) are dropped; pass `0.0` to keep everything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerGridError::Sparse`] if the interior block is singular
+    /// (e.g. an interior region with no path to a kept node) and
+    /// [`PowerGridError::InvalidParameter`] for out-of-range or duplicate
+    /// keep indices.
+    pub fn eliminate(
+        matrix: &CscMatrix,
+        keep: &[usize],
+        drop_tolerance: f64,
+    ) -> Result<Self, PowerGridError> {
+        let n = matrix.ncols();
+        let mut is_kept = vec![false; n];
+        for &k in keep {
+            if k >= n {
+                return Err(PowerGridError::InvalidParameter {
+                    name: "keep",
+                    message: format!("index {k} out of bounds for order {n}"),
+                });
+            }
+            if is_kept[k] {
+                return Err(PowerGridError::InvalidParameter {
+                    name: "keep",
+                    message: format!("index {k} listed twice"),
+                });
+            }
+            is_kept[k] = true;
+        }
+        let kept: Vec<usize> = keep.to_vec();
+        let eliminated: Vec<usize> = (0..n).filter(|&i| !is_kept[i]).collect();
+
+        let g_kk = matrix.submatrix(&kept, &kept);
+        let g_ee = matrix.submatrix(&eliminated, &eliminated);
+        let g_ek = matrix.submatrix(&eliminated, &kept);
+        let interior_factor = factor_spd(&g_ee)?;
+
+        // S = G_kk − G_keᵀ X with X = G_ee⁻¹ G_ek, built column by column.
+        let mut correction = TripletMatrix::new(kept.len(), kept.len());
+        let ne = eliminated.len();
+        for (j, _) in kept.iter().enumerate() {
+            // Column j of G_ek as a dense vector.
+            let mut col = vec![0.0; ne];
+            for (row, value) in g_ek.column(j) {
+                col[row] = value;
+            }
+            if col.iter().all(|&v| v == 0.0) {
+                continue;
+            }
+            let x = interior_factor.solve(&col);
+            // Column j of the correction: G_ke x = G_ekᵀ x.
+            for i in 0..kept.len() {
+                let mut s = 0.0;
+                for (row, value) in g_ek.column(i) {
+                    s += value * x[row];
+                }
+                if s != 0.0 {
+                    correction.push(i, j, s);
+                }
+            }
+        }
+        let schur = g_kk.add_scaled(1.0, &correction.to_csc(), -1.0)?;
+        let reduced = if drop_tolerance > 0.0 {
+            schur.drop_small(drop_tolerance)
+        } else {
+            schur
+        };
+        Ok(SchurReduction {
+            reduced,
+            kept,
+            eliminated,
+            interior_factor,
+            coupling: g_ek,
+        })
+    }
+
+    /// The reduced matrix over the kept nodes.
+    pub fn reduced_matrix(&self) -> &CscMatrix {
+        &self.reduced
+    }
+
+    /// Original indices of the kept nodes (the row/column order of the
+    /// reduced matrix).
+    pub fn kept_nodes(&self) -> &[usize] {
+        &self.kept
+    }
+
+    /// Original indices of the eliminated nodes.
+    pub fn eliminated_nodes(&self) -> &[usize] {
+        &self.eliminated
+    }
+
+    /// Reduces a full right-hand side to the kept nodes:
+    /// `b_k' = b_k − G_ke G_ee⁻¹ b_e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs.len()` differs from the original matrix order.
+    pub fn reduce_rhs(&self, rhs: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            rhs.len(),
+            self.kept.len() + self.eliminated.len(),
+            "rhs length mismatch"
+        );
+        let b_e: Vec<f64> = self.eliminated.iter().map(|&i| rhs[i]).collect();
+        let mut out: Vec<f64> = self.kept.iter().map(|&i| rhs[i]).collect();
+        if b_e.iter().all(|&v| v == 0.0) {
+            return out;
+        }
+        let y = self.interior_factor.solve(&b_e);
+        for (j, slot) in out.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for (row, value) in self.coupling.column(j) {
+                s += value * y[row];
+            }
+            *slot -= s;
+        }
+        out
+    }
+
+    /// Recovers the eliminated node voltages from the kept solution:
+    /// `v_e = G_ee⁻¹ (b_e − G_ek v_k)`.
+    ///
+    /// Returns pairs `(original_node, voltage)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths are inconsistent.
+    pub fn recover_eliminated(&self, kept_solution: &[f64], rhs: &[f64]) -> Vec<(usize, f64)> {
+        assert_eq!(kept_solution.len(), self.kept.len(), "solution length mismatch");
+        assert_eq!(
+            rhs.len(),
+            self.kept.len() + self.eliminated.len(),
+            "rhs length mismatch"
+        );
+        let mut b_e: Vec<f64> = self.eliminated.iter().map(|&i| rhs[i]).collect();
+        for (j, &vk) in kept_solution.iter().enumerate() {
+            if vk == 0.0 {
+                continue;
+            }
+            for (row, value) in self.coupling.column(j) {
+                b_e[row] -= value * vk;
+            }
+        }
+        let v_e = self.interior_factor.solve(&b_e);
+        self.eliminated
+            .iter()
+            .copied()
+            .zip(v_e)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{dc_solve, stamp};
+    use crate::generator::{synthetic_grid, SyntheticGridOptions};
+
+    fn ladder_matrix() -> CscMatrix {
+        // Conductance matrix of a 4-node ladder with a 1 S tie to ground at
+        // node 0: tridiagonal SPD.
+        let mut t = TripletMatrix::new(4, 4);
+        for i in 0..3 {
+            t.add_laplacian_edge(i, i + 1, 2.0);
+        }
+        t.push(0, 0, 1.0);
+        t.to_csc()
+    }
+
+    #[test]
+    fn schur_of_ladder_matches_series_conductance() {
+        // Eliminating the middle nodes of a 2 S - 2 S - 2 S ladder leaves the
+        // series combination 2/3 S between nodes 0 and 3.
+        let a = ladder_matrix();
+        let red = SchurReduction::eliminate(&a, &[0, 3], 0.0).expect("nonsingular");
+        let s = red.reduced_matrix();
+        assert_eq!(s.ncols(), 2);
+        assert!((s.get(0, 1) - (-2.0 / 3.0)).abs() < 1e-12);
+        assert!((s.get(1, 1) - 2.0 / 3.0).abs() < 1e-12);
+        // Node 0 keeps its 1 S ground tie.
+        assert!((s.get(0, 0) - (2.0 / 3.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduced_system_reproduces_kept_solution() {
+        let a = ladder_matrix();
+        let rhs = vec![0.5, 0.0, 0.0, -0.1];
+        let full = effres_sparse::cholesky::CholeskyFactor::factor(&a)
+            .expect("spd")
+            .solve(&rhs);
+        let red = SchurReduction::eliminate(&a, &[0, 3], 0.0).expect("nonsingular");
+        let reduced_rhs = red.reduce_rhs(&rhs);
+        let kept_solution = effres_sparse::cholesky::CholeskyFactor::factor(red.reduced_matrix())
+            .expect("spd")
+            .solve(&reduced_rhs);
+        assert!((kept_solution[0] - full[0]).abs() < 1e-10);
+        assert!((kept_solution[1] - full[3]).abs() < 1e-10);
+        // Interior recovery matches too.
+        for (node, v) in red.recover_eliminated(&kept_solution, &rhs) {
+            assert!((v - full[node]).abs() < 1e-10, "node {node}");
+        }
+    }
+
+    #[test]
+    fn schur_preserves_port_dc_solution_of_a_real_grid() {
+        let grid = synthetic_grid(&SyntheticGridOptions::small()).expect("valid");
+        let system = stamp(&grid);
+        let ports = grid.port_nodes();
+        let red = SchurReduction::eliminate(&system.matrix, &ports, 0.0).expect("nonsingular");
+        let reduced_rhs = red.reduce_rhs(&system.rhs);
+        let kept = effres_sparse::cholesky::CholeskyFactor::factor(red.reduced_matrix())
+            .expect("spd")
+            .solve(&reduced_rhs);
+        let full = dc_solve(&grid).expect("solvable");
+        for (j, &node) in red.kept_nodes().iter().enumerate() {
+            assert!(
+                (kept[j] - full.voltage(node)).abs() < 1e-8,
+                "port {node}: {} vs {}",
+                kept[j],
+                full.voltage(node)
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_keep_sets_rejected() {
+        let a = ladder_matrix();
+        assert!(SchurReduction::eliminate(&a, &[0, 9], 0.0).is_err());
+        assert!(SchurReduction::eliminate(&a, &[0, 0], 0.0).is_err());
+    }
+
+    #[test]
+    fn drop_tolerance_sparsifies_the_complement() {
+        let grid = synthetic_grid(&SyntheticGridOptions::small()).expect("valid");
+        let system = stamp(&grid);
+        let ports = grid.port_nodes();
+        let dense = SchurReduction::eliminate(&system.matrix, &ports, 0.0).expect("ok");
+        let dropped = SchurReduction::eliminate(&system.matrix, &ports, 1e-4).expect("ok");
+        assert!(dropped.reduced_matrix().nnz() <= dense.reduced_matrix().nnz());
+    }
+}

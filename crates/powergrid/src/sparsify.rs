@@ -1,0 +1,393 @@
+//! Effective-resistance port merging and spectral sparsification.
+//!
+//! Steps 3–4 of Alg. 1: once a block has been Schur-reduced it is much
+//! denser than the original mesh. The reduced block is treated as a weighted
+//! graph, the effective resistance of every edge is computed (exactly, with
+//! the random-projection baseline, or with the paper's Alg. 3), and then
+//!
+//! * nodes joined by an edge of negligible effective resistance are merged
+//!   (they are electrically almost the same node), and
+//! * the remaining edges are sampled with probability proportional to
+//!   `w_e · R_e` — the Spielman–Srivastava scheme [4] — and reweighted, which
+//!   keeps the spectral behaviour of the block while shrinking its edge count.
+
+use crate::error::PowerGridError;
+use effres_graph::spanning::maximum_weight_spanning_forest;
+use effres_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of merging electrically-equivalent nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeMerge {
+    /// For every node of the input graph, the node it was merged into
+    /// (a representative maps to itself).
+    representative: Vec<usize>,
+    /// Number of distinct representatives.
+    merged_count: usize,
+}
+
+impl NodeMerge {
+    /// The representative of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn representative(&self, node: usize) -> usize {
+        self.representative[node]
+    }
+
+    /// Representative of every node.
+    pub fn representatives(&self) -> &[usize] {
+        &self.representative
+    }
+
+    /// Number of distinct nodes after merging.
+    pub fn merged_count(&self) -> usize {
+        self.merged_count
+    }
+}
+
+/// Merges the endpoints of every edge whose effective resistance is at most
+/// `threshold`. Returns the merge map; apply it with
+/// [`apply_merge`] to obtain the contracted graph.
+///
+/// # Panics
+///
+/// Panics if `resistances.len()` differs from the edge count.
+pub fn merge_by_effective_resistance(
+    graph: &Graph,
+    resistances: &[f64],
+    threshold: f64,
+) -> NodeMerge {
+    assert_eq!(
+        resistances.len(),
+        graph.edge_count(),
+        "one resistance per edge required"
+    );
+    let n = graph.node_count();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (id, e) in graph.edges() {
+        if resistances[id] <= threshold {
+            let ra = find(&mut parent, e.u);
+            let rb = find(&mut parent, e.v);
+            if ra != rb {
+                // Merge into the smaller representative for determinism.
+                let (keep, drop) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                parent[drop] = keep;
+            }
+        }
+    }
+    let representative: Vec<usize> = (0..n).map(|v| find(&mut parent, v)).collect();
+    let mut distinct: Vec<usize> = representative.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    NodeMerge {
+        representative,
+        merged_count: distinct.len(),
+    }
+}
+
+/// Contracts a graph according to a merge map, renumbering the surviving
+/// representatives to `0..merged_count` (in increasing original order) and
+/// coalescing parallel edges. Returns the contracted graph and the map from
+/// original node to contracted node.
+pub fn apply_merge(graph: &Graph, merge: &NodeMerge) -> (Graph, Vec<usize>) {
+    let n = graph.node_count();
+    let mut survivors: Vec<usize> = merge.representatives().to_vec();
+    survivors.sort_unstable();
+    survivors.dedup();
+    let mut dense_id = vec![usize::MAX; n];
+    for (new, &old) in survivors.iter().enumerate() {
+        dense_id[old] = new;
+    }
+    let map: Vec<usize> = (0..n)
+        .map(|v| dense_id[merge.representative(v)])
+        .collect();
+    let mut contracted = Graph::new(survivors.len());
+    for (_, e) in graph.edges() {
+        let u = map[e.u];
+        let v = map[e.v];
+        if u != v {
+            contracted
+                .add_edge(u, v, e.weight)
+                .expect("indices are in range");
+        }
+    }
+    (contracted.coalesced(), map)
+}
+
+/// Options of the effective-resistance sampling sparsifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsifyOptions {
+    /// Oversampling constant `c`: the sampler draws
+    /// `ceil(c · n · ln n)` edges (with replacement).
+    pub oversampling: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for SparsifyOptions {
+    fn default() -> Self {
+        SparsifyOptions {
+            oversampling: 2.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Sparsifies a weighted graph by effective-resistance sampling
+/// (Spielman–Srivastava): edge `e` is drawn with probability proportional to
+/// `w_e · R_e` and each drawn copy contributes `w_e / (q · p_e)` to the
+/// sparsifier. Edges whose expected sample count is at least one are kept
+/// deterministically with their original weight (the standard
+/// variance-reduction refinement), and a maximum-weight spanning forest is
+/// always included so the sparsifier stays connected.
+///
+/// If the requested sample count is at least the edge count, the graph is
+/// returned unchanged (sparsification would not help).
+///
+/// # Errors
+///
+/// Returns [`PowerGridError::InvalidParameter`] if `resistances` has the
+/// wrong length or the oversampling constant is not positive.
+pub fn sparsify_by_effective_resistance(
+    graph: &Graph,
+    resistances: &[f64],
+    options: &SparsifyOptions,
+) -> Result<Graph, PowerGridError> {
+    if resistances.len() != graph.edge_count() {
+        return Err(PowerGridError::InvalidParameter {
+            name: "resistances",
+            message: format!(
+                "expected {} edge resistances, found {}",
+                graph.edge_count(),
+                resistances.len()
+            ),
+        });
+    }
+    if !(options.oversampling > 0.0) {
+        return Err(PowerGridError::InvalidParameter {
+            name: "oversampling",
+            message: "must be positive".to_string(),
+        });
+    }
+    let n = graph.node_count();
+    let m = graph.edge_count();
+    if n < 3 || m < 4 {
+        return Ok(graph.clone());
+    }
+    let q = (options.oversampling * n as f64 * (n as f64).ln()).ceil() as usize;
+    if q >= m {
+        return Ok(graph.clone());
+    }
+
+    // Sampling scores proportional to w_e * R_e (clamped to be positive).
+    let scores: Vec<f64> = graph
+        .edges()
+        .map(|(id, e)| (e.weight * resistances[id]).max(1e-300))
+        .collect();
+    let total: f64 = scores.iter().sum();
+
+    // Edges whose expected number of samples q * p_e reaches 1 are kept
+    // deterministically with their original weight; the remaining sampling
+    // budget is spent on the light edges only.
+    let mut keep = vec![false; m];
+    let mut light_total = 0.0;
+    let mut light_budget = q as f64;
+    // A couple of passes are enough for the keep set to stabilize on the
+    // block sizes seen in practice.
+    for _ in 0..4 {
+        light_total = 0.0;
+        let mut kept_count = 0usize;
+        for (id, &s) in scores.iter().enumerate() {
+            if keep[id] {
+                kept_count += 1;
+            } else {
+                light_total += s;
+            }
+        }
+        light_budget = (q as f64 - kept_count as f64).max(1.0);
+        let mut changed = false;
+        for (id, &s) in scores.iter().enumerate() {
+            if !keep[id] && light_budget * s / light_total.max(1e-300) >= 1.0 {
+                keep[id] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let _ = total;
+
+    let mut sampled_weight = vec![0.0f64; m];
+    for (id, &kept) in keep.iter().enumerate() {
+        if kept {
+            sampled_weight[id] = graph.edge(id).weight;
+        }
+    }
+    // Inverse-transform sampling over the light edges.
+    let light_ids: Vec<usize> = (0..m).filter(|&id| !keep[id]).collect();
+    if !light_ids.is_empty() && light_total > 0.0 {
+        let probabilities: Vec<f64> = light_ids
+            .iter()
+            .map(|&id| scores[id] / light_total)
+            .collect();
+        let mut cumulative = Vec::with_capacity(light_ids.len());
+        let mut acc = 0.0;
+        for &p in &probabilities {
+            acc += p;
+            cumulative.push(acc);
+        }
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let draws = light_budget.round().max(1.0) as usize;
+        for _ in 0..draws {
+            let r: f64 = rng.gen_range(0.0..1.0);
+            let pos = match cumulative
+                .binary_search_by(|c| c.partial_cmp(&r).expect("probabilities are finite"))
+            {
+                Ok(i) => i,
+                Err(i) => i.min(light_ids.len() - 1),
+            };
+            let id = light_ids[pos];
+            sampled_weight[id] +=
+                graph.edge(id).weight / (draws as f64 * probabilities[pos]);
+        }
+    }
+
+    // Always keep a maximum-weight spanning forest for connectivity; tree
+    // edges that were not sampled keep their original weight.
+    let forest = maximum_weight_spanning_forest(graph);
+    for &e in forest.edge_ids() {
+        if sampled_weight[e] == 0.0 {
+            sampled_weight[e] = graph.edge(e).weight;
+        }
+    }
+
+    let mut sparsifier = Graph::new(n);
+    for (id, e) in graph.edges() {
+        if sampled_weight[id] > 0.0 {
+            sparsifier
+                .add_edge(e.u, e.v, sampled_weight[id])
+                .expect("indices are in range");
+        }
+    }
+    Ok(sparsifier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use effres::prelude::*;
+    use effres_graph::generators;
+
+    fn dense_block(seed: u64) -> Graph {
+        // A dense-ish random graph standing in for a Schur-reduced block.
+        generators::random_connected(60, 900, 0.5, 2.0, seed).expect("valid")
+    }
+
+    #[test]
+    fn merge_contracts_low_resistance_edges() {
+        // Edge (0,1) has a huge conductance => tiny effective resistance.
+        let g = Graph::from_edges(4, vec![(0, 1, 1e6), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)])
+            .expect("valid");
+        let exact = ExactEffectiveResistance::build(&g, 1.0).expect("build");
+        let er = exact.query_all_edges(&g).expect("ok");
+        let merge = merge_by_effective_resistance(&g, &er, 1e-3);
+        assert_eq!(merge.merged_count(), 3);
+        assert_eq!(merge.representative(1), merge.representative(0));
+        let (contracted, map) = apply_merge(&g, &merge);
+        assert_eq!(contracted.node_count(), 3);
+        assert_eq!(map[0], map[1]);
+        // No self loops; parallel edges coalesced.
+        assert!(contracted.edge_count() <= 3);
+    }
+
+    #[test]
+    fn zero_threshold_merges_nothing() {
+        let g = dense_block(1);
+        let er = vec![1.0; g.edge_count()];
+        let merge = merge_by_effective_resistance(&g, &er, 0.0);
+        assert_eq!(merge.merged_count(), g.node_count());
+        let (contracted, _) = apply_merge(&g, &merge);
+        assert_eq!(contracted.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn sparsifier_reduces_edges_and_preserves_resistances() {
+        let g = dense_block(3);
+        let exact = ExactEffectiveResistance::build(&g, 1.0).expect("build");
+        let er = exact.query_all_edges(&g).expect("ok");
+        let sparse = sparsify_by_effective_resistance(
+            &g,
+            &er,
+            &SparsifyOptions {
+                oversampling: 2.0,
+                seed: 5,
+            },
+        )
+        .expect("valid");
+        assert!(
+            sparse.edge_count() < g.edge_count(),
+            "sparsifier should drop edges: {} vs {}",
+            sparse.edge_count(),
+            g.edge_count()
+        );
+        assert!(effres_graph::components::is_connected(&sparse));
+        // Spectral similarity: spot-check a few effective resistances.
+        let exact_sparse = ExactEffectiveResistance::build(&sparse, 1.0).expect("build");
+        let mut worst: f64 = 0.0;
+        for &(p, q) in &[(0, 30), (5, 45), (10, 55), (20, 40)] {
+            let a = exact.query(p, q).expect("ok");
+            let b = exact_sparse.query(p, q).expect("ok");
+            worst = worst.max(((a - b) / a).abs());
+        }
+        assert!(worst < 0.5, "resistance distortion {worst} too large");
+    }
+
+    #[test]
+    fn small_graphs_are_returned_unchanged() {
+        let g = Graph::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0)]).expect("valid");
+        let er = vec![1.0, 1.0];
+        let s = sparsify_by_effective_resistance(&g, &er, &SparsifyOptions::default())
+            .expect("valid");
+        assert_eq!(s.edge_count(), 2);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let g = dense_block(7);
+        assert!(sparsify_by_effective_resistance(&g, &[1.0], &SparsifyOptions::default()).is_err());
+        let er = vec![1.0; g.edge_count()];
+        assert!(sparsify_by_effective_resistance(
+            &g,
+            &er,
+            &SparsifyOptions {
+                oversampling: 0.0,
+                seed: 0
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sparsifier_is_deterministic_for_fixed_seed() {
+        let g = dense_block(9);
+        let er = vec![1.0; g.edge_count()];
+        let o = SparsifyOptions {
+            oversampling: 1.5,
+            seed: 42,
+        };
+        let a = sparsify_by_effective_resistance(&g, &er, &o).expect("valid");
+        let b = sparsify_by_effective_resistance(&g, &er, &o).expect("valid");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,295 @@
+//! Conjugate-gradient solvers.
+//!
+//! The random-projection baseline (WWW'15 [1] in the paper) needs an SDD
+//! solver for `O(log m)` right-hand sides. The original work uses a
+//! combinatorial multigrid; we substitute a preconditioned conjugate-gradient
+//! solver with an incomplete-Cholesky preconditioner, which exercises the
+//! same code path (repeated Laplacian solves) with comparable asymptotics on
+//! the mesh-like graphs of the evaluation.
+
+use crate::csc::CscMatrix;
+use crate::error::SparseError;
+use crate::ichol::IncompleteCholesky;
+use crate::vecops;
+
+/// A linear preconditioner `M ≈ A` applied as `z = M^{-1} r`.
+pub trait Preconditioner {
+    /// Applies the preconditioner to a residual vector.
+    fn apply(&self, r: &[f64]) -> Vec<f64>;
+}
+
+/// The identity preconditioner (plain conjugate gradients).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityPreconditioner;
+
+impl Preconditioner for IdentityPreconditioner {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        r.to_vec()
+    }
+}
+
+/// Jacobi (diagonal) preconditioner.
+#[derive(Debug, Clone)]
+pub struct JacobiPreconditioner {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPreconditioner {
+    /// Builds the preconditioner from the diagonal of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidParameter`] if a diagonal entry is zero
+    /// or negative.
+    pub fn new(a: &CscMatrix) -> Result<Self, SparseError> {
+        let diag = a.diagonal();
+        if diag.iter().any(|&d| d <= 0.0) {
+            return Err(SparseError::InvalidParameter {
+                name: "diagonal",
+                message: "Jacobi preconditioner requires a positive diagonal",
+            });
+        }
+        Ok(JacobiPreconditioner {
+            inv_diag: diag.iter().map(|d| 1.0 / d).collect(),
+        })
+    }
+}
+
+impl Preconditioner for JacobiPreconditioner {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        r.iter().zip(&self.inv_diag).map(|(x, d)| x * d).collect()
+    }
+}
+
+impl Preconditioner for IncompleteCholesky {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        IncompleteCholesky::apply(self, r)
+    }
+}
+
+/// Options for the conjugate-gradient iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgOptions {
+    /// Relative residual tolerance `||r|| <= tolerance * ||b||`.
+    pub tolerance: f64,
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            tolerance: 1e-10,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+/// Outcome of a conjugate-gradient solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgSolution {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final relative residual norm.
+    pub relative_residual: f64,
+}
+
+/// Solves `A x = b` with preconditioned conjugate gradients.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotSquare`] or [`SparseError::DimensionMismatch`]
+/// for inconsistent shapes and [`SparseError::ConvergenceFailure`] when the
+/// tolerance is not reached within the iteration budget.
+pub fn pcg<P: Preconditioner>(
+    a: &CscMatrix,
+    b: &[f64],
+    preconditioner: &P,
+    options: CgOptions,
+) -> Result<CgSolution, SparseError> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
+    }
+    if b.len() != a.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            context: "pcg right-hand side",
+            expected: a.nrows(),
+            found: b.len(),
+        });
+    }
+    let n = a.nrows();
+    let norm_b = vecops::norm2(b);
+    if norm_b == 0.0 {
+        return Ok(CgSolution {
+            x: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+        });
+    }
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = preconditioner.apply(&r);
+    let mut p = z.clone();
+    let mut rz = vecops::dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    for iteration in 0..options.max_iterations {
+        let rel = vecops::norm2(&r) / norm_b;
+        if rel <= options.tolerance {
+            return Ok(CgSolution {
+                x,
+                iterations: iteration,
+                relative_residual: rel,
+            });
+        }
+        a.matvec_into(&p, &mut ap);
+        let pap = vecops::dot(&p, &ap);
+        if pap <= 0.0 {
+            // Breakdown: the matrix is not positive definite along p.
+            return Err(SparseError::ConvergenceFailure {
+                iterations: iteration,
+                residual: rel,
+                tolerance: options.tolerance,
+            });
+        }
+        let alpha = rz / pap;
+        vecops::axpy(alpha, &p, &mut x);
+        vecops::axpy(-alpha, &ap, &mut r);
+        z = preconditioner.apply(&r);
+        let rz_new = vecops::dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    let rel = vecops::norm2(&r) / norm_b;
+    if rel <= options.tolerance {
+        Ok(CgSolution {
+            x,
+            iterations: options.max_iterations,
+            relative_residual: rel,
+        })
+    } else {
+        Err(SparseError::ConvergenceFailure {
+            iterations: options.max_iterations,
+            residual: rel,
+            tolerance: options.tolerance,
+        })
+    }
+}
+
+/// Convenience wrapper: plain conjugate gradients without preconditioning.
+///
+/// # Errors
+///
+/// See [`pcg`].
+pub fn cg(a: &CscMatrix, b: &[f64], options: CgOptions) -> Result<CgSolution, SparseError> {
+    pcg(a, b, &IdentityPreconditioner, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::TripletMatrix;
+    use crate::ichol::IncompleteCholesky;
+
+    fn grid_laplacian(rows: usize, cols: usize, shift: f64) -> CscMatrix {
+        let idx = |r: usize, c: usize| r * cols + c;
+        let n = rows * cols;
+        let mut t = TripletMatrix::new(n, n);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    t.add_laplacian_edge(idx(r, c), idx(r, c + 1), 1.0);
+                }
+                if r + 1 < rows {
+                    t.add_laplacian_edge(idx(r, c), idx(r + 1, c), 1.0);
+                }
+            }
+        }
+        for i in 0..n {
+            t.push(i, i, shift);
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn cg_solves_small_system() {
+        let a = grid_laplacian(4, 4, 0.1);
+        let n = a.ncols();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();
+        let sol = cg(&a, &b, CgOptions::default()).expect("converges");
+        assert!(a.residual_inf_norm(&sol.x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn ic_preconditioner_reduces_iterations() {
+        let a = grid_laplacian(20, 20, 1e-4);
+        let n = a.ncols();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7919) % 13) as f64 - 6.0).collect();
+        let plain = cg(&a, &b, CgOptions::default()).expect("converges");
+        let ic = IncompleteCholesky::with_drop_tolerance(&a, 1e-3).expect("factor");
+        let pre = pcg(&a, &b, &ic, CgOptions::default()).expect("converges");
+        assert!(a.residual_inf_norm(&pre.x, &b) < 1e-6);
+        assert!(
+            pre.iterations < plain.iterations,
+            "IC-PCG ({}) should beat CG ({})",
+            pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn jacobi_preconditioner_works() {
+        let a = grid_laplacian(8, 8, 0.5);
+        let n = a.ncols();
+        let b = vec![1.0; n];
+        let jac = JacobiPreconditioner::new(&a).expect("positive diagonal");
+        let sol = pcg(&a, &b, &jac, CgOptions::default()).expect("converges");
+        assert!(a.residual_inf_norm(&sol.x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_solution() {
+        let a = grid_laplacian(3, 3, 1.0);
+        let sol = cg(&a, &vec![0.0; 9], CgOptions::default()).expect("trivial");
+        assert_eq!(sol.x, vec![0.0; 9]);
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn iteration_budget_is_enforced() {
+        let a = grid_laplacian(10, 10, 1e-8);
+        let b: Vec<f64> = (0..100).map(|i| (i as f64 * 0.61).sin()).collect();
+        let opts = CgOptions {
+            tolerance: 1e-14,
+            max_iterations: 2,
+        };
+        assert!(matches!(
+            cg(&a, &b, opts),
+            Err(SparseError::ConvergenceFailure { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let a = grid_laplacian(2, 2, 1.0);
+        assert!(cg(&a, &[1.0, 2.0], CgOptions::default()).is_err());
+        let rect = CscMatrix::zeros(2, 3);
+        assert!(cg(&rect, &[1.0, 2.0], CgOptions::default()).is_err());
+    }
+
+    #[test]
+    fn jacobi_rejects_nonpositive_diagonal() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, -1.0);
+        assert!(JacobiPreconditioner::new(&t.to_csc()).is_err());
+    }
+}

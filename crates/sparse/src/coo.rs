@@ -1,0 +1,195 @@
+//! Triplet (coordinate) sparse matrix used for assembly.
+//!
+//! A [`TripletMatrix`] is an unordered list of `(row, col, value)` entries;
+//! duplicate entries are summed when converting to a compressed format. This
+//! is the natural format for stamping circuit elements into a system matrix
+//! or accumulating a graph Laplacian edge by edge.
+
+use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+
+/// A sparse matrix in triplet (COO) form, used for incremental assembly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TripletMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty triplet matrix with the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        TripletMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates an empty triplet matrix with preallocated capacity for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        TripletMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries (duplicates included).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Appends the entry `(row, col, value)`.
+    ///
+    /// Zero values are kept; duplicates are summed on conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "triplet entry ({row}, {col}) out of bounds for {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        self.rows.push(row);
+        self.cols.push(col);
+        self.values.push(value);
+    }
+
+    /// Fallible version of [`TripletMatrix::push`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] when the entry does not fit.
+    pub fn try_push(&mut self, row: usize, col: usize, value: f64) -> Result<(), SparseError> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// Adds a symmetric pair of off-diagonal entries and the corresponding
+    /// diagonal contributions of a (weighted) graph Laplacian edge:
+    /// `A[i][i] += w`, `A[j][j] += w`, `A[i][j] -= w`, `A[j][i] -= w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds or `i == j`.
+    pub fn add_laplacian_edge(&mut self, i: usize, j: usize, w: f64) {
+        assert_ne!(i, j, "Laplacian edge endpoints must differ");
+        self.push(i, i, w);
+        self.push(j, j, w);
+        self.push(i, j, -w);
+        self.push(j, i, -w);
+    }
+
+    /// Iterates over the stored `(row, col, value)` triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.values)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Converts to compressed sparse column form, summing duplicates and
+    /// dropping entries that sum to exactly zero is *not* performed (explicit
+    /// zeros are kept so structural patterns remain predictable).
+    pub fn to_csc(&self) -> CscMatrix {
+        CscMatrix::from_triplets(self.nrows, self.ncols, &self.rows, &self.cols, &self.values)
+    }
+
+    /// Converts to compressed sparse row form, summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        self.to_csc().to_csr()
+    }
+}
+
+impl Extend<(usize, usize, f64)> for TripletMatrix {
+    fn extend<T: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: T) {
+        for (r, c, v) in iter {
+            self.push(r, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_convert_sums_duplicates() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 0, 2.0);
+        t.push(1, 0, 4.0);
+        let a = t.to_csc();
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(1, 0), 4.0);
+        assert_eq!(a.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn try_push_rejects_out_of_bounds() {
+        let mut t = TripletMatrix::new(2, 2);
+        assert!(t.try_push(2, 0, 1.0).is_err());
+        assert!(t.try_push(0, 5, 1.0).is_err());
+        assert!(t.try_push(1, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn laplacian_edge_stamps_four_entries() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.add_laplacian_edge(0, 2, 2.5);
+        let a = t.to_csc();
+        assert_eq!(a.get(0, 0), 2.5);
+        assert_eq!(a.get(2, 2), 2.5);
+        assert_eq!(a.get(0, 2), -2.5);
+        assert_eq!(a.get(2, 0), -2.5);
+        assert_eq!(a.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn extend_collects_triplets() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.extend(vec![(0, 1, 1.0), (1, 0, 2.0)]);
+        assert_eq!(t.nnz(), 2);
+        let collected: Vec<_> = t.iter().collect();
+        assert_eq!(collected, vec![(0, 1, 1.0), (1, 0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_panics_out_of_bounds() {
+        let mut t = TripletMatrix::new(1, 1);
+        t.push(1, 0, 1.0);
+    }
+}

@@ -1,0 +1,855 @@
+//! Compressed sparse column (CSC) matrices.
+//!
+//! CSC is the working format of the crate: the sparse Cholesky and incomplete
+//! Cholesky factorizations, triangular solves and the approximate-inverse
+//! algorithm all walk matrices column by column.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::SparseError;
+use crate::permutation::Permutation;
+
+/// A sparse matrix in compressed sparse column format.
+///
+/// Row indices within each column are stored in strictly increasing order and
+/// duplicates are not allowed (construction from triplets sums duplicates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowidx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Creates an empty (all-zero) matrix with the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CscMatrix {
+            nrows,
+            ncols,
+            colptr: vec![0; ncols + 1],
+            rowidx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates an identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        CscMatrix {
+            nrows: n,
+            ncols: n,
+            colptr: (0..=n).collect(),
+            rowidx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds a CSC matrix from raw compressed arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the arrays are inconsistent: `colptr` must have
+    /// `ncols + 1` monotonically nondecreasing entries ending at
+    /// `rowidx.len()`, `rowidx` and `values` must have equal length, and row
+    /// indices must be strictly increasing within each column and in bounds.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        if colptr.len() != ncols + 1 {
+            return Err(SparseError::DimensionMismatch {
+                context: "CscMatrix::from_raw colptr length",
+                expected: ncols + 1,
+                found: colptr.len(),
+            });
+        }
+        if rowidx.len() != values.len() {
+            return Err(SparseError::DimensionMismatch {
+                context: "CscMatrix::from_raw rowidx/values length",
+                expected: rowidx.len(),
+                found: values.len(),
+            });
+        }
+        if *colptr.last().expect("nonempty colptr") != rowidx.len() {
+            return Err(SparseError::DimensionMismatch {
+                context: "CscMatrix::from_raw colptr end",
+                expected: rowidx.len(),
+                found: *colptr.last().expect("nonempty colptr"),
+            });
+        }
+        for j in 0..ncols {
+            if colptr[j] > colptr[j + 1] {
+                return Err(SparseError::InvalidParameter {
+                    name: "colptr",
+                    message: "column pointers must be nondecreasing",
+                });
+            }
+            let mut prev: Option<usize> = None;
+            for p in colptr[j]..colptr[j + 1] {
+                let r = rowidx[p];
+                if r >= nrows {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r,
+                        col: j,
+                        nrows,
+                        ncols,
+                    });
+                }
+                if let Some(pr) = prev {
+                    if r <= pr {
+                        return Err(SparseError::InvalidParameter {
+                            name: "rowidx",
+                            message: "row indices must be strictly increasing within a column",
+                        });
+                    }
+                }
+                prev = Some(r);
+            }
+        }
+        Ok(CscMatrix {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            values,
+        })
+    }
+
+    /// Builds a CSC matrix from parallel triplet arrays, summing duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the triplet arrays have different lengths or contain
+    /// out-of-bounds indices.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        rows: &[usize],
+        cols: &[usize],
+        vals: &[f64],
+    ) -> Self {
+        assert_eq!(rows.len(), cols.len(), "triplet arrays must match");
+        assert_eq!(rows.len(), vals.len(), "triplet arrays must match");
+        // Count entries per column.
+        let mut count = vec![0usize; ncols];
+        for (&r, &c) in rows.iter().zip(cols) {
+            assert!(r < nrows && c < ncols, "triplet entry out of bounds");
+            count[c] += 1;
+        }
+        let mut colptr = vec![0usize; ncols + 1];
+        for j in 0..ncols {
+            colptr[j + 1] = colptr[j] + count[j];
+        }
+        let nnz = colptr[ncols];
+        let mut rowidx = vec![0usize; nnz];
+        let mut values = vec![0.0f64; nnz];
+        let mut next = colptr.clone();
+        for ((&r, &c), &v) in rows.iter().zip(cols).zip(vals) {
+            let p = next[c];
+            rowidx[p] = r;
+            values[p] = v;
+            next[c] += 1;
+        }
+        // Sort each column by row index and sum duplicates.
+        let mut out_colptr = vec![0usize; ncols + 1];
+        let mut out_rowidx = Vec::with_capacity(nnz);
+        let mut out_values = Vec::with_capacity(nnz);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for j in 0..ncols {
+            scratch.clear();
+            for p in colptr[j]..colptr[j + 1] {
+                scratch.push((rowidx[p], values[p]));
+            }
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < scratch.len() {
+                let r = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut k = i + 1;
+                while k < scratch.len() && scratch[k].0 == r {
+                    v += scratch[k].1;
+                    k += 1;
+                }
+                out_rowidx.push(r);
+                out_values.push(v);
+                i = k;
+            }
+            out_colptr[j + 1] = out_rowidx.len();
+        }
+        CscMatrix {
+            nrows,
+            ncols,
+            colptr: out_colptr,
+            rowidx: out_rowidx,
+            values: out_values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of explicitly stored entries.
+    pub fn nnz(&self) -> usize {
+        self.rowidx.len()
+    }
+
+    /// Column pointer array (`ncols + 1` entries).
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// Row index array.
+    pub fn rowidx(&self) -> &[usize] {
+        &self.rowidx
+    }
+
+    /// Value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the value array (the pattern stays fixed).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Iterates over the `(row_index, value)` pairs of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.ncols()`.
+    pub fn column(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(j < self.ncols, "column index out of bounds");
+        let range = self.colptr[j]..self.colptr[j + 1];
+        self.rowidx[range.clone()]
+            .iter()
+            .zip(&self.values[range])
+            .map(|(&r, &v)| (r, v))
+    }
+
+    /// Row indices of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.ncols()`.
+    pub fn column_rows(&self, j: usize) -> &[usize] {
+        assert!(j < self.ncols, "column index out of bounds");
+        &self.rowidx[self.colptr[j]..self.colptr[j + 1]]
+    }
+
+    /// Values of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.ncols()`.
+    pub fn column_values(&self, j: usize) -> &[f64] {
+        assert!(j < self.ncols, "column index out of bounds");
+        &self.values[self.colptr[j]..self.colptr[j + 1]]
+    }
+
+    /// Value at `(row, col)`, or `0.0` if the entry is not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.nrows && col < self.ncols, "index out of bounds");
+        let range = self.colptr[col]..self.colptr[col + 1];
+        match self.rowidx[range.clone()].binary_search(&row) {
+            Ok(pos) => self.values[range.start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix-vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.ncols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "matvec: length mismatch");
+        let mut y = vec![0.0; self.nrows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix-vector product into a preallocated output buffer (`y` is overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths do not match the matrix shape.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "matvec: y length mismatch");
+        y.fill(0.0);
+        for j in 0..self.ncols {
+            let xj = x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            for p in self.colptr[j]..self.colptr[j + 1] {
+                y[self.rowidx[p]] += self.values[p] * xj;
+            }
+        }
+    }
+
+    /// Transposed matrix-vector product `y = A^T x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.nrows()`.
+    pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows, "matvec_transpose: length mismatch");
+        let mut y = vec![0.0; self.ncols];
+        for j in 0..self.ncols {
+            let mut s = 0.0;
+            for p in self.colptr[j]..self.colptr[j + 1] {
+                s += self.values[p] * x[self.rowidx[p]];
+            }
+            y[j] = s;
+        }
+        y
+    }
+
+    /// Infinity norm of the residual `A x - b`; convenience for tests and
+    /// solution checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths are inconsistent with the matrix shape.
+    pub fn residual_inf_norm(&self, x: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(b.len(), self.nrows, "residual: b length mismatch");
+        let ax = self.matvec(x);
+        ax.iter()
+            .zip(b)
+            .fold(0.0_f64, |m, (a, bi)| m.max((a - bi).abs()))
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> CscMatrix {
+        // Transposing a CSC matrix is the same as interpreting it as CSR of
+        // the transpose; we count row occurrences to build the new columns.
+        let mut count = vec![0usize; self.nrows];
+        for &r in &self.rowidx {
+            count[r] += 1;
+        }
+        let mut colptr = vec![0usize; self.nrows + 1];
+        for i in 0..self.nrows {
+            colptr[i + 1] = colptr[i] + count[i];
+        }
+        let mut rowidx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = colptr.clone();
+        for j in 0..self.ncols {
+            for p in self.colptr[j]..self.colptr[j + 1] {
+                let r = self.rowidx[p];
+                let q = next[r];
+                rowidx[q] = j;
+                values[q] = self.values[p];
+                next[r] += 1;
+            }
+        }
+        CscMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            colptr,
+            rowidx,
+            values,
+        }
+    }
+
+    /// Converts to compressed sparse row format.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let t = self.transpose();
+        CsrMatrix::from_csc_transpose(t)
+    }
+
+    /// Converts to a dense matrix (intended for small matrices and tests).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
+        for j in 0..self.ncols {
+            for p in self.colptr[j]..self.colptr[j + 1] {
+                d.set(self.rowidx[p], j, self.values[p]);
+            }
+        }
+        d
+    }
+
+    /// Extracts the lower triangular part (including the diagonal).
+    pub fn lower_triangle(&self) -> CscMatrix {
+        self.filter(|r, c, _| r >= c)
+    }
+
+    /// Extracts the upper triangular part (including the diagonal).
+    pub fn upper_triangle(&self) -> CscMatrix {
+        self.filter(|r, c, _| r <= c)
+    }
+
+    /// Returns a copy keeping only entries for which the predicate holds.
+    pub fn filter<F: Fn(usize, usize, f64) -> bool>(&self, keep: F) -> CscMatrix {
+        let mut colptr = vec![0usize; self.ncols + 1];
+        let mut rowidx = Vec::new();
+        let mut values = Vec::new();
+        for j in 0..self.ncols {
+            for p in self.colptr[j]..self.colptr[j + 1] {
+                let r = self.rowidx[p];
+                let v = self.values[p];
+                if keep(r, j, v) {
+                    rowidx.push(r);
+                    values.push(v);
+                }
+            }
+            colptr[j + 1] = rowidx.len();
+        }
+        CscMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            colptr,
+            rowidx,
+            values,
+        }
+    }
+
+    /// Drops stored entries with absolute value at or below `threshold`
+    /// (diagonal entries are always kept).
+    pub fn drop_small(&self, threshold: f64) -> CscMatrix {
+        self.filter(|r, c, v| r == c || v.abs() > threshold)
+    }
+
+    /// Scaled sum `alpha * A + beta * B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] when shapes differ.
+    pub fn add_scaled(&self, alpha: f64, other: &CscMatrix, beta: f64) -> Result<CscMatrix, SparseError> {
+        if self.nrows != other.nrows || self.ncols != other.ncols {
+            return Err(SparseError::DimensionMismatch {
+                context: "CscMatrix::add_scaled",
+                expected: self.nrows,
+                found: other.nrows,
+            });
+        }
+        let mut colptr = vec![0usize; self.ncols + 1];
+        let mut rowidx = Vec::new();
+        let mut values = Vec::new();
+        for j in 0..self.ncols {
+            let mut pa = self.colptr[j];
+            let mut pb = other.colptr[j];
+            let ea = self.colptr[j + 1];
+            let eb = other.colptr[j + 1];
+            while pa < ea || pb < eb {
+                let (r, v) = if pb >= eb || (pa < ea && self.rowidx[pa] < other.rowidx[pb]) {
+                    let out = (self.rowidx[pa], alpha * self.values[pa]);
+                    pa += 1;
+                    out
+                } else if pa >= ea || other.rowidx[pb] < self.rowidx[pa] {
+                    let out = (other.rowidx[pb], beta * other.values[pb]);
+                    pb += 1;
+                    out
+                } else {
+                    let out = (
+                        self.rowidx[pa],
+                        alpha * self.values[pa] + beta * other.values[pb],
+                    );
+                    pa += 1;
+                    pb += 1;
+                    out
+                };
+                rowidx.push(r);
+                values.push(v);
+            }
+            colptr[j + 1] = rowidx.len();
+        }
+        Ok(CscMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            colptr,
+            rowidx,
+            values,
+        })
+    }
+
+    /// Symmetric permutation `P A P^T` for a square matrix, where row and
+    /// column `i` of the result correspond to row and column `perm.old(i)`
+    /// of the original (i.e. `perm` maps new indices to old indices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] for rectangular matrices and
+    /// [`SparseError::DimensionMismatch`] if the permutation length differs
+    /// from the matrix order.
+    pub fn permute_symmetric(&self, perm: &Permutation) -> Result<CscMatrix, SparseError> {
+        if self.nrows != self.ncols {
+            return Err(SparseError::NotSquare {
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        if perm.len() != self.nrows {
+            return Err(SparseError::DimensionMismatch {
+                context: "CscMatrix::permute_symmetric",
+                expected: self.nrows,
+                found: perm.len(),
+            });
+        }
+        let n = self.nrows;
+        let mut rows = Vec::with_capacity(self.nnz());
+        let mut cols = Vec::with_capacity(self.nnz());
+        let mut vals = Vec::with_capacity(self.nnz());
+        for new_j in 0..n {
+            let old_j = perm.old(new_j);
+            for p in self.colptr[old_j]..self.colptr[old_j + 1] {
+                let old_i = self.rowidx[p];
+                let new_i = perm.new(old_i);
+                rows.push(new_i);
+                cols.push(new_j);
+                vals.push(self.values[p]);
+            }
+        }
+        Ok(CscMatrix::from_triplets(n, n, &rows, &cols, &vals))
+    }
+
+    /// Checks symmetry within an absolute tolerance.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.nnz() != self.nnz() {
+            // Patterns can legitimately differ by explicit zeros; fall back to
+            // a value comparison through the dense check for small matrices
+            // and an entry walk otherwise.
+        }
+        for j in 0..self.ncols {
+            for p in self.colptr[j]..self.colptr[j + 1] {
+                let i = self.rowidx[p];
+                if (self.values[p] - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Extracts the principal submatrix indexed by `keep` (rows and columns),
+    /// renumbering indices to `0..keep.len()` in the order given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `keep` is out of bounds or repeated.
+    pub fn principal_submatrix(&self, keep: &[usize]) -> CscMatrix {
+        assert_eq!(self.nrows, self.ncols, "principal submatrix requires a square matrix");
+        let n = self.nrows;
+        let mut map = vec![usize::MAX; n];
+        for (new, &old) in keep.iter().enumerate() {
+            assert!(old < n, "submatrix index out of bounds");
+            assert!(map[old] == usize::MAX, "submatrix index repeated");
+            map[old] = new;
+        }
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for (new_j, &old_j) in keep.iter().enumerate() {
+            for p in self.colptr[old_j]..self.colptr[old_j + 1] {
+                let old_i = self.rowidx[p];
+                let new_i = map[old_i];
+                if new_i != usize::MAX {
+                    rows.push(new_i);
+                    cols.push(new_j);
+                    vals.push(self.values[p]);
+                }
+            }
+        }
+        CscMatrix::from_triplets(keep.len(), keep.len(), &rows, &cols, &vals)
+    }
+
+    /// Extracts the rectangular submatrix with the given rows and columns
+    /// (renumbered in the order given).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds or repeated within its list.
+    pub fn submatrix(&self, rows_keep: &[usize], cols_keep: &[usize]) -> CscMatrix {
+        let mut row_map = vec![usize::MAX; self.nrows];
+        for (new, &old) in rows_keep.iter().enumerate() {
+            assert!(old < self.nrows, "row index out of bounds");
+            assert!(row_map[old] == usize::MAX, "row index repeated");
+            row_map[old] = new;
+        }
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for (new_j, &old_j) in cols_keep.iter().enumerate() {
+            assert!(old_j < self.ncols, "column index out of bounds");
+            for p in self.colptr[old_j]..self.colptr[old_j + 1] {
+                let new_i = row_map[self.rowidx[p]];
+                if new_i != usize::MAX {
+                    rows.push(new_i);
+                    cols.push(new_j);
+                    vals.push(self.values[p]);
+                }
+            }
+        }
+        CscMatrix::from_triplets(rows_keep.len(), cols_keep.len(), &rows, &cols, &vals)
+    }
+
+    /// Diagonal entries as a vector (missing diagonal entries are zero).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        let mut d = vec![0.0; n];
+        for j in 0..n {
+            d[j] = self.get(j, j);
+        }
+        d
+    }
+
+    /// Sparse matrix product `A * B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if the inner dimensions differ.
+    pub fn matmul(&self, other: &CscMatrix) -> Result<CscMatrix, SparseError> {
+        if self.ncols != other.nrows {
+            return Err(SparseError::DimensionMismatch {
+                context: "CscMatrix::matmul",
+                expected: self.ncols,
+                found: other.nrows,
+            });
+        }
+        let mut colptr = vec![0usize; other.ncols + 1];
+        let mut rowidx = Vec::new();
+        let mut values = Vec::new();
+        // Sparse accumulator.
+        let mut mark = vec![usize::MAX; self.nrows];
+        let mut accum = vec![0.0f64; self.nrows];
+        let mut pattern: Vec<usize> = Vec::new();
+        for j in 0..other.ncols {
+            pattern.clear();
+            for p in other.colptr[j]..other.colptr[j + 1] {
+                let k = other.rowidx[p];
+                let bkj = other.values[p];
+                for q in self.colptr[k]..self.colptr[k + 1] {
+                    let i = self.rowidx[q];
+                    if mark[i] != j {
+                        mark[i] = j;
+                        accum[i] = 0.0;
+                        pattern.push(i);
+                    }
+                    accum[i] += self.values[q] * bkj;
+                }
+            }
+            pattern.sort_unstable();
+            for &i in &pattern {
+                rowidx.push(i);
+                values.push(accum[i]);
+            }
+            colptr[j + 1] = rowidx.len();
+        }
+        Ok(CscMatrix {
+            nrows: self.nrows,
+            ncols: other.ncols,
+            colptr,
+            rowidx,
+            values,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::TripletMatrix;
+
+    fn sample() -> CscMatrix {
+        // [ 2 -1  0 ]
+        // [-1  2 -1 ]
+        // [ 0 -1  2 ]
+        let mut t = TripletMatrix::new(3, 3);
+        for (i, j, v) in [
+            (0, 0, 2.0),
+            (1, 1, 2.0),
+            (2, 2, 2.0),
+            (0, 1, -1.0),
+            (1, 0, -1.0),
+            (1, 2, -1.0),
+            (2, 1, -1.0),
+        ] {
+            t.push(i, j, v);
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn get_and_nnz() {
+        let a = sample();
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert_eq!(a.get(2, 1), -1.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = sample();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(a.matvec(&x), a.to_dense().matvec(&x));
+    }
+
+    #[test]
+    fn matvec_transpose_of_symmetric_equals_matvec() {
+        let a = sample();
+        let x = [1.0, -2.0, 0.5];
+        let y1 = a.matvec(&x);
+        let y2 = a.matvec_transpose(&x);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = sample();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn triangles_partition_entries() {
+        let a = sample();
+        let low = a.lower_triangle();
+        let up = a.upper_triangle();
+        // Diagonal counted twice.
+        assert_eq!(low.nnz() + up.nnz(), a.nnz() + 3);
+    }
+
+    #[test]
+    fn add_scaled_subtracts_to_zero() {
+        let a = sample();
+        let z = a.add_scaled(1.0, &a, -1.0).expect("same shape");
+        assert!(z.values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_values() {
+        let a = sample();
+        let perm = Permutation::from_new_to_old(vec![2, 0, 1]).expect("valid");
+        let b = a.permute_symmetric(&perm).expect("square");
+        for new_i in 0..3 {
+            for new_j in 0..3 {
+                assert_eq!(b.get(new_i, new_j), a.get(perm.old(new_i), perm.old(new_j)));
+            }
+        }
+    }
+
+    #[test]
+    fn principal_submatrix_picks_block() {
+        let a = sample();
+        let s = a.principal_submatrix(&[0, 2]);
+        assert_eq!(s.get(0, 0), 2.0);
+        assert_eq!(s.get(1, 1), 2.0);
+        assert_eq!(s.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn submatrix_rectangular() {
+        let a = sample();
+        let s = a.submatrix(&[1], &[0, 1, 2]);
+        assert_eq!(s.nrows(), 1);
+        assert_eq!(s.ncols(), 3);
+        assert_eq!(s.get(0, 0), -1.0);
+        assert_eq!(s.get(0, 1), 2.0);
+        assert_eq!(s.get(0, 2), -1.0);
+    }
+
+    #[test]
+    fn matmul_matches_dense() {
+        let a = sample();
+        let b = sample();
+        let c = a.matmul(&b).expect("shapes");
+        let dense = a.to_dense().matmul(&b.to_dense()).expect("shapes");
+        assert!(c.to_dense().max_abs_diff(&dense) < 1e-14);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(CscMatrix::from_raw(2, 2, vec![0, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        assert!(CscMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 1.0]).is_err());
+        assert!(CscMatrix::from_raw(2, 2, vec![0, 2, 2], vec![1, 0], vec![1.0, 1.0]).is_err());
+        assert!(CscMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn is_symmetric_detects_asymmetry() {
+        let a = sample();
+        assert!(a.is_symmetric(1e-12));
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 1, 1.0);
+        assert!(!t.to_csc().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn drop_small_keeps_diagonal() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1e-12);
+        t.push(1, 0, 1e-12);
+        t.push(1, 1, 1.0);
+        let a = t.to_csc().drop_small(1e-6);
+        assert_eq!(a.get(0, 0), 1e-12);
+        assert_eq!(a.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let eye = CscMatrix::identity(3);
+        assert_eq!(eye.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = sample();
+        assert_eq!(a.diagonal(), vec![2.0, 2.0, 2.0]);
+        let rect = CscMatrix::zeros(2, 3);
+        assert_eq!(rect.diagonal(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn matvec_into_reuses_buffer() {
+        let a = sample();
+        let mut y = vec![7.0; 3];
+        a.matvec_into(&[1.0, 0.0, -1.0], &mut y);
+        assert_eq!(y, a.matvec(&[1.0, 0.0, -1.0]));
+    }
+
+    #[test]
+    fn residual_inf_norm_is_zero_for_exact_solution() {
+        let a = CscMatrix::identity(4);
+        let x = [1.0, -2.0, 3.0, 0.5];
+        assert_eq!(a.residual_inf_norm(&x, &x), 0.0);
+        assert!(a.residual_inf_norm(&x, &[0.0; 4]) > 2.9);
+    }
+
+    #[test]
+    fn column_accessors_agree() {
+        let a = sample();
+        for j in 0..3 {
+            let pairs: Vec<(usize, f64)> = a.column(j).collect();
+            let rows = a.column_rows(j);
+            let vals = a.column_values(j);
+            assert_eq!(pairs.len(), rows.len());
+            for ((p, v), (&r, &w)) in pairs.iter().zip(rows.iter().zip(vals)) {
+                assert_eq!(*p, r);
+                assert_eq!(*v, w);
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! CSR is mainly used for row-oriented traversals (e.g. adjacency scans in
+//! graph algorithms and incidence-matrix products in the random-projection
+//! baseline); the factorizations all work on [`CscMatrix`].
+
+use crate::csc::CscMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::SparseError;
+
+/// A sparse matrix in compressed sparse row format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colidx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Creates an empty (all-zero) matrix with the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            rowptr: vec![0; nrows + 1],
+            colidx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a CSR matrix from raw compressed arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the arrays are inconsistent (see
+    /// [`CscMatrix::from_raw`] for the analogous constraints).
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        // Validate by constructing the transpose-view CSC and converting back
+        // structurally: reuse the CSC validation logic by treating rows as columns.
+        let csc_view = CscMatrix::from_raw(ncols, nrows, rowptr, colidx, values)?;
+        Ok(CsrMatrix::from_csc_transpose(csc_view))
+    }
+
+    /// Interprets a CSC matrix as the CSR representation of its transpose.
+    ///
+    /// If `t` holds the matrix `A^T` in CSC form, the returned value is `A`
+    /// in CSR form (the underlying arrays are reused unchanged).
+    pub fn from_csc_transpose(t: CscMatrix) -> Self {
+        let nrows = t.ncols();
+        let ncols = t.nrows();
+        // CSC of A^T: colptr indexes columns of A^T == rows of A.
+        CsrMatrix {
+            nrows,
+            ncols,
+            rowptr: t.colptr().to_vec(),
+            colidx: t.rowidx().to_vec(),
+            values: t.values().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of explicitly stored entries.
+    pub fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// Row pointer array (`nrows + 1` entries).
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// Column index array.
+    pub fn colidx(&self) -> &[usize] {
+        &self.colidx
+    }
+
+    /// Value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates over the `(column_index, value)` pairs of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.nrows()`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(i < self.nrows, "row index out of bounds");
+        let range = self.rowptr[i]..self.rowptr[i + 1];
+        self.colidx[range.clone()]
+            .iter()
+            .zip(&self.values[range])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Value at `(row, col)`, or `0.0` if not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.nrows && col < self.ncols, "index out of bounds");
+        let range = self.rowptr[row]..self.rowptr[row + 1];
+        match self.colidx[range.clone()].binary_search(&col) {
+            Ok(pos) => self.values[range.start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix-vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.ncols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "matvec: length mismatch");
+        let mut y = vec![0.0; self.nrows];
+        for i in 0..self.nrows {
+            let mut s = 0.0;
+            for p in self.rowptr[i]..self.rowptr[i + 1] {
+                s += self.values[p] * x[self.colidx[p]];
+            }
+            y[i] = s;
+        }
+        y
+    }
+
+    /// Transposed matrix-vector product `y = A^T x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.nrows()`.
+    pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows, "matvec_transpose: length mismatch");
+        let mut y = vec![0.0; self.ncols];
+        for i in 0..self.nrows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for p in self.rowptr[i]..self.rowptr[i + 1] {
+                y[self.colidx[p]] += self.values[p] * xi;
+            }
+        }
+        y
+    }
+
+    /// Converts to compressed sparse column format.
+    pub fn to_csc(&self) -> CscMatrix {
+        let mut rows = Vec::with_capacity(self.nnz());
+        let mut cols = Vec::with_capacity(self.nnz());
+        let mut vals = Vec::with_capacity(self.nnz());
+        for i in 0..self.nrows {
+            for p in self.rowptr[i]..self.rowptr[i + 1] {
+                rows.push(i);
+                cols.push(self.colidx[p]);
+                vals.push(self.values[p]);
+            }
+        }
+        CscMatrix::from_triplets(self.nrows, self.ncols, &rows, &cols, &vals)
+    }
+
+    /// Converts to a dense matrix (intended for small matrices and tests).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            for (c, v) in self.row(i) {
+                d.set(i, c, v);
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::TripletMatrix;
+
+    fn sample_csr() -> CsrMatrix {
+        let mut t = TripletMatrix::new(2, 3);
+        t.push(0, 0, 1.0);
+        t.push(0, 2, 2.0);
+        t.push(1, 1, 3.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn csr_round_trips_through_csc() {
+        let a = sample_csr();
+        let back = a.to_csc().to_csr();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn get_returns_stored_and_zero() {
+        let a = sample_csr();
+        assert_eq!(a.get(0, 2), 2.0);
+        assert_eq!(a.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = sample_csr();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(a.matvec(&x), a.to_dense().matvec(&x));
+    }
+
+    #[test]
+    fn matvec_transpose_matches_dense_transpose() {
+        let a = sample_csr();
+        let x = [1.0, -1.0];
+        let expected = a.to_dense().transpose().matvec(&x);
+        assert_eq!(a.matvec_transpose(&x), expected);
+    }
+
+    #[test]
+    fn row_iterator_yields_sorted_columns() {
+        let a = sample_csr();
+        let row0: Vec<_> = a.row(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn from_raw_rejects_bad_pointers() {
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+    }
+}

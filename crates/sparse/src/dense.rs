@@ -1,0 +1,378 @@
+//! Small column-major dense matrices.
+//!
+//! Dense matrices are used as reference implementations in tests, for Schur
+//! complements of small blocks in the power-grid reduction flow, and for the
+//! dense parts of the random-projection baseline. They are not intended for
+//! large problems.
+
+use crate::error::SparseError;
+
+/// A column-major dense matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// Column-major storage: entry `(i, j)` lives at `data[j * nrows + i]`.
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix with the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Creates an identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a closure evaluated at every `(row, column)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(nrows: usize, ncols: usize, mut f: F) -> Self {
+        let mut m = DenseMatrix::zeros(nrows, ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `rows.len() != nrows * ncols`.
+    pub fn from_row_major(nrows: usize, ncols: usize, rows: &[f64]) -> Result<Self, SparseError> {
+        if rows.len() != nrows * ncols {
+            return Err(SparseError::DimensionMismatch {
+                context: "DenseMatrix::from_row_major",
+                expected: nrows * ncols,
+                found: rows.len(),
+            });
+        }
+        Ok(DenseMatrix::from_fn(nrows, ncols, |i, j| {
+            rows[i * ncols + j]
+        }))
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.nrows && col < self.ncols, "index out of bounds");
+        self.data[col * self.nrows + row]
+    }
+
+    /// Sets the value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.nrows && col < self.ncols, "index out of bounds");
+        self.data[col * self.nrows + row] = value;
+    }
+
+    /// Adds `value` to the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.nrows && col < self.ncols, "index out of bounds");
+        self.data[col * self.nrows + row] += value;
+    }
+
+    /// Borrow of one column as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.ncols()`.
+    pub fn column(&self, col: usize) -> &[f64] {
+        assert!(col < self.ncols, "column out of bounds");
+        &self.data[col * self.nrows..(col + 1) * self.nrows]
+    }
+
+    /// Mutable borrow of one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.ncols()`.
+    pub fn column_mut(&mut self, col: usize) -> &mut [f64] {
+        assert!(col < self.ncols, "column out of bounds");
+        &mut self.data[col * self.nrows..(col + 1) * self.nrows]
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.ncols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "matvec: length mismatch");
+        let mut y = vec![0.0; self.nrows];
+        for j in 0..self.ncols {
+            let xj = x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            let col = self.column(j);
+            for i in 0..self.nrows {
+                y[i] += col[i] * xj;
+            }
+        }
+        y
+    }
+
+    /// Matrix product `A * B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if the inner dimensions differ.
+    pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix, SparseError> {
+        if self.ncols != other.nrows {
+            return Err(SparseError::DimensionMismatch {
+                context: "DenseMatrix::matmul",
+                expected: self.ncols,
+                found: other.nrows,
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.nrows, other.ncols);
+        for j in 0..other.ncols {
+            for k in 0..self.ncols {
+                let bkj = other.get(k, j);
+                if bkj == 0.0 {
+                    continue;
+                }
+                for i in 0..self.nrows {
+                    out.add(i, j, self.get(i, k) * bkj);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed copy of the matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        DenseMatrix::from_fn(self.ncols, self.nrows, |i, j| self.get(j, i))
+    }
+
+    /// Dense Cholesky factorization `A = L L^T`, returning the lower factor.
+    ///
+    /// Used as a reference implementation for the sparse factorization and to
+    /// factor small Schur-complement blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] if the matrix is not square and
+    /// [`SparseError::NotPositiveDefinite`] if a nonpositive pivot occurs.
+    pub fn cholesky(&self) -> Result<DenseMatrix, SparseError> {
+        if self.nrows != self.ncols {
+            return Err(SparseError::NotSquare {
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        let n = self.nrows;
+        let mut l = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = self.get(j, j);
+            for k in 0..j {
+                let ljk = l.get(j, k);
+                d -= ljk * ljk;
+            }
+            if d <= 0.0 {
+                return Err(SparseError::NotPositiveDefinite {
+                    column: j,
+                    pivot: d,
+                });
+            }
+            let dj = d.sqrt();
+            l.set(j, j, dj);
+            for i in (j + 1)..n {
+                let mut s = self.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                l.set(i, j, s / dj);
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `A x = b` for symmetric positive definite `A` via dense Cholesky.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`DenseMatrix::cholesky`] and returns
+    /// [`SparseError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>, SparseError> {
+        if b.len() != self.nrows {
+            return Err(SparseError::DimensionMismatch {
+                context: "DenseMatrix::solve_spd",
+                expected: self.nrows,
+                found: b.len(),
+            });
+        }
+        let l = self.cholesky()?;
+        let n = self.nrows;
+        // Forward solve L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                let lik = l.get(i, k);
+                y[i] -= lik * y[k];
+            }
+            y[i] /= l.get(i, i);
+        }
+        // Backward solve L^T x = y.
+        let mut x = y;
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= l.get(k, i) * x[k];
+            }
+            x[i] /= l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Inverse of a symmetric positive definite matrix, column by column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`DenseMatrix::solve_spd`].
+    pub fn inverse_spd(&self) -> Result<DenseMatrix, SparseError> {
+        let n = self.nrows;
+        let mut inv = DenseMatrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve_spd(&e)?;
+            for i in 0..n {
+                inv.set(i, j, col[i]);
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry-wise difference with another matrix of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.nrows, other.nrows, "shape mismatch");
+        assert_eq!(self.ncols, other.ncols, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> DenseMatrix {
+        DenseMatrix::from_row_major(3, 3, &[4.0, -1.0, 0.0, -1.0, 5.0, -2.0, 0.0, -2.0, 6.0])
+            .expect("shape")
+    }
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let eye = DenseMatrix::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(eye.matvec(&x), x.to_vec());
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        let a = spd3();
+        let l = a.cholesky().expect("spd");
+        let llt = l.matmul(&l.transpose()).expect("shapes");
+        assert!(a.max_abs_diff(&llt) < 1e-12);
+    }
+
+    #[test]
+    fn solve_spd_gives_small_residual() {
+        let a = spd3();
+        let b = [1.0, 2.0, 3.0];
+        let x = a.solve_spd(&b).expect("spd");
+        let ax = a.matvec(&x);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_spd_times_matrix_is_identity() {
+        let a = spd3();
+        let inv = a.inverse_spd().expect("spd");
+        let prod = a.matmul(&inv).expect("shapes");
+        assert!(prod.max_abs_diff(&DenseMatrix::identity(3)) < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DenseMatrix::from_row_major(2, 2, &[1.0, 2.0, 2.0, 1.0]).expect("shape");
+        assert!(matches!(
+            a.cholesky(),
+            Err(SparseError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(a.cholesky(), Err(SparseError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn from_row_major_checks_length() {
+        assert!(DenseMatrix::from_row_major(2, 2, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_checks_inner_dimension() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 2);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = DenseMatrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+}

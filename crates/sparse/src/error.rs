@@ -1,0 +1,131 @@
+//! Error type shared by all fallible operations of the crate.
+
+use std::fmt;
+
+/// Errors produced by sparse matrix construction and factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// A matrix dimension or index was inconsistent with the operation.
+    DimensionMismatch {
+        /// Description of the operation that failed.
+        context: &'static str,
+        /// The expected extent.
+        expected: usize,
+        /// The extent actually supplied.
+        found: usize,
+    },
+    /// An entry index was out of bounds.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Number of rows of the matrix.
+        nrows: usize,
+        /// Number of columns of the matrix.
+        ncols: usize,
+    },
+    /// The matrix is not (numerically) positive definite: a nonpositive pivot
+    /// was encountered during Cholesky factorization.
+    NotPositiveDefinite {
+        /// Column at which the nonpositive pivot appeared.
+        column: usize,
+        /// Value of the offending pivot.
+        pivot: f64,
+    },
+    /// The matrix must be square for this operation.
+    NotSquare {
+        /// Number of rows.
+        nrows: usize,
+        /// Number of columns.
+        ncols: usize,
+    },
+    /// An iterative solver failed to reach the requested tolerance.
+    ConvergenceFailure {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual norm reached when iteration stopped.
+        residual: f64,
+        /// Requested tolerance.
+        tolerance: f64,
+    },
+    /// A parameter value was invalid (e.g. a negative tolerance).
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human readable description of the constraint that was violated.
+        message: &'static str,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, found {found}"
+            ),
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) is out of bounds for a {nrows}x{ncols} matrix"
+            ),
+            SparseError::NotPositiveDefinite { column, pivot } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot:e} at column {column}"
+            ),
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "matrix must be square, got {nrows}x{ncols}")
+            }
+            SparseError::ConvergenceFailure {
+                iterations,
+                residual,
+                tolerance,
+            } => write!(
+                f,
+                "iterative solver stopped after {iterations} iterations with residual {residual:e} (tolerance {tolerance:e})"
+            ),
+            SparseError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparseError::DimensionMismatch {
+            context: "matvec",
+            expected: 4,
+            found: 3,
+        };
+        assert!(e.to_string().contains("matvec"));
+        let e = SparseError::NotPositiveDefinite {
+            column: 7,
+            pivot: -1.0,
+        };
+        assert!(e.to_string().contains("column 7"));
+        let e = SparseError::NotSquare { nrows: 2, ncols: 3 };
+        assert!(e.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

@@ -1,0 +1,278 @@
+//! Elimination trees and related symbolic tools.
+//!
+//! The elimination tree of a symmetric matrix drives both the sparse Cholesky
+//! factorization and the depth analysis of the filled graph used by the
+//! effective-resistance error bound (Theorem 1 of the paper).
+
+use crate::csc::CscMatrix;
+
+/// Marker for "no parent" in elimination-tree arrays.
+pub const NO_PARENT: usize = usize::MAX;
+
+/// Computes the elimination tree of a sparse symmetric matrix.
+///
+/// Only the upper-triangular part of `a` is referenced (entries `(i, j)` with
+/// `i < j`); the matrix is assumed to be structurally symmetric, which holds
+/// for graph Laplacians. The returned vector gives the parent of each column
+/// in the elimination tree, or [`NO_PARENT`] for roots.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn etree(a: &CscMatrix) -> Vec<usize> {
+    assert_eq!(a.nrows(), a.ncols(), "etree requires a square matrix");
+    let n = a.ncols();
+    let mut parent = vec![NO_PARENT; n];
+    let mut ancestor = vec![NO_PARENT; n];
+    for k in 0..n {
+        for (i, _) in a.column(k) {
+            if i >= k {
+                continue;
+            }
+            // Walk from i up to the root of its current subtree, compressing paths.
+            let mut node = i;
+            while node != NO_PARENT && node < k {
+                let next = ancestor[node];
+                ancestor[node] = k;
+                if next == NO_PARENT {
+                    parent[node] = k;
+                    break;
+                }
+                node = next;
+            }
+        }
+    }
+    parent
+}
+
+/// Computes the pattern of row `k` of the Cholesky factor ("ereach").
+///
+/// Given the elimination tree `parent` and the matrix `a` (structurally
+/// symmetric; the upper part of column `k` is referenced), the function
+/// returns the column indices `i < k` for which `L(k, i)` is structurally
+/// nonzero, in topological order (children before ancestors). The `mark`
+/// workspace must have length `n` and contain values `< k + 1` on entry
+/// when used monotonically with increasing `k`; it is updated in place.
+pub fn ereach(
+    a: &CscMatrix,
+    k: usize,
+    parent: &[usize],
+    mark: &mut [usize],
+    stack: &mut Vec<usize>,
+) -> Vec<usize> {
+    stack.clear();
+    let mut reach = Vec::new();
+    mark[k] = k + 1;
+    for (i, _) in a.column(k) {
+        if i >= k {
+            continue;
+        }
+        // Traverse the path from i to the root of the marked subtree.
+        let mut node = i;
+        while mark[node] != k + 1 {
+            stack.push(node);
+            mark[node] = k + 1;
+            node = parent[node];
+            debug_assert!(node != NO_PARENT, "etree path must reach k");
+            if node == NO_PARENT {
+                break;
+            }
+        }
+        // Append the path in reverse so the final list is topological.
+        while let Some(x) = stack.pop() {
+            reach.push(x);
+        }
+    }
+    // The reach currently lists deepest-first segments; the numeric
+    // factorization only needs each ancestor to appear after all of its
+    // descendants that are present, which holds because each path was pushed
+    // root-last. Sorting by index also yields a valid topological order for
+    // an elimination tree (ancestors have larger indices), and keeps the
+    // accumulation deterministic.
+    reach.sort_unstable();
+    reach
+}
+
+/// Computes a postorder of the elimination forest given by `parent`.
+///
+/// Returns a permutation-like vector `post` where `post[i]` is the `i`-th node
+/// in postorder.
+pub fn postorder(parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    // Build child lists.
+    let mut first_child = vec![NO_PARENT; n];
+    let mut next_sibling = vec![NO_PARENT; n];
+    for i in (0..n).rev() {
+        let p = parent[i];
+        if p != NO_PARENT {
+            next_sibling[i] = first_child[p];
+            first_child[p] = i;
+        }
+    }
+    let mut post = Vec::with_capacity(n);
+    let mut stack = Vec::new();
+    for root in 0..n {
+        if parent[root] != NO_PARENT {
+            continue;
+        }
+        // Iterative depth-first traversal emitting nodes in postorder.
+        stack.push((root, false));
+        while let Some((node, expanded)) = stack.pop() {
+            if expanded {
+                post.push(node);
+            } else {
+                stack.push((node, true));
+                let mut c = first_child[node];
+                while c != NO_PARENT {
+                    stack.push((c, false));
+                    c = next_sibling[c];
+                }
+            }
+        }
+    }
+    post
+}
+
+/// Depth of every node in the elimination forest: roots have depth 0 and each
+/// child is one deeper than its parent.
+///
+/// Note this is the *tree* depth measured from the roots, used for reporting;
+/// the filled-graph depth of the paper (distance to the deepest descendant) is
+/// computed in the `effres` crate from the factor pattern itself.
+pub fn tree_depths(parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    let mut depth = vec![usize::MAX; n];
+    for mut node in 0..n {
+        // Walk up until a node with known depth or a root, remembering the path.
+        let mut path = Vec::new();
+        while depth[node] == usize::MAX {
+            path.push(node);
+            let p = parent[node];
+            if p == NO_PARENT {
+                depth[node] = 0;
+                break;
+            }
+            node = p;
+        }
+        let mut d = depth[node];
+        for &v in path.iter().rev() {
+            if depth[v] == usize::MAX {
+                d += 1;
+                depth[v] = d;
+            } else {
+                d = depth[v];
+            }
+        }
+    }
+    depth
+}
+
+/// Number of structural nonzeros in each column of the Cholesky factor
+/// (including the diagonal), computed by running [`ereach`] for every row.
+///
+/// This is an O(nnz(L)) symbolic pass used to pre-size the numeric
+/// factorization.
+pub fn column_counts(a: &CscMatrix, parent: &[usize]) -> Vec<usize> {
+    let n = a.ncols();
+    let mut counts = vec![1usize; n]; // diagonal
+    let mut mark = vec![0usize; n];
+    let mut stack = Vec::new();
+    for k in 0..n {
+        for i in ereach(a, k, parent, &mut mark, &mut stack) {
+            counts[i] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::TripletMatrix;
+
+    /// Laplacian of a path graph 0-1-2-3 plus a small diagonal shift.
+    fn path_laplacian(n: usize) -> CscMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n - 1 {
+            t.add_laplacian_edge(i, i + 1, 1.0);
+        }
+        for i in 0..n {
+            t.push(i, i, 1e-6);
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn etree_of_path_is_a_chain() {
+        let a = path_laplacian(5);
+        let parent = etree(&a);
+        assert_eq!(parent, vec![1, 2, 3, 4, NO_PARENT]);
+    }
+
+    #[test]
+    fn etree_of_diagonal_matrix_is_forest_of_roots() {
+        let mut t = TripletMatrix::new(3, 3);
+        for i in 0..3 {
+            t.push(i, i, 1.0);
+        }
+        let parent = etree(&t.to_csc());
+        assert_eq!(parent, vec![NO_PARENT; 3]);
+    }
+
+    #[test]
+    fn ereach_of_path_returns_previous_column() {
+        let a = path_laplacian(4);
+        let parent = etree(&a);
+        let mut mark = vec![0; 4];
+        let mut stack = Vec::new();
+        assert!(ereach(&a, 0, &parent, &mut mark, &mut stack).is_empty());
+        assert_eq!(ereach(&a, 1, &parent, &mut mark, &mut stack), vec![0]);
+        assert_eq!(ereach(&a, 2, &parent, &mut mark, &mut stack), vec![1]);
+    }
+
+    #[test]
+    fn postorder_visits_children_before_parents() {
+        let a = path_laplacian(5);
+        let parent = etree(&a);
+        let post = postorder(&parent);
+        assert_eq!(post.len(), 5);
+        let mut position = vec![0usize; 5];
+        for (i, &node) in post.iter().enumerate() {
+            position[node] = i;
+        }
+        for (child, &p) in parent.iter().enumerate() {
+            if p != NO_PARENT {
+                assert!(position[child] < position[p]);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_depths_of_chain() {
+        let parent = vec![1, 2, 3, NO_PARENT];
+        assert_eq!(tree_depths(&parent), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn column_counts_of_path_match_factor() {
+        let a = path_laplacian(4);
+        let parent = etree(&a);
+        // The factor of a tridiagonal matrix is bidiagonal: 2 entries per
+        // column except the last.
+        assert_eq!(column_counts(&a, &parent), vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn star_graph_etree_points_to_center_when_center_last() {
+        // Star with center = node 3 (largest index): all leaves' parent is 3.
+        let mut t = TripletMatrix::new(4, 4);
+        for leaf in 0..3 {
+            t.add_laplacian_edge(leaf, 3, 1.0);
+        }
+        for i in 0..4 {
+            t.push(i, i, 1e-6);
+        }
+        let parent = etree(&t.to_csc());
+        assert_eq!(parent, vec![3, 3, 3, NO_PARENT]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Permutations of `0..n`, used for fill-reducing orderings.
+
+use crate::error::SparseError;
+
+/// A permutation of `0..n` stored in both directions.
+///
+/// The convention follows sparse direct solvers: `old(i)` gives the original
+/// index placed at position `i` of the permuted ordering, and `new(j)` gives
+/// the position of original index `j` in the permuted ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    new_to_old: Vec<usize>,
+    old_to_new: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            new_to_old: (0..n).collect(),
+            old_to_new: (0..n).collect(),
+        }
+    }
+
+    /// Builds a permutation from the "new index -> old index" map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidParameter`] if `new_to_old` is not a
+    /// permutation of `0..n`.
+    pub fn from_new_to_old(new_to_old: Vec<usize>) -> Result<Self, SparseError> {
+        let n = new_to_old.len();
+        let mut old_to_new = vec![usize::MAX; n];
+        for (new, &old) in new_to_old.iter().enumerate() {
+            if old >= n || old_to_new[old] != usize::MAX {
+                return Err(SparseError::InvalidParameter {
+                    name: "new_to_old",
+                    message: "not a permutation of 0..n",
+                });
+            }
+            old_to_new[old] = new;
+        }
+        Ok(Permutation {
+            new_to_old,
+            old_to_new,
+        })
+    }
+
+    /// Builds a permutation from the "old index -> new index" map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidParameter`] if `old_to_new` is not a
+    /// permutation of `0..n`.
+    pub fn from_old_to_new(old_to_new: Vec<usize>) -> Result<Self, SparseError> {
+        let n = old_to_new.len();
+        let mut new_to_old = vec![usize::MAX; n];
+        for (old, &new) in old_to_new.iter().enumerate() {
+            if new >= n || new_to_old[new] != usize::MAX {
+                return Err(SparseError::InvalidParameter {
+                    name: "old_to_new",
+                    message: "not a permutation of 0..n",
+                });
+            }
+            new_to_old[new] = old;
+        }
+        Ok(Permutation {
+            new_to_old,
+            old_to_new,
+        })
+    }
+
+    /// Length of the permutation.
+    pub fn len(&self) -> usize {
+        self.new_to_old.len()
+    }
+
+    /// Whether the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.new_to_old.is_empty()
+    }
+
+    /// Original index placed at permuted position `new`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new >= self.len()`.
+    #[inline]
+    pub fn old(&self, new: usize) -> usize {
+        self.new_to_old[new]
+    }
+
+    /// Permuted position of original index `old`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old >= self.len()`.
+    #[inline]
+    pub fn new(&self, old: usize) -> usize {
+        self.old_to_new[old]
+    }
+
+    /// The "new index -> old index" map.
+    pub fn new_to_old(&self) -> &[usize] {
+        &self.new_to_old
+    }
+
+    /// The "old index -> new index" map.
+    pub fn old_to_new(&self) -> &[usize] {
+        &self.old_to_new
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        Permutation {
+            new_to_old: self.old_to_new.clone(),
+            old_to_new: self.new_to_old.clone(),
+        }
+    }
+
+    /// Applies the permutation to a dense vector indexed by old indices,
+    /// producing the vector in permuted order: `out[new] = x[old(new)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.len(), "length mismatch");
+        self.new_to_old.iter().map(|&old| x[old]).collect()
+    }
+
+    /// Applies the inverse permutation to a vector in permuted order,
+    /// recovering the vector in original order: `out[old] = x[new(old)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn apply_inverse(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.len(), "length mismatch");
+        self.old_to_new.iter().map(|&new| x[new]).collect()
+    }
+
+    /// Whether this is the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        self.new_to_old.iter().enumerate().all(|(i, &v)| i == v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let p = Permutation::identity(4);
+        assert!(p.is_identity());
+        assert_eq!(p.apply(&[1.0, 2.0, 3.0, 4.0]), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn old_new_are_inverse_maps() {
+        let p = Permutation::from_new_to_old(vec![2, 0, 1]).expect("valid");
+        for new in 0..3 {
+            assert_eq!(p.new(p.old(new)), new);
+        }
+        for old in 0..3 {
+            assert_eq!(p.old(p.new(old)), old);
+        }
+        assert_eq!(p.inverse().inverse(), p);
+    }
+
+    #[test]
+    fn apply_and_apply_inverse_round_trip() {
+        let p = Permutation::from_new_to_old(vec![2, 0, 1]).expect("valid");
+        let x = vec![10.0, 20.0, 30.0];
+        let permuted = p.apply(&x);
+        assert_eq!(permuted, vec![30.0, 10.0, 20.0]);
+        assert_eq!(p.apply_inverse(&permuted), x);
+    }
+
+    #[test]
+    fn from_old_to_new_consistent_with_from_new_to_old() {
+        let a = Permutation::from_new_to_old(vec![2, 0, 1]).expect("valid");
+        let b = Permutation::from_old_to_new(a.old_to_new().to_vec()).expect("valid");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_permutations_rejected() {
+        assert!(Permutation::from_new_to_old(vec![0, 0]).is_err());
+        assert!(Permutation::from_new_to_old(vec![0, 5]).is_err());
+        assert!(Permutation::from_old_to_new(vec![1, 1]).is_err());
+    }
+}

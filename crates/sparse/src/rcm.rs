@@ -1,0 +1,193 @@
+//! Reverse Cuthill–McKee bandwidth-reducing ordering.
+//!
+//! RCM is a cheap breadth-first ordering that clusters connected nodes
+//! together; on mesh-like matrices (power grids, finite-element graphs) it
+//! keeps the Cholesky profile small and makes the incomplete factorization
+//! behave predictably. It is the default ordering of the effective-resistance
+//! pipeline for mesh-like inputs.
+
+use crate::csc::CscMatrix;
+use crate::error::SparseError;
+use crate::permutation::Permutation;
+use std::collections::VecDeque;
+
+/// Computes the reverse Cuthill–McKee ordering of a square structurally
+/// symmetric matrix. Returns a permutation mapping new indices to old.
+///
+/// Each connected component is ordered starting from a pseudo-peripheral
+/// vertex found by repeated breadth-first searches.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotSquare`] for rectangular input.
+pub fn rcm(a: &CscMatrix) -> Result<Permutation, SparseError> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
+    }
+    let n = a.ncols();
+    // Adjacency (excluding the diagonal) and degrees.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for j in 0..n {
+        for &i in a.column_rows(j) {
+            if i != j {
+                adj[j].push(i);
+            }
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    let degree: Vec<usize> = adj.iter().map(|l| l.len()).collect();
+
+    let mut visited = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+
+    for seed in 0..n {
+        if visited[seed] {
+            continue;
+        }
+        let start = pseudo_peripheral(seed, &adj, &degree);
+        // Cuthill–McKee BFS from `start`, visiting neighbours by increasing degree.
+        let mut queue = VecDeque::new();
+        visited[start] = true;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            let mut next: Vec<usize> = adj[v].iter().copied().filter(|&u| !visited[u]).collect();
+            next.sort_unstable_by_key(|&u| (degree[u], u));
+            for u in next {
+                if !visited[u] {
+                    visited[u] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    // Reverse for RCM.
+    order.reverse();
+    Permutation::from_new_to_old(order)
+}
+
+/// Finds a pseudo-peripheral vertex of the component containing `seed` by
+/// iterating breadth-first searches towards the farthest low-degree vertex.
+fn pseudo_peripheral(seed: usize, adj: &[Vec<usize>], degree: &[usize]) -> usize {
+    let mut current = seed;
+    let mut current_ecc = 0usize;
+    for _ in 0..4 {
+        let (farthest, ecc) = bfs_farthest(current, adj, degree);
+        if ecc <= current_ecc {
+            break;
+        }
+        current_ecc = ecc;
+        current = farthest;
+    }
+    current
+}
+
+/// BFS returning the farthest vertex (ties broken by lowest degree) and the
+/// eccentricity of the start vertex within its component.
+fn bfs_farthest(start: usize, adj: &[Vec<usize>], degree: &[usize]) -> (usize, usize) {
+    let n = adj.len();
+    let mut dist = vec![usize::MAX; n];
+    dist[start] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+    let mut best = (start, 0usize);
+    while let Some(v) = queue.pop_front() {
+        for &u in &adj[v] {
+            if dist[u] == usize::MAX {
+                dist[u] = dist[v] + 1;
+                queue.push_back(u);
+                let better = dist[u] > best.1
+                    || (dist[u] == best.1 && degree[u] < degree[best.0]);
+                if better {
+                    best = (u, dist[u]);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::TripletMatrix;
+    use crate::symbolic::SymbolicCholesky;
+
+    fn grid_laplacian(rows: usize, cols: usize) -> CscMatrix {
+        let idx = |r: usize, c: usize| r * cols + c;
+        let n = rows * cols;
+        let mut t = TripletMatrix::new(n, n);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    t.add_laplacian_edge(idx(r, c), idx(r, c + 1), 1.0);
+                }
+                if r + 1 < rows {
+                    t.add_laplacian_edge(idx(r, c), idx(r + 1, c), 1.0);
+                }
+            }
+        }
+        for i in 0..n {
+            t.push(i, i, 1e-3);
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn produces_valid_permutation() {
+        let a = grid_laplacian(6, 5);
+        let p = rcm(&a).expect("square");
+        assert_eq!(p.len(), 30);
+        let mut seen = vec![false; 30];
+        for i in 0..30 {
+            assert!(!seen[p.old(i)]);
+            seen[p.old(i)] = true;
+        }
+    }
+
+    #[test]
+    fn path_graph_gets_contiguous_ordering() {
+        // On a path graph the RCM ordering must produce a tridiagonal profile
+        // (zero fill-in).
+        let n = 20;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n - 1 {
+            t.add_laplacian_edge(i, i + 1, 1.0);
+        }
+        for i in 0..n {
+            t.push(i, i, 1e-3);
+        }
+        let a = t.to_csc();
+        let p = rcm(&a).expect("square");
+        let permuted = a.permute_symmetric(&p).expect("square");
+        let fill = SymbolicCholesky::analyze(&permuted)
+            .expect("square")
+            .fill_in(&permuted);
+        assert_eq!(fill, 0);
+    }
+
+    #[test]
+    fn handles_disconnected_components() {
+        // Two disjoint triangles.
+        let mut t = TripletMatrix::new(6, 6);
+        for &(i, j) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            t.add_laplacian_edge(i, j, 1.0);
+        }
+        for i in 0..6 {
+            t.push(i, i, 1e-3);
+        }
+        let p = rcm(&t.to_csc()).expect("square");
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(rcm(&CscMatrix::zeros(2, 3)).is_err());
+    }
+}

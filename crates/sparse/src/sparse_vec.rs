@@ -1,0 +1,430 @@
+//! Sparse vectors with sorted indices.
+//!
+//! [`SparseVec`] is the column representation used by the approximate-inverse
+//! algorithm (Alg. 2 of the paper): each column of the approximate inverse is
+//! a short sorted list of `(index, value)` pairs, and columns are combined by
+//! scaled sparse accumulation.
+
+use crate::vecops;
+
+/// A sparse vector storing `(index, value)` pairs with strictly increasing indices.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVec {
+    dim: usize,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseVec {
+    /// Creates an empty sparse vector of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        SparseVec {
+            dim,
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates a sparse vector from sorted parallel arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays differ in length, indices are not strictly
+    /// increasing, or an index is out of bounds.
+    pub fn from_sorted(dim: usize, indices: Vec<usize>, values: Vec<f64>) -> Self {
+        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        for w in indices.windows(2) {
+            assert!(w[0] < w[1], "indices must be strictly increasing");
+        }
+        if let Some(&last) = indices.last() {
+            assert!(last < dim, "index out of bounds");
+        }
+        SparseVec {
+            dim,
+            indices,
+            values,
+        }
+    }
+
+    /// Creates a unit vector `e_i / scale` — i.e. a single entry `value` at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim`.
+    pub fn single(dim: usize, index: usize, value: f64) -> Self {
+        assert!(index < dim, "index out of bounds");
+        SparseVec {
+            dim,
+            indices: vec![index],
+            values: vec![value],
+        }
+    }
+
+    /// Builds a sparse vector from a dense slice, keeping nonzero entries.
+    pub fn from_dense(x: &[f64]) -> Self {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, &v) in x.iter().enumerate() {
+            if v != 0.0 {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        SparseVec {
+            dim: x.len(),
+            indices,
+            values,
+        }
+    }
+
+    /// Dimension of the vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Stored indices (strictly increasing).
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Stored values, parallel to [`SparseVec::indices`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates over stored `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.indices
+            .iter()
+            .zip(&self.values)
+            .map(|(&i, &v)| (i, v))
+    }
+
+    /// Value at `index` (zero if not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.dim()`.
+    pub fn get(&self, index: usize) -> f64 {
+        assert!(index < self.dim, "index out of bounds");
+        match self.indices.binary_search(&index) {
+            Ok(pos) => self.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Converts to a dense vector.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        for (i, v) in self.iter() {
+            out[i] = v;
+        }
+        out
+    }
+
+    /// 1-norm (sum of absolute values).
+    pub fn norm1(&self) -> f64 {
+        vecops::norm1(&self.values)
+    }
+
+    /// Euclidean norm.
+    pub fn norm2(&self) -> f64 {
+        vecops::norm2(&self.values)
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm2_squared(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Squared Euclidean distance to another sparse vector of the same dimension.
+    ///
+    /// This is the kernel of the effective-resistance evaluation
+    /// `R(p, q) ≈ ||z̃_p - z̃_q||²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn distance_squared(&self, other: &SparseVec) -> f64 {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        let mut s = 0.0;
+        let mut ia = 0;
+        let mut ib = 0;
+        while ia < self.indices.len() || ib < other.indices.len() {
+            if ib >= other.indices.len()
+                || (ia < self.indices.len() && self.indices[ia] < other.indices[ib])
+            {
+                s += self.values[ia] * self.values[ia];
+                ia += 1;
+            } else if ia >= self.indices.len() || other.indices[ib] < self.indices[ia] {
+                s += other.values[ib] * other.values[ib];
+                ib += 1;
+            } else {
+                let d = self.values[ia] - other.values[ib];
+                s += d * d;
+                ia += 1;
+                ib += 1;
+            }
+        }
+        s
+    }
+
+    /// Dot product with another sparse vector of the same dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn dot(&self, other: &SparseVec) -> f64 {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        let mut s = 0.0;
+        let mut ia = 0;
+        let mut ib = 0;
+        while ia < self.indices.len() && ib < other.indices.len() {
+            match self.indices[ia].cmp(&other.indices[ib]) {
+                std::cmp::Ordering::Less => ia += 1,
+                std::cmp::Ordering::Greater => ib += 1,
+                std::cmp::Ordering::Equal => {
+                    s += self.values[ia] * other.values[ib];
+                    ia += 1;
+                    ib += 1;
+                }
+            }
+        }
+        s
+    }
+
+    /// 1-norm of the difference with another sparse vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn diff_norm1(&self, other: &SparseVec) -> f64 {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        let mut s = 0.0;
+        let mut ia = 0;
+        let mut ib = 0;
+        while ia < self.indices.len() || ib < other.indices.len() {
+            if ib >= other.indices.len()
+                || (ia < self.indices.len() && self.indices[ia] < other.indices[ib])
+            {
+                s += self.values[ia].abs();
+                ia += 1;
+            } else if ia >= self.indices.len() || other.indices[ib] < self.indices[ia] {
+                s += other.values[ib].abs();
+                ib += 1;
+            } else {
+                s += (self.values[ia] - other.values[ib]).abs();
+                ia += 1;
+                ib += 1;
+            }
+        }
+        s
+    }
+
+    /// Keeps only the `keep` largest-magnitude entries, dropping the rest.
+    ///
+    /// This is the `trunc_k` operation of Alg. 2: entries are ranked by
+    /// absolute value and the smallest ones are removed. Ties are broken in
+    /// favour of keeping smaller indices so the result is deterministic.
+    pub fn truncate_to(&self, keep: usize) -> SparseVec {
+        if keep >= self.nnz() {
+            return self.clone();
+        }
+        // Rank entries by |value| descending, index ascending.
+        let mut order: Vec<usize> = (0..self.nnz()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.values[b]
+                .abs()
+                .partial_cmp(&self.values[a].abs())
+                .expect("no NaN values in sparse vector")
+                .then(self.indices[a].cmp(&self.indices[b]))
+        });
+        let mut kept: Vec<usize> = order[..keep].to_vec();
+        kept.sort_unstable();
+        let indices: Vec<usize> = kept.iter().map(|&p| self.indices[p]).collect();
+        let values: Vec<f64> = kept.iter().map(|&p| self.values[p]).collect();
+        SparseVec {
+            dim: self.dim,
+            indices,
+            values,
+        }
+    }
+}
+
+/// A dense accumulator ("scatter workspace") used to build sparse vectors by
+/// summing scaled sparse vectors, as the approximate-inverse algorithm does.
+///
+/// The accumulator has O(dim) memory but every operation touches only the
+/// nonzero pattern, so repeated use is cheap.
+#[derive(Debug, Clone)]
+pub struct SparseAccumulator {
+    values: Vec<f64>,
+    occupied: Vec<bool>,
+    pattern: Vec<usize>,
+}
+
+impl SparseAccumulator {
+    /// Creates an empty accumulator of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        SparseAccumulator {
+            values: vec![0.0; dim],
+            occupied: vec![false; dim],
+            pattern: Vec::new(),
+        }
+    }
+
+    /// Dimension of the accumulator.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of positions currently holding a value.
+    pub fn nnz(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Adds `value` at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn add(&mut self, index: usize, value: f64) {
+        assert!(index < self.values.len(), "index out of bounds");
+        if !self.occupied[index] {
+            self.occupied[index] = true;
+            self.pattern.push(index);
+            self.values[index] = value;
+        } else {
+            self.values[index] += value;
+        }
+    }
+
+    /// Adds `alpha * x` to the accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn axpy(&mut self, alpha: f64, x: &SparseVec) {
+        assert_eq!(x.dim(), self.dim(), "dimension mismatch");
+        for (i, v) in x.iter() {
+            self.add(i, alpha * v);
+        }
+    }
+
+    /// Extracts the accumulated sparse vector and clears the accumulator.
+    ///
+    /// Entries that are exactly zero are kept (the caller decides about
+    /// numerical dropping); indices are sorted.
+    pub fn take(&mut self) -> SparseVec {
+        self.pattern.sort_unstable();
+        let indices = std::mem::take(&mut self.pattern);
+        let values: Vec<f64> = indices.iter().map(|&i| self.values[i]).collect();
+        for &i in &indices {
+            self.values[i] = 0.0;
+            self.occupied[i] = false;
+        }
+        SparseVec {
+            dim: self.dim(),
+            indices,
+            values,
+        }
+    }
+
+    /// Clears the accumulator without extracting a vector.
+    pub fn clear(&mut self) {
+        for &i in &self.pattern {
+            self.values[i] = 0.0;
+            self.occupied[i] = false;
+        }
+        self.pattern.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_dense_round_trips() {
+        let x = vec![0.0, 1.5, 0.0, -2.0];
+        let s = SparseVec::from_dense(&x);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.to_dense(), x);
+        assert_eq!(s.get(1), 1.5);
+        assert_eq!(s.get(0), 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        let s = SparseVec::from_sorted(4, vec![0, 3], vec![3.0, -4.0]);
+        assert_eq!(s.norm1(), 7.0);
+        assert_eq!(s.norm2(), 5.0);
+        assert_eq!(s.norm2_squared(), 25.0);
+    }
+
+    #[test]
+    fn distance_and_dot_match_dense() {
+        let a = SparseVec::from_sorted(5, vec![0, 2, 4], vec![1.0, 2.0, 3.0]);
+        let b = SparseVec::from_sorted(5, vec![1, 2], vec![-1.0, 5.0]);
+        let da = a.to_dense();
+        let db = b.to_dense();
+        let expected_d2: f64 = da.iter().zip(&db).map(|(x, y)| (x - y) * (x - y)).sum();
+        let expected_dot: f64 = da.iter().zip(&db).map(|(x, y)| x * y).sum();
+        let expected_l1: f64 = da.iter().zip(&db).map(|(x, y)| (x - y).abs()).sum();
+        assert!((a.distance_squared(&b) - expected_d2).abs() < 1e-14);
+        assert!((a.dot(&b) - expected_dot).abs() < 1e-14);
+        assert!((a.diff_norm1(&b) - expected_l1).abs() < 1e-14);
+    }
+
+    #[test]
+    fn truncate_keeps_largest() {
+        let s = SparseVec::from_sorted(6, vec![0, 1, 2, 3], vec![0.1, -5.0, 0.2, 3.0]);
+        let t = s.truncate_to(2);
+        assert_eq!(t.indices(), &[1, 3]);
+        assert_eq!(t.values(), &[-5.0, 3.0]);
+        // Truncating to more than nnz is a no-op.
+        assert_eq!(s.truncate_to(10), s);
+    }
+
+    #[test]
+    fn accumulator_axpy_and_take() {
+        let mut acc = SparseAccumulator::new(4);
+        let a = SparseVec::from_sorted(4, vec![0, 2], vec![1.0, 1.0]);
+        let b = SparseVec::from_sorted(4, vec![2, 3], vec![1.0, 2.0]);
+        acc.axpy(2.0, &a);
+        acc.axpy(-1.0, &b);
+        let out = acc.take();
+        assert_eq!(out.to_dense(), vec![2.0, 0.0, 1.0, -2.0]);
+        // Accumulator reusable after take.
+        acc.add(1, 7.0);
+        let out2 = acc.take();
+        assert_eq!(out2.to_dense(), vec![0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn accumulator_clear_resets() {
+        let mut acc = SparseAccumulator::new(3);
+        acc.add(0, 1.0);
+        acc.clear();
+        assert_eq!(acc.nnz(), 0);
+        let out = acc.take();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_sorted_rejects_unsorted() {
+        let _ = SparseVec::from_sorted(3, vec![1, 0], vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Symbolic Cholesky analysis.
+//!
+//! The symbolic phase computes, from the sparsity pattern alone, everything
+//! the numeric factorization needs: the elimination tree, the per-column
+//! nonzero counts and the total fill. It can be reused across matrices with
+//! the same pattern (e.g. repeated factorizations during incremental
+//! power-grid analysis).
+
+use crate::csc::CscMatrix;
+use crate::error::SparseError;
+use crate::etree::{self, NO_PARENT};
+
+/// Result of the symbolic Cholesky analysis of a sparse symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymbolicCholesky {
+    /// Order of the matrix.
+    n: usize,
+    /// Elimination-tree parent of each column ([`NO_PARENT`] for roots).
+    parent: Vec<usize>,
+    /// Number of nonzeros in each column of the factor (diagonal included).
+    column_counts: Vec<usize>,
+}
+
+impl SymbolicCholesky {
+    /// Analyzes the pattern of a square structurally symmetric matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] for rectangular input.
+    pub fn analyze(a: &CscMatrix) -> Result<Self, SparseError> {
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
+        }
+        let parent = etree::etree(a);
+        let column_counts = etree::column_counts(a, &parent);
+        Ok(SymbolicCholesky {
+            n: a.ncols(),
+            parent,
+            column_counts,
+        })
+    }
+
+    /// Order of the analyzed matrix.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Elimination-tree parent array.
+    pub fn parent(&self) -> &[usize] {
+        &self.parent
+    }
+
+    /// Per-column nonzero counts of the factor (diagonal included).
+    pub fn column_counts(&self) -> &[usize] {
+        &self.column_counts
+    }
+
+    /// Total number of nonzeros in the factor.
+    pub fn factor_nnz(&self) -> usize {
+        self.column_counts.iter().sum()
+    }
+
+    /// Fill-in: factor nonzeros minus the nonzeros of the lower triangle of
+    /// the analyzed matrix pattern. Useful for comparing orderings.
+    pub fn fill_in(&self, a: &CscMatrix) -> usize {
+        let lower_nnz = a
+            .colptr()
+            .windows(2)
+            .enumerate()
+            .map(|(j, w)| {
+                a.rowidx()[w[0]..w[1]]
+                    .iter()
+                    .filter(|&&i| i >= j)
+                    .count()
+            })
+            .sum::<usize>();
+        self.factor_nnz().saturating_sub(lower_nnz)
+    }
+
+    /// Number of root columns in the elimination forest.
+    pub fn root_count(&self) -> usize {
+        self.parent.iter().filter(|&&p| p == NO_PARENT).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::TripletMatrix;
+
+    fn grid_laplacian(rows: usize, cols: usize) -> CscMatrix {
+        let idx = |r: usize, c: usize| r * cols + c;
+        let n = rows * cols;
+        let mut t = TripletMatrix::new(n, n);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    t.add_laplacian_edge(idx(r, c), idx(r, c + 1), 1.0);
+                }
+                if r + 1 < rows {
+                    t.add_laplacian_edge(idx(r, c), idx(r + 1, c), 1.0);
+                }
+            }
+        }
+        for i in 0..n {
+            t.push(i, i, 1e-6);
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn analyze_path_counts_bidiagonal_factor() {
+        let mut t = TripletMatrix::new(4, 4);
+        for i in 0..3 {
+            t.add_laplacian_edge(i, i + 1, 1.0);
+        }
+        for i in 0..4 {
+            t.push(i, i, 1e-6);
+        }
+        let a = t.to_csc();
+        let sym = SymbolicCholesky::analyze(&a).expect("square");
+        assert_eq!(sym.factor_nnz(), 7);
+        assert_eq!(sym.fill_in(&a), 0);
+        assert_eq!(sym.root_count(), 1);
+    }
+
+    #[test]
+    fn grid_has_fill_in() {
+        let a = grid_laplacian(4, 4);
+        let sym = SymbolicCholesky::analyze(&a).expect("square");
+        assert!(sym.fill_in(&a) > 0, "a 2-D grid in natural order must fill in");
+        assert_eq!(sym.order(), 16);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = CscMatrix::zeros(2, 3);
+        assert!(SymbolicCholesky::analyze(&a).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Triangular solves with sparse lower factors.
+//!
+//! All routines operate on a lower-triangular matrix stored in CSC format
+//! with the diagonal entry present in every column (as produced by
+//! [`crate::cholesky`] and [`crate::ichol`]).
+
+use crate::csc::CscMatrix;
+use crate::sparse_vec::SparseVec;
+
+/// Solves `L x = b` in place for a lower-triangular CSC matrix `L`.
+///
+/// # Panics
+///
+/// Panics if `L` is not square, `b` has the wrong length, or a diagonal entry
+/// is missing or zero.
+pub fn solve_lower(l: &CscMatrix, b: &mut [f64]) {
+    let n = l.ncols();
+    assert_eq!(l.nrows(), n, "solve_lower requires a square matrix");
+    assert_eq!(b.len(), n, "solve_lower: rhs length mismatch");
+    for j in 0..n {
+        let rows = l.column_rows(j);
+        let vals = l.column_values(j);
+        let dpos = rows
+            .binary_search(&j)
+            .expect("lower factor must store its diagonal");
+        let diag = vals[dpos];
+        assert!(diag != 0.0, "zero diagonal in lower factor");
+        let xj = b[j] / diag;
+        b[j] = xj;
+        for (p, &i) in rows.iter().enumerate() {
+            if i > j {
+                b[i] -= vals[p] * xj;
+            }
+        }
+    }
+}
+
+/// Solves `L^T x = b` in place for a lower-triangular CSC matrix `L`.
+///
+/// # Panics
+///
+/// Panics if `L` is not square, `b` has the wrong length, or a diagonal entry
+/// is missing or zero.
+pub fn solve_lower_transpose(l: &CscMatrix, b: &mut [f64]) {
+    let n = l.ncols();
+    assert_eq!(l.nrows(), n, "solve_lower_transpose requires a square matrix");
+    assert_eq!(b.len(), n, "solve_lower_transpose: rhs length mismatch");
+    for j in (0..n).rev() {
+        let rows = l.column_rows(j);
+        let vals = l.column_values(j);
+        let dpos = rows
+            .binary_search(&j)
+            .expect("lower factor must store its diagonal");
+        let diag = vals[dpos];
+        assert!(diag != 0.0, "zero diagonal in lower factor");
+        let mut s = b[j];
+        for (p, &i) in rows.iter().enumerate() {
+            if i > j {
+                s -= vals[p] * b[i];
+            }
+        }
+        b[j] = s / diag;
+    }
+}
+
+/// Solves `L L^T x = b`, overwriting `b` with the solution.
+///
+/// # Panics
+///
+/// See [`solve_lower`] and [`solve_lower_transpose`].
+pub fn solve_cholesky(l: &CscMatrix, b: &mut [f64]) {
+    solve_lower(l, b);
+    solve_lower_transpose(l, b);
+}
+
+/// Solves `L x = e_j` (a unit right-hand side) exploiting sparsity of the
+/// solution: only the rows reachable from `j` in the directed graph of `L`
+/// are touched. Returns the solution as a [`SparseVec`].
+///
+/// The solution pattern is exactly the set of descendants of `j` in the
+/// filled graph, so this routine is the exact counterpart of one column of
+/// `L^{-1}` and is used as a reference for the approximate inverse.
+///
+/// # Panics
+///
+/// Panics if `L` is not square, `j` is out of bounds, or a diagonal entry is
+/// missing or zero.
+pub fn solve_lower_unit_sparse(l: &CscMatrix, j: usize) -> SparseVec {
+    let n = l.ncols();
+    assert_eq!(l.nrows(), n, "solve_lower_unit_sparse requires a square matrix");
+    assert!(j < n, "unit index out of bounds");
+    // Discover the reach of j in the graph of L (edges j -> i for L(i, j) != 0,
+    // i > j) with an iterative depth-first search.
+    let mut visited = vec![false; n];
+    let mut order = Vec::new();
+    let mut stack = vec![j];
+    while let Some(node) = stack.pop() {
+        if visited[node] {
+            continue;
+        }
+        visited[node] = true;
+        order.push(node);
+        for &i in l.column_rows(node) {
+            if i > node && !visited[i] {
+                stack.push(i);
+            }
+        }
+    }
+    order.sort_unstable();
+    // Forward substitution restricted to the reach.
+    let mut x = vec![0.0; n];
+    x[j] = 1.0;
+    for &col in &order {
+        let rows = l.column_rows(col);
+        let vals = l.column_values(col);
+        let dpos = rows
+            .binary_search(&col)
+            .expect("lower factor must store its diagonal");
+        let diag = vals[dpos];
+        assert!(diag != 0.0, "zero diagonal in lower factor");
+        let xc = x[col] / diag;
+        x[col] = xc;
+        for (p, &i) in rows.iter().enumerate() {
+            if i > col {
+                x[i] -= vals[p] * xc;
+            }
+        }
+    }
+    let indices: Vec<usize> = order.iter().copied().filter(|&i| x[i] != 0.0).collect();
+    let values: Vec<f64> = indices.iter().map(|&i| x[i]).collect();
+    SparseVec::from_sorted(n, indices, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::TripletMatrix;
+
+    /// A small lower-triangular matrix with unit structure:
+    /// L = [2 0 0; -1 3 0; 0 -2 4].
+    fn sample_lower() -> CscMatrix {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(1, 0, -1.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 1, -2.0);
+        t.push(2, 2, 4.0);
+        t.to_csc()
+    }
+
+    #[test]
+    fn forward_solve_matches_dense() {
+        let l = sample_lower();
+        let b = [2.0, 5.0, 4.0];
+        let mut x = b;
+        solve_lower(&l, &mut x);
+        // Check L x = b.
+        let lx = l.matvec(&x);
+        for (a, bi) in lx.iter().zip(&b) {
+            assert!((a - bi).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn transpose_solve_matches_dense() {
+        let l = sample_lower();
+        let b = [1.0, 2.0, 3.0];
+        let mut x = b;
+        solve_lower_transpose(&l, &mut x);
+        let ltx = l.transpose().matvec(&x);
+        for (a, bi) in ltx.iter().zip(&b) {
+            assert!((a - bi).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_round_trip() {
+        let l = sample_lower();
+        // A = L L^T.
+        let a = l.matmul(&l.transpose()).expect("shapes");
+        let b = [1.0, -2.0, 0.5];
+        let mut x = b;
+        solve_cholesky(&l, &mut x);
+        assert!(a.residual_inf_norm(&x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn sparse_unit_solve_matches_dense_unit_solve() {
+        let l = sample_lower();
+        for j in 0..3 {
+            let mut e = vec![0.0; 3];
+            e[j] = 1.0;
+            let mut dense = e.clone();
+            solve_lower(&l, &mut dense);
+            let sparse = solve_lower_unit_sparse(&l, j);
+            for i in 0..3 {
+                assert!((sparse.get(i) - dense[i]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_unit_solve_has_local_support_for_block_diagonal() {
+        // Two decoupled 2x2 blocks: solving for a unit vector in the first
+        // block must not touch the second block.
+        let mut t = TripletMatrix::new(4, 4);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, -0.5);
+        t.push(1, 1, 1.0);
+        t.push(2, 2, 1.0);
+        t.push(3, 2, -0.5);
+        t.push(3, 3, 1.0);
+        let l = t.to_csc();
+        let x = solve_lower_unit_sparse(&l, 0);
+        assert!(x.indices().iter().all(|&i| i < 2));
+        let y = solve_lower_unit_sparse(&l, 2);
+        assert!(y.indices().iter().all(|&i| i >= 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn missing_diagonal_panics() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 1.0);
+        // No (1,1) entry.
+        let l = t.to_csc();
+        let mut b = [1.0, 1.0];
+        solve_lower(&l, &mut b);
+    }
+}

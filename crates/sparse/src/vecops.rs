@@ -1,0 +1,109 @@
+//! Small dense-vector helpers shared across the crate.
+//!
+//! These are deliberately plain functions over slices so they can be reused
+//! by every solver and factorization without pulling in a vector type.
+
+/// Dot product of two equally sized slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm of a slice.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// 1-norm (sum of absolute values) of a slice.
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Infinity norm (maximum absolute value) of a slice.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale a vector in place: `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise difference `x - y` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Maximum absolute difference between two vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "max_abs_diff: length mismatch");
+    x.iter()
+        .zip(y)
+        .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let x = [3.0, 4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm1(&x), 7.0);
+        assert_eq!(norm_inf(&[-3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn axpy_scale_sub() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, [6.0, 12.0]);
+        assert_eq!(sub(&y, &x), vec![5.0, 10.0]);
+        assert_eq!(max_abs_diff(&y, &x), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norms_of_empty_vector_are_zero() {
+        assert_eq!(norm2(&[]), 0.0);
+        assert_eq!(norm1(&[]), 0.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: compute effective resistances on a weighted graph and compare
+//! the paper's Alg. 3 against the exact direct method.
+//!
+//! Run with `cargo run --example quickstart --release`.
+
+use effres::prelude::*;
+use effres_graph::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 64x64 power-grid-like mesh with random conductances.
+    let graph = generators::grid_2d(64, 64, 0.5, 2.0, 42)?;
+    println!(
+        "graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    // Build the Alg. 3 estimator with the paper's default parameters
+    // (incomplete-Cholesky drop tolerance 1e-3, pruning threshold 1e-3).
+    let config = EffresConfig::default();
+    let estimator = EffectiveResistanceEstimator::build(&graph, &config)?;
+    let stats = estimator.stats();
+    println!(
+        "approximate inverse: {} nonzeros ({:.2} x n log2 n), max filled-graph depth {}",
+        stats.inverse_nnz, stats.inverse_nnz_ratio, stats.max_depth
+    );
+
+    // Compare a few queries against the exact direct method.
+    let exact = ExactEffectiveResistance::build(&graph, 1.0)?;
+    for &(p, q) in &[(0usize, 1usize), (100, 2100), (17, 4000), (2048, 2049)] {
+        let approx = estimator.query(p, q)?;
+        let truth = exact.query(p, q)?;
+        println!(
+            "R({p:4}, {q:4}) = {approx:.6}  (exact {truth:.6}, relative error {:.2e})",
+            ((approx - truth) / truth).abs()
+        );
+    }
+
+    // Effective resistances for every edge — the workload of Table I.
+    let all = estimator.query_all_edges(&graph)?;
+    let mean = all.iter().sum::<f64>() / all.len() as f64;
+    println!("mean edge effective resistance: {mean:.4}");
+    Ok(())
+}

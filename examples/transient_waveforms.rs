@@ -1,0 +1,63 @@
+//! Transient analysis of a power grid before and after reduction (the
+//! experiment behind Fig. 1 of the paper).
+//!
+//! Run with `cargo run --example transient_waveforms --release`.
+
+use effres::prelude::EffresConfig;
+use effres_powergrid::analysis::{transient_solve, LoadScale, TransientOptions};
+use effres_powergrid::generator::{synthetic_grid, SyntheticGridOptions};
+use effres_powergrid::reduce::{reduce, ErMethod, ReductionOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = synthetic_grid(&SyntheticGridOptions::small())?;
+    let observed = grid.loads().first().expect("grid has loads").node;
+
+    let options = TransientOptions {
+        time_step: 1e-11,
+        steps: 1000,
+        record_nodes: vec![observed],
+        load_scale: LoadScale::Pulse {
+            period: 2e-9,
+            duty: 0.5,
+        },
+    };
+    let original = transient_solve(&grid, &options)?;
+
+    let reduced = reduce(
+        &grid,
+        &ReductionOptions {
+            er_method: ErMethod::ApproxInverse(EffresConfig::default()),
+            ..ReductionOptions::default()
+        },
+    )?;
+    let reduced_node = reduced.node_map[observed].expect("load nodes are ports");
+    let reduced_solution = transient_solve(
+        &reduced.grid,
+        &TransientOptions {
+            record_nodes: vec![reduced_node],
+            ..options
+        },
+    )?;
+
+    let orig_wave = &original.waveforms[0];
+    let red_wave = &reduced_solution.waveforms[0];
+    println!(
+        "node {observed}: original grid has {} nodes, reduced grid {} nodes",
+        grid.node_count(),
+        reduced.grid.node_count()
+    );
+    println!(
+        "maximum waveform deviation over 1000 steps: {:.3e} V",
+        orig_wave.max_abs_difference(red_wave)
+    );
+    println!("\ntime(ns)  v_original(V)  v_reduced(V)");
+    for i in (0..orig_wave.times.len()).step_by(100) {
+        println!(
+            "{:7.2}  {:13.6}  {:12.6}",
+            orig_wave.times[i] * 1e9,
+            orig_wave.values[i],
+            red_wave.values[i]
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: the full Alg. 3 pipeline (graph →
+//! grounded Laplacian → incomplete Cholesky → approximate inverse → queries)
+//! against the exact oracle, across the structural regimes of Table I.
+
+use effres::prelude::*;
+use effres::stats::{relative_errors, sample_edges};
+use effres_graph::generators;
+use effres_graph::Graph;
+
+fn check_graph(graph: &Graph, avg_bound: f64, max_bound: f64) {
+    let estimator =
+        EffectiveResistanceEstimator::build(graph, &EffresConfig::default()).expect("build");
+    let exact = ExactEffectiveResistance::build(graph, 1.0).expect("build");
+    let queries = sample_edges(graph, 500, 17);
+    let approx = estimator.query_many(&queries).expect("queries");
+    let truth = exact.query_many(&queries).expect("queries");
+    let (avg, max) = relative_errors(&approx, &truth);
+    assert!(avg < avg_bound, "average relative error {avg} > {avg_bound}");
+    assert!(max < max_bound, "maximum relative error {max} > {max_bound}");
+}
+
+#[test]
+fn mesh_like_graph_matches_exact() {
+    let graph = generators::grid_2d(30, 30, 0.5, 2.0, 1).expect("generator");
+    check_graph(&graph, 1e-2, 2e-1);
+}
+
+#[test]
+fn power_grid_mesh_matches_exact() {
+    let graph = generators::power_grid_mesh(Default::default()).expect("generator");
+    check_graph(&graph, 1e-2, 2e-1);
+}
+
+#[test]
+fn finite_element_mesh_matches_exact() {
+    let graph = generators::fe_mesh(8, 8, 8, 0.5, 2.0, 3).expect("generator");
+    check_graph(&graph, 2e-2, 3e-1);
+}
+
+#[test]
+fn social_network_graph_matches_exact() {
+    let graph = generators::preferential_attachment(1500, 3, 0.5, 1.5, 5).expect("generator");
+    check_graph(&graph, 2e-2, 3e-1);
+}
+
+#[test]
+fn small_world_graph_matches_exact() {
+    let graph = generators::small_world(1200, 3, 0.05, 0.5, 1.5, 6).expect("generator");
+    check_graph(&graph, 2e-2, 3e-1);
+}
+
+#[test]
+fn alg3_is_more_accurate_than_the_random_projection_baseline() {
+    use effres::random_projection::RandomProjectionOptions;
+    let graph = generators::grid_2d(24, 24, 0.5, 2.0, 9).expect("generator");
+    let exact = ExactEffectiveResistance::build(&graph, 1.0).expect("build");
+    let queries = sample_edges(&graph, 500, 23);
+    let truth = exact.query_many(&queries).expect("queries");
+
+    let alg3 = EffectiveResistanceEstimator::build(&graph, &EffresConfig::default())
+        .expect("build")
+        .query_many(&queries)
+        .expect("queries");
+    let (alg3_avg, _) = relative_errors(&alg3, &truth);
+
+    let rp = RandomProjectionEstimator::build(&graph, &RandomProjectionOptions::default())
+        .expect("build")
+        .query_many(&queries)
+        .expect("queries");
+    let (rp_avg, _) = relative_errors(&rp, &truth);
+
+    assert!(
+        alg3_avg * 5.0 < rp_avg,
+        "expected at least 5x better average error: alg3 {alg3_avg}, www15 {rp_avg}"
+    );
+}
+
+#[test]
+fn epsilon_controls_the_error_and_the_size() {
+    let graph = generators::grid_2d(20, 20, 1.0, 1.0, 2).expect("generator");
+    let exact = ExactEffectiveResistance::build(&graph, 1.0).expect("build");
+    let queries = sample_edges(&graph, 300, 31);
+    let truth = exact.query_many(&queries).expect("queries");
+    let mut previous_error = f64::INFINITY;
+    let mut previous_nnz = usize::MAX;
+    for epsilon in [3e-2, 3e-3, 3e-4] {
+        let config = EffresConfig::default()
+            .with_drop_tolerance(0.0)
+            .with_epsilon(epsilon);
+        let estimator = EffectiveResistanceEstimator::build(&graph, &config).expect("build");
+        let approx = estimator.query_many(&queries).expect("queries");
+        let (avg, _) = relative_errors(&approx, &truth);
+        assert!(
+            avg <= previous_error * 1.5 + 1e-12,
+            "error must not grow when epsilon shrinks: {avg} after {previous_error}"
+        );
+        assert!(
+            estimator.stats().inverse_nnz >= previous_nnz.min(estimator.stats().inverse_nnz),
+            "nnz should grow (or stay) as epsilon shrinks"
+        );
+        previous_error = avg;
+        previous_nnz = estimator.stats().inverse_nnz;
+    }
+    assert!(previous_error < 1e-3, "tightest epsilon should be very accurate");
+}
+
+#[test]
+fn series_and_parallel_circuit_laws_hold() {
+    // Series: R = r1 + r2; parallel: 1/R = 1/r1 + 1/r2 — checked through the
+    // full Alg. 3 pipeline on exactly-representable circuits.
+    let mut series = Graph::new(3);
+    series.add_edge(0, 1, 1.0 / 3.0).expect("edge"); // 3 ohm
+    series.add_edge(1, 2, 1.0 / 5.0).expect("edge"); // 5 ohm
+    let est = EffectiveResistanceEstimator::build(
+        &series,
+        &EffresConfig::default().with_drop_tolerance(0.0).with_epsilon(0.0),
+    )
+    .expect("build");
+    assert!((est.query(0, 2).expect("query") - 8.0).abs() < 1e-9);
+
+    let mut parallel = Graph::new(2);
+    parallel.add_edge(0, 1, 1.0 / 3.0).expect("edge");
+    parallel.add_edge(0, 1, 1.0 / 6.0).expect("edge");
+    let est = EffectiveResistanceEstimator::build(
+        &parallel,
+        &EffresConfig::default().with_drop_tolerance(0.0).with_epsilon(0.0),
+    )
+    .expect("build");
+    assert!((est.query(0, 1).expect("query") - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn tree_effective_resistance_equals_path_resistance() {
+    // On a spanning tree the effective resistance is the sum of edge
+    // resistances along the unique path.
+    let graph = generators::random_connected(200, 0, 0.5, 2.0, 13).expect("generator");
+    assert_eq!(graph.edge_count(), 199, "a tree has n-1 edges");
+    let est = EffectiveResistanceEstimator::build(
+        &graph,
+        &EffresConfig::default().with_drop_tolerance(0.0).with_epsilon(0.0),
+    )
+    .expect("build");
+    let forest = effres_graph::spanning::bfs_spanning_forest(&graph);
+    for &(p, q) in &[(0usize, 199usize), (10, 150), (42, 137)] {
+        let expected = effres_graph::spanning::tree_path_resistance(&graph, &forest, p, q)
+            .expect("same component");
+        let actual = est.query(p, q).expect("query");
+        assert!(
+            (actual - expected).abs() / expected < 1e-8,
+            "({p},{q}): {actual} vs {expected}"
+        );
+    }
+}

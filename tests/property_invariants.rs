@@ -1,0 +1,151 @@
+//! Property-based tests of the core invariants, spanning all crates.
+//!
+//! The generators draw random weighted graphs and random circuits; the
+//! properties are the mathematical facts the paper's algorithms rely on:
+//! Laplacian structure, non-negativity of `L⁻¹` (Lemma 1), the Theorem 1
+//! column error bound, metric properties of effective resistances and
+//! Rayleigh monotonicity.
+
+use effres::approx_inverse::SparseApproximateInverse;
+use effres::depth::FilledGraphDepth;
+use effres::prelude::*;
+use effres_graph::laplacian::{grounded_laplacian, laplacian};
+use effres_graph::Graph;
+use effres_sparse::cholesky::CholeskyFactor;
+use effres_sparse::trisolve;
+use proptest::prelude::*;
+
+/// Strategy: a connected weighted graph with `3..=40` nodes.
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (3usize..40, any::<u64>()).prop_map(|(n, seed)| {
+        // Random spanning tree plus a few extra edges, deterministic in seed.
+        let mut graph = Graph::new(n);
+        let mut state = seed | 1;
+        let mut next = move || {
+            // xorshift64* keeps the strategy free of external RNG state.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for i in 1..n {
+            let j = (next() as usize) % i;
+            let w = 0.25 + (next() % 1000) as f64 / 250.0;
+            graph.add_edge(i, j, w).expect("valid edge");
+        }
+        for _ in 0..n {
+            let a = (next() as usize) % n;
+            let b = (next() as usize) % n;
+            if a != b {
+                let w = 0.25 + (next() % 1000) as f64 / 250.0;
+                graph.add_edge(a, b, w).expect("valid edge");
+            }
+        }
+        graph
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn laplacian_rows_sum_to_zero_and_matrix_is_sdd(graph in connected_graph()) {
+        let lap = laplacian(&graph);
+        let ones = vec![1.0; graph.node_count()];
+        for v in lap.matvec(&ones) {
+            prop_assert!(v.abs() < 1e-9);
+        }
+        for j in 0..lap.ncols() {
+            let diag = lap.get(j, j);
+            let off: f64 = lap.column(j).filter(|&(i, _)| i != j).map(|(_, v)| v.abs()).sum();
+            prop_assert!(diag + 1e-9 >= off);
+        }
+    }
+
+    #[test]
+    fn cholesky_factor_of_grounded_laplacian_has_m_matrix_signs(graph in connected_graph()) {
+        let lap = grounded_laplacian(&graph, 1.0);
+        let factor = CholeskyFactor::factor(&lap).expect("SPD");
+        let l = factor.factor_l();
+        for j in 0..l.ncols() {
+            for (i, v) in l.column(j) {
+                if i == j {
+                    prop_assert!(v > 0.0);
+                } else {
+                    prop_assert!(v <= 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_inverse_is_nonnegative_and_obeys_theorem1(graph in connected_graph()) {
+        let lap = grounded_laplacian(&graph, 1.0);
+        let factor = CholeskyFactor::factor(&lap).expect("SPD");
+        let l = factor.factor_l();
+        let epsilon = 5e-3;
+        let inverse = SparseApproximateInverse::from_factor(l, epsilon, 0).expect("Alg. 2");
+        let depth = FilledGraphDepth::from_factor(l);
+        for p in 0..l.ncols() {
+            // Lemma 1: nonnegative columns.
+            prop_assert!(inverse.column(p).values().iter().all(|&v| v >= 0.0));
+            // Theorem 1: relative column error bounded by depth * epsilon.
+            let exact = trisolve::solve_lower_unit_sparse(l, p);
+            let err = inverse.column(p).diff_norm1(&exact) / exact.norm1();
+            prop_assert!(err <= depth.depth(p) as f64 * epsilon + 1e-12,
+                "column {}: {} > {}", p, err, depth.depth(p) as f64 * epsilon);
+        }
+    }
+
+    #[test]
+    fn effective_resistance_is_a_metric_like_distance(graph in connected_graph()) {
+        let est = EffectiveResistanceEstimator::build(
+            &graph,
+            &EffresConfig::default().with_drop_tolerance(0.0).with_epsilon(0.0),
+        ).expect("build");
+        let n = graph.node_count();
+        let (a, b, c) = (0, n / 2, n - 1);
+        let rab = est.query(a, b).expect("query");
+        let rbc = est.query(b, c).expect("query");
+        let rac = est.query(a, c).expect("query");
+        // Symmetry and positivity.
+        prop_assert!(rab >= 0.0 && rbc >= 0.0 && rac >= 0.0);
+        prop_assert!((est.query(b, a).expect("query") - rab).abs() < 1e-9);
+        // Effective resistance itself satisfies the triangle inequality.
+        if a != b && b != c && a != c {
+            prop_assert!(rac <= rab + rbc + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rayleigh_monotonicity_holds_for_added_edges(graph in connected_graph()) {
+        // Adding a new edge can only lower (or keep) every effective resistance.
+        let exact_before = ExactEffectiveResistance::build(&graph, 1.0).expect("build");
+        let n = graph.node_count();
+        let (p, q) = (0, n - 1);
+        let before = exact_before.query(p, q).expect("query");
+        let mut denser = graph.clone();
+        denser.add_edge(p, q, 1.0).expect("valid edge");
+        let exact_after = ExactEffectiveResistance::build(&denser, 1.0).expect("build");
+        let after = exact_after.query(p, q).expect("query");
+        prop_assert!(after <= before + 1e-9);
+        // And the parallel-resistance formula gives the exact new value.
+        let expected = 1.0 / (1.0 / before + 1.0);
+        prop_assert!((after - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alg3_tracks_exact_resistances_on_random_graphs(graph in connected_graph()) {
+        let est = EffectiveResistanceEstimator::build(&graph, &EffresConfig::default())
+            .expect("build");
+        let exact = ExactEffectiveResistance::build(&graph, 1.0).expect("build");
+        for (id, e) in graph.edges() {
+            if id % 3 != 0 {
+                continue;
+            }
+            let a = est.query(e.u, e.v).expect("query");
+            let b = exact.query(e.u, e.v).expect("query");
+            prop_assert!((a - b).abs() / b < 0.2, "edge ({}, {}): {} vs {}", e.u, e.v, a, b);
+        }
+    }
+}

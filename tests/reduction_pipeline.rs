@@ -1,0 +1,142 @@
+//! Cross-crate integration tests of the power-grid reduction pipeline
+//! (Alg. 1) and its downstream applications (transient and DC incremental
+//! analysis) — the experiments behind Table II and Fig. 1.
+
+use effres::prelude::EffresConfig;
+use effres_powergrid::analysis::{dc_solve, transient_solve, LoadScale, TransientOptions};
+use effres_powergrid::generator::{synthetic_grid, SyntheticGridOptions};
+use effres_powergrid::incremental::{run_incremental_experiment, IncrementalReducer};
+use effres_powergrid::reduce::{compare_port_voltages, reduce, ErMethod, ReductionOptions};
+
+fn test_grid() -> effres_powergrid::PowerGrid {
+    synthetic_grid(&SyntheticGridOptions {
+        rows: 20,
+        cols: 20,
+        pad_count: 6,
+        ..SyntheticGridOptions::default()
+    })
+    .expect("generator")
+}
+
+#[test]
+fn reduction_with_alg3_preserves_dc_port_voltages() {
+    let grid = test_grid();
+    let original = dc_solve(&grid).expect("dc");
+    let reduced = reduce(
+        &grid,
+        &ReductionOptions {
+            er_method: ErMethod::ApproxInverse(EffresConfig::default()),
+            ..ReductionOptions::default()
+        },
+    )
+    .expect("reduction");
+    assert!(reduced.stats.reduced_nodes < grid.node_count());
+    let solution = dc_solve(&reduced.grid).expect("dc");
+    let (err, rel) = compare_port_voltages(&grid, original.voltages(), &reduced, solution.voltages());
+    assert!(rel < 0.05, "relative port error {rel} (absolute {err})");
+}
+
+#[test]
+fn reduction_quality_is_independent_of_the_er_method_but_alg3_is_fastest_to_build() {
+    let grid = test_grid();
+    let original = dc_solve(&grid).expect("dc");
+    let mut rels = Vec::new();
+    for method in [
+        ErMethod::Exact,
+        ErMethod::ApproxInverse(EffresConfig::default()),
+    ] {
+        let reduced = reduce(
+            &grid,
+            &ReductionOptions {
+                er_method: method,
+                ..ReductionOptions::default()
+            },
+        )
+        .expect("reduction");
+        let solution = dc_solve(&reduced.grid).expect("dc");
+        let (_, rel) =
+            compare_port_voltages(&grid, original.voltages(), &reduced, solution.voltages());
+        rels.push(rel);
+    }
+    // Alg. 3 based reduction keeps the accuracy of the exact-ER reduction
+    // ("almost no increase in reduction errors").
+    assert!(rels[1] < rels[0] * 2.0 + 0.01, "exact {} vs alg3 {}", rels[0], rels[1]);
+}
+
+#[test]
+fn transient_analysis_of_the_reduced_model_tracks_the_original() {
+    let grid = test_grid();
+    let observed = grid.loads().first().expect("loads exist").node;
+    let options = TransientOptions {
+        time_step: 1e-11,
+        steps: 300,
+        record_nodes: vec![observed],
+        load_scale: LoadScale::Pulse {
+            period: 2e-9,
+            duty: 0.5,
+        },
+    };
+    let original = transient_solve(&grid, &options).expect("transient");
+    let reduced = reduce(
+        &grid,
+        &ReductionOptions {
+            er_method: ErMethod::ApproxInverse(EffresConfig::default()),
+            ..ReductionOptions::default()
+        },
+    )
+    .expect("reduction");
+    let reduced_solution = transient_solve(
+        &reduced.grid,
+        &TransientOptions {
+            record_nodes: vec![reduced.node_map[observed].expect("port kept")],
+            ..options
+        },
+    )
+    .expect("transient");
+    let deviation =
+        original.waveforms[0].max_abs_difference(&reduced_solution.waveforms[0]);
+    let supply = grid.supply_voltage();
+    let max_drop = original
+        .average_voltages
+        .iter()
+        .fold(0.0_f64, |m, &v| m.max(supply - v));
+    assert!(
+        deviation < 0.10 * max_drop.max(1e-6) + 1e-6,
+        "waveform deviation {deviation} too large (max drop {max_drop})"
+    );
+}
+
+#[test]
+fn incremental_analysis_matches_a_full_resolve() {
+    let grid = test_grid();
+    let mut reducer = IncrementalReducer::new(
+        grid,
+        ReductionOptions {
+            er_method: ErMethod::ApproxInverse(EffresConfig::default()),
+            ..ReductionOptions::default()
+        },
+    )
+    .expect("initial reduction");
+    let run = run_incremental_experiment(&mut reducer, 0.1, 5).expect("incremental");
+    assert!(
+        run.relative_error < 0.05,
+        "incremental relative error {} too large",
+        run.relative_error
+    );
+}
+
+#[test]
+fn netlist_io_round_trip_through_the_reduction_flow() {
+    // Write the synthetic grid as a SPICE deck, parse it back, reduce the
+    // parsed grid and check the DC behaviour still matches.
+    use effres_powergrid::generator::write_netlist;
+    use effres_powergrid::parser::parse_netlist;
+    let grid = test_grid();
+    let parsed = parse_netlist(&write_netlist(&grid)).expect("parse");
+    let original = dc_solve(&parsed).expect("dc");
+    let reduced = reduce(&parsed, &ReductionOptions::default()).expect("reduction");
+    let solution = dc_solve(&reduced.grid).expect("dc");
+    let (_, rel) =
+        compare_port_voltages(&parsed, original.voltages(), &reduced, solution.voltages());
+    assert!(rel < 0.05, "relative port error {rel}");
+}
