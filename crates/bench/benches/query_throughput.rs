@@ -1,0 +1,63 @@
+//! Batched query throughput: the naive sequential loop
+//! (`EffectiveResistanceEstimator::query_many`, one full two-column merge per
+//! query) against the `effres-service` engine's batched path (precomputed
+//! column norms, per-thread scratch column reuse over a sorted batch, and —
+//! on multi-core hosts — scoped worker threads).
+//!
+//! This is the acceptance workload of the ingestion/service subsystem: a
+//! ≥ 100k-node generated graph answering tens of thousands of `(p, q)`
+//! queries per invocation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use effres::prelude::*;
+use effres_graph::generators;
+use effres_service::{EngineOptions, QueryBatch, QueryEngine};
+use std::sync::Arc;
+
+const QUERIES: usize = 20_000;
+
+fn bench_query_throughput(c: &mut Criterion) {
+    // 320 x 320 grid = 102 400 nodes.
+    let graph = generators::grid_2d(320, 320, 0.5, 2.0, 7).expect("generator");
+    let estimator = Arc::new(
+        EffectiveResistanceEstimator::build(&graph, &EffresConfig::default()).expect("build"),
+    );
+    let batch = QueryBatch::random(QUERIES, estimator.node_count(), 42);
+    let pairs = batch.pairs().to_vec();
+
+    let mut group = c.benchmark_group("query_throughput_100k_nodes");
+    group.sample_size(10);
+
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("sequential_query_many_{QUERIES}")),
+        |b| {
+            b.iter(|| estimator.query_many(&pairs).expect("in bounds"));
+        },
+    );
+
+    for &threads in &[1usize, 2, 4, 8] {
+        // A fresh engine per configuration: the cache must not carry answers
+        // across configurations, and is disabled so the kernel itself is
+        // what's measured.
+        let engine = QueryEngine::new(
+            Arc::clone(&estimator),
+            EngineOptions {
+                threads,
+                cache_capacity: 0,
+                parallel_threshold: if threads == 1 { usize::MAX } else { 1 },
+                ..EngineOptions::default()
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("engine_batched", format!("{threads}_threads")),
+            &engine,
+            |b, engine| {
+                b.iter(|| engine.execute(&batch).expect("in bounds"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_throughput);
+criterion_main!(benches);

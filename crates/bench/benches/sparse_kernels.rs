@@ -23,8 +23,12 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function("ichol_droptol_1e3", |b| {
         b.iter(|| IncompleteCholesky::with_drop_tolerance(&lap, 1e-3).expect("spd"))
     });
-    group.bench_function("amd_ordering", |b| b.iter(|| amd::amd(&lap).expect("square")));
-    group.bench_function("rcm_ordering", |b| b.iter(|| rcm::rcm(&lap).expect("square")));
+    group.bench_function("amd_ordering", |b| {
+        b.iter(|| amd::amd(&lap).expect("square"))
+    });
+    group.bench_function("rcm_ordering", |b| {
+        b.iter(|| rcm::rcm(&lap).expect("square"))
+    });
     let ic = IncompleteCholesky::with_drop_tolerance(&lap, 1e-3).expect("spd");
     group.bench_function("pcg_ic_solve", |b| {
         b.iter(|| pcg(&lap, &rhs, &ic, CgOptions::default()).expect("converges"))

@@ -52,7 +52,8 @@ fn main() {
     let reduced_solution =
         transient_solve(&reduced.grid, &reduced_options).expect("reduced transient");
 
-    let mut csv = String::from("time_ns,v_heavy_original,v_heavy_reduced,v_light_original,v_light_reduced\n");
+    let mut csv =
+        String::from("time_ns,v_heavy_original,v_heavy_reduced,v_light_original,v_light_reduced\n");
     for i in 0..original.waveforms[0].times.len() {
         let _ = writeln!(
             csv,

@@ -25,7 +25,18 @@ fn main() {
     println!("(synthetic suite, scale {scale}; see DESIGN.md for the substitutions)\n");
     println!(
         "{:<10} {:>8} {:>9} {:>5} | {:>9} {:>8} {:>8} {:>8} | {:>9} {:>8} {:>8} {:>8}",
-        "case", "|V|", "|E|", "dpt", "T_rp(s)", "Ea_rp", "Em_rp", "nnzQ/nlg", "T_a3(s)", "Ea_a3", "Em_a3", "nnzZ/nlg"
+        "case",
+        "|V|",
+        "|E|",
+        "dpt",
+        "T_rp(s)",
+        "Ea_rp",
+        "Em_rp",
+        "nnzQ/nlg",
+        "T_a3(s)",
+        "Ea_a3",
+        "Em_a3",
+        "nnzZ/nlg"
     );
 
     let mut speedups = Vec::new();

@@ -58,12 +58,10 @@ impl SparseApproximateInverse {
         dense_column_threshold: usize,
     ) -> Result<Self, EffresError> {
         if factor.nrows() != factor.ncols() {
-            return Err(EffresError::Sparse(
-                effres_sparse::SparseError::NotSquare {
-                    nrows: factor.nrows(),
-                    ncols: factor.ncols(),
-                },
-            ));
+            return Err(EffresError::Sparse(effres_sparse::SparseError::NotSquare {
+                nrows: factor.nrows(),
+                ncols: factor.ncols(),
+            }));
         }
         if !(0.0..1.0).contains(&epsilon) {
             return Err(EffresError::InvalidConfig {
@@ -80,10 +78,12 @@ impl SparseApproximateInverse {
         for j in (0..n).rev() {
             let rows = factor.column_rows(j);
             let vals = factor.column_values(j);
-            let diag_pos = rows.binary_search(&j).map_err(|_| EffresError::InvalidConfig {
-                name: "factor",
-                message: format!("missing diagonal entry in column {j}"),
-            })?;
+            let diag_pos = rows
+                .binary_search(&j)
+                .map_err(|_| EffresError::InvalidConfig {
+                    name: "factor",
+                    message: format!("missing diagonal entry in column {j}"),
+                })?;
             let diag = vals[diag_pos];
             if !(diag > 0.0) {
                 return Err(EffresError::InvalidConfig {
@@ -167,6 +167,136 @@ impl SparseApproximateInverse {
     /// Panics if either index is out of bounds.
     pub fn column_distance_squared(&self, p: usize, q: usize) -> f64 {
         self.columns[p].distance_squared(&self.columns[q])
+    }
+
+    /// Inner product `⟨z̃_p, z̃_q⟩` of two columns.
+    ///
+    /// Columns of the inverse of a lower-triangular factor are themselves
+    /// lower-triangular — column `j` is supported on indices `≥ j` — so the
+    /// intersection of columns `p` and `q` lies entirely in
+    /// `max(p, q)..n`. The merge therefore starts at that bound (found by
+    /// binary search), which skips most of the longer column and is what
+    /// makes the norm-table query kernel of
+    /// [`SparseApproximateInverse::column_distance_squared_with_norms`]
+    /// cheaper than the full union merge of
+    /// [`SparseApproximateInverse::column_distance_squared`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn column_dot(&self, p: usize, q: usize) -> f64 {
+        let bound = p.max(q);
+        let a = &self.columns[p];
+        let b = &self.columns[q];
+        let (ai, av) = (a.indices(), a.values());
+        let (bi, bv) = (b.indices(), b.values());
+        let mut i = ai.partition_point(|&row| row < bound);
+        let mut j = bi.partition_point(|&row| row < bound);
+        let mut sum = 0.0;
+        while i < ai.len() && j < bi.len() {
+            match ai[i].cmp(&bi[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    sum += av[i] * bv[j];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Squared Euclidean norms `‖z̃_j‖²` of every column, in column order.
+    ///
+    /// Query services precompute this once so a query reduces to one sparse
+    /// dot product: `‖z̃_p − z̃_q‖² = ‖z̃_p‖² + ‖z̃_q‖² − 2⟨z̃_p, z̃_q⟩`.
+    pub fn column_norms_squared(&self) -> Vec<f64> {
+        self.columns.iter().map(|c| c.norm2_squared()).collect()
+    }
+
+    /// The effective-resistance kernel evaluated with precomputed column
+    /// norms (see [`SparseApproximateInverse::column_norms_squared`]): one
+    /// sparse dot product instead of a full two-column merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds or `norms_squared` is shorter
+    /// than the factor order.
+    pub fn column_distance_squared_with_norms(
+        &self,
+        p: usize,
+        q: usize,
+        norms_squared: &[f64],
+    ) -> f64 {
+        // Clamp: cancellation can produce a tiny negative value when the
+        // columns are nearly identical, and resistances are nonnegative.
+        (norms_squared[p] + norms_squared[q] - 2.0 * self.column_dot(p, q)).max(0.0)
+    }
+
+    /// Decomposes the inverse into its columns and build metadata, for
+    /// serialization (see the `effres-io` snapshot format).
+    pub fn into_parts(self) -> (Vec<SparseVec>, ApproxInverseStats, f64) {
+        (self.columns, self.stats, self.epsilon)
+    }
+
+    /// Rebuilds an inverse from columns produced by
+    /// [`SparseApproximateInverse::into_parts`] (or deserialized from a
+    /// snapshot). The size-derived statistics (`nnz`, `max_column_nnz`) are
+    /// recomputed from the columns; the build-history counters
+    /// (`pruned_entries`, `small_columns_kept`) are taken from `stats`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::InvalidConfig`] if `epsilon` is outside
+    /// `[0, 1)` or any column's dimension differs from the column count.
+    pub fn from_parts(
+        columns: Vec<SparseVec>,
+        stats: ApproxInverseStats,
+        epsilon: f64,
+    ) -> Result<Self, EffresError> {
+        if !(0.0..1.0).contains(&epsilon) {
+            return Err(EffresError::InvalidConfig {
+                name: "epsilon",
+                message: "must lie in [0, 1)".to_string(),
+            });
+        }
+        let n = columns.len();
+        let mut recomputed = ApproxInverseStats {
+            pruned_entries: stats.pruned_entries,
+            small_columns_kept: stats.small_columns_kept,
+            ..ApproxInverseStats::default()
+        };
+        for (j, column) in columns.iter().enumerate() {
+            if column.dim() != n {
+                return Err(EffresError::InvalidConfig {
+                    name: "columns",
+                    message: format!(
+                        "column {j} has dimension {} but the inverse has {n} columns",
+                        column.dim()
+                    ),
+                });
+            }
+            // The query kernels rely on the lower-triangular support of the
+            // columns (see `column_dot`), so the invariant is enforced here
+            // rather than trusted from serialized input.
+            if column.indices().first().is_some_and(|&i| i < j) {
+                return Err(EffresError::InvalidConfig {
+                    name: "columns",
+                    message: format!(
+                        "column {j} has an entry above the diagonal; \
+                         inverse columns must be supported on {j}.."
+                    ),
+                });
+            }
+            recomputed.nnz += column.nnz();
+            recomputed.max_column_nnz = recomputed.max_column_nnz.max(column.nnz());
+        }
+        Ok(SparseApproximateInverse {
+            columns,
+            stats: recomputed,
+            epsilon,
+        })
     }
 }
 
@@ -316,6 +446,35 @@ mod tests {
         // R(2, 3) should be close to 1 (exact up to the 1e-3 ground leakage).
         let r = z.column_distance_squared(2, 3);
         assert!((r - 1.0).abs() < 1e-2, "R = {r}");
+    }
+
+    #[test]
+    fn column_dot_matches_full_sparse_dot() {
+        let a = grid_laplacian(6, 6, 1e-3);
+        let chol = CholeskyFactor::factor(&a).expect("spd");
+        let z = SparseApproximateInverse::from_factor(chol.factor_l(), 1e-3, 2).expect("valid");
+        let norms = z.column_norms_squared();
+        for &(p, q) in &[(0, 35), (3, 3), (10, 20), (34, 35), (0, 1)] {
+            let fast = z.column_dot(p, q);
+            let full = z.column(p).dot(z.column(q));
+            assert!((fast - full).abs() < 1e-12, "({p},{q}): {fast} vs {full}");
+            let d_fast = z.column_distance_squared_with_norms(p, q, &norms);
+            let d_full = z.column_distance_squared(p, q);
+            assert!(
+                (d_fast - d_full).abs() <= 1e-9 * d_full.max(1.0),
+                "({p},{q}): {d_fast} vs {d_full}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_entries_above_the_diagonal() {
+        let columns = vec![
+            SparseVec::from_sorted(2, vec![0], vec![1.0]),
+            SparseVec::from_sorted(2, vec![0, 1], vec![0.5, 1.0]), // 0 < 1: invalid
+        ];
+        let stats = ApproxInverseStats::default();
+        assert!(SparseApproximateInverse::from_parts(columns, stats, 0.0).is_err());
     }
 
     #[test]

@@ -108,11 +108,18 @@ mod tests {
         )
         .expect("valid");
         let centralities = spanning_edge_centralities(&graph, &exact_config()).expect("build");
-        assert!((centralities[3] - 1.0).abs() < 1e-9, "bridge centrality {}", centralities[3]);
+        assert!(
+            (centralities[3] - 1.0).abs() < 1e-9,
+            "bridge centrality {}",
+            centralities[3]
+        );
         for (id, &c) in centralities.iter().enumerate() {
             assert!(c > 0.0 && c <= 1.0 + 1e-12, "edge {id}: {c}");
             if id != 3 {
-                assert!(c < 0.99, "non-bridge edge {id} should not look like a bridge");
+                assert!(
+                    c < 0.99,
+                    "non-bridge edge {id} should not look like a bridge"
+                );
             }
         }
     }

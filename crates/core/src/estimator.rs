@@ -139,11 +139,24 @@ impl EffectiveResistanceEstimator {
 
     /// Approximate effective resistances for a batch of queries.
     ///
+    /// Every node index is validated *before* any resistance is computed, so
+    /// a malformed pair deep inside a large batch fails fast instead of
+    /// wasting work (or panicking mid-batch); `p == q` pairs short-circuit
+    /// to `0.0`.
+    ///
     /// # Errors
     ///
-    /// Returns the first error produced by [`EffectiveResistanceEstimator::query`].
+    /// Returns [`EffresError::NodeOutOfBounds`] naming the first invalid
+    /// node; in that case no query has been evaluated.
     pub fn query_many(&self, queries: &[(usize, usize)]) -> Result<Vec<f64>, EffresError> {
-        queries.iter().map(|&(p, q)| self.query(p, q)).collect()
+        for &(p, q) in queries {
+            self.check(p)?;
+            self.check(q)?;
+        }
+        Ok(queries
+            .iter()
+            .map(|&(p, q)| self.query_unchecked(p, q))
+            .collect())
     }
 
     /// Approximate effective resistances of every edge of `graph`, in edge-id
@@ -151,15 +164,106 @@ impl EffectiveResistanceEstimator {
     ///
     /// # Errors
     ///
-    /// Returns [`EffresError::NodeOutOfBounds`] if the graph has more nodes
-    /// than the estimator.
+    /// Returns [`EffresError::NodeOutOfBounds`] — detected up front, before
+    /// any query runs — if the graph has more nodes than the estimator.
     pub fn query_all_edges(&self, graph: &Graph) -> Result<Vec<f64>, EffresError> {
-        graph.edges().map(|(_, e)| self.query(e.u, e.v)).collect()
+        if graph.node_count() > self.stats.node_count {
+            return Err(EffresError::NodeOutOfBounds {
+                node: graph.node_count() - 1,
+                node_count: self.stats.node_count,
+            });
+        }
+        Ok(graph
+            .edges()
+            .map(|(_, e)| self.query_unchecked(e.u, e.v))
+            .collect())
+    }
+
+    /// One query with the bounds checks already done (edge endpoints of a
+    /// validated graph, or a batch validated by
+    /// [`EffectiveResistanceEstimator::query_many`]).
+    fn query_unchecked(&self, p: usize, q: usize) -> f64 {
+        if p == q {
+            return 0.0;
+        }
+        let pp = self.permutation.new(p);
+        let qq = self.permutation.new(q);
+        self.inverse.column_distance_squared(pp, qq)
+    }
+
+    /// Approximate effective resistance using squared column norms
+    /// precomputed by [`EffectiveResistanceEstimator::column_norms_squared`].
+    /// This halves the per-query sparse work and is the kernel the
+    /// `effres-service` query engine runs on its hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::NodeOutOfBounds`] for invalid node indices.
+    pub fn query_with_norms(
+        &self,
+        p: usize,
+        q: usize,
+        norms_squared: &[f64],
+    ) -> Result<f64, EffresError> {
+        self.check(p)?;
+        self.check(q)?;
+        if p == q {
+            return Ok(0.0);
+        }
+        let pp = self.permutation.new(p);
+        let qq = self.permutation.new(q);
+        Ok(self
+            .inverse
+            .column_distance_squared_with_norms(pp, qq, norms_squared))
+    }
+
+    /// Squared Euclidean norms of the approximate-inverse columns, indexed in
+    /// the *permuted* domain expected by
+    /// [`EffectiveResistanceEstimator::query_with_norms`].
+    pub fn column_norms_squared(&self) -> Vec<f64> {
+        self.inverse.column_norms_squared()
     }
 
     /// Access to the underlying approximate inverse (for diagnostics).
     pub fn approximate_inverse(&self) -> &SparseApproximateInverse {
         &self.inverse
+    }
+
+    /// The fill-reducing permutation applied before factorization (maps
+    /// original node ids to the row/column order of the approximate inverse).
+    pub fn permutation(&self) -> &Permutation {
+        &self.permutation
+    }
+
+    /// Reassembles an estimator from parts produced by a snapshot (see the
+    /// `effres-io` crate): the approximate inverse, the fill-reducing
+    /// permutation and the recorded build statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::InvalidConfig`] if the permutation length, the
+    /// inverse order and `stats.node_count` disagree.
+    pub fn from_parts(
+        inverse: SparseApproximateInverse,
+        permutation: Permutation,
+        stats: EstimatorStats,
+    ) -> Result<Self, EffresError> {
+        if permutation.len() != inverse.order() || stats.node_count != inverse.order() {
+            return Err(EffresError::InvalidConfig {
+                name: "snapshot",
+                message: format!(
+                    "inconsistent sizes: inverse order {}, permutation length {}, recorded node count {}",
+                    inverse.order(),
+                    permutation.len(),
+                    stats.node_count
+                ),
+            });
+        }
+        Ok(EffectiveResistanceEstimator {
+            inverse,
+            permutation,
+            stats,
+        })
     }
 
     fn check(&self, node: usize) -> Result<(), EffresError> {
@@ -181,9 +285,13 @@ mod tests {
     use crate::stats::relative_errors;
     use effres_graph::generators;
 
-    fn build_pair(graph: &Graph, config: &EffresConfig) -> (EffectiveResistanceEstimator, ExactEffectiveResistance) {
+    fn build_pair(
+        graph: &Graph,
+        config: &EffresConfig,
+    ) -> (EffectiveResistanceEstimator, ExactEffectiveResistance) {
         let approx = EffectiveResistanceEstimator::build(graph, config).expect("build");
-        let exact = ExactEffectiveResistance::build(graph, config.ground_conductance).expect("build");
+        let exact =
+            ExactEffectiveResistance::build(graph, config.ground_conductance).expect("build");
         (approx, exact)
     }
 
@@ -262,17 +370,15 @@ mod tests {
             let approx = EffectiveResistanceEstimator::build(&g, &cfg).expect("build");
             let a = approx.query(0, 63).expect("in bounds");
             let b = exact.query(0, 63).expect("in bounds");
-            assert!(
-                (a - b).abs() / b < 0.1,
-                "{ordering:?}: {a} vs {b}"
-            );
+            assert!((a - b).abs() / b < 0.1, "{ordering:?}: {a} vs {b}");
         }
     }
 
     #[test]
     fn symmetry_and_identity_of_queries() {
         let g = generators::grid_2d(6, 6, 1.0, 1.0, 0).expect("valid");
-        let approx = EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
+        let approx =
+            EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
         assert_eq!(approx.query(4, 4).expect("in bounds"), 0.0);
         let a = approx.query(2, 30).expect("in bounds");
         let b = approx.query(30, 2).expect("in bounds");
@@ -282,7 +388,8 @@ mod tests {
     #[test]
     fn stats_are_populated() {
         let g = generators::grid_2d(12, 12, 1.0, 1.0, 0).expect("valid");
-        let approx = EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
+        let approx =
+            EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
         let s = approx.stats();
         assert_eq!(s.node_count, 144);
         assert!(s.factor_nnz >= 144);
@@ -294,7 +401,8 @@ mod tests {
     #[test]
     fn out_of_bounds_and_bad_config_rejected() {
         let g = generators::grid_2d(3, 3, 1.0, 1.0, 0).expect("valid");
-        let approx = EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
+        let approx =
+            EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
         assert!(approx.query(0, 100).is_err());
         assert!(EffectiveResistanceEstimator::build(
             &g,
@@ -304,13 +412,100 @@ mod tests {
     }
 
     #[test]
+    fn query_many_validates_the_whole_batch_up_front() {
+        let g = generators::grid_2d(4, 4, 1.0, 1.0, 0).expect("valid");
+        let approx =
+            EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
+        // A bad pair deep in the batch fails the whole call...
+        let batch = vec![(0, 1), (2, 3), (1, 999), (4, 5)];
+        assert!(matches!(
+            approx.query_many(&batch),
+            Err(EffresError::NodeOutOfBounds { node: 999, .. })
+        ));
+        // ...while p == q pairs short-circuit to exactly 0.
+        let values = approx
+            .query_many(&[(7, 7), (0, 15), (3, 3)])
+            .expect("valid");
+        assert_eq!(values[0], 0.0);
+        assert_eq!(values[2], 0.0);
+        assert!(values[1] > 0.0);
+    }
+
+    #[test]
+    fn query_all_edges_rejects_oversized_graphs_up_front() {
+        let small = generators::grid_2d(3, 3, 1.0, 1.0, 0).expect("valid");
+        let approx =
+            EffectiveResistanceEstimator::build(&small, &EffresConfig::default()).expect("build");
+        let big = generators::grid_2d(4, 4, 1.0, 1.0, 0).expect("valid");
+        assert!(matches!(
+            approx.query_all_edges(&big),
+            Err(EffresError::NodeOutOfBounds { .. })
+        ));
+        assert_eq!(
+            approx.query_all_edges(&small).expect("valid").len(),
+            small.edge_count()
+        );
+    }
+
+    #[test]
+    fn query_with_norms_matches_plain_query() {
+        let g = generators::grid_2d(8, 8, 0.5, 2.0, 1).expect("valid");
+        let approx =
+            EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
+        let norms = approx.column_norms_squared();
+        for &(p, q) in &[(0, 63), (5, 40), (13, 27), (9, 9)] {
+            let a = approx.query(p, q).expect("in bounds");
+            let b = approx.query_with_norms(p, q, &norms).expect("in bounds");
+            assert!(
+                (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                "({p},{q}): {a} vs {b}"
+            );
+        }
+        assert!(approx.query_with_norms(0, 999, &norms).is_err());
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let g = generators::grid_2d(6, 6, 1.0, 1.0, 2).expect("valid");
+        let approx =
+            EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
+        let rebuilt = EffectiveResistanceEstimator::from_parts(
+            approx.approximate_inverse().clone(),
+            approx.permutation().clone(),
+            approx.stats(),
+        )
+        .expect("consistent parts");
+        assert_eq!(
+            rebuilt.query(0, 35).expect("in bounds"),
+            approx.query(0, 35).expect("in bounds")
+        );
+        // Mismatched permutation length must be rejected.
+        let bad = EffectiveResistanceEstimator::from_parts(
+            approx.approximate_inverse().clone(),
+            effres_sparse::Permutation::identity(3),
+            approx.stats(),
+        );
+        assert!(matches!(bad, Err(EffresError::InvalidConfig { .. })));
+    }
+
+    #[test]
     fn disconnected_graphs_are_supported() {
         // Two disjoint squares; queries within a component behave normally.
         let mut g = Graph::new(8);
-        for &(u, v) in &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 7), (7, 4)] {
+        for &(u, v) in &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 0),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (7, 4),
+        ] {
             g.add_edge(u, v, 1.0).expect("valid");
         }
-        let approx = EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
+        let approx =
+            EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
         let exact = ExactEffectiveResistance::build(&g, 1e-6).expect("build");
         let a = approx.query(0, 2).expect("in bounds");
         let b = exact.query(0, 2).expect("in bounds");

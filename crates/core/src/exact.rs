@@ -95,10 +95,7 @@ impl ExactEffectiveResistance {
     /// Returns [`EffresError::NodeOutOfBounds`] if the graph has more nodes
     /// than the oracle.
     pub fn query_all_edges(&self, graph: &Graph) -> Result<Vec<f64>, EffresError> {
-        graph
-            .edges()
-            .map(|(_, e)| self.query(e.u, e.v))
-            .collect()
+        graph.edges().map(|(_, e)| self.query(e.u, e.v)).collect()
     }
 
     fn check(&self, node: usize) -> Result<(), EffresError> {
@@ -152,10 +149,11 @@ mod tests {
     fn ordering_does_not_change_results() {
         let g = generators::grid_2d(4, 4, 1.0, 1.0, 0).expect("valid");
         let lap = grounded_laplacian(&g, 1e-6);
-        let nat = ExactEffectiveResistance::build_from_matrix(&lap, Ordering::Natural).expect("spd");
+        let nat =
+            ExactEffectiveResistance::build_from_matrix(&lap, Ordering::Natural).expect("spd");
         let rcm = ExactEffectiveResistance::build_from_matrix(&lap, Ordering::Rcm).expect("spd");
-        let amd =
-            ExactEffectiveResistance::build_from_matrix(&lap, Ordering::MinimumDegree).expect("spd");
+        let amd = ExactEffectiveResistance::build_from_matrix(&lap, Ordering::MinimumDegree)
+            .expect("spd");
         for &(p, q) in &[(0, 15), (3, 12), (5, 10)] {
             let r0 = nat.query(p, q).expect("in bounds");
             let r1 = rcm.query(p, q).expect("in bounds");

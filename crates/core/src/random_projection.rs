@@ -27,9 +27,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Which Laplacian solver backs the `k` projection solves.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SolverKind {
     /// Full sparse Cholesky factorization (factor once, solve `k` times).
+    #[default]
     DirectCholesky,
     /// Incomplete-Cholesky-preconditioned conjugate gradients with the given
     /// relative residual tolerance.
@@ -37,12 +38,6 @@ pub enum SolverKind {
         /// Relative residual tolerance of each solve.
         tolerance: f64,
     },
-}
-
-impl Default for SolverKind {
-    fn default() -> Self {
-        SolverKind::DirectCholesky
-    }
 }
 
 /// Options of the random-projection estimator.
@@ -303,7 +298,8 @@ mod tests {
         let queries: Vec<(usize, usize)> = g.edges().map(|(_, e)| (e.u, e.v)).collect();
         let truth = exact.query_many(&queries).expect("ok");
 
-        let alg3 = EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
+        let alg3 =
+            EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
         let (avg_alg3, _) = relative_errors(&alg3.query_many(&queries).expect("ok"), &truth);
 
         let rp = RandomProjectionEstimator::build(&g, &RandomProjectionOptions::default())
@@ -336,8 +332,12 @@ mod tests {
             min_dimensions: 1,
             ..RandomProjectionOptions::default()
         };
-        let ks = RandomProjectionEstimator::build(&small, &o).expect("build").dimensions();
-        let kl = RandomProjectionEstimator::build(&large, &o).expect("build").dimensions();
+        let ks = RandomProjectionEstimator::build(&small, &o)
+            .expect("build")
+            .dimensions();
+        let kl = RandomProjectionEstimator::build(&large, &o)
+            .expect("build")
+            .dimensions();
         assert!(kl > ks);
         // 25x more edges should only grow k logarithmically (about +60%).
         assert!(

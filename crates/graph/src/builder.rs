@@ -1,0 +1,220 @@
+//! Streaming graph construction from edge streams of unknown size.
+//!
+//! Dataset files (SNAP edge lists, Matrix Market coordinates) arrive as a
+//! stream of `(u, v, w)` records with no reliable node count up front, with
+//! self-loops, and with the same undirected edge often listed in both
+//! directions. [`GraphBuilder`] absorbs such a stream edge by edge, grows the
+//! node set on demand, and resolves duplicates with a configurable
+//! [`MergePolicy`] before producing a [`Graph`].
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// What to do when the same undirected `(u, v)` pair is seen more than once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergePolicy {
+    /// Keep the first weight seen, drop the rest. The right choice for
+    /// dataset files that list each undirected edge in both directions.
+    #[default]
+    KeepFirst,
+    /// Sum the weights (parallel conductances — the Laplacian semantics).
+    Sum,
+    /// Keep the largest weight.
+    Max,
+}
+
+/// Counters describing what the builder saw in the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BuildStats {
+    /// Records accepted as edges (after normalization, before merging).
+    pub edges_seen: usize,
+    /// Self-loop records skipped.
+    pub self_loops_skipped: usize,
+    /// Records merged into an already-present edge.
+    pub duplicates_merged: usize,
+}
+
+/// Incremental construction of a [`Graph`] from an edge stream.
+///
+/// ```
+/// use effres_graph::builder::{GraphBuilder, MergePolicy};
+///
+/// # fn main() -> Result<(), effres_graph::GraphError> {
+/// let mut b = GraphBuilder::new(MergePolicy::KeepFirst);
+/// b.add_edge(0, 3, 1.0)?; // grows the node set to 4
+/// b.add_edge(3, 0, 1.0)?; // reversed duplicate: merged
+/// b.add_edge(1, 1, 1.0)?; // self-loop: counted and skipped
+/// let (graph, stats) = b.finish();
+/// assert_eq!(graph.node_count(), 4);
+/// assert_eq!(graph.edge_count(), 1);
+/// assert_eq!(stats.self_loops_skipped, 1);
+/// assert_eq!(stats.duplicates_merged, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    policy: MergePolicy,
+    /// Normalized `(min, max)` pair → index into `edges`.
+    index: HashMap<(NodeId, NodeId), usize>,
+    edges: Vec<(NodeId, NodeId, f64)>,
+    node_count: usize,
+    stats: BuildStats,
+}
+
+impl GraphBuilder {
+    /// A builder with the given duplicate-merge policy.
+    pub fn new(policy: MergePolicy) -> Self {
+        GraphBuilder {
+            policy,
+            ..GraphBuilder::default()
+        }
+    }
+
+    /// Reserves capacity for roughly `edges` edges.
+    pub fn with_capacity(policy: MergePolicy, edges: usize) -> Self {
+        GraphBuilder {
+            policy,
+            index: HashMap::with_capacity(edges),
+            edges: Vec::with_capacity(edges),
+            node_count: 0,
+            stats: BuildStats::default(),
+        }
+    }
+
+    /// Number of distinct nodes implied by the stream so far.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of distinct undirected edges absorbed so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Counters gathered so far.
+    pub fn stats(&self) -> BuildStats {
+        self.stats
+    }
+
+    /// Ensures the node set covers `0..=node` even if no incident edge ever
+    /// arrives (isolated trailing nodes of a dataset header).
+    pub fn ensure_node(&mut self, node: NodeId) {
+        self.node_count = self.node_count.max(node + 1);
+    }
+
+    /// Absorbs one stream record. Self-loops are counted and skipped;
+    /// duplicate undirected pairs are resolved per the merge policy; the node
+    /// set grows to cover both endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidWeight`] if `weight` is not a finite
+    /// positive number.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> Result<(), GraphError> {
+        if !(weight > 0.0) || !weight.is_finite() {
+            return Err(GraphError::InvalidWeight { weight });
+        }
+        self.node_count = self.node_count.max(u.max(v) + 1);
+        if u == v {
+            self.stats.self_loops_skipped += 1;
+            return Ok(());
+        }
+        self.stats.edges_seen += 1;
+        let key = if u < v { (u, v) } else { (v, u) };
+        match self.index.entry(key) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                self.stats.duplicates_merged += 1;
+                let existing = &mut self.edges[*slot.get()].2;
+                match self.policy {
+                    MergePolicy::KeepFirst => {}
+                    MergePolicy::Sum => *existing += weight,
+                    MergePolicy::Max => *existing = existing.max(weight),
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(self.edges.len());
+                self.edges.push((key.0, key.1, weight));
+            }
+        }
+        Ok(())
+    }
+
+    /// Produces the graph and the stream counters. Edges keep their first-seen
+    /// order, so the result is deterministic for a given stream.
+    pub fn finish(self) -> (Graph, BuildStats) {
+        let mut graph = Graph::with_capacity(self.node_count, self.edges.len());
+        for (u, v, w) in self.edges {
+            graph
+                .add_edge(u, v, w)
+                .expect("builder invariants guarantee valid edges");
+        }
+        (graph, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_nodes_and_merges_reversed_duplicates() {
+        let mut b = GraphBuilder::new(MergePolicy::KeepFirst);
+        b.add_edge(2, 7, 1.5).expect("valid");
+        b.add_edge(7, 2, 9.0).expect("valid");
+        b.add_edge(0, 1, 2.0).expect("valid");
+        let (g, stats) = b.finish();
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(stats.edges_seen, 3);
+        assert_eq!(stats.duplicates_merged, 1);
+        // KeepFirst: the 9.0 record was dropped.
+        assert_eq!(g.edge(0).weight, 1.5);
+    }
+
+    #[test]
+    fn sum_and_max_policies() {
+        let mut sum = GraphBuilder::new(MergePolicy::Sum);
+        sum.add_edge(0, 1, 1.0).expect("valid");
+        sum.add_edge(1, 0, 2.0).expect("valid");
+        let (g, _) = sum.finish();
+        assert_eq!(g.edge(0).weight, 3.0);
+
+        let mut max = GraphBuilder::new(MergePolicy::Max);
+        max.add_edge(0, 1, 1.0).expect("valid");
+        max.add_edge(0, 1, 2.0).expect("valid");
+        max.add_edge(0, 1, 0.5).expect("valid");
+        let (g, stats) = max.finish();
+        assert_eq!(g.edge(0).weight, 2.0);
+        assert_eq!(stats.duplicates_merged, 2);
+    }
+
+    #[test]
+    fn self_loops_are_counted_not_fatal() {
+        let mut b = GraphBuilder::new(MergePolicy::KeepFirst);
+        b.add_edge(3, 3, 1.0).expect("self-loop is skipped");
+        let (g, stats) = b.finish();
+        assert_eq!(stats.self_loops_skipped, 1);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        let mut b = GraphBuilder::new(MergePolicy::Sum);
+        assert!(b.add_edge(0, 1, 0.0).is_err());
+        assert!(b.add_edge(0, 1, -1.0).is_err());
+        assert!(b.add_edge(0, 1, f64::NAN).is_err());
+        assert!(b.add_edge(0, 1, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn ensure_node_covers_isolated_tail() {
+        let mut b = GraphBuilder::new(MergePolicy::KeepFirst);
+        b.add_edge(0, 1, 1.0).expect("valid");
+        b.ensure_node(9);
+        let (g, _) = b.finish();
+        assert_eq!(g.node_count(), 10);
+    }
+}

@@ -35,7 +35,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, node_count } => {
-                write!(f, "node {node} out of bounds for a graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of bounds for a graph with {node_count} nodes"
+                )
             }
             GraphError::InvalidWeight { weight } => {
                 write!(f, "edge weight {weight} must be positive and finite")
@@ -61,7 +64,9 @@ mod tests {
             node_count: 3,
         };
         assert!(e.to_string().contains("node 5"));
-        assert!(GraphError::SelfLoop { node: 1 }.to_string().contains("self-loop"));
+        assert!(GraphError::SelfLoop { node: 1 }
+            .to_string()
+            .contains("self-loop"));
         assert!(GraphError::InvalidWeight { weight: -1.0 }
             .to_string()
             .contains("-1"));

@@ -43,10 +43,18 @@ pub fn grid_2d(
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                g.add_edge(idx(r, c), idx(r, c + 1), draw(&mut rng, min_weight, max_weight))?;
+                g.add_edge(
+                    idx(r, c),
+                    idx(r, c + 1),
+                    draw(&mut rng, min_weight, max_weight),
+                )?;
             }
             if r + 1 < rows {
-                g.add_edge(idx(r, c), idx(r + 1, c), draw(&mut rng, min_weight, max_weight))?;
+                g.add_edge(
+                    idx(r, c),
+                    idx(r + 1, c),
+                    draw(&mut rng, min_weight, max_weight),
+                )?;
             }
         }
     }
@@ -76,13 +84,25 @@ pub fn grid_3d(
         for y in 0..ny {
             for x in 0..nx {
                 if x + 1 < nx {
-                    g.add_edge(idx(x, y, z), idx(x + 1, y, z), draw(&mut rng, min_weight, max_weight))?;
+                    g.add_edge(
+                        idx(x, y, z),
+                        idx(x + 1, y, z),
+                        draw(&mut rng, min_weight, max_weight),
+                    )?;
                 }
                 if y + 1 < ny {
-                    g.add_edge(idx(x, y, z), idx(x, y + 1, z), draw(&mut rng, min_weight, max_weight))?;
+                    g.add_edge(
+                        idx(x, y, z),
+                        idx(x, y + 1, z),
+                        draw(&mut rng, min_weight, max_weight),
+                    )?;
                 }
                 if z + 1 < nz {
-                    g.add_edge(idx(x, y, z), idx(x, y, z + 1), draw(&mut rng, min_weight, max_weight))?;
+                    g.add_edge(
+                        idx(x, y, z),
+                        idx(x, y, z + 1),
+                        draw(&mut rng, min_weight, max_weight),
+                    )?;
                 }
             }
         }
@@ -243,7 +263,11 @@ pub fn power_grid_mesh(options: PowerGridMeshOptions) -> Result<Graph, GraphErro
             if comps.label(node) != main_label {
                 let r = node / cols;
                 let c = node % cols;
-                let target = if c + 1 < cols { lower(r, c + 1) } else { lower(r, c - 1) };
+                let target = if c + 1 < cols {
+                    lower(r, c + 1)
+                } else {
+                    lower(r, c - 1)
+                };
                 if comps.label(target) == main_label || target != node {
                     g.add_edge(node, target, options.wire_conductance)?;
                 }
@@ -424,7 +448,7 @@ fn draw(rng: &mut StdRng, min_weight: f64, max_weight: f64) -> f64 {
 }
 
 fn validate_dims(dims: &[usize]) -> Result<(), GraphError> {
-    if dims.iter().any(|&d| d == 0) {
+    if dims.contains(&0) {
         return Err(GraphError::InvalidParameter {
             name: "dimensions",
             message: "all dimensions must be positive".to_string(),
@@ -481,8 +505,10 @@ mod tests {
 
     #[test]
     fn power_grid_mesh_rejects_bad_fraction() {
-        let mut o = PowerGridMeshOptions::default();
-        o.missing_edge_fraction = 0.9;
+        let o = PowerGridMeshOptions {
+            missing_edge_fraction: 0.9,
+            ..PowerGridMeshOptions::default()
+        };
         assert!(power_grid_mesh(o).is_err());
     }
 
@@ -490,7 +516,10 @@ mod tests {
     fn preferential_attachment_has_heavy_hubs() {
         let g = preferential_attachment(300, 3, 1.0, 1.0, 42).expect("valid");
         assert!(is_connected(&g));
-        let max_degree = (0..g.node_count()).map(|v| g.degree(v)).max().expect("nonempty");
+        let max_degree = (0..g.node_count())
+            .map(|v| g.degree(v))
+            .max()
+            .expect("nonempty");
         let avg_degree = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
         assert!(
             max_degree as f64 > 3.0 * avg_degree,

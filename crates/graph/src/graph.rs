@@ -31,7 +31,10 @@ impl Edge {
         } else if node == self.v {
             self.u
         } else {
-            panic!("node {node} is not an endpoint of edge ({}, {})", self.u, self.v)
+            panic!(
+                "node {node} is not an endpoint of edge ({}, {})",
+                self.u, self.v
+            )
         }
     }
 }
@@ -267,7 +270,10 @@ mod tests {
             g.add_edge(0, 2, 1.0),
             Err(GraphError::NodeOutOfBounds { .. })
         ));
-        assert!(matches!(g.add_edge(0, 0, 1.0), Err(GraphError::SelfLoop { .. })));
+        assert!(matches!(
+            g.add_edge(0, 0, 1.0),
+            Err(GraphError::SelfLoop { .. })
+        ));
         assert!(matches!(
             g.add_edge(0, 1, 0.0),
             Err(GraphError::InvalidWeight { .. })

@@ -81,9 +81,7 @@ pub fn laplacian_identity_error(graph: &Graph) -> f64 {
         .transpose()
         .matmul(&scaled)
         .expect("shapes are compatible");
-    let diff = btwb
-        .add_scaled(1.0, &l, -1.0)
-        .expect("same shape");
+    let diff = btwb.add_scaled(1.0, &l, -1.0).expect("same shape");
     diff.values().iter().fold(0.0_f64, |m, v| m.max(v.abs()))
 }
 

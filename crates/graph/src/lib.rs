@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod builder;
 pub mod components;
 pub mod error;
 pub mod generators;

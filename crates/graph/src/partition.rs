@@ -184,7 +184,15 @@ fn recursive_bisect(
         left_nodes = sorted[..cut.max(1).min(sorted.len() - 1)].to_vec();
         right_nodes = sorted[cut.max(1).min(sorted.len() - 1)..].to_vec();
     }
-    recursive_bisect(graph, &left_nodes, node_weights, left_parts, first_label, labels, seed.wrapping_add(1));
+    recursive_bisect(
+        graph,
+        &left_nodes,
+        node_weights,
+        left_parts,
+        first_label,
+        labels,
+        seed.wrapping_add(1),
+    );
     recursive_bisect(
         graph,
         &right_nodes,
@@ -199,7 +207,12 @@ fn recursive_bisect(
 /// Bisects a graph with the multilevel scheme; returns `side[v] == true` for
 /// nodes assigned to the second side. `target_fraction` is the desired weight
 /// fraction of the *first* side.
-fn multilevel_bisect(graph: &Graph, node_weights: &[f64], target_fraction: f64, seed: u64) -> Vec<bool> {
+fn multilevel_bisect(
+    graph: &Graph,
+    node_weights: &[f64],
+    target_fraction: f64,
+    seed: u64,
+) -> Vec<bool> {
     let n = graph.node_count();
     if n <= COARSEN_LIMIT {
         let mut side = initial_bisection(graph, node_weights, target_fraction, seed);
@@ -214,7 +227,12 @@ fn multilevel_bisect(graph: &Graph, node_weights: &[f64], target_fraction: f64, 
         refine(graph, node_weights, &mut side, target_fraction, 8);
         return side;
     } else {
-        multilevel_bisect(&coarse, &coarse_weights, target_fraction, seed.wrapping_add(17))
+        multilevel_bisect(
+            &coarse,
+            &coarse_weights,
+            target_fraction,
+            seed.wrapping_add(17),
+        )
     };
     // Project and refine.
     let mut side: Vec<bool> = (0..n).map(|v| side_coarse[fine_to_coarse[v]]).collect();
@@ -240,7 +258,7 @@ fn coarsen(graph: &Graph, node_weights: &[f64], seed: u64) -> (Graph, Vec<f64>, 
         for (u, e) in graph.neighbors(v) {
             if matched[u] == usize::MAX && u != v {
                 let w = graph.edge(e).weight;
-                if best.map_or(true, |(bw, _)| w > bw) {
+                if best.is_none_or(|(bw, _)| w > bw) {
                     best = Some((w, u));
                 }
             }
@@ -290,7 +308,10 @@ fn initial_bisection(
         return side;
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let start = *(0..n).collect::<Vec<_>>().choose(&mut rng).expect("nonempty");
+    let start = *(0..n)
+        .collect::<Vec<_>>()
+        .choose(&mut rng)
+        .expect("nonempty");
     let start = farthest_node(graph, start);
     let mut grown = 0.0;
     let mut visited = vec![false; n];

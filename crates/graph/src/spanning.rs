@@ -158,7 +158,10 @@ pub fn tree_path_resistance(
     p: NodeId,
     q: NodeId,
 ) -> Option<f64> {
-    assert!(p < graph.node_count() && q < graph.node_count(), "node out of bounds");
+    assert!(
+        p < graph.node_count() && q < graph.node_count(),
+        "node out of bounds"
+    );
     if p == q {
         return Some(0.0);
     }

@@ -158,7 +158,8 @@ mod tests {
         let g = path(4);
         assert_eq!(bfs_order(&g, 0), vec![0, 1, 2, 3]);
         assert_eq!(dfs_order(&g, 0), vec![0, 1, 2, 3]);
-        let star = Graph::from_edges(4, vec![(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)]).expect("valid");
+        let star =
+            Graph::from_edges(4, vec![(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)]).expect("valid");
         assert_eq!(dfs_order(&star, 0), vec![0, 1, 2, 3]);
         assert_eq!(bfs_order(&star, 0).len(), 4);
     }

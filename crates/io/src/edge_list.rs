@@ -1,0 +1,204 @@
+//! SNAP-style whitespace edge lists.
+//!
+//! The format is one edge per line — `u v` or `u v weight` — with `#` or `%`
+//! comment lines, as published by the SNAP collection and most graph
+//! repositories. Node ids are arbitrary `u64` values (SNAP files routinely
+//! skip ids); the reader remaps them to a dense `0..n` range in first-seen
+//! order and records the original ids in [`Dataset::labels`].
+//!
+//! [`Dataset::labels`]: crate::dataset::Dataset
+
+use crate::dataset::{finalize, Dataset, IngestOptions, IngestStats};
+use crate::error::IoError;
+use effres_graph::builder::GraphBuilder;
+use effres_graph::Graph;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+/// Parses an edge list from a line reader.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] (with the offending line number) for malformed
+/// records, and [`IoError::Graph`] for invalid weights.
+pub fn read_edge_list<R: BufRead>(reader: R, options: &IngestOptions) -> Result<Dataset, IoError> {
+    let mut builder = GraphBuilder::new(options.merge);
+    let mut ids: HashMap<u64, usize> = HashMap::new();
+    let mut labels: Vec<u64> = Vec::new();
+    let mut stats = IngestStats::default();
+
+    for (index, line) in reader.lines().enumerate() {
+        let line = line?;
+        let number = index + 1;
+        stats.lines = number;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            stats.comments += 1;
+            continue;
+        }
+        let mut tokens = trimmed.split_whitespace();
+        let (u, v) = match (tokens.next(), tokens.next()) {
+            (Some(a), Some(b)) => (parse_id(a, number)?, parse_id(b, number)?),
+            _ => {
+                return Err(IoError::Parse {
+                    line: number,
+                    message: format!("expected `u v [weight]`, found `{trimmed}`"),
+                })
+            }
+        };
+        let weight = match tokens.next() {
+            None => options.default_weight,
+            Some(w) => w.parse::<f64>().map_err(|_| IoError::Parse {
+                line: number,
+                message: format!("invalid weight `{w}`"),
+            })?,
+        };
+        if tokens.next().is_some() {
+            return Err(IoError::Parse {
+                line: number,
+                message: format!("too many columns in `{trimmed}`"),
+            });
+        }
+        let du = dense_id(&mut ids, &mut labels, u);
+        let dv = dense_id(&mut ids, &mut labels, v);
+        builder.add_edge(du, dv, weight).map_err(|e| match e {
+            effres_graph::GraphError::InvalidWeight { weight } => IoError::Parse {
+                line: number,
+                message: format!("weight {weight} is not a positive finite number"),
+            },
+            other => IoError::Graph(other),
+        })?;
+    }
+    finalize(builder, labels, stats, options)
+}
+
+fn parse_id(token: &str, line: usize) -> Result<u64, IoError> {
+    token.parse::<u64>().map_err(|_| IoError::Parse {
+        line,
+        message: format!("invalid node id `{token}`"),
+    })
+}
+
+fn dense_id(ids: &mut HashMap<u64, usize>, labels: &mut Vec<u64>, raw: u64) -> usize {
+    *ids.entry(raw).or_insert_with(|| {
+        labels.push(raw);
+        labels.len() - 1
+    })
+}
+
+/// Writes a graph as an edge list, one `u v weight` line per edge. When
+/// `labels` is given, nodes are written under their original file ids;
+/// otherwise the dense `0..n` ids are used.
+///
+/// # Errors
+///
+/// Returns [`IoError::Io`] on write failure, and [`IoError::Format`] if
+/// `labels` is shorter than the node count.
+pub fn write_edge_list<W: Write>(
+    writer: &mut W,
+    graph: &Graph,
+    labels: Option<&[u64]>,
+) -> Result<(), IoError> {
+    if let Some(labels) = labels {
+        if labels.len() < graph.node_count() {
+            return Err(IoError::Format(format!(
+                "label table has {} entries for {} nodes",
+                labels.len(),
+                graph.node_count()
+            )));
+        }
+    }
+    let id = |node: usize| -> u64 {
+        match labels {
+            Some(labels) => labels[node],
+            None => node as u64,
+        }
+    };
+    writeln!(
+        writer,
+        "# effres edge list: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
+    for (_, edge) in graph.edges() {
+        writeln!(writer, "{} {} {}", id(edge.u), id(edge.v), edge.weight)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use effres_graph::builder::MergePolicy;
+    use std::io::Cursor;
+
+    fn read(text: &str, options: &IngestOptions) -> Dataset {
+        read_edge_list(Cursor::new(text.to_string()), options).expect("parse")
+    }
+
+    #[test]
+    fn comments_blanks_and_weights() {
+        let ds = read(
+            "# SNAP-style header\n% another comment\n\n0 1\n1 2 2.5\n",
+            &IngestOptions::default(),
+        );
+        assert_eq!(ds.stats.comments, 3);
+        assert_eq!(ds.stats.lines, 5);
+        assert_eq!(ds.graph.edge_count(), 2);
+        assert_eq!(ds.graph.edge(1).weight, 2.5);
+    }
+
+    #[test]
+    fn sparse_ids_are_remapped_densely() {
+        let ds = read("1000000 5\n5 99\n", &IngestOptions::default());
+        assert_eq!(ds.graph.node_count(), 3);
+        // First-seen order before component filtering: 1000000, 5, 99.
+        let mut labels = ds.labels.clone();
+        labels.sort_unstable();
+        assert_eq!(labels, vec![5, 99, 1_000_000]);
+    }
+
+    #[test]
+    fn duplicates_reversed_edges_and_self_loops() {
+        let ds = read("0 1\n1 0\n0 1\n3 3\n1 3\n", &IngestOptions::default());
+        assert_eq!(ds.stats.duplicates, 2);
+        assert_eq!(ds.stats.self_loops, 1);
+        assert_eq!(ds.graph.edge_count(), 2);
+    }
+
+    #[test]
+    fn sum_policy_accumulates_parallel_edges() {
+        let options = IngestOptions {
+            merge: MergePolicy::Sum,
+            ..IngestOptions::default()
+        };
+        let ds = read("0 1 1.0\n1 0 2.0\n", &options);
+        assert_eq!(ds.graph.edge(0).weight, 3.0);
+    }
+
+    #[test]
+    fn malformed_lines_report_their_number() {
+        let err = read_edge_list(Cursor::new("0 1\nnot numbers\n"), &IngestOptions::default())
+            .expect_err("must fail");
+        assert!(matches!(err, IoError::Parse { line: 2, .. }), "{err}");
+        let err =
+            read_edge_list(Cursor::new("0\n"), &IngestOptions::default()).expect_err("must fail");
+        assert!(matches!(err, IoError::Parse { line: 1, .. }), "{err}");
+        let err = read_edge_list(Cursor::new("0 1 2 3\n"), &IngestOptions::default())
+            .expect_err("must fail");
+        assert!(matches!(err, IoError::Parse { line: 1, .. }), "{err}");
+        let err = read_edge_list(Cursor::new("0 1 -4.0\n"), &IngestOptions::default())
+            .expect_err("must fail");
+        assert!(matches!(err, IoError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn write_then_read_is_identity() {
+        let ds = read("0 1 1.5\n1 2 0.5\n2 0 2.0\n", &IngestOptions::default());
+        let mut bytes = Vec::new();
+        write_edge_list(&mut bytes, &ds.graph, Some(&ds.labels)).expect("write");
+        let back = read_edge_list(Cursor::new(bytes), &IngestOptions::default()).expect("reparse");
+        assert_eq!(back.graph, ds.graph);
+        assert_eq!(back.labels, ds.labels);
+    }
+}

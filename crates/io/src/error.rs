@@ -1,0 +1,90 @@
+//! Error type of the ingestion and persistence layer.
+
+use effres::EffresError;
+use effres_graph::GraphError;
+use std::fmt;
+
+/// Errors produced while reading or writing datasets and snapshots.
+#[derive(Debug)]
+pub enum IoError {
+    /// An underlying operating-system I/O failure.
+    Io(std::io::Error),
+    /// A malformed line in a text dataset, with its 1-based line number.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A structurally invalid file (bad magic, truncated payload, bad
+    /// checksum, unsupported version...).
+    Format(String),
+    /// A corrupt or unsupported DEFLATE/gzip stream.
+    Compression(String),
+    /// The parsed records did not form a valid graph.
+    Graph(GraphError),
+    /// Rebuilding an estimator from a snapshot failed.
+    Effres(EffresError),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IoError::Format(m) => write!(f, "invalid file format: {m}"),
+            IoError::Compression(m) => write!(f, "compression error: {m}"),
+            IoError::Graph(e) => write!(f, "graph error: {e}"),
+            IoError::Effres(e) => write!(f, "estimator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Graph(e) => Some(e),
+            IoError::Effres(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Graph(e)
+    }
+}
+
+impl From<EffresError> for IoError {
+    fn from(e: EffresError) -> Self {
+        IoError::Effres(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        let e = IoError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.source().is_none());
+        let io: IoError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.source().is_some());
+        let g: IoError = GraphError::SelfLoop { node: 1 }.into();
+        assert!(g.to_string().contains("graph"));
+    }
+}

@@ -1,0 +1,585 @@
+//! Pure-std gzip support.
+//!
+//! The build environment has no third-party crates, so this module carries
+//! its own RFC 1951 DEFLATE decoder (stored, fixed-Huffman and
+//! dynamic-Huffman blocks — the classic `puff` decoding algorithm) wrapped in
+//! the RFC 1952 gzip container, plus a gzip *writer* that emits stored
+//! (uncompressed) blocks. The writer trades size for simplicity; its output
+//! is a perfectly valid `.gz` file that any tool — including this decoder —
+//! can read, which is all the round-trip tests and the CLI need.
+
+use crate::error::IoError;
+
+/// gzip magic bytes.
+const MAGIC: [u8; 2] = [0x1f, 0x8b];
+
+/// Whether `data` starts with the gzip magic.
+pub fn is_gzip(data: &[u8]) -> bool {
+    data.len() >= 2 && data[0..2] == MAGIC
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE), used by the gzip trailer and the snapshot format.
+// ---------------------------------------------------------------------------
+
+/// Streaming CRC-32 (IEEE polynomial, as used by gzip).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    table: [u32; 256],
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        let mut table = [0u32; 256];
+        for (n, slot) in table.iter_mut().enumerate() {
+            let mut c = n as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        Crc32 { table, state: 0 }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut c = self.state ^ 0xffff_ffff;
+        for &byte in data {
+            c = self.table[((c ^ byte as u32) & 0xff) as usize] ^ (c >> 8);
+        }
+        self.state = c ^ 0xffff_ffff;
+    }
+
+    /// The checksum of everything absorbed so far.
+    pub fn finish(&self) -> u32 {
+        self.state
+    }
+}
+
+/// CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+// ---------------------------------------------------------------------------
+// DEFLATE decoding.
+// ---------------------------------------------------------------------------
+
+struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next unread byte.
+    pos: usize,
+    /// Bit buffer, LSB first.
+    buf: u32,
+    /// Number of valid bits in `buf`.
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            buf: 0,
+            nbits: 0,
+        }
+    }
+
+    fn bits(&mut self, n: u32) -> Result<u32, IoError> {
+        debug_assert!(n <= 16);
+        while self.nbits < n {
+            let byte = *self
+                .data
+                .get(self.pos)
+                .ok_or_else(|| IoError::Compression("unexpected end of deflate stream".into()))?;
+            self.buf |= (byte as u32) << self.nbits;
+            self.nbits += 8;
+            self.pos += 1;
+        }
+        let value = self.buf & ((1u32 << n) - 1);
+        self.buf >>= n;
+        self.nbits -= n;
+        Ok(value)
+    }
+
+    /// Discards buffered bits so the reader sits on a byte boundary.
+    fn align_to_byte(&mut self) {
+        self.buf = 0;
+        self.nbits = 0;
+    }
+
+    fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], IoError> {
+        debug_assert_eq!(self.nbits, 0);
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or_else(|| IoError::Compression("truncated stored block".into()))?;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+}
+
+/// Canonical Huffman decoding table (the `puff.c` counts/symbols scheme).
+struct Huffman {
+    /// counts[len] = number of codes of bit length `len`.
+    counts: [u16; 16],
+    /// Symbols sorted by (code length, symbol value).
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    fn new(lengths: &[u8]) -> Result<Self, IoError> {
+        let mut counts = [0u16; 16];
+        for &len in lengths {
+            if len as usize >= 16 {
+                return Err(IoError::Compression("code length exceeds 15".into()));
+            }
+            counts[len as usize] += 1;
+        }
+        if counts[0] as usize == lengths.len() {
+            // No codes at all: legal for an unused distance table.
+            return Ok(Huffman {
+                counts,
+                symbols: Vec::new(),
+            });
+        }
+        // Check the code is complete or over-subscribed exactly like puff.
+        let mut left = 1i32;
+        for len in 1..16 {
+            left <<= 1;
+            left -= counts[len] as i32;
+            if left < 0 {
+                return Err(IoError::Compression("over-subscribed Huffman code".into()));
+            }
+        }
+        let mut offsets = [0u16; 16];
+        for len in 1..15 {
+            offsets[len + 1] = offsets[len] + counts[len];
+        }
+        let mut symbols = vec![0u16; lengths.len()];
+        for (symbol, &len) in lengths.iter().enumerate() {
+            if len != 0 {
+                symbols[offsets[len as usize] as usize] = symbol as u16;
+                offsets[len as usize] += 1;
+            }
+        }
+        symbols.truncate(lengths.iter().filter(|&&l| l != 0).count());
+        Ok(Huffman { counts, symbols })
+    }
+
+    fn decode(&self, reader: &mut BitReader<'_>) -> Result<u16, IoError> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..16 {
+            code |= reader.bits(1)? as i32;
+            let count = self.counts[len] as i32;
+            if code - first < count {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(IoError::Compression("invalid Huffman code".into()))
+    }
+}
+
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u32; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u32; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+/// Order in which code-length code lengths are stored in a dynamic block.
+const CLEN_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+fn inflate_block(
+    reader: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    litlen: &Huffman,
+    dist: &Huffman,
+) -> Result<(), IoError> {
+    loop {
+        let symbol = litlen.decode(reader)?;
+        match symbol {
+            0..=255 => out.push(symbol as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = (symbol - 257) as usize;
+                let length = LENGTH_BASE[idx] as usize + reader.bits(LENGTH_EXTRA[idx])? as usize;
+                let dsym = dist.decode(reader)? as usize;
+                if dsym >= 30 {
+                    return Err(IoError::Compression("invalid distance symbol".into()));
+                }
+                let distance = DIST_BASE[dsym] as usize + reader.bits(DIST_EXTRA[dsym])? as usize;
+                if distance > out.len() {
+                    return Err(IoError::Compression("distance beyond output start".into()));
+                }
+                let start = out.len() - distance;
+                // Byte-by-byte because ranges may overlap (run-length copies).
+                for i in 0..length {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            }
+            _ => return Err(IoError::Compression("invalid literal/length symbol".into())),
+        }
+    }
+}
+
+fn fixed_tables() -> Result<(Huffman, Huffman), IoError> {
+    let mut litlen_lengths = [0u8; 288];
+    for (symbol, len) in litlen_lengths.iter_mut().enumerate() {
+        *len = match symbol {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    let dist_lengths = [5u8; 30];
+    Ok((Huffman::new(&litlen_lengths)?, Huffman::new(&dist_lengths)?))
+}
+
+fn dynamic_tables(reader: &mut BitReader<'_>) -> Result<(Huffman, Huffman), IoError> {
+    let hlit = reader.bits(5)? as usize + 257;
+    let hdist = reader.bits(5)? as usize + 1;
+    let hclen = reader.bits(4)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(IoError::Compression(
+            "too many litlen/distance codes".into(),
+        ));
+    }
+    let mut clen_lengths = [0u8; 19];
+    for &pos in CLEN_ORDER.iter().take(hclen) {
+        clen_lengths[pos] = reader.bits(3)? as u8;
+    }
+    let clen = Huffman::new(&clen_lengths)?;
+    let mut lengths = vec![0u8; hlit + hdist];
+    let mut i = 0;
+    while i < lengths.len() {
+        let symbol = clen.decode(reader)?;
+        match symbol {
+            0..=15 => {
+                lengths[i] = symbol as u8;
+                i += 1;
+            }
+            16 => {
+                if i == 0 {
+                    return Err(IoError::Compression(
+                        "repeat with no previous length".into(),
+                    ));
+                }
+                let prev = lengths[i - 1];
+                let repeat = 3 + reader.bits(2)? as usize;
+                for _ in 0..repeat {
+                    if i >= lengths.len() {
+                        return Err(IoError::Compression("length repeat overflows".into()));
+                    }
+                    lengths[i] = prev;
+                    i += 1;
+                }
+            }
+            17 | 18 => {
+                let repeat = if symbol == 17 {
+                    3 + reader.bits(3)? as usize
+                } else {
+                    11 + reader.bits(7)? as usize
+                };
+                if i + repeat > lengths.len() {
+                    return Err(IoError::Compression("zero-run overflows".into()));
+                }
+                i += repeat;
+            }
+            _ => return Err(IoError::Compression("invalid code-length symbol".into())),
+        }
+    }
+    if lengths[256] == 0 {
+        return Err(IoError::Compression("missing end-of-block code".into()));
+    }
+    let litlen = Huffman::new(&lengths[..hlit])?;
+    let dist = Huffman::new(&lengths[hlit..])?;
+    Ok((litlen, dist))
+}
+
+/// Decompresses a raw DEFLATE (RFC 1951) stream.
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>, IoError> {
+    let mut reader = BitReader::new(data);
+    let mut out = Vec::with_capacity(data.len().saturating_mul(3));
+    loop {
+        let final_block = reader.bits(1)? == 1;
+        let block_type = reader.bits(2)?;
+        match block_type {
+            0 => {
+                reader.align_to_byte();
+                let header = reader.take_bytes(4)?;
+                let len = u16::from_le_bytes([header[0], header[1]]) as usize;
+                let nlen = u16::from_le_bytes([header[2], header[3]]);
+                if nlen != !(len as u16) {
+                    return Err(IoError::Compression(
+                        "stored block LEN/NLEN mismatch".into(),
+                    ));
+                }
+                out.extend_from_slice(reader.take_bytes(len)?);
+            }
+            1 => {
+                let (litlen, dist) = fixed_tables()?;
+                inflate_block(&mut reader, &mut out, &litlen, &dist)?;
+            }
+            2 => {
+                let (litlen, dist) = dynamic_tables(&mut reader)?;
+                inflate_block(&mut reader, &mut out, &litlen, &dist)?;
+            }
+            _ => return Err(IoError::Compression("reserved block type".into())),
+        }
+        if final_block {
+            return Ok(out);
+        }
+    }
+}
+
+/// Decompresses a gzip (RFC 1952) file and verifies its CRC-32 and length
+/// trailer.
+pub fn gunzip(data: &[u8]) -> Result<Vec<u8>, IoError> {
+    if !is_gzip(data) {
+        return Err(IoError::Compression("not a gzip stream (bad magic)".into()));
+    }
+    if data.len() < 18 {
+        return Err(IoError::Compression("gzip stream too short".into()));
+    }
+    if data[2] != 8 {
+        return Err(IoError::Compression(format!(
+            "unsupported gzip compression method {}",
+            data[2]
+        )));
+    }
+    let flags = data[3];
+    let mut pos = 10usize; // magic(2) method(1) flags(1) mtime(4) xfl(1) os(1)
+    let advance = |pos: &mut usize, by: usize| -> Result<(), IoError> {
+        *pos = pos
+            .checked_add(by)
+            .filter(|&p| p <= data.len())
+            .ok_or_else(|| IoError::Compression("truncated gzip header".into()))?;
+        Ok(())
+    };
+    if flags & 0x04 != 0 {
+        // FEXTRA
+        if pos + 2 > data.len() {
+            return Err(IoError::Compression("truncated gzip FEXTRA".into()));
+        }
+        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        advance(&mut pos, 2 + xlen)?;
+    }
+    for flag in [0x08u8, 0x10] {
+        // FNAME, FCOMMENT: zero-terminated strings.
+        if flags & flag != 0 {
+            let end = data[pos..]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or_else(|| IoError::Compression("unterminated gzip header field".into()))?;
+            advance(&mut pos, end + 1)?;
+        }
+    }
+    if flags & 0x02 != 0 {
+        // FHCRC
+        advance(&mut pos, 2)?;
+    }
+    if data.len() < pos + 8 {
+        return Err(IoError::Compression("gzip stream missing trailer".into()));
+    }
+    let payload = &data[pos..data.len() - 8];
+    let out = inflate(payload)?;
+    let trailer = &data[data.len() - 8..];
+    let expected_crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let expected_len = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
+    if out.len() as u32 != expected_len {
+        return Err(IoError::Compression(format!(
+            "gzip length mismatch: got {} expected {}",
+            out.len(),
+            expected_len
+        )));
+    }
+    let actual_crc = crc32(&out);
+    if actual_crc != expected_crc {
+        return Err(IoError::Compression(format!(
+            "gzip CRC mismatch: got {actual_crc:#10x} expected {expected_crc:#10x}"
+        )));
+    }
+    Ok(out)
+}
+
+/// Wraps `data` in a valid gzip container using stored (uncompressed) DEFLATE
+/// blocks. No size reduction, but readable by every gzip implementation.
+pub fn gzip_stored(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 64);
+    // Header: magic, deflate, no flags, zero mtime, no XFL, unknown OS.
+    out.extend_from_slice(&[0x1f, 0x8b, 0x08, 0, 0, 0, 0, 0, 0, 0xff]);
+    let mut chunks = data.chunks(0xffff).peekable();
+    if data.is_empty() {
+        // A single empty final stored block.
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xff, 0xff]);
+    }
+    while let Some(chunk) = chunks.next() {
+        let final_block = chunks.peek().is_none();
+        out.push(u8::from(final_block)); // BFINAL bit, BTYPE=00, padding
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        let mut streaming = Crc32::new();
+        streaming.update(b"1234");
+        streaming.update(b"56789");
+        assert_eq!(streaming.finish(), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn stored_round_trip() {
+        for payload in [
+            b"".to_vec(),
+            b"hello world".to_vec(),
+            (0..200_000u32)
+                .flat_map(|x| x.to_le_bytes())
+                .collect::<Vec<u8>>(),
+        ] {
+            let gz = gzip_stored(&payload);
+            assert!(is_gzip(&gz));
+            assert_eq!(gunzip(&gz).expect("round trip"), payload);
+        }
+    }
+
+    #[test]
+    fn fixed_huffman_block_decodes() {
+        // Hand-assembled fixed-Huffman block encoding "aaaa": literal 'a'
+        // (0x61 → code 0x91, 8 bits MSB-first) four times, then end-of-block.
+        // Instead of hand-packing bits, build it with a tiny encoder below.
+        let mut bits = BitWriter::new();
+        bits.push_bits(1, 1); // BFINAL
+        bits.push_bits(1, 2); // fixed
+        for _ in 0..4 {
+            // Literal 0x61: fixed code for 0x61 is 0x30 + 0x61 = 0x91, 8 bits.
+            bits.push_code(0x30 + 0x61, 8);
+        }
+        bits.push_code(0, 7); // end of block (symbol 256, 7-bit code 0)
+        let stream = bits.finish();
+        assert_eq!(inflate(&stream).expect("valid"), b"aaaa");
+    }
+
+    #[test]
+    fn backreference_copies_work() {
+        // "abcabcabc" via literal "abc" + match(length 6, distance 3).
+        let mut bits = BitWriter::new();
+        bits.push_bits(1, 1);
+        bits.push_bits(1, 2);
+        for &b in b"abc" {
+            bits.push_code(0x30 + b as u32, 8);
+        }
+        // Length 6 → symbol 260 (base 6, no extra): code 260-256=4 → 7-bit code 4.
+        bits.push_code(4, 7);
+        // Distance 3 → symbol 2, 5-bit code 2, no extra bits.
+        bits.push_code(2, 5);
+        bits.push_code(0, 7);
+        let stream = bits.finish();
+        assert_eq!(inflate(&stream).expect("valid"), b"abcabcabc");
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        assert!(gunzip(b"not gzip at all").is_err());
+        let mut gz = gzip_stored(b"hello");
+        let last = gz.len() - 1;
+        gz[last] ^= 0xff; // break the ISIZE field
+        assert!(gunzip(&gz).is_err());
+        let mut gz2 = gzip_stored(b"hello");
+        gz2[12] ^= 0x01; // flip a payload bit → CRC mismatch
+        assert!(gunzip(&gz2).is_err());
+        assert!(inflate(&[0x07]).is_err()); // reserved block type
+    }
+
+    /// Minimal MSB-first-code bit packer for building test streams.
+    struct BitWriter {
+        bytes: Vec<u8>,
+        bit: u32,
+        cur: u8,
+    }
+
+    impl BitWriter {
+        fn new() -> Self {
+            BitWriter {
+                bytes: Vec::new(),
+                bit: 0,
+                cur: 0,
+            }
+        }
+
+        /// Pushes `n` bits LSB-first (header fields, extra bits).
+        fn push_bits(&mut self, value: u32, n: u32) {
+            for i in 0..n {
+                let b = (value >> i) & 1;
+                self.cur |= (b as u8) << self.bit;
+                self.bit += 1;
+                if self.bit == 8 {
+                    self.bytes.push(self.cur);
+                    self.cur = 0;
+                    self.bit = 0;
+                }
+            }
+        }
+
+        /// Pushes a Huffman code: codes are packed starting from their most
+        /// significant bit.
+        fn push_code(&mut self, code: u32, len: u32) {
+            for i in (0..len).rev() {
+                self.push_bits((code >> i) & 1, 1);
+            }
+        }
+
+        fn finish(mut self) -> Vec<u8> {
+            if self.bit > 0 {
+                self.bytes.push(self.cur);
+            }
+            self.bytes
+        }
+    }
+}

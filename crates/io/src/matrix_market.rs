@@ -1,0 +1,354 @@
+//! Matrix Market (`.mtx`) coordinate files, read as graphs.
+//!
+//! SuiteSparse and many circuit benchmarks publish graphs as sparse
+//! symmetric matrices in the NIST Matrix Market exchange format: a
+//! `%%MatrixMarket matrix coordinate <field> <symmetry>` header, `%` comment
+//! lines, a `rows cols nnz` size line, then 1-indexed `i j [value]` entries.
+//!
+//! The reader accepts `real`, `integer` and `pattern` fields with `general`
+//! or `symmetric` symmetry. Entries become undirected edges with weight
+//! `|value|` — the natural reading when the matrix is a Laplacian or
+//! adjacency matrix (Laplacian off-diagonals are negative conductances);
+//! diagonal entries and explicit zeros are skipped and counted.
+
+use crate::dataset::{finalize, Dataset, IngestOptions, IngestStats};
+use crate::error::IoError;
+use effres_graph::builder::GraphBuilder;
+use effres_graph::Graph;
+use std::io::{BufRead, Write};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+/// Parses a Matrix Market coordinate file as an undirected graph.
+///
+/// # Errors
+///
+/// Returns [`IoError::Format`] for an unsupported or malformed header and
+/// [`IoError::Parse`] (with line numbers) for malformed entries, including
+/// out-of-range 1-indexed coordinates.
+pub fn read_matrix_market<R: BufRead>(
+    reader: R,
+    options: &IngestOptions,
+) -> Result<Dataset, IoError> {
+    let mut lines = reader.lines().enumerate();
+    let mut stats = IngestStats::default();
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| IoError::Format("empty Matrix Market file".into()))?;
+    let header = header?;
+    stats.lines = 1;
+    let field = parse_header(&header)?;
+
+    // Size line: first non-comment line after the header.
+    let (rows, cols, nnz) = loop {
+        let (index, line) = lines
+            .next()
+            .ok_or_else(|| IoError::Format("Matrix Market file has no size line".into()))?;
+        let line = line?;
+        let number = index + 1;
+        stats.lines = number;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            stats.comments += 1;
+            continue;
+        }
+        let mut tokens = trimmed.split_whitespace();
+        match (tokens.next(), tokens.next(), tokens.next(), tokens.next()) {
+            (Some(r), Some(c), Some(z), None) => {
+                let parse = |t: &str| -> Result<usize, IoError> {
+                    t.parse().map_err(|_| IoError::Parse {
+                        line: number,
+                        message: format!("invalid size entry `{t}`"),
+                    })
+                };
+                break (parse(r)?, parse(c)?, parse(z)?);
+            }
+            _ => {
+                return Err(IoError::Parse {
+                    line: number,
+                    message: format!("expected `rows cols nnz`, found `{trimmed}`"),
+                })
+            }
+        }
+    };
+    if rows != cols {
+        return Err(IoError::Format(format!(
+            "matrix is {rows}x{cols}; only square matrices describe graphs"
+        )));
+    }
+    if rows > u32::MAX as usize {
+        return Err(IoError::Format(format!(
+            "matrix order {rows} exceeds the supported u32 node-id space"
+        )));
+    }
+
+    // Capacity is a hint, capped so a hostile size line cannot force a huge
+    // allocation before a single entry has been read.
+    let mut builder = GraphBuilder::with_capacity(options.merge, nnz.min(1 << 20));
+    builder.ensure_node(rows.saturating_sub(1));
+    let mut entries = 0usize;
+    for (index, line) in lines {
+        let line = line?;
+        let number = index + 1;
+        stats.lines = number;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            stats.comments += 1;
+            continue;
+        }
+        entries += 1;
+        let mut tokens = trimmed.split_whitespace();
+        let (i, j) = match (tokens.next(), tokens.next()) {
+            (Some(a), Some(b)) => (parse_coord(a, number, rows)?, parse_coord(b, number, cols)?),
+            _ => {
+                return Err(IoError::Parse {
+                    line: number,
+                    message: format!("expected `i j [value]`, found `{trimmed}`"),
+                })
+            }
+        };
+        let value = match (field, tokens.next()) {
+            (Field::Pattern, None) => options.default_weight,
+            (Field::Pattern, Some(extra)) => {
+                return Err(IoError::Parse {
+                    line: number,
+                    message: format!("pattern entry has a value `{extra}`"),
+                })
+            }
+            (_, Some(v)) => v.parse::<f64>().map_err(|_| IoError::Parse {
+                line: number,
+                message: format!("invalid value `{v}`"),
+            })?,
+            (_, None) => {
+                return Err(IoError::Parse {
+                    line: number,
+                    message: "missing value for real/integer entry".into(),
+                })
+            }
+        };
+        if tokens.next().is_some() {
+            return Err(IoError::Parse {
+                line: number,
+                message: format!("too many columns in `{trimmed}`"),
+            });
+        }
+        if value == 0.0 {
+            stats.zeros += 1;
+            continue;
+        }
+        // i == j (a diagonal entry) is skipped by the builder's self-loop
+        // handling and counted in the stats.
+        builder
+            .add_edge(i, j, value.abs())
+            .map_err(IoError::Graph)?;
+    }
+    if entries != nnz {
+        return Err(IoError::Format(format!(
+            "size line promised {nnz} entries but the file has {entries}"
+        )));
+    }
+    // Matrix Market nodes are dense already; keep their 1-based ids as labels.
+    let labels: Vec<u64> = (1..=rows as u64).collect();
+    finalize(builder, labels, stats, options)
+}
+
+fn parse_header(header: &str) -> Result<Field, IoError> {
+    let lower = header.to_ascii_lowercase();
+    let mut tokens = lower.split_whitespace();
+    if tokens.next() != Some("%%matrixmarket") {
+        return Err(IoError::Format(format!(
+            "not a Matrix Market file (header `{header}`)"
+        )));
+    }
+    if tokens.next() != Some("matrix") {
+        return Err(IoError::Format(
+            "only `matrix` objects are supported".into(),
+        ));
+    }
+    if tokens.next() != Some("coordinate") {
+        return Err(IoError::Format(
+            "only `coordinate` (sparse) format is supported".into(),
+        ));
+    }
+    let field = match tokens.next() {
+        Some("real") => Field::Real,
+        Some("integer") => Field::Integer,
+        Some("pattern") => Field::Pattern,
+        other => {
+            return Err(IoError::Format(format!(
+                "unsupported field `{}`",
+                other.unwrap_or("<missing>")
+            )))
+        }
+    };
+    match tokens.next() {
+        Some("general") | Some("symmetric") => Ok(field),
+        other => Err(IoError::Format(format!(
+            "unsupported symmetry `{}`",
+            other.unwrap_or("<missing>")
+        ))),
+    }
+}
+
+fn parse_coord(token: &str, line: usize, bound: usize) -> Result<usize, IoError> {
+    let value: usize = token.parse().map_err(|_| IoError::Parse {
+        line,
+        message: format!("invalid coordinate `{token}`"),
+    })?;
+    if value == 0 || value > bound {
+        return Err(IoError::Parse {
+            line,
+            message: format!("coordinate {value} outside 1..={bound}"),
+        });
+    }
+    Ok(value - 1)
+}
+
+/// Writes a graph as a symmetric real coordinate Matrix Market file
+/// (1-indexed, lower triangle, one entry per undirected edge).
+///
+/// # Errors
+///
+/// Returns [`IoError::Io`] on write failure.
+pub fn write_matrix_market<W: Write>(writer: &mut W, graph: &Graph) -> Result<(), IoError> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real symmetric")?;
+    writeln!(writer, "% written by effres-io")?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        graph.node_count(),
+        graph.node_count(),
+        graph.edge_count()
+    )?;
+    for (_, edge) in graph.edges() {
+        // Lower triangle: row index >= column index, both 1-based.
+        writeln!(writer, "{} {} {}", edge.v + 1, edge.u + 1, edge.weight)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read(text: &str) -> Result<Dataset, IoError> {
+        read_matrix_market(Cursor::new(text.to_string()), &IngestOptions::default())
+    }
+
+    #[test]
+    fn parses_real_symmetric_with_comments_and_diagonal() {
+        let ds = read(
+            "%%MatrixMarket matrix coordinate real symmetric\n\
+             % a Laplacian\n\
+             3 3 5\n\
+             1 1 2.0\n\
+             2 1 -1.0\n\
+             2 2 2.0\n\
+             3 2 -1.5\n\
+             3 3 1.5\n",
+        )
+        .expect("parse");
+        // Diagonal entries become skipped self-loops; off-diagonals edges.
+        assert_eq!(ds.stats.self_loops, 3);
+        assert_eq!(ds.graph.edge_count(), 2);
+        // Negative conductances are read by magnitude.
+        assert_eq!(ds.graph.edge(1).weight, 1.5);
+        assert_eq!(ds.labels, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pattern_files_use_default_weight() {
+        let ds = read(
+            "%%MatrixMarket matrix coordinate pattern general\n\
+             4 4 3\n\
+             2 1\n\
+             3 2\n\
+             4 3\n",
+        )
+        .expect("parse");
+        assert_eq!(ds.graph.edge_count(), 3);
+        assert!(ds.graph.edges().all(|(_, e)| e.weight == 1.0));
+    }
+
+    #[test]
+    fn one_indexing_is_respected() {
+        // Entry `1 2` must be edge (0, 1), and index 0 or > n must fail.
+        let ds =
+            read("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n").expect("parse");
+        assert_eq!(ds.graph.edge(0).u, 0);
+        assert_eq!(ds.graph.edge(0).v, 1);
+        let err = read("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 2\n")
+            .expect_err("0 is out of range");
+        assert!(matches!(err, IoError::Parse { line: 3, .. }), "{err}");
+        let err = read("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 3\n")
+            .expect_err("3 is out of range");
+        assert!(matches!(err, IoError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_headers_and_counts_are_rejected() {
+        assert!(matches!(read("junk\n1 1 0\n"), Err(IoError::Format(_))));
+        assert!(matches!(
+            read("%%MatrixMarket matrix array real general\n"),
+            Err(IoError::Format(_))
+        ));
+        assert!(matches!(
+            read("%%MatrixMarket matrix coordinate complex general\n1 1 0\n"),
+            Err(IoError::Format(_))
+        ));
+        assert!(matches!(
+            read("%%MatrixMarket matrix coordinate real general\n2 3 0\n"),
+            Err(IoError::Format(_))
+        ));
+        // Promised 2 entries, delivered 1.
+        assert!(matches!(
+            read("%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n"),
+            Err(IoError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_size_line_errors_instead_of_allocating() {
+        // A header claiming a trillion-node matrix must fail cleanly, not
+        // abort on preallocation.
+        let err = read(
+            "%%MatrixMarket matrix coordinate pattern general\n\
+             999999999999 999999999999 999999999999\n",
+        )
+        .expect_err("must be rejected");
+        assert!(matches!(err, IoError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn explicit_zeros_are_skipped() {
+        let ds = read("%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 0.0\n2 3 1.0\n")
+            .expect("parse");
+        assert_eq!(ds.stats.zeros, 1);
+        assert_eq!(ds.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let ds = read(
+            "%%MatrixMarket matrix coordinate real symmetric\n\
+             4 4 4\n\
+             2 1 1.0\n\
+             3 2 2.0\n\
+             4 3 0.5\n\
+             4 1 1.25\n",
+        )
+        .expect("parse");
+        let mut bytes = Vec::new();
+        write_matrix_market(&mut bytes, &ds.graph).expect("write");
+        let back = read(std::str::from_utf8(&bytes).expect("utf8")).expect("reparse");
+        assert_eq!(back.graph, ds.graph);
+    }
+}

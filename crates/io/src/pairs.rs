@@ -1,0 +1,90 @@
+//! Query-pair files: one `p q` pair per line, `#`/`%` comments.
+//!
+//! These drive the batched workloads of `effres-cli batch`: a pair file is
+//! parsed into the `(p, q)` list handed to the query engine. Ids are the
+//! *dataset* ids (the original file labels); the CLI translates them to the
+//! dense node space via [`Dataset::labels`].
+//!
+//! [`Dataset::labels`]: crate::dataset::Dataset
+
+use crate::error::IoError;
+use std::io::{BufRead, Write};
+
+/// Parses a pair file into `(p, q)` tuples of raw (dataset) ids.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] with the line number for malformed lines.
+pub fn read_pairs<R: BufRead>(reader: R) -> Result<Vec<(u64, u64)>, IoError> {
+    let mut pairs = Vec::new();
+    for (index, line) in reader.lines().enumerate() {
+        let line = line?;
+        let number = index + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut tokens = trimmed.split_whitespace();
+        let pair = match (tokens.next(), tokens.next(), tokens.next()) {
+            (Some(p), Some(q), None) => {
+                let parse = |t: &str| -> Result<u64, IoError> {
+                    t.parse().map_err(|_| IoError::Parse {
+                        line: number,
+                        message: format!("invalid node id `{t}`"),
+                    })
+                };
+                (parse(p)?, parse(q)?)
+            }
+            _ => {
+                return Err(IoError::Parse {
+                    line: number,
+                    message: format!("expected `p q`, found `{trimmed}`"),
+                })
+            }
+        };
+        pairs.push(pair);
+    }
+    Ok(pairs)
+}
+
+/// Writes pairs in the format [`read_pairs`] accepts.
+///
+/// # Errors
+///
+/// Returns [`IoError::Io`] on write failure.
+pub fn write_pairs<W: Write>(writer: &mut W, pairs: &[(u64, u64)]) -> Result<(), IoError> {
+    for &(p, q) in pairs {
+        writeln!(writer, "{p} {q}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_pairs_with_comments() {
+        let pairs = read_pairs(Cursor::new("# queries\n0 5\n\n7 2\n")).expect("parse");
+        assert_eq!(pairs, vec![(0, 5), (7, 2)]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = read_pairs(Cursor::new("0 1\n2\n")).expect_err("must fail");
+        assert!(matches!(err, IoError::Parse { line: 2, .. }), "{err}");
+        let err = read_pairs(Cursor::new("0 1 2\n")).expect_err("must fail");
+        assert!(matches!(err, IoError::Parse { line: 1, .. }), "{err}");
+        let err = read_pairs(Cursor::new("a b\n")).expect_err("must fail");
+        assert!(matches!(err, IoError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let pairs = vec![(3u64, 9u64), (0, 0), (12, 4)];
+        let mut bytes = Vec::new();
+        write_pairs(&mut bytes, &pairs).expect("write");
+        assert_eq!(read_pairs(Cursor::new(bytes)).expect("read"), pairs);
+    }
+}

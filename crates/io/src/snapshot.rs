@@ -1,0 +1,423 @@
+//! Compact binary snapshots of prebuilt estimators.
+//!
+//! Building the approximate inverse is the expensive part of the pipeline —
+//! minutes for multi-million-node graphs — while queries are microseconds.
+//! A snapshot persists everything the query path needs (the pruned columns
+//! of `Z̃`, the fill-reducing permutation, the build statistics and, when the
+//! graph came from a dataset file, the original node labels) so a service
+//! can restart without refactorizing.
+//!
+//! ## Format (version 1, all little-endian)
+//!
+//! ```text
+//! magic     8 bytes  "EFRSNAP\n"
+//! version   u32      1
+//! payload   (crc-checked):
+//!   node_count u64, epsilon f64,
+//!   estimator stats (factor_nnz u64, inverse_nnz u64, inverse_nnz_ratio f64,
+//!                    max_depth u64, ichol_dropped u64, pruned_entries u64),
+//!   inverse build counters (pruned_entries u64, small_columns_kept u64),
+//!   permutation new→old (u32 × n),
+//!   n columns: nnz u32, indices u32 × nnz, values f64 × nnz,
+//!   labels flag u8 (0|1), then labels u64 × n if 1
+//! crc32     u32      of the payload bytes
+//! ```
+
+use crate::error::IoError;
+use crate::gzip::Crc32;
+use effres::approx_inverse::{ApproxInverseStats, SparseApproximateInverse};
+use effres::estimator::EstimatorStats;
+use effres::EffectiveResistanceEstimator;
+use effres_sparse::{Permutation, SparseVec};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"EFRSNAP\n";
+const VERSION: u32 = 1;
+
+/// A persisted estimator plus the optional dataset node labels.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The reassembled query engine core.
+    pub estimator: EffectiveResistanceEstimator,
+    /// Original dataset ids of the estimator's dense nodes, if the snapshot
+    /// was written from an ingested dataset.
+    pub labels: Option<Vec<u64>>,
+}
+
+struct CrcWriter<'a, W: Write> {
+    inner: &'a mut W,
+    crc: Crc32,
+}
+
+impl<W: Write> CrcWriter<'_, W> {
+    fn put(&mut self, bytes: &[u8]) -> Result<(), IoError> {
+        self.crc.update(bytes);
+        self.inner.write_all(bytes)?;
+        Ok(())
+    }
+
+    fn put_u32(&mut self, v: u32) -> Result<(), IoError> {
+        self.put(&v.to_le_bytes())
+    }
+
+    fn put_u64(&mut self, v: u64) -> Result<(), IoError> {
+        self.put(&v.to_le_bytes())
+    }
+
+    fn put_f64(&mut self, v: f64) -> Result<(), IoError> {
+        self.put(&v.to_le_bytes())
+    }
+}
+
+struct CrcReader<'a, R: Read> {
+    inner: &'a mut R,
+    crc: Crc32,
+}
+
+impl<R: Read> CrcReader<'_, R> {
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], IoError> {
+        let mut buf = [0u8; N];
+        self.inner.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                IoError::Format("truncated snapshot".into())
+            } else {
+                IoError::Io(e)
+            }
+        })?;
+        self.crc.update(&buf);
+        Ok(buf)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, IoError> {
+        Ok(self.take::<1>()?[0])
+    }
+
+    fn take_u32(&mut self) -> Result<u32, IoError> {
+        Ok(u32::from_le_bytes(self.take::<4>()?))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, IoError> {
+        Ok(u64::from_le_bytes(self.take::<8>()?))
+    }
+
+    fn take_f64(&mut self) -> Result<f64, IoError> {
+        Ok(f64::from_le_bytes(self.take::<8>()?))
+    }
+}
+
+/// Serializes an estimator (and optional node labels) to `writer`.
+///
+/// # Errors
+///
+/// Returns [`IoError::Io`] on write failure and [`IoError::Format`] if the
+/// estimator is too large for the u32 index space or `labels` has the wrong
+/// length.
+pub fn write_snapshot<W: Write>(
+    writer: &mut W,
+    estimator: &EffectiveResistanceEstimator,
+    labels: Option<&[u64]>,
+) -> Result<(), IoError> {
+    let n = estimator.node_count();
+    if n > u32::MAX as usize {
+        return Err(IoError::Format(format!(
+            "{n} nodes exceed the snapshot's u32 index space"
+        )));
+    }
+    if let Some(labels) = labels {
+        if labels.len() != n {
+            return Err(IoError::Format(format!(
+                "label table has {} entries for {n} nodes",
+                labels.len()
+            )));
+        }
+    }
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    let mut out = CrcWriter {
+        inner: writer,
+        crc: Crc32::new(),
+    };
+    let stats = estimator.stats();
+    let inverse = estimator.approximate_inverse();
+    out.put_u64(n as u64)?;
+    out.put_f64(inverse.epsilon())?;
+    out.put_u64(stats.factor_nnz as u64)?;
+    out.put_u64(stats.inverse_nnz as u64)?;
+    out.put_f64(stats.inverse_nnz_ratio)?;
+    out.put_u64(stats.max_depth as u64)?;
+    out.put_u64(stats.ichol_dropped as u64)?;
+    out.put_u64(stats.pruned_entries as u64)?;
+    let inv_stats = inverse.stats();
+    out.put_u64(inv_stats.pruned_entries as u64)?;
+    out.put_u64(inv_stats.small_columns_kept as u64)?;
+    for &old in estimator.permutation().new_to_old() {
+        out.put_u32(old as u32)?;
+    }
+    for j in 0..n {
+        let column = inverse.column(j);
+        out.put_u32(column.nnz() as u32)?;
+        for &i in column.indices() {
+            out.put_u32(i as u32)?;
+        }
+        for &v in column.values() {
+            out.put_f64(v)?;
+        }
+    }
+    match labels {
+        None => out.put(&[0u8])?,
+        Some(labels) => {
+            out.put(&[1u8])?;
+            for &label in labels {
+                out.put_u64(label)?;
+            }
+        }
+    }
+    let crc = out.crc.finish();
+    writer.write_all(&crc.to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads a snapshot written by [`write_snapshot`], verifying magic, version
+/// and checksum, and revalidating every structural invariant.
+///
+/// # Errors
+///
+/// Returns [`IoError::Format`] for bad magic/version/checksum or structurally
+/// invalid contents, [`IoError::Io`] on read failure.
+pub fn read_snapshot<R: Read>(reader: &mut R) -> Result<Snapshot, IoError> {
+    let mut magic = [0u8; 8];
+    reader
+        .read_exact(&mut magic)
+        .map_err(|_| IoError::Format("truncated snapshot (no magic)".into()))?;
+    if &magic != MAGIC {
+        return Err(IoError::Format("not an effres snapshot (bad magic)".into()));
+    }
+    let mut version = [0u8; 4];
+    reader
+        .read_exact(&mut version)
+        .map_err(|_| IoError::Format("truncated snapshot (no version)".into()))?;
+    let version = u32::from_le_bytes(version);
+    if version != VERSION {
+        return Err(IoError::Format(format!(
+            "unsupported snapshot version {version} (this build reads {VERSION})"
+        )));
+    }
+    let mut input = CrcReader {
+        inner: reader,
+        crc: Crc32::new(),
+    };
+    let n = input.take_u64()? as usize;
+    if n > u32::MAX as usize {
+        return Err(IoError::Format("node count exceeds u32 index space".into()));
+    }
+    // Preallocation below is bounded by this cap, not by the untrusted `n`:
+    // a corrupt header must produce IoError::Format (via a failed read), not
+    // a multi-gigabyte allocation request that aborts the process.
+    const PREALLOC_CAP: usize = 1 << 20;
+    let epsilon = input.take_f64()?;
+    let stats = EstimatorStats {
+        node_count: n,
+        factor_nnz: input.take_u64()? as usize,
+        inverse_nnz: input.take_u64()? as usize,
+        inverse_nnz_ratio: input.take_f64()?,
+        max_depth: input.take_u64()? as usize,
+        ichol_dropped: input.take_u64()? as usize,
+        pruned_entries: input.take_u64()? as usize,
+    };
+    let inv_stats = ApproxInverseStats {
+        nnz: 0,
+        max_column_nnz: 0,
+        pruned_entries: input.take_u64()? as usize,
+        small_columns_kept: input.take_u64()? as usize,
+    };
+    let mut new_to_old = Vec::with_capacity(n.min(PREALLOC_CAP));
+    for _ in 0..n {
+        new_to_old.push(input.take_u32()? as usize);
+    }
+    let permutation = Permutation::from_new_to_old(new_to_old)
+        .map_err(|e| IoError::Format(format!("invalid permutation: {e}")))?;
+    let mut columns = Vec::with_capacity(n.min(PREALLOC_CAP));
+    for j in 0..n {
+        let nnz = input.take_u32()? as usize;
+        if nnz > n {
+            return Err(IoError::Format(format!(
+                "column {j} claims {nnz} nonzeros in a {n}-node inverse"
+            )));
+        }
+        let mut indices = Vec::with_capacity(nnz.min(PREALLOC_CAP));
+        for _ in 0..nnz {
+            indices.push(input.take_u32()? as usize);
+        }
+        let sorted = indices.windows(2).all(|w| w[0] < w[1]);
+        if !sorted || indices.last().is_some_and(|&i| i >= n) {
+            return Err(IoError::Format(format!(
+                "column {j} indices are not strictly increasing within 0..{n}"
+            )));
+        }
+        let mut values = Vec::with_capacity(nnz.min(PREALLOC_CAP));
+        for _ in 0..nnz {
+            let v = input.take_f64()?;
+            if !v.is_finite() {
+                return Err(IoError::Format(format!("non-finite value in column {j}")));
+            }
+            values.push(v);
+        }
+        columns.push(SparseVec::from_sorted(n, indices, values));
+    }
+    let labels = match input.take_u8()? {
+        0 => None,
+        1 => {
+            let mut labels = Vec::with_capacity(n.min(PREALLOC_CAP));
+            for _ in 0..n {
+                labels.push(input.take_u64()?);
+            }
+            Some(labels)
+        }
+        other => {
+            return Err(IoError::Format(format!("invalid labels flag {other}")));
+        }
+    };
+    let computed = input.crc.finish();
+    let mut trailer = [0u8; 4];
+    input
+        .inner
+        .read_exact(&mut trailer)
+        .map_err(|_| IoError::Format("truncated snapshot (no checksum)".into()))?;
+    let expected = u32::from_le_bytes(trailer);
+    if computed != expected {
+        return Err(IoError::Format(format!(
+            "snapshot checksum mismatch: computed {computed:#010x}, stored {expected:#010x}"
+        )));
+    }
+    let inverse = SparseApproximateInverse::from_parts(columns, inv_stats, epsilon)?;
+    let estimator = EffectiveResistanceEstimator::from_parts(inverse, permutation, stats)?;
+    Ok(Snapshot { estimator, labels })
+}
+
+/// Writes a snapshot to a file (buffered).
+///
+/// # Errors
+///
+/// See [`write_snapshot`].
+pub fn save_snapshot(
+    path: impl AsRef<Path>,
+    estimator: &EffectiveResistanceEstimator,
+    labels: Option<&[u64]>,
+) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    write_snapshot(&mut writer, estimator, labels)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Loads a snapshot from a file (buffered).
+///
+/// # Errors
+///
+/// See [`read_snapshot`].
+pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Snapshot, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_snapshot(&mut BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use effres::EffresConfig;
+    use effres_graph::generators;
+
+    fn sample_estimator() -> EffectiveResistanceEstimator {
+        let graph = generators::grid_2d(12, 12, 0.5, 2.0, 9).expect("generator");
+        EffectiveResistanceEstimator::build(&graph, &EffresConfig::default()).expect("build")
+    }
+
+    #[test]
+    fn round_trip_preserves_queries_stats_and_labels() {
+        let estimator = sample_estimator();
+        let labels: Vec<u64> = (0..estimator.node_count() as u64)
+            .map(|i| i * 7 + 3)
+            .collect();
+        let mut bytes = Vec::new();
+        write_snapshot(&mut bytes, &estimator, Some(&labels)).expect("write");
+        let snapshot = read_snapshot(&mut bytes.as_slice()).expect("read");
+        assert_eq!(snapshot.labels.as_deref(), Some(labels.as_slice()));
+        assert_eq!(snapshot.estimator.stats(), estimator.stats());
+        for &(p, q) in &[(0, 143), (10, 77), (64, 65), (3, 3)] {
+            let a = estimator.query(p, q).expect("query");
+            let b = snapshot.estimator.query(p, q).expect("query");
+            assert_eq!(a, b, "({p},{q})");
+        }
+    }
+
+    #[test]
+    fn no_labels_flag_round_trips() {
+        let estimator = sample_estimator();
+        let mut bytes = Vec::new();
+        write_snapshot(&mut bytes, &estimator, None).expect("write");
+        let snapshot = read_snapshot(&mut bytes.as_slice()).expect("read");
+        assert!(snapshot.labels.is_none());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let estimator = sample_estimator();
+        let mut bytes = Vec::new();
+        write_snapshot(&mut bytes, &estimator, None).expect("write");
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            read_snapshot(&mut bad.as_slice()),
+            Err(IoError::Format(_))
+        ));
+
+        // Bad version.
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            read_snapshot(&mut bad.as_slice()),
+            Err(IoError::Format(_))
+        ));
+
+        // Flipped payload byte → checksum mismatch (or a structural error if
+        // the flip lands on a count).
+        let mut bad = bytes.clone();
+        let mid = bytes.len() / 2;
+        bad[mid] ^= 0x01;
+        assert!(read_snapshot(&mut bad.as_slice()).is_err());
+
+        // Truncation.
+        let cut = &bytes[..bytes.len() - 7];
+        assert!(read_snapshot(&mut &cut[..]).is_err());
+    }
+
+    #[test]
+    fn hostile_header_errors_instead_of_allocating() {
+        // A tiny snapshot whose header claims u32::MAX nodes must fail with a
+        // clean format error (truncated payload), not abort the process
+        // trying to preallocate gigabytes.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"EFRSNAP\n");
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&(u32::MAX as u64).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]); // a few payload bytes, then EOF
+        assert!(matches!(
+            read_snapshot(&mut bytes.as_slice()),
+            Err(IoError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_label_length_rejected_at_write_time() {
+        let estimator = sample_estimator();
+        let labels = vec![1u64; 3];
+        let mut bytes = Vec::new();
+        assert!(matches!(
+            write_snapshot(&mut bytes, &estimator, Some(&labels)),
+            Err(IoError::Format(_))
+        ));
+    }
+}

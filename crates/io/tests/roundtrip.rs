@@ -1,0 +1,126 @@
+//! Property tests of the persistence layer: writing any graph and reading it
+//! back must reproduce it exactly, through every format — edge lists, Matrix
+//! Market, the gzip wrapper and binary snapshots.
+
+use effres::{EffectiveResistanceEstimator, EffresConfig};
+use effres_graph::Graph;
+use effres_io::dataset::IngestOptions;
+use effres_io::{edge_list, gzip, matrix_market, pairs, snapshot};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Strategy: a connected weighted graph with `2..=60` nodes and weights that
+/// print/parse exactly (dyadic rationals survive the decimal round trip).
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (2usize..60, any::<u64>()).prop_map(|(n, seed)| {
+        let mut graph = Graph::new(n);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let weight = |next: &mut dyn FnMut() -> u64| 0.25 + (next() % 64) as f64 * 0.125;
+        for i in 1..n {
+            let j = (next() as usize) % i;
+            let w = weight(&mut next);
+            graph.add_edge(i, j, w).expect("valid edge");
+        }
+        for _ in 0..n / 2 {
+            let a = (next() as usize) % n;
+            let b = (next() as usize) % n;
+            if a != b {
+                let w = weight(&mut next);
+                graph.add_edge(a, b, w).expect("valid edge");
+            }
+        }
+        // The readers merge duplicates, so compare against the merged form.
+        graph.coalesced()
+    })
+}
+
+fn keep_everything() -> IngestOptions {
+    IngestOptions {
+        keep_largest_component: false,
+        ..IngestOptions::default()
+    }
+}
+
+/// A graph as a sorted list of `(u, v, w)` triples under original node ids —
+/// the representation that is invariant under the reader's dense renumbering
+/// (`labels` maps dense ids back to the file's ids).
+fn canonical(graph: &Graph, labels: Option<&[u64]>) -> Vec<(u64, u64, f64)> {
+    let mut edges: Vec<(u64, u64, f64)> = graph
+        .edges()
+        .map(|(_, e)| {
+            let (a, b) = match labels {
+                Some(labels) => (labels[e.u], labels[e.v]),
+                None => (e.u as u64, e.v as u64),
+            };
+            (a.min(b), a.max(b), e.weight)
+        })
+        .collect();
+    edges.sort_by(|x, y| x.partial_cmp(y).expect("finite weights"));
+    edges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn edge_list_write_read_is_identity(graph in connected_graph()) {
+        let mut bytes = Vec::new();
+        edge_list::write_edge_list(&mut bytes, &graph, None).expect("write");
+        let ds = edge_list::read_edge_list(Cursor::new(bytes), &keep_everything()).expect("read");
+        prop_assert_eq!(ds.graph.node_count(), graph.node_count());
+        prop_assert_eq!(canonical(&ds.graph, Some(&ds.labels)), canonical(&graph, None));
+    }
+
+    #[test]
+    fn matrix_market_write_read_is_identity(graph in connected_graph()) {
+        let mut bytes = Vec::new();
+        matrix_market::write_matrix_market(&mut bytes, &graph).expect("write");
+        let ds = matrix_market::read_matrix_market(Cursor::new(bytes), &keep_everything())
+            .expect("read");
+        prop_assert_eq!(&ds.graph, &graph);
+    }
+
+    #[test]
+    fn gzipped_edge_list_round_trips(graph in connected_graph()) {
+        let mut bytes = Vec::new();
+        edge_list::write_edge_list(&mut bytes, &graph, None).expect("write");
+        let gz = gzip::gzip_stored(&bytes);
+        let decoded = gzip::gunzip(&gz).expect("gunzip");
+        prop_assert_eq!(&decoded, &bytes);
+        let ds = edge_list::read_edge_list(Cursor::new(decoded), &keep_everything()).expect("read");
+        prop_assert_eq!(canonical(&ds.graph, Some(&ds.labels)), canonical(&graph, None));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_every_query(graph in connected_graph()) {
+        let estimator = EffectiveResistanceEstimator::build(&graph, &EffresConfig::default())
+            .expect("build");
+        let mut bytes = Vec::new();
+        snapshot::write_snapshot(&mut bytes, &estimator, None).expect("write");
+        let restored = snapshot::read_snapshot(&mut bytes.as_slice()).expect("read");
+        let n = graph.node_count();
+        for p in 0..n.min(8) {
+            let q = n - 1 - p.min(n - 1);
+            let a = estimator.query(p, q).expect("query");
+            let b = restored.estimator.query(p, q).expect("query");
+            prop_assert_eq!(a, b, "({}, {})", p, q);
+        }
+        prop_assert_eq!(restored.estimator.stats(), estimator.stats());
+    }
+
+    #[test]
+    fn pair_files_round_trip(graph in connected_graph()) {
+        let n = graph.node_count() as u64;
+        let pair_list: Vec<(u64, u64)> = (0..n).map(|i| (i, (i * 7 + 1) % n)).collect();
+        let mut bytes = Vec::new();
+        pairs::write_pairs(&mut bytes, &pair_list).expect("write");
+        let back = pairs::read_pairs(Cursor::new(bytes)).expect("read");
+        prop_assert_eq!(back, pair_list);
+    }
+}

@@ -244,9 +244,7 @@ pub fn transient_solve_stamped(
             c_over_h.push(i, i, c / h);
         }
     }
-    let lhs = system
-        .matrix
-        .add_scaled(1.0, &c_over_h.to_csc(), 1.0)?;
+    let lhs = system.matrix.add_scaled(1.0, &c_over_h.to_csc(), 1.0)?;
     let factor = factor_spd(&lhs)?;
 
     // Quiescent initial condition: loads off.

@@ -51,7 +51,10 @@ impl fmt::Display for PowerGridError {
             PowerGridError::Graph(e) => write!(f, "graph error: {e}"),
             PowerGridError::Effres(e) => write!(f, "effective resistance error: {e}"),
             PowerGridError::NodeOutOfBounds { node, node_count } => {
-                write!(f, "node {node} out of bounds for a grid with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of bounds for a grid with {node_count} nodes"
+                )
             }
             PowerGridError::InvalidElement { element, message } => {
                 write!(f, "invalid element {element}: {message}")

@@ -178,7 +178,7 @@ mod tests {
     fn small_grid_is_well_formed_and_solvable() {
         let grid = synthetic_grid(&SyntheticGridOptions::small()).expect("valid");
         assert!(grid.node_count() > 144);
-        assert!(grid.pads().len() >= 1);
+        assert!(!grid.pads().is_empty());
         assert!(grid.loads().len() > 10);
         let sol = dc_solve(&grid).expect("solvable");
         let supply = grid.supply_voltage();

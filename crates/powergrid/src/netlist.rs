@@ -283,8 +283,10 @@ mod tests {
     fn tiny_grid() -> PowerGrid {
         // 0 --R-- 1 --R-- 2 ; pad at 0, load at 2.
         let mut g = PowerGrid::new(3);
-        g.add_resistor(Terminal::Node(0), Terminal::Node(1), 10.0).expect("ok");
-        g.add_resistor(Terminal::Node(1), Terminal::Node(2), 10.0).expect("ok");
+        g.add_resistor(Terminal::Node(0), Terminal::Node(1), 10.0)
+            .expect("ok");
+        g.add_resistor(Terminal::Node(1), Terminal::Node(2), 10.0)
+            .expect("ok");
         g.add_pad(0, 1.8, 100.0).expect("ok");
         g.add_load(2, 0.01).expect("ok");
         g.add_capacitor(2, 1e-12).expect("ok");

@@ -312,7 +312,8 @@ pub(crate) fn reduce_block(
     let block_matrix = t.to_csc();
 
     let schur_start = Instant::now();
-    let (reduced_matrix, kept_local): (effres_sparse::CscMatrix, Vec<usize>) = if interior.is_empty()
+    let (reduced_matrix, kept_local): (effres_sparse::CscMatrix, Vec<usize>) = if interior
+        .is_empty()
     {
         (block_matrix.clone(), (0..members.len()).collect())
     } else {
@@ -613,7 +614,10 @@ mod tests {
     }
 
     fn dc_voltages_of_reduced(reduced: &ReducedGrid) -> Vec<f64> {
-        dc_solve(&reduced.grid).expect("solvable").voltages().to_vec()
+        dc_solve(&reduced.grid)
+            .expect("solvable")
+            .voltages()
+            .to_vec()
     }
 
     #[test]
@@ -707,7 +711,10 @@ mod tests {
         let original = dc_solve(&grid).expect("solvable");
         let reduced_v = dc_voltages_of_reduced(&reduced);
         let (err, _rel) = compare_port_voltages(&grid, original.voltages(), &reduced, &reduced_v);
-        assert!(err < 1e-6, "pure Schur reduction should be exact, err {err}");
+        assert!(
+            err < 1e-6,
+            "pure Schur reduction should be exact, err {err}"
+        );
     }
 
     #[test]
@@ -741,7 +748,10 @@ mod tests {
         let original = dc_solve(&grid).expect("solvable");
         let reduced_v = dc_voltages_of_reduced(&reduced);
         let (err, _) = compare_port_voltages(&grid, original.voltages(), &reduced, &reduced_v);
-        assert!(err < 1e-9, "tiny circuit should be reduced exactly, err {err}");
+        assert!(
+            err < 1e-9,
+            "tiny circuit should be reduced exactly, err {err}"
+        );
     }
 
     #[test]

@@ -166,7 +166,11 @@ impl SchurReduction {
     ///
     /// Panics if the slice lengths are inconsistent.
     pub fn recover_eliminated(&self, kept_solution: &[f64], rhs: &[f64]) -> Vec<(usize, f64)> {
-        assert_eq!(kept_solution.len(), self.kept.len(), "solution length mismatch");
+        assert_eq!(
+            kept_solution.len(),
+            self.kept.len(),
+            "solution length mismatch"
+        );
         assert_eq!(
             rhs.len(),
             self.kept.len() + self.eliminated.len(),
@@ -182,11 +186,7 @@ impl SchurReduction {
             }
         }
         let v_e = self.interior_factor.solve(&b_e);
-        self.eliminated
-            .iter()
-            .copied()
-            .zip(v_e)
-            .collect()
+        self.eliminated.iter().copied().zip(v_e).collect()
     }
 }
 

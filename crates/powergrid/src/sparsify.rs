@@ -67,7 +67,7 @@ pub fn merge_by_effective_resistance(
     );
     let n = graph.node_count();
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -108,9 +108,7 @@ pub fn apply_merge(graph: &Graph, merge: &NodeMerge) -> (Graph, Vec<usize>) {
     for (new, &old) in survivors.iter().enumerate() {
         dense_id[old] = new;
     }
-    let map: Vec<usize> = (0..n)
-        .map(|v| dense_id[merge.representative(v)])
-        .collect();
+    let map: Vec<usize> = (0..n).map(|v| dense_id[merge.representative(v)]).collect();
     let mut contracted = Graph::new(survivors.len());
     for (_, e) in graph.edges() {
         let u = map[e.u];
@@ -258,8 +256,7 @@ pub fn sparsify_by_effective_resistance(
                 Err(i) => i.min(light_ids.len() - 1),
             };
             let id = light_ids[pos];
-            sampled_weight[id] +=
-                graph.edge(id).weight / (draws as f64 * probabilities[pos]);
+            sampled_weight[id] += graph.edge(id).weight / (draws as f64 * probabilities[pos]);
         }
     }
 
@@ -357,8 +354,8 @@ mod tests {
     fn small_graphs_are_returned_unchanged() {
         let g = Graph::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0)]).expect("valid");
         let er = vec![1.0, 1.0];
-        let s = sparsify_by_effective_resistance(&g, &er, &SparsifyOptions::default())
-            .expect("valid");
+        let s =
+            sparsify_by_effective_resistance(&g, &er, &SparsifyOptions::default()).expect("valid");
         assert_eq!(s.edge_count(), 2);
     }
 

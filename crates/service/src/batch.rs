@@ -1,0 +1,88 @@
+//! Batched query workloads.
+
+use effres_graph::Graph;
+
+/// A batch of `(p, q)` effective-resistance queries in the estimator's dense
+/// node space.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryBatch {
+    pairs: Vec<(usize, usize)>,
+}
+
+impl QueryBatch {
+    /// A batch over explicit pairs.
+    pub fn from_pairs(pairs: Vec<(usize, usize)>) -> Self {
+        QueryBatch { pairs }
+    }
+
+    /// The `Q_r = E` workload of the paper's Table I: every edge of `graph`.
+    pub fn all_edges(graph: &Graph) -> Self {
+        QueryBatch {
+            pairs: graph.edges().map(|(_, e)| (e.u, e.v)).collect(),
+        }
+    }
+
+    /// `count` pseudo-random pairs over `0..node_count`, deterministic in
+    /// `seed` (SplitMix64). Pairs with `p == q` are allowed — they cost the
+    /// engine nothing and real traffic contains them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count` is zero and `count` is not.
+    pub fn random(count: usize, node_count: usize, seed: u64) -> Self {
+        assert!(
+            node_count > 0 || count == 0,
+            "cannot draw pairs from an empty node set"
+        );
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let draw = |bits: u64| ((bits as u128 * node_count as u128) >> 64) as usize;
+        let pairs = (0..count).map(|_| (draw(next()), draw(next()))).collect();
+        QueryBatch { pairs }
+    }
+
+    /// The queries of the batch.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic_and_in_bounds() {
+        let a = QueryBatch::random(1000, 37, 7);
+        let b = QueryBatch::random(1000, 37, 7);
+        assert_eq!(a, b);
+        assert!(a.pairs().iter().all(|&(p, q)| p < 37 && q < 37));
+        let c = QueryBatch::random(1000, 37, 8);
+        assert_ne!(a, c);
+        assert_eq!(QueryBatch::random(0, 0, 1).len(), 0);
+    }
+
+    #[test]
+    fn all_edges_matches_graph() {
+        let g = Graph::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).expect("valid");
+        let batch = QueryBatch::all_edges(&g);
+        assert_eq!(batch.pairs(), &[(0, 1), (1, 2), (2, 3)]);
+        assert!(!batch.is_empty());
+    }
+}

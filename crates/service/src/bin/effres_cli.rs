@@ -1,0 +1,511 @@
+//! `effres-cli` — the full pipeline from the shell.
+//!
+//! ```text
+//! effres-cli load  <dataset>                      ingest + report
+//! effres-cli build <dataset> [-o out.snap]        ingest + factor + snapshot
+//! effres-cli query <dataset|snapshot> <p> <q>     one resistance
+//! effres-cli batch <dataset|snapshot> --random N  thousands of queries
+//! effres-cli batch <dataset|snapshot> --pairs f   ... from a pair file
+//! effres-cli stats <dataset|snapshot>             what's inside
+//! ```
+//!
+//! `<dataset>` is a SNAP-style edge list or a Matrix Market `.mtx` file,
+//! optionally gzipped; a snapshot is the binary format written by `build
+//! --output`. Node ids on the command line and in pair files are the
+//! *original dataset ids*; the CLI maps them onto the dense node space the
+//! estimator uses internally.
+
+use effres::{EffectiveResistanceEstimator, EffresConfig, Ordering};
+use effres_graph::builder::MergePolicy;
+use effres_io::dataset::{load_graph, IngestOptions};
+use effres_io::snapshot::{load_snapshot, save_snapshot, Snapshot};
+use effres_io::{pairs, IoError};
+use effres_service::{EngineOptions, QueryBatch, QueryEngine};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+const USAGE: &str = "effres-cli — effective-resistance queries on graph datasets
+
+USAGE:
+    effres-cli load  <dataset> [ingest options]
+    effres-cli build <dataset> [ingest|build options] [--output <snapshot>]
+    effres-cli query <dataset|snapshot> <p> <q> [ingest|build options]
+    effres-cli batch <dataset|snapshot> (--pairs <file> | --random <count>)
+                     [--threads N] [--cache N] [--seed S] [--output <file>]
+                     [ingest|build options]
+    effres-cli stats <dataset|snapshot>
+
+INGEST OPTIONS (dataset inputs):
+    --keep-all-components   keep every component (default: largest only)
+    --merge <first|sum|max> duplicate-edge policy        [default: first]
+    --default-weight <w>    weight of unweighted records [default: 1]
+
+BUILD OPTIONS (dataset inputs):
+    --epsilon <e>           pruning threshold of Alg. 2  [default: 1e-3]
+    --drop-tolerance <t>    incomplete Cholesky drop tol [default: 1e-3]
+    --ordering <o>          natural | rcm | amd          [default: amd]
+    --ground <g>            ground conductance           [default: 1e-6]
+
+BATCH OPTIONS:
+    --pairs <file>          pair file: one `p q` per line, # comments
+    --random <count>        generate <count> random pairs instead
+    --seed <s>              seed for --random            [default: 42]
+    --threads <n>           worker threads (0 = all cores)
+    --cache <n>             result-cache entries (0 disables)
+    --output <file>         write `p q resistance` lines here
+
+Node ids are the dataset's original ids (SNAP ids, 1-based .mtx indices).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}\n");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Run(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum CliError {
+    /// Bad command line: print usage.
+    Usage(String),
+    /// Valid command line, failed while running.
+    Run(String),
+}
+
+impl From<IoError> for CliError {
+    fn from(e: IoError) -> Self {
+        CliError::Run(e.to_string())
+    }
+}
+
+impl From<effres::EffresError> for CliError {
+    fn from(e: effres::EffresError) -> Self {
+        CliError::Run(e.to_string())
+    }
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage("missing subcommand".into()));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "load" => cmd_load(rest),
+        "build" => cmd_build(rest),
+        "query" => cmd_query(rest),
+        "batch" => cmd_batch(rest),
+        "stats" => cmd_stats(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+/// Everything the flag parser can produce.
+struct Options {
+    input: Option<PathBuf>,
+    positional: Vec<String>,
+    ingest: IngestOptions,
+    config: EffresConfig,
+    output: Option<PathBuf>,
+    pairs_file: Option<PathBuf>,
+    random: Option<usize>,
+    seed: u64,
+    threads: usize,
+    cache: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            input: None,
+            positional: Vec::new(),
+            ingest: IngestOptions::default(),
+            config: EffresConfig::default().with_ordering(Ordering::MinimumDegree),
+            output: None,
+            pairs_file: None,
+            random: None,
+            seed: 42,
+            threads: 0,
+            cache: EngineOptions::default().cache_capacity,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut options = Options::default();
+    let mut iter = args.iter();
+    let value_of = |flag: &str, iter: &mut std::slice::Iter<'_, String>| {
+        iter.next()
+            .cloned()
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--keep-all-components" => options.ingest.keep_largest_component = false,
+            "--merge" => {
+                options.ingest.merge = match value_of("--merge", &mut iter)?.as_str() {
+                    "first" => MergePolicy::KeepFirst,
+                    "sum" => MergePolicy::Sum,
+                    "max" => MergePolicy::Max,
+                    other => {
+                        return Err(CliError::Usage(format!("unknown merge policy `{other}`")))
+                    }
+                }
+            }
+            "--default-weight" => {
+                options.ingest.default_weight = parse_number(
+                    &value_of("--default-weight", &mut iter)?,
+                    "--default-weight",
+                )?
+            }
+            "--epsilon" => {
+                let e: f64 = parse_number(&value_of("--epsilon", &mut iter)?, "--epsilon")?;
+                options.config = options.config.with_epsilon(e);
+            }
+            "--drop-tolerance" => {
+                let t: f64 = parse_number(
+                    &value_of("--drop-tolerance", &mut iter)?,
+                    "--drop-tolerance",
+                )?;
+                options.config = options.config.with_drop_tolerance(t);
+            }
+            "--ground" => {
+                let g: f64 = parse_number(&value_of("--ground", &mut iter)?, "--ground")?;
+                options.config = options.config.with_ground_conductance(g);
+            }
+            "--ordering" => {
+                let ordering = match value_of("--ordering", &mut iter)?.as_str() {
+                    "natural" => Ordering::Natural,
+                    "rcm" => Ordering::Rcm,
+                    "amd" => Ordering::MinimumDegree,
+                    other => return Err(CliError::Usage(format!("unknown ordering `{other}`"))),
+                };
+                options.config = options.config.with_ordering(ordering);
+            }
+            "--output" | "-o" => options.output = Some(value_of("--output", &mut iter)?.into()),
+            "--pairs" => options.pairs_file = Some(value_of("--pairs", &mut iter)?.into()),
+            "--random" => {
+                options.random = Some(parse_number(&value_of("--random", &mut iter)?, "--random")?)
+            }
+            "--seed" => options.seed = parse_number(&value_of("--seed", &mut iter)?, "--seed")?,
+            "--threads" => {
+                options.threads = parse_number(&value_of("--threads", &mut iter)?, "--threads")?
+            }
+            "--cache" => options.cache = parse_number(&value_of("--cache", &mut iter)?, "--cache")?,
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag `{flag}`")))
+            }
+            positional => {
+                if options.input.is_none() {
+                    options.input = Some(positional.into());
+                } else {
+                    options.positional.push(positional.to_string());
+                }
+            }
+        }
+    }
+    Ok(options)
+}
+
+fn parse_number<T: std::str::FromStr>(token: &str, flag: &str) -> Result<T, CliError> {
+    token
+        .parse()
+        .map_err(|_| CliError::Usage(format!("invalid value `{token}` for {flag}")))
+}
+
+fn require_input(options: &Options) -> Result<&Path, CliError> {
+    options
+        .input
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("missing input file".into()))
+}
+
+fn is_snapshot(path: &Path) -> bool {
+    std::fs::File::open(path)
+        .and_then(|mut f| {
+            use std::io::Read;
+            let mut magic = [0u8; 8];
+            f.read_exact(&mut magic)?;
+            Ok(&magic == b"EFRSNAP\n")
+        })
+        .unwrap_or(false)
+}
+
+/// Loads the input as either a snapshot or a dataset-plus-build, reporting
+/// the timings either way.
+fn obtain_snapshot(path: &Path, options: &Options) -> Result<Snapshot, CliError> {
+    if is_snapshot(path) {
+        let start = Instant::now();
+        let snapshot = load_snapshot(path)?;
+        println!(
+            "loaded snapshot {} ({} nodes) in {:.3}s",
+            path.display(),
+            snapshot.estimator.node_count(),
+            start.elapsed().as_secs_f64()
+        );
+        return Ok(snapshot);
+    }
+    let start = Instant::now();
+    let ds = load_graph(path, &options.ingest)?;
+    println!(
+        "ingested {} ({} nodes, {} edges kept) in {:.3}s",
+        path.display(),
+        ds.graph.node_count(),
+        ds.graph.edge_count(),
+        start.elapsed().as_secs_f64()
+    );
+    let start = Instant::now();
+    let estimator = EffectiveResistanceEstimator::build(&ds.graph, &options.config)?;
+    println!(
+        "built estimator (factor nnz {}, inverse nnz {}) in {:.3}s",
+        estimator.stats().factor_nnz,
+        estimator.stats().inverse_nnz,
+        start.elapsed().as_secs_f64()
+    );
+    Ok(Snapshot {
+        estimator,
+        labels: Some(ds.labels),
+    })
+}
+
+/// Maps an original dataset id to the dense node space.
+fn resolve_node(label: u64, labels: &Option<Vec<u64>>, map: &HashMap<u64, usize>) -> Option<usize> {
+    match labels {
+        Some(_) => map.get(&label).copied(),
+        None => Some(label as usize),
+    }
+}
+
+fn label_map(labels: &Option<Vec<u64>>) -> HashMap<u64, usize> {
+    labels
+        .as_ref()
+        .map(|labels| {
+            labels
+                .iter()
+                .enumerate()
+                .map(|(dense, &label)| (label, dense))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn cmd_load(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    let path = require_input(&options)?;
+    let start = Instant::now();
+    let ds = load_graph(path, &options.ingest)?;
+    let elapsed = start.elapsed();
+    let s = ds.stats;
+    println!("dataset    {}", path.display());
+    println!("lines      {} ({} comments/blank)", s.lines, s.comments);
+    println!(
+        "parsed     {} nodes, {} edges",
+        s.parsed_nodes, s.parsed_edges
+    );
+    println!(
+        "cleaned    {} self-loops, {} duplicates, {} explicit zeros",
+        s.self_loops, s.duplicates, s.zeros
+    );
+    println!("components {}", s.components);
+    println!(
+        "kept       {} nodes, {} edges{}",
+        s.kept_nodes,
+        s.kept_edges,
+        if options.ingest.keep_largest_component && s.components > 1 {
+            " (largest component)"
+        } else {
+            ""
+        }
+    );
+    println!("ingest     {:.3}s", elapsed.as_secs_f64());
+    Ok(())
+}
+
+fn cmd_build(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    let path = require_input(&options)?;
+    if is_snapshot(path) {
+        return Err(CliError::Run(format!(
+            "{} is already a snapshot",
+            path.display()
+        )));
+    }
+    let snapshot = obtain_snapshot(path, &options)?;
+    print_estimator_stats(&snapshot.estimator);
+    if let Some(output) = &options.output {
+        let start = Instant::now();
+        save_snapshot(output, &snapshot.estimator, snapshot.labels.as_deref())?;
+        let bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "snapshot   {} ({:.1} MiB) in {:.3}s",
+            output.display(),
+            bytes as f64 / (1024.0 * 1024.0),
+            start.elapsed().as_secs_f64()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    let path = require_input(&options)?;
+    let [p, q] = options.positional.as_slice() else {
+        return Err(CliError::Usage(
+            "query needs exactly `<input> <p> <q>`".into(),
+        ));
+    };
+    let p: u64 = parse_number(p, "<p>")?;
+    let q: u64 = parse_number(q, "<q>")?;
+    let snapshot = obtain_snapshot(path, &options)?;
+    let map = label_map(&snapshot.labels);
+    let dense_p = resolve_node(p, &snapshot.labels, &map)
+        .ok_or_else(|| CliError::Run(format!("node id {p} not in the dataset")))?;
+    let dense_q = resolve_node(q, &snapshot.labels, &map)
+        .ok_or_else(|| CliError::Run(format!("node id {q} not in the dataset")))?;
+    let start = Instant::now();
+    let r = snapshot.estimator.query(dense_p, dense_q)?;
+    println!(
+        "R({p}, {q}) = {r:.9}   ({:.1} µs)",
+        start.elapsed().as_secs_f64() * 1e6
+    );
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    let path = require_input(&options)?;
+    // Validate the batch source before the (potentially expensive) load.
+    enum Source<'a> {
+        Pairs(&'a PathBuf),
+        Random(usize),
+    }
+    let source = match (&options.pairs_file, options.random) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--pairs and --random are mutually exclusive".into(),
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "batch needs --pairs <file> or --random <count>".into(),
+            ))
+        }
+        (Some(file), None) => Source::Pairs(file),
+        (None, Some(count)) => Source::Random(count),
+    };
+    let snapshot = obtain_snapshot(path, &options)?;
+    let map = label_map(&snapshot.labels);
+    let labels = snapshot.labels.clone();
+    let node_count = snapshot.estimator.node_count();
+
+    let batch = match source {
+        Source::Pairs(file) => {
+            let reader = effres_io::dataset::open_text(file)?;
+            let raw = pairs::read_pairs(reader)?;
+            let mut dense = Vec::with_capacity(raw.len());
+            for &(p, q) in &raw {
+                let dp = resolve_node(p, &labels, &map)
+                    .ok_or_else(|| CliError::Run(format!("node id {p} not in the dataset")))?;
+                let dq = resolve_node(q, &labels, &map)
+                    .ok_or_else(|| CliError::Run(format!("node id {q} not in the dataset")))?;
+                dense.push((dp, dq));
+            }
+            QueryBatch::from_pairs(dense)
+        }
+        Source::Random(count) => QueryBatch::random(count, node_count, options.seed),
+    };
+
+    let engine = QueryEngine::new(
+        Arc::new(snapshot.estimator),
+        EngineOptions {
+            threads: options.threads,
+            cache_capacity: options.cache,
+            ..EngineOptions::default()
+        },
+    );
+    let result = engine.execute(&batch)?;
+    println!(
+        "batch      {} queries in {:.3}s on {} thread(s) — {:.0} queries/s",
+        batch.len(),
+        result.elapsed.as_secs_f64(),
+        result.threads,
+        result.throughput()
+    );
+    println!(
+        "cache      {} hits, {} misses",
+        result.cache_hits, result.cache_misses
+    );
+    let mean = if result.values.is_empty() {
+        0.0
+    } else {
+        result.values.iter().sum::<f64>() / result.values.len() as f64
+    };
+    println!("mean R     {mean:.6}");
+
+    if let Some(output) = &options.output {
+        let file = std::fs::File::create(output).map_err(IoError::Io)?;
+        let mut writer = std::io::BufWriter::new(file);
+        use std::io::Write;
+        let original = |dense: usize| -> u64 {
+            match &labels {
+                Some(labels) => labels[dense],
+                None => dense as u64,
+            }
+        };
+        for (&(p, q), &r) in batch.pairs().iter().zip(&result.values) {
+            writeln!(writer, "{} {} {r}", original(p), original(q)).map_err(IoError::Io)?;
+        }
+        writer.flush().map_err(IoError::Io)?;
+        println!("results    {}", output.display());
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    let path = require_input(&options)?;
+    if is_snapshot(path) {
+        let snapshot = load_snapshot(path)?;
+        println!("snapshot   {}", path.display());
+        print_estimator_stats(&snapshot.estimator);
+        println!(
+            "labels     {}",
+            if snapshot.labels.is_some() {
+                "yes"
+            } else {
+                "no"
+            }
+        );
+        Ok(())
+    } else {
+        cmd_load(args)
+    }
+}
+
+fn print_estimator_stats(estimator: &EffectiveResistanceEstimator) {
+    let s = estimator.stats();
+    println!("nodes      {}", s.node_count);
+    println!(
+        "factor     {} nnz ({} dropped)",
+        s.factor_nnz, s.ichol_dropped
+    );
+    println!(
+        "inverse    {} nnz ({} pruned), nnz/(n·log2 n) = {:.3}",
+        s.inverse_nnz, s.pruned_entries, s.inverse_nnz_ratio
+    );
+    println!("max depth  {}", s.max_depth);
+}

@@ -1,0 +1,259 @@
+//! A sharded LRU cache for effective-resistance pair results.
+//!
+//! Query traffic on real graphs is heavily skewed — a small set of popular
+//! node pairs dominates — so a bounded cache in front of the sparse kernel
+//! pays for itself quickly. The cache is split into shards, each guarded by
+//! its own mutex, so parallel batch workers rarely contend on the same lock.
+//! Every shard is a classic intrusive-list LRU over a `Vec` slab (indices
+//! instead of pointers keeps the code entirely safe).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    value: f64,
+    prev: u32,
+    next: u32,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u64, u32>,
+    slab: Vec<Node>,
+    head: u32,
+    tail: u32,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, index: u32) {
+        let node = self.slab[index as usize];
+        match node.prev {
+            NIL => self.head = node.next,
+            prev => self.slab[prev as usize].next = node.next,
+        }
+        match node.next {
+            NIL => self.tail = node.prev,
+            next => self.slab[next as usize].prev = node.prev,
+        }
+    }
+
+    fn push_front(&mut self, index: u32) {
+        let old_head = self.head;
+        {
+            let node = &mut self.slab[index as usize];
+            node.prev = NIL;
+            node.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head as usize].prev = index;
+        }
+        self.head = index;
+        if self.tail == NIL {
+            self.tail = index;
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<f64> {
+        let index = *self.map.get(&key)?;
+        if self.head != index {
+            self.unlink(index);
+            self.push_front(index);
+        }
+        Some(self.slab[index as usize].value)
+    }
+
+    fn insert(&mut self, key: u64, value: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&index) = self.map.get(&key) {
+            self.slab[index as usize].value = value;
+            if self.head != index {
+                self.unlink(index);
+                self.push_front(index);
+            }
+            return;
+        }
+        let index = if self.map.len() >= self.capacity {
+            // Evict the least recently used entry and reuse its slot (the
+            // slab never shrinks, so eviction is the only source of reuse).
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim as usize].key);
+            victim
+        } else {
+            self.slab.push(Node {
+                key: 0,
+                value: 0.0,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.slab.len() - 1) as u32
+        };
+        {
+            let node = &mut self.slab[index as usize];
+            node.key = key;
+            node.value = value;
+        }
+        self.map.insert(key, index);
+        self.push_front(index);
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A thread-safe LRU cache split into independently locked shards.
+#[derive(Debug)]
+pub struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    mask: u64,
+}
+
+impl ShardedLru {
+    /// A cache holding about `capacity` entries across `shards` shards.
+    /// `shards` is rounded up to a power of two; each shard gets an equal
+    /// slice of the capacity (at least one entry).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shard_count = shards.max(1).next_power_of_two();
+        let per_shard = capacity.div_ceil(shard_count).max(1);
+        ShardedLru {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            mask: shard_count as u64 - 1,
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        // SplitMix64 finalizer spreads adjacent keys across shards.
+        let mut h = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    /// Looks a key up, marking it most recently used.
+    pub fn get(&self, key: u64) -> Option<f64> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+    }
+
+    /// Inserts (or refreshes) a key, evicting the shard's LRU entry if full.
+    pub fn insert(&self, key: u64, value: f64) {
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entry capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.len()
+            * self
+                .shards
+                .first()
+                .map(|s| s.lock().expect("cache shard poisoned").capacity)
+                .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_and_update() {
+        let cache = ShardedLru::new(64, 4);
+        assert!(cache.get(1).is_none());
+        cache.insert(1, 0.5);
+        cache.insert(2, 1.5);
+        assert_eq!(cache.get(1), Some(0.5));
+        assert_eq!(cache.get(2), Some(1.5));
+        cache.insert(1, 2.5);
+        assert_eq!(cache.get(1), Some(2.5));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn eviction_is_lru_within_a_shard() {
+        // One shard with capacity 2 makes the eviction order observable.
+        let cache = ShardedLru::new(2, 1);
+        cache.insert(1, 1.0);
+        cache.insert(2, 2.0);
+        assert_eq!(cache.get(1), Some(1.0)); // 1 is now most recent
+        cache.insert(3, 3.0); // evicts 2
+        assert_eq!(cache.get(2), None);
+        assert_eq!(cache.get(1), Some(1.0));
+        assert_eq!(cache.get(3), Some(3.0));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn heavy_churn_keeps_size_bounded() {
+        let cache = ShardedLru::new(128, 8);
+        for i in 0..10_000u64 {
+            cache.insert(i, i as f64);
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.capacity() >= 128);
+        // The most recent keys should still be present in their shards.
+        let recent_hits = (9_900..10_000u64)
+            .filter(|&i| cache.get(i).is_some())
+            .count();
+        assert!(recent_hits > 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = std::sync::Arc::new(ShardedLru::new(1024, 16));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..5_000u64 {
+                        let key = (i * 31 + t) % 2048;
+                        if let Some(v) = cache.get(key) {
+                            assert_eq!(v, key as f64);
+                        } else {
+                            cache.insert(key, key as f64);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= cache.capacity());
+    }
+}

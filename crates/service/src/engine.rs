@@ -1,0 +1,514 @@
+//! The parallel query engine.
+//!
+//! [`QueryEngine`] wraps a shared, immutable [`EffectiveResistanceEstimator`]
+//! behind an [`Arc`] and turns it into a service: batches run across scoped
+//! worker threads, each with its own scratch column buffer, in front of a
+//! sharded LRU cache of recent pair results and a precomputed table of
+//! `‖z̃_j‖²` column norms (so one query is a single sparse dot product).
+//!
+//! The estimator and every type it contains are plain owned data (`Vec`s of
+//! indices and floats — no interior mutability, no raw pointers), so sharing
+//! `&estimator` across worker threads is sound; the static assertions in the
+//! crate root pin the `Send + Sync` audit down at compile time.
+
+use crate::batch::QueryBatch;
+use crate::cache::ShardedLru;
+use effres::{EffectiveResistanceEstimator, EffresError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`QueryEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Worker threads for batch execution; `0` means one per available core.
+    pub threads: usize,
+    /// Total entries of the pair-result cache; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Number of cache shards (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Batches smaller than this run on the calling thread — spawning
+    /// workers costs more than it saves.
+    pub parallel_threshold: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            threads: 0,
+            cache_capacity: 1 << 16,
+            cache_shards: 16,
+            parallel_threshold: 1 << 10,
+        }
+    }
+}
+
+/// Cumulative service counters (monotonic across the engine's lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Queries answered (batch and single).
+    pub queries: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Queries answered out of the cache.
+    pub cache_hits: u64,
+    /// Queries that had to run the sparse kernel.
+    pub cache_misses: u64,
+    /// Entries currently cached.
+    pub cache_entries: usize,
+    /// Total cache capacity (0 when caching is disabled).
+    pub cache_capacity: usize,
+}
+
+/// Result of one batch execution.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Effective resistances, in the order of the batch's pairs.
+    pub values: Vec<f64>,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Worker threads used (1 for the sequential path).
+    pub threads: usize,
+    /// Cache hits within this batch.
+    pub cache_hits: u64,
+    /// Cache misses within this batch.
+    pub cache_misses: u64,
+}
+
+impl BatchResult {
+    /// Queries answered per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            return f64::INFINITY;
+        }
+        self.values.len() as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Per-thread scratch: one approximate-inverse column scattered into a dense
+/// buffer, so consecutive queries sharing an endpoint pay the scatter once
+/// and each dot product only walks the *other* column.
+struct ColumnScratch {
+    dense: Vec<f64>,
+    loaded: Option<usize>,
+}
+
+impl ColumnScratch {
+    fn new(n: usize) -> Self {
+        ColumnScratch {
+            dense: vec![0.0; n],
+            loaded: None,
+        }
+    }
+
+    /// Ensures column `j` (permuted domain) is scattered into the buffer.
+    fn load(&mut self, inverse: &effres::approx_inverse::SparseApproximateInverse, j: usize) {
+        if self.loaded == Some(j) {
+            return;
+        }
+        if let Some(prev) = self.loaded {
+            for &i in inverse.column(prev).indices() {
+                self.dense[i] = 0.0;
+            }
+        }
+        let column = inverse.column(j);
+        for (i, v) in column.iter() {
+            self.dense[i] = v;
+        }
+        self.loaded = Some(j);
+    }
+
+    /// Dot product of the loaded column with column `j`, restricted to the
+    /// suffix `bound..` (the columns' support intersection — see
+    /// `SparseApproximateInverse::column_dot`). No merge at all: one dense
+    /// lookup per surviving entry of column `j`.
+    fn suffix_dot(
+        &self,
+        inverse: &effres::approx_inverse::SparseApproximateInverse,
+        j: usize,
+        bound: usize,
+    ) -> f64 {
+        let column = inverse.column(j);
+        let (indices, values) = (column.indices(), column.values());
+        let start = indices.partition_point(|&row| row < bound);
+        indices[start..]
+            .iter()
+            .zip(&values[start..])
+            .map(|(&i, v)| self.dense[i] * v)
+            .sum()
+    }
+}
+
+/// A thread-safe, cache-fronted effective-resistance query service over a
+/// shared immutable estimator.
+#[derive(Debug)]
+pub struct QueryEngine {
+    estimator: Arc<EffectiveResistanceEstimator>,
+    /// `‖z̃_j‖²` per permuted column — the hot-path norm table.
+    norms: Vec<f64>,
+    cache: Option<ShardedLru>,
+    options: EngineOptions,
+    queries: AtomicU64,
+    batches: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl QueryEngine {
+    /// Builds an engine over a shared estimator.
+    pub fn new(estimator: Arc<EffectiveResistanceEstimator>, options: EngineOptions) -> Self {
+        let norms = estimator.column_norms_squared();
+        let cache = if options.cache_capacity > 0 {
+            Some(ShardedLru::new(
+                options.cache_capacity,
+                options.cache_shards,
+            ))
+        } else {
+            None
+        };
+        QueryEngine {
+            estimator,
+            norms,
+            cache,
+            options,
+            queries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Convenience constructor taking ownership of the estimator and using
+    /// default options.
+    pub fn from_estimator(estimator: EffectiveResistanceEstimator) -> Self {
+        QueryEngine::new(Arc::new(estimator), EngineOptions::default())
+    }
+
+    /// The shared estimator.
+    pub fn estimator(&self) -> &Arc<EffectiveResistanceEstimator> {
+        &self.estimator
+    }
+
+    /// Number of nodes served.
+    pub fn node_count(&self) -> usize {
+        self.estimator.node_count()
+    }
+
+    /// Cumulative service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_entries: self.cache.as_ref().map_or(0, ShardedLru::len),
+            cache_capacity: self.cache.as_ref().map_or(0, ShardedLru::capacity),
+        }
+    }
+
+    fn cache_key(p: usize, q: usize) -> u64 {
+        let (a, b) = if p < q { (p, q) } else { (q, p) };
+        ((a as u64) << 32) | b as u64
+    }
+
+    /// Answers one query through the cache and the norm table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::NodeOutOfBounds`] for invalid node indices.
+    pub fn query(&self, p: usize, q: usize) -> Result<f64, EffresError> {
+        let n = self.estimator.node_count();
+        if p >= n || q >= n {
+            return Err(EffresError::NodeOutOfBounds {
+                node: p.max(q),
+                node_count: n,
+            });
+        }
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if p == q {
+            return Ok(0.0);
+        }
+        let key = Self::cache_key(p, q);
+        if let Some(cache) = &self.cache {
+            if let Some(value) = cache.get(key) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(value);
+            }
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let value = self.estimator.query_with_norms(p, q, &self.norms)?;
+        if let Some(cache) = &self.cache {
+            cache.insert(key, value);
+        }
+        Ok(value)
+    }
+
+    /// Executes a batch, in parallel when it is large enough.
+    ///
+    /// Every pair is validated before any work starts; on error no query has
+    /// run. Results come back in the batch's original pair order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::NodeOutOfBounds`] naming the first invalid node.
+    pub fn execute(&self, batch: &QueryBatch) -> Result<BatchResult, EffresError> {
+        let n = self.estimator.node_count();
+        for &(p, q) in batch.pairs() {
+            if p >= n || q >= n {
+                return Err(EffresError::NodeOutOfBounds {
+                    node: p.max(q),
+                    node_count: n,
+                });
+            }
+        }
+        let threads = self.effective_threads(batch.len());
+        let start = Instant::now();
+        let (values, hits, misses) = if threads <= 1 {
+            self.run_slice(batch.pairs(), &mut ColumnScratch::new(n))
+        } else {
+            self.run_parallel(batch.pairs(), threads, n)
+        };
+        let elapsed = start.elapsed();
+        self.queries
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+        Ok(BatchResult {
+            values,
+            elapsed,
+            threads,
+            cache_hits: hits,
+            cache_misses: misses,
+        })
+    }
+
+    fn effective_threads(&self, batch_len: usize) -> usize {
+        if batch_len < self.options.parallel_threshold.max(2) {
+            return 1;
+        }
+        let hardware = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let configured = if self.options.threads == 0 {
+            hardware
+        } else {
+            self.options.threads
+        };
+        // No point in more threads than work chunks of a sensible size.
+        configured.min(batch_len.div_ceil(256)).max(1)
+    }
+
+    /// Answers `pairs` in order with the given scratch buffer; returns the
+    /// values and the (hits, misses) the slice generated. Bounds are already
+    /// validated.
+    fn run_slice(
+        &self,
+        pairs: &[(usize, usize)],
+        scratch: &mut ColumnScratch,
+    ) -> (Vec<f64>, u64, u64) {
+        let mut values = Vec::with_capacity(pairs.len());
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let inverse = self.estimator.approximate_inverse();
+        let permutation = self.estimator.permutation();
+        for (slot, &(p, q)) in pairs.iter().enumerate() {
+            if p == q {
+                values.push(0.0);
+                continue;
+            }
+            let key = Self::cache_key(p, q);
+            if let Some(cache) = &self.cache {
+                if let Some(value) = cache.get(key) {
+                    hits += 1;
+                    values.push(value);
+                    continue;
+                }
+            }
+            misses += 1;
+            let pp = permutation.new(p);
+            let qq = permutation.new(q);
+            let bound = pp.max(qq);
+            // Batches are sorted by first endpoint, so runs of queries
+            // sharing it are contiguous. For a run, scatter that endpoint's
+            // column once into the dense scratch and answer each query with
+            // suffix lookups; isolated queries use the two-pointer suffix
+            // merge directly (a scatter would cost more than it saves).
+            let anchor = p.min(q);
+            let shares_anchor = |other: &(usize, usize)| other.0.min(other.1) == anchor;
+            let run = scratch.loaded == Some(permutation.new(anchor))
+                || pairs.get(slot + 1).is_some_and(shares_anchor);
+            let dot = if run {
+                let aa = permutation.new(anchor);
+                scratch.load(inverse, aa);
+                let other = if aa == pp { qq } else { pp };
+                scratch.suffix_dot(inverse, other, bound)
+            } else {
+                inverse.column_dot(pp, qq)
+            };
+            let value = (self.norms[pp] + self.norms[qq] - 2.0 * dot).max(0.0);
+            if let Some(cache) = &self.cache {
+                cache.insert(key, value);
+            }
+            values.push(value);
+        }
+        (values, hits, misses)
+    }
+
+    fn run_parallel(
+        &self,
+        pairs: &[(usize, usize)],
+        threads: usize,
+        n: usize,
+    ) -> (Vec<f64>, u64, u64) {
+        // Sort query indices by normalized pair so queries sharing an
+        // endpoint land in the same chunk and reuse the scattered column.
+        let mut order: Vec<u32> = (0..pairs.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            let (p, q) = pairs[i as usize];
+            (p.min(q), p.max(q))
+        });
+        let sorted_pairs: Vec<(usize, usize)> = order.iter().map(|&i| pairs[i as usize]).collect();
+
+        let chunk_len = sorted_pairs.len().div_ceil(threads);
+        let mut sorted_values = vec![0.0f64; sorted_pairs.len()];
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(threads);
+            for chunk_pairs in sorted_pairs.chunks(chunk_len) {
+                workers.push(scope.spawn(move || {
+                    let mut scratch = ColumnScratch::new(n);
+                    self.run_slice(chunk_pairs, &mut scratch)
+                }));
+            }
+            for (worker, out_chunk) in workers.into_iter().zip(sorted_values.chunks_mut(chunk_len))
+            {
+                let (values, h, m) = worker.join().expect("query worker panicked");
+                out_chunk.copy_from_slice(&values);
+                hits += h;
+                misses += m;
+            }
+        });
+
+        let mut values = vec![0.0f64; pairs.len()];
+        for (slot, &original) in order.iter().enumerate() {
+            values[original as usize] = sorted_values[slot];
+        }
+        (values, hits, misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use effres::EffresConfig;
+    use effres_graph::generators;
+
+    fn engine_for(nodes: usize, options: EngineOptions) -> QueryEngine {
+        let side = (nodes as f64).sqrt() as usize;
+        let graph = generators::grid_2d(side, side, 0.5, 2.0, 5).expect("generator");
+        let estimator =
+            EffectiveResistanceEstimator::build(&graph, &EffresConfig::default()).expect("build");
+        QueryEngine::new(Arc::new(estimator), options)
+    }
+
+    #[test]
+    fn single_queries_match_estimator() {
+        let engine = engine_for(256, EngineOptions::default());
+        let estimator = Arc::clone(engine.estimator());
+        for &(p, q) in &[(0, 255), (3, 200), (17, 17), (100, 101)] {
+            let a = engine.query(p, q).expect("query");
+            let b = estimator.query(p, q).expect("query");
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "({p},{q}): {a} vs {b}"
+            );
+        }
+        assert!(engine.query(0, 9999).is_err());
+    }
+
+    #[test]
+    fn batch_results_match_sequential_queries_in_order() {
+        let engine = engine_for(
+            400,
+            EngineOptions {
+                parallel_threshold: 8, // force the parallel path
+                threads: 4,
+                ..EngineOptions::default()
+            },
+        );
+        let batch = QueryBatch::random(5000, engine.node_count(), 42);
+        let result = engine.execute(&batch).expect("batch");
+        assert_eq!(result.values.len(), batch.len());
+        assert!(result.threads > 1, "expected parallel execution");
+        let estimator = Arc::clone(engine.estimator());
+        for (&(p, q), &value) in batch.pairs().iter().zip(&result.values) {
+            let reference = estimator.query(p, q).expect("query");
+            assert!(
+                (value - reference).abs() <= 1e-9 * reference.abs().max(1.0),
+                "({p},{q}): {value} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_batches_fail_before_any_work() {
+        let engine = engine_for(64, EngineOptions::default());
+        let before = engine.stats().queries;
+        let batch = QueryBatch::from_pairs(vec![(0, 1), (2, 1_000_000)]);
+        assert!(engine.execute(&batch).is_err());
+        assert_eq!(engine.stats().queries, before);
+    }
+
+    #[test]
+    fn cache_serves_repeats() {
+        let engine = engine_for(64, EngineOptions::default());
+        let first = engine.query(1, 40).expect("query");
+        let stats_after_miss = engine.stats();
+        assert_eq!(stats_after_miss.cache_misses, 1);
+        let second = engine.query(40, 1).expect("query"); // symmetric key
+        assert_eq!(first, second);
+        let stats_after_hit = engine.stats();
+        assert_eq!(stats_after_hit.cache_hits, 1);
+        assert!(stats_after_hit.cache_entries >= 1);
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let engine = engine_for(
+            64,
+            EngineOptions {
+                cache_capacity: 0,
+                ..EngineOptions::default()
+            },
+        );
+        engine.query(0, 10).expect("query");
+        engine.query(0, 10).expect("query");
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_capacity, 0);
+    }
+
+    #[test]
+    fn stats_accumulate_across_batches() {
+        let engine = engine_for(100, EngineOptions::default());
+        let batch = QueryBatch::random(100, engine.node_count(), 3);
+        engine.execute(&batch).expect("batch");
+        engine.execute(&batch).expect("batch");
+        let stats = engine.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.queries, 200);
+        // Second run should be answered almost entirely from cache.
+        assert!(stats.cache_hits > 0);
+        assert!(stats.cache_hits + stats.cache_misses <= 200);
+    }
+
+    #[test]
+    fn throughput_is_finite_and_positive() {
+        let engine = engine_for(100, EngineOptions::default());
+        let batch = QueryBatch::random(256, engine.node_count(), 1);
+        let result = engine.execute(&batch).expect("batch");
+        assert!(result.throughput() > 0.0);
+    }
+}

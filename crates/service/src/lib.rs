@@ -1,0 +1,66 @@
+//! Batched effective-resistance query service.
+//!
+//! The paper's algorithms turn a graph into an immutable query structure —
+//! the pruned approximate inverse `Z̃` — that answers `R(p, q)` in
+//! microseconds. This crate is the serving layer on top:
+//!
+//! * [`engine::QueryEngine`] — a thread-safe engine over an `Arc`-shared
+//!   [`EffectiveResistanceEstimator`](effres::EffectiveResistanceEstimator),
+//!   executing [`batch::QueryBatch`]es across scoped worker threads with
+//!   per-thread scratch column buffers;
+//! * [`cache::ShardedLru`] — a sharded LRU of recent pair results in front
+//!   of the sparse kernel;
+//! * `effres-cli` — a binary driving the whole pipeline from the shell:
+//!   `load` / `build` / `query` / `batch` / `stats` (see the repository
+//!   README for a walkthrough).
+//!
+//! # Quick start
+//!
+//! ```
+//! use effres::{EffectiveResistanceEstimator, EffresConfig};
+//! use effres_graph::generators;
+//! use effres_service::{EngineOptions, QueryBatch, QueryEngine};
+//!
+//! # fn main() -> Result<(), effres::EffresError> {
+//! let graph = generators::grid_2d(20, 20, 1.0, 1.0, 0)?;
+//! let estimator = EffectiveResistanceEstimator::build(&graph, &EffresConfig::default())?;
+//! let engine = QueryEngine::from_estimator(estimator);
+//! let batch = QueryBatch::random(10_000, engine.node_count(), 42);
+//! let result = engine.execute(&batch)?;
+//! assert_eq!(result.values.len(), 10_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod cache;
+pub mod engine;
+
+pub use batch::QueryBatch;
+pub use cache::ShardedLru;
+pub use engine::{BatchResult, EngineOptions, QueryEngine, ServiceStats};
+
+/// Compile-time audit that everything shared across query workers is
+/// `Send + Sync`: the estimator and its constituents are plain owned data
+/// with no interior mutability, and the engine itself only adds atomics and
+/// mutex-guarded shards. If a future change introduces `Rc`, `Cell` or a raw
+/// pointer anywhere in these types, this module stops compiling.
+#[allow(dead_code)]
+mod send_sync_audit {
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    fn audit() {
+        assert_send_sync::<effres::EffectiveResistanceEstimator>();
+        assert_send_sync::<effres::approx_inverse::SparseApproximateInverse>();
+        assert_send_sync::<effres_sparse::SparseVec>();
+        assert_send_sync::<effres_sparse::CscMatrix>();
+        assert_send_sync::<effres_sparse::Permutation>();
+        assert_send_sync::<effres_graph::Graph>();
+        assert_send_sync::<crate::cache::ShardedLru>();
+        assert_send_sync::<crate::engine::QueryEngine>();
+        assert_send_sync::<crate::batch::QueryBatch>();
+    }
+}

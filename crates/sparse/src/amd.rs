@@ -65,7 +65,9 @@ pub fn amd(a: &CscMatrix) -> Result<Permutation, SparseError> {
     while order.len() < n {
         // Pop the variable with the smallest up-to-date degree.
         let pivot = loop {
-            let Reverse((d, v)) = heap.pop().expect("heap cannot be empty before all pivots are chosen");
+            let Reverse((d, v)) = heap
+                .pop()
+                .expect("heap cannot be empty before all pivots are chosen");
             if eliminated[v] {
                 continue;
             }
@@ -181,7 +183,7 @@ mod tests {
         let a = grid_laplacian(5, 5);
         let p = amd(&a).expect("square");
         assert_eq!(p.len(), 25);
-        let mut seen = vec![false; 25];
+        let mut seen = [false; 25];
         for i in 0..25 {
             assert!(!seen[p.old(i)]);
             seen[p.old(i)] = true;
@@ -195,7 +197,11 @@ mod tests {
         // tie with the final leaf once only two vertices remain.
         let a = star_laplacian(10);
         let p = amd(&a).expect("square");
-        assert!(p.new(0) >= p.len() - 2, "hub eliminated too early: {}", p.new(0));
+        assert!(
+            p.new(0) >= p.len() - 2,
+            "hub eliminated too early: {}",
+            p.new(0)
+        );
     }
 
     #[test]

@@ -258,7 +258,7 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero_solution() {
         let a = grid_laplacian(3, 3, 1.0);
-        let sol = cg(&a, &vec![0.0; 9], CgOptions::default()).expect("trivial");
+        let sol = cg(&a, &[0.0; 9], CgOptions::default()).expect("trivial");
         assert_eq!(sol.x, vec![0.0; 9]);
         assert_eq!(sol.iterations, 0);
     }

@@ -104,7 +104,10 @@ impl CholeskyFactor {
     /// Panics if `b.len()` is not a multiple of the matrix order.
     pub fn solve_many(&self, b: &[f64]) -> Vec<f64> {
         let n = self.order();
-        assert!(b.len() % n == 0, "solve_many: rhs length must be a multiple of n");
+        assert!(
+            b.len().is_multiple_of(n),
+            "solve_many: rhs length must be a multiple of n"
+        );
         let mut out = Vec::with_capacity(b.len());
         for chunk in b.chunks(n) {
             out.extend_from_slice(&self.solve(chunk));
@@ -254,7 +257,9 @@ mod tests {
         let natural = CholeskyFactor::factor(&a).expect("spd").solve(&b);
         // Reverse ordering as an arbitrary permutation.
         let perm = Permutation::from_new_to_old((0..n).rev().collect()).expect("valid");
-        let permuted = CholeskyFactor::factor_permuted(&a, perm).expect("spd").solve(&b);
+        let permuted = CholeskyFactor::factor_permuted(&a, perm)
+            .expect("spd")
+            .solve(&b);
         for (x, y) in natural.iter().zip(&permuted) {
             assert!((x - y).abs() < 1e-9);
         }
@@ -321,7 +326,10 @@ mod tests {
                 if i == j {
                     assert!(v > 0.0);
                 } else {
-                    assert!(v <= 1e-14, "off-diagonal L({i},{j}) = {v} should be nonpositive");
+                    assert!(
+                        v <= 1e-14,
+                        "off-diagonal L({i},{j}) = {v} should be nonpositive"
+                    );
                 }
             }
         }

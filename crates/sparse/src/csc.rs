@@ -432,7 +432,12 @@ impl CscMatrix {
     /// # Errors
     ///
     /// Returns [`SparseError::DimensionMismatch`] when shapes differ.
-    pub fn add_scaled(&self, alpha: f64, other: &CscMatrix, beta: f64) -> Result<CscMatrix, SparseError> {
+    pub fn add_scaled(
+        &self,
+        alpha: f64,
+        other: &CscMatrix,
+        beta: f64,
+    ) -> Result<CscMatrix, SparseError> {
         if self.nrows != other.nrows || self.ncols != other.ncols {
             return Err(SparseError::DimensionMismatch {
                 context: "CscMatrix::add_scaled",
@@ -549,7 +554,10 @@ impl CscMatrix {
     ///
     /// Panics if any index in `keep` is out of bounds or repeated.
     pub fn principal_submatrix(&self, keep: &[usize]) -> CscMatrix {
-        assert_eq!(self.nrows, self.ncols, "principal submatrix requires a square matrix");
+        assert_eq!(
+            self.nrows, self.ncols,
+            "principal submatrix requires a square matrix"
+        );
         let n = self.nrows;
         let mut map = vec![usize::MAX; n];
         for (new, &old) in keep.iter().enumerate() {

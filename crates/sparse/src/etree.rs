@@ -236,7 +236,7 @@ mod tests {
         let parent = etree(&a);
         let post = postorder(&parent);
         assert_eq!(post.len(), 5);
-        let mut position = vec![0usize; 5];
+        let mut position = [0usize; 5];
         for (i, &node) in post.iter().enumerate() {
             position[node] = i;
         }

@@ -95,6 +95,8 @@ impl Permutation {
     /// # Panics
     ///
     /// Panics if `old >= self.len()`.
+    // The name is domain vocabulary (`old` -> `new` index), not a constructor.
+    #[allow(clippy::new_ret_no_self)]
     #[inline]
     pub fn new(&self, old: usize) -> usize {
         self.old_to_new[old]

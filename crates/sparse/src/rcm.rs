@@ -102,8 +102,7 @@ fn bfs_farthest(start: usize, adj: &[Vec<usize>], degree: &[usize]) -> (usize, u
             if dist[u] == usize::MAX {
                 dist[u] = dist[v] + 1;
                 queue.push_back(u);
-                let better = dist[u] > best.1
-                    || (dist[u] == best.1 && degree[u] < degree[best.0]);
+                let better = dist[u] > best.1 || (dist[u] == best.1 && degree[u] < degree[best.0]);
                 if better {
                     best = (u, dist[u]);
                 }
@@ -144,7 +143,7 @@ mod tests {
         let a = grid_laplacian(6, 5);
         let p = rcm(&a).expect("square");
         assert_eq!(p.len(), 30);
-        let mut seen = vec![false; 30];
+        let mut seen = [false; 30];
         for i in 0..30 {
             assert!(!seen[p.old(i)]);
             seen[p.old(i)] = true;

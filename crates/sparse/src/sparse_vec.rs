@@ -104,10 +104,7 @@ impl SparseVec {
 
     /// Iterates over stored `(index, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.indices
-            .iter()
-            .zip(&self.values)
-            .map(|(&i, &v)| (i, v))
+        self.indices.iter().zip(&self.values).map(|(&i, &v)| (i, v))
     }
 
     /// Value at `index` (zero if not stored).

@@ -70,12 +70,7 @@ impl SymbolicCholesky {
             .colptr()
             .windows(2)
             .enumerate()
-            .map(|(j, w)| {
-                a.rowidx()[w[0]..w[1]]
-                    .iter()
-                    .filter(|&&i| i >= j)
-                    .count()
-            })
+            .map(|(j, w)| a.rowidx()[w[0]..w[1]].iter().filter(|&&i| i >= j).count())
             .sum::<usize>();
         self.factor_nnz().saturating_sub(lower_nnz)
     }
@@ -131,7 +126,10 @@ mod tests {
     fn grid_has_fill_in() {
         let a = grid_laplacian(4, 4);
         let sym = SymbolicCholesky::analyze(&a).expect("square");
-        assert!(sym.fill_in(&a) > 0, "a 2-D grid in natural order must fill in");
+        assert!(
+            sym.fill_in(&a) > 0,
+            "a 2-D grid in natural order must fill in"
+        );
         assert_eq!(sym.order(), 16);
     }
 

@@ -43,7 +43,11 @@ pub fn solve_lower(l: &CscMatrix, b: &mut [f64]) {
 /// is missing or zero.
 pub fn solve_lower_transpose(l: &CscMatrix, b: &mut [f64]) {
     let n = l.ncols();
-    assert_eq!(l.nrows(), n, "solve_lower_transpose requires a square matrix");
+    assert_eq!(
+        l.nrows(),
+        n,
+        "solve_lower_transpose requires a square matrix"
+    );
     assert_eq!(b.len(), n, "solve_lower_transpose: rhs length mismatch");
     for j in (0..n).rev() {
         let rows = l.column_rows(j);
@@ -87,7 +91,11 @@ pub fn solve_cholesky(l: &CscMatrix, b: &mut [f64]) {
 /// missing or zero.
 pub fn solve_lower_unit_sparse(l: &CscMatrix, j: usize) -> SparseVec {
     let n = l.ncols();
-    assert_eq!(l.nrows(), n, "solve_lower_unit_sparse requires a square matrix");
+    assert_eq!(
+        l.nrows(),
+        n,
+        "solve_lower_unit_sparse requires a square matrix"
+    );
     assert!(j < n, "unit index out of bounds");
     // Discover the reach of j in the graph of L (edges j -> i for L(i, j) != 0,
     // i > j) with an iterative depth-first search.

@@ -1,13 +1,15 @@
 //! Umbrella crate of the `effres` workspace: re-exports the public crates so
 //! the examples and cross-crate integration tests have a single dependency
 //! root. Library users should depend on the individual crates
-//! ([`effres`], [`effres_graph`], [`effres_sparse`], [`effres_powergrid`])
-//! directly.
+//! ([`effres`], [`effres_graph`], [`effres_sparse`], [`effres_powergrid`],
+//! [`effres_io`], [`effres_service`]) directly.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub use effres;
 pub use effres_graph;
+pub use effres_io;
 pub use effres_powergrid;
+pub use effres_service;
 pub use effres_sparse;

@@ -15,8 +15,14 @@ fn check_graph(graph: &Graph, avg_bound: f64, max_bound: f64) {
     let approx = estimator.query_many(&queries).expect("queries");
     let truth = exact.query_many(&queries).expect("queries");
     let (avg, max) = relative_errors(&approx, &truth);
-    assert!(avg < avg_bound, "average relative error {avg} > {avg_bound}");
-    assert!(max < max_bound, "maximum relative error {max} > {max_bound}");
+    assert!(
+        avg < avg_bound,
+        "average relative error {avg} > {avg_bound}"
+    );
+    assert!(
+        max < max_bound,
+        "maximum relative error {max} > {max_bound}"
+    );
 }
 
 #[test]
@@ -101,7 +107,10 @@ fn epsilon_controls_the_error_and_the_size() {
         previous_error = avg;
         previous_nnz = estimator.stats().inverse_nnz;
     }
-    assert!(previous_error < 1e-3, "tightest epsilon should be very accurate");
+    assert!(
+        previous_error < 1e-3,
+        "tightest epsilon should be very accurate"
+    );
 }
 
 #[test]
@@ -113,7 +122,9 @@ fn series_and_parallel_circuit_laws_hold() {
     series.add_edge(1, 2, 1.0 / 5.0).expect("edge"); // 5 ohm
     let est = EffectiveResistanceEstimator::build(
         &series,
-        &EffresConfig::default().with_drop_tolerance(0.0).with_epsilon(0.0),
+        &EffresConfig::default()
+            .with_drop_tolerance(0.0)
+            .with_epsilon(0.0),
     )
     .expect("build");
     assert!((est.query(0, 2).expect("query") - 8.0).abs() < 1e-9);
@@ -123,7 +134,9 @@ fn series_and_parallel_circuit_laws_hold() {
     parallel.add_edge(0, 1, 1.0 / 6.0).expect("edge");
     let est = EffectiveResistanceEstimator::build(
         &parallel,
-        &EffresConfig::default().with_drop_tolerance(0.0).with_epsilon(0.0),
+        &EffresConfig::default()
+            .with_drop_tolerance(0.0)
+            .with_epsilon(0.0),
     )
     .expect("build");
     assert!((est.query(0, 1).expect("query") - 2.0).abs() < 1e-9);
@@ -137,7 +150,9 @@ fn tree_effective_resistance_equals_path_resistance() {
     assert_eq!(graph.edge_count(), 199, "a tree has n-1 edges");
     let est = EffectiveResistanceEstimator::build(
         &graph,
-        &EffresConfig::default().with_drop_tolerance(0.0).with_epsilon(0.0),
+        &EffresConfig::default()
+            .with_drop_tolerance(0.0)
+            .with_epsilon(0.0),
     )
     .expect("build");
     let forest = effres_graph::spanning::bfs_spanning_forest(&graph);

@@ -1,0 +1,82 @@
+//! End-to-end test of the ingestion + query-service pipeline: a SNAP-style
+//! (gzipped) edge list on disk → dataset ingestion → estimator build →
+//! parallel batched queries → snapshot persistence → identical answers after
+//! reload. This is the exact flow `effres-cli` drives from the shell.
+
+use effres::{EffectiveResistanceEstimator, EffresConfig};
+use effres_graph::generators;
+use effres_io::dataset::{load_graph, IngestOptions};
+use effres_io::{edge_list, gzip, snapshot};
+use effres_service::{EngineOptions, QueryBatch, QueryEngine};
+use std::sync::Arc;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("effres-e2e");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn dataset_to_batched_queries_to_snapshot_and_back() {
+    // 1. A realistic dataset file: a generated social-like graph written as a
+    //    gzipped edge list with comments and a stray small component.
+    let graph = generators::preferential_attachment(600, 3, 0.5, 1.5, 9).expect("generator");
+    let mut text = Vec::new();
+    edge_list::write_edge_list(&mut text, &graph, None).expect("write");
+    // Append a 2-node component that ingestion must drop.
+    text.extend_from_slice(b"100000 100001\n");
+    let path = temp_path("social.txt.gz");
+    std::fs::write(&path, gzip::gzip_stored(&text)).expect("write file");
+
+    // 2. Ingest: the largest component is the original graph.
+    let ds = load_graph(&path, &IngestOptions::default()).expect("ingest");
+    assert_eq!(ds.stats.components, 2);
+    assert_eq!(ds.graph.node_count(), 600);
+    assert_eq!(ds.graph.edge_count(), graph.coalesced().edge_count());
+
+    // 3. Build the estimator and serve a parallel batch of 10k+ queries.
+    let estimator =
+        EffectiveResistanceEstimator::build(&ds.graph, &EffresConfig::default()).expect("build");
+    let engine = QueryEngine::new(
+        Arc::new(estimator),
+        EngineOptions {
+            threads: 4,
+            parallel_threshold: 64,
+            ..EngineOptions::default()
+        },
+    );
+    let batch = QueryBatch::random(12_000, engine.node_count(), 2024);
+    let result = engine.execute(&batch).expect("batch");
+    assert_eq!(result.values.len(), 12_000);
+    assert!(result.threads >= 1);
+
+    // 4. Spot-check the batch against direct estimator queries.
+    let estimator = Arc::clone(engine.estimator());
+    for (&(p, q), &value) in batch.pairs().iter().zip(&result.values).step_by(487) {
+        let reference = estimator.query(p, q).expect("query");
+        assert!(
+            (value - reference).abs() <= 1e-9 * reference.abs().max(1.0),
+            "({p},{q}): {value} vs {reference}"
+        );
+    }
+
+    // 5. Snapshot, reload, and verify answers are bit-identical.
+    let snap_path = temp_path("social.snap");
+    snapshot::save_snapshot(&snap_path, &estimator, Some(&ds.labels)).expect("save");
+    let restored = snapshot::load_snapshot(&snap_path).expect("load");
+    assert_eq!(restored.labels.as_deref(), Some(ds.labels.as_slice()));
+    for &(p, q) in batch.pairs().iter().step_by(631) {
+        assert_eq!(
+            restored.estimator.query(p, q).expect("query"),
+            estimator.query(p, q).expect("query"),
+            "({p},{q})"
+        );
+    }
+
+    // 6. Repeating the batch is served mostly from cache.
+    let again = engine.execute(&batch).expect("batch");
+    assert!(again.cache_hits > (batch.len() / 2) as u64);
+    for (&a, &b) in result.values.iter().zip(&again.values) {
+        assert_eq!(a, b);
+    }
+}

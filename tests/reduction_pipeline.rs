@@ -32,7 +32,8 @@ fn reduction_with_alg3_preserves_dc_port_voltages() {
     .expect("reduction");
     assert!(reduced.stats.reduced_nodes < grid.node_count());
     let solution = dc_solve(&reduced.grid).expect("dc");
-    let (err, rel) = compare_port_voltages(&grid, original.voltages(), &reduced, solution.voltages());
+    let (err, rel) =
+        compare_port_voltages(&grid, original.voltages(), &reduced, solution.voltages());
     assert!(rel < 0.05, "relative port error {rel} (absolute {err})");
 }
 
@@ -60,7 +61,12 @@ fn reduction_quality_is_independent_of_the_er_method_but_alg3_is_fastest_to_buil
     }
     // Alg. 3 based reduction keeps the accuracy of the exact-ER reduction
     // ("almost no increase in reduction errors").
-    assert!(rels[1] < rels[0] * 2.0 + 0.01, "exact {} vs alg3 {}", rels[0], rels[1]);
+    assert!(
+        rels[1] < rels[0] * 2.0 + 0.01,
+        "exact {} vs alg3 {}",
+        rels[0],
+        rels[1]
+    );
 }
 
 #[test]
@@ -93,8 +99,7 @@ fn transient_analysis_of_the_reduced_model_tracks_the_original() {
         },
     )
     .expect("transient");
-    let deviation =
-        original.waveforms[0].max_abs_difference(&reduced_solution.waveforms[0]);
+    let deviation = original.waveforms[0].max_abs_difference(&reduced_solution.waveforms[0]);
     let supply = grid.supply_voltage();
     let max_drop = original
         .average_voltages
