@@ -2,39 +2,42 @@
 //! (`EffectiveResistanceEstimator::query_many`, one full two-column merge per
 //! query) against the `effres-service` engine's batched path (precomputed
 //! column norms, per-thread scratch column reuse over a sorted batch, and —
-//! on multi-core hosts — scoped worker threads).
+//! on multi-core hosts — scoped worker threads), all reading columns out of
+//! the flat CSC arena.
 //!
 //! This is the acceptance workload of the ingestion/service subsystem: a
 //! ≥ 100k-node generated graph answering tens of thousands of `(p, q)`
-//! queries per invocation.
+//! queries per invocation. Besides the human-readable table the bench
+//! writes `BENCH_query_throughput.json` at the repository root so the perf
+//! trajectory is tracked across PRs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use effres::prelude::*;
-use effres_graph::generators;
+use effres_bench::report::{min_seconds, write_report, Json};
 use effres_service::{EngineOptions, QueryBatch, QueryEngine};
 use std::sync::Arc;
 
+const SIDE: usize = 320; // 320 × 320 = 102 400 nodes
 const QUERIES: usize = 20_000;
+const SAMPLES: usize = 10;
 
-fn bench_query_throughput(c: &mut Criterion) {
-    // 320 x 320 grid = 102 400 nodes.
-    let graph = generators::grid_2d(320, 320, 0.5, 2.0, 7).expect("generator");
+fn main() {
+    let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("== query_throughput ({SIDE}x{SIDE} grid, {QUERIES} queries, {hardware} core(s))");
+
+    let graph = effres_graph::generators::grid_2d(SIDE, SIDE, 0.5, 2.0, 7).expect("generator");
     let estimator = Arc::new(
         EffectiveResistanceEstimator::build(&graph, &EffresConfig::default()).expect("build"),
     );
     let batch = QueryBatch::random(QUERIES, estimator.node_count(), 42);
     let pairs = batch.pairs().to_vec();
 
-    let mut group = c.benchmark_group("query_throughput_100k_nodes");
-    group.sample_size(10);
+    let sequential_seconds = min_seconds(SAMPLES, true, || {
+        estimator.query_many(&pairs).expect("in bounds")
+    });
+    let sequential_qps = QUERIES as f64 / sequential_seconds;
+    println!("sequential query_many: {sequential_seconds:.3}s  ({sequential_qps:.0} queries/s)");
 
-    group.bench_function(
-        BenchmarkId::from_parameter(format!("sequential_query_many_{QUERIES}")),
-        |b| {
-            b.iter(|| estimator.query_many(&pairs).expect("in bounds"));
-        },
-    );
-
+    let mut engine_reports = Vec::new();
     for &threads in &[1usize, 2, 4, 8] {
         // A fresh engine per configuration: the cache must not carry answers
         // across configurations, and is disabled so the kernel itself is
@@ -48,16 +51,37 @@ fn bench_query_throughput(c: &mut Criterion) {
                 ..EngineOptions::default()
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("engine_batched", format!("{threads}_threads")),
-            &engine,
-            |b, engine| {
-                b.iter(|| engine.execute(&batch).expect("in bounds"));
-            },
+        let seconds = min_seconds(SAMPLES, true, || engine.execute(&batch).expect("in bounds"));
+        let qps = QUERIES as f64 / seconds;
+        println!(
+            "engine_batched/{threads}_threads: {seconds:.3}s  ({qps:.0} queries/s, {:.2}x sequential)",
+            sequential_seconds / seconds
         );
+        engine_reports.push(Json::Obj(vec![
+            ("threads", Json::Int(threads as u64)),
+            ("seconds", Json::Num(seconds)),
+            ("queries_per_second", Json::Num(qps)),
+            (
+                "speedup_vs_sequential",
+                Json::Num(sequential_seconds / seconds),
+            ),
+        ]));
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_query_throughput);
-criterion_main!(benches);
+    let stats = estimator.stats();
+    let body = Json::Obj(vec![
+        ("graph", Json::Str(format!("grid_2d_{SIDE}x{SIDE}"))),
+        ("nodes", Json::Int(stats.node_count as u64)),
+        ("inverse_nnz", Json::Int(stats.inverse_nnz as u64)),
+        ("queries", Json::Int(QUERIES as u64)),
+        ("hardware_threads", Json::Int(hardware as u64)),
+        ("samples", Json::Int(SAMPLES as u64)),
+        ("sequential_seconds", Json::Num(sequential_seconds)),
+        ("sequential_queries_per_second", Json::Num(sequential_qps)),
+        ("engine", Json::Arr(engine_reports)),
+    ]);
+    match write_report("query_throughput", body) {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+}

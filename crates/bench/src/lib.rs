@@ -14,6 +14,8 @@
 //! (social networks, finite-element meshes, circuit meshes) with synthetic
 //! generators at laptop scale; see `DESIGN.md` for the substitution notes.
 
+pub mod report;
+
 use effres_graph::generators;
 use effres_graph::Graph;
 

@@ -1,0 +1,161 @@
+//! Machine-readable benchmark reports.
+//!
+//! Every perf-critical bench binary emits a `BENCH_<name>.json` file at the
+//! repository root alongside its human-readable output, so the performance
+//! trajectory of the workspace can be tracked across PRs by diffing or
+//! collecting those files. The format is plain JSON built from
+//! [`Json`] values — no external dependencies, deterministic key order.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A minimal JSON value: everything the bench reports need, nothing more.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A floating-point number (must be finite; NaN/∞ render as `null`).
+    Num(f64),
+    /// An unsigned integer (node counts, nnz, thread counts).
+    Int(u64),
+    /// A boolean.
+    Bool(bool),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with keys in insertion order.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Num(v) if v.is_finite() => out.push_str(&format!("{v:?}")),
+            Json::Num(_) => out.push_str("null"),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str((*key).to_string()).write(out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// The repository root (two levels above this crate's manifest).
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the repo root")
+        .to_path_buf()
+}
+
+/// Writes `BENCH_<name>.json` at the repository root, wrapping `body` with
+/// the bench name and a capture timestamp. Returns the path written.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the file cannot be written.
+pub fn write_report(name: &str, body: Json) -> std::io::Result<PathBuf> {
+    let unix_seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let report = Json::Obj(vec![
+        ("bench", Json::Str(name.to_string())),
+        ("unix_seconds", Json::Int(unix_seconds)),
+        ("report", body),
+    ]);
+    let path = repo_root().join(format!("BENCH_{name}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(report.render().as_bytes())?;
+    file.write_all(b"\n")?;
+    Ok(path)
+}
+
+/// Times `routine` for `samples` runs (after one warm-up when `warm_up` is
+/// set) and returns the minimum wall-clock seconds — the usual low-noise
+/// point estimate for throughput-style benches.
+pub fn min_seconds<O>(samples: usize, warm_up: bool, mut routine: impl FnMut() -> O) -> f64 {
+    if warm_up {
+        std::hint::black_box(routine());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let start = std::time::Instant::now();
+        std::hint::black_box(routine());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_renders_compact_and_escaped() {
+        let value = Json::Obj(vec![
+            ("name", Json::Str("a\"b\\c\n".to_string())),
+            ("count", Json::Int(3)),
+            ("ratio", Json::Num(0.5)),
+            ("ok", Json::Bool(true)),
+            ("bad", Json::Num(f64::NAN)),
+            ("items", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+        ]);
+        assert_eq!(
+            value.render(),
+            r#"{"name":"a\"b\\c\n","count":3,"ratio":0.5,"ok":true,"bad":null,"items":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn repo_root_contains_the_workspace_manifest() {
+        assert!(repo_root().join("Cargo.toml").is_file());
+        assert!(repo_root().join("crates/bench").is_dir());
+    }
+
+    #[test]
+    fn min_seconds_times_something() {
+        let s = min_seconds(2, true, || (0..1000u64).sum::<u64>());
+        assert!((0.0..1.0).contains(&s));
+    }
+}

@@ -14,10 +14,36 @@
 //! absolute values sum to at most `ε · ‖z*_j‖₁` are dropped (the `trunc_k`
 //! rule of Eq. (10)). Theorem 1 then bounds the column error by
 //! `depth(j) · ε`.
+//!
+//! # Storage: a flat CSC arena
+//!
+//! The finished inverse is stored as three contiguous buffers —
+//! `col_ptr`/`rows`/`vals`, the classic compressed-sparse-column layout —
+//! rather than one heap allocation per column. Query kernels
+//! ([`SparseApproximateInverse::column_dot`], the distance kernels, the
+//! service engine's dense-scatter scratch) read columns as plain slices, so
+//! a batch walking many columns streams through one arena instead of
+//! pointer-chasing per-column `Vec`s.
+//!
+//! # Parallel construction
+//!
+//! Column `j` depends only on the columns `i > j` in `L`'s column-`j`
+//! pattern — `j`'s elimination-tree ancestors — so the backward sweep admits
+//! *level scheduling* ([`effres_sparse::LevelSchedule`]): all columns of one
+//! level are independent once the shallower levels are done. The parallel
+//! build processes levels root-downward, partitioning each level across
+//! scoped worker threads with per-thread [`SparseAccumulator`] scratch. Every
+//! column is assembled from the same already-pruned columns with the same
+//! floating-point operation order as in the sequential sweep, so the parallel
+//! build is **bit-identical** to the sequential one; the sequential path is
+//! kept for one thread, small factors and schedules too narrow to win.
 
+use crate::config::BuildOptions;
 use crate::error::EffresError;
+use effres_sparse::schedule::LevelSchedule;
 use effres_sparse::sparse_vec::{SparseAccumulator, SparseVec};
-use effres_sparse::CscMatrix;
+use effres_sparse::{vecops, CscMatrix};
+use std::sync::{Barrier, RwLock};
 
 /// Statistics gathered while building the approximate inverse.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -32,17 +58,103 @@ pub struct ApproxInverseStats {
     pub small_columns_kept: usize,
 }
 
+/// A borrowed view of one column of the approximate inverse: parallel
+/// `indices`/`values` slices into the flat CSC arena, with strictly
+/// increasing indices.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnView<'a> {
+    dim: usize,
+    indices: &'a [usize],
+    values: &'a [f64],
+}
+
+impl<'a> ColumnView<'a> {
+    /// Dimension of the (conceptual) vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Stored indices (strictly increasing).
+    pub fn indices(&self) -> &'a [usize] {
+        self.indices
+    }
+
+    /// Stored values, parallel to [`ColumnView::indices`].
+    pub fn values(&self) -> &'a [f64] {
+        self.values
+    }
+
+    /// Iterates over stored `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + 'a {
+        self.indices.iter().zip(self.values).map(|(&i, &v)| (i, v))
+    }
+
+    /// Value at `index` (zero if not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.dim()`.
+    pub fn get(&self, index: usize) -> f64 {
+        assert!(index < self.dim, "index out of bounds");
+        match self.indices.binary_search(&index) {
+            Ok(pos) => self.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// 1-norm (sum of absolute values).
+    pub fn norm1(&self) -> f64 {
+        self.values.iter().map(|v| v.abs()).sum()
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm2_squared(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// 1-norm of the difference with a sparse vector of the same dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn diff_norm1(&self, other: &SparseVec) -> f64 {
+        assert_eq!(self.dim, other.dim(), "dimension mismatch");
+        vecops::sparse_diff_norm1(self.indices, self.values, other.indices(), other.values())
+    }
+
+    /// Copies the view into an owned [`SparseVec`].
+    pub fn to_sparse_vec(&self) -> SparseVec {
+        SparseVec::from_sorted(self.dim, self.indices.to_vec(), self.values.to_vec())
+    }
+}
+
 /// A sparse approximation `Z̃ ≈ L⁻¹` of the inverse of a lower-triangular
-/// Cholesky factor, stored column by column.
-#[derive(Debug, Clone)]
+/// Cholesky factor, stored as a flat CSC arena (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
 pub struct SparseApproximateInverse {
-    columns: Vec<SparseVec>,
+    dim: usize,
+    /// `col_ptr[j]..col_ptr[j + 1]` indexes `rows`/`vals` for column `j`.
+    col_ptr: Vec<usize>,
+    rows: Vec<usize>,
+    vals: Vec<f64>,
     stats: ApproxInverseStats,
     epsilon: f64,
 }
 
 impl SparseApproximateInverse {
-    /// Runs Alg. 2 on the factor `L` with pruning threshold `epsilon`.
+    /// Runs Alg. 2 on the factor `L` with pruning threshold `epsilon`,
+    /// using the default [`BuildOptions`] (one worker thread per core; the
+    /// result is bit-identical to the sequential build regardless).
     ///
     /// Columns whose candidate has at most `max(dense_column_threshold, ln n)`
     /// entries are kept without pruning, as in step 3 of Alg. 2.
@@ -56,6 +168,32 @@ impl SparseApproximateInverse {
         factor: &CscMatrix,
         epsilon: f64,
         dense_column_threshold: usize,
+    ) -> Result<Self, EffresError> {
+        Self::from_factor_with(
+            factor,
+            epsilon,
+            dense_column_threshold,
+            &BuildOptions::default(),
+        )
+    }
+
+    /// Runs Alg. 2 with explicit execution options (see
+    /// [`SparseApproximateInverse::from_factor`] for the numerical contract).
+    ///
+    /// The level-scheduled parallel sweep is used when `options` allow more
+    /// than one thread, the factor is large enough
+    /// (`options.parallel_threshold`) and the schedule is wide enough to
+    /// amortize the per-level synchronization; otherwise the sequential
+    /// reference sweep runs. Both produce bit-identical output.
+    ///
+    /// # Errors
+    ///
+    /// See [`SparseApproximateInverse::from_factor`].
+    pub fn from_factor_with(
+        factor: &CscMatrix,
+        epsilon: f64,
+        dense_column_threshold: usize,
+        options: &BuildOptions,
     ) -> Result<Self, EffresError> {
         if factor.nrows() != factor.ncols() {
             return Err(EffresError::Sparse(effres_sparse::SparseError::NotSquare {
@@ -71,54 +209,52 @@ impl SparseApproximateInverse {
         }
         let n = factor.ncols();
         let keep_limit = dense_column_threshold.max((n.max(2) as f64).ln().ceil() as usize);
-        let mut columns: Vec<SparseVec> = vec![SparseVec::new(n); n];
-        let mut stats = ApproxInverseStats::default();
-        let mut accumulator = SparseAccumulator::new(n);
 
-        for j in (0..n).rev() {
+        // Pre-validate every diagonal up front so the sweeps are infallible
+        // (a worker panicking mid-level would leave the others at the
+        // barrier).
+        let mut diag = Vec::with_capacity(n);
+        for j in 0..n {
             let rows = factor.column_rows(j);
-            let vals = factor.column_values(j);
-            let diag_pos = rows
+            let pos = rows
                 .binary_search(&j)
                 .map_err(|_| EffresError::InvalidConfig {
                     name: "factor",
                     message: format!("missing diagonal entry in column {j}"),
                 })?;
-            let diag = vals[diag_pos];
-            if !(diag > 0.0) {
+            let d = factor.column_values(j)[pos];
+            if !(d > 0.0) {
                 return Err(EffresError::InvalidConfig {
                     name: "factor",
-                    message: format!("nonpositive diagonal {diag} in column {j}"),
+                    message: format!("nonpositive diagonal {d} in column {j}"),
                 });
             }
-            // z*_j = (1 / L_jj) e_j + Σ (−L_ij / L_jj) z̃_i.
-            accumulator.add(j, 1.0 / diag);
-            for (pos, &i) in rows.iter().enumerate() {
-                if i <= j {
-                    continue;
-                }
-                let scale = -vals[pos] / diag;
-                if scale != 0.0 {
-                    accumulator.axpy(scale, &columns[i]);
-                }
-            }
-            let candidate = accumulator.take();
-
-            let column = if candidate.nnz() <= keep_limit {
-                stats.small_columns_kept += 1;
-                candidate
-            } else {
-                let (pruned, dropped) = prune_column(&candidate, epsilon);
-                stats.pruned_entries += dropped;
-                pruned
-            };
-            stats.nnz += column.nnz();
-            stats.max_column_nnz = stats.max_column_nnz.max(column.nnz());
-            columns[j] = column;
+            diag.push(d);
         }
 
+        let threads = resolve_threads(options.threads).min(n.max(1));
+        let sweep = if threads > 1 && n >= options.parallel_threshold {
+            let schedule = LevelSchedule::from_lower_factor(factor);
+            // A narrow schedule (long dependency chains) spends more time at
+            // level barriers than computing; the sequential sweep wins there.
+            if schedule.mean_width() >= (4 * threads) as f64 {
+                Some(parallel_sweep(
+                    factor, &diag, keep_limit, epsilon, &schedule, threads,
+                ))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let (store, stats) =
+            sweep.unwrap_or_else(|| sequential_sweep(factor, &diag, keep_limit, epsilon));
+        let (col_ptr, rows, vals) = store.into_csc(n);
         Ok(SparseApproximateInverse {
-            columns,
+            dim: n,
+            col_ptr,
+            rows,
+            vals,
             stats,
             epsilon,
         })
@@ -126,7 +262,7 @@ impl SparseApproximateInverse {
 
     /// Order of the factor (number of columns).
     pub fn order(&self) -> usize {
-        self.columns.len()
+        self.dim
     }
 
     /// The pruning threshold the inverse was built with.
@@ -134,13 +270,41 @@ impl SparseApproximateInverse {
         self.epsilon
     }
 
-    /// Column `j` of `Z̃` (an approximation of `L⁻¹ e_j`).
+    /// Column `j` of `Z̃` (an approximation of `L⁻¹ e_j`) as a borrowed view
+    /// into the arena.
     ///
     /// # Panics
     ///
     /// Panics if `j` is out of bounds.
-    pub fn column(&self, j: usize) -> &SparseVec {
-        &self.columns[j]
+    pub fn column(&self, j: usize) -> ColumnView<'_> {
+        let (indices, values) = self.column_slices(j);
+        ColumnView {
+            dim: self.dim,
+            indices,
+            values,
+        }
+    }
+
+    fn column_slices(&self, j: usize) -> (&[usize], &[f64]) {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        (&self.rows[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// The arena's column-pointer buffer (`order() + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// The arena's concatenated row indices, in column order.
+    pub fn arena_rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// The arena's concatenated values, parallel to
+    /// [`SparseApproximateInverse::arena_rows`].
+    pub fn arena_values(&self) -> &[f64] {
+        &self.vals
     }
 
     /// Total number of stored nonzeros.
@@ -166,7 +330,9 @@ impl SparseApproximateInverse {
     ///
     /// Panics if either index is out of bounds.
     pub fn column_distance_squared(&self, p: usize, q: usize) -> f64 {
-        self.columns[p].distance_squared(&self.columns[q])
+        let (ai, av) = self.column_slices(p);
+        let (bi, bv) = self.column_slices(q);
+        vecops::sparse_distance_squared(ai, av, bi, bv)
     }
 
     /// Inner product `⟨z̃_p, z̃_q⟩` of two columns.
@@ -186,10 +352,8 @@ impl SparseApproximateInverse {
     /// Panics if either index is out of bounds.
     pub fn column_dot(&self, p: usize, q: usize) -> f64 {
         let bound = p.max(q);
-        let a = &self.columns[p];
-        let b = &self.columns[q];
-        let (ai, av) = (a.indices(), a.values());
-        let (bi, bv) = (b.indices(), b.values());
+        let (ai, av) = self.column_slices(p);
+        let (bi, bv) = self.column_slices(q);
         let mut i = ai.partition_point(|&row| row < bound);
         let mut j = bi.partition_point(|&row| row < bound);
         let mut sum = 0.0;
@@ -212,7 +376,9 @@ impl SparseApproximateInverse {
     /// Query services precompute this once so a query reduces to one sparse
     /// dot product: `‖z̃_p − z̃_q‖² = ‖z̃_p‖² + ‖z̃_q‖² − 2⟨z̃_p, z̃_q⟩`.
     pub fn column_norms_squared(&self) -> Vec<f64> {
-        self.columns.iter().map(|c| c.norm2_squared()).collect()
+        (0..self.dim)
+            .map(|j| self.column_slices(j).1.iter().map(|v| v * v).sum())
+            .collect()
     }
 
     /// The effective-resistance kernel evaluated with precomputed column
@@ -234,24 +400,48 @@ impl SparseApproximateInverse {
         (norms_squared[p] + norms_squared[q] - 2.0 * self.column_dot(p, q)).max(0.0)
     }
 
-    /// Decomposes the inverse into its columns and build metadata, for
-    /// serialization (see the `effres-io` snapshot format).
-    pub fn into_parts(self) -> (Vec<SparseVec>, ApproxInverseStats, f64) {
-        (self.columns, self.stats, self.epsilon)
+    /// Decomposes the inverse into its arena buffers and build metadata, for
+    /// serialization: `(dim, col_ptr, rows, vals, stats, epsilon)`.
+    #[allow(clippy::type_complexity)]
+    pub fn into_arena(
+        self,
+    ) -> (
+        usize,
+        Vec<usize>,
+        Vec<usize>,
+        Vec<f64>,
+        ApproxInverseStats,
+        f64,
+    ) {
+        (
+            self.dim,
+            self.col_ptr,
+            self.rows,
+            self.vals,
+            self.stats,
+            self.epsilon,
+        )
     }
 
-    /// Rebuilds an inverse from columns produced by
-    /// [`SparseApproximateInverse::into_parts`] (or deserialized from a
-    /// snapshot). The size-derived statistics (`nnz`, `max_column_nnz`) are
-    /// recomputed from the columns; the build-history counters
-    /// (`pruned_entries`, `small_columns_kept`) are taken from `stats`.
+    /// Rebuilds an inverse directly from flat CSC arena buffers (the layout
+    /// produced by [`SparseApproximateInverse::into_arena`], and what the
+    /// `effres-io` snapshot reader assembles while streaming a file). The
+    /// size-derived statistics (`nnz`, `max_column_nnz`) are recomputed; the
+    /// build-history counters (`pruned_entries`, `small_columns_kept`) are
+    /// taken from `stats`.
     ///
     /// # Errors
     ///
     /// Returns [`EffresError::InvalidConfig`] if `epsilon` is outside
-    /// `[0, 1)` or any column's dimension differs from the column count.
-    pub fn from_parts(
-        columns: Vec<SparseVec>,
+    /// `[0, 1)`, the buffers are inconsistent (`col_ptr` not monotone from
+    /// `0` to `rows.len()`, `rows`/`vals` length mismatch), a column's
+    /// indices are not strictly increasing within bounds, or a column has an
+    /// entry above the diagonal.
+    pub fn from_arena(
+        dim: usize,
+        col_ptr: Vec<usize>,
+        rows: Vec<usize>,
+        vals: Vec<f64>,
         stats: ApproxInverseStats,
         epsilon: f64,
     ) -> Result<Self, EffresError> {
@@ -261,12 +451,94 @@ impl SparseApproximateInverse {
                 message: "must lie in [0, 1)".to_string(),
             });
         }
-        let n = columns.len();
+        let invalid = |message: String| EffresError::InvalidConfig {
+            name: "arena",
+            message,
+        };
+        if col_ptr.len() != dim + 1 {
+            return Err(invalid(format!(
+                "col_ptr has {} entries for {dim} columns (need {})",
+                col_ptr.len(),
+                dim + 1
+            )));
+        }
+        if rows.len() != vals.len() {
+            return Err(invalid(format!(
+                "rows/vals length mismatch: {} vs {}",
+                rows.len(),
+                vals.len()
+            )));
+        }
+        if col_ptr[0] != 0 || col_ptr[dim] != rows.len() {
+            return Err(invalid(format!(
+                "col_ptr must span 0..={} (got {}..={})",
+                rows.len(),
+                col_ptr[0],
+                col_ptr[dim]
+            )));
+        }
         let mut recomputed = ApproxInverseStats {
             pruned_entries: stats.pruned_entries,
             small_columns_kept: stats.small_columns_kept,
             ..ApproxInverseStats::default()
         };
+        for j in 0..dim {
+            let (lo, hi) = (col_ptr[j], col_ptr[j + 1]);
+            if lo > hi || hi > rows.len() {
+                return Err(invalid(format!(
+                    "col_ptr is not monotone within 0..={} at column {j}",
+                    rows.len()
+                )));
+            }
+            let column = &rows[lo..hi];
+            if !column.windows(2).all(|w| w[0] < w[1]) || column.last().is_some_and(|&i| i >= dim) {
+                return Err(invalid(format!(
+                    "column {j} indices are not strictly increasing within 0..{dim}"
+                )));
+            }
+            // The query kernels rely on the lower-triangular support of the
+            // columns (see `column_dot`), so the invariant is enforced here
+            // rather than trusted from serialized input.
+            if column.first().is_some_and(|&i| i < j) {
+                return Err(invalid(format!(
+                    "column {j} has an entry above the diagonal; \
+                     inverse columns must be supported on {j}.."
+                )));
+            }
+            recomputed.nnz += hi - lo;
+            recomputed.max_column_nnz = recomputed.max_column_nnz.max(hi - lo);
+        }
+        Ok(SparseApproximateInverse {
+            dim,
+            col_ptr,
+            rows,
+            vals,
+            stats: recomputed,
+            epsilon,
+        })
+    }
+
+    /// Rebuilds an inverse from per-column sparse vectors (the pre-arena
+    /// representation; still the convenient entry point for hand-built
+    /// columns). The columns are packed into a fresh arena and validated as
+    /// in [`SparseApproximateInverse::from_arena`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::InvalidConfig`] if `epsilon` is outside
+    /// `[0, 1)`, any column's dimension differs from the column count, or a
+    /// column has an entry above the diagonal.
+    pub fn from_parts(
+        columns: Vec<SparseVec>,
+        stats: ApproxInverseStats,
+        epsilon: f64,
+    ) -> Result<Self, EffresError> {
+        let n = columns.len();
+        let total: usize = columns.iter().map(SparseVec::nnz).sum();
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut rows = Vec::with_capacity(total);
+        let mut vals = Vec::with_capacity(total);
+        col_ptr.push(0);
         for (j, column) in columns.iter().enumerate() {
             if column.dim() != n {
                 return Err(EffresError::InvalidConfig {
@@ -277,58 +549,351 @@ impl SparseApproximateInverse {
                     ),
                 });
             }
-            // The query kernels rely on the lower-triangular support of the
-            // columns (see `column_dot`), so the invariant is enforced here
-            // rather than trusted from serialized input.
-            if column.indices().first().is_some_and(|&i| i < j) {
-                return Err(EffresError::InvalidConfig {
-                    name: "columns",
-                    message: format!(
-                        "column {j} has an entry above the diagonal; \
-                         inverse columns must be supported on {j}.."
-                    ),
-                });
-            }
-            recomputed.nnz += column.nnz();
-            recomputed.max_column_nnz = recomputed.max_column_nnz.max(column.nnz());
+            rows.extend_from_slice(column.indices());
+            vals.extend_from_slice(column.values());
+            col_ptr.push(rows.len());
         }
-        Ok(SparseApproximateInverse {
-            columns,
-            stats: recomputed,
-            epsilon,
-        })
+        Self::from_arena(n, col_ptr, rows, vals, stats, epsilon)
     }
 }
 
-/// Applies the `trunc_k` pruning rule: drops the largest possible set of
-/// smallest-magnitude entries whose absolute values sum to at most
-/// `epsilon * ‖x‖₁`. Returns the pruned vector and the number of dropped
-/// entries.
-fn prune_column(x: &SparseVec, epsilon: f64) -> (SparseVec, usize) {
-    let norm1 = x.norm1();
-    if norm1 == 0.0 || epsilon == 0.0 {
-        return (x.clone(), 0);
+/// Resolves a configured thread count (`0` = one per core).
+fn resolve_threads(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        configured
     }
-    let budget = epsilon * norm1;
-    // Sort entry magnitudes ascending and find the largest prefix whose sum
-    // stays within the budget.
-    let mut magnitudes: Vec<f64> = x.values().iter().map(|v| v.abs()).collect();
-    magnitudes.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
-    let mut dropped = 0usize;
-    let mut acc = 0.0;
-    for &m in &magnitudes {
-        if acc + m <= budget {
-            acc += m;
-            dropped += 1;
-        } else {
-            break;
+}
+
+/// The column store used *during* construction: columns live at arbitrary
+/// offsets of two flat buffers (completion order), with per-column
+/// `start`/`len` tables for random access. [`ColumnStore::into_csc`]
+/// reorders it into the canonical column-ordered arena at the end, so the
+/// final layout is independent of how the sweep was scheduled.
+struct ColumnStore {
+    start: Vec<usize>,
+    len: Vec<usize>,
+    rows: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl ColumnStore {
+    fn with_order(n: usize) -> Self {
+        ColumnStore {
+            start: vec![0; n],
+            len: vec![0; n],
+            rows: Vec::new(),
+            vals: Vec::new(),
         }
     }
-    if dropped == 0 {
-        return (x.clone(), 0);
+
+    fn rows_of(&self, i: usize) -> &[usize] {
+        &self.rows[self.start[i]..self.start[i] + self.len[i]]
     }
-    let keep = x.nnz() - dropped;
-    (x.truncate_to(keep), dropped)
+
+    fn vals_of(&self, i: usize) -> &[f64] {
+        &self.vals[self.start[i]..self.start[i] + self.len[i]]
+    }
+
+    /// Appends finished columns (given as `(column, nnz)` in the order their
+    /// data lies in `rows`/`vals`) to the store.
+    fn append(&mut self, cols: &[(usize, usize)], rows: &[usize], vals: &[f64]) {
+        let mut off = self.rows.len();
+        self.rows.extend_from_slice(rows);
+        self.vals.extend_from_slice(vals);
+        for &(j, nnz) in cols {
+            self.start[j] = off;
+            self.len[j] = nnz;
+            off += nnz;
+        }
+    }
+
+    /// Reorders the store into a canonical column-ordered CSC arena.
+    fn into_csc(self, n: usize) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+        let total: usize = self.len.iter().sum();
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut rows = Vec::with_capacity(total);
+        let mut vals = Vec::with_capacity(total);
+        col_ptr.push(0);
+        for j in 0..n {
+            rows.extend_from_slice(self.rows_of(j));
+            vals.extend_from_slice(self.vals_of(j));
+            col_ptr.push(rows.len());
+        }
+        (col_ptr, rows, vals)
+    }
+}
+
+/// Assembles and prunes one column, appending it to `out_rows`/`out_vals`.
+/// Returns the stored nonzero count. This is the *only* numeric kernel of
+/// the build; the sequential and parallel sweeps both call it, which is what
+/// makes them bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn build_column(
+    factor: &CscMatrix,
+    j: usize,
+    diag: f64,
+    keep_limit: usize,
+    epsilon: f64,
+    store: &ColumnStore,
+    acc: &mut SparseAccumulator,
+    scratch: &mut PruneScratch,
+    out_rows: &mut Vec<usize>,
+    out_vals: &mut Vec<f64>,
+    stats: &mut ApproxInverseStats,
+) -> usize {
+    let rows = factor.column_rows(j);
+    let vals = factor.column_values(j);
+    // z*_j = (1 / L_jj) e_j + Σ (−L_ij / L_jj) z̃_i.
+    acc.add(j, 1.0 / diag);
+    for (pos, &i) in rows.iter().enumerate() {
+        if i <= j {
+            continue;
+        }
+        let scale = -vals[pos] / diag;
+        if scale != 0.0 {
+            acc.axpy_raw(scale, store.rows_of(i), store.vals_of(i));
+        }
+    }
+    let start = out_rows.len();
+    let candidate_nnz = acc.take_append(out_rows, out_vals);
+    let nnz = if candidate_nnz <= keep_limit {
+        stats.small_columns_kept += 1;
+        candidate_nnz
+    } else {
+        let dropped = prune_tail(out_rows, out_vals, start, epsilon, scratch);
+        stats.pruned_entries += dropped;
+        candidate_nnz - dropped
+    };
+    stats.nnz += nnz;
+    stats.max_column_nnz = stats.max_column_nnz.max(nnz);
+    nnz
+}
+
+/// The reference backward sweep: one column at a time, last to first.
+fn sequential_sweep(
+    factor: &CscMatrix,
+    diag: &[f64],
+    keep_limit: usize,
+    epsilon: f64,
+) -> (ColumnStore, ApproxInverseStats) {
+    let n = factor.ncols();
+    let mut store = ColumnStore::with_order(n);
+    let mut stats = ApproxInverseStats::default();
+    let mut acc = SparseAccumulator::new(n);
+    let mut scratch = PruneScratch::default();
+    let mut tmp_rows = Vec::new();
+    let mut tmp_vals = Vec::new();
+    for j in (0..n).rev() {
+        let nnz = build_column(
+            factor,
+            j,
+            diag[j],
+            keep_limit,
+            epsilon,
+            &store,
+            &mut acc,
+            &mut scratch,
+            &mut tmp_rows,
+            &mut tmp_vals,
+            &mut stats,
+        );
+        store.append(&[(j, nnz)], &tmp_rows, &tmp_vals);
+        tmp_rows.clear();
+        tmp_vals.clear();
+    }
+    (store, stats)
+}
+
+/// The level-scheduled parallel sweep: persistent scoped workers process each
+/// level's columns in contiguous chunks, compute into thread-local buffers
+/// under a shared read lock, publish under the write lock, and meet at a
+/// barrier before descending to the next level.
+fn parallel_sweep(
+    factor: &CscMatrix,
+    diag: &[f64],
+    keep_limit: usize,
+    epsilon: f64,
+    schedule: &LevelSchedule,
+    threads: usize,
+) -> (ColumnStore, ApproxInverseStats) {
+    let n = factor.ncols();
+    let store = RwLock::new(ColumnStore::with_order(n));
+    let barrier = Barrier::new(threads);
+    let worker_stats: Vec<ApproxInverseStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let store = &store;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut acc = SparseAccumulator::new(n);
+                    let mut scratch = PruneScratch::default();
+                    let mut stats = ApproxInverseStats::default();
+                    let mut local_rows: Vec<usize> = Vec::new();
+                    let mut local_vals: Vec<f64> = Vec::new();
+                    let mut local_cols: Vec<(usize, usize)> = Vec::new();
+                    for level in schedule.levels() {
+                        let chunk = level.len().div_ceil(threads);
+                        let lo = (t * chunk).min(level.len());
+                        let hi = ((t + 1) * chunk).min(level.len());
+                        {
+                            let read = store.read().expect("column store lock poisoned");
+                            for &j in &level[lo..hi] {
+                                let nnz = build_column(
+                                    factor,
+                                    j,
+                                    diag[j],
+                                    keep_limit,
+                                    epsilon,
+                                    &read,
+                                    &mut acc,
+                                    &mut scratch,
+                                    &mut local_rows,
+                                    &mut local_vals,
+                                    &mut stats,
+                                );
+                                local_cols.push((j, nnz));
+                            }
+                        }
+                        if !local_cols.is_empty() {
+                            let mut write = store.write().expect("column store lock poisoned");
+                            write.append(&local_cols, &local_rows, &local_vals);
+                            local_cols.clear();
+                            local_rows.clear();
+                            local_vals.clear();
+                        }
+                        // All of this level must be published before any
+                        // worker reads it from the next level down.
+                        barrier.wait();
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("approximate-inverse build worker panicked"))
+            .collect()
+    });
+    let mut stats = ApproxInverseStats::default();
+    for s in worker_stats {
+        stats.nnz += s.nnz;
+        stats.max_column_nnz = stats.max_column_nnz.max(s.max_column_nnz);
+        stats.pruned_entries += s.pruned_entries;
+        stats.small_columns_kept += s.small_columns_kept;
+    }
+    let store = store.into_inner().expect("column store lock poisoned");
+    (store, stats)
+}
+
+/// Reusable workspace of [`prune_tail`].
+#[derive(Default)]
+struct PruneScratch {
+    mags: Vec<f64>,
+    order: Vec<u32>,
+    dropped: Vec<bool>,
+}
+
+/// Applies the `trunc_k` pruning rule (Eq. (10)) to the candidate column
+/// occupying `rows[start..]` / `vals[start..]`, compacting the buffers in
+/// place and returning the number of dropped entries.
+///
+/// The rule drops the largest set of smallest-magnitude entries whose
+/// absolute values sum to at most `epsilon * ‖x‖₁` (ties broken towards
+/// dropping larger indices, so the result is deterministic). The dropped
+/// count is found by *partial selection* instead of a full sort: the `d`
+/// smallest magnitudes are exposed through exponentially growing
+/// `select_nth_unstable` prefixes and only those prefixes are sorted, so
+/// pruning a `k`-entry column costs `O(k + d log d)` expected for `d`
+/// dropped entries instead of the `O(k log k)` of sorting every magnitude.
+fn prune_tail(
+    rows: &mut Vec<usize>,
+    vals: &mut Vec<f64>,
+    start: usize,
+    epsilon: f64,
+    scratch: &mut PruneScratch,
+) -> usize {
+    let k = rows.len() - start;
+    if k == 0 || epsilon == 0.0 {
+        return 0;
+    }
+    let tail = &vals[start..];
+    let norm1: f64 = tail.iter().map(|v| v.abs()).sum();
+    if norm1 == 0.0 {
+        return 0;
+    }
+    let budget = epsilon * norm1;
+
+    // Phase 1 — count the dropped entries: scan magnitudes in ascending
+    // order, accumulating while the running sum stays within the budget.
+    // Selection exposes each next chunk of smallest magnitudes without
+    // sorting the (much larger) kept remainder; chunks double so columns
+    // that drop little stop after inspecting only a handful of entries.
+    scratch.mags.clear();
+    scratch.mags.extend(tail.iter().map(|v| v.abs()));
+    let mags = &mut scratch.mags[..];
+    let mut dropped = 0usize;
+    let mut acc = 0.0f64;
+    let mut lo = 0usize;
+    let mut chunk = 8usize;
+    'count: while lo < k {
+        let hi = (lo + chunk).min(k);
+        if hi < k {
+            mags[lo..].select_nth_unstable_by(hi - lo - 1, |a, b| a.total_cmp(b));
+        }
+        mags[lo..hi].sort_unstable_by(|a, b| a.total_cmp(b));
+        for idx in lo..hi {
+            if acc + mags[idx] <= budget {
+                acc += mags[idx];
+                dropped += 1;
+            } else {
+                break 'count;
+            }
+        }
+        lo = hi;
+        chunk *= 2;
+    }
+    if dropped == 0 {
+        return 0;
+    }
+    // `epsilon < 1` makes `dropped == k` all but impossible, but an epsilon
+    // one ulp below 1 can round the budget up to the full column sum; the
+    // phases below handle that fine (the column empties), so it is not
+    // asserted away — a panicking build worker would deadlock its siblings
+    // at the level barrier.
+
+    // Phase 2 — identify *which* entries to drop: the `dropped` smallest
+    // under (magnitude ascending, index descending), one more selection.
+    let tail = &vals[start..];
+    scratch.order.clear();
+    scratch.order.extend(0..k as u32);
+    scratch.order.select_nth_unstable_by(dropped - 1, |&a, &b| {
+        tail[a as usize]
+            .abs()
+            .total_cmp(&tail[b as usize].abs())
+            .then(b.cmp(&a))
+    });
+    scratch.dropped.clear();
+    scratch.dropped.resize(k, false);
+    for &p in &scratch.order[..dropped] {
+        scratch.dropped[p as usize] = true;
+    }
+
+    // Phase 3 — compact in place; the kept entries stay in index order.
+    let mut w = start;
+    for r in 0..k {
+        if !scratch.dropped[r] {
+            rows[w] = rows[start + r];
+            vals[w] = vals[start + r];
+            w += 1;
+        }
+    }
+    rows.truncate(w);
+    vals.truncate(w);
+    dropped
 }
 
 #[cfg(test)]
@@ -355,6 +920,32 @@ mod tests {
         }
         t.push(0, 0, shift);
         t.to_csc()
+    }
+
+    /// Block-diagonal matrix of `blocks` independent path Laplacians: its
+    /// factor's level schedule is wide (one column per block per level), so
+    /// the parallel sweep is exercised even with the width heuristic active.
+    fn block_paths_laplacian(blocks: usize, len: usize) -> CscMatrix {
+        let n = blocks * len;
+        let mut t = TripletMatrix::new(n, n);
+        for b in 0..blocks {
+            let base = b * len;
+            for i in 0..len - 1 {
+                t.add_laplacian_edge(base + i, base + i + 1, 1.0 + b as f64 * 0.01);
+            }
+            t.push(base, base, 1e-2);
+        }
+        t.to_csc()
+    }
+
+    /// The old `SparseVec`-based pruning entry point, kept as a test shim
+    /// over [`prune_tail`].
+    fn prune_column(x: &SparseVec, epsilon: f64) -> (SparseVec, usize) {
+        let mut rows = x.indices().to_vec();
+        let mut vals = x.values().to_vec();
+        let mut scratch = PruneScratch::default();
+        let dropped = prune_tail(&mut rows, &mut vals, 0, epsilon, &mut scratch);
+        (SparseVec::from_sorted(x.dim(), rows, vals), dropped)
     }
 
     #[test]
@@ -456,7 +1047,10 @@ mod tests {
         let norms = z.column_norms_squared();
         for &(p, q) in &[(0, 35), (3, 3), (10, 20), (34, 35), (0, 1)] {
             let fast = z.column_dot(p, q);
-            let full = z.column(p).dot(z.column(q));
+            let full = z
+                .column(p)
+                .to_sparse_vec()
+                .dot(&z.column(q).to_sparse_vec());
             assert!((fast - full).abs() < 1e-12, "({p},{q}): {fast} vs {full}");
             let d_fast = z.column_distance_squared_with_norms(p, q, &norms);
             let d_full = z.column_distance_squared(p, q);
@@ -465,6 +1059,151 @@ mod tests {
                 "({p},{q}): {d_fast} vs {d_full}"
             );
         }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        // Wide schedule (many independent chains) so the parallel sweep
+        // really runs, plus a grid whose schedule exercises several levels.
+        for a in [block_paths_laplacian(64, 6), grid_laplacian(12, 12, 1e-3)] {
+            let chol = CholeskyFactor::factor(&a).expect("spd");
+            let l = chol.factor_l();
+            for epsilon in [0.0, 1e-4, 1e-2, 0.3] {
+                let seq = SparseApproximateInverse::from_factor_with(
+                    l,
+                    epsilon,
+                    2,
+                    &BuildOptions::sequential(),
+                )
+                .expect("sequential");
+                for threads in [2usize, 3, 4, 7] {
+                    let par = SparseApproximateInverse::from_factor_with(
+                        l,
+                        epsilon,
+                        2,
+                        &BuildOptions {
+                            threads,
+                            parallel_threshold: 1,
+                        },
+                    )
+                    .expect("parallel");
+                    // Bitwise identity of the full arena, not approximate
+                    // agreement: same pointers, same rows, same value bits.
+                    assert_eq!(seq.col_ptr(), par.col_ptr(), "eps {epsilon} x{threads}");
+                    assert_eq!(seq.arena_rows(), par.arena_rows());
+                    let same_bits = seq
+                        .arena_values()
+                        .iter()
+                        .zip(par.arena_values())
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(same_bits, "eps {epsilon} x{threads}: value bits differ");
+                    assert_eq!(seq.stats(), par.stats());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_schedules_fall_back_to_the_sequential_sweep() {
+        // A single path is a pure dependency chain: the width heuristic must
+        // reject it, and the result must still be correct.
+        let mut t = TripletMatrix::new(64, 64);
+        for i in 0..63 {
+            t.add_laplacian_edge(i, i + 1, 1.0);
+        }
+        t.push(0, 0, 1e-2);
+        let a = t.to_csc();
+        let l = CholeskyFactor::factor(&a).expect("spd");
+        let seq = SparseApproximateInverse::from_factor_with(
+            l.factor_l(),
+            1e-3,
+            2,
+            &BuildOptions::sequential(),
+        )
+        .expect("sequential");
+        let par = SparseApproximateInverse::from_factor_with(
+            l.factor_l(),
+            1e-3,
+            2,
+            &BuildOptions {
+                threads: 8,
+                parallel_threshold: 1,
+            },
+        )
+        .expect("parallel request");
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn arena_layout_is_consistent() {
+        let a = grid_laplacian(7, 7, 1e-3);
+        let chol = CholeskyFactor::factor(&a).expect("spd");
+        let z = SparseApproximateInverse::from_factor(chol.factor_l(), 1e-3, 2).expect("valid");
+        let n = z.order();
+        assert_eq!(z.col_ptr().len(), n + 1);
+        assert_eq!(z.col_ptr()[0], 0);
+        assert_eq!(z.col_ptr()[n], z.arena_rows().len());
+        assert_eq!(z.arena_rows().len(), z.arena_values().len());
+        assert_eq!(z.arena_rows().len(), z.nnz());
+        for j in 0..n {
+            let column = z.column(j);
+            assert!(column.indices().windows(2).all(|w| w[0] < w[1]));
+            assert!(column.indices().first().is_some_and(|&i| i >= j));
+        }
+        // Round-trip through the arena parts.
+        let clone = z.clone();
+        let (dim, col_ptr, rows, vals, stats, epsilon) = clone.into_arena();
+        let rebuilt =
+            SparseApproximateInverse::from_arena(dim, col_ptr, rows, vals, stats, epsilon)
+                .expect("valid arena");
+        assert_eq!(rebuilt, z);
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn from_arena_rejects_inconsistent_buffers() {
+        let ok = |f: &dyn Fn(&mut Vec<usize>, &mut Vec<usize>, &mut Vec<f64>)| {
+            let mut col_ptr = vec![0usize, 1, 3];
+            let mut rows = vec![0usize, 0, 1];
+            let mut vals = vec![1.0, 0.5, 1.0];
+            f(&mut col_ptr, &mut rows, &mut vals);
+            SparseApproximateInverse::from_arena(
+                2,
+                col_ptr,
+                rows,
+                vals,
+                ApproxInverseStats::default(),
+                0.0,
+            )
+        };
+        // The unmodified buffers describe column 1 with an above-diagonal
+        // entry (row 0 < column 1): rejected.
+        assert!(ok(&|_, _, _| {}).is_err());
+        // Fixing the offending row index makes it valid.
+        assert!(ok(&|_, rows, _| rows[1] = 1).is_err()); // duplicate row 1
+        assert!(ok(&|cp, rows, vals| {
+            *cp = vec![0, 1, 2];
+            *rows = vec![0, 1];
+            *vals = vec![1.0, 1.0];
+        })
+        .is_ok());
+        // col_ptr length / span mismatches.
+        assert!(ok(&|cp, _, _| cp.truncate(2)).is_err());
+        assert!(ok(&|cp, _, _| cp[2] = 2).is_err());
+        // rows/vals length mismatch.
+        assert!(ok(&|_, _, vals| vals.truncate(2)).is_err());
+        // Non-monotone col_ptr whose intermediate pointer overshoots the
+        // buffer: must be a clean error, not a slice-range panic, even
+        // though the endpoints look consistent.
+        assert!(SparseApproximateInverse::from_arena(
+            2,
+            vec![0, 5, 3],
+            vec![0, 1, 1],
+            vec![1.0, 0.5, 1.0],
+            ApproxInverseStats::default(),
+            0.0,
+        )
+        .is_err());
     }
 
     #[test]
@@ -504,5 +1243,56 @@ mod tests {
         let (unchanged, zero_dropped) = prune_column(&x, 0.0);
         assert_eq!(zero_dropped, 0);
         assert_eq!(unchanged.nnz(), 5);
+    }
+
+    #[test]
+    fn prune_selection_matches_full_sort_reference() {
+        // Deterministic pseudo-random columns, including heavy ties: the
+        // partial-selection pruning must agree entry-for-entry with the
+        // straightforward sort-everything reference.
+        let reference = |x: &SparseVec, epsilon: f64| -> (Vec<usize>, usize) {
+            let mut mags: Vec<f64> = x.values().iter().map(|v| v.abs()).collect();
+            mags.sort_unstable_by(|a, b| a.total_cmp(b));
+            let budget = epsilon * x.norm1();
+            let mut acc = 0.0;
+            let mut dropped = 0;
+            for &m in &mags {
+                if acc + m <= budget {
+                    acc += m;
+                    dropped += 1;
+                } else {
+                    break;
+                }
+            }
+            let keep = x.nnz() - dropped;
+            (x.truncate_to(keep).indices().to_vec(), dropped)
+        };
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for case in 0..200 {
+            let k = 1 + (next() % 60) as usize;
+            let dim = k + (next() % 10) as usize;
+            let mut indices: Vec<usize> = (0..dim).collect();
+            // Keep the first k of a shuffled index set, sorted.
+            for i in (1..dim).rev() {
+                indices.swap(i, (next() % (i as u64 + 1)) as usize);
+            }
+            indices.truncate(k);
+            indices.sort_unstable();
+            let values: Vec<f64> = (0..k)
+                .map(|_| ((next() % 16) as f64) / 4.0 + 0.25) // many ties
+                .collect();
+            let x = SparseVec::from_sorted(dim, indices, values);
+            let epsilon = ((next() % 90) as f64 + 1.0) / 100.0;
+            let (expected_indices, expected_dropped) = reference(&x, epsilon);
+            let (pruned, dropped) = prune_column(&x, epsilon);
+            assert_eq!(dropped, expected_dropped, "case {case}");
+            assert_eq!(pruned.indices(), &expected_indices[..], "case {case}");
+        }
     }
 }

@@ -15,6 +15,51 @@ pub enum Ordering {
     MinimumDegree,
 }
 
+/// Knobs of the approximate-inverse construction (Alg. 2), independent of
+/// the numerical parameters: how the backward column sweep is executed.
+///
+/// The parallel build partitions each level of the factor's
+/// [`effres_sparse::LevelSchedule`] across scoped worker threads. It is
+/// **bit-identical** to the sequential build — every column is assembled
+/// from the same already-pruned columns with the same floating-point
+/// operation order — so these options trade wall-clock time only, never
+/// results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildOptions {
+    /// Worker threads for the level-scheduled build; `0` means one per
+    /// available core, `1` forces the sequential path.
+    pub threads: usize,
+    /// Factors with fewer columns than this run sequentially regardless of
+    /// `threads`: spawning and synchronizing workers costs more than the
+    /// sweep itself on small problems.
+    pub parallel_threshold: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            threads: 0,
+            parallel_threshold: 1 << 12,
+        }
+    }
+}
+
+impl BuildOptions {
+    /// Options forcing the sequential reference path.
+    pub fn sequential() -> Self {
+        BuildOptions {
+            threads: 1,
+            ..BuildOptions::default()
+        }
+    }
+
+    /// Sets the worker-thread count (`0` = one per core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
 /// Configuration of [`crate::EffectiveResistanceEstimator`] (Alg. 3).
 ///
 /// The defaults reproduce the parameters of the paper's experiments:
@@ -42,6 +87,10 @@ pub struct EffresConfig {
     /// kept exactly (step 3 of Alg. 2). The paper uses `log n`; the floor lets
     /// tiny graphs behave sensibly.
     pub dense_column_threshold: usize,
+    /// Execution options of the approximate-inverse build (thread count and
+    /// the sequential-fallback threshold). Results are bit-identical across
+    /// all settings.
+    pub build: BuildOptions,
 }
 
 impl Default for EffresConfig {
@@ -52,6 +101,7 @@ impl Default for EffresConfig {
             ground_conductance: 1.0,
             ordering: Ordering::default(),
             dense_column_threshold: 4,
+            build: BuildOptions::default(),
         }
     }
 }
@@ -83,6 +133,19 @@ impl EffresConfig {
     /// Sets the ground conductance.
     pub fn with_ground_conductance(mut self, ground_conductance: f64) -> Self {
         self.ground_conductance = ground_conductance;
+        self
+    }
+
+    /// Sets the approximate-inverse build options.
+    pub fn with_build_options(mut self, build: BuildOptions) -> Self {
+        self.build = build;
+        self
+    }
+
+    /// Sets the worker-thread count of the approximate-inverse build
+    /// (`0` = one per core, `1` = sequential).
+    pub fn with_build_threads(mut self, threads: usize) -> Self {
+        self.build.threads = threads;
         self
     }
 
@@ -132,12 +195,25 @@ mod tests {
             .with_epsilon(1e-2)
             .with_drop_tolerance(1e-4)
             .with_ordering(Ordering::MinimumDegree)
-            .with_ground_conductance(1e-3);
+            .with_ground_conductance(1e-3)
+            .with_build_threads(3);
         assert_eq!(c.epsilon, 1e-2);
         assert_eq!(c.drop_tolerance, 1e-4);
         assert_eq!(c.ordering, Ordering::MinimumDegree);
         assert_eq!(c.ground_conductance, 1e-3);
+        assert_eq!(c.build.threads, 3);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn build_options_defaults_and_builders() {
+        let d = BuildOptions::default();
+        assert_eq!(d.threads, 0, "default resolves to one thread per core");
+        assert!(d.parallel_threshold > 0);
+        assert_eq!(BuildOptions::sequential().threads, 1);
+        assert_eq!(BuildOptions::default().with_threads(8).threads, 8);
+        let c = EffresConfig::new().with_build_options(BuildOptions::sequential());
+        assert_eq!(c.build, BuildOptions::sequential());
     }
 
     #[test]

@@ -90,10 +90,11 @@ impl EffectiveResistanceEstimator {
             },
         )?;
         let depth = FilledGraphDepth::from_factor(ichol.factor_l());
-        let inverse = SparseApproximateInverse::from_factor(
+        let inverse = SparseApproximateInverse::from_factor_with(
             ichol.factor_l(),
             config.epsilon,
             config.dense_column_threshold,
+            &config.build,
         )?;
         let stats = EstimatorStats {
             node_count: matrix.ncols(),

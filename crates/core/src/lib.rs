@@ -51,7 +51,7 @@ pub mod exact;
 pub mod random_projection;
 pub mod stats;
 
-pub use config::{EffresConfig, Ordering};
+pub use config::{BuildOptions, EffresConfig, Ordering};
 pub use error::EffresError;
 pub use estimator::EffectiveResistanceEstimator;
 pub use exact::ExactEffectiveResistance;
@@ -60,7 +60,7 @@ pub use random_projection::{RandomProjectionEstimator, RandomProjectionOptions, 
 /// Convenient glob import of the main types.
 pub mod prelude {
     pub use crate::approx_inverse::SparseApproximateInverse;
-    pub use crate::config::{EffresConfig, Ordering};
+    pub use crate::config::{BuildOptions, EffresConfig, Ordering};
     pub use crate::error::EffresError;
     pub use crate::estimator::EffectiveResistanceEstimator;
     pub use crate::exact::ExactEffectiveResistance;

@@ -28,7 +28,7 @@ use crate::gzip::Crc32;
 use effres::approx_inverse::{ApproxInverseStats, SparseApproximateInverse};
 use effres::estimator::EstimatorStats;
 use effres::EffectiveResistanceEstimator;
-use effres_sparse::{Permutation, SparseVec};
+use effres_sparse::Permutation;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -237,7 +237,12 @@ pub fn read_snapshot<R: Read>(reader: &mut R) -> Result<Snapshot, IoError> {
     }
     let permutation = Permutation::from_new_to_old(new_to_old)
         .map_err(|e| IoError::Format(format!("invalid permutation: {e}")))?;
-    let mut columns = Vec::with_capacity(n.min(PREALLOC_CAP));
+    // The columns stream straight into the estimator's flat CSC arena —
+    // three contiguous buffers instead of one allocation per column.
+    let mut col_ptr = Vec::with_capacity((n + 1).min(PREALLOC_CAP));
+    let mut arena_rows: Vec<usize> = Vec::new();
+    let mut arena_vals: Vec<f64> = Vec::new();
+    col_ptr.push(0usize);
     for j in 0..n {
         let nnz = input.take_u32()? as usize;
         if nnz > n {
@@ -245,25 +250,27 @@ pub fn read_snapshot<R: Read>(reader: &mut R) -> Result<Snapshot, IoError> {
                 "column {j} claims {nnz} nonzeros in a {n}-node inverse"
             )));
         }
-        let mut indices = Vec::with_capacity(nnz.min(PREALLOC_CAP));
+        let start = arena_rows.len();
+        arena_rows.reserve(nnz.min(PREALLOC_CAP));
         for _ in 0..nnz {
-            indices.push(input.take_u32()? as usize);
+            arena_rows.push(input.take_u32()? as usize);
         }
-        let sorted = indices.windows(2).all(|w| w[0] < w[1]);
-        if !sorted || indices.last().is_some_and(|&i| i >= n) {
+        let column = &arena_rows[start..];
+        let sorted = column.windows(2).all(|w| w[0] < w[1]);
+        if !sorted || column.last().is_some_and(|&i| i >= n) {
             return Err(IoError::Format(format!(
                 "column {j} indices are not strictly increasing within 0..{n}"
             )));
         }
-        let mut values = Vec::with_capacity(nnz.min(PREALLOC_CAP));
+        arena_vals.reserve(nnz.min(PREALLOC_CAP));
         for _ in 0..nnz {
             let v = input.take_f64()?;
             if !v.is_finite() {
                 return Err(IoError::Format(format!("non-finite value in column {j}")));
             }
-            values.push(v);
+            arena_vals.push(v);
         }
-        columns.push(SparseVec::from_sorted(n, indices, values));
+        col_ptr.push(arena_rows.len());
     }
     let labels = match input.take_u8()? {
         0 => None,
@@ -290,7 +297,9 @@ pub fn read_snapshot<R: Read>(reader: &mut R) -> Result<Snapshot, IoError> {
             "snapshot checksum mismatch: computed {computed:#010x}, stored {expected:#010x}"
         )));
     }
-    let inverse = SparseApproximateInverse::from_parts(columns, inv_stats, epsilon)?;
+    let inverse = SparseApproximateInverse::from_arena(
+        n, col_ptr, arena_rows, arena_vals, inv_stats, epsilon,
+    )?;
     let estimator = EffectiveResistanceEstimator::from_parts(inverse, permutation, stats)?;
     Ok(Snapshot { estimator, labels })
 }

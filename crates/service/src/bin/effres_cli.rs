@@ -48,6 +48,9 @@ BUILD OPTIONS (dataset inputs):
     --drop-tolerance <t>    incomplete Cholesky drop tol [default: 1e-3]
     --ordering <o>          natural | rcm | amd          [default: amd]
     --ground <g>            ground conductance           [default: 1e-6]
+    --build-threads <n>     approximate-inverse build workers
+                            (0 = all cores, 1 = sequential; results are
+                            bit-identical either way)     [default: 0]
 
 BATCH OPTIONS:
     --pairs <file>          pair file: one `p q` per line, # comments
@@ -195,6 +198,11 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     other => return Err(CliError::Usage(format!("unknown ordering `{other}`"))),
                 };
                 options.config = options.config.with_ordering(ordering);
+            }
+            "--build-threads" => {
+                let threads: usize =
+                    parse_number(&value_of("--build-threads", &mut iter)?, "--build-threads")?;
+                options.config = options.config.with_build_threads(threads);
             }
             "--output" | "-o" => options.output = Some(value_of("--output", &mut iter)?.into()),
             "--pairs" => options.pairs_file = Some(value_of("--pairs", &mut iter)?.into()),

@@ -87,7 +87,9 @@ impl BatchResult {
 
 /// Per-thread scratch: one approximate-inverse column scattered into a dense
 /// buffer, so consecutive queries sharing an endpoint pay the scatter once
-/// and each dot product only walks the *other* column.
+/// and each dot product only walks the *other* column. Columns are read as
+/// plain slices out of the estimator's flat CSC arena, so both the scatter
+/// and the suffix dot stream contiguous memory.
 struct ColumnScratch {
     dense: Vec<f64>,
     loaded: Option<usize>,

@@ -56,6 +56,7 @@ pub mod etree;
 pub mod ichol;
 pub mod permutation;
 pub mod rcm;
+pub mod schedule;
 pub mod sparse_vec;
 pub mod symbolic;
 pub mod trisolve;
@@ -67,4 +68,5 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::SparseError;
 pub use permutation::Permutation;
+pub use schedule::LevelSchedule;
 pub use sparse_vec::SparseVec;

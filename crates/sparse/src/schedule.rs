@@ -1,0 +1,258 @@
+//! Level scheduling for backward column sweeps over a lower-triangular factor.
+//!
+//! The approximate-inverse recurrence (Alg. 2 of the paper) builds column `j`
+//! of `Z = L⁻¹` from the columns `i > j` appearing in the below-diagonal
+//! pattern of `L`'s column `j` — exactly `j`'s ancestors in the elimination
+//! tree. Columns that share no ancestor dependency are independent, so the
+//! whole sweep can be arranged into *levels*: level 0 holds the columns with
+//! no below-diagonal entries (the etree roots), and each later level holds
+//! the columns whose deepest dependency sits one level up. Processing levels
+//! root-downward, all columns inside one level can run in parallel.
+//!
+//! Two constructions are provided:
+//!
+//! * [`LevelSchedule::from_lower_factor`] reads the factor's actual pattern.
+//!   With threshold-dropped (incomplete) factors this is the sharper
+//!   schedule: dropped entries remove dependencies and flatten the levels.
+//! * [`LevelSchedule::from_etree`] uses only the elimination-tree parents
+//!   (via [`crate::etree::tree_depths`]); it is valid for any factor whose
+//!   pattern is contained in the ancestor sets, but is never shallower than
+//!   the pattern-based schedule.
+
+use crate::csc::CscMatrix;
+use crate::etree::{tree_depths, NO_PARENT};
+
+/// Columns of a lower-triangular factor grouped into dependency levels.
+///
+/// Level `l` contains the columns whose below-diagonal dependencies all lie
+/// in levels `< l`; within a level columns are listed in ascending index
+/// order, so iterating levels in order and columns within a level in slice
+/// order is a deterministic, dependency-respecting schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelSchedule {
+    /// `level_ptr[l]..level_ptr[l + 1]` indexes `columns` for level `l`.
+    level_ptr: Vec<usize>,
+    /// Column indices grouped by level, ascending within each level.
+    columns: Vec<usize>,
+}
+
+impl LevelSchedule {
+    /// Builds the schedule from per-column level numbers.
+    fn from_levels(levels: &[usize]) -> Self {
+        let num_levels = levels.iter().map(|&l| l + 1).max().unwrap_or(0);
+        let mut level_ptr = vec![0usize; num_levels + 1];
+        for &l in levels {
+            level_ptr[l + 1] += 1;
+        }
+        for l in 0..num_levels {
+            level_ptr[l + 1] += level_ptr[l];
+        }
+        let mut next = level_ptr.clone();
+        let mut columns = vec![0usize; levels.len()];
+        // Iterating columns in ascending order keeps each level's slice
+        // sorted ascending.
+        for (j, &l) in levels.iter().enumerate() {
+            columns[next[l]] = j;
+            next[l] += 1;
+        }
+        LevelSchedule { level_ptr, columns }
+    }
+
+    /// Builds the schedule from the below-diagonal pattern of a square
+    /// lower-triangular factor: column `j` lands one level below its deepest
+    /// dependency `i > j` with `L(i, j) ≠ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not square.
+    pub fn from_lower_factor(l: &CscMatrix) -> Self {
+        assert_eq!(l.nrows(), l.ncols(), "level schedule needs a square factor");
+        let n = l.ncols();
+        let mut levels = vec![0usize; n];
+        for j in (0..n).rev() {
+            let mut level = 0;
+            for &i in l.column_rows(j) {
+                if i > j {
+                    level = level.max(levels[i] + 1);
+                }
+            }
+            levels[j] = level;
+        }
+        Self::from_levels(&levels)
+    }
+
+    /// Builds the (coarser) schedule from elimination-tree parents: a
+    /// column's level is its tree depth, so roots form level 0 and every
+    /// column waits for all of its ancestors.
+    pub fn from_etree(parent: &[usize]) -> Self {
+        debug_assert!(parent
+            .iter()
+            .enumerate()
+            .all(|(j, &p)| p == NO_PARENT || p > j));
+        Self::from_levels(&tree_depths(parent))
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.level_ptr.len() - 1
+    }
+
+    /// Total number of scheduled columns (the factor order).
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The columns of level `l`, in ascending index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.num_levels()`.
+    pub fn level(&self, l: usize) -> &[usize] {
+        &self.columns[self.level_ptr[l]..self.level_ptr[l + 1]]
+    }
+
+    /// Iterates over the levels root-downward.
+    pub fn levels(&self) -> impl Iterator<Item = &[usize]> + '_ {
+        (0..self.num_levels()).map(|l| self.level(l))
+    }
+
+    /// Width of the widest level.
+    pub fn max_width(&self) -> usize {
+        (0..self.num_levels())
+            .map(|l| self.level(l).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average columns per level (`0.0` for an empty schedule).
+    pub fn mean_width(&self) -> f64 {
+        if self.num_levels() == 0 {
+            0.0
+        } else {
+            self.len() as f64 / self.num_levels() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::CholeskyFactor;
+    use crate::coo::TripletMatrix;
+    use crate::etree::etree;
+
+    fn path_laplacian(n: usize) -> CscMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n - 1 {
+            t.add_laplacian_edge(i, i + 1, 1.0);
+        }
+        for i in 0..n {
+            t.push(i, i, 1e-3);
+        }
+        t.to_csc()
+    }
+
+    /// Every column must sit strictly below all of its dependencies.
+    fn assert_valid_for(schedule: &LevelSchedule, l: &CscMatrix) {
+        let mut level_of = vec![usize::MAX; schedule.len()];
+        for (lvl, cols) in schedule.levels().enumerate() {
+            for &j in cols {
+                level_of[j] = lvl;
+            }
+        }
+        assert!(level_of.iter().all(|&l| l != usize::MAX));
+        for j in 0..l.ncols() {
+            for &i in l.column_rows(j) {
+                if i > j {
+                    assert!(
+                        level_of[i] < level_of[j],
+                        "column {j} at level {} depends on {i} at level {}",
+                        level_of[j],
+                        level_of[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bidiagonal_factor_is_one_column_per_level() {
+        // The factor of a path Laplacian is bidiagonal: a pure chain.
+        let a = path_laplacian(5);
+        let l = CholeskyFactor::factor(&a).expect("spd").factor_l().clone();
+        let schedule = LevelSchedule::from_lower_factor(&l);
+        assert_eq!(schedule.num_levels(), 5);
+        assert_eq!(schedule.level(0), &[4]);
+        assert_eq!(schedule.level(4), &[0]);
+        assert_eq!(schedule.max_width(), 1);
+        assert_valid_for(&schedule, &l);
+    }
+
+    #[test]
+    fn diagonal_factor_is_a_single_level() {
+        let mut t = TripletMatrix::new(4, 4);
+        for j in 0..4 {
+            t.push(j, j, 2.0);
+        }
+        let l = t.to_csc();
+        let schedule = LevelSchedule::from_lower_factor(&l);
+        assert_eq!(schedule.num_levels(), 1);
+        assert_eq!(schedule.level(0), &[0, 1, 2, 3]);
+        assert_eq!(schedule.mean_width(), 4.0);
+        assert_valid_for(&schedule, &l);
+    }
+
+    #[test]
+    fn star_factor_parallelizes_the_leaves() {
+        // Star with the centre ordered last: all leaves depend only on the
+        // centre, so the schedule is centre first, then every leaf at once.
+        let mut t = TripletMatrix::new(5, 5);
+        for leaf in 0..4 {
+            t.add_laplacian_edge(leaf, 4, 1.0);
+        }
+        t.push(4, 4, 1e-3);
+        let l = CholeskyFactor::factor(&t.to_csc())
+            .expect("spd")
+            .factor_l()
+            .clone();
+        let schedule = LevelSchedule::from_lower_factor(&l);
+        assert_eq!(schedule.num_levels(), 2);
+        assert_eq!(schedule.level(0), &[4]);
+        assert_eq!(schedule.level(1), &[0, 1, 2, 3]);
+        assert_valid_for(&schedule, &l);
+    }
+
+    #[test]
+    fn etree_schedule_is_valid_but_never_shallower() {
+        let mut t = TripletMatrix::new(7, 7);
+        for (u, v) in [(0, 3), (1, 3), (2, 4), (3, 5), (4, 5), (5, 6)] {
+            t.add_laplacian_edge(u, v, 1.0);
+        }
+        for i in 0..7 {
+            t.push(i, i, 1e-3);
+        }
+        let a = t.to_csc();
+        let l = CholeskyFactor::factor(&a).expect("spd").factor_l().clone();
+        let parent = etree(&a);
+        let pattern = LevelSchedule::from_lower_factor(&l);
+        let tree = LevelSchedule::from_etree(&parent);
+        assert_valid_for(&pattern, &l);
+        assert_valid_for(&tree, &l);
+        assert!(tree.num_levels() >= pattern.num_levels());
+        assert_eq!(tree.len(), pattern.len());
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let schedule = LevelSchedule::from_lower_factor(&CscMatrix::zeros(0, 0));
+        assert!(schedule.is_empty());
+        assert_eq!(schedule.num_levels(), 0);
+        assert_eq!(schedule.max_width(), 0);
+        assert_eq!(schedule.mean_width(), 0.0);
+    }
+}

@@ -154,26 +154,7 @@ impl SparseVec {
     /// Panics if the dimensions differ.
     pub fn distance_squared(&self, other: &SparseVec) -> f64 {
         assert_eq!(self.dim, other.dim, "dimension mismatch");
-        let mut s = 0.0;
-        let mut ia = 0;
-        let mut ib = 0;
-        while ia < self.indices.len() || ib < other.indices.len() {
-            if ib >= other.indices.len()
-                || (ia < self.indices.len() && self.indices[ia] < other.indices[ib])
-            {
-                s += self.values[ia] * self.values[ia];
-                ia += 1;
-            } else if ia >= self.indices.len() || other.indices[ib] < self.indices[ia] {
-                s += other.values[ib] * other.values[ib];
-                ib += 1;
-            } else {
-                let d = self.values[ia] - other.values[ib];
-                s += d * d;
-                ia += 1;
-                ib += 1;
-            }
-        }
-        s
+        vecops::sparse_distance_squared(&self.indices, &self.values, &other.indices, &other.values)
     }
 
     /// Dot product with another sparse vector of the same dimension.
@@ -183,21 +164,7 @@ impl SparseVec {
     /// Panics if the dimensions differ.
     pub fn dot(&self, other: &SparseVec) -> f64 {
         assert_eq!(self.dim, other.dim, "dimension mismatch");
-        let mut s = 0.0;
-        let mut ia = 0;
-        let mut ib = 0;
-        while ia < self.indices.len() && ib < other.indices.len() {
-            match self.indices[ia].cmp(&other.indices[ib]) {
-                std::cmp::Ordering::Less => ia += 1,
-                std::cmp::Ordering::Greater => ib += 1,
-                std::cmp::Ordering::Equal => {
-                    s += self.values[ia] * other.values[ib];
-                    ia += 1;
-                    ib += 1;
-                }
-            }
-        }
-        s
+        vecops::sparse_dot(&self.indices, &self.values, &other.indices, &other.values)
     }
 
     /// 1-norm of the difference with another sparse vector.
@@ -207,25 +174,7 @@ impl SparseVec {
     /// Panics if the dimensions differ.
     pub fn diff_norm1(&self, other: &SparseVec) -> f64 {
         assert_eq!(self.dim, other.dim, "dimension mismatch");
-        let mut s = 0.0;
-        let mut ia = 0;
-        let mut ib = 0;
-        while ia < self.indices.len() || ib < other.indices.len() {
-            if ib >= other.indices.len()
-                || (ia < self.indices.len() && self.indices[ia] < other.indices[ib])
-            {
-                s += self.values[ia].abs();
-                ia += 1;
-            } else if ia >= self.indices.len() || other.indices[ib] < self.indices[ia] {
-                s += other.values[ib].abs();
-                ib += 1;
-            } else {
-                s += (self.values[ia] - other.values[ib]).abs();
-                ia += 1;
-                ib += 1;
-            }
-        }
-        s
+        vecops::sparse_diff_norm1(&self.indices, &self.values, &other.indices, &other.values)
     }
 
     /// Keeps only the `keep` largest-magnitude entries, dropping the rest.
@@ -314,7 +263,19 @@ impl SparseAccumulator {
     /// Panics if the dimensions differ.
     pub fn axpy(&mut self, alpha: f64, x: &SparseVec) {
         assert_eq!(x.dim(), self.dim(), "dimension mismatch");
-        for (i, v) in x.iter() {
+        self.axpy_raw(alpha, x.indices(), x.values());
+    }
+
+    /// Adds `alpha * x` where `x` is given as parallel index/value slices —
+    /// the column representation of a flat CSC arena (see the
+    /// approximate-inverse column store in the `effres` crate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or an index is out of bounds.
+    pub fn axpy_raw(&mut self, alpha: f64, indices: &[usize], values: &[f64]) {
+        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        for (&i, &v) in indices.iter().zip(values) {
             self.add(i, alpha * v);
         }
     }
@@ -336,6 +297,28 @@ impl SparseAccumulator {
             indices,
             values,
         }
+    }
+
+    /// Appends the accumulated entries, in sorted index order, to the ends of
+    /// `rows` and `vals`, clears the accumulator and returns the number of
+    /// entries appended.
+    ///
+    /// This is the allocation-free counterpart of
+    /// [`SparseAccumulator::take`]: arena-style column stores call it to
+    /// deposit a finished column directly at the tail of their flat buffers.
+    pub fn take_append(&mut self, rows: &mut Vec<usize>, vals: &mut Vec<f64>) -> usize {
+        self.pattern.sort_unstable();
+        let nnz = self.pattern.len();
+        rows.reserve(nnz);
+        vals.reserve(nnz);
+        for &i in &self.pattern {
+            rows.push(i);
+            vals.push(self.values[i]);
+            self.values[i] = 0.0;
+            self.occupied[i] = false;
+        }
+        self.pattern.clear();
+        nnz
     }
 
     /// Clears the accumulator without extracting a vector.
@@ -407,6 +390,29 @@ mod tests {
         acc.add(1, 7.0);
         let out2 = acc.take();
         assert_eq!(out2.to_dense(), vec![0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn accumulator_take_append_matches_take() {
+        let mut a = SparseAccumulator::new(5);
+        let mut b = SparseAccumulator::new(5);
+        let x = SparseVec::from_sorted(5, vec![0, 2, 4], vec![1.0, -2.0, 3.0]);
+        a.axpy(2.0, &x);
+        a.add(1, 0.5);
+        b.axpy_raw(2.0, x.indices(), x.values());
+        b.add(1, 0.5);
+        let taken = a.take();
+        let mut rows = vec![9usize]; // pre-existing tail content must survive
+        let mut vals = vec![7.0];
+        let nnz = b.take_append(&mut rows, &mut vals);
+        assert_eq!(nnz, taken.nnz());
+        assert_eq!(&rows[1..], taken.indices());
+        assert_eq!(&vals[1..], taken.values());
+        assert_eq!((rows[0], vals[0]), (9, 7.0));
+        // Both accumulators are reusable afterwards.
+        a.add(3, 1.0);
+        b.add(3, 1.0);
+        assert_eq!(a.take().to_dense(), b.take().to_dense());
     }
 
     #[test]

@@ -57,6 +57,75 @@ pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
     x.iter().zip(y).map(|(a, b)| a - b).collect()
 }
 
+/// Dot product of two sparse vectors given as sorted parallel
+/// `indices`/`values` slices — the shared merge kernel behind
+/// [`crate::SparseVec::dot`] and the flat-arena column views of the `effres`
+/// crate.
+pub fn sparse_dot(ai: &[usize], av: &[f64], bi: &[usize], bv: &[f64]) -> f64 {
+    let mut s = 0.0;
+    let mut ia = 0;
+    let mut ib = 0;
+    while ia < ai.len() && ib < bi.len() {
+        match ai[ia].cmp(&bi[ib]) {
+            std::cmp::Ordering::Less => ia += 1,
+            std::cmp::Ordering::Greater => ib += 1,
+            std::cmp::Ordering::Equal => {
+                s += av[ia] * bv[ib];
+                ia += 1;
+                ib += 1;
+            }
+        }
+    }
+    s
+}
+
+/// Runs the union merge of two sorted sparse vectors, feeding `visit` with
+/// the pair of values at every index where either vector is nonzero (zero
+/// for the absent side). The reduction behind the sparse distance and
+/// difference norms.
+fn sparse_union_fold(
+    ai: &[usize],
+    av: &[f64],
+    bi: &[usize],
+    bv: &[f64],
+    mut visit: impl FnMut(f64, f64),
+) {
+    let mut ia = 0;
+    let mut ib = 0;
+    while ia < ai.len() || ib < bi.len() {
+        if ib >= bi.len() || (ia < ai.len() && ai[ia] < bi[ib]) {
+            visit(av[ia], 0.0);
+            ia += 1;
+        } else if ia >= ai.len() || bi[ib] < ai[ia] {
+            visit(0.0, bv[ib]);
+            ib += 1;
+        } else {
+            visit(av[ia], bv[ib]);
+            ia += 1;
+            ib += 1;
+        }
+    }
+}
+
+/// Squared Euclidean distance between two sparse vectors given as sorted
+/// parallel `indices`/`values` slices.
+pub fn sparse_distance_squared(ai: &[usize], av: &[f64], bi: &[usize], bv: &[f64]) -> f64 {
+    let mut s = 0.0;
+    sparse_union_fold(ai, av, bi, bv, |a, b| {
+        let d = a - b;
+        s += d * d;
+    });
+    s
+}
+
+/// 1-norm of the difference of two sparse vectors given as sorted parallel
+/// `indices`/`values` slices.
+pub fn sparse_diff_norm1(ai: &[usize], av: &[f64], bi: &[usize], bv: &[f64]) -> f64 {
+    let mut s = 0.0;
+    sparse_union_fold(ai, av, bi, bv, |a, b| s += (a - b).abs());
+    s
+}
+
 /// Maximum absolute difference between two vectors.
 ///
 /// # Panics
@@ -105,5 +174,28 @@ mod tests {
         assert_eq!(norm2(&[]), 0.0);
         assert_eq!(norm1(&[]), 0.0);
         assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn sparse_merges_match_dense_reference() {
+        let (ai, av) = (vec![0usize, 2, 4], vec![1.0, 2.0, 3.0]);
+        let (bi, bv) = (vec![1usize, 2], vec![-1.0, 5.0]);
+        let dense = |i: &[usize], v: &[f64]| {
+            let mut out = vec![0.0; 5];
+            for (&idx, &val) in i.iter().zip(v) {
+                out[idx] = val;
+            }
+            out
+        };
+        let (da, db) = (dense(&ai, &av), dense(&bi, &bv));
+        let d2: f64 = da.iter().zip(&db).map(|(x, y)| (x - y) * (x - y)).sum();
+        let d: f64 = da.iter().zip(&db).map(|(x, y)| x * y).sum();
+        let l1: f64 = da.iter().zip(&db).map(|(x, y)| (x - y).abs()).sum();
+        assert_eq!(sparse_dot(&ai, &av, &bi, &bv), d);
+        assert_eq!(sparse_distance_squared(&ai, &av, &bi, &bv), d2);
+        assert_eq!(sparse_diff_norm1(&ai, &av, &bi, &bv), l1);
+        // Empty operands short-circuit to the other side's contribution.
+        assert_eq!(sparse_dot(&[], &[], &bi, &bv), 0.0);
+        assert_eq!(sparse_diff_norm1(&[], &[], &bi, &bv), 6.0);
     }
 }
