@@ -66,12 +66,27 @@ fn main() {
         reference.nnz_ratio()
     );
 
+    // The parallel configurations run the production deployment shape: the
+    // factor shared in one Arc (no per-build copy) on a persistent pool
+    // reused across every sample.
+    let shared = std::sync::Arc::new(l.clone());
     let mut parallel_reports = Vec::new();
     let mut best_speedup = 1.0f64;
     for threads in [2usize, 4, 8] {
+        let pool = effres_sparse::WorkerPool::new(threads);
         let options = BuildOptions {
             threads,
             ..BuildOptions::default()
+        };
+        let build = |options: &BuildOptions| {
+            SparseApproximateInverse::from_factor_shared(
+                std::sync::Arc::clone(&shared),
+                EPSILON,
+                DENSE_COLUMN_THRESHOLD,
+                options,
+                Some(&pool),
+            )
+            .expect("Alg. 2")
         };
         let candidate = build(&options);
         let bit_identical = candidate.col_ptr() == reference.col_ptr()
@@ -104,6 +119,16 @@ fn main() {
         ("ordering", Json::Str("amd".to_string())),
         ("factor_nnz", Json::Int(l.nnz() as u64)),
         ("inverse_nnz", Json::Int(reference.nnz() as u64)),
+        // Bytes of row indices in the finished arena (u32 width — half of
+        // what a usize-indexed arena would hold on 64-bit hosts).
+        (
+            "arena_index_bytes",
+            Json::Int(reference.footprint().rows_bytes as u64),
+        ),
+        (
+            "arena_index_width_bytes",
+            Json::Int(reference.footprint().index_width_bytes as u64),
+        ),
         ("schedule_levels", Json::Int(schedule.num_levels() as u64)),
         ("schedule_mean_width", Json::Num(schedule.mean_width())),
         ("hardware_threads", Json::Int(hardware as u64)),

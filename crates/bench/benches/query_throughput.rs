@@ -1,9 +1,9 @@
 //! Batched query throughput: the naive sequential loop
 //! (`EffectiveResistanceEstimator::query_many`, one full two-column merge per
 //! query) against the `effres-service` engine's batched path (precomputed
-//! column norms, per-thread scratch column reuse over a sorted batch, and —
-//! on multi-core hosts — scoped worker threads), all reading columns out of
-//! the flat CSC arena.
+//! column norms, reusable scratch columns over a sorted batch, and — on
+//! multi-core hosts — jobs on a persistent worker pool), all reading columns
+//! out of the flat CSC arena with its narrowed `u32` row indices.
 //!
 //! This is the acceptance workload of the ingestion/service subsystem: a
 //! ≥ 100k-node generated graph answering tens of thousands of `(p, q)`
@@ -69,10 +69,23 @@ fn main() {
     }
 
     let stats = estimator.stats();
+    let footprint = estimator.approximate_inverse().footprint();
     let body = Json::Obj(vec![
         ("graph", Json::Str(format!("grid_2d_{SIDE}x{SIDE}"))),
         ("nodes", Json::Int(stats.node_count as u64)),
         ("inverse_nnz", Json::Int(stats.inverse_nnz as u64)),
+        // Bytes of row indices the query kernels stream out of the arena —
+        // halved by the usize→u32 index narrowing; `index_width_bytes`
+        // records the width so the halving is visible across PRs.
+        ("arena_index_bytes", Json::Int(footprint.rows_bytes as u64)),
+        (
+            "arena_index_width_bytes",
+            Json::Int(footprint.index_width_bytes as u64),
+        ),
+        (
+            "arena_total_bytes",
+            Json::Int(footprint.total_bytes() as u64),
+        ),
         ("queries", Json::Int(QUERIES as u64)),
         ("hardware_threads", Json::Int(hardware as u64)),
         ("samples", Json::Int(SAMPLES as u64)),

@@ -15,11 +15,18 @@
 //! rule of Eq. (10)). Theorem 1 then bounds the column error by
 //! `depth(j) · ε`.
 //!
-//! # Storage: a flat CSC arena
+//! # Storage: a flat CSC arena with `u32` row indices
 //!
 //! The finished inverse is stored as three contiguous buffers —
 //! `col_ptr`/`rows`/`vals`, the classic compressed-sparse-column layout —
-//! rather than one heap allocation per column. Query kernels
+//! rather than one heap allocation per column. Row indices are stored as
+//! `u32` (the width the snapshot format has always used on disk), so on a
+//! 64-bit host the query kernels move **half the index bytes** a
+//! `usize`-indexed arena would: the kernels are memory-bandwidth bound and
+//! every cache line of `rows` now carries 16 indices instead of 8. The
+//! narrowing caps the supported order at `u32::MAX` columns; the cap is
+//! enforced by [`ensure_u32_indexable`] at build and load time with a typed
+//! [`EffresError::IndexOverflow`] — never a silent truncation. Query kernels
 //! ([`SparseApproximateInverse::column_dot`], the distance kernels, the
 //! service engine's dense-scatter scratch) read columns as plain slices, so
 //! a batch walking many columns streams through one arena instead of
@@ -31,19 +38,24 @@
 //! pattern — `j`'s elimination-tree ancestors — so the backward sweep admits
 //! *level scheduling* ([`effres_sparse::LevelSchedule`]): all columns of one
 //! level are independent once the shallower levels are done. The parallel
-//! build processes levels root-downward, partitioning each level across
-//! scoped worker threads with per-thread [`SparseAccumulator`] scratch. Every
-//! column is assembled from the same already-pruned columns with the same
-//! floating-point operation order as in the sequential sweep, so the parallel
-//! build is **bit-identical** to the sequential one; the sequential path is
-//! kept for one thread, small factors and schedules too narrow to win.
+//! build processes levels root-downward, partitioning each level across the
+//! workers of a persistent [`WorkerPool`] with per-worker
+//! [`SparseAccumulator`] scratch; one pool round per level replaces the old
+//! per-build scoped threads and barriers, and a deployment that builds and
+//! then serves can share a single pool between both stages
+//! ([`SparseApproximateInverse::from_factor_shared`],
+//! `EffresConfig::with_worker_pool`). Every column is assembled from the
+//! same already-pruned columns with the same floating-point operation order
+//! as in the sequential sweep, so the parallel build is **bit-identical** to
+//! the sequential one; the sequential path is kept for one thread, small
+//! factors and schedules too narrow to win.
 
 use crate::config::BuildOptions;
 use crate::error::EffresError;
 use effres_sparse::schedule::LevelSchedule;
 use effres_sparse::sparse_vec::{SparseAccumulator, SparseVec};
-use effres_sparse::{vecops, CscMatrix};
-use std::sync::{Barrier, RwLock};
+use effres_sparse::{vecops, CscMatrix, WorkerPool};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Statistics gathered while building the approximate inverse.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,13 +70,58 @@ pub struct ApproxInverseStats {
     pub small_columns_kept: usize,
 }
 
+/// Checks that an order of `n` rows/columns fits the arena's `u32` index
+/// space.
+///
+/// This is the single overflow guard of the `usize`→`u32` index narrowing:
+/// every constructor of [`SparseApproximateInverse`] (and the snapshot
+/// loaders in `effres-io`) calls it before any index is cast, so an
+/// over-large graph produces a typed [`EffresError::IndexOverflow`] instead
+/// of truncated indices.
+///
+/// # Errors
+///
+/// Returns [`EffresError::IndexOverflow`] when `n > u32::MAX`.
+pub fn ensure_u32_indexable(n: usize) -> Result<(), EffresError> {
+    if n > u32::MAX as usize {
+        Err(EffresError::IndexOverflow { node_count: n })
+    } else {
+        Ok(())
+    }
+}
+
+/// Byte-level memory footprint of the flat CSC arena, reported by
+/// [`SparseApproximateInverse::footprint`] so operators can see what the
+/// query path actually streams (`effres-cli stats` prints it). The row block
+/// is the one the `usize`→`u32` narrowing halved; `index_width_bytes`
+/// records the in-memory index width so the savings stay visible in logs
+/// and perf reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaFootprint {
+    /// Bytes of the column-pointer block (`(order + 1) × 8`).
+    pub col_ptr_bytes: usize,
+    /// Bytes of the row-index block (`nnz × 4`).
+    pub rows_bytes: usize,
+    /// Bytes of the value block (`nnz × 8`).
+    pub vals_bytes: usize,
+    /// Width of one stored row index in bytes (4 for the `u32` arena).
+    pub index_width_bytes: usize,
+}
+
+impl ArenaFootprint {
+    /// Total bytes across the three arena blocks.
+    pub fn total_bytes(&self) -> usize {
+        self.col_ptr_bytes + self.rows_bytes + self.vals_bytes
+    }
+}
+
 /// A borrowed view of one column of the approximate inverse: parallel
 /// `indices`/`values` slices into the flat CSC arena, with strictly
-/// increasing indices.
+/// increasing `u32` indices (see the module docs for the index narrowing).
 #[derive(Debug, Clone, Copy)]
 pub struct ColumnView<'a> {
     dim: usize,
-    indices: &'a [usize],
+    indices: &'a [u32],
     values: &'a [f64],
 }
 
@@ -84,8 +141,9 @@ impl<'a> ColumnView<'a> {
         self.indices.is_empty()
     }
 
-    /// Stored indices (strictly increasing).
-    pub fn indices(&self) -> &'a [usize] {
+    /// Stored indices (strictly increasing), at the arena's native `u32`
+    /// width.
+    pub fn indices(&self) -> &'a [u32] {
         self.indices
     }
 
@@ -96,7 +154,10 @@ impl<'a> ColumnView<'a> {
 
     /// Iterates over stored `(index, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + 'a {
-        self.indices.iter().zip(self.values).map(|(&i, &v)| (i, v))
+        self.indices
+            .iter()
+            .zip(self.values)
+            .map(|(&i, &v)| (i as usize, v))
     }
 
     /// Value at `index` (zero if not stored).
@@ -106,7 +167,7 @@ impl<'a> ColumnView<'a> {
     /// Panics if `index >= self.dim()`.
     pub fn get(&self, index: usize) -> f64 {
         assert!(index < self.dim, "index out of bounds");
-        match self.indices.binary_search(&index) {
+        match self.indices.binary_search(&(index as u32)) {
             Ok(pos) => self.values[pos],
             Err(_) => 0.0,
         }
@@ -122,30 +183,37 @@ impl<'a> ColumnView<'a> {
         self.values.iter().map(|v| v * v).sum()
     }
 
-    /// 1-norm of the difference with a sparse vector of the same dimension.
+    /// 1-norm of the difference with a sparse vector of the same dimension
+    /// (a diagnostics path: allocation is fine, so the view is widened and
+    /// the shared `vecops` merge kernel does the work).
     ///
     /// # Panics
     ///
     /// Panics if the dimensions differ.
     pub fn diff_norm1(&self, other: &SparseVec) -> f64 {
-        assert_eq!(self.dim, other.dim(), "dimension mismatch");
-        vecops::sparse_diff_norm1(self.indices, self.values, other.indices(), other.values())
+        self.to_sparse_vec().diff_norm1(other)
     }
 
-    /// Copies the view into an owned [`SparseVec`].
+    /// Copies the view into an owned [`SparseVec`] (widening the indices
+    /// back to `usize`).
     pub fn to_sparse_vec(&self) -> SparseVec {
-        SparseVec::from_sorted(self.dim, self.indices.to_vec(), self.values.to_vec())
+        SparseVec::from_sorted(
+            self.dim,
+            self.indices.iter().map(|&i| i as usize).collect(),
+            self.values.to_vec(),
+        )
     }
 }
 
 /// A sparse approximation `Z̃ ≈ L⁻¹` of the inverse of a lower-triangular
-/// Cholesky factor, stored as a flat CSC arena (see the module docs).
+/// Cholesky factor, stored as a flat CSC arena with `u32` row indices (see
+/// the module docs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SparseApproximateInverse {
     dim: usize,
     /// `col_ptr[j]..col_ptr[j + 1]` indexes `rows`/`vals` for column `j`.
     col_ptr: Vec<usize>,
-    rows: Vec<usize>,
+    rows: Vec<u32>,
     vals: Vec<f64>,
     stats: ApproxInverseStats,
     epsilon: f64,
@@ -195,10 +263,58 @@ impl SparseApproximateInverse {
         dense_column_threshold: usize,
         options: &BuildOptions,
     ) -> Result<Self, EffresError> {
-        if factor.nrows() != factor.ncols() {
+        Self::build_impl(
+            FactorSource::Borrowed(factor),
+            epsilon,
+            dense_column_threshold,
+            options,
+            None,
+        )
+    }
+
+    /// Runs Alg. 2 on a shared factor, optionally on a shared persistent
+    /// [`WorkerPool`].
+    ///
+    /// This is the entry point for build-then-serve deployments: the factor
+    /// arrives in an [`Arc`] (so the level-scheduled sweep can hand it to
+    /// pool workers without copying it) and `pool`, when given, is reused
+    /// instead of spawning per-build threads — pass the same pool to the
+    /// query engine and the whole deployment runs on one set of workers.
+    /// With `pool: None` a transient pool is spawned for the build when the
+    /// parallel path is taken. The numerical contract (and the bit-identity
+    /// of parallel and sequential sweeps) is that of
+    /// [`SparseApproximateInverse::from_factor`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SparseApproximateInverse::from_factor`].
+    pub fn from_factor_shared(
+        factor: Arc<CscMatrix>,
+        epsilon: f64,
+        dense_column_threshold: usize,
+        options: &BuildOptions,
+        pool: Option<&WorkerPool>,
+    ) -> Result<Self, EffresError> {
+        Self::build_impl(
+            FactorSource::Shared(factor),
+            epsilon,
+            dense_column_threshold,
+            options,
+            pool,
+        )
+    }
+
+    fn build_impl(
+        factor: FactorSource<'_>,
+        epsilon: f64,
+        dense_column_threshold: usize,
+        options: &BuildOptions,
+        pool: Option<&WorkerPool>,
+    ) -> Result<Self, EffresError> {
+        if factor.get().nrows() != factor.get().ncols() {
             return Err(EffresError::Sparse(effres_sparse::SparseError::NotSquare {
-                nrows: factor.nrows(),
-                ncols: factor.ncols(),
+                nrows: factor.get().nrows(),
+                ncols: factor.get().ncols(),
             }));
         }
         if !(0.0..1.0).contains(&epsilon) {
@@ -207,22 +323,22 @@ impl SparseApproximateInverse {
                 message: "must lie in [0, 1)".to_string(),
             });
         }
-        let n = factor.ncols();
+        let n = factor.get().ncols();
+        ensure_u32_indexable(n)?;
         let keep_limit = dense_column_threshold.max((n.max(2) as f64).ln().ceil() as usize);
 
         // Pre-validate every diagonal up front so the sweeps are infallible
-        // (a worker panicking mid-level would leave the others at the
-        // barrier).
+        // (pool workers have no error channel mid-level).
         let mut diag = Vec::with_capacity(n);
         for j in 0..n {
-            let rows = factor.column_rows(j);
+            let rows = factor.get().column_rows(j);
             let pos = rows
                 .binary_search(&j)
                 .map_err(|_| EffresError::InvalidConfig {
                     name: "factor",
                     message: format!("missing diagonal entry in column {j}"),
                 })?;
-            let d = factor.column_values(j)[pos];
+            let d = factor.get().column_values(j)[pos];
             if !(d > 0.0) {
                 return Err(EffresError::InvalidConfig {
                     name: "factor",
@@ -232,23 +348,40 @@ impl SparseApproximateInverse {
             diag.push(d);
         }
 
-        let threads = resolve_threads(options.threads).min(n.max(1));
-        let sweep = if threads > 1 && n >= options.parallel_threshold {
-            let schedule = LevelSchedule::from_lower_factor(factor);
-            // A narrow schedule (long dependency chains) spends more time at
-            // level barriers than computing; the sequential sweep wins there.
-            if schedule.mean_width() >= (4 * threads) as f64 {
-                Some(parallel_sweep(
-                    factor, &diag, keep_limit, epsilon, &schedule, threads,
-                ))
-            } else {
-                None
-            }
+        let threads = match (options.threads, pool) {
+            // Unconfigured + shared pool: use the workers that exist.
+            (0, Some(pool)) => pool.threads(),
+            (configured, _) => resolve_threads(configured),
+        }
+        .min(n.max(1));
+        // A narrow schedule (long dependency chains) spends more time
+        // synchronizing per level than computing; the sequential sweep wins
+        // there.
+        let schedule = if threads > 1 && n >= options.parallel_threshold {
+            Some(LevelSchedule::from_lower_factor(factor.get()))
+                .filter(|s| s.mean_width() >= (4 * threads) as f64)
         } else {
             None
         };
-        let (store, stats) =
-            sweep.unwrap_or_else(|| sequential_sweep(factor, &diag, keep_limit, epsilon));
+        let (store, stats) = match schedule {
+            Some(schedule) => {
+                // The pool workers need `'static` access to the factor: use
+                // the shared handle when the caller provided one, clone the
+                // borrowed factor into a transient Arc otherwise (build-time
+                // only, and small next to the inverse the sweep produces).
+                let factor = factor.into_shared();
+                let transient;
+                let pool = match pool {
+                    Some(pool) => pool,
+                    None => {
+                        transient = WorkerPool::new(threads);
+                        &transient
+                    }
+                };
+                parallel_sweep(factor, diag, keep_limit, epsilon, schedule, threads, pool)
+            }
+            None => sequential_sweep(factor.get(), &diag, keep_limit, epsilon),
+        };
         let (col_ptr, rows, vals) = store.into_csc(n);
         Ok(SparseApproximateInverse {
             dim: n,
@@ -285,7 +418,7 @@ impl SparseApproximateInverse {
         }
     }
 
-    fn column_slices(&self, j: usize) -> (&[usize], &[f64]) {
+    fn column_slices(&self, j: usize) -> (&[u32], &[f64]) {
         let lo = self.col_ptr[j];
         let hi = self.col_ptr[j + 1];
         (&self.rows[lo..hi], &self.vals[lo..hi])
@@ -296,8 +429,9 @@ impl SparseApproximateInverse {
         &self.col_ptr
     }
 
-    /// The arena's concatenated row indices, in column order.
-    pub fn arena_rows(&self) -> &[usize] {
+    /// The arena's concatenated row indices, in column order, at the
+    /// arena's native `u32` width.
+    pub fn arena_rows(&self) -> &[u32] {
         &self.rows
     }
 
@@ -321,6 +455,16 @@ impl SparseApproximateInverse {
     /// Build statistics.
     pub fn stats(&self) -> ApproxInverseStats {
         self.stats
+    }
+
+    /// Byte-level footprint of the arena buffers (see [`ArenaFootprint`]).
+    pub fn footprint(&self) -> ArenaFootprint {
+        ArenaFootprint {
+            col_ptr_bytes: self.col_ptr.len() * std::mem::size_of::<usize>(),
+            rows_bytes: self.rows.len() * std::mem::size_of::<u32>(),
+            vals_bytes: self.vals.len() * std::mem::size_of::<f64>(),
+            index_width_bytes: std::mem::size_of::<u32>(),
+        }
     }
 
     /// Squared Euclidean distance between two columns — the effective
@@ -351,7 +495,7 @@ impl SparseApproximateInverse {
     ///
     /// Panics if either index is out of bounds.
     pub fn column_dot(&self, p: usize, q: usize) -> f64 {
-        let bound = p.max(q);
+        let bound = p.max(q) as u32;
         let (ai, av) = self.column_slices(p);
         let (bi, bv) = self.column_slices(q);
         let mut i = ai.partition_point(|&row| row < bound);
@@ -401,14 +545,16 @@ impl SparseApproximateInverse {
     }
 
     /// Decomposes the inverse into its arena buffers and build metadata, for
-    /// serialization: `(dim, col_ptr, rows, vals, stats, epsilon)`.
+    /// serialization: `(dim, col_ptr, rows, vals, stats, epsilon)`. The row
+    /// buffer is at the arena's native `u32` width — exactly the bytes the
+    /// v2 snapshot encoding writes.
     #[allow(clippy::type_complexity)]
     pub fn into_arena(
         self,
     ) -> (
         usize,
         Vec<usize>,
-        Vec<usize>,
+        Vec<u32>,
         Vec<f64>,
         ApproxInverseStats,
         f64,
@@ -432,19 +578,21 @@ impl SparseApproximateInverse {
     ///
     /// # Errors
     ///
-    /// Returns [`EffresError::InvalidConfig`] if `epsilon` is outside
-    /// `[0, 1)`, the buffers are inconsistent (`col_ptr` not monotone from
-    /// `0` to `rows.len()`, `rows`/`vals` length mismatch), a column's
-    /// indices are not strictly increasing within bounds, or a column has an
-    /// entry above the diagonal.
+    /// Returns [`EffresError::IndexOverflow`] if `dim` exceeds the `u32`
+    /// index space, and [`EffresError::InvalidConfig`] if `epsilon` is
+    /// outside `[0, 1)`, the buffers are inconsistent (`col_ptr` not
+    /// monotone from `0` to `rows.len()`, `rows`/`vals` length mismatch), a
+    /// column's indices are not strictly increasing within bounds, or a
+    /// column has an entry above the diagonal.
     pub fn from_arena(
         dim: usize,
         col_ptr: Vec<usize>,
-        rows: Vec<usize>,
+        rows: Vec<u32>,
         vals: Vec<f64>,
         stats: ApproxInverseStats,
         epsilon: f64,
     ) -> Result<Self, EffresError> {
+        ensure_u32_indexable(dim)?;
         if !(0.0..1.0).contains(&epsilon) {
             return Err(EffresError::InvalidConfig {
                 name: "epsilon",
@@ -491,7 +639,9 @@ impl SparseApproximateInverse {
                 )));
             }
             let column = &rows[lo..hi];
-            if !column.windows(2).all(|w| w[0] < w[1]) || column.last().is_some_and(|&i| i >= dim) {
+            if !column.windows(2).all(|w| w[0] < w[1])
+                || column.last().is_some_and(|&i| i as usize >= dim)
+            {
                 return Err(invalid(format!(
                     "column {j} indices are not strictly increasing within 0..{dim}"
                 )));
@@ -499,7 +649,7 @@ impl SparseApproximateInverse {
             // The query kernels rely on the lower-triangular support of the
             // columns (see `column_dot`), so the invariant is enforced here
             // rather than trusted from serialized input.
-            if column.first().is_some_and(|&i| i < j) {
+            if column.first().is_some_and(|&i| (i as usize) < j) {
                 return Err(invalid(format!(
                     "column {j} has an entry above the diagonal; \
                      inverse columns must be supported on {j}.."
@@ -534,9 +684,12 @@ impl SparseApproximateInverse {
         epsilon: f64,
     ) -> Result<Self, EffresError> {
         let n = columns.len();
+        // Guard before any index is narrowed: `SparseVec` keeps indices
+        // below its dimension, so once `n` fits in `u32` every cast does.
+        ensure_u32_indexable(n)?;
         let total: usize = columns.iter().map(SparseVec::nnz).sum();
         let mut col_ptr = Vec::with_capacity(n + 1);
-        let mut rows = Vec::with_capacity(total);
+        let mut rows: Vec<u32> = Vec::with_capacity(total);
         let mut vals = Vec::with_capacity(total);
         col_ptr.push(0);
         for (j, column) in columns.iter().enumerate() {
@@ -549,11 +702,37 @@ impl SparseApproximateInverse {
                     ),
                 });
             }
-            rows.extend_from_slice(column.indices());
+            rows.extend(column.indices().iter().map(|&i| i as u32));
             vals.extend_from_slice(column.values());
             col_ptr.push(rows.len());
         }
         Self::from_arena(n, col_ptr, rows, vals, stats, epsilon)
+    }
+}
+
+/// How the build received its factor: borrowed from the caller (the classic
+/// entry points) or already shared behind an [`Arc`] (the pooled path, which
+/// must hand `'static` references to pool workers).
+enum FactorSource<'a> {
+    Borrowed(&'a CscMatrix),
+    Shared(Arc<CscMatrix>),
+}
+
+impl FactorSource<'_> {
+    fn get(&self) -> &CscMatrix {
+        match self {
+            FactorSource::Borrowed(factor) => factor,
+            FactorSource::Shared(factor) => factor,
+        }
+    }
+
+    /// Upgrades to a shared handle, cloning the matrix only when it was
+    /// borrowed.
+    fn into_shared(self) -> Arc<CscMatrix> {
+        match self {
+            FactorSource::Borrowed(factor) => Arc::new(factor.clone()),
+            FactorSource::Shared(factor) => factor,
+        }
     }
 }
 
@@ -576,7 +755,7 @@ fn resolve_threads(configured: usize) -> usize {
 struct ColumnStore {
     start: Vec<usize>,
     len: Vec<usize>,
-    rows: Vec<usize>,
+    rows: Vec<u32>,
     vals: Vec<f64>,
 }
 
@@ -590,7 +769,7 @@ impl ColumnStore {
         }
     }
 
-    fn rows_of(&self, i: usize) -> &[usize] {
+    fn rows_of(&self, i: usize) -> &[u32] {
         &self.rows[self.start[i]..self.start[i] + self.len[i]]
     }
 
@@ -600,7 +779,7 @@ impl ColumnStore {
 
     /// Appends finished columns (given as `(column, nnz)` in the order their
     /// data lies in `rows`/`vals`) to the store.
-    fn append(&mut self, cols: &[(usize, usize)], rows: &[usize], vals: &[f64]) {
+    fn append(&mut self, cols: &[(usize, usize)], rows: &[u32], vals: &[f64]) {
         let mut off = self.rows.len();
         self.rows.extend_from_slice(rows);
         self.vals.extend_from_slice(vals);
@@ -612,7 +791,7 @@ impl ColumnStore {
     }
 
     /// Reorders the store into a canonical column-ordered CSC arena.
-    fn into_csc(self, n: usize) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+    fn into_csc(self, n: usize) -> (Vec<usize>, Vec<u32>, Vec<f64>) {
         let total: usize = self.len.iter().sum();
         let mut col_ptr = Vec::with_capacity(n + 1);
         let mut rows = Vec::with_capacity(total);
@@ -641,7 +820,7 @@ fn build_column(
     store: &ColumnStore,
     acc: &mut SparseAccumulator,
     scratch: &mut PruneScratch,
-    out_rows: &mut Vec<usize>,
+    out_rows: &mut Vec<u32>,
     out_vals: &mut Vec<f64>,
     stats: &mut ApproxInverseStats,
 ) -> usize {
@@ -655,11 +834,11 @@ fn build_column(
         }
         let scale = -vals[pos] / diag;
         if scale != 0.0 {
-            acc.axpy_raw(scale, store.rows_of(i), store.vals_of(i));
+            acc.axpy_raw_u32(scale, store.rows_of(i), store.vals_of(i));
         }
     }
     let start = out_rows.len();
-    let candidate_nnz = acc.take_append(out_rows, out_vals);
+    let candidate_nnz = acc.take_append_u32(out_rows, out_vals);
     let nnz = if candidate_nnz <= keep_limit {
         stats.small_columns_kept += 1;
         candidate_nnz
@@ -685,7 +864,7 @@ fn sequential_sweep(
     let mut stats = ApproxInverseStats::default();
     let mut acc = SparseAccumulator::new(n);
     let mut scratch = PruneScratch::default();
-    let mut tmp_rows = Vec::new();
+    let mut tmp_rows: Vec<u32> = Vec::new();
     let mut tmp_vals = Vec::new();
     for j in (0..n).rev() {
         let nnz = build_column(
@@ -708,84 +887,126 @@ fn sequential_sweep(
     (store, stats)
 }
 
-/// The level-scheduled parallel sweep: persistent scoped workers process each
-/// level's columns in contiguous chunks, compute into thread-local buffers
-/// under a shared read lock, publish under the write lock, and meet at a
-/// barrier before descending to the next level.
+/// Per-slot state of the level-scheduled sweep, reused across every level of
+/// one build: the dense accumulator and pruning scratch plus the local
+/// staging buffers a worker fills before publishing a chunk of columns.
+struct SweepScratch {
+    acc: SparseAccumulator,
+    prune: PruneScratch,
+    rows: Vec<u32>,
+    vals: Vec<f64>,
+    cols: Vec<(usize, usize)>,
+    stats: ApproxInverseStats,
+}
+
+impl SweepScratch {
+    fn new(n: usize) -> Self {
+        SweepScratch {
+            acc: SparseAccumulator::new(n),
+            prune: PruneScratch::default(),
+            rows: Vec::new(),
+            vals: Vec::new(),
+            cols: Vec::new(),
+            stats: ApproxInverseStats::default(),
+        }
+    }
+}
+
+/// The level-scheduled parallel sweep on a persistent [`WorkerPool`]: each
+/// level is partitioned into contiguous chunks and submitted as one round of
+/// pool jobs; workers compute into per-slot scratch under a shared read
+/// lock, publish under the write lock, and the blocking round submission is
+/// the per-level synchronization point (replacing the old scoped threads and
+/// barrier). Because [`build_column`] runs with the same inputs and
+/// floating-point order regardless of chunking — and [`ColumnStore::into_csc`]
+/// canonicalizes the arena afterwards — the result is bit-identical to the
+/// sequential sweep for any pool size.
 fn parallel_sweep(
-    factor: &CscMatrix,
-    diag: &[f64],
+    factor: Arc<CscMatrix>,
+    diag: Vec<f64>,
     keep_limit: usize,
     epsilon: f64,
-    schedule: &LevelSchedule,
+    schedule: LevelSchedule,
     threads: usize,
+    pool: &WorkerPool,
 ) -> (ColumnStore, ApproxInverseStats) {
     let n = factor.ncols();
-    let store = RwLock::new(ColumnStore::with_order(n));
-    let barrier = Barrier::new(threads);
-    let worker_stats: Vec<ApproxInverseStats> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let store = &store;
-                let barrier = &barrier;
-                scope.spawn(move || {
-                    let mut acc = SparseAccumulator::new(n);
-                    let mut scratch = PruneScratch::default();
-                    let mut stats = ApproxInverseStats::default();
-                    let mut local_rows: Vec<usize> = Vec::new();
-                    let mut local_vals: Vec<f64> = Vec::new();
-                    let mut local_cols: Vec<(usize, usize)> = Vec::new();
-                    for level in schedule.levels() {
-                        let chunk = level.len().div_ceil(threads);
-                        let lo = (t * chunk).min(level.len());
-                        let hi = ((t + 1) * chunk).min(level.len());
-                        {
-                            let read = store.read().expect("column store lock poisoned");
-                            for &j in &level[lo..hi] {
-                                let nnz = build_column(
-                                    factor,
-                                    j,
-                                    diag[j],
-                                    keep_limit,
-                                    epsilon,
-                                    &read,
-                                    &mut acc,
-                                    &mut scratch,
-                                    &mut local_rows,
-                                    &mut local_vals,
-                                    &mut stats,
-                                );
-                                local_cols.push((j, nnz));
-                            }
+    let diag: Arc<[f64]> = diag.into();
+    let schedule = Arc::new(schedule);
+    let store = Arc::new(RwLock::new(ColumnStore::with_order(n)));
+    let scratches: Arc<Vec<Mutex<SweepScratch>>> = Arc::new(
+        (0..threads)
+            .map(|_| Mutex::new(SweepScratch::new(n)))
+            .collect(),
+    );
+    for li in 0..schedule.num_levels() {
+        let level_len = schedule.level(li).len();
+        let chunk = level_len.div_ceil(threads);
+        let jobs: Vec<_> = (0..threads)
+            .filter_map(|t| {
+                let lo = (t * chunk).min(level_len);
+                let hi = ((t + 1) * chunk).min(level_len);
+                if lo >= hi {
+                    return None;
+                }
+                let factor = Arc::clone(&factor);
+                let diag = Arc::clone(&diag);
+                let schedule = Arc::clone(&schedule);
+                let store = Arc::clone(&store);
+                let scratches = Arc::clone(&scratches);
+                Some(move || {
+                    // Chunk `t` always uses scratch slot `t`; within one
+                    // round the chunks are disjoint, so the lock is
+                    // uncontended and only serializes reuse across rounds.
+                    let mut slot = scratches[t].lock().expect("sweep scratch lock poisoned");
+                    let scratch = &mut *slot;
+                    {
+                        let read = store.read().expect("column store lock poisoned");
+                        for &j in &schedule.level(li)[lo..hi] {
+                            let nnz = build_column(
+                                &factor,
+                                j,
+                                diag[j],
+                                keep_limit,
+                                epsilon,
+                                &read,
+                                &mut scratch.acc,
+                                &mut scratch.prune,
+                                &mut scratch.rows,
+                                &mut scratch.vals,
+                                &mut scratch.stats,
+                            );
+                            scratch.cols.push((j, nnz));
                         }
-                        if !local_cols.is_empty() {
-                            let mut write = store.write().expect("column store lock poisoned");
-                            write.append(&local_cols, &local_rows, &local_vals);
-                            local_cols.clear();
-                            local_rows.clear();
-                            local_vals.clear();
-                        }
-                        // All of this level must be published before any
-                        // worker reads it from the next level down.
-                        barrier.wait();
                     }
-                    stats
+                    let mut write = store.write().expect("column store lock poisoned");
+                    write.append(&scratch.cols, &scratch.rows, &scratch.vals);
+                    scratch.cols.clear();
+                    scratch.rows.clear();
+                    scratch.vals.clear();
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("approximate-inverse build worker panicked"))
-            .collect()
-    });
+        // One pool round per level: `run` returns only when every chunk of
+        // this level is published, so the next level down reads a complete
+        // store.
+        pool.run(jobs);
+    }
     let mut stats = ApproxInverseStats::default();
-    for s in worker_stats {
+    for slot in scratches.iter() {
+        let s = slot.lock().expect("sweep scratch lock poisoned").stats;
         stats.nnz += s.nnz;
         stats.max_column_nnz = stats.max_column_nnz.max(s.max_column_nnz);
         stats.pruned_entries += s.pruned_entries;
         stats.small_columns_kept += s.small_columns_kept;
     }
-    let store = store.into_inner().expect("column store lock poisoned");
+    drop(scratches);
+    let store = match Arc::try_unwrap(store) {
+        Ok(store) => store.into_inner().expect("column store lock poisoned"),
+        // Every job of every round has completed (pool.run blocks), so no
+        // other handle can be alive.
+        Err(_) => unreachable!("a sweep job outlived its round"),
+    };
     (store, stats)
 }
 
@@ -810,7 +1031,7 @@ struct PruneScratch {
 /// pruning a `k`-entry column costs `O(k + d log d)` expected for `d`
 /// dropped entries instead of the `O(k log k)` of sorting every magnitude.
 fn prune_tail(
-    rows: &mut Vec<usize>,
+    rows: &mut Vec<u32>,
     vals: &mut Vec<f64>,
     start: usize,
     epsilon: f64,
@@ -941,10 +1162,11 @@ mod tests {
     /// The old `SparseVec`-based pruning entry point, kept as a test shim
     /// over [`prune_tail`].
     fn prune_column(x: &SparseVec, epsilon: f64) -> (SparseVec, usize) {
-        let mut rows = x.indices().to_vec();
+        let mut rows: Vec<u32> = x.indices().iter().map(|&i| i as u32).collect();
         let mut vals = x.values().to_vec();
         let mut scratch = PruneScratch::default();
         let dropped = prune_tail(&mut rows, &mut vals, 0, epsilon, &mut scratch);
+        let rows = rows.into_iter().map(|i| i as usize).collect();
         (SparseVec::from_sorted(x.dim(), rows, vals), dropped)
     }
 
@@ -1148,7 +1370,7 @@ mod tests {
         for j in 0..n {
             let column = z.column(j);
             assert!(column.indices().windows(2).all(|w| w[0] < w[1]));
-            assert!(column.indices().first().is_some_and(|&i| i >= j));
+            assert!(column.indices().first().is_some_and(|&i| i as usize >= j));
         }
         // Round-trip through the arena parts.
         let clone = z.clone();
@@ -1162,9 +1384,9 @@ mod tests {
     #[test]
     #[allow(clippy::type_complexity)]
     fn from_arena_rejects_inconsistent_buffers() {
-        let ok = |f: &dyn Fn(&mut Vec<usize>, &mut Vec<usize>, &mut Vec<f64>)| {
+        let ok = |f: &dyn Fn(&mut Vec<usize>, &mut Vec<u32>, &mut Vec<f64>)| {
             let mut col_ptr = vec![0usize, 1, 3];
-            let mut rows = vec![0usize, 0, 1];
+            let mut rows = vec![0u32, 0, 1];
             let mut vals = vec![1.0, 0.5, 1.0];
             f(&mut col_ptr, &mut rows, &mut vals);
             SparseApproximateInverse::from_arena(
@@ -1204,6 +1426,81 @@ mod tests {
             0.0,
         )
         .is_err());
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn overflow_guard_rejects_orders_beyond_u32() {
+        assert!(ensure_u32_indexable(0).is_ok());
+        assert!(ensure_u32_indexable(144).is_ok());
+        // The largest order the u32 arena can index is fine...
+        assert!(ensure_u32_indexable(u32::MAX as usize).is_ok());
+        // ...one past it is a typed error, not a truncated index.
+        let too_big = u32::MAX as usize + 1;
+        assert!(matches!(
+            ensure_u32_indexable(too_big),
+            Err(EffresError::IndexOverflow { node_count }) if node_count == too_big
+        ));
+        // Every arena constructor guards before touching a buffer, so the
+        // mock needs no multi-gigabyte graph.
+        assert!(matches!(
+            SparseApproximateInverse::from_arena(
+                too_big,
+                Vec::new(),
+                Vec::new(),
+                Vec::new(),
+                ApproxInverseStats::default(),
+                0.0,
+            ),
+            Err(EffresError::IndexOverflow { .. })
+        ));
+        assert!(ensure_u32_indexable(too_big)
+            .unwrap_err()
+            .to_string()
+            .contains("u32 index space"));
+    }
+
+    #[test]
+    fn footprint_reports_narrowed_index_bytes() {
+        let a = grid_laplacian(6, 6, 1e-3);
+        let chol = CholeskyFactor::factor(&a).expect("spd");
+        let z = SparseApproximateInverse::from_factor(chol.factor_l(), 1e-3, 2).expect("valid");
+        let f = z.footprint();
+        assert_eq!(f.index_width_bytes, 4);
+        assert_eq!(f.col_ptr_bytes, (z.order() + 1) * 8);
+        assert_eq!(f.rows_bytes, z.nnz() * 4);
+        assert_eq!(f.vals_bytes, z.nnz() * 8);
+        assert_eq!(
+            f.total_bytes(),
+            f.col_ptr_bytes + f.rows_bytes + f.vals_bytes
+        );
+    }
+
+    #[test]
+    fn shared_pool_build_is_bit_identical_and_reusable() {
+        // One pool, several builds: the pooled entry point must agree with
+        // the sequential reference bit-for-bit, and the pool must survive
+        // for the next build (it is the same set of workers throughout).
+        let pool = effres_sparse::WorkerPool::new(3);
+        for a in [block_paths_laplacian(48, 5), grid_laplacian(10, 10, 1e-3)] {
+            let chol = CholeskyFactor::factor(&a).expect("spd");
+            let l = chol.factor_l();
+            let seq =
+                SparseApproximateInverse::from_factor_with(l, 1e-3, 2, &BuildOptions::sequential())
+                    .expect("sequential");
+            let pooled = SparseApproximateInverse::from_factor_shared(
+                Arc::new(l.clone()),
+                1e-3,
+                2,
+                &BuildOptions {
+                    threads: 0, // resolve from the shared pool
+                    parallel_threshold: 1,
+                },
+                Some(&pool),
+            )
+            .expect("pooled");
+            assert_eq!(seq, pooled);
+        }
     }
 
     #[test]

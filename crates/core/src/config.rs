@@ -1,6 +1,7 @@
 //! Configuration of the effective-resistance estimator.
 
 use crate::error::EffresError;
+use effres_sparse::WorkerPool;
 
 /// Fill-reducing ordering applied before factoring the grounded Laplacian.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -19,7 +20,9 @@ pub enum Ordering {
 /// the numerical parameters: how the backward column sweep is executed.
 ///
 /// The parallel build partitions each level of the factor's
-/// [`effres_sparse::LevelSchedule`] across scoped worker threads. It is
+/// [`effres_sparse::LevelSchedule`] across the workers of a persistent
+/// [`effres_sparse::WorkerPool`] (a shared one when configured, a transient
+/// one otherwise). It is
 /// **bit-identical** to the sequential build — every column is assembled
 /// from the same already-pruned columns with the same floating-point
 /// operation order — so these options trade wall-clock time only, never
@@ -65,7 +68,7 @@ impl BuildOptions {
 /// The defaults reproduce the parameters of the paper's experiments:
 /// incomplete-Cholesky drop tolerance `1e-3` and pruning threshold
 /// `epsilon = 1e-3`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EffresConfig {
     /// Drop tolerance of the incomplete Cholesky factorization (Section III-C).
     pub drop_tolerance: f64,
@@ -91,6 +94,13 @@ pub struct EffresConfig {
     /// the sequential-fallback threshold). Results are bit-identical across
     /// all settings.
     pub build: BuildOptions,
+    /// A persistent [`WorkerPool`] for the level-scheduled build. `None`
+    /// (the default) spawns a transient pool per parallel build; a
+    /// build-then-serve deployment sets a shared pool here (and on the query
+    /// engine's options) so both stages reuse one set of workers instead of
+    /// churning threads. Two configs compare equal on this field iff they
+    /// share the *same* pool. Results are bit-identical either way.
+    pub worker_pool: Option<WorkerPool>,
 }
 
 impl Default for EffresConfig {
@@ -102,6 +112,7 @@ impl Default for EffresConfig {
             ordering: Ordering::default(),
             dense_column_threshold: 4,
             build: BuildOptions::default(),
+            worker_pool: None,
         }
     }
 }
@@ -146,6 +157,13 @@ impl EffresConfig {
     /// (`0` = one per core, `1` = sequential).
     pub fn with_build_threads(mut self, threads: usize) -> Self {
         self.build.threads = threads;
+        self
+    }
+
+    /// Shares a persistent [`WorkerPool`] with the build (see
+    /// [`EffresConfig::worker_pool`]).
+    pub fn with_worker_pool(mut self, pool: WorkerPool) -> Self {
+        self.worker_pool = Some(pool);
         self
     }
 
@@ -214,6 +232,20 @@ mod tests {
         assert_eq!(BuildOptions::default().with_threads(8).threads, 8);
         let c = EffresConfig::new().with_build_options(BuildOptions::sequential());
         assert_eq!(c.build, BuildOptions::sequential());
+    }
+
+    #[test]
+    fn worker_pool_is_shared_not_copied() {
+        let pool = WorkerPool::new(2);
+        let c = EffresConfig::new().with_worker_pool(pool.clone());
+        assert_eq!(c.worker_pool.as_ref(), Some(&pool));
+        // Clones of the config refer to the same pool.
+        let d = c.clone();
+        assert_eq!(c, d);
+        // A different pool makes configs unequal even with equal scalars.
+        let e = EffresConfig::new().with_worker_pool(WorkerPool::new(2));
+        assert_ne!(c, e);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -25,6 +25,16 @@ pub enum EffresError {
         /// Constraint description.
         message: String,
     },
+    /// The problem exceeds the `u32` index space of the flat CSC arena.
+    ///
+    /// The arena stores row indices as `u32` (half the memory traffic of
+    /// `usize` on 64-bit hosts), which caps the supported order at
+    /// `u32::MAX` rows/columns. Building or loading anything larger is a
+    /// typed error — never a silent index truncation.
+    IndexOverflow {
+        /// The requested number of rows/columns.
+        node_count: usize,
+    },
 }
 
 impl fmt::Display for EffresError {
@@ -37,6 +47,14 @@ impl fmt::Display for EffresError {
             }
             EffresError::InvalidConfig { name, message } => {
                 write!(f, "invalid configuration `{name}`: {message}")
+            }
+            EffresError::IndexOverflow { node_count } => {
+                write!(
+                    f,
+                    "{node_count} rows/columns exceed the u32 index space of the CSC arena \
+                     (max {})",
+                    u32::MAX
+                )
             }
         }
     }

@@ -89,20 +89,28 @@ impl EffectiveResistanceEstimator {
                 ..IcholOptions::default()
             },
         )?;
-        let depth = FilledGraphDepth::from_factor(ichol.factor_l());
-        let inverse = SparseApproximateInverse::from_factor_with(
-            ichol.factor_l(),
+        let factor_nnz = ichol.nnz();
+        let ichol_dropped = ichol.stats().dropped;
+        // Hand the factor to the build as an owned Arc: the level-scheduled
+        // sweep runs on persistent pool workers (the config's shared pool
+        // when set), and shared ownership lets it do so without copying the
+        // factor.
+        let factor = std::sync::Arc::new(ichol.into_factor());
+        let depth = FilledGraphDepth::from_factor(&factor);
+        let inverse = SparseApproximateInverse::from_factor_shared(
+            factor,
             config.epsilon,
             config.dense_column_threshold,
             &config.build,
+            config.worker_pool.as_ref(),
         )?;
         let stats = EstimatorStats {
             node_count: matrix.ncols(),
-            factor_nnz: ichol.nnz(),
+            factor_nnz,
             inverse_nnz: inverse.nnz(),
             inverse_nnz_ratio: inverse.nnz_ratio(),
             max_depth: depth.max_depth(),
-            ichol_dropped: ichol.stats().dropped,
+            ichol_dropped,
             pruned_entries: inverse.stats().pruned_entries,
         };
         Ok(EffectiveResistanceEstimator {

@@ -52,6 +52,7 @@ pub mod random_projection;
 pub mod stats;
 
 pub use config::{BuildOptions, EffresConfig, Ordering};
+pub use effres_sparse::WorkerPool;
 pub use error::EffresError;
 pub use estimator::EffectiveResistanceEstimator;
 pub use exact::ExactEffectiveResistance;
@@ -67,4 +68,5 @@ pub mod prelude {
     pub use crate::random_projection::{
         RandomProjectionEstimator, RandomProjectionOptions, SolverKind,
     };
+    pub use crate::WorkerPool;
 }

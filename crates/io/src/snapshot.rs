@@ -7,21 +7,45 @@
 //! graph came from a dataset file, the original node labels) so a service
 //! can restart without refactorizing.
 //!
-//! ## Format (version 1, all little-endian)
+//! ## Format version 2 (current, all little-endian)
+//!
+//! Version 2 serializes the estimator's flat CSC arena *as the three bulk
+//! buffers it already is in memory* — one `col_ptr` block, one `u32` row
+//! block, one `f64` value block — instead of v1's per-column records. The
+//! writer streams each block straight out of the arena and the reader
+//! streams it straight back in, so a load is three bulk copies plus
+//! validation, with no per-column framing to parse:
 //!
 //! ```text
 //! magic     8 bytes  "EFRSNAP\n"
-//! version   u32      1
+//! version   u32      2
 //! payload   (crc-checked):
 //!   node_count u64, epsilon f64,
 //!   estimator stats (factor_nnz u64, inverse_nnz u64, inverse_nnz_ratio f64,
 //!                    max_depth u64, ichol_dropped u64, pruned_entries u64),
 //!   inverse build counters (pruned_entries u64, small_columns_kept u64),
 //!   permutation new→old (u32 × n),
-//!   n columns: nnz u32, indices u32 × nnz, values f64 × nnz,
+//!   nnz u64,
+//!   col_ptr block  u64 × (n + 1),
+//!   rows block     u32 × nnz,
+//!   vals block     f64 × nnz,
 //!   labels flag u8 (0|1), then labels u64 × n if 1
 //! crc32     u32      of the payload bytes
 //! ```
+//!
+//! The row block's `u32` width matches the in-memory arena exactly (the
+//! `usize`→`u32` index narrowing), so nothing is widened or re-encoded on
+//! either side.
+//!
+//! ## Format version 1 (legacy, read support kept)
+//!
+//! Version 1 stored the inverse as `n` per-column records (`nnz u32`,
+//! `indices u32 × nnz`, `values f64 × nnz`) between the permutation and the
+//! labels, with the same header, stats and trailing crc32.
+//! [`read_snapshot`] auto-detects the version from the header and keeps
+//! loading v1 files bit-exactly; compatibility is pinned by the committed
+//! fixture in `tests/snapshot_migration.rs`. [`write_snapshot_v1`] keeps the
+//! legacy writer available for compatibility tests.
 
 use crate::error::IoError;
 use crate::gzip::Crc32;
@@ -33,7 +57,17 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"EFRSNAP\n";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
+
+/// Entries per chunk when streaming bulk blocks: bounds the scratch buffer
+/// (and any allocation driven by an untrusted header) to a few hundred KiB.
+const BLOCK_CHUNK: usize = 1 << 15;
+
+/// Preallocation cap for length-prefixed vectors: a corrupt header must
+/// produce a clean format error (via a failed read), not a multi-gigabyte
+/// allocation request that aborts the process.
+const PREALLOC_CAP: usize = 1 << 20;
 
 /// A persisted estimator plus the optional dataset node labels.
 #[derive(Debug, Clone)]
@@ -48,9 +82,19 @@ pub struct Snapshot {
 struct CrcWriter<'a, W: Write> {
     inner: &'a mut W,
     crc: Crc32,
+    /// Reusable little-endian staging buffer for bulk blocks.
+    chunk: Vec<u8>,
 }
 
 impl<W: Write> CrcWriter<'_, W> {
+    fn new(inner: &mut W) -> CrcWriter<'_, W> {
+        CrcWriter {
+            inner,
+            crc: Crc32::new(),
+            chunk: Vec::new(),
+        }
+    }
+
     fn put(&mut self, bytes: &[u8]) -> Result<(), IoError> {
         self.crc.update(bytes);
         self.inner.write_all(bytes)?;
@@ -68,24 +112,59 @@ impl<W: Write> CrcWriter<'_, W> {
     fn put_f64(&mut self, v: f64) -> Result<(), IoError> {
         self.put(&v.to_le_bytes())
     }
+
+    /// Writes one bulk block of fixed-width items, staging `BLOCK_CHUNK`
+    /// items at a time so the crc and the writer both see large slices.
+    fn put_block<T: Copy, const W2: usize>(
+        &mut self,
+        items: &[T],
+        encode: impl Fn(T) -> [u8; W2],
+    ) -> Result<(), IoError> {
+        for chunk in items.chunks(BLOCK_CHUNK) {
+            self.chunk.clear();
+            self.chunk.reserve(chunk.len() * W2);
+            for &item in chunk {
+                self.chunk.extend_from_slice(&encode(item));
+            }
+            let staged = std::mem::take(&mut self.chunk);
+            self.put(&staged)?;
+            self.chunk = staged;
+        }
+        Ok(())
+    }
 }
 
 struct CrcReader<'a, R: Read> {
     inner: &'a mut R,
     crc: Crc32,
+    /// Reusable staging buffer for bulk blocks.
+    chunk: Vec<u8>,
 }
 
 impl<R: Read> CrcReader<'_, R> {
-    fn take<const N: usize>(&mut self) -> Result<[u8; N], IoError> {
-        let mut buf = [0u8; N];
-        self.inner.read_exact(&mut buf).map_err(|e| {
+    fn new(inner: &mut R) -> CrcReader<'_, R> {
+        CrcReader {
+            inner,
+            crc: Crc32::new(),
+            chunk: Vec::new(),
+        }
+    }
+
+    fn fill(&mut self, buf: &mut [u8]) -> Result<(), IoError> {
+        self.inner.read_exact(buf).map_err(|e| {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {
                 IoError::Format("truncated snapshot".into())
             } else {
                 IoError::Io(e)
             }
         })?;
-        self.crc.update(&buf);
+        self.crc.update(buf);
+        Ok(())
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], IoError> {
+        let mut buf = [0u8; N];
+        self.fill(&mut buf)?;
         Ok(buf)
     }
 
@@ -104,9 +183,36 @@ impl<R: Read> CrcReader<'_, R> {
     fn take_f64(&mut self) -> Result<f64, IoError> {
         Ok(f64::from_le_bytes(self.take::<8>()?))
     }
+
+    /// Reads one bulk block of `count` fixed-width items, appending each
+    /// decoded item via `push`. Reads in `BLOCK_CHUNK`-item chunks so a
+    /// hostile count costs at most one chunk of scratch before the stream
+    /// runs dry.
+    fn take_block<const W2: usize>(
+        &mut self,
+        count: usize,
+        mut push: impl FnMut([u8; W2]) -> Result<(), IoError>,
+    ) -> Result<(), IoError> {
+        let mut remaining = count;
+        while remaining > 0 {
+            let take = remaining.min(BLOCK_CHUNK);
+            self.chunk.resize(take * W2, 0);
+            let mut staged = std::mem::take(&mut self.chunk);
+            let result = self.fill(&mut staged);
+            self.chunk = staged;
+            result?;
+            for item in self.chunk.chunks_exact(W2) {
+                push(item.try_into().expect("chunk is W2-aligned"))?;
+            }
+            remaining -= take;
+        }
+        Ok(())
+    }
 }
 
-/// Serializes an estimator (and optional node labels) to `writer`.
+/// Serializes an estimator (and optional node labels) to `writer` in the
+/// current format (version 2): the arena's three bulk buffers behind a
+/// checksummed header.
 ///
 /// # Errors
 ///
@@ -118,6 +224,63 @@ pub fn write_snapshot<W: Write>(
     estimator: &EffectiveResistanceEstimator,
     labels: Option<&[u64]>,
 ) -> Result<(), IoError> {
+    let n = validate_for_write(estimator, labels)?;
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION_V2.to_le_bytes())?;
+    let mut out = CrcWriter::new(writer);
+    write_header_fields(&mut out, estimator, n)?;
+    let inverse = estimator.approximate_inverse();
+    // The arena, as-is: one col_ptr block, one u32 row block, one f64 value
+    // block. No per-column framing.
+    out.put_u64(inverse.arena_rows().len() as u64)?;
+    out.put_block(inverse.col_ptr(), |p: usize| (p as u64).to_le_bytes())?;
+    out.put_block(inverse.arena_rows(), |r: u32| r.to_le_bytes())?;
+    out.put_block(inverse.arena_values(), f64::to_le_bytes)?;
+    write_labels(&mut out, labels)?;
+    let crc = out.crc.finish();
+    writer.write_all(&crc.to_le_bytes())?;
+    Ok(())
+}
+
+/// Serializes an estimator in the legacy per-column format (version 1).
+///
+/// Kept so compatibility tests can produce fresh v1 bytes (and fixtures can
+/// be regenerated); new snapshots should use [`write_snapshot`].
+///
+/// # Errors
+///
+/// See [`write_snapshot`].
+pub fn write_snapshot_v1<W: Write>(
+    writer: &mut W,
+    estimator: &EffectiveResistanceEstimator,
+    labels: Option<&[u64]>,
+) -> Result<(), IoError> {
+    let n = validate_for_write(estimator, labels)?;
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION_V1.to_le_bytes())?;
+    let mut out = CrcWriter::new(writer);
+    write_header_fields(&mut out, estimator, n)?;
+    let inverse = estimator.approximate_inverse();
+    for j in 0..n {
+        let column = inverse.column(j);
+        out.put_u32(column.nnz() as u32)?;
+        for &i in column.indices() {
+            out.put_u32(i)?;
+        }
+        for &v in column.values() {
+            out.put_f64(v)?;
+        }
+    }
+    write_labels(&mut out, labels)?;
+    let crc = out.crc.finish();
+    writer.write_all(&crc.to_le_bytes())?;
+    Ok(())
+}
+
+fn validate_for_write(
+    estimator: &EffectiveResistanceEstimator,
+    labels: Option<&[u64]>,
+) -> Result<usize, IoError> {
     let n = estimator.node_count();
     if n > u32::MAX as usize {
         return Err(IoError::Format(format!(
@@ -132,12 +295,16 @@ pub fn write_snapshot<W: Write>(
             )));
         }
     }
-    writer.write_all(MAGIC)?;
-    writer.write_all(&VERSION.to_le_bytes())?;
-    let mut out = CrcWriter {
-        inner: writer,
-        crc: Crc32::new(),
-    };
+    Ok(n)
+}
+
+/// Writes the fields shared by both versions: counts, epsilon, stats and the
+/// permutation.
+fn write_header_fields<W: Write>(
+    out: &mut CrcWriter<'_, W>,
+    estimator: &EffectiveResistanceEstimator,
+    n: usize,
+) -> Result<(), IoError> {
     let stats = estimator.stats();
     let inverse = estimator.approximate_inverse();
     out.put_u64(n as u64)?;
@@ -151,35 +318,29 @@ pub fn write_snapshot<W: Write>(
     let inv_stats = inverse.stats();
     out.put_u64(inv_stats.pruned_entries as u64)?;
     out.put_u64(inv_stats.small_columns_kept as u64)?;
-    for &old in estimator.permutation().new_to_old() {
-        out.put_u32(old as u32)?;
-    }
-    for j in 0..n {
-        let column = inverse.column(j);
-        out.put_u32(column.nnz() as u32)?;
-        for &i in column.indices() {
-            out.put_u32(i as u32)?;
-        }
-        for &v in column.values() {
-            out.put_f64(v)?;
-        }
-    }
-    match labels {
-        None => out.put(&[0u8])?,
-        Some(labels) => {
-            out.put(&[1u8])?;
-            for &label in labels {
-                out.put_u64(label)?;
-            }
-        }
-    }
-    let crc = out.crc.finish();
-    writer.write_all(&crc.to_le_bytes())?;
+    out.put_block(estimator.permutation().new_to_old(), |old: usize| {
+        (old as u32).to_le_bytes()
+    })?;
     Ok(())
 }
 
-/// Reads a snapshot written by [`write_snapshot`], verifying magic, version
-/// and checksum, and revalidating every structural invariant.
+fn write_labels<W: Write>(
+    out: &mut CrcWriter<'_, W>,
+    labels: Option<&[u64]>,
+) -> Result<(), IoError> {
+    match labels {
+        None => out.put(&[0u8]),
+        Some(labels) => {
+            out.put(&[1u8])?;
+            out.put_block(labels, u64::to_le_bytes)
+        }
+    }
+}
+
+/// Reads a snapshot written by [`write_snapshot`] (version 2) or the legacy
+/// [`write_snapshot_v1`] format, auto-detecting the version from the header,
+/// verifying magic and checksum, and revalidating every structural
+/// invariant.
 ///
 /// # Errors
 ///
@@ -197,24 +358,27 @@ pub fn read_snapshot<R: Read>(reader: &mut R) -> Result<Snapshot, IoError> {
     reader
         .read_exact(&mut version)
         .map_err(|_| IoError::Format("truncated snapshot (no version)".into()))?;
-    let version = u32::from_le_bytes(version);
-    if version != VERSION {
-        return Err(IoError::Format(format!(
-            "unsupported snapshot version {version} (this build reads {VERSION})"
-        )));
+    match u32::from_le_bytes(version) {
+        VERSION_V1 => read_payload(reader, Version::V1),
+        VERSION_V2 => read_payload(reader, Version::V2),
+        other => Err(IoError::Format(format!(
+            "unsupported snapshot version {other} (this build reads {VERSION_V1} and {VERSION_V2})"
+        ))),
     }
-    let mut input = CrcReader {
-        inner: reader,
-        crc: Crc32::new(),
-    };
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Version {
+    V1,
+    V2,
+}
+
+fn read_payload<R: Read>(reader: &mut R, version: Version) -> Result<Snapshot, IoError> {
+    let mut input = CrcReader::new(reader);
     let n = input.take_u64()? as usize;
     if n > u32::MAX as usize {
         return Err(IoError::Format("node count exceeds u32 index space".into()));
     }
-    // Preallocation below is bounded by this cap, not by the untrusted `n`:
-    // a corrupt header must produce IoError::Format (via a failed read), not
-    // a multi-gigabyte allocation request that aborts the process.
-    const PREALLOC_CAP: usize = 1 << 20;
     let epsilon = input.take_f64()?;
     let stats = EstimatorStats {
         node_count: n,
@@ -232,53 +396,26 @@ pub fn read_snapshot<R: Read>(reader: &mut R) -> Result<Snapshot, IoError> {
         small_columns_kept: input.take_u64()? as usize,
     };
     let mut new_to_old = Vec::with_capacity(n.min(PREALLOC_CAP));
-    for _ in 0..n {
-        new_to_old.push(input.take_u32()? as usize);
-    }
+    input.take_block(n, |b: [u8; 4]| {
+        new_to_old.push(u32::from_le_bytes(b) as usize);
+        Ok(())
+    })?;
     let permutation = Permutation::from_new_to_old(new_to_old)
         .map_err(|e| IoError::Format(format!("invalid permutation: {e}")))?;
-    // The columns stream straight into the estimator's flat CSC arena —
-    // three contiguous buffers instead of one allocation per column.
-    let mut col_ptr = Vec::with_capacity((n + 1).min(PREALLOC_CAP));
-    let mut arena_rows: Vec<usize> = Vec::new();
-    let mut arena_vals: Vec<f64> = Vec::new();
-    col_ptr.push(0usize);
-    for j in 0..n {
-        let nnz = input.take_u32()? as usize;
-        if nnz > n {
-            return Err(IoError::Format(format!(
-                "column {j} claims {nnz} nonzeros in a {n}-node inverse"
-            )));
-        }
-        let start = arena_rows.len();
-        arena_rows.reserve(nnz.min(PREALLOC_CAP));
-        for _ in 0..nnz {
-            arena_rows.push(input.take_u32()? as usize);
-        }
-        let column = &arena_rows[start..];
-        let sorted = column.windows(2).all(|w| w[0] < w[1]);
-        if !sorted || column.last().is_some_and(|&i| i >= n) {
-            return Err(IoError::Format(format!(
-                "column {j} indices are not strictly increasing within 0..{n}"
-            )));
-        }
-        arena_vals.reserve(nnz.min(PREALLOC_CAP));
-        for _ in 0..nnz {
-            let v = input.take_f64()?;
-            if !v.is_finite() {
-                return Err(IoError::Format(format!("non-finite value in column {j}")));
-            }
-            arena_vals.push(v);
-        }
-        col_ptr.push(arena_rows.len());
-    }
+
+    let (col_ptr, arena_rows, arena_vals) = match version {
+        Version::V1 => read_columns_v1(&mut input, n)?,
+        Version::V2 => read_arena_v2(&mut input, n)?,
+    };
+
     let labels = match input.take_u8()? {
         0 => None,
         1 => {
             let mut labels = Vec::with_capacity(n.min(PREALLOC_CAP));
-            for _ in 0..n {
-                labels.push(input.take_u64()?);
-            }
+            input.take_block(n, |b: [u8; 8]| {
+                labels.push(u64::from_le_bytes(b));
+                Ok(())
+            })?;
             Some(labels)
         }
         other => {
@@ -297,6 +434,9 @@ pub fn read_snapshot<R: Read>(reader: &mut R) -> Result<Snapshot, IoError> {
             "snapshot checksum mismatch: computed {computed:#010x}, stored {expected:#010x}"
         )));
     }
+    // `from_arena` revalidates the structural invariants (monotone col_ptr,
+    // strictly increasing lower-triangular columns) for both versions, so a
+    // corrupt-but-checksummed payload still cannot reach the query kernels.
     let inverse = SparseApproximateInverse::from_arena(
         n, col_ptr, arena_rows, arena_vals, inv_stats, epsilon,
     )?;
@@ -304,7 +444,88 @@ pub fn read_snapshot<R: Read>(reader: &mut R) -> Result<Snapshot, IoError> {
     Ok(Snapshot { estimator, labels })
 }
 
-/// Writes a snapshot to a file (buffered).
+/// Reads the v1 per-column records, assembling them into arena buffers.
+#[allow(clippy::type_complexity)]
+fn read_columns_v1<R: Read>(
+    input: &mut CrcReader<'_, R>,
+    n: usize,
+) -> Result<(Vec<usize>, Vec<u32>, Vec<f64>), IoError> {
+    let mut col_ptr = Vec::with_capacity((n + 1).min(PREALLOC_CAP));
+    let mut arena_rows: Vec<u32> = Vec::new();
+    let mut arena_vals: Vec<f64> = Vec::new();
+    col_ptr.push(0usize);
+    for j in 0..n {
+        let nnz = input.take_u32()? as usize;
+        if nnz > n {
+            return Err(IoError::Format(format!(
+                "column {j} claims {nnz} nonzeros in a {n}-node inverse"
+            )));
+        }
+        let start = arena_rows.len();
+        arena_rows.reserve(nnz.min(PREALLOC_CAP));
+        for _ in 0..nnz {
+            arena_rows.push(input.take_u32()?);
+        }
+        let column = &arena_rows[start..];
+        let sorted = column.windows(2).all(|w| w[0] < w[1]);
+        if !sorted || column.last().is_some_and(|&i| i as usize >= n) {
+            return Err(IoError::Format(format!(
+                "column {j} indices are not strictly increasing within 0..{n}"
+            )));
+        }
+        arena_vals.reserve(nnz.min(PREALLOC_CAP));
+        for _ in 0..nnz {
+            let v = input.take_f64()?;
+            if !v.is_finite() {
+                return Err(IoError::Format(format!("non-finite value in column {j}")));
+            }
+            arena_vals.push(v);
+        }
+        col_ptr.push(arena_rows.len());
+    }
+    Ok((col_ptr, arena_rows, arena_vals))
+}
+
+/// Reads the v2 bulk arena blocks straight into the arena buffers.
+#[allow(clippy::type_complexity)]
+fn read_arena_v2<R: Read>(
+    input: &mut CrcReader<'_, R>,
+    n: usize,
+) -> Result<(Vec<usize>, Vec<u32>, Vec<f64>), IoError> {
+    let nnz = input.take_u64()? as usize;
+    let mut col_ptr: Vec<usize> = Vec::with_capacity((n + 1).min(PREALLOC_CAP));
+    input.take_block(n + 1, |b: [u8; 8]| {
+        let p = u64::from_le_bytes(b);
+        if p > nnz as u64 {
+            return Err(IoError::Format(format!(
+                "col_ptr entry {p} exceeds the declared {nnz} nonzeros"
+            )));
+        }
+        col_ptr.push(p as usize);
+        Ok(())
+    })?;
+    let mut arena_rows: Vec<u32> = Vec::with_capacity(nnz.min(PREALLOC_CAP));
+    input.take_block(nnz, |b: [u8; 4]| {
+        arena_rows.push(u32::from_le_bytes(b));
+        Ok(())
+    })?;
+    let mut arena_vals: Vec<f64> = Vec::with_capacity(nnz.min(PREALLOC_CAP));
+    let mut bad_value = false;
+    input.take_block(nnz, |b: [u8; 8]| {
+        let v = f64::from_le_bytes(b);
+        bad_value |= !v.is_finite();
+        arena_vals.push(v);
+        Ok(())
+    })?;
+    if bad_value {
+        return Err(IoError::Format(
+            "non-finite value in the arena value block".into(),
+        ));
+    }
+    Ok((col_ptr, arena_rows, arena_vals))
+}
+
+/// Writes a snapshot to a file (buffered), in the current format.
 ///
 /// # Errors
 ///
@@ -321,7 +542,7 @@ pub fn save_snapshot(
     Ok(())
 }
 
-/// Loads a snapshot from a file (buffered).
+/// Loads a snapshot from a file (buffered), auto-detecting the version.
 ///
 /// # Errors
 ///
@@ -361,6 +582,35 @@ mod tests {
     }
 
     #[test]
+    fn v1_and_v2_writers_round_trip_identically() {
+        // Same estimator through both formats: the loaded arenas must match
+        // bit-for-bit, v1's per-column records and v2's bulk blocks being
+        // two encodings of the same buffers.
+        let estimator = sample_estimator();
+        let mut v1 = Vec::new();
+        write_snapshot_v1(&mut v1, &estimator, None).expect("write v1");
+        let mut v2 = Vec::new();
+        write_snapshot(&mut v2, &estimator, None).expect("write v2");
+        assert_eq!(u32::from_le_bytes(v1[8..12].try_into().unwrap()), 1);
+        assert_eq!(u32::from_le_bytes(v2[8..12].try_into().unwrap()), 2);
+        // Same rows/vals payload; the formats differ only in framing (v1:
+        // one u32 nnz per column, v2: a u64 col_ptr block + nnz header).
+        assert_eq!(v2.len() as i64 - v1.len() as i64, 8 * 145 + 8 - 4 * 144);
+        let from_v1 = read_snapshot(&mut v1.as_slice()).expect("read v1");
+        let from_v2 = read_snapshot(&mut v2.as_slice()).expect("read v2");
+        let a = from_v1.estimator.approximate_inverse();
+        let b = from_v2.estimator.approximate_inverse();
+        assert_eq!(a.col_ptr(), b.col_ptr());
+        assert_eq!(a.arena_rows(), b.arena_rows());
+        assert!(a
+            .arena_values()
+            .iter()
+            .zip(b.arena_values())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(from_v1.estimator.stats(), from_v2.estimator.stats());
+    }
+
+    #[test]
     fn no_labels_flag_round_trips() {
         let estimator = sample_estimator();
         let mut bytes = Vec::new();
@@ -372,47 +622,68 @@ mod tests {
     #[test]
     fn corruption_is_detected() {
         let estimator = sample_estimator();
-        let mut bytes = Vec::new();
-        write_snapshot(&mut bytes, &estimator, None).expect("write");
+        for write in [write_snapshot::<Vec<u8>>, write_snapshot_v1::<Vec<u8>>] {
+            let mut bytes = Vec::new();
+            write(&mut bytes, &estimator, None).expect("write");
 
-        // Bad magic.
-        let mut bad = bytes.clone();
-        bad[0] ^= 0xff;
-        assert!(matches!(
-            read_snapshot(&mut bad.as_slice()),
-            Err(IoError::Format(_))
-        ));
+            // Bad magic.
+            let mut bad = bytes.clone();
+            bad[0] ^= 0xff;
+            assert!(matches!(
+                read_snapshot(&mut bad.as_slice()),
+                Err(IoError::Format(_))
+            ));
 
-        // Bad version.
-        let mut bad = bytes.clone();
-        bad[8] = 99;
-        assert!(matches!(
-            read_snapshot(&mut bad.as_slice()),
-            Err(IoError::Format(_))
-        ));
+            // Bad version.
+            let mut bad = bytes.clone();
+            bad[8] = 99;
+            assert!(matches!(
+                read_snapshot(&mut bad.as_slice()),
+                Err(IoError::Format(_))
+            ));
 
-        // Flipped payload byte → checksum mismatch (or a structural error if
-        // the flip lands on a count).
-        let mut bad = bytes.clone();
-        let mid = bytes.len() / 2;
-        bad[mid] ^= 0x01;
-        assert!(read_snapshot(&mut bad.as_slice()).is_err());
+            // Flipped payload byte → checksum mismatch (or a structural
+            // error if the flip lands on a count).
+            let mut bad = bytes.clone();
+            let mid = bytes.len() / 2;
+            bad[mid] ^= 0x01;
+            assert!(read_snapshot(&mut bad.as_slice()).is_err());
 
-        // Truncation.
-        let cut = &bytes[..bytes.len() - 7];
-        assert!(read_snapshot(&mut &cut[..]).is_err());
+            // Truncation.
+            let cut = &bytes[..bytes.len() - 7];
+            assert!(read_snapshot(&mut &cut[..]).is_err());
+        }
     }
 
     #[test]
     fn hostile_header_errors_instead_of_allocating() {
         // A tiny snapshot whose header claims u32::MAX nodes must fail with a
         // clean format error (truncated payload), not abort the process
-        // trying to preallocate gigabytes.
+        // trying to preallocate gigabytes — in either version.
+        for version in [1u32, 2] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(b"EFRSNAP\n");
+            bytes.extend_from_slice(&version.to_le_bytes());
+            bytes.extend_from_slice(&(u32::MAX as u64).to_le_bytes());
+            bytes.extend_from_slice(&[0u8; 16]); // a few payload bytes, then EOF
+            assert!(matches!(
+                read_snapshot(&mut bytes.as_slice()),
+                Err(IoError::Format(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn hostile_nnz_errors_instead_of_allocating() {
+        // A structurally plausible v2 header whose nnz field is absurd must
+        // run out of payload (format error), not allocate nnz-sized buffers.
+        let estimator = sample_estimator();
         let mut bytes = Vec::new();
-        bytes.extend_from_slice(b"EFRSNAP\n");
-        bytes.extend_from_slice(&1u32.to_le_bytes());
-        bytes.extend_from_slice(&(u32::MAX as u64).to_le_bytes());
-        bytes.extend_from_slice(&[0u8; 16]); // a few payload bytes, then EOF
+        write_snapshot(&mut bytes, &estimator, None).expect("write");
+        // The nnz u64 sits right after the permutation block.
+        let n = estimator.node_count();
+        let nnz_offset = 8 + 4 + 8 + 8 + 6 * 8 + 2 * 8 + 4 * n;
+        bytes[nnz_offset..nnz_offset + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(matches!(
             read_snapshot(&mut bytes.as_slice()),
             Err(IoError::Format(_))

@@ -15,7 +15,7 @@
 //! *original dataset ids*; the CLI maps them onto the dense node space the
 //! estimator uses internally.
 
-use effres::{EffectiveResistanceEstimator, EffresConfig, Ordering};
+use effres::{EffectiveResistanceEstimator, EffresConfig, Ordering, WorkerPool};
 use effres_graph::builder::MergePolicy;
 use effres_io::dataset::{load_graph, IngestOptions};
 use effres_io::snapshot::{load_snapshot, save_snapshot, Snapshot};
@@ -56,7 +56,9 @@ BATCH OPTIONS:
     --pairs <file>          pair file: one `p q` per line, # comments
     --random <count>        generate <count> random pairs instead
     --seed <s>              seed for --random            [default: 42]
-    --threads <n>           worker threads (0 = all cores)
+    --threads <n>           worker-pool threads (0 = all cores); one
+                            persistent pool is shared between the estimator
+                            build and the batch engine
     --cache <n>             result-cache entries (0 disables)
     --output <file>         write `p q resistance` lines here
 
@@ -394,8 +396,8 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_batch(args: &[String]) -> Result<(), CliError> {
-    let options = parse_options(args)?;
-    let path = require_input(&options)?;
+    let mut options = parse_options(args)?;
+    let path = require_input(&options)?.to_path_buf();
     // Validate the batch source before the (potentially expensive) load.
     enum Source<'a> {
         Pairs(&'a PathBuf),
@@ -415,7 +417,15 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         (Some(file), None) => Source::Pairs(file),
         (None, Some(count)) => Source::Random(count),
     };
-    let snapshot = obtain_snapshot(path, &options)?;
+    // One persistent pool for the whole build-then-serve run: the
+    // level-scheduled estimator build (dataset inputs) and the batch engine
+    // reuse the same workers instead of each spawning their own. Sized for
+    // the larger of the two stages (`0` on either flag means all cores).
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let resolve = |threads: usize| if threads == 0 { cores } else { threads };
+    let pool = WorkerPool::new(resolve(options.threads).max(resolve(options.config.build.threads)));
+    options.config = options.config.with_worker_pool(pool.clone());
+    let snapshot = obtain_snapshot(&path, &options)?;
     let map = label_map(&snapshot.labels);
     let labels = snapshot.labels.clone();
     let node_count = snapshot.estimator.node_count();
@@ -442,15 +452,17 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         EngineOptions {
             threads: options.threads,
             cache_capacity: options.cache,
+            pool: Some(pool.clone()),
             ..EngineOptions::default()
         },
     );
     let result = engine.execute(&batch)?;
     println!(
-        "batch      {} queries in {:.3}s on {} thread(s) — {:.0} queries/s",
+        "batch      {} queries in {:.3}s, {} chunk(s) on a {}-worker pool — {:.0} queries/s",
         batch.len(),
         result.elapsed.as_secs_f64(),
         result.threads,
+        pool.threads(),
         result.throughput()
     );
     println!(
@@ -490,6 +502,13 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
         let snapshot = load_snapshot(path)?;
         println!("snapshot   {}", path.display());
         print_estimator_stats(&snapshot.estimator);
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let workers = if options.threads == 0 {
+            cores
+        } else {
+            options.threads
+        };
+        println!("pool       {workers} worker thread(s) for build-then-serve (--threads)");
         println!(
             "labels     {}",
             if snapshot.labels.is_some() {
@@ -504,6 +523,10 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
 fn print_estimator_stats(estimator: &EffectiveResistanceEstimator) {
     let s = estimator.stats();
     println!("nodes      {}", s.node_count);
@@ -514,6 +537,18 @@ fn print_estimator_stats(estimator: &EffectiveResistanceEstimator) {
     println!(
         "inverse    {} nnz ({} pruned), nnz/(n·log2 n) = {:.3}",
         s.inverse_nnz, s.pruned_entries, s.inverse_nnz_ratio
+    );
+    // The arena footprint is what the query path actually streams; the row
+    // block is the one the u32 index narrowing halved.
+    let f = estimator.approximate_inverse().footprint();
+    println!(
+        "arena      col_ptr {:.1} MiB + rows {:.1} MiB + vals {:.1} MiB = {:.1} MiB \
+         ({}-byte row indices)",
+        mib(f.col_ptr_bytes),
+        mib(f.rows_bytes),
+        mib(f.vals_bytes),
+        mib(f.total_bytes()),
+        f.index_width_bytes
     );
     println!("max depth  {}", s.max_depth);
 }

@@ -1,35 +1,45 @@
 //! The parallel query engine.
 //!
 //! [`QueryEngine`] wraps a shared, immutable [`EffectiveResistanceEstimator`]
-//! behind an [`Arc`] and turns it into a service: batches run across scoped
-//! worker threads, each with its own scratch column buffer, in front of a
-//! sharded LRU cache of recent pair results and a precomputed table of
-//! `‖z̃_j‖²` column norms (so one query is a single sparse dot product).
+//! behind an [`Arc`] and turns it into a service: batches fan out as jobs on
+//! a persistent [`WorkerPool`] (the engine's own, or one shared with the
+//! estimator build via [`EngineOptions::pool`]), each job drawing a reusable
+//! scratch column buffer from a pool-wide free list, in front of a sharded
+//! LRU cache of recent pair results and a precomputed table of `‖z̃_j‖²`
+//! column norms (so one query is a single sparse dot product).
 //!
 //! The estimator and every type it contains are plain owned data (`Vec`s of
 //! indices and floats — no interior mutability, no raw pointers), so sharing
-//! `&estimator` across worker threads is sound; the static assertions in the
-//! crate root pin the `Send + Sync` audit down at compile time.
+//! it across pool workers behind an [`Arc`] is sound; the static assertions
+//! in the crate root pin the `Send + Sync` audit down at compile time.
 
 use crate::batch::QueryBatch;
 use crate::cache::ShardedLru;
-use effres::{EffectiveResistanceEstimator, EffresError};
+use effres::{EffectiveResistanceEstimator, EffresError, WorkerPool};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`QueryEngine`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineOptions {
-    /// Worker threads for batch execution; `0` means one per available core.
+    /// Parallel fan-out for batch execution; `0` means one job chunk per
+    /// available core (or per worker of a shared [`EngineOptions::pool`]).
+    /// Actual concurrency is capped by the worker-pool size.
     pub threads: usize,
     /// Total entries of the pair-result cache; `0` disables caching.
     pub cache_capacity: usize,
     /// Number of cache shards (rounded up to a power of two).
     pub cache_shards: usize,
-    /// Batches smaller than this run on the calling thread — spawning
-    /// workers costs more than it saves.
+    /// Batches smaller than this run on the calling thread — dispatching
+    /// pool jobs costs more than it saves.
     pub parallel_threshold: usize,
+    /// A persistent [`WorkerPool`] to run batch jobs on. `None` (the
+    /// default) makes the engine spawn its own pool lazily on the first
+    /// parallel batch; build-then-serve deployments pass the pool the
+    /// estimator build used (`EffresConfig::with_worker_pool`) so the whole
+    /// pipeline shares one set of workers.
+    pub pool: Option<WorkerPool>,
 }
 
 impl Default for EngineOptions {
@@ -39,6 +49,7 @@ impl Default for EngineOptions {
             cache_capacity: 1 << 16,
             cache_shards: 16,
             parallel_threshold: 1 << 10,
+            pool: None,
         }
     }
 }
@@ -67,7 +78,9 @@ pub struct BatchResult {
     pub values: Vec<f64>,
     /// Wall-clock execution time.
     pub elapsed: Duration,
-    /// Worker threads used (1 for the sequential path).
+    /// Parallel job chunks the batch fanned out into (1 for the sequential
+    /// path); actual concurrency is additionally capped by the worker-pool
+    /// size.
     pub threads: usize,
     /// Cache hits within this batch.
     pub cache_hits: u64,
@@ -90,6 +103,7 @@ impl BatchResult {
 /// and each dot product only walks the *other* column. Columns are read as
 /// plain slices out of the estimator's flat CSC arena, so both the scatter
 /// and the suffix dot stream contiguous memory.
+#[derive(Debug)]
 struct ColumnScratch {
     dense: Vec<f64>,
     loaded: Option<usize>,
@@ -110,7 +124,7 @@ impl ColumnScratch {
         }
         if let Some(prev) = self.loaded {
             for &i in inverse.column(prev).indices() {
-                self.dense[i] = 0.0;
+                self.dense[i as usize] = 0.0;
             }
         }
         let column = inverse.column(j);
@@ -132,12 +146,44 @@ impl ColumnScratch {
     ) -> f64 {
         let column = inverse.column(j);
         let (indices, values) = (column.indices(), column.values());
-        let start = indices.partition_point(|&row| row < bound);
+        let start = indices.partition_point(|&row| (row as usize) < bound);
         indices[start..]
             .iter()
             .zip(&values[start..])
-            .map(|(&i, v)| self.dense[i] * v)
+            .map(|(&i, v)| self.dense[i as usize] * v)
             .sum()
+    }
+}
+
+/// The shareable heart of the engine: everything a pool worker needs to
+/// answer a slice of queries — the estimator, the norm table, the result
+/// cache and a free list of reusable scratch columns. Lives behind one
+/// [`Arc`] so batch jobs are `'static` without copying any of it.
+#[derive(Debug)]
+struct EngineCore {
+    estimator: Arc<EffectiveResistanceEstimator>,
+    /// `‖z̃_j‖²` per permuted column — the hot-path norm table.
+    norms: Vec<f64>,
+    cache: Option<ShardedLru>,
+    /// Reusable scratch columns: a worker pops one per job and returns it,
+    /// so steady-state batch traffic allocates no dense buffers at all.
+    scratches: Mutex<Vec<ColumnScratch>>,
+}
+
+impl EngineCore {
+    fn take_scratch(&self) -> ColumnScratch {
+        self.scratches
+            .lock()
+            .expect("scratch free list poisoned")
+            .pop()
+            .unwrap_or_else(|| ColumnScratch::new(self.estimator.node_count()))
+    }
+
+    fn return_scratch(&self, scratch: ColumnScratch) {
+        self.scratches
+            .lock()
+            .expect("scratch free list poisoned")
+            .push(scratch);
     }
 }
 
@@ -145,11 +191,11 @@ impl ColumnScratch {
 /// shared immutable estimator.
 #[derive(Debug)]
 pub struct QueryEngine {
-    estimator: Arc<EffectiveResistanceEstimator>,
-    /// `‖z̃_j‖²` per permuted column — the hot-path norm table.
-    norms: Vec<f64>,
-    cache: Option<ShardedLru>,
+    core: Arc<EngineCore>,
     options: EngineOptions,
+    /// The engine's own pool, created lazily on the first parallel batch
+    /// when no shared pool was configured.
+    owned_pool: OnceLock<WorkerPool>,
     queries: AtomicU64,
     batches: AtomicU64,
     cache_hits: AtomicU64,
@@ -169,10 +215,14 @@ impl QueryEngine {
             None
         };
         QueryEngine {
-            estimator,
-            norms,
-            cache,
+            core: Arc::new(EngineCore {
+                estimator,
+                norms,
+                cache,
+                scratches: Mutex::new(Vec::new()),
+            }),
             options,
+            owned_pool: OnceLock::new(),
             queries: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -188,12 +238,24 @@ impl QueryEngine {
 
     /// The shared estimator.
     pub fn estimator(&self) -> &Arc<EffectiveResistanceEstimator> {
-        &self.estimator
+        &self.core.estimator
     }
 
     /// Number of nodes served.
     pub fn node_count(&self) -> usize {
-        self.estimator.node_count()
+        self.core.estimator.node_count()
+    }
+
+    /// The worker pool batches run on: the shared pool from
+    /// [`EngineOptions::pool`] when configured, otherwise the engine's own
+    /// (created lazily, persistent across batches).
+    pub fn worker_pool(&self) -> &WorkerPool {
+        match &self.options.pool {
+            Some(pool) => pool,
+            None => self
+                .owned_pool
+                .get_or_init(|| WorkerPool::new(self.options.threads)),
+        }
     }
 
     /// Cumulative service counters.
@@ -203,14 +265,9 @@ impl QueryEngine {
             batches: self.batches.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            cache_entries: self.cache.as_ref().map_or(0, ShardedLru::len),
-            cache_capacity: self.cache.as_ref().map_or(0, ShardedLru::capacity),
+            cache_entries: self.core.cache.as_ref().map_or(0, ShardedLru::len),
+            cache_capacity: self.core.cache.as_ref().map_or(0, ShardedLru::capacity),
         }
-    }
-
-    fn cache_key(p: usize, q: usize) -> u64 {
-        let (a, b) = if p < q { (p, q) } else { (q, p) };
-        ((a as u64) << 32) | b as u64
     }
 
     /// Answers one query through the cache and the norm table.
@@ -219,7 +276,7 @@ impl QueryEngine {
     ///
     /// Returns [`EffresError::NodeOutOfBounds`] for invalid node indices.
     pub fn query(&self, p: usize, q: usize) -> Result<f64, EffresError> {
-        let n = self.estimator.node_count();
+        let n = self.core.estimator.node_count();
         if p >= n || q >= n {
             return Err(EffresError::NodeOutOfBounds {
                 node: p.max(q),
@@ -230,16 +287,19 @@ impl QueryEngine {
         if p == q {
             return Ok(0.0);
         }
-        let key = Self::cache_key(p, q);
-        if let Some(cache) = &self.cache {
+        let key = cache_key(p, q);
+        if let Some(cache) = &self.core.cache {
             if let Some(value) = cache.get(key) {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(value);
             }
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let value = self.estimator.query_with_norms(p, q, &self.norms)?;
-        if let Some(cache) = &self.cache {
+        let value = self
+            .core
+            .estimator
+            .query_with_norms(p, q, &self.core.norms)?;
+        if let Some(cache) = &self.core.cache {
             cache.insert(key, value);
         }
         Ok(value)
@@ -254,7 +314,7 @@ impl QueryEngine {
     ///
     /// Returns [`EffresError::NodeOutOfBounds`] naming the first invalid node.
     pub fn execute(&self, batch: &QueryBatch) -> Result<BatchResult, EffresError> {
-        let n = self.estimator.node_count();
+        let n = self.core.estimator.node_count();
         for &(p, q) in batch.pairs() {
             if p >= n || q >= n {
                 return Err(EffresError::NodeOutOfBounds {
@@ -266,9 +326,12 @@ impl QueryEngine {
         let threads = self.effective_threads(batch.len());
         let start = Instant::now();
         let (values, hits, misses) = if threads <= 1 {
-            self.run_slice(batch.pairs(), &mut ColumnScratch::new(n))
+            let mut scratch = self.core.take_scratch();
+            let out = self.core.run_slice(batch.pairs(), &mut scratch);
+            self.core.return_scratch(scratch);
+            out
         } else {
-            self.run_parallel(batch.pairs(), threads, n)
+            self.run_parallel(batch.pairs(), threads)
         };
         let elapsed = start.elapsed();
         self.queries
@@ -289,18 +352,70 @@ impl QueryEngine {
         if batch_len < self.options.parallel_threshold.max(2) {
             return 1;
         }
-        let hardware = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        let configured = if self.options.threads == 0 {
-            hardware
-        } else {
+        let configured = if self.options.threads != 0 {
             self.options.threads
+        } else if let Some(pool) = &self.options.pool {
+            pool.threads()
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
         };
-        // No point in more threads than work chunks of a sensible size.
+        // No point in more job chunks than work of a sensible size.
         configured.min(batch_len.div_ceil(256)).max(1)
     }
 
+    fn run_parallel(&self, pairs: &[(usize, usize)], threads: usize) -> (Vec<f64>, u64, u64) {
+        // Sort query indices by normalized pair so queries sharing an
+        // endpoint land in the same chunk and reuse the scattered column.
+        let mut order: Vec<u32> = (0..pairs.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            let (p, q) = pairs[i as usize];
+            (p.min(q), p.max(q))
+        });
+        let sorted_pairs: Vec<(usize, usize)> = order.iter().map(|&i| pairs[i as usize]).collect();
+
+        let chunk_len = sorted_pairs.len().div_ceil(threads);
+        // One pool job per chunk: the job owns its pairs and a clone of the
+        // engine core, answers the chunk with a scratch column drawn from the
+        // core's free list, and hands the values back through `run`.
+        let jobs: Vec<_> = sorted_pairs
+            .chunks(chunk_len)
+            .map(|chunk| {
+                let core = Arc::clone(&self.core);
+                let chunk = chunk.to_vec();
+                move || {
+                    let mut scratch = core.take_scratch();
+                    let out = core.run_slice(&chunk, &mut scratch);
+                    core.return_scratch(scratch);
+                    out
+                }
+            })
+            .collect();
+        let results = self.worker_pool().run(jobs);
+
+        let mut sorted_values = Vec::with_capacity(sorted_pairs.len());
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for (values, h, m) in results {
+            sorted_values.extend_from_slice(&values);
+            hits += h;
+            misses += m;
+        }
+        let mut values = vec![0.0f64; pairs.len()];
+        for (slot, &original) in order.iter().enumerate() {
+            values[original as usize] = sorted_values[slot];
+        }
+        (values, hits, misses)
+    }
+}
+
+fn cache_key(p: usize, q: usize) -> u64 {
+    let (a, b) = if p < q { (p, q) } else { (q, p) };
+    ((a as u64) << 32) | b as u64
+}
+
+impl EngineCore {
     /// Answers `pairs` in order with the given scratch buffer; returns the
     /// values and the (hits, misses) the slice generated. Bounds are already
     /// validated.
@@ -319,7 +434,7 @@ impl QueryEngine {
                 values.push(0.0);
                 continue;
             }
-            let key = Self::cache_key(p, q);
+            let key = cache_key(p, q);
             if let Some(cache) = &self.cache {
                 if let Some(value) = cache.get(key) {
                     hits += 1;
@@ -353,49 +468,6 @@ impl QueryEngine {
                 cache.insert(key, value);
             }
             values.push(value);
-        }
-        (values, hits, misses)
-    }
-
-    fn run_parallel(
-        &self,
-        pairs: &[(usize, usize)],
-        threads: usize,
-        n: usize,
-    ) -> (Vec<f64>, u64, u64) {
-        // Sort query indices by normalized pair so queries sharing an
-        // endpoint land in the same chunk and reuse the scattered column.
-        let mut order: Vec<u32> = (0..pairs.len() as u32).collect();
-        order.sort_unstable_by_key(|&i| {
-            let (p, q) = pairs[i as usize];
-            (p.min(q), p.max(q))
-        });
-        let sorted_pairs: Vec<(usize, usize)> = order.iter().map(|&i| pairs[i as usize]).collect();
-
-        let chunk_len = sorted_pairs.len().div_ceil(threads);
-        let mut sorted_values = vec![0.0f64; sorted_pairs.len()];
-        let mut hits = 0u64;
-        let mut misses = 0u64;
-        std::thread::scope(|scope| {
-            let mut workers = Vec::with_capacity(threads);
-            for chunk_pairs in sorted_pairs.chunks(chunk_len) {
-                workers.push(scope.spawn(move || {
-                    let mut scratch = ColumnScratch::new(n);
-                    self.run_slice(chunk_pairs, &mut scratch)
-                }));
-            }
-            for (worker, out_chunk) in workers.into_iter().zip(sorted_values.chunks_mut(chunk_len))
-            {
-                let (values, h, m) = worker.join().expect("query worker panicked");
-                out_chunk.copy_from_slice(&values);
-                hits += h;
-                misses += m;
-            }
-        });
-
-        let mut values = vec![0.0f64; pairs.len()];
-        for (slot, &original) in order.iter().enumerate() {
-            values[original as usize] = sorted_values[slot];
         }
         (values, hits, misses)
     }

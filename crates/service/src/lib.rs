@@ -6,8 +6,9 @@
 //!
 //! * [`engine::QueryEngine`] — a thread-safe engine over an `Arc`-shared
 //!   [`EffectiveResistanceEstimator`](effres::EffectiveResistanceEstimator),
-//!   executing [`batch::QueryBatch`]es across scoped worker threads with
-//!   per-thread scratch column buffers;
+//!   fanning [`batch::QueryBatch`]es out onto a persistent
+//!   [`WorkerPool`](effres::WorkerPool) (shareable with the estimator build)
+//!   with reusable scratch column buffers;
 //! * [`cache::ShardedLru`] — a sharded LRU of recent pair results in front
 //!   of the sparse kernel;
 //! * `effres-cli` — a binary driving the whole pipeline from the shell:
@@ -54,6 +55,7 @@ mod send_sync_audit {
 
     fn audit() {
         assert_send_sync::<effres::EffectiveResistanceEstimator>();
+        assert_send_sync::<effres::WorkerPool>();
         assert_send_sync::<effres::approx_inverse::SparseApproximateInverse>();
         assert_send_sync::<effres_sparse::SparseVec>();
         assert_send_sync::<effres_sparse::CscMatrix>();

@@ -55,6 +55,7 @@ pub mod error;
 pub mod etree;
 pub mod ichol;
 pub mod permutation;
+pub mod pool;
 pub mod rcm;
 pub mod schedule;
 pub mod sparse_vec;
@@ -68,5 +69,6 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::SparseError;
 pub use permutation::Permutation;
+pub use pool::WorkerPool;
 pub use schedule::LevelSchedule;
 pub use sparse_vec::SparseVec;

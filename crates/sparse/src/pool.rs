@@ -1,0 +1,248 @@
+//! A persistent worker pool shared across the workspace's parallel stages.
+//!
+//! Both parallel hot paths of the workspace — the level-scheduled
+//! approximate-inverse build and the query service's batched execution — used
+//! to spin up their own scoped threads per build / per batch. [`WorkerPool`]
+//! replaces those ad-hoc setups with one set of long-lived workers: threads
+//! are spawned once, park on a channel of boxed jobs, and are reused by every
+//! subsequent build or batch. Build-then-serve deployments construct a single
+//! pool and hand clones of the (cheap, `Arc`-backed) handle to both stages.
+//!
+//! The pool is std-only: an `mpsc` channel distributes `Box<dyn FnOnce()>`
+//! jobs to workers that block (park) on the shared receiver when idle. Jobs
+//! must be `'static`, so callers share their context through `Arc`s; the
+//! submission APIs block until the submitted jobs finish, and worker panics
+//! are caught and re-raised on the submitting thread (a panicking job never
+//! kills a pool worker, so the pool stays usable).
+
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Debug)]
+struct PoolInner {
+    /// `None` only during shutdown (drop).
+    sender: Mutex<Option<Sender<Job>>>,
+    threads: usize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A handle to a persistent pool of worker threads.
+///
+/// The handle is cheap to clone (`Arc`-backed); all clones refer to the same
+/// workers. The pool shuts down — the channel closes and the threads are
+/// joined — when the last handle is dropped.
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+}
+
+/// Two handles compare equal iff they refer to the same underlying pool.
+impl PartialEq for WorkerPool {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Eq for WorkerPool {}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` workers (`0` resolves to one per available
+    /// core). The workers are named `effres-worker-<i>` and park on the job
+    /// channel until work arrives.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("effres-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            inner: Arc::new(PoolInner {
+                sender: Mutex::new(Some(sender)),
+                threads,
+                handles: Mutex::new(handles),
+            }),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// Runs `jobs` on the pool and returns their results in submission
+    /// order, blocking until every job has finished.
+    ///
+    /// Jobs beyond the worker count queue up and run as workers free, so
+    /// submitting more jobs than [`WorkerPool::threads`] is fine — but jobs
+    /// of one `run` call must not synchronize with *each other* (barriers,
+    /// rendezvous channels): a job waiting for a queued sibling that no free
+    /// worker can pick up would deadlock. The workspace's level-scheduled
+    /// build obeys this by synchronizing through `run`'s own completion
+    /// barrier, once per level.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the first panicking job after all jobs of the
+    /// call have settled (the worker itself survives).
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let count = jobs.len();
+        let (done, results) = channel::<(usize, std::thread::Result<T>)>();
+        {
+            let sender = self.inner.sender.lock().expect("pool sender lock poisoned");
+            let sender = sender.as_ref().expect("pool is shut down");
+            for (index, job) in jobs.into_iter().enumerate() {
+                let done = done.clone();
+                sender
+                    .send(Box::new(move || {
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(job));
+                        // The receiver only disappears if `run` itself
+                        // panicked; nothing useful to do with the result then.
+                        let _ = done.send((index, outcome));
+                    }))
+                    .expect("pool workers are gone");
+            }
+        }
+        drop(done);
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for _ in 0..count {
+            let (index, outcome) = results.recv().expect("pool worker dropped a job");
+            match outcome {
+                Ok(value) => slots[index] = Some(value),
+                Err(payload) => panic = panic.or(Some(payload)),
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job reported exactly once"))
+            .collect()
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while receiving: the channel parks the worker
+        // until a job (or shutdown) arrives, and the job itself runs with the
+        // receiver released so siblings keep draining the queue.
+        let job = {
+            let receiver = receiver.lock().expect("pool receiver lock poisoned");
+            receiver.recv()
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // all senders dropped: shutdown
+        }
+    }
+}
+
+impl Drop for PoolInner {
+    fn drop(&mut self) {
+        // Close the channel so the workers' `recv` fails and they exit.
+        drop(
+            self.sender
+                .lock()
+                .map(|mut sender| sender.take())
+                .unwrap_or_default(),
+        );
+        let handles =
+            std::mem::take(&mut *self.handles.lock().expect("pool handle list lock poisoned"));
+        for handle in handles {
+            // Worker loops only exit cleanly; a panic here would mean the
+            // catch_unwind wrapper is broken, which is worth surfacing.
+            handle.join().expect("pool worker panicked outside a job");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_jobs_and_returns_results_in_order() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let results = pool.run((0..20).map(|i| move || i * i).collect::<Vec<_>>());
+        let expected: Vec<usize> = (0..20).map(|i| i * i).collect();
+        assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_at_least_one() {
+        let pool = WorkerPool::new(0);
+        assert!(pool.threads() >= 1);
+        assert_eq!(pool.run(vec![|| 7usize]), vec![7]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_rounds_and_clones() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let jobs: Vec<_> = (0..4)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    move || counter.fetch_add(1, Ordering::Relaxed)
+                })
+                .collect();
+            pool.clone().run(jobs);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn more_jobs_than_workers_all_complete() {
+        let pool = WorkerPool::new(2);
+        let results = pool.run((0..64).map(|i| move || i + 1).collect::<Vec<_>>());
+        assert_eq!(results.len(), 64);
+        assert!(results.iter().enumerate().all(|(i, &r)| r == i + 1));
+    }
+
+    #[test]
+    fn job_panic_is_reraised_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![
+                Box::new(|| 1usize) as Box<dyn FnOnce() -> usize + Send>,
+                Box::new(|| panic!("job exploded")),
+            ]);
+        }));
+        assert!(outcome.is_err(), "panic must propagate to the caller");
+        // The worker that ran the panicking job must still be alive.
+        assert_eq!(pool.run(vec![|| 5usize, || 6usize]), vec![5, 6]);
+    }
+
+    #[test]
+    fn handles_compare_by_identity() {
+        let a = WorkerPool::new(1);
+        let b = a.clone();
+        let c = WorkerPool::new(1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

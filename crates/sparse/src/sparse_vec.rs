@@ -280,6 +280,20 @@ impl SparseAccumulator {
         }
     }
 
+    /// [`SparseAccumulator::axpy_raw`] over `u32` indices — the narrowed
+    /// index width of the flat CSC arena, which stores row indices as `u32`
+    /// so the query path moves half the index bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or an index is out of bounds.
+    pub fn axpy_raw_u32(&mut self, alpha: f64, indices: &[u32], values: &[f64]) {
+        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        for (&i, &v) in indices.iter().zip(values) {
+            self.add(i as usize, alpha * v);
+        }
+    }
+
     /// Extracts the accumulated sparse vector and clears the accumulator.
     ///
     /// Entries that are exactly zero are kept (the caller decides about
@@ -313,6 +327,29 @@ impl SparseAccumulator {
         vals.reserve(nnz);
         for &i in &self.pattern {
             rows.push(i);
+            vals.push(self.values[i]);
+            self.values[i] = 0.0;
+            self.occupied[i] = false;
+        }
+        self.pattern.clear();
+        nnz
+    }
+
+    /// [`SparseAccumulator::take_append`] into `u32` row buffers (the arena's
+    /// narrowed index width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an accumulated index does not fit in `u32`; arena builders
+    /// guard their dimension (`n ≤ u32::MAX`) before accumulating, so this
+    /// only fires on a caller bug.
+    pub fn take_append_u32(&mut self, rows: &mut Vec<u32>, vals: &mut Vec<f64>) -> usize {
+        self.pattern.sort_unstable();
+        let nnz = self.pattern.len();
+        rows.reserve(nnz);
+        vals.reserve(nnz);
+        for &i in &self.pattern {
+            rows.push(u32::try_from(i).expect("accumulator index exceeds u32"));
             vals.push(self.values[i]);
             self.values[i] = 0.0;
             self.occupied[i] = false;

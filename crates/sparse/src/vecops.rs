@@ -60,8 +60,9 @@ pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
 /// Dot product of two sparse vectors given as sorted parallel
 /// `indices`/`values` slices — the shared merge kernel behind
 /// [`crate::SparseVec::dot`] and the flat-arena column views of the `effres`
-/// crate.
-pub fn sparse_dot(ai: &[usize], av: &[f64], bi: &[usize], bv: &[f64]) -> f64 {
+/// crate. Generic over the index width so both `usize`-indexed sparse
+/// vectors and the arena's narrowed `u32` columns share one implementation.
+pub fn sparse_dot<I: Copy + Ord>(ai: &[I], av: &[f64], bi: &[I], bv: &[f64]) -> f64 {
     let mut s = 0.0;
     let mut ia = 0;
     let mut ib = 0;
@@ -82,34 +83,48 @@ pub fn sparse_dot(ai: &[usize], av: &[f64], bi: &[usize], bv: &[f64]) -> f64 {
 /// Runs the union merge of two sorted sparse vectors, feeding `visit` with
 /// the pair of values at every index where either vector is nonzero (zero
 /// for the absent side). The reduction behind the sparse distance and
-/// difference norms.
-fn sparse_union_fold(
-    ai: &[usize],
+/// difference norms. Generic over the index width (see [`sparse_dot`]).
+fn sparse_union_fold<I: Copy + Ord>(
+    ai: &[I],
     av: &[f64],
-    bi: &[usize],
+    bi: &[I],
     bv: &[f64],
     mut visit: impl FnMut(f64, f64),
 ) {
     let mut ia = 0;
     let mut ib = 0;
-    while ia < ai.len() || ib < bi.len() {
-        if ib >= bi.len() || (ia < ai.len() && ai[ia] < bi[ib]) {
-            visit(av[ia], 0.0);
-            ia += 1;
-        } else if ia >= ai.len() || bi[ib] < ai[ia] {
-            visit(0.0, bv[ib]);
-            ib += 1;
-        } else {
-            visit(av[ia], bv[ib]);
-            ia += 1;
-            ib += 1;
+    while ia < ai.len() && ib < bi.len() {
+        match ai[ia].cmp(&bi[ib]) {
+            std::cmp::Ordering::Less => {
+                visit(av[ia], 0.0);
+                ia += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                visit(0.0, bv[ib]);
+                ib += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                visit(av[ia], bv[ib]);
+                ia += 1;
+                ib += 1;
+            }
         }
+    }
+    // Once one side is exhausted the remainder needs no index comparisons:
+    // drain it in a tight loop (this is the hot exit for the estimator's
+    // lower-triangular columns, whose supports often barely overlap).
+    for &a in &av[ia..] {
+        visit(a, 0.0);
+    }
+    for &b in &bv[ib..] {
+        visit(0.0, b);
     }
 }
 
 /// Squared Euclidean distance between two sparse vectors given as sorted
-/// parallel `indices`/`values` slices.
-pub fn sparse_distance_squared(ai: &[usize], av: &[f64], bi: &[usize], bv: &[f64]) -> f64 {
+/// parallel `indices`/`values` slices. Generic over the index width (see
+/// [`sparse_dot`]).
+pub fn sparse_distance_squared<I: Copy + Ord>(ai: &[I], av: &[f64], bi: &[I], bv: &[f64]) -> f64 {
     let mut s = 0.0;
     sparse_union_fold(ai, av, bi, bv, |a, b| {
         let d = a - b;
@@ -119,8 +134,9 @@ pub fn sparse_distance_squared(ai: &[usize], av: &[f64], bi: &[usize], bv: &[f64
 }
 
 /// 1-norm of the difference of two sparse vectors given as sorted parallel
-/// `indices`/`values` slices.
-pub fn sparse_diff_norm1(ai: &[usize], av: &[f64], bi: &[usize], bv: &[f64]) -> f64 {
+/// `indices`/`values` slices. Generic over the index width (see
+/// [`sparse_dot`]).
+pub fn sparse_diff_norm1<I: Copy + Ord>(ai: &[I], av: &[f64], bi: &[I], bv: &[f64]) -> f64 {
     let mut s = 0.0;
     sparse_union_fold(ai, av, bi, bv, |a, b| s += (a - b).abs());
     s

@@ -1,12 +1,17 @@
-//! Property tests of the level-scheduled parallel approximate-inverse build:
-//! across random graphs, pruning thresholds and thread counts, the parallel
-//! sweep must produce the *bit-identical* arena the sequential sweep does —
-//! same column pointers, same row indices, same value bits, same statistics.
+//! Property tests of the level-scheduled parallel approximate-inverse build
+//! and of the snapshot encodings: across random graphs, pruning thresholds
+//! and thread counts, the parallel sweep must produce the *bit-identical*
+//! `u32` arena the sequential sweep does — same column pointers, same row
+//! indices, same value bits, same statistics — whether it runs on its own
+//! transient pool or a shared persistent [`effres::WorkerPool`]; and a v1
+//! (per-column) snapshot load must be byte-identical to a v2 (bulk-arena)
+//! load of the same estimator.
 
 use effres::approx_inverse::SparseApproximateInverse;
-use effres::BuildOptions;
+use effres::{BuildOptions, EffectiveResistanceEstimator, EffresConfig, WorkerPool};
 use effres_graph::laplacian::grounded_laplacian;
 use effres_graph::Graph;
+use effres_io::snapshot::{read_snapshot, write_snapshot, write_snapshot_v1};
 use effres_sparse::cholesky::CholeskyFactor;
 use effres_sparse::{CscMatrix, TripletMatrix};
 use proptest::prelude::*;
@@ -100,6 +105,72 @@ proptest! {
             &BuildOptions { threads, parallel_threshold: 1 },
         ).expect("parallel");
         assert_bit_identical(&seq, &par);
+    }
+
+    #[test]
+    fn shared_pool_build_matches_sequential_on_random_graphs(
+        graph in connected_graph(),
+        threads in 2usize..5,
+    ) {
+        // The pooled entry point (one persistent pool, reusable across
+        // builds) must be as bit-identical as the transient-pool path.
+        let lap = grounded_laplacian(&graph, 1.0);
+        let factor = CholeskyFactor::factor(&lap).expect("SPD");
+        let l = factor.factor_l();
+        let seq = SparseApproximateInverse::from_factor_with(
+            l, 1e-3, 2, &BuildOptions::sequential(),
+        ).expect("sequential");
+        let pool = WorkerPool::new(threads);
+        let shared = std::sync::Arc::new(l.clone());
+        for _ in 0..2 {
+            let pooled = SparseApproximateInverse::from_factor_shared(
+                std::sync::Arc::clone(&shared), 1e-3, 2,
+                &BuildOptions { threads: 0, parallel_threshold: 1 },
+                Some(&pool),
+            ).expect("pooled");
+            assert_bit_identical(&seq, &pooled);
+        }
+    }
+
+    #[test]
+    fn v1_and_v2_snapshot_loads_answer_bit_identically(
+        graph in connected_graph(),
+        seed in any::<u64>(),
+    ) {
+        // The same estimator through both on-disk encodings: per-column v1
+        // records and v2 bulk arena blocks must load into byte-identical
+        // u32 arenas and answer queries with the same bits as the
+        // in-memory estimator.
+        let estimator = EffectiveResistanceEstimator::build(
+            &graph, &EffresConfig::default(),
+        ).expect("build");
+        let mut v1 = Vec::new();
+        write_snapshot_v1(&mut v1, &estimator, None).expect("write v1");
+        let mut v2 = Vec::new();
+        write_snapshot(&mut v2, &estimator, None).expect("write v2");
+        let from_v1 = read_snapshot(&mut v1.as_slice()).expect("read v1");
+        let from_v2 = read_snapshot(&mut v2.as_slice()).expect("read v2");
+        let a = from_v1.estimator.approximate_inverse();
+        let b = from_v2.estimator.approximate_inverse();
+        assert_eq!(a.col_ptr(), b.col_ptr());
+        assert_eq!(a.arena_rows(), b.arena_rows());
+        assert!(a.arena_values().iter().zip(b.arena_values())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        let n = estimator.node_count();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for _ in 0..16 {
+            let p = (next() as usize) % n;
+            let q = (next() as usize) % n;
+            let expected = estimator.query(p, q).expect("in bounds").to_bits();
+            assert_eq!(from_v1.estimator.query(p, q).expect("in bounds").to_bits(), expected);
+            assert_eq!(from_v2.estimator.query(p, q).expect("in bounds").to_bits(), expected);
+        }
     }
 
     #[test]
