@@ -10,11 +10,21 @@
 //! queries per invocation. Besides the human-readable table the bench
 //! writes `BENCH_query_throughput.json` at the repository root so the perf
 //! trajectory is tracked across PRs.
+//!
+//! The `paged_query` variant serves the same batch **out of core**: the
+//! estimator is snapshotted to disk and a paged engine answers straight from
+//! the file through the LRU page cache, recording the cold-start
+//! (time-to-first-query) and the paged vs resident throughput at two cache
+//! sizes. The paged answers are asserted bit-identical to the resident ones
+//! before anything is timed.
 
 use effres::prelude::*;
 use effres_bench::report::{min_seconds, write_report, Json};
+use effres_io::paged::{open_paged, PagedOptions};
+use effres_io::snapshot::save_snapshot;
 use effres_service::{EngineOptions, QueryBatch, QueryEngine};
 use std::sync::Arc;
+use std::time::Instant;
 
 const SIDE: usize = 320; // 320 × 320 = 102 400 nodes
 const QUERIES: usize = 20_000;
@@ -68,6 +78,93 @@ fn main() {
         ]));
     }
 
+    // Out-of-core serving: snapshot to disk, then answer the same batch
+    // straight from the file. Cold start = open (header + col_ptr only) +
+    // the first answered query, measured from a fresh store.
+    let snap_path = std::env::temp_dir().join("effres_bench_query_throughput.snap");
+    save_snapshot(&snap_path, &estimator, None).expect("snapshot");
+    let snapshot_bytes = std::fs::metadata(&snap_path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "-- paged_query (snapshot {:.1} MiB at {})",
+        snapshot_bytes as f64 / (1024.0 * 1024.0),
+        snap_path.display()
+    );
+
+    let cold = Instant::now();
+    let paged = open_paged(&snap_path, &PagedOptions::default()).expect("open paged");
+    let open_seconds = cold.elapsed().as_secs_f64();
+    let paged_engine = QueryEngine::new(
+        Arc::new(paged),
+        EngineOptions {
+            threads: 1,
+            cache_capacity: 0,
+            parallel_threshold: usize::MAX,
+            ..EngineOptions::default()
+        },
+    );
+    let (p0, q0) = pairs[0];
+    let first_value = paged_engine.query(p0, q0).expect("first query");
+    let time_to_first_query = cold.elapsed().as_secs_f64();
+    println!(
+        "paged cold start: open {open_seconds:.4}s, first query answered after \
+         {time_to_first_query:.4}s"
+    );
+    // Sanity before timing anything: paged must reproduce resident bits.
+    let resident_first = {
+        let norms = estimator.column_norms_squared();
+        estimator
+            .query_with_norms(p0, q0, &norms)
+            .expect("in bounds")
+    };
+    assert_eq!(
+        first_value.to_bits(),
+        resident_first.to_bits(),
+        "paged and resident answers diverged"
+    );
+
+    let mut paged_reports = Vec::new();
+    for &cache_pages in &[64usize, PagedOptions::default().cache_pages] {
+        let paged = open_paged(
+            &snap_path,
+            &PagedOptions::default().with_cache_pages(cache_pages),
+        )
+        .expect("open paged");
+        let engine = QueryEngine::new(
+            Arc::new(paged),
+            EngineOptions {
+                threads: 1,
+                cache_capacity: 0,
+                parallel_threshold: usize::MAX,
+                ..EngineOptions::default()
+            },
+        );
+        // Fewer samples than the in-memory variants: each paged pass is
+        // disk-bound and tens of times slower, and the min still lands on a
+        // warm page cache.
+        let seconds = min_seconds(3, true, || engine.execute(&batch).expect("in bounds"));
+        let qps = QUERIES as f64 / seconds;
+        let stats = engine.stats();
+        println!(
+            "paged_query/{cache_pages}_pages: {seconds:.3}s  ({qps:.0} queries/s, \
+             {:.2}x sequential resident; page cache {} hits / {} misses)",
+            sequential_seconds / seconds,
+            stats.page_cache_hits,
+            stats.page_cache_misses
+        );
+        paged_reports.push(Json::Obj(vec![
+            ("cache_pages", Json::Int(cache_pages as u64)),
+            ("seconds", Json::Num(seconds)),
+            ("queries_per_second", Json::Num(qps)),
+            (
+                "speedup_vs_sequential_resident",
+                Json::Num(sequential_seconds / seconds),
+            ),
+            ("page_cache_hits", Json::Int(stats.page_cache_hits)),
+            ("page_cache_misses", Json::Int(stats.page_cache_misses)),
+        ]));
+    }
+    std::fs::remove_file(&snap_path).ok();
+
     let stats = estimator.stats();
     let footprint = estimator.approximate_inverse().footprint();
     let body = Json::Obj(vec![
@@ -92,6 +189,22 @@ fn main() {
         ("sequential_seconds", Json::Num(sequential_seconds)),
         ("sequential_queries_per_second", Json::Num(sequential_qps)),
         ("engine", Json::Arr(engine_reports)),
+        (
+            "paged",
+            Json::Obj(vec![
+                ("snapshot_bytes", Json::Int(snapshot_bytes)),
+                (
+                    "columns_per_page",
+                    Json::Int(PagedOptions::default().columns_per_page as u64),
+                ),
+                ("open_seconds", Json::Num(open_seconds)),
+                (
+                    "time_to_first_query_seconds",
+                    Json::Num(time_to_first_query),
+                ),
+                ("engine", Json::Arr(paged_reports)),
+            ]),
+        ),
     ]);
     match write_report("query_throughput", body) {
         Ok(path) => println!("report: {}", path.display()),

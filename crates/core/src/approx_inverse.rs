@@ -54,7 +54,7 @@ use crate::config::BuildOptions;
 use crate::error::EffresError;
 use effres_sparse::schedule::LevelSchedule;
 use effres_sparse::sparse_vec::{SparseAccumulator, SparseVec};
-use effres_sparse::{vecops, CscMatrix, WorkerPool};
+use effres_sparse::{CscMatrix, WorkerPool};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Statistics gathered while building the approximate inverse.
@@ -192,6 +192,30 @@ impl<'a> ColumnView<'a> {
     /// Panics if the dimensions differ.
     pub fn diff_norm1(&self, other: &SparseVec) -> f64 {
         self.to_sparse_vec().diff_norm1(other)
+    }
+
+    /// Assembles a view from raw parallel slices.
+    ///
+    /// This is the entry point for column stores that do not own a resident
+    /// arena — e.g. a paged store lending a slice of a decoded cache page
+    /// (see the `ColumnStore` trait in [`crate::column_store`]). The caller
+    /// is responsible for the view invariants: `indices` strictly
+    /// increasing below `dim`, parallel to `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` and `values` have different lengths.
+    pub fn from_slices(dim: usize, indices: &'a [u32], values: &'a [f64]) -> Self {
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "ColumnView slices must be parallel"
+        );
+        ColumnView {
+            dim,
+            indices,
+            values,
+        }
     }
 
     /// Copies the view into an owned [`SparseVec`] (widening the indices
@@ -470,49 +494,25 @@ impl SparseApproximateInverse {
     /// Squared Euclidean distance between two columns — the effective
     /// resistance kernel `‖z̃_p − z̃_q‖²` of Eq. (22).
     ///
+    /// Delegates to the store-generic [`crate::column_store`] kernel; the
+    /// resident arena is infallible, so this keeps the plain `f64` return.
+    ///
     /// # Panics
     ///
     /// Panics if either index is out of bounds.
     pub fn column_distance_squared(&self, p: usize, q: usize) -> f64 {
-        let (ai, av) = self.column_slices(p);
-        let (bi, bv) = self.column_slices(q);
-        vecops::sparse_distance_squared(ai, av, bi, bv)
+        crate::column_store::column_distance_squared(self, p, q)
+            .expect("resident arena access is infallible")
     }
 
-    /// Inner product `⟨z̃_p, z̃_q⟩` of two columns.
-    ///
-    /// Columns of the inverse of a lower-triangular factor are themselves
-    /// lower-triangular — column `j` is supported on indices `≥ j` — so the
-    /// intersection of columns `p` and `q` lies entirely in
-    /// `max(p, q)..n`. The merge therefore starts at that bound (found by
-    /// binary search), which skips most of the longer column and is what
-    /// makes the norm-table query kernel of
-    /// [`SparseApproximateInverse::column_distance_squared_with_norms`]
-    /// cheaper than the full union merge of
-    /// [`SparseApproximateInverse::column_distance_squared`].
+    /// Inner product `⟨z̃_p, z̃_q⟩` of two columns (the suffix-restricted
+    /// merge of [`crate::column_store::column_dot`] on the resident arena).
     ///
     /// # Panics
     ///
     /// Panics if either index is out of bounds.
     pub fn column_dot(&self, p: usize, q: usize) -> f64 {
-        let bound = p.max(q) as u32;
-        let (ai, av) = self.column_slices(p);
-        let (bi, bv) = self.column_slices(q);
-        let mut i = ai.partition_point(|&row| row < bound);
-        let mut j = bi.partition_point(|&row| row < bound);
-        let mut sum = 0.0;
-        while i < ai.len() && j < bi.len() {
-            match ai[i].cmp(&bi[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    sum += av[i] * bv[j];
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        sum
+        crate::column_store::column_dot(self, p, q).expect("resident arena access is infallible")
     }
 
     /// Squared Euclidean norms `‖z̃_j‖²` of every column, in column order.
@@ -520,9 +520,8 @@ impl SparseApproximateInverse {
     /// Query services precompute this once so a query reduces to one sparse
     /// dot product: `‖z̃_p − z̃_q‖² = ‖z̃_p‖² + ‖z̃_q‖² − 2⟨z̃_p, z̃_q⟩`.
     pub fn column_norms_squared(&self) -> Vec<f64> {
-        (0..self.dim)
-            .map(|j| self.column_slices(j).1.iter().map(|v| v * v).sum())
-            .collect()
+        crate::column_store::column_norms_squared(self)
+            .expect("resident arena access is infallible")
     }
 
     /// The effective-resistance kernel evaluated with precomputed column
@@ -539,9 +538,8 @@ impl SparseApproximateInverse {
         q: usize,
         norms_squared: &[f64],
     ) -> f64 {
-        // Clamp: cancellation can produce a tiny negative value when the
-        // columns are nearly identical, and resistances are nonnegative.
-        (norms_squared[p] + norms_squared[q] - 2.0 * self.column_dot(p, q)).max(0.0)
+        crate::column_store::column_distance_squared_with_norms(self, p, q, norms_squared)
+            .expect("resident arena access is infallible")
     }
 
     /// Decomposes the inverse into its arena buffers and build metadata, for
@@ -749,19 +747,19 @@ fn resolve_threads(configured: usize) -> usize {
 
 /// The column store used *during* construction: columns live at arbitrary
 /// offsets of two flat buffers (completion order), with per-column
-/// `start`/`len` tables for random access. [`ColumnStore::into_csc`]
+/// `start`/`len` tables for random access. [`SweepStore::into_csc`]
 /// reorders it into the canonical column-ordered arena at the end, so the
 /// final layout is independent of how the sweep was scheduled.
-struct ColumnStore {
+struct SweepStore {
     start: Vec<usize>,
     len: Vec<usize>,
     rows: Vec<u32>,
     vals: Vec<f64>,
 }
 
-impl ColumnStore {
+impl SweepStore {
     fn with_order(n: usize) -> Self {
-        ColumnStore {
+        SweepStore {
             start: vec![0; n],
             len: vec![0; n],
             rows: Vec::new(),
@@ -817,7 +815,7 @@ fn build_column(
     diag: f64,
     keep_limit: usize,
     epsilon: f64,
-    store: &ColumnStore,
+    store: &SweepStore,
     acc: &mut SparseAccumulator,
     scratch: &mut PruneScratch,
     out_rows: &mut Vec<u32>,
@@ -858,9 +856,9 @@ fn sequential_sweep(
     diag: &[f64],
     keep_limit: usize,
     epsilon: f64,
-) -> (ColumnStore, ApproxInverseStats) {
+) -> (SweepStore, ApproxInverseStats) {
     let n = factor.ncols();
-    let mut store = ColumnStore::with_order(n);
+    let mut store = SweepStore::with_order(n);
     let mut stats = ApproxInverseStats::default();
     let mut acc = SparseAccumulator::new(n);
     let mut scratch = PruneScratch::default();
@@ -918,7 +916,7 @@ impl SweepScratch {
 /// lock, publish under the write lock, and the blocking round submission is
 /// the per-level synchronization point (replacing the old scoped threads and
 /// barrier). Because [`build_column`] runs with the same inputs and
-/// floating-point order regardless of chunking — and [`ColumnStore::into_csc`]
+/// floating-point order regardless of chunking — and [`SweepStore::into_csc`]
 /// canonicalizes the arena afterwards — the result is bit-identical to the
 /// sequential sweep for any pool size.
 fn parallel_sweep(
@@ -929,11 +927,11 @@ fn parallel_sweep(
     schedule: LevelSchedule,
     threads: usize,
     pool: &WorkerPool,
-) -> (ColumnStore, ApproxInverseStats) {
+) -> (SweepStore, ApproxInverseStats) {
     let n = factor.ncols();
     let diag: Arc<[f64]> = diag.into();
     let schedule = Arc::new(schedule);
-    let store = Arc::new(RwLock::new(ColumnStore::with_order(n)));
+    let store = Arc::new(RwLock::new(SweepStore::with_order(n)));
     let scratches: Arc<Vec<Mutex<SweepScratch>>> = Arc::new(
         (0..threads)
             .map(|_| Mutex::new(SweepScratch::new(n)))

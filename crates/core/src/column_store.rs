@@ -1,0 +1,339 @@
+//! The `ColumnStore` abstraction: where the columns of `Z̃` live.
+//!
+//! The paper's query kernel needs exactly one capability from its data
+//! structure — *give me column `j` of the approximate inverse as sorted
+//! parallel `u32`/`f64` slices* — yet until this module existed the kernels
+//! were welded to the in-memory flat CSC arena of
+//! [`SparseApproximateInverse`]. [`ColumnStore`] is that capability as a
+//! trait, and the effective-resistance kernels ([`column_dot`],
+//! [`column_norms_squared`], [`column_distance_squared`],
+//! [`column_distance_squared_with_norms`]) are generic over it, so the same
+//! code serves:
+//!
+//! * the **resident** backend — [`SparseApproximateInverse`]'s arena, where a
+//!   column is two slice borrows and access can never fail; and
+//! * **out-of-core** backends — `effres_io::PagedColumnStore` decodes
+//!   columns on demand from a v2 snapshot file behind a page cache, where a
+//!   fetch can fail (I/O error, corruption discovered while decoding a page)
+//!   and borrowed access must be scoped to a closure because the page a view
+//!   points into is owned by the cache, not the caller.
+//!
+//! Those two constraints shape the trait: column access is
+//! [`ColumnStore::with_column`] — *call this closure with a borrowed
+//! [`ColumnView`]* — and it returns a `Result` so disk-backed stores can
+//! surface a typed [`EffresError::StoreFailure`] instead of panicking the
+//! serving thread. For the in-memory store the closure compiles down to the
+//! direct slice access it always was.
+
+use crate::approx_inverse::{ColumnView, SparseApproximateInverse};
+use crate::error::EffresError;
+use effres_sparse::vecops;
+
+/// A source of the columns of the approximate inverse `Z̃`.
+///
+/// Implementations must present each column `j` as strictly increasing `u32`
+/// indices with parallel `f64` values, supported on `j..order()` (the
+/// lower-triangular invariant the suffix-restricted kernels rely on — see
+/// [`column_dot`]). Columns must be stable: two fetches of the same column
+/// observe the same bits, so every kernel is deterministic regardless of
+/// caching or paging underneath.
+///
+/// Access is scoped: [`ColumnStore::with_column`] lends the view to a
+/// closure instead of returning it, so backends whose column storage is
+/// transient (a cache page, a decode buffer) can hand out borrows without
+/// copying. Fetches are fallible for the same reason — an out-of-core
+/// backend can hit I/O errors or detect corruption lazily; in-memory
+/// backends simply never return `Err`.
+pub trait ColumnStore {
+    /// Number of columns (the order of the factor).
+    fn order(&self) -> usize;
+
+    /// Total number of stored nonzeros across all columns.
+    fn nnz(&self) -> usize;
+
+    /// Calls `f` with a borrowed view of column `j` and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::StoreFailure`] when the backend cannot produce
+    /// the column (I/O failure, page-validation failure). In-memory stores
+    /// are infallible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.order()` — like slice indexing, an out-of-bounds
+    /// column is a caller bug, not a store failure.
+    fn with_column<R>(
+        &self,
+        j: usize,
+        f: impl FnOnce(ColumnView<'_>) -> R,
+    ) -> Result<R, EffresError>;
+
+    /// Squared Euclidean norm `‖z̃_j‖²` of column `j`, summed in index order.
+    ///
+    /// The default fetches the column and sums `v·v` front to back; backends
+    /// that decode columns in batches (pages) may serve a cached value, but
+    /// it must be **bit-identical** to the default — the norm table is part
+    /// of the query result, and resident and paged backends are pinned to
+    /// agree bitwise.
+    ///
+    /// # Errors
+    ///
+    /// See [`ColumnStore::with_column`].
+    fn column_norm_squared(&self, j: usize) -> Result<f64, EffresError> {
+        self.with_column(j, |column| column.norm2_squared())
+    }
+}
+
+impl ColumnStore for SparseApproximateInverse {
+    fn order(&self) -> usize {
+        SparseApproximateInverse::order(self)
+    }
+
+    fn nnz(&self) -> usize {
+        SparseApproximateInverse::nnz(self)
+    }
+
+    fn with_column<R>(
+        &self,
+        j: usize,
+        f: impl FnOnce(ColumnView<'_>) -> R,
+    ) -> Result<R, EffresError> {
+        Ok(f(self.column(j)))
+    }
+}
+
+/// Stores behind shared references are stores (lets kernels and engines take
+/// `&S` or smart pointers interchangeably).
+impl<S: ColumnStore + ?Sized> ColumnStore for &S {
+    fn order(&self) -> usize {
+        (**self).order()
+    }
+
+    fn nnz(&self) -> usize {
+        (**self).nnz()
+    }
+
+    fn with_column<R>(
+        &self,
+        j: usize,
+        f: impl FnOnce(ColumnView<'_>) -> R,
+    ) -> Result<R, EffresError> {
+        (**self).with_column(j, f)
+    }
+
+    fn column_norm_squared(&self, j: usize) -> Result<f64, EffresError> {
+        (**self).column_norm_squared(j)
+    }
+}
+
+/// Inner product `⟨z̃_p, z̃_q⟩` of two columns of a store.
+///
+/// Columns of the inverse of a lower-triangular factor are themselves
+/// lower-triangular — column `j` is supported on indices `≥ j` — so the
+/// intersection of columns `p` and `q` lies entirely in `max(p, q)..n`. The
+/// merge therefore starts at that bound (found by binary search), which
+/// skips most of the longer column and is what makes the norm-table query
+/// kernel of [`column_distance_squared_with_norms`] cheaper than the full
+/// union merge of [`column_distance_squared`].
+///
+/// # Errors
+///
+/// Propagates the store's fetch errors (see [`ColumnStore::with_column`]).
+///
+/// # Panics
+///
+/// Panics if either index is out of bounds.
+pub fn column_dot<S: ColumnStore + ?Sized>(
+    store: &S,
+    p: usize,
+    q: usize,
+) -> Result<f64, EffresError> {
+    let bound = p.max(q) as u32;
+    store.with_column(p, |a| {
+        store.with_column(q, |b| suffix_dot_views(a, b, bound))
+    })?
+}
+
+/// The suffix-restricted two-pointer merge shared by [`column_dot`]'s
+/// nested-fetch path (where both views are alive at once).
+fn suffix_dot_views(a: ColumnView<'_>, b: ColumnView<'_>, bound: u32) -> f64 {
+    let (ai, av) = (a.indices(), a.values());
+    let (bi, bv) = (b.indices(), b.values());
+    let mut i = ai.partition_point(|&row| row < bound);
+    let mut j = bi.partition_point(|&row| row < bound);
+    let mut sum = 0.0;
+    while i < ai.len() && j < bi.len() {
+        match ai[i].cmp(&bi[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                sum += av[i] * bv[j];
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    sum
+}
+
+/// Squared Euclidean distance between two columns — the effective-resistance
+/// kernel `‖z̃_p − z̃_q‖²` of Eq. (22), as a full union merge (no norm table
+/// needed).
+///
+/// # Errors
+///
+/// Propagates the store's fetch errors.
+///
+/// # Panics
+///
+/// Panics if either index is out of bounds.
+pub fn column_distance_squared<S: ColumnStore + ?Sized>(
+    store: &S,
+    p: usize,
+    q: usize,
+) -> Result<f64, EffresError> {
+    store.with_column(p, |a| {
+        store.with_column(q, |b| {
+            vecops::sparse_distance_squared(a.indices(), a.values(), b.indices(), b.values())
+        })
+    })?
+}
+
+/// The effective-resistance kernel evaluated with precomputed column norms
+/// (see [`column_norms_squared`]): one suffix-restricted sparse dot product
+/// instead of a full two-column merge.
+///
+/// # Errors
+///
+/// Propagates the store's fetch errors.
+///
+/// # Panics
+///
+/// Panics if either index is out of bounds or `norms_squared` is shorter
+/// than the store's order.
+pub fn column_distance_squared_with_norms<S: ColumnStore + ?Sized>(
+    store: &S,
+    p: usize,
+    q: usize,
+    norms_squared: &[f64],
+) -> Result<f64, EffresError> {
+    let dot = column_dot(store, p, q)?;
+    // Clamp: cancellation can produce a tiny negative value when the columns
+    // are nearly identical, and resistances are nonnegative.
+    Ok((norms_squared[p] + norms_squared[q] - 2.0 * dot).max(0.0))
+}
+
+/// Squared Euclidean norms `‖z̃_j‖²` of every column, in column order.
+///
+/// Query services over resident stores precompute this once so a query
+/// reduces to one sparse dot product; out-of-core services skip the table
+/// (computing it would stream the whole file at boot) and use
+/// [`ColumnStore::column_norm_squared`] per query instead — the two are
+/// bit-identical by contract.
+///
+/// # Errors
+///
+/// Propagates the store's fetch errors.
+pub fn column_norms_squared<S: ColumnStore + ?Sized>(store: &S) -> Result<Vec<f64>, EffresError> {
+    (0..store.order())
+        .map(|j| store.column_norm_squared(j))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use effres_sparse::cholesky::CholeskyFactor;
+    use effres_sparse::TripletMatrix;
+
+    fn sample_inverse() -> SparseApproximateInverse {
+        let rows = 6;
+        let cols = 6;
+        let idx = |r: usize, c: usize| r * cols + c;
+        let n = rows * cols;
+        let mut t = TripletMatrix::new(n, n);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    t.add_laplacian_edge(idx(r, c), idx(r, c + 1), 1.0);
+                }
+                if r + 1 < rows {
+                    t.add_laplacian_edge(idx(r, c), idx(r + 1, c), 1.0);
+                }
+            }
+        }
+        t.push(0, 0, 1e-3);
+        let chol = CholeskyFactor::factor(&t.to_csc()).expect("spd");
+        SparseApproximateInverse::from_factor(chol.factor_l(), 1e-3, 2).expect("valid")
+    }
+
+    #[test]
+    fn generic_kernels_match_the_arena_inherent_methods() {
+        let z = sample_inverse();
+        let norms_inherent = z.column_norms_squared();
+        let norms_generic = column_norms_squared(&z).expect("infallible");
+        assert_eq!(norms_inherent.len(), norms_generic.len());
+        for (a, b) in norms_inherent.iter().zip(&norms_generic) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for &(p, q) in &[(0, 35), (3, 3), (10, 20), (34, 35), (0, 1)] {
+            assert_eq!(
+                column_dot(&z, p, q).expect("infallible").to_bits(),
+                z.column_dot(p, q).to_bits(),
+                "dot ({p},{q})"
+            );
+            assert_eq!(
+                column_distance_squared(&z, p, q)
+                    .expect("infallible")
+                    .to_bits(),
+                z.column_distance_squared(p, q).to_bits(),
+                "distance ({p},{q})"
+            );
+            assert_eq!(
+                column_distance_squared_with_norms(&z, p, q, &norms_generic)
+                    .expect("infallible")
+                    .to_bits(),
+                z.column_distance_squared_with_norms(p, q, &norms_inherent)
+                    .to_bits(),
+                "norm-table distance ({p},{q})"
+            );
+        }
+    }
+
+    #[test]
+    fn with_column_borrows_the_arena() {
+        let z = sample_inverse();
+        let (nnz, first) = z
+            .with_column(0, |column| {
+                (column.nnz(), column.indices().first().copied())
+            })
+            .expect("infallible");
+        assert_eq!(nnz, z.column(0).nnz());
+        assert_eq!(first, z.column(0).indices().first().copied());
+        assert_eq!(ColumnStore::order(&z), z.order());
+        assert_eq!(ColumnStore::nnz(&z), z.nnz());
+    }
+
+    #[test]
+    fn reference_impl_forwards() {
+        let z = sample_inverse();
+        let by_ref: &SparseApproximateInverse = &z;
+        assert_eq!(ColumnStore::order(&by_ref), z.order());
+        assert_eq!(
+            column_dot(&by_ref, 0, 10).expect("infallible").to_bits(),
+            z.column_dot(0, 10).to_bits()
+        );
+    }
+
+    #[test]
+    fn default_norm_matches_view_norm() {
+        let z = sample_inverse();
+        for j in 0..z.order() {
+            assert_eq!(
+                z.column_norm_squared(j).expect("infallible").to_bits(),
+                z.column(j).norm2_squared().to_bits()
+            );
+        }
+    }
+}

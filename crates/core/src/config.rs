@@ -101,6 +101,14 @@ pub struct EffresConfig {
     /// churning threads. Two configs compare equal on this field iff they
     /// share the *same* pool. Results are bit-identical either way.
     pub worker_pool: Option<WorkerPool>,
+    /// Decoded-page budget of a *paged* (out-of-core) column store, in
+    /// pages, when the deployment serves straight from a v2 snapshot file
+    /// instead of a resident arena (`effres_io::PagedColumnStore`,
+    /// `effres-cli --paged`). Resident serving ignores it. Carried here so a
+    /// build-then-serve deployment configures both stages from one config;
+    /// answers are bit-identical for every cache size — the knob trades
+    /// disk reads only.
+    pub page_cache_pages: usize,
 }
 
 impl Default for EffresConfig {
@@ -113,9 +121,15 @@ impl Default for EffresConfig {
             dense_column_threshold: 4,
             build: BuildOptions::default(),
             worker_pool: None,
+            page_cache_pages: DEFAULT_PAGE_CACHE_PAGES,
         }
     }
 }
+
+/// Default decoded-page budget of a paged column store (see
+/// [`EffresConfig::page_cache_pages`]): with the default page geometry of 64
+/// columns per page this keeps the hot ~65k columns resident.
+pub const DEFAULT_PAGE_CACHE_PAGES: usize = 1024;
 
 impl EffresConfig {
     /// Creates the default configuration (the paper's parameters).
@@ -164,6 +178,14 @@ impl EffresConfig {
     /// [`EffresConfig::worker_pool`]).
     pub fn with_worker_pool(mut self, pool: WorkerPool) -> Self {
         self.worker_pool = Some(pool);
+        self
+    }
+
+    /// Sets the decoded-page budget of a paged column store (see
+    /// [`EffresConfig::page_cache_pages`]). Clamped to at least one page at
+    /// the store, never here.
+    pub fn with_page_cache_pages(mut self, pages: usize) -> Self {
+        self.page_cache_pages = pages;
         self
     }
 

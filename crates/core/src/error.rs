@@ -35,6 +35,19 @@ pub enum EffresError {
         /// The requested number of rows/columns.
         node_count: usize,
     },
+    /// A column store backend failed to produce a column.
+    ///
+    /// Resident (in-memory) stores never emit this; it is the typed error of
+    /// out-of-core backends — the backing file erred, or a page failed
+    /// validation while being decoded (corrupt row indices, non-finite
+    /// values). The serving layer propagates it instead of panicking a
+    /// worker thread.
+    StoreFailure {
+        /// Column whose fetch failed.
+        column: usize,
+        /// Description of the failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for EffresError {
@@ -54,6 +67,12 @@ impl fmt::Display for EffresError {
                     "{node_count} rows/columns exceed the u32 index space of the CSC arena \
                      (max {})",
                     u32::MAX
+                )
+            }
+            EffresError::StoreFailure { column, message } => {
+                write!(
+                    f,
+                    "column store failed to produce column {column}: {message}"
                 )
             }
         }

@@ -8,6 +8,10 @@
 //! * [`approx_inverse`] — Alg. 2: a sparse approximation `Z̃ ≈ L⁻¹` of the
 //!   inverse of a (possibly incomplete) Cholesky factor, built column by
 //!   column with 1-norm controlled pruning;
+//! * [`column_store`] — the [`column_store::ColumnStore`]
+//!   abstraction the query kernels are generic over, so the same kernels
+//!   serve the resident CSC arena and out-of-core (paged, disk-backed)
+//!   column stores;
 //! * [`depth`] — the filled-graph depth of Eq. (11), which bounds the column
 //!   error (Theorem 1);
 //! * [`estimator`] — Alg. 3: the end-to-end effective-resistance engine
@@ -43,6 +47,7 @@
 
 pub mod approx_inverse;
 pub mod centrality;
+pub mod column_store;
 pub mod config;
 pub mod depth;
 pub mod error;
@@ -58,9 +63,12 @@ pub use estimator::EffectiveResistanceEstimator;
 pub use exact::ExactEffectiveResistance;
 pub use random_projection::{RandomProjectionEstimator, RandomProjectionOptions, SolverKind};
 
+pub use column_store::ColumnStore;
+
 /// Convenient glob import of the main types.
 pub mod prelude {
     pub use crate::approx_inverse::SparseApproximateInverse;
+    pub use crate::column_store::ColumnStore;
     pub use crate::config::{BuildOptions, EffresConfig, Ordering};
     pub use crate::error::EffresError;
     pub use crate::estimator::EffectiveResistanceEstimator;

@@ -1,4 +1,4 @@
-//! Random-projection effective-resistance baseline (WWW'15, reference [1]).
+//! Random-projection effective-resistance baseline (WWW'15, reference \[1\]).
 //!
 //! Spielman–Srivastava observed that `R(p, q) = ‖W^{1/2} B L⁺ (e_p − e_q)‖²`
 //! (Eq. (4) of the paper), i.e. the effective resistance is a squared

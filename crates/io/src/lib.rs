@@ -11,11 +11,14 @@
 //!   `.txt.gz` downloads feed straight into the parsers;
 //! * [`dataset`] — the ingestion pipeline: file-type dispatch, duplicate and
 //!   self-loop handling, largest-connected-component extraction and the
-//!   [`IngestStats`](dataset::IngestStats) report;
+//!   [`dataset::IngestStats`] report;
 //! * [`snapshot`] — a compact, checksummed binary format persisting a built
 //!   [`EffectiveResistanceEstimator`](effres::EffectiveResistanceEstimator)
 //!   (the pruned approximate-inverse columns and the permutation) so query
 //!   services restart without refactorizing;
+//! * [`paged`] — the out-of-core column store: serving queries *directly
+//!   from* a v2 snapshot file via positioned reads and an LRU page cache,
+//!   without ever materializing the column arena in memory;
 //! * [`pairs`] — query-pair files driving batched workloads.
 //!
 //! # Quick start
@@ -53,9 +56,11 @@ pub mod edge_list;
 pub mod error;
 pub mod gzip;
 pub mod matrix_market;
+pub mod paged;
 pub mod pairs;
 pub mod snapshot;
 
 pub use dataset::{load_graph, Dataset, IngestOptions, IngestStats};
 pub use error::IoError;
+pub use paged::{open_paged, PageCacheStats, PagedColumnStore, PagedOptions, PagedSnapshot};
 pub use snapshot::{load_snapshot, save_snapshot, Snapshot};

@@ -1,0 +1,835 @@
+//! Out-of-core column store: serving queries straight from a v2 snapshot
+//! file.
+//!
+//! The whole point of the paper's approximate inverse is that `Z̃` is sparse
+//! enough to *keep around* — but keeping it around does not have to mean
+//! keeping it in RAM. The v2 snapshot layout already stores the arena as
+//! three contiguous bulk blocks (`col_ptr`, `rows`, `vals`; see
+//! [`crate::snapshot`]), so any column is two positioned reads away:
+//!
+//! ```text
+//! rows of column j:  file[rows_offset + 4·col_ptr[j] .. rows_offset + 4·col_ptr[j+1]]
+//! vals of column j:  file[vals_offset + 8·col_ptr[j] .. vals_offset + 8·col_ptr[j+1]]
+//! ```
+//!
+//! [`PagedColumnStore`] keeps only the `col_ptr` block (and the permutation
+//! and labels, via [`PagedSnapshot`]) resident and fetches column data on
+//! demand with positioned reads — plain `pread`
+//! (`std::os::unix::fs::FileExt::read_exact_at`) on Unix, `seek_read` on
+//! Windows, no mmap, no platform crates. Columns are fetched in *pages* (a fixed
+//! range of consecutive columns, [`PagedOptions::columns_per_page`]) and
+//! decoded pages live in a sharded slab-LRU cache (the same intrusive-list
+//! idiom as the service layer's pair cache) behind `Arc`s, so hot columns
+//! are served from memory while cold ones stream from disk and eviction can
+//! never invalidate a view a query is still reading.
+//!
+//! Trust model: the file is untrusted. The `col_ptr` block is fully
+//! validated at [`open_paged`] time (monotone, spanning exactly the declared
+//! nonzeros — *before* anything is served), the file length must match the
+//! layout the header implies, and every page is validated as it is decoded
+//! (strictly increasing lower-triangular row indices in range, finite
+//! values) — a corrupt page is a typed
+//! [`EffresError::StoreFailure`](effres::EffresError), never a panic and
+//! never silently wrong answers. The whole-payload crc32 is *not* checked
+//! (that would require streaming the entire file, defeating the
+//! milliseconds-to-first-query cold start); corruption the structural
+//! checks cannot see — flipped value bytes that stay finite — is caught by
+//! the resident loader, not this one.
+//!
+//! Answers are **bit-identical** to the resident arena's for every page
+//! geometry and cache size: pages decode the same little-endian bytes the
+//! resident loader reads, per-column norms are summed in the same order, and
+//! the kernels are the same generic code (`effres::column_store`).
+
+use crate::error::IoError;
+use crate::snapshot::{
+    read_col_ptr_block, read_payload_header, CrcReader, PayloadHeader, MAGIC, VERSION_V1,
+    VERSION_V2,
+};
+use effres::approx_inverse::{ensure_u32_indexable, ArenaFootprint, ColumnView};
+use effres::column_store::ColumnStore;
+use effres::error::EffresError;
+use effres::estimator::EstimatorStats;
+use effres_sparse::Permutation;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Positioned reads over a shared [`File`], std-only on every platform:
+/// `pread` on Unix and `seek_read` on Windows never touch a shared cursor,
+/// so concurrent readers need no coordination; other targets fall back to a
+/// mutex-serialized seek-then-read on the same handle.
+#[derive(Debug)]
+struct PositionedFile {
+    file: File,
+    #[cfg(not(any(unix, windows)))]
+    cursor: Mutex<()>,
+}
+
+impl PositionedFile {
+    fn new(file: File) -> Self {
+        PositionedFile {
+            file,
+            #[cfg(not(any(unix, windows)))]
+            cursor: Mutex::new(()),
+        }
+    }
+
+    fn metadata(&self) -> std::io::Result<std::fs::Metadata> {
+        self.file.metadata()
+    }
+
+    #[cfg(unix)]
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        std::os::unix::fs::FileExt::read_exact_at(&self.file, buf, offset)
+    }
+
+    #[cfg(windows)]
+    fn read_exact_at(&self, mut buf: &mut [u8], mut offset: u64) -> std::io::Result<()> {
+        use std::os::windows::fs::FileExt;
+        while !buf.is_empty() {
+            match self.file.seek_read(buf, offset) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "positioned read past end of file",
+                    ))
+                }
+                Ok(n) => {
+                    buf = &mut buf[n..];
+                    offset += n as u64;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    #[cfg(not(any(unix, windows)))]
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        use std::io::{Read as _, Seek, SeekFrom};
+        let _guard = self.cursor.lock().expect("file cursor lock poisoned");
+        let mut file = &self.file;
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(buf)
+    }
+}
+
+/// Geometry and budget of the page cache of a [`PagedColumnStore`].
+///
+/// Every setting trades disk traffic for memory only — answers are
+/// bit-identical across all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagedOptions {
+    /// Consecutive columns decoded per page. Larger pages amortize the
+    /// `pread` syscall over more columns (good for scans and sorted
+    /// batches); smaller pages waste less memory on isolated lookups.
+    pub columns_per_page: usize,
+    /// Total decoded pages kept resident across all cache shards (at least
+    /// one per shard). This is the store's memory budget knob, surfaced as
+    /// `EffresConfig::page_cache_pages` / `effres-cli --page-cache`.
+    pub cache_pages: usize,
+    /// Number of cache shards (rounded up to a power of two); more shards
+    /// mean less lock contention between parallel query workers.
+    pub cache_shards: usize,
+}
+
+impl Default for PagedOptions {
+    fn default() -> Self {
+        PagedOptions {
+            columns_per_page: 64,
+            cache_pages: effres::config::DEFAULT_PAGE_CACHE_PAGES,
+            cache_shards: 8,
+        }
+    }
+}
+
+impl PagedOptions {
+    /// Sets the total decoded-page budget (see [`PagedOptions::cache_pages`]).
+    pub fn with_cache_pages(mut self, pages: usize) -> Self {
+        self.cache_pages = pages;
+        self
+    }
+
+    /// Sets the page size in columns (see
+    /// [`PagedOptions::columns_per_page`]).
+    pub fn with_columns_per_page(mut self, columns: usize) -> Self {
+        self.columns_per_page = columns;
+        self
+    }
+}
+
+/// Cumulative page-cache counters of a [`PagedColumnStore`] (monotonic over
+/// the store's lifetime). A **hit** served a column from a resident decoded
+/// page; a **miss** paid a disk read and a decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PageCacheStats {
+    /// Page lookups answered from the cache.
+    pub hits: u64,
+    /// Page lookups that read and decoded from disk.
+    pub misses: u64,
+}
+
+/// One decoded page: the row/value data of a contiguous column range, plus
+/// the per-column squared norms (summed in index order at decode time, so
+/// they are bit-identical to the resident norm table).
+#[derive(Debug)]
+struct Page {
+    /// First column covered by the page.
+    first_col: usize,
+    /// `col_ptr[first_col]` — the entry offset the page's buffers start at.
+    base: u64,
+    rows: Vec<u32>,
+    vals: Vec<f64>,
+    norms: Vec<f64>,
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct PageNode {
+    key: usize,
+    page: Arc<Page>,
+    prev: u32,
+    next: u32,
+}
+
+/// One shard of the page cache: the same intrusive-list-over-a-slab LRU as
+/// the service layer's pair cache, holding `Arc<Page>`s so a page can be
+/// evicted while a reader still borrows from it.
+#[derive(Debug)]
+struct PageShard {
+    map: HashMap<usize, u32>,
+    slab: Vec<PageNode>,
+    head: u32,
+    tail: u32,
+    capacity: usize,
+}
+
+impl PageShard {
+    fn new(capacity: usize) -> Self {
+        PageShard {
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            slab: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, index: u32) {
+        let (prev, next) = {
+            let node = &self.slab[index as usize];
+            (node.prev, node.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n as usize].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, index: u32) {
+        let old_head = self.head;
+        {
+            let node = &mut self.slab[index as usize];
+            node.prev = NIL;
+            node.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head as usize].prev = index;
+        }
+        self.head = index;
+        if self.tail == NIL {
+            self.tail = index;
+        }
+    }
+
+    fn get(&mut self, key: usize) -> Option<Arc<Page>> {
+        let index = *self.map.get(&key)?;
+        if self.head != index {
+            self.unlink(index);
+            self.push_front(index);
+        }
+        Some(Arc::clone(&self.slab[index as usize].page))
+    }
+
+    fn insert(&mut self, key: usize, page: Arc<Page>) {
+        if let Some(&index) = self.map.get(&key) {
+            // A concurrent miss decoded the same page; keep the resident one
+            // fresh (both decodes hold identical bits).
+            self.slab[index as usize].page = page;
+            if self.head != index {
+                self.unlink(index);
+                self.push_front(index);
+            }
+            return;
+        }
+        let index = if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            let node = &mut self.slab[victim as usize];
+            self.map.remove(&node.key);
+            node.key = key;
+            node.page = page;
+            victim
+        } else {
+            self.slab.push(PageNode {
+                key,
+                page,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.slab.len() - 1) as u32
+        };
+        self.map.insert(key, index);
+        self.push_front(index);
+    }
+}
+
+/// A sharded LRU of decoded pages keyed by page id.
+#[derive(Debug)]
+struct PageLru {
+    shards: Vec<Mutex<PageShard>>,
+    mask: u64,
+    per_shard: usize,
+}
+
+impl PageLru {
+    fn new(pages: usize, shards: usize) -> Self {
+        let shard_count = shards.max(1).next_power_of_two();
+        let per_shard = pages.div_ceil(shard_count).max(1);
+        PageLru {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(PageShard::new(per_shard)))
+                .collect(),
+            mask: shard_count as u64 - 1,
+            per_shard,
+        }
+    }
+
+    fn shard(&self, key: usize) -> &Mutex<PageShard> {
+        // SplitMix64 finalizer spreads consecutive page ids across shards.
+        let mut h = (key as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    fn get(&self, key: usize) -> Option<Arc<Page>> {
+        self.shard(key)
+            .lock()
+            .expect("page cache shard poisoned")
+            .get(key)
+    }
+
+    fn insert(&self, key: usize, page: Arc<Page>) {
+        self.shard(key)
+            .lock()
+            .expect("page cache shard poisoned")
+            .insert(key, page);
+    }
+
+    fn capacity(&self) -> usize {
+        self.shards.len() * self.per_shard
+    }
+}
+
+/// A column store serving the approximate inverse directly from a v2
+/// snapshot file through a page cache (see the module docs).
+///
+/// The store is `Send + Sync`: positioned reads do not touch a shared file
+/// cursor, the cache shards are independently locked, and decoded pages are
+/// shared behind `Arc`s — parallel batch workers hit it concurrently just
+/// like the resident arena.
+#[derive(Debug)]
+pub struct PagedColumnStore {
+    file: PositionedFile,
+    order: usize,
+    nnz: usize,
+    /// The resident `col_ptr` block (entry offsets, as stored on disk).
+    col_ptr: Vec<u64>,
+    rows_offset: u64,
+    vals_offset: u64,
+    columns_per_page: usize,
+    cache: PageLru,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PagedColumnStore {
+    /// Number of pages the column space divides into.
+    pub fn page_count(&self) -> usize {
+        self.order.div_ceil(self.columns_per_page)
+    }
+
+    /// Columns decoded per page.
+    pub fn columns_per_page(&self) -> usize {
+        self.columns_per_page
+    }
+
+    /// Total decoded-page capacity of the cache (after shard rounding).
+    pub fn cache_capacity_pages(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Cumulative page-cache hit/miss counters.
+    pub fn page_cache_stats(&self) -> PageCacheStats {
+        PageCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bytes this store keeps permanently resident (the `col_ptr` block) —
+    /// the part of the arena that did *not* stay on disk. Decoded pages come
+    /// and go within the cache budget on top of this.
+    pub fn resident_bytes(&self) -> usize {
+        self.col_ptr.len() * std::mem::size_of::<u64>()
+    }
+
+    /// On-disk footprint of the three arena blocks, in the same shape the
+    /// resident arena reports its memory footprint (the row block is `u32`
+    /// on disk exactly as in memory).
+    pub fn footprint(&self) -> ArenaFootprint {
+        ArenaFootprint {
+            col_ptr_bytes: self.col_ptr.len() * 8,
+            rows_bytes: self.nnz * 4,
+            vals_bytes: self.nnz * 8,
+            index_width_bytes: 4,
+        }
+    }
+
+    /// The decoded page covering column `j`, from the cache or from disk.
+    fn page_for(&self, j: usize) -> Result<Arc<Page>, EffresError> {
+        let pid = j / self.columns_per_page;
+        if let Some(page) = self.cache.get(pid) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(page);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let page = Arc::new(self.decode_page(pid)?);
+        self.cache.insert(pid, Arc::clone(&page));
+        Ok(page)
+    }
+
+    /// Reads and validates one page from disk. Two threads may race to
+    /// decode the same page; both produce identical bits and the cache keeps
+    /// one of them — correctness is unaffected, only a read is duplicated.
+    fn decode_page(&self, pid: usize) -> Result<Page, EffresError> {
+        let first_col = pid * self.columns_per_page;
+        let last_col = (first_col + self.columns_per_page).min(self.order);
+        let base = self.col_ptr[first_col];
+        let end = self.col_ptr[last_col];
+        let count = (end - base) as usize;
+        let failed = |message: String| EffresError::StoreFailure {
+            column: first_col,
+            message,
+        };
+
+        let mut row_bytes = vec![0u8; count * 4];
+        self.file
+            .read_exact_at(&mut row_bytes, self.rows_offset + base * 4)
+            .map_err(|e| failed(format!("reading the row block: {e}")))?;
+        let mut val_bytes = vec![0u8; count * 8];
+        self.file
+            .read_exact_at(&mut val_bytes, self.vals_offset + base * 8)
+            .map_err(|e| failed(format!("reading the value block: {e}")))?;
+
+        let rows: Vec<u32> = row_bytes
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte chunk")))
+            .collect();
+        let vals: Vec<f64> = val_bytes
+            .chunks_exact(8)
+            .map(|b| f64::from_le_bytes(b.try_into().expect("8-byte chunk")))
+            .collect();
+
+        // Validate every column of the page before it can serve a query:
+        // the on-disk data is untrusted and the kernels rely on sorted
+        // lower-triangular columns.
+        let mut norms = Vec::with_capacity(last_col - first_col);
+        for j in first_col..last_col {
+            let lo = (self.col_ptr[j] - base) as usize;
+            let hi = (self.col_ptr[j + 1] - base) as usize;
+            let column = &rows[lo..hi];
+            let corrupt = |message: String| EffresError::StoreFailure { column: j, message };
+            if !column.windows(2).all(|w| w[0] < w[1])
+                || column.last().is_some_and(|&i| i as usize >= self.order)
+            {
+                return Err(corrupt(format!(
+                    "row indices are not strictly increasing within 0..{}",
+                    self.order
+                )));
+            }
+            if column.first().is_some_and(|&i| (i as usize) < j) {
+                return Err(corrupt(
+                    "column has an entry above the diagonal; \
+                     inverse columns must be supported on the diagonal suffix"
+                        .to_string(),
+                ));
+            }
+            let values = &vals[lo..hi];
+            if !values.iter().all(|v| v.is_finite()) {
+                return Err(corrupt("non-finite value".to_string()));
+            }
+            // Same summation order as the resident norm table: bit-identical.
+            norms.push(values.iter().map(|v| v * v).sum());
+        }
+        Ok(Page {
+            first_col,
+            base,
+            rows,
+            vals,
+            norms,
+        })
+    }
+}
+
+impl ColumnStore for PagedColumnStore {
+    fn order(&self) -> usize {
+        self.order
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    fn with_column<R>(
+        &self,
+        j: usize,
+        f: impl FnOnce(ColumnView<'_>) -> R,
+    ) -> Result<R, EffresError> {
+        assert!(
+            j < self.order,
+            "column {j} out of bounds for order {}",
+            self.order
+        );
+        let page = self.page_for(j)?;
+        let lo = (self.col_ptr[j] - page.base) as usize;
+        let hi = (self.col_ptr[j + 1] - page.base) as usize;
+        Ok(f(ColumnView::from_slices(
+            self.order,
+            &page.rows[lo..hi],
+            &page.vals[lo..hi],
+        )))
+    }
+
+    fn column_norm_squared(&self, j: usize) -> Result<f64, EffresError> {
+        assert!(
+            j < self.order,
+            "column {j} out of bounds for order {}",
+            self.order
+        );
+        let page = self.page_for(j)?;
+        Ok(page.norms[j - page.first_col])
+    }
+}
+
+/// Everything a query service needs from a v2 snapshot, opened for paged
+/// serving: the out-of-core column [`store`](PagedSnapshot::store) plus the
+/// resident metadata (permutation, build statistics, dataset labels) the
+/// header carries.
+#[derive(Debug)]
+pub struct PagedSnapshot {
+    /// The disk-backed column store.
+    pub store: PagedColumnStore,
+    /// Fill-reducing permutation (original node id → column of `Z̃`).
+    pub permutation: Permutation,
+    /// Build statistics recorded by the estimator that wrote the snapshot.
+    pub stats: EstimatorStats,
+    /// Pruning threshold the inverse was built with.
+    pub epsilon: f64,
+    /// Original dataset ids of the dense nodes, if the snapshot was written
+    /// from an ingested dataset.
+    pub labels: Option<Vec<u64>>,
+}
+
+impl PagedSnapshot {
+    /// Number of nodes served.
+    pub fn node_count(&self) -> usize {
+        self.stats.node_count
+    }
+}
+
+/// Opens a v2 snapshot for paged serving: reads and validates the header,
+/// the permutation, the full `col_ptr` block and the labels — never the
+/// rows/vals blocks, which stay on disk until queries page them in.
+///
+/// Cold-start cost is proportional to the *node* count, not the nonzero
+/// count: on large graphs the rows/vals blocks dominate the file and are
+/// exactly what this skips.
+///
+/// # Errors
+///
+/// Returns [`IoError::Format`] for files that are not v2 snapshots (v1
+/// files name the re-encode path), have a non-monotone or out-of-span
+/// `col_ptr`, or whose length disagrees with the layout the header implies
+/// (truncation is caught here, before serving); [`IoError::Io`] on read
+/// failure.
+pub fn open_paged(
+    path: impl AsRef<Path>,
+    options: &PagedOptions,
+) -> Result<PagedSnapshot, IoError> {
+    if options.columns_per_page == 0 {
+        return Err(IoError::Format(
+            "columns_per_page must be at least 1".into(),
+        ));
+    }
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(&file);
+    let mut magic = [0u8; 8];
+    reader
+        .read_exact(&mut magic)
+        .map_err(|_| IoError::Format("truncated snapshot (no magic)".into()))?;
+    if &magic != MAGIC {
+        return Err(IoError::Format("not an effres snapshot (bad magic)".into()));
+    }
+    let mut version = [0u8; 4];
+    reader
+        .read_exact(&mut version)
+        .map_err(|_| IoError::Format("truncated snapshot (no version)".into()))?;
+    match u32::from_le_bytes(version) {
+        VERSION_V2 => {}
+        VERSION_V1 => {
+            return Err(IoError::Format(
+                "version 1 snapshots store per-column records and cannot be served paged; \
+                 load and re-save the snapshot to re-encode it as version 2 (bulk arena blocks)"
+                    .into(),
+            ))
+        }
+        other => {
+            return Err(IoError::Format(format!(
+                "unsupported snapshot version {other} (paged serving reads {VERSION_V2})"
+            )))
+        }
+    }
+
+    let mut input = CrcReader::new(&mut reader);
+    let PayloadHeader {
+        n,
+        epsilon,
+        stats,
+        inv_stats: _,
+        permutation,
+    } = read_payload_header(&mut input)?;
+    ensure_u32_indexable(n)?;
+    let nnz = input.take_u64()?;
+    let col_ptr = read_col_ptr_block(&mut input, n, nnz)?;
+    // 12 header bytes (magic + version) precede the crc-tracked payload.
+    let rows_offset = 12 + input.consumed();
+    drop(input);
+    drop(reader);
+    let file = PositionedFile::new(file);
+
+    let overflow = || IoError::Format("arena block sizes overflow the file offset space".into());
+    let rows_bytes = nnz.checked_mul(4).ok_or_else(overflow)?;
+    let vals_bytes = nnz.checked_mul(8).ok_or_else(overflow)?;
+    let vals_offset = rows_offset.checked_add(rows_bytes).ok_or_else(overflow)?;
+    let labels_offset = vals_offset.checked_add(vals_bytes).ok_or_else(overflow)?;
+
+    let truncated =
+        |_| IoError::Format("truncated snapshot (labels block out of range)".to_string());
+    let mut flag = [0u8; 1];
+    file.read_exact_at(&mut flag, labels_offset)
+        .map_err(truncated)?;
+    let labels = match flag[0] {
+        0 => None,
+        1 => {
+            let mut bytes = vec![0u8; n * 8];
+            file.read_exact_at(&mut bytes, labels_offset + 1)
+                .map_err(truncated)?;
+            Some(
+                bytes
+                    .chunks_exact(8)
+                    .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte chunk")))
+                    .collect::<Vec<u64>>(),
+            )
+        }
+        other => return Err(IoError::Format(format!("invalid labels flag {other}"))),
+    };
+    // The file must end exactly where the layout says it does (labels, then
+    // the 4-byte crc trailer): a truncated or padded rows/vals region is
+    // rejected here, before a query can page it in.
+    let expected_len = labels_offset
+        .checked_add(1 + if labels.is_some() { n as u64 * 8 } else { 0 } + 4)
+        .ok_or_else(overflow)?;
+    let actual_len = file.metadata()?.len();
+    if actual_len != expected_len {
+        return Err(IoError::Format(format!(
+            "snapshot is {actual_len} bytes but the v2 layout implies {expected_len}: \
+             truncated or trailing garbage"
+        )));
+    }
+
+    let store = PagedColumnStore {
+        file,
+        order: n,
+        nnz: nnz as usize,
+        col_ptr,
+        rows_offset,
+        vals_offset,
+        columns_per_page: options.columns_per_page,
+        cache: PageLru::new(options.cache_pages, options.cache_shards),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    };
+    Ok(PagedSnapshot {
+        store,
+        permutation,
+        stats,
+        epsilon,
+        labels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{load_snapshot, write_snapshot};
+    use effres::{EffectiveResistanceEstimator, EffresConfig};
+    use effres_graph::generators;
+
+    fn sample_estimator() -> EffectiveResistanceEstimator {
+        let graph = generators::grid_2d(10, 10, 0.5, 2.0, 3).expect("generator");
+        EffectiveResistanceEstimator::build(&graph, &EffresConfig::default()).expect("build")
+    }
+
+    fn temp_snapshot(name: &str, estimator: &EffectiveResistanceEstimator) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("effres-paged-unit");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(name);
+        let file = std::fs::File::create(&path).expect("create");
+        let mut writer = std::io::BufWriter::new(file);
+        write_snapshot(&mut writer, estimator, None).expect("write");
+        use std::io::Write as _;
+        writer.flush().expect("flush");
+        path
+    }
+
+    #[test]
+    fn paged_columns_match_the_resident_arena_bitwise() {
+        let estimator = sample_estimator();
+        let path = temp_snapshot("grid10.snap", &estimator);
+        for options in [
+            PagedOptions::default(),
+            PagedOptions {
+                columns_per_page: 1,
+                cache_pages: 1,
+                cache_shards: 1,
+            },
+            PagedOptions {
+                columns_per_page: 7,
+                cache_pages: 3,
+                cache_shards: 2,
+            },
+        ] {
+            let paged = open_paged(&path, &options).expect("open");
+            let inverse = estimator.approximate_inverse();
+            assert_eq!(ColumnStore::order(&paged.store), inverse.order());
+            assert_eq!(ColumnStore::nnz(&paged.store), inverse.nnz());
+            for j in 0..inverse.order() {
+                let (rows, vals) = paged
+                    .store
+                    .with_column(j, |c| (c.indices().to_vec(), c.values().to_vec()))
+                    .expect("fetch");
+                assert_eq!(rows.as_slice(), inverse.column(j).indices(), "col {j}");
+                let same = vals
+                    .iter()
+                    .zip(inverse.column(j).values())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "col {j} values differ");
+                assert_eq!(
+                    paged.store.column_norm_squared(j).expect("norm").to_bits(),
+                    inverse.column(j).norm2_squared().to_bits(),
+                    "col {j} norm"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn open_reports_header_metadata_without_touching_column_blocks() {
+        let estimator = sample_estimator();
+        let path = temp_snapshot("grid10_meta.snap", &estimator);
+        let paged = open_paged(&path, &PagedOptions::default()).expect("open");
+        assert_eq!(paged.node_count(), estimator.node_count());
+        assert_eq!(paged.stats, estimator.stats());
+        assert_eq!(paged.epsilon, estimator.approximate_inverse().epsilon());
+        assert_eq!(
+            paged.permutation.new_to_old(),
+            estimator.permutation().new_to_old()
+        );
+        assert!(paged.labels.is_none());
+        // Nothing decoded yet.
+        let s = paged.store.page_cache_stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+        assert!(paged.store.resident_bytes() < paged.store.footprint().total_bytes());
+    }
+
+    #[test]
+    fn one_page_cache_churns_but_stays_correct() {
+        let estimator = sample_estimator();
+        let path = temp_snapshot("grid10_churn.snap", &estimator);
+        let options = PagedOptions {
+            columns_per_page: 4,
+            cache_pages: 1,
+            cache_shards: 1,
+        };
+        let paged = open_paged(&path, &options).expect("open");
+        assert_eq!(paged.store.cache_capacity_pages(), 1);
+        let inverse = estimator.approximate_inverse();
+        // Two full sweeps: the second sweep misses again because each page
+        // evicts the previous one.
+        for _ in 0..2 {
+            for j in 0..inverse.order() {
+                assert_eq!(
+                    paged.store.column_norm_squared(j).expect("norm").to_bits(),
+                    inverse.column(j).norm2_squared().to_bits()
+                );
+            }
+        }
+        let s = paged.store.page_cache_stats();
+        assert_eq!(s.misses as usize, 2 * paged.store.page_count());
+        // Within a page, consecutive columns hit.
+        assert!(s.hits > 0);
+    }
+
+    #[test]
+    fn v1_snapshots_are_rejected_with_a_reencode_hint() {
+        let estimator = sample_estimator();
+        let dir = std::env::temp_dir().join("effres-paged-unit");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("grid10_v1.snap");
+        let file = std::fs::File::create(&path).expect("create");
+        let mut writer = std::io::BufWriter::new(file);
+        crate::snapshot::write_snapshot_v1(&mut writer, &estimator, None).expect("write v1");
+        use std::io::Write as _;
+        writer.flush().expect("flush");
+        let err = open_paged(&path, &PagedOptions::default()).expect_err("v1 must be rejected");
+        assert!(err.to_string().contains("version 1"), "{err}");
+        // The resident loader still reads it fine.
+        assert!(load_snapshot(&path).is_ok());
+    }
+
+    #[test]
+    fn truncated_files_are_rejected_at_open() {
+        let estimator = sample_estimator();
+        let path = temp_snapshot("grid10_trunc.snap", &estimator);
+        let bytes = std::fs::read(&path).expect("read");
+        let cut = bytes.len() - 9; // into the value block + crc
+        std::fs::write(&path, &bytes[..cut]).expect("rewrite");
+        assert!(matches!(
+            open_paged(&path, &PagedOptions::default()),
+            Err(IoError::Format(_))
+        ));
+    }
+}

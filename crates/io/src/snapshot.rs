@@ -56,9 +56,9 @@ use effres_sparse::Permutation;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"EFRSNAP\n";
-const VERSION_V1: u32 = 1;
-const VERSION_V2: u32 = 2;
+pub(crate) const MAGIC: &[u8; 8] = b"EFRSNAP\n";
+pub(crate) const VERSION_V1: u32 = 1;
+pub(crate) const VERSION_V2: u32 = 2;
 
 /// Entries per chunk when streaming bulk blocks: bounds the scratch buffer
 /// (and any allocation driven by an untrusted header) to a few hundred KiB.
@@ -134,20 +134,30 @@ impl<W: Write> CrcWriter<'_, W> {
     }
 }
 
-struct CrcReader<'a, R: Read> {
+pub(crate) struct CrcReader<'a, R: Read> {
     inner: &'a mut R,
     crc: Crc32,
+    /// Payload bytes consumed so far (the paged opener uses this to locate
+    /// the bulk blocks within the file without duplicating layout math).
+    consumed: u64,
     /// Reusable staging buffer for bulk blocks.
     chunk: Vec<u8>,
 }
 
 impl<R: Read> CrcReader<'_, R> {
-    fn new(inner: &mut R) -> CrcReader<'_, R> {
+    pub(crate) fn new(inner: &mut R) -> CrcReader<'_, R> {
         CrcReader {
             inner,
             crc: Crc32::new(),
+            consumed: 0,
             chunk: Vec::new(),
         }
+    }
+
+    /// Payload bytes consumed since construction (excludes the 12 magic +
+    /// version bytes, which are read before the crc region starts).
+    pub(crate) fn consumed(&self) -> u64 {
+        self.consumed
     }
 
     fn fill(&mut self, buf: &mut [u8]) -> Result<(), IoError> {
@@ -159,6 +169,7 @@ impl<R: Read> CrcReader<'_, R> {
             }
         })?;
         self.crc.update(buf);
+        self.consumed += buf.len() as u64;
         Ok(())
     }
 
@@ -176,7 +187,7 @@ impl<R: Read> CrcReader<'_, R> {
         Ok(u32::from_le_bytes(self.take::<4>()?))
     }
 
-    fn take_u64(&mut self) -> Result<u64, IoError> {
+    pub(crate) fn take_u64(&mut self) -> Result<u64, IoError> {
         Ok(u64::from_le_bytes(self.take::<8>()?))
     }
 
@@ -373,8 +384,22 @@ enum Version {
     V2,
 }
 
-fn read_payload<R: Read>(reader: &mut R, version: Version) -> Result<Snapshot, IoError> {
-    let mut input = CrcReader::new(reader);
+/// The payload fields shared by both snapshot versions, up to (and
+/// excluding) the column data: sizes, statistics and the fill-reducing
+/// permutation. The paged opener reads exactly this much sequentially and
+/// then locates the bulk blocks by offset.
+pub(crate) struct PayloadHeader {
+    pub(crate) n: usize,
+    pub(crate) epsilon: f64,
+    pub(crate) stats: EstimatorStats,
+    pub(crate) inv_stats: ApproxInverseStats,
+    pub(crate) permutation: Permutation,
+}
+
+/// Reads the shared payload header (see [`PayloadHeader`]).
+pub(crate) fn read_payload_header<R: Read>(
+    input: &mut CrcReader<'_, R>,
+) -> Result<PayloadHeader, IoError> {
     let n = input.take_u64()? as usize;
     if n > u32::MAX as usize {
         return Err(IoError::Format("node count exceeds u32 index space".into()));
@@ -402,6 +427,24 @@ fn read_payload<R: Read>(reader: &mut R, version: Version) -> Result<Snapshot, I
     })?;
     let permutation = Permutation::from_new_to_old(new_to_old)
         .map_err(|e| IoError::Format(format!("invalid permutation: {e}")))?;
+    Ok(PayloadHeader {
+        n,
+        epsilon,
+        stats,
+        inv_stats,
+        permutation,
+    })
+}
+
+fn read_payload<R: Read>(reader: &mut R, version: Version) -> Result<Snapshot, IoError> {
+    let mut input = CrcReader::new(reader);
+    let PayloadHeader {
+        n,
+        epsilon,
+        stats,
+        inv_stats,
+        permutation,
+    } = read_payload_header(&mut input)?;
 
     let (col_ptr, arena_rows, arena_vals) = match version {
         Version::V1 => read_columns_v1(&mut input, n)?,
@@ -486,6 +529,48 @@ fn read_columns_v1<R: Read>(
     Ok((col_ptr, arena_rows, arena_vals))
 }
 
+/// Reads and validates the v2 `col_ptr` block: `n + 1` `u64` entries that
+/// must start at `0`, be monotone non-decreasing, stay within the declared
+/// `nnz` and end exactly at it. Violations are rejected *while streaming* —
+/// before a single byte of the (much larger) rows/vals blocks is read or
+/// allocated — which is what lets the paged store trust the block enough to
+/// serve columns lazily from an untrusted file.
+pub(crate) fn read_col_ptr_block<R: Read>(
+    input: &mut CrcReader<'_, R>,
+    n: usize,
+    nnz: u64,
+) -> Result<Vec<u64>, IoError> {
+    let mut col_ptr: Vec<u64> = Vec::with_capacity((n + 1).min(PREALLOC_CAP));
+    let mut prev = 0u64;
+    input.take_block(n + 1, |b: [u8; 8]| {
+        let p = u64::from_le_bytes(b);
+        if col_ptr.is_empty() && p != 0 {
+            return Err(IoError::Format(format!("col_ptr must start at 0, got {p}")));
+        }
+        if p < prev {
+            return Err(IoError::Format(format!(
+                "col_ptr is not monotone: entry {} is {p} after {prev}",
+                col_ptr.len()
+            )));
+        }
+        if p > nnz {
+            return Err(IoError::Format(format!(
+                "col_ptr entry {p} exceeds the declared {nnz} nonzeros"
+            )));
+        }
+        prev = p;
+        col_ptr.push(p);
+        Ok(())
+    })?;
+    if col_ptr.last() != Some(&nnz) {
+        return Err(IoError::Format(format!(
+            "col_ptr must end at the declared {nnz} nonzeros, got {:?}",
+            col_ptr.last()
+        )));
+    }
+    Ok(col_ptr)
+}
+
 /// Reads the v2 bulk arena blocks straight into the arena buffers.
 #[allow(clippy::type_complexity)]
 fn read_arena_v2<R: Read>(
@@ -493,20 +578,21 @@ fn read_arena_v2<R: Read>(
     n: usize,
 ) -> Result<(Vec<usize>, Vec<u32>, Vec<f64>), IoError> {
     let nnz = input.take_u64()? as usize;
-    let mut col_ptr: Vec<usize> = Vec::with_capacity((n + 1).min(PREALLOC_CAP));
-    input.take_block(n + 1, |b: [u8; 8]| {
-        let p = u64::from_le_bytes(b);
-        if p > nnz as u64 {
-            return Err(IoError::Format(format!(
-                "col_ptr entry {p} exceeds the declared {nnz} nonzeros"
-            )));
-        }
-        col_ptr.push(p as usize);
-        Ok(())
-    })?;
+    let col_ptr: Vec<usize> = read_col_ptr_block(input, n, nnz as u64)?
+        .into_iter()
+        .map(|p| p as usize)
+        .collect();
     let mut arena_rows: Vec<u32> = Vec::with_capacity(nnz.min(PREALLOC_CAP));
     input.take_block(nnz, |b: [u8; 4]| {
-        arena_rows.push(u32::from_le_bytes(b));
+        let r = u32::from_le_bytes(b);
+        // Out-of-range rows are rejected while the block streams, before
+        // the value block is allocated.
+        if r as usize >= n {
+            return Err(IoError::Format(format!(
+                "row index {r} out of range for {n} nodes"
+            )));
+        }
+        arena_rows.push(r);
         Ok(())
     })?;
     let mut arena_vals: Vec<f64> = Vec::with_capacity(nnz.min(PREALLOC_CAP));

@@ -1,0 +1,281 @@
+//! The paged column store against the resident arena, pinned on the
+//! committed `v2_grid12.snap` fixture: every query answer must be
+//! **bit-identical** between the two backends for every page geometry and
+//! cache size (including a one-page cache that evicts on every page switch),
+//! and hostile files must produce typed errors *before* corrupt data can
+//! serve a query.
+
+use effres::column_store::{self, ColumnStore};
+use effres::EffresError;
+use effres_io::paged::{open_paged, PagedOptions, PagedSnapshot};
+use effres_io::snapshot::load_snapshot;
+use effres_io::{IoError, Snapshot};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// The page geometries the property test sweeps: the default, a one-column /
+/// one-page configuration (maximum eviction churn), an odd page size with a
+/// tiny cache, and a page size larger than the whole fixture.
+fn paged_configs() -> &'static [PagedOptions] {
+    static CONFIGS: OnceLock<Vec<PagedOptions>> = OnceLock::new();
+    CONFIGS.get_or_init(|| {
+        vec![
+            PagedOptions::default(),
+            PagedOptions {
+                columns_per_page: 1,
+                cache_pages: 1,
+                cache_shards: 1,
+            },
+            PagedOptions {
+                columns_per_page: 7,
+                cache_pages: 2,
+                cache_shards: 1,
+            },
+            PagedOptions {
+                columns_per_page: 1024,
+                cache_pages: 4,
+                cache_shards: 2,
+            },
+        ]
+    })
+}
+
+fn resident() -> &'static Snapshot {
+    static RESIDENT: OnceLock<Snapshot> = OnceLock::new();
+    RESIDENT.get_or_init(|| load_snapshot(fixture("v2_grid12.snap")).expect("v2 fixture loads"))
+}
+
+fn resident_norms() -> &'static [f64] {
+    static NORMS: OnceLock<Vec<f64>> = OnceLock::new();
+    NORMS.get_or_init(|| {
+        resident()
+            .estimator
+            .approximate_inverse()
+            .column_norms_squared()
+    })
+}
+
+fn paged_stores() -> &'static [PagedSnapshot] {
+    static STORES: OnceLock<Vec<PagedSnapshot>> = OnceLock::new();
+    STORES.get_or_init(|| {
+        paged_configs()
+            .iter()
+            .map(|options| open_paged(fixture("v2_grid12.snap"), options).expect("fixture opens"))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Random pairs through the fill-reducing permutation, across every page
+    /// geometry: the paged store must reproduce the resident arena's
+    /// distance, norm-table distance and per-column norms bit for bit.
+    #[test]
+    fn paged_queries_match_resident_bitwise(
+        (p, q, which) in (0usize..144, 0usize..144, 0usize..4),
+    ) {
+        let snapshot = resident();
+        let inverse = snapshot.estimator.approximate_inverse();
+        let permutation = snapshot.estimator.permutation();
+        let paged = &paged_stores()[which];
+        prop_assert_eq!(ColumnStore::order(&paged.store), inverse.order());
+        prop_assert_eq!(ColumnStore::nnz(&paged.store), inverse.nnz());
+
+        let pp = permutation.new(p);
+        let qq = permutation.new(q);
+        // Full union-merge distance.
+        let resident_distance = inverse.column_distance_squared(pp, qq);
+        let paged_distance = column_store::column_distance_squared(&paged.store, pp, qq)
+            .expect("healthy fixture");
+        prop_assert_eq!(resident_distance.to_bits(), paged_distance.to_bits());
+        // Norm-table distance (the engine's hot path): the resident side
+        // uses the precomputed table, the paged side per-column norms off
+        // the decoded pages.
+        let paged_norms = (
+            paged.store.column_norm_squared(pp).expect("healthy fixture"),
+            paged.store.column_norm_squared(qq).expect("healthy fixture"),
+        );
+        prop_assert_eq!(resident_norms()[pp].to_bits(), paged_norms.0.to_bits());
+        prop_assert_eq!(resident_norms()[qq].to_bits(), paged_norms.1.to_bits());
+        let resident_fast =
+            inverse.column_distance_squared_with_norms(pp, qq, resident_norms());
+        let paged_fast = column_store::column_distance_squared_with_norms(
+            &paged.store,
+            pp,
+            qq,
+            resident_norms(),
+        )
+        .expect("healthy fixture");
+        prop_assert_eq!(resident_fast.to_bits(), paged_fast.to_bits());
+    }
+}
+
+#[test]
+fn one_page_cache_evicts_on_every_page_switch_and_stays_bit_identical() {
+    // The degenerate cache: one page of one column. Walking all columns
+    // forward and backward forces an eviction on every access after the
+    // first repeat; answers must not change.
+    let snapshot = resident();
+    let inverse = snapshot.estimator.approximate_inverse();
+    let paged = open_paged(
+        fixture("v2_grid12.snap"),
+        &PagedOptions {
+            columns_per_page: 1,
+            cache_pages: 1,
+            cache_shards: 1,
+        },
+    )
+    .expect("fixture opens");
+    assert_eq!(paged.store.cache_capacity_pages(), 1);
+    let forward: Vec<u64> = (0..inverse.order())
+        .map(|j| paged.store.column_norm_squared(j).expect("fetch").to_bits())
+        .collect();
+    let backward: Vec<u64> = (0..inverse.order())
+        .rev()
+        .map(|j| paged.store.column_norm_squared(j).expect("fetch").to_bits())
+        .collect();
+    for j in 0..inverse.order() {
+        let expected = inverse.column(j).norm2_squared().to_bits();
+        assert_eq!(forward[j], expected, "forward col {j}");
+        assert_eq!(
+            backward[inverse.order() - 1 - j],
+            expected,
+            "backward col {j}"
+        );
+    }
+    let stats = paged.store.page_cache_stats();
+    // Two full sweeps over distinct single-column pages: every access but
+    // the back-to-back repeat at the turnaround misses.
+    assert_eq!(stats.hits + stats.misses, 2 * inverse.order() as u64);
+    assert!(
+        stats.misses >= 2 * inverse.order() as u64 - 1,
+        "expected eviction churn, got {stats:?}"
+    );
+}
+
+#[test]
+fn paged_metadata_matches_the_resident_loader() {
+    let snapshot = resident();
+    let paged = open_paged(fixture("v2_grid12.snap"), &PagedOptions::default()).expect("opens");
+    assert_eq!(paged.stats, snapshot.estimator.stats());
+    assert_eq!(paged.labels, snapshot.labels);
+    assert_eq!(
+        paged.permutation.new_to_old(),
+        snapshot.estimator.permutation().new_to_old()
+    );
+    assert_eq!(
+        paged.epsilon,
+        snapshot.estimator.approximate_inverse().epsilon()
+    );
+}
+
+/// Byte offsets of the v2 layout for the 144-node labeled fixture, used to
+/// craft hostile mutations at precise positions:
+/// magic+version (12) | n,eps (16) | stats (48) | counters (16) | perm (4n)
+/// | nnz (8) | col_ptr (8(n+1)) | rows (4·nnz) | vals (8·nnz) | labels | crc.
+const N: usize = 144;
+const COL_PTR_OFFSET: usize = 12 + 16 + 48 + 16 + 4 * N + 8;
+const ROWS_OFFSET: usize = COL_PTR_OFFSET + 8 * (N + 1);
+
+fn hostile_copy(mutate: impl FnOnce(&mut Vec<u8>)) -> PathBuf {
+    let mut bytes = std::fs::read(fixture("v2_grid12.snap")).expect("fixture bytes");
+    mutate(&mut bytes);
+    let dir = std::env::temp_dir().join("effres-paged-hostile");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    // One file per test invocation is fine; tests overwrite their own name.
+    let path = dir.join(format!("hostile_{}.snap", bytes.len()));
+    std::fs::write(&path, bytes).expect("write hostile");
+    path
+}
+
+#[test]
+fn non_monotone_col_ptr_is_rejected_by_both_loaders_before_serving() {
+    // Make col_ptr[1] larger than col_ptr[2]: the prefix sums go backwards.
+    let path = hostile_copy(|bytes| {
+        let at = COL_PTR_OFFSET + 8 * 2;
+        let next = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        let at1 = COL_PTR_OFFSET + 8;
+        bytes[at1..at1 + 8].copy_from_slice(&(next + 1).to_le_bytes());
+    });
+    // The paged opener validates the whole col_ptr block up front...
+    let err = open_paged(&path, &PagedOptions::default()).expect_err("must reject");
+    assert!(err.to_string().contains("monotone"), "{err}");
+    // ...and the resident loader rejects it while streaming, before the
+    // rows/vals blocks are allocated.
+    assert!(matches!(load_snapshot(&path), Err(IoError::Format(_))));
+}
+
+#[test]
+fn out_of_range_row_is_a_typed_store_failure_at_page_decode() {
+    // Corrupt the first row index to point past the 144-node order. The
+    // paged opener cannot see it (rows stay on disk), but decoding the
+    // page that contains it must fail with a typed error — never serve it.
+    let path = hostile_copy(|bytes| {
+        bytes[ROWS_OFFSET..ROWS_OFFSET + 4].copy_from_slice(&500u32.to_le_bytes());
+    });
+    let paged = open_paged(&path, &PagedOptions::default()).expect("open skips row blocks");
+    let err = paged
+        .store
+        .with_column(0, |_| ())
+        .expect_err("corrupt page must not serve");
+    assert!(
+        matches!(err, EffresError::StoreFailure { .. }),
+        "unexpected error: {err}"
+    );
+    // The resident loader rejects the same bytes while streaming the rows.
+    assert!(matches!(load_snapshot(&path), Err(IoError::Format(_))));
+}
+
+#[test]
+fn col_ptr_past_the_declared_nnz_is_rejected() {
+    // Push the last col_ptr entry past nnz: both the "exceeds" and the
+    // "must end at nnz" guards protect the offset arithmetic the paged
+    // reads rely on.
+    let path = hostile_copy(|bytes| {
+        let at = COL_PTR_OFFSET + 8 * N;
+        let last = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        bytes[at..at + 8].copy_from_slice(&(last + 4).to_le_bytes());
+    });
+    assert!(matches!(
+        open_paged(&path, &PagedOptions::default()),
+        Err(IoError::Format(_))
+    ));
+    assert!(matches!(load_snapshot(&path), Err(IoError::Format(_))));
+}
+
+#[test]
+fn truncated_column_data_is_rejected_at_open_not_at_query_time() {
+    // Cut the file in the middle of the value block: the resident loader
+    // hits EOF; the paged opener must notice via the layout-implied length
+    // check at open — before a query could fail half-way through a batch.
+    let path = {
+        let bytes = std::fs::read(fixture("v2_grid12.snap")).expect("fixture bytes");
+        let dir = std::env::temp_dir().join("effres-paged-hostile");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("truncated.snap");
+        std::fs::write(&path, &bytes[..bytes.len() - 100]).expect("write");
+        path
+    };
+    assert!(matches!(
+        open_paged(&path, &PagedOptions::default()),
+        Err(IoError::Format(_))
+    ));
+    assert!(load_snapshot(&path).is_err());
+}
+
+#[test]
+fn zero_columns_per_page_is_rejected() {
+    let options = PagedOptions::default().with_columns_per_page(0);
+    assert!(matches!(
+        open_paged(fixture("v2_grid12.snap"), &options),
+        Err(IoError::Format(_))
+    ));
+}

@@ -8,7 +8,7 @@
 //! * nodes joined by an edge of negligible effective resistance are merged
 //!   (they are electrically almost the same node), and
 //! * the remaining edges are sampled with probability proportional to
-//!   `w_e · R_e` — the Spielman–Srivastava scheme [4] — and reweighted, which
+//!   `w_e · R_e` — the Spielman–Srivastava scheme \[4\] — and reweighted, which
 //!   keeps the spectral behaviour of the block while shrinking its edge count.
 
 use crate::error::PowerGridError;

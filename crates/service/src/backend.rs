@@ -1,0 +1,101 @@
+//! Backends the query engine can serve from.
+//!
+//! A [`ResistanceBackend`] bundles what a serving deployment actually ships:
+//! a [`ColumnStore`] holding the columns of `Z̃`, the fill-reducing
+//! permutation mapping node ids onto columns, and the policy facts the
+//! engine needs (is a precomputed norm table affordable? is there a page
+//! cache worth reporting on?). The engine is generic over it, so the same
+//! batching, pair cache, scratch reuse and worker-pool fan-out serve:
+//!
+//! * [`EffectiveResistanceEstimator`] — the **resident** backend: the arena
+//!   is in memory, so the engine precomputes the `‖z̃_j‖²` table once and
+//!   every query is a single suffix dot product;
+//! * [`PagedSnapshot`] — the **out-of-core** backend: columns live in a v2
+//!   snapshot file behind a page cache, the norm table would cost a full
+//!   file scan at boot, so the engine reads per-column norms off the decoded
+//!   pages instead (bit-identical by the [`ColumnStore`] contract).
+
+use effres::column_store::ColumnStore;
+use effres::EffectiveResistanceEstimator;
+use effres_io::{PageCacheStats, PagedSnapshot};
+use effres_sparse::Permutation;
+
+/// A complete source of effective-resistance answers: columns plus the
+/// permutation into them.
+///
+/// The `Send + Sync + 'static` bound is what lets one `Arc`'d backend fan
+/// out across worker-pool jobs.
+pub trait ResistanceBackend: Send + Sync + 'static {
+    /// The column store queries read from.
+    type Store: ColumnStore + Send + Sync;
+
+    /// The column store.
+    fn store(&self) -> &Self::Store;
+
+    /// The fill-reducing permutation (original node id → column of `Z̃`).
+    fn permutation(&self) -> &Permutation;
+
+    /// Number of nodes served.
+    fn node_count(&self) -> usize;
+
+    /// A precomputed `‖z̃_j‖²` table in the permuted domain, if building one
+    /// is cheap for this backend (resident stores — one pass over data that
+    /// is already in memory). Out-of-core backends return `None`: the table
+    /// would stream the whole file at boot, so the engine falls back to
+    /// [`ColumnStore::column_norm_squared`] per query, which the trait
+    /// contract pins to the same bits.
+    fn precomputed_norms(&self) -> Option<Vec<f64>>;
+
+    /// Cumulative page-cache counters, for backends that page columns in
+    /// from storage. Resident backends return `None`.
+    fn page_cache_stats(&self) -> Option<PageCacheStats> {
+        None
+    }
+}
+
+impl ResistanceBackend for EffectiveResistanceEstimator {
+    type Store = effres::approx_inverse::SparseApproximateInverse;
+
+    fn store(&self) -> &Self::Store {
+        self.approximate_inverse()
+    }
+
+    fn permutation(&self) -> &Permutation {
+        EffectiveResistanceEstimator::permutation(self)
+    }
+
+    fn node_count(&self) -> usize {
+        EffectiveResistanceEstimator::node_count(self)
+    }
+
+    fn precomputed_norms(&self) -> Option<Vec<f64>> {
+        Some(self.column_norms_squared())
+    }
+}
+
+impl ResistanceBackend for PagedSnapshot {
+    type Store = effres_io::PagedColumnStore;
+
+    fn store(&self) -> &Self::Store {
+        &self.store
+    }
+
+    fn permutation(&self) -> &Permutation {
+        &self.permutation
+    }
+
+    fn node_count(&self) -> usize {
+        PagedSnapshot::node_count(self)
+    }
+
+    /// Never precomputed: it would read every value block of the file at
+    /// boot, defeating the paged cold start. Per-column norms come off the
+    /// decoded pages instead.
+    fn precomputed_norms(&self) -> Option<Vec<f64>> {
+        None
+    }
+
+    fn page_cache_stats(&self) -> Option<PageCacheStats> {
+        Some(self.store.page_cache_stats())
+    }
+}

@@ -14,13 +14,20 @@
 //! --output`. Node ids on the command line and in pair files are the
 //! *original dataset ids*; the CLI maps them onto the dense node space the
 //! estimator uses internally.
+//!
+//! With `--paged`, `query`/`batch`/`stats` serve a **v2 snapshot straight
+//! from disk**: only the header, permutation and column pointers are loaded
+//! (milliseconds even for huge graphs) and column data pages in on demand
+//! through an LRU cache sized by `--page-cache`. Answers are bit-identical
+//! to resident serving.
 
 use effres::{EffectiveResistanceEstimator, EffresConfig, Ordering, WorkerPool};
 use effres_graph::builder::MergePolicy;
 use effres_io::dataset::{load_graph, IngestOptions};
+use effres_io::paged::{open_paged, PagedOptions, PagedSnapshot};
 use effres_io::snapshot::{load_snapshot, save_snapshot, Snapshot};
 use effres_io::{pairs, IoError};
-use effres_service::{EngineOptions, QueryBatch, QueryEngine};
+use effres_service::{EngineOptions, QueryBatch, QueryEngine, ResistanceBackend};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -33,10 +40,11 @@ USAGE:
     effres-cli load  <dataset> [ingest options]
     effres-cli build <dataset> [ingest|build options] [--output <snapshot>]
     effres-cli query <dataset|snapshot> <p> <q> [ingest|build options]
+                     [--paged [--page-cache N]]
     effres-cli batch <dataset|snapshot> (--pairs <file> | --random <count>)
                      [--threads N] [--cache N] [--seed S] [--output <file>]
-                     [ingest|build options]
-    effres-cli stats <dataset|snapshot>
+                     [--paged [--page-cache N]] [ingest|build options]
+    effres-cli stats <dataset|snapshot> [--paged [--page-cache N]]
 
 INGEST OPTIONS (dataset inputs):
     --keep-all-components   keep every component (default: largest only)
@@ -61,6 +69,13 @@ BATCH OPTIONS:
                             build and the batch engine
     --cache <n>             result-cache entries (0 disables)
     --output <file>         write `p q resistance` lines here
+
+PAGED OPTIONS (snapshot inputs; out-of-core serving):
+    --paged                 serve columns directly from the v2 snapshot file
+                            (positioned reads + LRU page cache) instead of
+                            loading the arena into memory; answers are
+                            bit-identical to resident serving
+    --page-cache <n>        decoded pages kept resident   [default: 1024]
 
 Node ids are the dataset's original ids (SNAP ids, 1-based .mtx indices).
 ";
@@ -131,6 +146,7 @@ struct Options {
     seed: u64,
     threads: usize,
     cache: usize,
+    paged: bool,
 }
 
 impl Default for Options {
@@ -146,6 +162,7 @@ impl Default for Options {
             seed: 42,
             threads: 0,
             cache: EngineOptions::default().cache_capacity,
+            paged: false,
         }
     }
 }
@@ -216,6 +233,11 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 options.threads = parse_number(&value_of("--threads", &mut iter)?, "--threads")?
             }
             "--cache" => options.cache = parse_number(&value_of("--cache", &mut iter)?, "--cache")?,
+            "--paged" => options.paged = true,
+            "--page-cache" => {
+                let pages = parse_number(&value_of("--page-cache", &mut iter)?, "--page-cache")?;
+                options.config = options.config.with_page_cache_pages(pages);
+            }
             flag if flag.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag `{flag}`")))
             }
@@ -290,6 +312,32 @@ fn obtain_snapshot(path: &Path, options: &Options) -> Result<Snapshot, CliError>
         estimator,
         labels: Some(ds.labels),
     })
+}
+
+/// Opens a snapshot for paged (out-of-core) serving, reporting the
+/// cold-start timing: only the header, permutation and column pointers are
+/// read — the column blocks stay on disk until queries page them in.
+fn obtain_paged(path: &Path, options: &Options) -> Result<PagedSnapshot, CliError> {
+    if !is_snapshot(path) {
+        return Err(CliError::Usage(
+            "--paged serves prebuilt snapshots; run `build --output <snapshot>` first".into(),
+        ));
+    }
+    let start = Instant::now();
+    let paged = open_paged(
+        path,
+        &PagedOptions::default().with_cache_pages(options.config.page_cache_pages),
+    )?;
+    let f = paged.store.footprint();
+    println!(
+        "opened paged snapshot {} ({} nodes, {:.1} MiB on disk, {:.1} MiB resident) in {:.3}s",
+        path.display(),
+        paged.node_count(),
+        mib(f.total_bytes()),
+        mib(paged.store.resident_bytes()),
+        start.elapsed().as_secs_f64()
+    );
+    Ok(paged)
 }
 
 /// Maps an original dataset id to the dense node space.
@@ -380,6 +428,36 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     };
     let p: u64 = parse_number(p, "<p>")?;
     let q: u64 = parse_number(q, "<q>")?;
+    if options.paged {
+        let boot = Instant::now();
+        let paged = obtain_paged(path, &options)?;
+        let labels = paged.labels.clone();
+        let map = label_map(&labels);
+        let dense_p = resolve_node(p, &labels, &map)
+            .ok_or_else(|| CliError::Run(format!("node id {p} not in the dataset")))?;
+        let dense_q = resolve_node(q, &labels, &map)
+            .ok_or_else(|| CliError::Run(format!("node id {q} not in the dataset")))?;
+        let engine = QueryEngine::new(
+            Arc::new(paged),
+            EngineOptions {
+                cache_capacity: 0,
+                ..EngineOptions::default()
+            },
+        );
+        let start = Instant::now();
+        let r = engine.query(dense_p, dense_q)?;
+        println!(
+            "R({p}, {q}) = {r:.9}   ({:.1} µs; first answer {:.3}s after open began)",
+            start.elapsed().as_secs_f64() * 1e6,
+            boot.elapsed().as_secs_f64()
+        );
+        let s = engine.stats();
+        println!(
+            "page cache {} hit(s), {} miss(es)",
+            s.page_cache_hits, s.page_cache_misses
+        );
+        return Ok(());
+    }
     let snapshot = obtain_snapshot(path, &options)?;
     let map = label_map(&snapshot.labels);
     let dense_p = resolve_node(p, &snapshot.labels, &map)
@@ -395,14 +473,97 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Where a batch's pairs come from.
+enum Source<'a> {
+    Pairs(&'a PathBuf),
+    Random(usize),
+}
+
+/// Resolves the batch source into dense node pairs.
+fn build_batch(
+    source: Source<'_>,
+    labels: &Option<Vec<u64>>,
+    map: &HashMap<u64, usize>,
+    node_count: usize,
+    seed: u64,
+) -> Result<QueryBatch, CliError> {
+    match source {
+        Source::Pairs(file) => {
+            let reader = effres_io::dataset::open_text(file)?;
+            let raw = pairs::read_pairs(reader)?;
+            let mut dense = Vec::with_capacity(raw.len());
+            for &(p, q) in &raw {
+                let dp = resolve_node(p, labels, map)
+                    .ok_or_else(|| CliError::Run(format!("node id {p} not in the dataset")))?;
+                let dq = resolve_node(q, labels, map)
+                    .ok_or_else(|| CliError::Run(format!("node id {q} not in the dataset")))?;
+                dense.push((dp, dq));
+            }
+            Ok(QueryBatch::from_pairs(dense))
+        }
+        Source::Random(count) => Ok(QueryBatch::random(count, node_count, seed)),
+    }
+}
+
+/// Executes a batch on any backend and prints the summary (plus the
+/// page-cache line when the backend pages columns in from disk).
+fn serve_batch<B: ResistanceBackend>(
+    engine: &QueryEngine<B>,
+    batch: &QueryBatch,
+    labels: &Option<Vec<u64>>,
+    output: Option<&Path>,
+    pool_threads: usize,
+) -> Result<(), CliError> {
+    let result = engine.execute(batch)?;
+    println!(
+        "batch      {} queries in {:.3}s, {} chunk(s) on a {}-worker pool — {:.0} queries/s",
+        batch.len(),
+        result.elapsed.as_secs_f64(),
+        result.threads,
+        pool_threads,
+        result.throughput()
+    );
+    println!(
+        "cache      {} hits, {} misses",
+        result.cache_hits, result.cache_misses
+    );
+    if engine.backend().page_cache_stats().is_some() {
+        let stats = engine.stats();
+        println!(
+            "page cache {} hits, {} misses",
+            stats.page_cache_hits, stats.page_cache_misses
+        );
+    }
+    let mean = if result.values.is_empty() {
+        0.0
+    } else {
+        result.values.iter().sum::<f64>() / result.values.len() as f64
+    };
+    println!("mean R     {mean:.6}");
+
+    if let Some(output) = output {
+        let file = std::fs::File::create(output).map_err(IoError::Io)?;
+        let mut writer = std::io::BufWriter::new(file);
+        use std::io::Write;
+        let original = |dense: usize| -> u64 {
+            match labels {
+                Some(labels) => labels[dense],
+                None => dense as u64,
+            }
+        };
+        for (&(p, q), &r) in batch.pairs().iter().zip(&result.values) {
+            writeln!(writer, "{} {} {r}", original(p), original(q)).map_err(IoError::Io)?;
+        }
+        writer.flush().map_err(IoError::Io)?;
+        println!("results    {}", output.display());
+    }
+    Ok(())
+}
+
 fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     let mut options = parse_options(args)?;
     let path = require_input(&options)?.to_path_buf();
     // Validate the batch source before the (potentially expensive) load.
-    enum Source<'a> {
-        Pairs(&'a PathBuf),
-        Random(usize),
-    }
     let source = match (&options.pairs_file, options.random) {
         (Some(_), Some(_)) => {
             return Err(CliError::Usage(
@@ -425,28 +586,47 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     let resolve = |threads: usize| if threads == 0 { cores } else { threads };
     let pool = WorkerPool::new(resolve(options.threads).max(resolve(options.config.build.threads)));
     options.config = options.config.with_worker_pool(pool.clone());
+
+    if options.paged {
+        // Out-of-core serving: never materialize the arena. Cold start is
+        // header + col_ptr only; the first answered query then additionally
+        // pages in its two columns, so it is the honest time-to-first-query.
+        let boot = Instant::now();
+        let paged = obtain_paged(&path, &options)?;
+        let labels = paged.labels.clone();
+        let map = label_map(&labels);
+        let node_count = paged.node_count();
+        let batch = build_batch(source, &labels, &map, node_count, options.seed)?;
+        let engine = QueryEngine::new(
+            Arc::new(paged),
+            EngineOptions {
+                threads: options.threads,
+                cache_capacity: options.cache,
+                pool: Some(pool.clone()),
+                ..EngineOptions::default()
+            },
+        );
+        if let Some(&(p, q)) = batch.pairs().first() {
+            engine.query(p, q)?;
+            println!(
+                "cold start first query answered {:.3}s after open began",
+                boot.elapsed().as_secs_f64()
+            );
+        }
+        return serve_batch(
+            &engine,
+            &batch,
+            &labels,
+            options.output.as_deref(),
+            pool.threads(),
+        );
+    }
+
     let snapshot = obtain_snapshot(&path, &options)?;
     let map = label_map(&snapshot.labels);
     let labels = snapshot.labels.clone();
     let node_count = snapshot.estimator.node_count();
-
-    let batch = match source {
-        Source::Pairs(file) => {
-            let reader = effres_io::dataset::open_text(file)?;
-            let raw = pairs::read_pairs(reader)?;
-            let mut dense = Vec::with_capacity(raw.len());
-            for &(p, q) in &raw {
-                let dp = resolve_node(p, &labels, &map)
-                    .ok_or_else(|| CliError::Run(format!("node id {p} not in the dataset")))?;
-                let dq = resolve_node(q, &labels, &map)
-                    .ok_or_else(|| CliError::Run(format!("node id {q} not in the dataset")))?;
-                dense.push((dp, dq));
-            }
-            QueryBatch::from_pairs(dense)
-        }
-        Source::Random(count) => QueryBatch::random(count, node_count, options.seed),
-    };
-
+    let batch = build_batch(source, &labels, &map, node_count, options.seed)?;
     let engine = QueryEngine::new(
         Arc::new(snapshot.estimator),
         EngineOptions {
@@ -456,48 +636,58 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             ..EngineOptions::default()
         },
     );
-    let result = engine.execute(&batch)?;
-    println!(
-        "batch      {} queries in {:.3}s, {} chunk(s) on a {}-worker pool — {:.0} queries/s",
-        batch.len(),
-        result.elapsed.as_secs_f64(),
-        result.threads,
+    serve_batch(
+        &engine,
+        &batch,
+        &labels,
+        options.output.as_deref(),
         pool.threads(),
-        result.throughput()
-    );
-    println!(
-        "cache      {} hits, {} misses",
-        result.cache_hits, result.cache_misses
-    );
-    let mean = if result.values.is_empty() {
-        0.0
-    } else {
-        result.values.iter().sum::<f64>() / result.values.len() as f64
-    };
-    println!("mean R     {mean:.6}");
-
-    if let Some(output) = &options.output {
-        let file = std::fs::File::create(output).map_err(IoError::Io)?;
-        let mut writer = std::io::BufWriter::new(file);
-        use std::io::Write;
-        let original = |dense: usize| -> u64 {
-            match &labels {
-                Some(labels) => labels[dense],
-                None => dense as u64,
-            }
-        };
-        for (&(p, q), &r) in batch.pairs().iter().zip(&result.values) {
-            writeln!(writer, "{} {} {r}", original(p), original(q)).map_err(IoError::Io)?;
-        }
-        writer.flush().map_err(IoError::Io)?;
-        println!("results    {}", output.display());
-    }
-    Ok(())
+    )
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let options = parse_options(args)?;
     let path = require_input(&options)?;
+    if options.paged {
+        let paged = obtain_paged(path, &options)?;
+        println!("snapshot   {} (paged)", path.display());
+        let s = paged.stats;
+        println!("nodes      {}", s.node_count);
+        println!(
+            "factor     {} nnz ({} dropped)",
+            s.factor_nnz, s.ichol_dropped
+        );
+        println!(
+            "inverse    {} nnz ({} pruned), nnz/(n·log2 n) = {:.3}",
+            s.inverse_nnz, s.pruned_entries, s.inverse_nnz_ratio
+        );
+        let f = paged.store.footprint();
+        println!(
+            "on disk    col_ptr {:.1} MiB + rows {:.1} MiB + vals {:.1} MiB = {:.1} MiB \
+             ({}-byte row indices)",
+            mib(f.col_ptr_bytes),
+            mib(f.rows_bytes),
+            mib(f.vals_bytes),
+            mib(f.total_bytes()),
+            f.index_width_bytes
+        );
+        println!(
+            "resident   {:.1} MiB (col_ptr block; columns page in on demand)",
+            mib(paged.store.resident_bytes())
+        );
+        println!(
+            "pages      {} column(s)/page, {} page(s) on disk, cache {} page(s)",
+            paged.store.columns_per_page(),
+            paged.store.page_count(),
+            paged.store.cache_capacity_pages()
+        );
+        println!("max depth  {}", s.max_depth);
+        println!(
+            "labels     {}",
+            if paged.labels.is_some() { "yes" } else { "no" }
+        );
+        return Ok(());
+    }
     if is_snapshot(path) {
         let snapshot = load_snapshot(path)?;
         println!("snapshot   {}", path.display());

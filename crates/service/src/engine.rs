@@ -1,20 +1,31 @@
 //! The parallel query engine.
 //!
-//! [`QueryEngine`] wraps a shared, immutable [`EffectiveResistanceEstimator`]
-//! behind an [`Arc`] and turns it into a service: batches fan out as jobs on
-//! a persistent [`WorkerPool`] (the engine's own, or one shared with the
+//! [`QueryEngine`] wraps a shared, immutable [`ResistanceBackend`] behind an
+//! [`Arc`] and turns it into a service: batches fan out as jobs on a
+//! persistent [`WorkerPool`] (the engine's own, or one shared with the
 //! estimator build via [`EngineOptions::pool`]), each job drawing a reusable
 //! scratch column buffer from a pool-wide free list, in front of a sharded
-//! LRU cache of recent pair results and a precomputed table of `‖z̃_j‖²`
-//! column norms (so one query is a single sparse dot product).
+//! LRU cache of recent pair results.
 //!
-//! The estimator and every type it contains are plain owned data (`Vec`s of
-//! indices and floats — no interior mutability, no raw pointers), so sharing
-//! it across pool workers behind an [`Arc`] is sound; the static assertions
-//! in the crate root pin the `Send + Sync` audit down at compile time.
+//! The engine is generic over *where the columns live*: the resident
+//! [`EffectiveResistanceEstimator`] backend reads them out of the in-memory
+//! CSC arena behind a precomputed `‖z̃_j‖²` norm table, while the paged
+//! [`effres_io::PagedSnapshot`] backend pages them in from a v2 snapshot
+//! file on demand (per-column norms come off the decoded pages — the
+//! [`ColumnStore`] contract pins them to the same bits, so both backends
+//! return bit-identical resistances). Column fetches are fallible for the
+//! paged backend, so the batch paths propagate [`EffresError`] instead of
+//! panicking a worker.
+//!
+//! The backends and every type they contain are plain owned data plus
+//! independently locked caches, so sharing one across pool workers behind an
+//! [`Arc`] is sound; the static assertions in the crate root pin the
+//! `Send + Sync` audit down at compile time.
 
+use crate::backend::ResistanceBackend;
 use crate::batch::QueryBatch;
 use crate::cache::ShardedLru;
+use effres::column_store::{self, ColumnStore};
 use effres::{EffectiveResistanceEstimator, EffresError, WorkerPool};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -61,7 +72,7 @@ pub struct ServiceStats {
     pub queries: u64,
     /// Batches executed.
     pub batches: u64,
-    /// Queries answered out of the cache.
+    /// Queries answered out of the pair cache.
     pub cache_hits: u64,
     /// Queries that had to run the sparse kernel.
     pub cache_misses: u64,
@@ -69,6 +80,12 @@ pub struct ServiceStats {
     pub cache_entries: usize,
     /// Total cache capacity (0 when caching is disabled).
     pub cache_capacity: usize,
+    /// Page-cache hits of an out-of-core backend (column fetches served
+    /// from resident decoded pages). Zero for resident backends.
+    pub page_cache_hits: u64,
+    /// Page-cache misses of an out-of-core backend (column fetches that
+    /// read and decoded from disk). Zero for resident backends.
+    pub page_cache_misses: u64,
 }
 
 /// Result of one batch execution.
@@ -82,9 +99,9 @@ pub struct BatchResult {
     /// path); actual concurrency is additionally capped by the worker-pool
     /// size.
     pub threads: usize,
-    /// Cache hits within this batch.
+    /// Pair-cache hits within this batch.
     pub cache_hits: u64,
-    /// Cache misses within this batch.
+    /// Pair-cache misses within this batch.
     pub cache_misses: u64,
 }
 
@@ -100,12 +117,17 @@ impl BatchResult {
 
 /// Per-thread scratch: one approximate-inverse column scattered into a dense
 /// buffer, so consecutive queries sharing an endpoint pay the scatter once
-/// and each dot product only walks the *other* column. Columns are read as
-/// plain slices out of the estimator's flat CSC arena, so both the scatter
-/// and the suffix dot stream contiguous memory.
+/// and each dot product only walks the *other* column. Works over any
+/// [`ColumnStore`]: the column is borrowed from the store only for the
+/// duration of the scatter, so a paged store can evict the page afterwards.
 #[derive(Debug)]
 struct ColumnScratch {
     dense: Vec<f64>,
+    /// Indices of the entries currently scattered into `dense` — kept
+    /// locally so clearing never goes back to the store (on the paged
+    /// backend the previous column's page may already be evicted, and a
+    /// failed re-fetch must not be able to poison the buffer).
+    loaded_indices: Vec<u32>,
     loaded: Option<usize>,
 }
 
@@ -113,70 +135,85 @@ impl ColumnScratch {
     fn new(n: usize) -> Self {
         ColumnScratch {
             dense: vec![0.0; n],
+            loaded_indices: Vec::new(),
             loaded: None,
         }
     }
 
     /// Ensures column `j` (permuted domain) is scattered into the buffer.
-    fn load(&mut self, inverse: &effres::approx_inverse::SparseApproximateInverse, j: usize) {
+    ///
+    /// On error the scratch is left *empty* (cleared buffer, no loaded
+    /// marker), never half-loaded: scratches go back to a shared free list
+    /// even when a batch aborts, and a stale marker would make a later
+    /// batch silently dot against a zeroed buffer.
+    fn load<S: ColumnStore>(&mut self, store: &S, j: usize) -> Result<(), EffresError> {
         if self.loaded == Some(j) {
-            return;
+            return Ok(());
         }
-        if let Some(prev) = self.loaded {
-            for &i in inverse.column(prev).indices() {
-                self.dense[i as usize] = 0.0;
+        for &i in &self.loaded_indices {
+            self.dense[i as usize] = 0.0;
+        }
+        self.loaded_indices.clear();
+        self.loaded = None;
+        let dense = &mut self.dense;
+        let indices = &mut self.loaded_indices;
+        store.with_column(j, |column| {
+            indices.extend_from_slice(column.indices());
+            for (i, v) in column.iter() {
+                dense[i] = v;
             }
-        }
-        let column = inverse.column(j);
-        for (i, v) in column.iter() {
-            self.dense[i] = v;
-        }
+        })?;
         self.loaded = Some(j);
+        Ok(())
     }
 
     /// Dot product of the loaded column with column `j`, restricted to the
     /// suffix `bound..` (the columns' support intersection — see
-    /// `SparseApproximateInverse::column_dot`). No merge at all: one dense
-    /// lookup per surviving entry of column `j`.
-    fn suffix_dot(
+    /// [`column_store::column_dot`]). No merge at all: one dense lookup per
+    /// surviving entry of column `j`.
+    fn suffix_dot<S: ColumnStore>(
         &self,
-        inverse: &effres::approx_inverse::SparseApproximateInverse,
+        store: &S,
         j: usize,
         bound: usize,
-    ) -> f64 {
-        let column = inverse.column(j);
-        let (indices, values) = (column.indices(), column.values());
-        let start = indices.partition_point(|&row| (row as usize) < bound);
-        indices[start..]
-            .iter()
-            .zip(&values[start..])
-            .map(|(&i, v)| self.dense[i as usize] * v)
-            .sum()
+    ) -> Result<f64, EffresError> {
+        let dense = &self.dense;
+        store.with_column(j, |column| {
+            let (indices, values) = (column.indices(), column.values());
+            let start = indices.partition_point(|&row| (row as usize) < bound);
+            indices[start..]
+                .iter()
+                .zip(&values[start..])
+                .map(|(&i, v)| dense[i as usize] * v)
+                .sum()
+        })
     }
 }
 
 /// The shareable heart of the engine: everything a pool worker needs to
-/// answer a slice of queries — the estimator, the norm table, the result
-/// cache and a free list of reusable scratch columns. Lives behind one
-/// [`Arc`] so batch jobs are `'static` without copying any of it.
+/// answer a slice of queries — the backend, the (optional) norm table, the
+/// result cache and a free list of reusable scratch columns. Lives behind
+/// one [`Arc`] so batch jobs are `'static` without copying any of it.
 #[derive(Debug)]
-struct EngineCore {
-    estimator: Arc<EffectiveResistanceEstimator>,
-    /// `‖z̃_j‖²` per permuted column — the hot-path norm table.
-    norms: Vec<f64>,
+struct EngineCore<B: ResistanceBackend> {
+    backend: Arc<B>,
+    /// `‖z̃_j‖²` per permuted column, when the backend can afford the table
+    /// (resident stores). `None` for out-of-core backends, which serve
+    /// per-column norms off their decoded pages — bit-identical either way.
+    norms: Option<Vec<f64>>,
     cache: Option<ShardedLru>,
     /// Reusable scratch columns: a worker pops one per job and returns it,
     /// so steady-state batch traffic allocates no dense buffers at all.
     scratches: Mutex<Vec<ColumnScratch>>,
 }
 
-impl EngineCore {
+impl<B: ResistanceBackend> EngineCore<B> {
     fn take_scratch(&self) -> ColumnScratch {
         self.scratches
             .lock()
             .expect("scratch free list poisoned")
             .pop()
-            .unwrap_or_else(|| ColumnScratch::new(self.estimator.node_count()))
+            .unwrap_or_else(|| ColumnScratch::new(self.backend.node_count()))
     }
 
     fn return_scratch(&self, scratch: ColumnScratch) {
@@ -185,13 +222,38 @@ impl EngineCore {
             .expect("scratch free list poisoned")
             .push(scratch);
     }
+
+    /// Squared norms of two permuted columns, from the table or the store.
+    fn norms_of(&self, pp: usize, qq: usize) -> Result<(f64, f64), EffresError> {
+        match &self.norms {
+            Some(table) => Ok((table[pp], table[qq])),
+            None => {
+                let store = self.backend.store();
+                Ok((
+                    store.column_norm_squared(pp)?,
+                    store.column_norm_squared(qq)?,
+                ))
+            }
+        }
+    }
+
+    /// The resistance of one (permuted, distinct, in-bounds) pair through
+    /// the norm identity `‖z̃_p − z̃_q‖² = ‖z̃_p‖² + ‖z̃_q‖² − 2⟨z̃_p, z̃_q⟩`.
+    fn pair_value(&self, pp: usize, qq: usize) -> Result<f64, EffresError> {
+        let dot = column_store::column_dot(self.backend.store(), pp, qq)?;
+        let (np, nq) = self.norms_of(pp, qq)?;
+        // Clamp: cancellation can go slightly negative for near-identical
+        // columns, and resistances are nonnegative.
+        Ok((np + nq - 2.0 * dot).max(0.0))
+    }
 }
 
 /// A thread-safe, cache-fronted effective-resistance query service over a
-/// shared immutable estimator.
+/// shared immutable backend (resident estimator by default; see
+/// [`ResistanceBackend`] for the paged alternative).
 #[derive(Debug)]
-pub struct QueryEngine {
-    core: Arc<EngineCore>,
+pub struct QueryEngine<B: ResistanceBackend = EffectiveResistanceEstimator> {
+    core: Arc<EngineCore<B>>,
     options: EngineOptions,
     /// The engine's own pool, created lazily on the first parallel batch
     /// when no shared pool was configured.
@@ -203,9 +265,22 @@ pub struct QueryEngine {
 }
 
 impl QueryEngine {
-    /// Builds an engine over a shared estimator.
-    pub fn new(estimator: Arc<EffectiveResistanceEstimator>, options: EngineOptions) -> Self {
-        let norms = estimator.column_norms_squared();
+    /// Convenience constructor taking ownership of a resident estimator and
+    /// using default options.
+    pub fn from_estimator(estimator: EffectiveResistanceEstimator) -> Self {
+        QueryEngine::new(Arc::new(estimator), EngineOptions::default())
+    }
+
+    /// The shared estimator of a resident engine.
+    pub fn estimator(&self) -> &Arc<EffectiveResistanceEstimator> {
+        &self.core.backend
+    }
+}
+
+impl<B: ResistanceBackend> QueryEngine<B> {
+    /// Builds an engine over a shared backend.
+    pub fn new(backend: Arc<B>, options: EngineOptions) -> Self {
+        let norms = backend.precomputed_norms();
         let cache = if options.cache_capacity > 0 {
             Some(ShardedLru::new(
                 options.cache_capacity,
@@ -216,7 +291,7 @@ impl QueryEngine {
         };
         QueryEngine {
             core: Arc::new(EngineCore {
-                estimator,
+                backend,
                 norms,
                 cache,
                 scratches: Mutex::new(Vec::new()),
@@ -230,20 +305,14 @@ impl QueryEngine {
         }
     }
 
-    /// Convenience constructor taking ownership of the estimator and using
-    /// default options.
-    pub fn from_estimator(estimator: EffectiveResistanceEstimator) -> Self {
-        QueryEngine::new(Arc::new(estimator), EngineOptions::default())
-    }
-
-    /// The shared estimator.
-    pub fn estimator(&self) -> &Arc<EffectiveResistanceEstimator> {
-        &self.core.estimator
+    /// The shared backend.
+    pub fn backend(&self) -> &Arc<B> {
+        &self.core.backend
     }
 
     /// Number of nodes served.
     pub fn node_count(&self) -> usize {
-        self.core.estimator.node_count()
+        self.core.backend.node_count()
     }
 
     /// The worker pool batches run on: the shared pool from
@@ -260,6 +329,7 @@ impl QueryEngine {
 
     /// Cumulative service counters.
     pub fn stats(&self) -> ServiceStats {
+        let page = self.core.backend.page_cache_stats().unwrap_or_default();
         ServiceStats {
             queries: self.queries.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
@@ -267,16 +337,20 @@ impl QueryEngine {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_entries: self.core.cache.as_ref().map_or(0, ShardedLru::len),
             cache_capacity: self.core.cache.as_ref().map_or(0, ShardedLru::capacity),
+            page_cache_hits: page.hits,
+            page_cache_misses: page.misses,
         }
     }
 
-    /// Answers one query through the cache and the norm table.
+    /// Answers one query through the cache and the norm identity.
     ///
     /// # Errors
     ///
-    /// Returns [`EffresError::NodeOutOfBounds`] for invalid node indices.
+    /// Returns [`EffresError::NodeOutOfBounds`] for invalid node indices and
+    /// [`EffresError::StoreFailure`] if an out-of-core backend fails to
+    /// produce a column.
     pub fn query(&self, p: usize, q: usize) -> Result<f64, EffresError> {
-        let n = self.core.estimator.node_count();
+        let n = self.core.backend.node_count();
         if p >= n || q >= n {
             return Err(EffresError::NodeOutOfBounds {
                 node: p.max(q),
@@ -295,10 +369,10 @@ impl QueryEngine {
             }
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let permutation = self.core.backend.permutation();
         let value = self
             .core
-            .estimator
-            .query_with_norms(p, q, &self.core.norms)?;
+            .pair_value(permutation.new(p), permutation.new(q))?;
         if let Some(cache) = &self.core.cache {
             cache.insert(key, value);
         }
@@ -307,14 +381,17 @@ impl QueryEngine {
 
     /// Executes a batch, in parallel when it is large enough.
     ///
-    /// Every pair is validated before any work starts; on error no query has
-    /// run. Results come back in the batch's original pair order.
+    /// Every pair is validated before any work starts; on a validation error
+    /// no query has run. Results come back in the batch's original pair
+    /// order.
     ///
     /// # Errors
     ///
-    /// Returns [`EffresError::NodeOutOfBounds`] naming the first invalid node.
+    /// Returns [`EffresError::NodeOutOfBounds`] naming the first invalid
+    /// node, or [`EffresError::StoreFailure`] if an out-of-core backend
+    /// failed mid-batch (in which case the batch produced no values).
     pub fn execute(&self, batch: &QueryBatch) -> Result<BatchResult, EffresError> {
-        let n = self.core.estimator.node_count();
+        let n = self.core.backend.node_count();
         for &(p, q) in batch.pairs() {
             if p >= n || q >= n {
                 return Err(EffresError::NodeOutOfBounds {
@@ -329,9 +406,9 @@ impl QueryEngine {
             let mut scratch = self.core.take_scratch();
             let out = self.core.run_slice(batch.pairs(), &mut scratch);
             self.core.return_scratch(scratch);
-            out
+            out?
         } else {
-            self.run_parallel(batch.pairs(), threads)
+            self.run_parallel(batch.pairs(), threads)?
         };
         let elapsed = start.elapsed();
         self.queries
@@ -365,9 +442,15 @@ impl QueryEngine {
         configured.min(batch_len.div_ceil(256)).max(1)
     }
 
-    fn run_parallel(&self, pairs: &[(usize, usize)], threads: usize) -> (Vec<f64>, u64, u64) {
+    #[allow(clippy::type_complexity)]
+    fn run_parallel(
+        &self,
+        pairs: &[(usize, usize)],
+        threads: usize,
+    ) -> Result<(Vec<f64>, u64, u64), EffresError> {
         // Sort query indices by normalized pair so queries sharing an
-        // endpoint land in the same chunk and reuse the scattered column.
+        // endpoint land in the same chunk and reuse the scattered column
+        // (and, on the paged backend, the same decoded pages).
         let mut order: Vec<u32> = (0..pairs.len() as u32).collect();
         order.sort_unstable_by_key(|&i| {
             let (p, q) = pairs[i as usize];
@@ -397,7 +480,8 @@ impl QueryEngine {
         let mut sorted_values = Vec::with_capacity(sorted_pairs.len());
         let mut hits = 0u64;
         let mut misses = 0u64;
-        for (values, h, m) in results {
+        for result in results {
+            let (values, h, m) = result?;
             sorted_values.extend_from_slice(&values);
             hits += h;
             misses += m;
@@ -406,7 +490,7 @@ impl QueryEngine {
         for (slot, &original) in order.iter().enumerate() {
             values[original as usize] = sorted_values[slot];
         }
-        (values, hits, misses)
+        Ok((values, hits, misses))
     }
 }
 
@@ -415,20 +499,21 @@ fn cache_key(p: usize, q: usize) -> u64 {
     ((a as u64) << 32) | b as u64
 }
 
-impl EngineCore {
+impl<B: ResistanceBackend> EngineCore<B> {
     /// Answers `pairs` in order with the given scratch buffer; returns the
     /// values and the (hits, misses) the slice generated. Bounds are already
-    /// validated.
+    /// validated; store failures abort the slice.
+    #[allow(clippy::type_complexity)]
     fn run_slice(
         &self,
         pairs: &[(usize, usize)],
         scratch: &mut ColumnScratch,
-    ) -> (Vec<f64>, u64, u64) {
+    ) -> Result<(Vec<f64>, u64, u64), EffresError> {
         let mut values = Vec::with_capacity(pairs.len());
         let mut hits = 0u64;
         let mut misses = 0u64;
-        let inverse = self.estimator.approximate_inverse();
-        let permutation = self.estimator.permutation();
+        let store = self.backend.store();
+        let permutation = self.backend.permutation();
         for (slot, &(p, q)) in pairs.iter().enumerate() {
             if p == q {
                 values.push(0.0);
@@ -457,19 +542,20 @@ impl EngineCore {
                 || pairs.get(slot + 1).is_some_and(shares_anchor);
             let dot = if run {
                 let aa = permutation.new(anchor);
-                scratch.load(inverse, aa);
+                scratch.load(store, aa)?;
                 let other = if aa == pp { qq } else { pp };
-                scratch.suffix_dot(inverse, other, bound)
+                scratch.suffix_dot(store, other, bound)?
             } else {
-                inverse.column_dot(pp, qq)
+                column_store::column_dot(store, pp, qq)?
             };
-            let value = (self.norms[pp] + self.norms[qq] - 2.0 * dot).max(0.0);
+            let (np, nq) = self.norms_of(pp, qq)?;
+            let value = (np + nq - 2.0 * dot).max(0.0);
             if let Some(cache) = &self.cache {
                 cache.insert(key, value);
             }
             values.push(value);
         }
-        (values, hits, misses)
+        Ok((values, hits, misses))
     }
 }
 
@@ -576,6 +662,66 @@ mod tests {
         // Second run should be answered almost entirely from cache.
         assert!(stats.cache_hits > 0);
         assert!(stats.cache_hits + stats.cache_misses <= 200);
+        // A resident backend has no page cache to report on.
+        assert_eq!(stats.page_cache_hits, 0);
+        assert_eq!(stats.page_cache_misses, 0);
+    }
+
+    /// A store whose fetches always fail, for exercising the engine's
+    /// error paths (the resident arena can never produce one).
+    struct FailingStore {
+        order: usize,
+    }
+
+    impl ColumnStore for FailingStore {
+        fn order(&self) -> usize {
+            self.order
+        }
+
+        fn nnz(&self) -> usize {
+            0
+        }
+
+        fn with_column<R>(
+            &self,
+            j: usize,
+            _f: impl FnOnce(effres::approx_inverse::ColumnView<'_>) -> R,
+        ) -> Result<R, EffresError> {
+            Err(EffresError::StoreFailure {
+                column: j,
+                message: "injected failure".into(),
+            })
+        }
+    }
+
+    #[test]
+    fn a_failed_scratch_load_leaves_no_stale_column_behind() {
+        // Regression test: scratches return to a shared free list even when
+        // a batch aborts, so a load that fails halfway must leave the
+        // scratch *empty* — a stale `loaded` marker over a cleared buffer
+        // would make a later batch silently compute dot = 0.
+        let engine = engine_for(64, EngineOptions::default());
+        let estimator = Arc::clone(engine.estimator());
+        let store = estimator.approximate_inverse();
+        let mut scratch = ColumnScratch::new(store.order());
+        scratch.load(store, 3).expect("resident load");
+        assert_eq!(scratch.loaded, Some(3));
+        let reference = scratch.suffix_dot(store, 5, 3).expect("resident dot");
+
+        // A failing fetch clears the buffer and the marker...
+        let failing = FailingStore {
+            order: store.order(),
+        };
+        assert!(scratch.load(&failing, 7).is_err());
+        assert_eq!(scratch.loaded, None);
+        assert!(scratch.loaded_indices.is_empty());
+        assert!(scratch.dense.iter().all(|&v| v == 0.0));
+
+        // ...so reloading the original column really rescatters it instead
+        // of trusting a stale marker, and the dot product is unchanged.
+        scratch.load(store, 3).expect("resident reload");
+        let again = scratch.suffix_dot(store, 5, 3).expect("resident dot");
+        assert_eq!(reference.to_bits(), again.to_bits());
     }
 
     #[test]

@@ -5,10 +5,14 @@
 //! microseconds. This crate is the serving layer on top:
 //!
 //! * [`engine::QueryEngine`] — a thread-safe engine over an `Arc`-shared
-//!   [`EffectiveResistanceEstimator`](effres::EffectiveResistanceEstimator),
-//!   fanning [`batch::QueryBatch`]es out onto a persistent
-//!   [`WorkerPool`](effres::WorkerPool) (shareable with the estimator build)
-//!   with reusable scratch column buffers;
+//!   [`backend::ResistanceBackend`], fanning [`batch::QueryBatch`]es out
+//!   onto a persistent [`WorkerPool`](effres::WorkerPool) (shareable with
+//!   the estimator build) with reusable scratch column buffers;
+//! * [`backend::ResistanceBackend`] — the serving backends: the resident
+//!   [`EffectiveResistanceEstimator`](effres::EffectiveResistanceEstimator)
+//!   arena, or the out-of-core
+//!   [`PagedSnapshot`](effres_io::PagedSnapshot) paging columns in from a
+//!   v2 snapshot file (bit-identical answers either way);
 //! * [`cache::ShardedLru`] — a sharded LRU of recent pair results in front
 //!   of the sparse kernel;
 //! * `effres-cli` — a binary driving the whole pipeline from the shell:
@@ -36,10 +40,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod batch;
 pub mod cache;
 pub mod engine;
 
+pub use backend::ResistanceBackend;
 pub use batch::QueryBatch;
 pub use cache::ShardedLru;
 pub use engine::{BatchResult, EngineOptions, QueryEngine, ServiceStats};
@@ -55,6 +61,8 @@ mod send_sync_audit {
 
     fn audit() {
         assert_send_sync::<effres::EffectiveResistanceEstimator>();
+        assert_send_sync::<effres_io::PagedSnapshot>();
+        assert_send_sync::<effres_io::PagedColumnStore>();
         assert_send_sync::<effres::WorkerPool>();
         assert_send_sync::<effres::approx_inverse::SparseApproximateInverse>();
         assert_send_sync::<effres_sparse::SparseVec>();

@@ -1,6 +1,6 @@
 //! Conjugate-gradient solvers.
 //!
-//! The random-projection baseline (WWW'15 [1] in the paper) needs an SDD
+//! The random-projection baseline (WWW'15 \[1\] in the paper) needs an SDD
 //! solver for `O(log m)` right-hand sides. The original work uses a
 //! combinatorial multigrid; we substitute a preconditioned conjugate-gradient
 //! solver with an incomplete-Cholesky preconditioner, which exercises the

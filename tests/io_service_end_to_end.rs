@@ -79,4 +79,53 @@ fn dataset_to_batched_queries_to_snapshot_and_back() {
     for (&a, &b) in result.values.iter().zip(&again.values) {
         assert_eq!(a, b);
     }
+
+    // 7. Out-of-core serving: the same snapshot opened *paged* (only the
+    //    header, permutation and column pointers resident, columns paged in
+    //    through a deliberately tiny cache) must answer the whole batch
+    //    bit-identically to a fresh resident engine — same options, same
+    //    batch, fresh pair caches on both sides so both take the same code
+    //    paths.
+    let paged = effres_io::paged::open_paged(
+        &snap_path,
+        &effres_io::paged::PagedOptions {
+            columns_per_page: 16,
+            cache_pages: 8,
+            cache_shards: 2,
+        },
+    )
+    .expect("open paged");
+    assert_eq!(paged.node_count(), 600);
+    assert_eq!(paged.labels.as_deref(), Some(ds.labels.as_slice()));
+    let engine_options = || EngineOptions {
+        threads: 4,
+        parallel_threshold: 64,
+        ..EngineOptions::default()
+    };
+    let resident_engine = QueryEngine::new(Arc::new(restored.estimator.clone()), engine_options());
+    let paged_engine = QueryEngine::new(Arc::new(paged), engine_options());
+    let resident_result = resident_engine.execute(&batch).expect("resident batch");
+    let paged_result = paged_engine.execute(&batch).expect("paged batch");
+    assert_eq!(resident_result.values.len(), paged_result.values.len());
+    for (slot, (&a, &b)) in resident_result
+        .values
+        .iter()
+        .zip(&paged_result.values)
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "query {slot} {:?}: resident {a} vs paged {b}",
+            batch.pairs()[slot]
+        );
+    }
+    // The page cache was actually exercised (8 pages cannot hold all 600
+    // columns), and only the paged engine reports page traffic.
+    let paged_stats = paged_engine.stats();
+    assert!(paged_stats.page_cache_misses > 0);
+    assert!(paged_stats.page_cache_hits > 0);
+    let resident_stats = resident_engine.stats();
+    assert_eq!(resident_stats.page_cache_hits, 0);
+    assert_eq!(resident_stats.page_cache_misses, 0);
 }
