@@ -12,11 +12,16 @@
 //! trajectory is tracked across PRs.
 //!
 //! The `paged_query` variant serves the same batch **out of core**: the
-//! estimator is snapshotted to disk and a paged engine answers straight from
-//! the file through the LRU page cache, recording the cold-start
-//! (time-to-first-query) and the paged vs resident throughput at two cache
-//! sizes. The paged answers are asserted bit-identical to the resident ones
-//! before anything is timed.
+//! estimator is snapshotted to disk (v3: delta-varint rows + persisted
+//! norms) and a paged engine answers straight from the file through the LRU
+//! page cache, recording the cold-start (time-to-first-query) and the paged
+//! vs resident throughput at two cache sizes — first in arrival order (the
+//! PR-4 baseline path), then through the **locality scheduler**
+//! (`paged_scheduled`): queries clustered by page pair, blocks pinned and
+//! drained, the hi side swept with coalesced readahead. Bytes read,
+//! readahead reads and page-cache hit rates are recorded per variant. The
+//! paged answers are asserted bit-identical to the resident ones before
+//! anything is timed.
 
 use effres::prelude::*;
 use effres_bench::report::{min_seconds, write_report, Json};
@@ -93,6 +98,10 @@ fn main() {
     let cold = Instant::now();
     let paged = open_paged(&snap_path, &PagedOptions::default()).expect("open paged");
     let open_seconds = cold.elapsed().as_secs_f64();
+    let row_codec = match paged.store.row_codec() {
+        effres_io::RowCodec::Raw => "raw",
+        effres_io::RowCodec::Varint => "delta-varint",
+    };
     let paged_engine = QueryEngine::new(
         Arc::new(paged),
         EngineOptions {
@@ -122,6 +131,12 @@ fn main() {
         "paged and resident answers diverged"
     );
 
+    let paged_engine_options = || EngineOptions {
+        threads: 1,
+        cache_capacity: 0,
+        parallel_threshold: usize::MAX,
+        ..EngineOptions::default()
+    };
     let mut paged_reports = Vec::new();
     for &cache_pages in &[64usize, PagedOptions::default().cache_pages] {
         let paged = open_paged(
@@ -129,27 +144,23 @@ fn main() {
             &PagedOptions::default().with_cache_pages(cache_pages),
         )
         .expect("open paged");
-        let engine = QueryEngine::new(
-            Arc::new(paged),
-            EngineOptions {
-                threads: 1,
-                cache_capacity: 0,
-                parallel_threshold: usize::MAX,
-                ..EngineOptions::default()
-            },
-        );
+        let engine = QueryEngine::new(Arc::new(paged), paged_engine_options());
         // Fewer samples than the in-memory variants: each paged pass is
         // disk-bound and tens of times slower, and the min still lands on a
         // warm page cache.
-        let seconds = min_seconds(3, true, || engine.execute(&batch).expect("in bounds"));
+        let mut last = None;
+        let seconds = min_seconds(3, true, || {
+            last = Some(engine.execute(&batch).expect("in bounds"));
+        });
         let qps = QUERIES as f64 / seconds;
-        let stats = engine.stats();
+        let page = last.and_then(|r| r.page_cache).unwrap_or_default();
         println!(
             "paged_query/{cache_pages}_pages: {seconds:.3}s  ({qps:.0} queries/s, \
-             {:.2}x sequential resident; page cache {} hits / {} misses)",
+             {:.2}x sequential resident; per batch: {} hits / {} misses, {:.1} MiB read)",
             sequential_seconds / seconds,
-            stats.page_cache_hits,
-            stats.page_cache_misses
+            page.hits,
+            page.misses,
+            page.bytes_read as f64 / (1024.0 * 1024.0),
         );
         paged_reports.push(Json::Obj(vec![
             ("cache_pages", Json::Int(cache_pages as u64)),
@@ -159,8 +170,75 @@ fn main() {
                 "speedup_vs_sequential_resident",
                 Json::Num(sequential_seconds / seconds),
             ),
-            ("page_cache_hits", Json::Int(stats.page_cache_hits)),
-            ("page_cache_misses", Json::Int(stats.page_cache_misses)),
+            ("page_cache_hits", Json::Int(page.hits)),
+            ("page_cache_misses", Json::Int(page.misses)),
+            ("bytes_read", Json::Int(page.bytes_read)),
+            ("readahead_reads", Json::Int(page.readahead_reads)),
+        ]));
+    }
+
+    // The locality-scheduled paged path: same file, same batch, same
+    // engine options — queries re-ordered into page-sorted clusters with
+    // pinned blocks and coalesced readahead (results scattered back to
+    // request order). Answers are asserted bit-identical to the resident
+    // engine's batch before timing.
+    let resident_reference = {
+        let engine = QueryEngine::new(Arc::clone(&estimator), paged_engine_options());
+        engine.execute(&batch).expect("in bounds").values
+    };
+    let mut scheduled_reports = Vec::new();
+    for &cache_pages in &[64usize, PagedOptions::default().cache_pages] {
+        let paged = open_paged(
+            &snap_path,
+            &PagedOptions::default().with_cache_pages(cache_pages),
+        )
+        .expect("open paged");
+        let engine = QueryEngine::new(Arc::new(paged), paged_engine_options());
+        let check = engine.execute_scheduled(&batch).expect("in bounds");
+        assert!(
+            check
+                .values
+                .iter()
+                .zip(&resident_reference)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "scheduled paged answers diverged from resident"
+        );
+        let mut last = None;
+        let seconds = min_seconds(3, false, || {
+            last = Some(engine.execute_scheduled(&batch).expect("in bounds"));
+        });
+        let qps = QUERIES as f64 / seconds;
+        let last = last.expect("at least one sample");
+        let page = last.page_cache.unwrap_or_default();
+        let schedule = last.schedule.unwrap_or_default();
+        println!(
+            "paged_scheduled/{cache_pages}_pages: {seconds:.3}s  ({qps:.0} queries/s, \
+             {:.2}x sequential resident; per batch: {} hits / {} misses, {:.1} MiB read, \
+             {} readahead read(s); {} cluster(s) -> {} block(s), {} window(s))",
+            sequential_seconds / seconds,
+            page.hits,
+            page.misses,
+            page.bytes_read as f64 / (1024.0 * 1024.0),
+            page.readahead_reads,
+            schedule.clusters,
+            schedule.blocks,
+            schedule.windows,
+        );
+        scheduled_reports.push(Json::Obj(vec![
+            ("cache_pages", Json::Int(cache_pages as u64)),
+            ("seconds", Json::Num(seconds)),
+            ("queries_per_second", Json::Num(qps)),
+            (
+                "speedup_vs_sequential_resident",
+                Json::Num(sequential_seconds / seconds),
+            ),
+            ("page_cache_hits", Json::Int(page.hits)),
+            ("page_cache_misses", Json::Int(page.misses)),
+            ("bytes_read", Json::Int(page.bytes_read)),
+            ("readahead_reads", Json::Int(page.readahead_reads)),
+            ("clusters", Json::Int(schedule.clusters as u64)),
+            ("blocks", Json::Int(schedule.blocks as u64)),
+            ("windows", Json::Int(schedule.windows as u64)),
         ]));
     }
     std::fs::remove_file(&snap_path).ok();
@@ -193,6 +271,8 @@ fn main() {
             "paged",
             Json::Obj(vec![
                 ("snapshot_bytes", Json::Int(snapshot_bytes)),
+                ("snapshot_version", Json::Int(3)),
+                ("row_codec", Json::Str(row_codec.to_string())),
                 (
                     "columns_per_page",
                     Json::Int(PagedOptions::default().columns_per_page as u64),
@@ -203,6 +283,7 @@ fn main() {
                     Json::Num(time_to_first_query),
                 ),
                 ("engine", Json::Arr(paged_reports)),
+                ("scheduled", Json::Arr(scheduled_reports)),
             ]),
         ),
     ]);

@@ -224,6 +224,47 @@ pub fn column_distance_squared_with_norms<S: ColumnStore + ?Sized>(
     Ok((norms_squared[p] + norms_squared[q] - 2.0 * dot).max(0.0))
 }
 
+/// Batched form of the effective-resistance kernel: answers every (permuted)
+/// pair of `pairs` in order, using the norm table when one is provided and
+/// per-column norms off the store otherwise (bit-identical by the
+/// [`ColumnStore::column_norm_squared`] contract).
+///
+/// This is the store-generic entry point batch schedulers build on: callers
+/// that reorder queries for locality (the `effres-service` paged scheduler)
+/// evaluate each pair through exactly this arithmetic, so any evaluation
+/// order produces the same bits as this in-order reference.
+///
+/// # Errors
+///
+/// Propagates the store's fetch errors; on error some prefix of the batch
+/// may have been evaluated but nothing is returned.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds or `norms_squared` is `Some` but
+/// shorter than the store's order.
+pub fn column_distances_squared_batch<S: ColumnStore + ?Sized>(
+    store: &S,
+    pairs: &[(usize, usize)],
+    norms_squared: Option<&[f64]>,
+) -> Result<Vec<f64>, EffresError> {
+    pairs
+        .iter()
+        .map(|&(p, q)| {
+            if p == q {
+                return Ok(0.0);
+            }
+            let dot = column_dot(store, p, q)?;
+            let (np, nq) = match norms_squared {
+                Some(table) => (table[p], table[q]),
+                None => (store.column_norm_squared(p)?, store.column_norm_squared(q)?),
+            };
+            // Same clamp as the scalar kernel: cancellation can dip below 0.
+            Ok((np + nq - 2.0 * dot).max(0.0))
+        })
+        .collect()
+}
+
 /// Squared Euclidean norms `‖z̃_j‖²` of every column, in column order.
 ///
 /// Query services over resident stores precompute this once so a query
@@ -298,6 +339,26 @@ mod tests {
                     .to_bits(),
                 "norm-table distance ({p},{q})"
             );
+        }
+    }
+
+    #[test]
+    fn batched_kernel_matches_the_scalar_kernels_bitwise() {
+        let z = sample_inverse();
+        let norms = z.column_norms_squared();
+        let pairs = [(0, 35), (3, 3), (10, 20), (34, 35), (0, 1), (20, 10)];
+        let with_table =
+            column_distances_squared_batch(&z, &pairs, Some(&norms)).expect("infallible");
+        let without_table = column_distances_squared_batch(&z, &pairs, None).expect("infallible");
+        assert_eq!(with_table.len(), pairs.len());
+        for (slot, &(p, q)) in pairs.iter().enumerate() {
+            let scalar = if p == q {
+                0.0
+            } else {
+                z.column_distance_squared_with_norms(p, q, &norms)
+            };
+            assert_eq!(with_table[slot].to_bits(), scalar.to_bits(), "({p},{q})");
+            assert_eq!(without_table[slot].to_bits(), scalar.to_bits(), "({p},{q})");
         }
     }
 

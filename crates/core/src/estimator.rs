@@ -44,6 +44,12 @@ pub struct EffectiveResistanceEstimator {
     inverse: SparseApproximateInverse,
     permutation: Permutation,
     stats: EstimatorStats,
+    /// Memoized `‖z̃_j‖²` table (permuted domain). Computed lazily on first
+    /// use, or primed from a snapshot's persisted norms block — the two are
+    /// bit-identical because the snapshot writer sums in the same index
+    /// order. `Arc`-shared so query engines borrow the one copy instead of
+    /// cloning `8n` bytes per consumer.
+    norms: std::sync::OnceLock<std::sync::Arc<Vec<f64>>>,
 }
 
 impl EffectiveResistanceEstimator {
@@ -117,6 +123,7 @@ impl EffectiveResistanceEstimator {
             inverse,
             permutation,
             stats,
+            norms: std::sync::OnceLock::new(),
         })
     }
 
@@ -229,8 +236,60 @@ impl EffectiveResistanceEstimator {
     /// Squared Euclidean norms of the approximate-inverse columns, indexed in
     /// the *permuted* domain expected by
     /// [`EffectiveResistanceEstimator::query_with_norms`].
+    ///
+    /// The table is memoized: the first call sweeps the arena once (or uses
+    /// a table primed from a snapshot's persisted norms block via
+    /// [`EffectiveResistanceEstimator::prime_column_norms`]); later calls
+    /// clone the cached table.
     pub fn column_norms_squared(&self) -> Vec<f64> {
-        self.inverse.column_norms_squared()
+        self.column_norms_shared().to_vec()
+    }
+
+    /// The memoized table behind a shared handle: consumers that keep the
+    /// table around (query engines) clone the `Arc`, not the `8n` bytes.
+    pub fn column_norms_shared(&self) -> std::sync::Arc<Vec<f64>> {
+        std::sync::Arc::clone(
+            self.norms
+                .get_or_init(|| std::sync::Arc::new(self.inverse.column_norms_squared())),
+        )
+    }
+
+    /// The memoized `‖z̃_j‖²` table, if it has been computed or primed.
+    pub fn cached_column_norms(&self) -> Option<&[f64]> {
+        self.norms.get().map(|table| table.as_slice())
+    }
+
+    /// Primes the memoized norm table with values derived at snapshot write
+    /// time, so loading skips the full arena sweep. The caller asserts the
+    /// table was produced by summing `v·v` over each column in index order
+    /// (the snapshot writer does exactly that, making the primed table
+    /// bit-identical to a recomputed one). A table that is already cached is
+    /// left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::InvalidConfig`] if the table length disagrees
+    /// with the node count or contains a non-finite entry.
+    pub fn prime_column_norms(&self, norms: Vec<f64>) -> Result<(), EffresError> {
+        if norms.len() != self.stats.node_count {
+            return Err(EffresError::InvalidConfig {
+                name: "norms",
+                message: format!(
+                    "norm table has {} entries for {} nodes",
+                    norms.len(),
+                    self.stats.node_count
+                ),
+            });
+        }
+        if !norms.iter().all(|v| v.is_finite() && *v >= 0.0) {
+            return Err(EffresError::InvalidConfig {
+                name: "norms",
+                message: "norm table contains a non-finite or negative entry".to_string(),
+            });
+        }
+        // Lost race / already computed: the resident table wins.
+        let _ = self.norms.set(std::sync::Arc::new(norms));
+        Ok(())
     }
 
     /// Access to the underlying approximate inverse (for diagnostics).
@@ -272,6 +331,7 @@ impl EffectiveResistanceEstimator {
             inverse,
             permutation,
             stats,
+            norms: std::sync::OnceLock::new(),
         })
     }
 
@@ -495,6 +555,56 @@ mod tests {
             approx.stats(),
         );
         assert!(matches!(bad, Err(EffresError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn norm_table_is_memoized_and_primable() {
+        let g = generators::grid_2d(8, 8, 0.5, 2.0, 3).expect("valid");
+        let approx =
+            EffectiveResistanceEstimator::build(&g, &EffresConfig::default()).expect("build");
+        assert!(approx.cached_column_norms().is_none());
+        let computed = approx.column_norms_squared();
+        assert_eq!(approx.cached_column_norms(), Some(computed.as_slice()));
+
+        // Priming a fresh estimator with a write-time table short-circuits
+        // the arena sweep but must serve the same bits.
+        let fresh = EffectiveResistanceEstimator::from_parts(
+            approx.approximate_inverse().clone(),
+            approx.permutation().clone(),
+            approx.stats(),
+        )
+        .expect("consistent parts");
+        fresh
+            .prime_column_norms(computed.clone())
+            .expect("valid table");
+        let primed = fresh.column_norms_squared();
+        assert!(computed
+            .iter()
+            .zip(&primed)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        for &(p, q) in &[(0, 63), (5, 40), (13, 27)] {
+            assert_eq!(
+                approx
+                    .query_with_norms(p, q, &computed)
+                    .expect("in bounds")
+                    .to_bits(),
+                fresh
+                    .query_with_norms(p, q, &primed)
+                    .expect("in bounds")
+                    .to_bits()
+            );
+        }
+
+        // Hostile tables are rejected.
+        assert!(fresh.prime_column_norms(vec![1.0; 3]).is_err());
+        let mut bad = computed.clone();
+        bad[0] = f64::NAN;
+        assert!(approx.prime_column_norms(bad).is_err());
+        // An already-cached table is left untouched by a later prime.
+        fresh
+            .prime_column_norms(vec![0.0; fresh.node_count()])
+            .expect("valid shape");
+        assert_eq!(fresh.cached_column_norms(), Some(primed.as_slice()));
     }
 
     #[test]

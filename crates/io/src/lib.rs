@@ -62,5 +62,8 @@ pub mod snapshot;
 
 pub use dataset::{load_graph, Dataset, IngestOptions, IngestStats};
 pub use error::IoError;
-pub use paged::{open_paged, PageCacheStats, PagedColumnStore, PagedOptions, PagedSnapshot};
+pub use paged::{
+    open_paged, PageCacheStats, PagedColumnStore, PagedOptions, PagedSnapshot, PinnedPages,
+    PinnedReader, RowCodec,
+};
 pub use snapshot::{load_snapshot, save_snapshot, Snapshot};

@@ -1,19 +1,21 @@
-//! Out-of-core column store: serving queries straight from a v2 snapshot
-//! file.
+//! Out-of-core column store: serving queries straight from a v2 or v3
+//! snapshot file.
 //!
 //! The whole point of the paper's approximate inverse is that `Z̃` is sparse
 //! enough to *keep around* — but keeping it around does not have to mean
-//! keeping it in RAM. The v2 snapshot layout already stores the arena as
-//! three contiguous bulk blocks (`col_ptr`, `rows`, `vals`; see
+//! keeping it in RAM. The v2/v3 snapshot layouts store the arena as
+//! contiguous bulk blocks (`col_ptr`, `rows`, `vals`; see
 //! [`crate::snapshot`]), so any column is two positioned reads away:
 //!
 //! ```text
-//! rows of column j:  file[rows_offset + 4·col_ptr[j] .. rows_offset + 4·col_ptr[j+1]]
+//! rows of column j:  file[rows_offset + 4·col_ptr[j] ..]      (raw codec)
+//!                    file[rows_offset + row_off[j] ..]        (varint codec, v3)
 //! vals of column j:  file[vals_offset + 8·col_ptr[j] .. vals_offset + 8·col_ptr[j+1]]
 //! ```
 //!
-//! [`PagedColumnStore`] keeps only the `col_ptr` block (and the permutation
-//! and labels, via [`PagedSnapshot`]) resident and fetches column data on
+//! [`PagedColumnStore`] keeps only the `col_ptr` block (plus, for v3, the
+//! varint byte-offset table — and the permutation, labels and persisted
+//! norms, via [`PagedSnapshot`]) resident and fetches column data on
 //! demand with positioned reads — plain `pread`
 //! (`std::os::unix::fs::FileExt::read_exact_at`) on Unix, `seek_read` on
 //! Windows, no mmap, no platform crates. Columns are fetched in *pages* (a fixed
@@ -21,7 +23,12 @@
 //! decoded pages live in a sharded slab-LRU cache (the same intrusive-list
 //! idiom as the service layer's pair cache) behind `Arc`s, so hot columns
 //! are served from memory while cold ones stream from disk and eviction can
-//! never invalidate a view a query is still reading.
+//! never invalidate a view a query is still reading. Batch schedulers use
+//! the bulk path instead: [`PagedColumnStore::pin_pages`] fetches page sets
+//! with **coalesced readahead** (adjacent missing pages merge into single
+//! large positioned reads) into an [`PinnedPages`] set served through a
+//! [`PinnedReader`], and [`PagedColumnStore::prefetch_columns`] is the
+//! fire-and-forget cache warm-up hint.
 //!
 //! Trust model: the file is untrusted. The `col_ptr` block is fully
 //! validated at [`open_paged`] time (monotone, spanning exactly the declared
@@ -43,8 +50,8 @@
 
 use crate::error::IoError;
 use crate::snapshot::{
-    read_col_ptr_block, read_payload_header, CrcReader, PayloadHeader, MAGIC, VERSION_V1,
-    VERSION_V2,
+    decode_varint_column, read_col_ptr_block, read_payload_header, read_row_off_block, CrcReader,
+    PayloadHeader, MAGIC, ROW_CODEC_RAW, ROW_CODEC_VARINT, VERSION_V1, VERSION_V2, VERSION_V3,
 };
 use effres::approx_inverse::{ensure_u32_indexable, ArenaFootprint, ColumnView};
 use effres::column_store::ColumnStore;
@@ -163,15 +170,38 @@ impl PagedOptions {
     }
 }
 
-/// Cumulative page-cache counters of a [`PagedColumnStore`] (monotonic over
-/// the store's lifetime). A **hit** served a column from a resident decoded
-/// page; a **miss** paid a disk read and a decode.
+/// Page-cache counters of a [`PagedColumnStore`]. A **hit** served a column
+/// from a resident decoded page; a **miss** paid a disk read and a decode.
+///
+/// All counters are relaxed atomics underneath: they are monotonic between
+/// calls to [`PagedColumnStore::take_page_cache_stats`], which snapshots and
+/// resets them so callers (the query engine's batch paths) can report
+/// per-batch rates instead of process-lifetime totals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PageCacheStats {
-    /// Page lookups answered from the cache.
+    /// Page lookups answered from the cache (or an already-pinned page).
     pub hits: u64,
     /// Page lookups that read and decoded from disk.
     pub misses: u64,
+    /// Bytes fetched from disk by page misses, bulk pins and prefetches.
+    pub bytes_read: u64,
+    /// Coalesced positioned reads issued by the bulk/prefetch paths — each
+    /// one covers a run of adjacent pages that single-page misses would have
+    /// fetched with one read (and one syscall) per page per block.
+    pub readahead_reads: u64,
+}
+
+impl PageCacheStats {
+    /// Counter-wise sum (both sides of a snapshot/reset cycle).
+    #[must_use]
+    pub fn merged(self, other: PageCacheStats) -> PageCacheStats {
+        PageCacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            bytes_read: self.bytes_read + other.bytes_read,
+            readahead_reads: self.readahead_reads + other.readahead_reads,
+        }
+    }
 }
 
 /// One decoded page: the row/value data of a contiguous column range, plus
@@ -189,6 +219,20 @@ struct Page {
 }
 
 const NIL: u32 = u32::MAX;
+
+/// Upper bound on one coalesced readahead buffer (rows + values of a run of
+/// adjacent pages). Big enough that sequential sweeps amortize the syscall
+/// and decode setup over tens of pages; small enough that pinning a large
+/// block never transiently doubles its memory in raw read buffers.
+const MAX_COALESCED_BYTES: usize = 32 << 20;
+
+/// Reusable raw-byte buffers for coalesced reads (one per bulk call, reused
+/// across its chunks).
+#[derive(Debug, Default)]
+struct ReadScratch {
+    rows: Vec<u8>,
+    vals: Vec<u8>,
+}
 
 #[derive(Debug)]
 struct PageNode {
@@ -357,12 +401,38 @@ pub struct PagedColumnStore {
     nnz: usize,
     /// The resident `col_ptr` block (entry offsets, as stored on disk).
     col_ptr: Vec<u64>,
+    /// How the on-disk row block is encoded (v2 files are always raw; v3
+    /// files negotiated at write time).
+    codec: RowCodec,
+    /// Per-column *byte* offsets into the row block — present iff the codec
+    /// is [`RowCodec::Varint`], where entry offsets no longer locate bytes.
+    row_off: Option<Vec<u64>>,
+    /// The file's persisted `‖z̃_j‖²` table (v3): when present,
+    /// [`ColumnStore::column_norm_squared`] serves straight from it and page
+    /// decode skips accumulating per-page norms — the table was summed in
+    /// the same index order at write time, so the bits are identical.
+    /// `Arc`-shared: the query engine keeps the same single copy.
+    norms: Option<Arc<Vec<f64>>>,
     rows_offset: u64,
     vals_offset: u64,
     columns_per_page: usize,
     cache: PageLru,
     hits: AtomicU64,
     misses: AtomicU64,
+    bytes_read: AtomicU64,
+    readahead_reads: AtomicU64,
+}
+
+/// Encoding of the on-disk row block (see the v3 layout in
+/// [`crate::snapshot`]). Decoded pages hold plain `u32` rows either way —
+/// the codec trades disk bytes for decode work, never bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowCodec {
+    /// `u32 × nnz`, as the in-memory arena stores them (v2, or v3 files
+    /// where varint would not have shrunk the block).
+    Raw,
+    /// Per-column LEB128 delta encoding with a resident byte-offset table.
+    Varint,
 }
 
 impl PagedColumnStore {
@@ -381,28 +451,69 @@ impl PagedColumnStore {
         self.cache.capacity()
     }
 
-    /// Cumulative page-cache hit/miss counters.
+    /// The row codec of the underlying file.
+    pub fn row_codec(&self) -> RowCodec {
+        self.codec
+    }
+
+    /// The persisted `‖z̃_j‖²` table (permuted domain), resident for v3
+    /// files; `None` for v2 files, whose norms come off decoded pages.
+    pub fn resident_norms(&self) -> Option<&[f64]> {
+        self.norms.as_deref().map(Vec::as_slice)
+    }
+
+    /// The persisted norm table behind its shared handle, for consumers that
+    /// keep it (the query engine): clones the `Arc`, not the `8n` bytes.
+    pub fn resident_norms_shared(&self) -> Option<Arc<Vec<f64>>> {
+        self.norms.clone()
+    }
+
+    /// Page-cache counters accumulated since the last
+    /// [`PagedColumnStore::take_page_cache_stats`] (or since open).
     pub fn page_cache_stats(&self) -> PageCacheStats {
         PageCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            readahead_reads: self.readahead_reads.load(Ordering::Relaxed),
         }
     }
 
-    /// Bytes this store keeps permanently resident (the `col_ptr` block) —
-    /// the part of the arena that did *not* stay on disk. Decoded pages come
-    /// and go within the cache budget on top of this.
+    /// Snapshots the page-cache counters and resets them to zero, so a batch
+    /// executor can report exact per-batch rates: take once before the batch
+    /// (crediting whatever accrued to the previous window) and once after.
+    /// The swap per counter is atomic; concurrent batches each see a
+    /// consistent partition of the total (nothing is lost or double-counted).
+    pub fn take_page_cache_stats(&self) -> PageCacheStats {
+        PageCacheStats {
+            hits: self.hits.swap(0, Ordering::Relaxed),
+            misses: self.misses.swap(0, Ordering::Relaxed),
+            bytes_read: self.bytes_read.swap(0, Ordering::Relaxed),
+            readahead_reads: self.readahead_reads.swap(0, Ordering::Relaxed),
+        }
+    }
+
+    /// Bytes this store keeps permanently resident (the `col_ptr` block,
+    /// plus the varint byte-offset table when present) — the part of the
+    /// arena that did *not* stay on disk. Decoded pages come and go within
+    /// the cache budget on top of this.
     pub fn resident_bytes(&self) -> usize {
-        self.col_ptr.len() * std::mem::size_of::<u64>()
+        (self.col_ptr.len() + self.row_off.as_ref().map_or(0, Vec::len))
+            * std::mem::size_of::<u64>()
     }
 
     /// On-disk footprint of the three arena blocks, in the same shape the
-    /// resident arena reports its memory footprint (the row block is `u32`
-    /// on disk exactly as in memory).
+    /// resident arena reports its memory footprint. With the raw codec the
+    /// row block is `u32` on disk exactly as in memory; with the varint
+    /// codec it is the (smaller) encoded byte count.
     pub fn footprint(&self) -> ArenaFootprint {
+        let rows_bytes = match (&self.codec, &self.row_off) {
+            (RowCodec::Varint, Some(off)) => *off.last().expect("row_off never empty") as usize,
+            _ => self.nnz * 4,
+        };
         ArenaFootprint {
             col_ptr_bytes: self.col_ptr.len() * 8,
-            rows_bytes: self.nnz * 4,
+            rows_bytes,
             vals_bytes: self.nnz * 8,
             index_width_bytes: 4,
         }
@@ -421,68 +532,151 @@ impl PagedColumnStore {
         Ok(page)
     }
 
+    /// First and one-past-last column of page `pid`.
+    fn page_columns(&self, pid: usize) -> (usize, usize) {
+        let first_col = pid * self.columns_per_page;
+        let last_col = (first_col + self.columns_per_page).min(self.order);
+        (first_col, last_col)
+    }
+
+    /// Byte range of the row data covering columns `first_col..last_col`
+    /// (contiguous for any consecutive column range, in either codec).
+    fn row_byte_range(&self, first_col: usize, last_col: usize) -> (u64, usize) {
+        match (&self.codec, &self.row_off) {
+            (RowCodec::Varint, Some(off)) => (
+                self.rows_offset + off[first_col],
+                (off[last_col] - off[first_col]) as usize,
+            ),
+            _ => (
+                self.rows_offset + self.col_ptr[first_col] * 4,
+                ((self.col_ptr[last_col] - self.col_ptr[first_col]) * 4) as usize,
+            ),
+        }
+    }
+
+    /// Byte range of the value data covering columns `first_col..last_col`.
+    fn val_byte_range(&self, first_col: usize, last_col: usize) -> (u64, usize) {
+        (
+            self.vals_offset + self.col_ptr[first_col] * 8,
+            ((self.col_ptr[last_col] - self.col_ptr[first_col]) * 8) as usize,
+        )
+    }
+
     /// Reads and validates one page from disk. Two threads may race to
     /// decode the same page; both produce identical bits and the cache keeps
     /// one of them — correctness is unaffected, only a read is duplicated.
     fn decode_page(&self, pid: usize) -> Result<Page, EffresError> {
-        let first_col = pid * self.columns_per_page;
-        let last_col = (first_col + self.columns_per_page).min(self.order);
-        let base = self.col_ptr[first_col];
-        let end = self.col_ptr[last_col];
-        let count = (end - base) as usize;
+        let (first_col, last_col) = self.page_columns(pid);
         let failed = |message: String| EffresError::StoreFailure {
             column: first_col,
             message,
         };
-
-        let mut row_bytes = vec![0u8; count * 4];
+        let (row_at, row_len) = self.row_byte_range(first_col, last_col);
+        let mut row_bytes = vec![0u8; row_len];
         self.file
-            .read_exact_at(&mut row_bytes, self.rows_offset + base * 4)
+            .read_exact_at(&mut row_bytes, row_at)
             .map_err(|e| failed(format!("reading the row block: {e}")))?;
-        let mut val_bytes = vec![0u8; count * 8];
+        let (val_at, val_len) = self.val_byte_range(first_col, last_col);
+        let mut val_bytes = vec![0u8; val_len];
         self.file
-            .read_exact_at(&mut val_bytes, self.vals_offset + base * 8)
+            .read_exact_at(&mut val_bytes, val_at)
             .map_err(|e| failed(format!("reading the value block: {e}")))?;
+        self.bytes_read
+            .fetch_add((row_len + val_len) as u64, Ordering::Relaxed);
+        self.decode_page_bytes(pid, &row_bytes, &val_bytes)
+    }
 
-        let rows: Vec<u32> = row_bytes
-            .chunks_exact(4)
-            .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte chunk")))
-            .collect();
+    /// Decodes and validates one page from its raw on-disk bytes (fetched by
+    /// [`PagedColumnStore::decode_page`] one page at a time, or sliced out of
+    /// a larger coalesced read by the bulk paths). The on-disk data is
+    /// untrusted and the kernels rely on sorted lower-triangular columns, so
+    /// every column is validated before the page can serve a query.
+    fn decode_page_bytes(
+        &self,
+        pid: usize,
+        row_bytes: &[u8],
+        val_bytes: &[u8],
+    ) -> Result<Page, EffresError> {
+        let (first_col, last_col) = self.page_columns(pid);
+        let base = self.col_ptr[first_col];
+        let count = (self.col_ptr[last_col] - base) as usize;
+
+        let rows: Vec<u32> = match (&self.codec, &self.row_off) {
+            (RowCodec::Varint, Some(off)) => {
+                let mut rows = Vec::with_capacity(count);
+                let byte_base = off[first_col];
+                for j in first_col..last_col {
+                    let lo = (off[j] - byte_base) as usize;
+                    let hi = (off[j + 1] - byte_base) as usize;
+                    let entries = (self.col_ptr[j + 1] - self.col_ptr[j]) as usize;
+                    // The decoder enforces strictly increasing in-range rows.
+                    decode_varint_column(&row_bytes[lo..hi], entries, self.order, &mut rows)
+                        .map_err(|message| EffresError::StoreFailure { column: j, message })?;
+                }
+                rows
+            }
+            _ => {
+                let rows: Vec<u32> = row_bytes
+                    .chunks_exact(4)
+                    .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte chunk")))
+                    .collect();
+                // Raw rows arrive unchecked: reject non-increasing or
+                // out-of-range indices per column.
+                for j in first_col..last_col {
+                    let lo = (self.col_ptr[j] - base) as usize;
+                    let hi = (self.col_ptr[j + 1] - base) as usize;
+                    let column = &rows[lo..hi];
+                    if !column.windows(2).all(|w| w[0] < w[1])
+                        || column.last().is_some_and(|&i| i as usize >= self.order)
+                    {
+                        return Err(EffresError::StoreFailure {
+                            column: j,
+                            message: format!(
+                                "row indices are not strictly increasing within 0..{}",
+                                self.order
+                            ),
+                        });
+                    }
+                }
+                rows
+            }
+        };
         let vals: Vec<f64> = val_bytes
             .chunks_exact(8)
             .map(|b| f64::from_le_bytes(b.try_into().expect("8-byte chunk")))
             .collect();
 
-        // Validate every column of the page before it can serve a query:
-        // the on-disk data is untrusted and the kernels rely on sorted
-        // lower-triangular columns.
-        let mut norms = Vec::with_capacity(last_col - first_col);
+        // With a resident norm table (v3) the per-page norms are never read:
+        // skip accumulating them on this hot path.
+        let want_norms = self.norms.is_none();
+        let mut norms = Vec::with_capacity(if want_norms { last_col - first_col } else { 0 });
         for j in first_col..last_col {
             let lo = (self.col_ptr[j] - base) as usize;
             let hi = (self.col_ptr[j + 1] - base) as usize;
-            let column = &rows[lo..hi];
             let corrupt = |message: String| EffresError::StoreFailure { column: j, message };
-            if !column.windows(2).all(|w| w[0] < w[1])
-                || column.last().is_some_and(|&i| i as usize >= self.order)
-            {
-                return Err(corrupt(format!(
-                    "row indices are not strictly increasing within 0..{}",
-                    self.order
-                )));
-            }
-            if column.first().is_some_and(|&i| (i as usize) < j) {
+            if rows[lo..hi].first().is_some_and(|&i| (i as usize) < j) {
                 return Err(corrupt(
                     "column has an entry above the diagonal; \
                      inverse columns must be supported on the diagonal suffix"
                         .to_string(),
                 ));
             }
-            let values = &vals[lo..hi];
-            if !values.iter().all(|v| v.is_finite()) {
+            if want_norms {
+                // One fused pass: finiteness fold + the norm sum, accumulated
+                // in the same order as the resident norm table (bit-identical).
+                let mut finite = true;
+                let mut norm = 0.0f64;
+                for &v in &vals[lo..hi] {
+                    finite &= v.is_finite();
+                    norm += v * v;
+                }
+                if !finite {
+                    return Err(corrupt("non-finite value".to_string()));
+                }
+                norms.push(norm);
+            } else if !vals[lo..hi].iter().all(|v| v.is_finite()) {
                 return Err(corrupt("non-finite value".to_string()));
             }
-            // Same summation order as the resident norm table: bit-identical.
-            norms.push(values.iter().map(|v| v * v).sum());
         }
         Ok(Page {
             first_col,
@@ -491,6 +685,302 @@ impl PagedColumnStore {
             vals,
             norms,
         })
+    }
+
+    /// Page id serving column `j`.
+    pub fn page_of_column(&self, j: usize) -> usize {
+        j / self.columns_per_page
+    }
+
+    /// Pins a set of pages for the duration of a batch: pages already in the
+    /// LRU are reused (a **hit** each), and the missing ones are fetched with
+    /// **coalesced readahead** — maximal runs of adjacent missing pages
+    /// become one large positioned read per block (rows and values), instead
+    /// of two small reads per page — then decoded and validated page by
+    /// page.
+    ///
+    /// Pinned pages are owned by the returned [`PinnedPages`], so eviction
+    /// can never pull one out from under the queries draining it; they are
+    /// *also* published to the LRU (the same `Arc`s — no bytes are
+    /// duplicated), so a scheduled batch leaves the cache warm for whatever
+    /// comes next. A batch may therefore transiently keep alive up to its
+    /// pin budget *beyond* the pages the cache itself retains; schedulers
+    /// size their pins out of the cache budget to keep the total bounded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::StoreFailure`] on read failure or if any
+    /// fetched page fails validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page id is out of range.
+    pub fn pin_pages(&self, page_ids: &[usize]) -> Result<PinnedPages, EffresError> {
+        let mut pids: Vec<usize> = page_ids.to_vec();
+        pids.sort_unstable();
+        pids.dedup();
+        if let Some(&last) = pids.last() {
+            assert!(
+                last < self.page_count(),
+                "page {last} out of bounds for {} pages",
+                self.page_count()
+            );
+        }
+        let mut pages = HashMap::with_capacity(pids.len());
+        let mut missing: Vec<usize> = Vec::new();
+        for &pid in &pids {
+            match self.cache.get(pid) {
+                Some(page) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    pages.insert(pid, page);
+                }
+                None => missing.push(pid),
+            }
+        }
+        for (pid, page) in self.fetch_missing_runs(&missing)? {
+            self.cache.insert(pid, Arc::clone(&page));
+            pages.insert(pid, page);
+        }
+        Ok(PinnedPages { pages })
+    }
+
+    /// Fetches a sorted, deduplicated list of non-resident pages: maximal
+    /// runs of adjacent ids coalesce into single positioned reads (counted
+    /// as one miss per page), and the decoded pages come back keyed by id.
+    fn fetch_missing_runs(
+        &self,
+        missing: &[usize],
+    ) -> Result<HashMap<usize, Arc<Page>>, EffresError> {
+        let mut fetched: HashMap<usize, Arc<Page>> = HashMap::with_capacity(missing.len());
+        let mut scratch = ReadScratch::default();
+        let mut run_start = 0;
+        while run_start < missing.len() {
+            let mut run_end = run_start + 1;
+            while run_end < missing.len() && missing[run_end] == missing[run_end - 1] + 1 {
+                run_end += 1;
+            }
+            self.read_page_run(&missing[run_start..run_end], &mut fetched, &mut scratch)?;
+            run_start = run_end;
+        }
+        self.misses
+            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+        Ok(fetched)
+    }
+
+    /// Reads one run of adjacent pages, splitting it into coalesced
+    /// positioned reads of at most [`MAX_COALESCED_BYTES`] each so a large
+    /// pinned block never demands a read buffer proportional to itself.
+    /// `scratch` is reused across chunks — and across the runs of one bulk
+    /// call — so a batch pays for its read buffers once, not per chunk.
+    fn read_page_run(
+        &self,
+        run: &[usize],
+        pages: &mut HashMap<usize, Arc<Page>>,
+        scratch: &mut ReadScratch,
+    ) -> Result<(), EffresError> {
+        let page_bytes = |pid: usize| {
+            let (first_col, last_col) = self.page_columns(pid);
+            self.row_byte_range(first_col, last_col).1 + self.val_byte_range(first_col, last_col).1
+        };
+        let mut start = 0;
+        while start < run.len() {
+            let mut end = start + 1;
+            let mut total = page_bytes(run[start]);
+            while end < run.len() && total + page_bytes(run[end]) <= MAX_COALESCED_BYTES {
+                total += page_bytes(run[end]);
+                end += 1;
+            }
+            self.read_page_chunk(&run[start..end], pages, scratch)?;
+            start = end;
+        }
+        Ok(())
+    }
+
+    /// Reads one bounded chunk of adjacent pages with two coalesced
+    /// positioned reads and decodes each page out of the shared buffers.
+    fn read_page_chunk(
+        &self,
+        run: &[usize],
+        pages: &mut HashMap<usize, Arc<Page>>,
+        scratch: &mut ReadScratch,
+    ) -> Result<(), EffresError> {
+        let (first_col, _) = self.page_columns(run[0]);
+        let (_, last_col) = self.page_columns(*run.last().expect("non-empty run"));
+        let failed = |message: String| EffresError::StoreFailure {
+            column: first_col,
+            message,
+        };
+        let (row_at, row_len) = self.row_byte_range(first_col, last_col);
+        scratch.rows.resize(row_len, 0);
+        self.file
+            .read_exact_at(&mut scratch.rows, row_at)
+            .map_err(|e| failed(format!("readahead of the row block: {e}")))?;
+        let (val_at, val_len) = self.val_byte_range(first_col, last_col);
+        scratch.vals.resize(val_len, 0);
+        self.file
+            .read_exact_at(&mut scratch.vals, val_at)
+            .map_err(|e| failed(format!("readahead of the value block: {e}")))?;
+        self.readahead_reads.fetch_add(2, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add((row_len + val_len) as u64, Ordering::Relaxed);
+        for &pid in run {
+            let (lo_col, hi_col) = self.page_columns(pid);
+            let (page_row_at, page_row_len) = self.row_byte_range(lo_col, hi_col);
+            let row_lo = (page_row_at - row_at) as usize;
+            let (page_val_at, page_val_len) = self.val_byte_range(lo_col, hi_col);
+            let val_lo = (page_val_at - val_at) as usize;
+            let page = self.decode_page_bytes(
+                pid,
+                &scratch.rows[row_lo..row_lo + page_row_len],
+                &scratch.vals[val_lo..val_lo + page_val_len],
+            )?;
+            pages.insert(pid, Arc::new(page));
+        }
+        Ok(())
+    }
+
+    /// Readahead hint: ensures the pages serving `columns` are resident in
+    /// the LRU cache, fetching the missing ones with the same coalesced
+    /// reads as [`PagedColumnStore::pin_pages`]. Unlike pinning, prefetched
+    /// pages live in the cache and age out under its normal eviction —
+    /// this is the fire-and-forget hint for callers that know which columns
+    /// a batch is about to touch but keep serving through
+    /// [`ColumnStore::with_column`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::StoreFailure`] on read or validation failure.
+    pub fn prefetch_columns(&self, columns: &[usize]) -> Result<(), EffresError> {
+        let mut pids: Vec<usize> = columns
+            .iter()
+            .map(|&j| {
+                assert!(j < self.order, "column {j} out of bounds");
+                self.page_of_column(j)
+            })
+            .collect();
+        pids.sort_unstable();
+        pids.dedup();
+        let missing: Vec<usize> = pids
+            .into_iter()
+            .filter(|&pid| {
+                let resident = self.cache.get(pid).is_some();
+                if resident {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                !resident
+            })
+            .collect();
+        for (pid, page) in self.fetch_missing_runs(&missing)? {
+            self.cache.insert(pid, page);
+        }
+        Ok(())
+    }
+}
+
+/// A set of decoded pages held resident by a batch scheduler (see
+/// [`PagedColumnStore::pin_pages`]): as long as the set is alive, its pages
+/// cannot be evicted out from under the queries draining them.
+#[derive(Debug, Default)]
+pub struct PinnedPages {
+    pages: HashMap<usize, Arc<Page>>,
+}
+
+impl PinnedPages {
+    /// Number of pinned pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether no pages are pinned.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    fn get(&self, pid: usize) -> Option<&Arc<Page>> {
+        self.pages.get(&pid)
+    }
+}
+
+/// A [`ColumnStore`] view combining a [`PagedColumnStore`] with up to two
+/// [`PinnedPages`] sets (a batch scheduler's long-lived *block* pin and its
+/// rolling *readahead window* pin). Columns on pinned pages are served
+/// without touching the cache or its locks; anything else falls back to the
+/// store's normal cached path. Pinned pages hold the same decoded bits the
+/// cache would, so answers are bit-identical to unpinned serving.
+#[derive(Debug, Clone, Copy)]
+pub struct PinnedReader<'s> {
+    store: &'s PagedColumnStore,
+    primary: &'s PinnedPages,
+    secondary: Option<&'s PinnedPages>,
+}
+
+impl<'s> PinnedReader<'s> {
+    /// A view over `store` preferring `primary` (then `secondary`) pins.
+    pub fn new(
+        store: &'s PagedColumnStore,
+        primary: &'s PinnedPages,
+        secondary: Option<&'s PinnedPages>,
+    ) -> Self {
+        PinnedReader {
+            store,
+            primary,
+            secondary,
+        }
+    }
+
+    fn pinned_page(&self, pid: usize) -> Option<&Arc<Page>> {
+        self.primary
+            .get(pid)
+            .or_else(|| self.secondary.and_then(|set| set.get(pid)))
+    }
+}
+
+impl ColumnStore for PinnedReader<'_> {
+    fn order(&self) -> usize {
+        self.store.order
+    }
+
+    fn nnz(&self) -> usize {
+        self.store.nnz
+    }
+
+    fn with_column<R>(
+        &self,
+        j: usize,
+        f: impl FnOnce(ColumnView<'_>) -> R,
+    ) -> Result<R, EffresError> {
+        assert!(
+            j < self.store.order,
+            "column {j} out of bounds for order {}",
+            self.store.order
+        );
+        match self.pinned_page(self.store.page_of_column(j)) {
+            Some(page) => {
+                let lo = (self.store.col_ptr[j] - page.base) as usize;
+                let hi = (self.store.col_ptr[j + 1] - page.base) as usize;
+                Ok(f(ColumnView::from_slices(
+                    self.store.order,
+                    &page.rows[lo..hi],
+                    &page.vals[lo..hi],
+                )))
+            }
+            None => self.store.with_column(j, f),
+        }
+    }
+
+    fn column_norm_squared(&self, j: usize) -> Result<f64, EffresError> {
+        assert!(
+            j < self.store.order,
+            "column {j} out of bounds for order {}",
+            self.store.order
+        );
+        if let Some(table) = &self.store.norms {
+            return Ok(table[j]);
+        }
+        match self.pinned_page(self.store.page_of_column(j)) {
+            Some(page) => Ok(page.norms[j - page.first_col]),
+            None => self.store.column_norm_squared(j),
+        }
     }
 }
 
@@ -529,6 +1019,9 @@ impl ColumnStore for PagedColumnStore {
             "column {j} out of bounds for order {}",
             self.order
         );
+        if let Some(table) = &self.norms {
+            return Ok(table[j]);
+        }
         let page = self.page_for(j)?;
         Ok(page.norms[j - page.first_col])
     }
@@ -558,11 +1051,23 @@ impl PagedSnapshot {
     pub fn node_count(&self) -> usize {
         self.stats.node_count
     }
+
+    /// The persisted `‖z̃_j‖²` table (permuted domain), present for v3
+    /// snapshots: `f64 × n` resident — proportional to the node count, like
+    /// the rest of the cold-start state — so queries pay **zero** page
+    /// traffic for the norm terms. `None` for v2 files, where norms come off
+    /// the decoded pages instead (bit-identical either way). The single copy
+    /// lives in the [`store`](PagedSnapshot::store).
+    pub fn norms(&self) -> Option<&[f64]> {
+        self.store.resident_norms()
+    }
 }
 
-/// Opens a v2 snapshot for paged serving: reads and validates the header,
-/// the permutation, the full `col_ptr` block and the labels — never the
-/// rows/vals blocks, which stay on disk until queries page them in.
+/// Opens a v2 or v3 snapshot for paged serving: reads and validates the
+/// header, the permutation, the full `col_ptr` block (plus, for v3, the row
+/// codec with its byte-offset table and the persisted norms block) and the
+/// labels — never the rows/vals blocks, which stay on disk until queries
+/// page them in.
 ///
 /// Cold-start cost is proportional to the *node* count, not the nonzero
 /// count: on large graphs the rows/vals blocks dominate the file and are
@@ -570,11 +1075,11 @@ impl PagedSnapshot {
 ///
 /// # Errors
 ///
-/// Returns [`IoError::Format`] for files that are not v2 snapshots (v1
+/// Returns [`IoError::Format`] for files that are not v2/v3 snapshots (v1
 /// files name the re-encode path), have a non-monotone or out-of-span
-/// `col_ptr`, or whose length disagrees with the layout the header implies
-/// (truncation is caught here, before serving); [`IoError::Io`] on read
-/// failure.
+/// `col_ptr`/`row_off`, or whose length disagrees with the layout the header
+/// implies (truncation is caught here, before serving); [`IoError::Io`] on
+/// read failure.
 pub fn open_paged(
     path: impl AsRef<Path>,
     options: &PagedOptions,
@@ -597,21 +1102,22 @@ pub fn open_paged(
     reader
         .read_exact(&mut version)
         .map_err(|_| IoError::Format("truncated snapshot (no version)".into()))?;
-    match u32::from_le_bytes(version) {
-        VERSION_V2 => {}
+    let version = match u32::from_le_bytes(version) {
+        v @ (VERSION_V2 | VERSION_V3) => v,
         VERSION_V1 => {
             return Err(IoError::Format(
                 "version 1 snapshots store per-column records and cannot be served paged; \
-                 load and re-save the snapshot to re-encode it as version 2 (bulk arena blocks)"
+                 load and re-save the snapshot to re-encode it with bulk arena blocks"
                     .into(),
             ))
         }
         other => {
             return Err(IoError::Format(format!(
-                "unsupported snapshot version {other} (paged serving reads {VERSION_V2})"
+                "unsupported snapshot version {other} \
+                 (paged serving reads {VERSION_V2} and {VERSION_V3})"
             )))
         }
-    }
+    };
 
     let mut input = CrcReader::new(&mut reader);
     let PayloadHeader {
@@ -624,17 +1130,67 @@ pub fn open_paged(
     ensure_u32_indexable(n)?;
     let nnz = input.take_u64()?;
     let col_ptr = read_col_ptr_block(&mut input, n, nnz)?;
+    let overflow = || IoError::Format("arena block sizes overflow the file offset space".into());
+    // v3 carries a row codec byte (and, for the varint codec, the encoded
+    // byte count plus the per-column byte-offset table) between col_ptr and
+    // the row block; v2 is always raw.
+    let (codec, row_off, rows_bytes) = if version == VERSION_V3 {
+        match input.take_u8()? {
+            ROW_CODEC_RAW => (
+                RowCodec::Raw,
+                None,
+                nnz.checked_mul(4).ok_or_else(overflow)?,
+            ),
+            ROW_CODEC_VARINT => {
+                let rows_bytes = input.take_u64()?;
+                let row_off = read_row_off_block(&mut input, &col_ptr, rows_bytes)?;
+                (RowCodec::Varint, Some(row_off), rows_bytes)
+            }
+            other => return Err(IoError::Format(format!("unknown v3 row codec {other}"))),
+        }
+    } else {
+        (
+            RowCodec::Raw,
+            None,
+            nnz.checked_mul(4).ok_or_else(overflow)?,
+        )
+    };
     // 12 header bytes (magic + version) precede the crc-tracked payload.
     let rows_offset = 12 + input.consumed();
     drop(input);
     drop(reader);
     let file = PositionedFile::new(file);
 
-    let overflow = || IoError::Format("arena block sizes overflow the file offset space".into());
-    let rows_bytes = nnz.checked_mul(4).ok_or_else(overflow)?;
     let vals_bytes = nnz.checked_mul(8).ok_or_else(overflow)?;
     let vals_offset = rows_offset.checked_add(rows_bytes).ok_or_else(overflow)?;
-    let labels_offset = vals_offset.checked_add(vals_bytes).ok_or_else(overflow)?;
+    let after_vals = vals_offset.checked_add(vals_bytes).ok_or_else(overflow)?;
+    // v3: the persisted norms block sits between the values and the labels;
+    // it is part of the resident cold-start state (∝ nodes, not nonzeros).
+    let norms_bytes = if version == VERSION_V3 {
+        (n as u64).checked_mul(8).ok_or_else(overflow)?
+    } else {
+        0
+    };
+    let labels_offset = after_vals.checked_add(norms_bytes).ok_or_else(overflow)?;
+    let norms = if version == VERSION_V3 {
+        let truncated =
+            |_| IoError::Format("truncated snapshot (norms block out of range)".to_string());
+        let mut bytes = vec![0u8; norms_bytes as usize];
+        file.read_exact_at(&mut bytes, after_vals)
+            .map_err(truncated)?;
+        let norms: Vec<f64> = bytes
+            .chunks_exact(8)
+            .map(|b| f64::from_le_bytes(b.try_into().expect("8-byte chunk")))
+            .collect();
+        if !norms.iter().all(|v| v.is_finite() && *v >= 0.0) {
+            return Err(IoError::Format(
+                "non-finite or negative entry in the norms block".into(),
+            ));
+        }
+        Some(norms)
+    } else {
+        None
+    };
 
     let truncated =
         |_| IoError::Format("truncated snapshot (labels block out of range)".to_string());
@@ -665,7 +1221,7 @@ pub fn open_paged(
     let actual_len = file.metadata()?.len();
     if actual_len != expected_len {
         return Err(IoError::Format(format!(
-            "snapshot is {actual_len} bytes but the v2 layout implies {expected_len}: \
+            "snapshot is {actual_len} bytes but the layout implies {expected_len}: \
              truncated or trailing garbage"
         )));
     }
@@ -675,12 +1231,17 @@ pub fn open_paged(
         order: n,
         nnz: nnz as usize,
         col_ptr,
+        codec,
+        row_off,
+        norms: norms.map(Arc::new),
         rows_offset,
         vals_offset,
         columns_per_page: options.columns_per_page,
         cache: PageLru::new(options.cache_pages, options.cache_shards),
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
+        bytes_read: AtomicU64::new(0),
+        readahead_reads: AtomicU64::new(0),
     };
     Ok(PagedSnapshot {
         store,
@@ -787,12 +1348,18 @@ mod tests {
         let paged = open_paged(&path, &options).expect("open");
         assert_eq!(paged.store.cache_capacity_pages(), 1);
         let inverse = estimator.approximate_inverse();
-        // Two full sweeps: the second sweep misses again because each page
-        // evicts the previous one.
+        // Two full sweeps over the column *data* (norms alone would be
+        // served from the v3 resident table without touching a page): the
+        // second sweep misses again because each page evicts the previous
+        // one.
         for _ in 0..2 {
             for j in 0..inverse.order() {
                 assert_eq!(
-                    paged.store.column_norm_squared(j).expect("norm").to_bits(),
+                    paged
+                        .store
+                        .with_column(j, |c| c.norm2_squared())
+                        .expect("fetch")
+                        .to_bits(),
                     inverse.column(j).norm2_squared().to_bits()
                 );
             }
@@ -801,6 +1368,137 @@ mod tests {
         assert_eq!(s.misses as usize, 2 * paged.store.page_count());
         // Within a page, consecutive columns hit.
         assert!(s.hits > 0);
+    }
+
+    #[test]
+    fn v2_files_still_serve_paged_and_report_no_norms() {
+        let estimator = sample_estimator();
+        let dir = std::env::temp_dir().join("effres-paged-unit");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("grid10_v2.snap");
+        let file = std::fs::File::create(&path).expect("create");
+        let mut writer = std::io::BufWriter::new(file);
+        crate::snapshot::write_snapshot_v2(&mut writer, &estimator, None).expect("write v2");
+        use std::io::Write as _;
+        writer.flush().expect("flush");
+        let paged = open_paged(&path, &PagedOptions::default()).expect("open");
+        assert_eq!(paged.store.row_codec(), RowCodec::Raw);
+        assert!(paged.norms().is_none());
+        let inverse = estimator.approximate_inverse();
+        for j in 0..inverse.order() {
+            assert_eq!(
+                paged.store.column_norm_squared(j).expect("norm").to_bits(),
+                inverse.column(j).norm2_squared().to_bits(),
+                "col {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn v3_opens_with_resident_norms_and_the_negotiated_codec() {
+        let estimator = sample_estimator();
+        let path = temp_snapshot("grid10_v3.snap", &estimator);
+        let paged = open_paged(&path, &PagedOptions::default()).expect("open");
+        // The 100-node grid compresses: varint wins the negotiation.
+        assert_eq!(paged.store.row_codec(), RowCodec::Varint);
+        let norms = paged.norms().expect("v3 persists norms");
+        let inverse = estimator.approximate_inverse();
+        let recomputed = inverse.column_norms_squared();
+        assert_eq!(norms.len(), recomputed.len());
+        assert!(norms
+            .iter()
+            .zip(&recomputed)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        // The varint footprint reports the encoded (smaller) row block.
+        assert!(paged.store.footprint().rows_bytes < inverse.nnz() * 4);
+        // Norms were served without touching a single page.
+        let s = paged.store.page_cache_stats();
+        assert_eq!((s.hits, s.misses, s.bytes_read), (0, 0, 0));
+    }
+
+    #[test]
+    fn pinned_pages_serve_bit_identical_columns_via_coalesced_reads() {
+        let estimator = sample_estimator();
+        let path = temp_snapshot("grid10_pin.snap", &estimator);
+        let options = PagedOptions {
+            columns_per_page: 8,
+            cache_pages: 2,
+            cache_shards: 1,
+        };
+        let paged = open_paged(&path, &options).expect("open");
+        let inverse = estimator.approximate_inverse();
+        let pages = paged.store.page_count();
+        assert!(pages > 4, "want several pages, got {pages}");
+
+        // Pin an adjacent run plus an isolated page: the run coalesces into
+        // one (rows, vals) read pair, the isolated page into another.
+        let pinned = paged.store.pin_pages(&[0, 1, 2, pages - 1]).expect("pin");
+        assert_eq!(pinned.len(), 4);
+        let s = paged.store.take_page_cache_stats();
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.readahead_reads, 4, "two coalesced runs x (rows + vals)");
+        assert!(s.bytes_read > 0);
+
+        // Pinned columns serve without the cache; unpinned ones fall back.
+        let empty = PinnedPages::default();
+        let reader = PinnedReader::new(&paged.store, &pinned, Some(&empty));
+        for j in 0..inverse.order() {
+            let (rows, vals) = reader
+                .with_column(j, |c| (c.indices().to_vec(), c.values().to_vec()))
+                .expect("fetch");
+            assert_eq!(rows.as_slice(), inverse.column(j).indices(), "col {j}");
+            assert!(vals
+                .iter()
+                .zip(inverse.column(j).values())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            assert_eq!(
+                reader.column_norm_squared(j).expect("norm").to_bits(),
+                inverse.column(j).norm2_squared().to_bits()
+            );
+        }
+        // Pinned columns are served off the pin (no lock traffic); the
+        // unpinned middle pages fall back to the cache path and miss.
+        let s = paged.store.take_page_cache_stats();
+        assert!(s.misses > 0);
+        // Counters were reset by the take above.
+        let cleared = paged.store.page_cache_stats();
+        assert_eq!(cleared, PageCacheStats::default());
+    }
+
+    #[test]
+    fn prefetch_columns_warms_the_cache_with_coalesced_reads() {
+        let estimator = sample_estimator();
+        let path = temp_snapshot("grid10_prefetch.snap", &estimator);
+        let options = PagedOptions {
+            columns_per_page: 16,
+            cache_pages: 64,
+            cache_shards: 1,
+        };
+        let paged = open_paged(&path, &options).expect("open");
+        let all: Vec<usize> = (0..paged.store.order).collect();
+        paged.store.prefetch_columns(&all).expect("prefetch");
+        let warm = paged.store.take_page_cache_stats();
+        assert_eq!(warm.misses as usize, paged.store.page_count());
+        assert_eq!(warm.readahead_reads, 2, "one run covering every page");
+        // Every later column access is a hit (norms alone would bypass the
+        // pages entirely via the v3 resident table).
+        let inverse = estimator.approximate_inverse();
+        for j in 0..inverse.order() {
+            assert_eq!(
+                paged
+                    .store
+                    .with_column(j, |c| c.norm2_squared())
+                    .expect("fetch")
+                    .to_bits(),
+                inverse.column(j).norm2_squared().to_bits()
+            );
+        }
+        let after = paged.store.page_cache_stats();
+        assert_eq!(after.misses, 0);
+        assert!(after.hits > 0);
+        // Prefetching again is all hits, no reads.
+        paged.store.prefetch_columns(&all).expect("prefetch again");
+        assert_eq!(paged.store.page_cache_stats().misses, 0);
     }
 
     #[test]

@@ -7,18 +7,31 @@
 //! graph came from a dataset file, the original node labels) so a service
 //! can restart without refactorizing.
 //!
-//! ## Format version 2 (current, all little-endian)
+//! ## Format version 3 (current, all little-endian)
 //!
-//! Version 2 serializes the estimator's flat CSC arena *as the three bulk
-//! buffers it already is in memory* — one `col_ptr` block, one `u32` row
-//! block, one `f64` value block — instead of v1's per-column records. The
-//! writer streams each block straight out of the arena and the reader
-//! streams it straight back in, so a load is three bulk copies plus
-//! validation, with no per-column framing to parse:
+//! Version 3 extends the v2 bulk-arena layout with two blocks aimed at the
+//! out-of-core serving path:
+//!
+//! * a **row codec**: the row block is written either raw (`u32 × nnz`,
+//!   codec 0, exactly the v2 encoding) or **delta-varint** (codec 1): per
+//!   column, the first row index as a LEB128 varint followed by the gaps to
+//!   each subsequent index (strictly increasing rows ⇒ gaps ≥ 1). The gaps
+//!   of a sparse lower-triangular column are small, so most entries fit one
+//!   byte instead of four — the disk-bound page-miss path reads ~3–4× fewer
+//!   row bytes. Codec 1 additionally stores a per-column *byte*-offset table
+//!   (`row_off`, `u64 × (n + 1)`) so a paged reader can still locate any
+//!   column range with one positioned read. The writer auto-negotiates:
+//!   codec 1 is chosen iff varint bytes + offset table < raw bytes, and
+//!   decoding is bit-identical either way;
+//! * a **per-column squared-norms block** (`f64 × n`, summed in index order
+//!   at write time): both the resident loader and the paged opener load the
+//!   `‖z̃_j‖²` table from it instead of recomputing — the resident load skips
+//!   a full arena sweep, and paged queries pay zero extra page traffic for
+//!   the norm terms.
 //!
 //! ```text
 //! magic     8 bytes  "EFRSNAP\n"
-//! version   u32      2
+//! version   u32      3
 //! payload   (crc-checked):
 //!   node_count u64, epsilon f64,
 //!   estimator stats (factor_nnz u64, inverse_nnz u64, inverse_nnz_ratio f64,
@@ -27,15 +40,22 @@
 //!   permutation new→old (u32 × n),
 //!   nnz u64,
 //!   col_ptr block  u64 × (n + 1),
-//!   rows block     u32 × nnz,
+//!   row codec u8 (0 = raw, 1 = delta-varint),
+//!   [codec 1 only] rows_bytes u64, row_off block u64 × (n + 1),
+//!   rows block     u32 × nnz (codec 0) | rows_bytes varint bytes (codec 1),
 //!   vals block     f64 × nnz,
+//!   norms block    f64 × n,
 //!   labels flag u8 (0|1), then labels u64 × n if 1
 //! crc32     u32      of the payload bytes
 //! ```
 //!
-//! The row block's `u32` width matches the in-memory arena exactly (the
-//! `usize`→`u32` index narrowing), so nothing is widened or re-encoded on
-//! either side.
+//! ## Format version 2 (legacy, read support kept)
+//!
+//! Version 2 serializes the estimator's flat CSC arena *as the three bulk
+//! buffers it already is in memory* — one `col_ptr` block, one raw `u32` row
+//! block, one `f64` value block — with the same header and trailer as v3 but
+//! no codec byte and no norms block. [`write_snapshot_v2`] keeps the writer
+//! available for compatibility tests and fixtures.
 //!
 //! ## Format version 1 (legacy, read support kept)
 //!
@@ -43,9 +63,9 @@
 //! `indices u32 × nnz`, `values f64 × nnz`) between the permutation and the
 //! labels, with the same header, stats and trailing crc32.
 //! [`read_snapshot`] auto-detects the version from the header and keeps
-//! loading v1 files bit-exactly; compatibility is pinned by the committed
-//! fixture in `tests/snapshot_migration.rs`. [`write_snapshot_v1`] keeps the
-//! legacy writer available for compatibility tests.
+//! loading v1 and v2 files bit-exactly; compatibility is pinned by the
+//! committed fixtures in `tests/snapshot_migration.rs`. [`write_snapshot_v1`]
+//! keeps the legacy writer available for compatibility tests.
 
 use crate::error::IoError;
 use crate::gzip::Crc32;
@@ -59,6 +79,126 @@ use std::path::Path;
 pub(crate) const MAGIC: &[u8; 8] = b"EFRSNAP\n";
 pub(crate) const VERSION_V1: u32 = 1;
 pub(crate) const VERSION_V2: u32 = 2;
+pub(crate) const VERSION_V3: u32 = 3;
+
+/// v3 row-codec ids (one byte on disk).
+pub(crate) const ROW_CODEC_RAW: u8 = 0;
+pub(crate) const ROW_CODEC_VARINT: u8 = 1;
+
+/// Bytes of the LEB128 varint encoding of `v` (1–5 for a `u32`).
+pub(crate) fn varint_len(v: u32) -> u64 {
+    let bits = 32 - v.leading_zeros().min(31);
+    u64::from(bits.div_ceil(7).max(1))
+}
+
+/// Appends the LEB128 varint encoding of `v` to `out`.
+pub(crate) fn push_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Total varint bytes of one column's delta encoding (first index raw, then
+/// the gaps) — used by the writer to size the `row_off` table and negotiate
+/// the codec without encoding anything.
+pub(crate) fn varint_column_len(rows: &[u32]) -> u64 {
+    let mut bytes = 0u64;
+    let mut prev = 0u32;
+    for (k, &row) in rows.iter().enumerate() {
+        bytes += if k == 0 {
+            varint_len(row)
+        } else {
+            varint_len(row - prev)
+        };
+        prev = row;
+    }
+    bytes
+}
+
+/// Appends one column's delta-varint encoding to `out` (the inverse of
+/// [`decode_varint_column`]).
+pub(crate) fn encode_varint_column(out: &mut Vec<u8>, rows: &[u32]) {
+    let mut prev = 0u32;
+    for (k, &row) in rows.iter().enumerate() {
+        push_varint(out, if k == 0 { row } else { row - prev });
+        prev = row;
+    }
+}
+
+/// Decodes one column's delta-varint row encoding: exactly `count` strictly
+/// increasing indices in `0..order`, consuming exactly `bytes`. Every
+/// malformation — a truncated or over-long varint, a zero gap (rows not
+/// strictly increasing), an out-of-range index, trailing garbage — is a
+/// typed error, so both the resident loader and the paged page decoder can
+/// treat the block as untrusted.
+pub(crate) fn decode_varint_column(
+    bytes: &[u8],
+    count: usize,
+    order: usize,
+    out: &mut Vec<u32>,
+) -> Result<(), String> {
+    // This is the hot loop of the paged miss path: a decode-bound batch
+    // spends most of its time here, so the dominant case — a one-byte
+    // varint, since the gaps of a sparse column are small — takes a single
+    // bounds check and no shifting; multi-byte and malformed encodings fall
+    // through to the cold loop.
+    #[cold]
+    fn long_varint(bytes: &[u8], at: &mut usize) -> Result<u64, String> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let Some(&byte) = bytes.get(*at) else {
+                return Err("varint row encoding is truncated".to_string());
+            };
+            *at += 1;
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 28 {
+                return Err("varint row encoding overflows u32".to_string());
+            }
+        }
+    }
+
+    let len = bytes.len();
+    let bound = order as u64;
+    let mut at = 0usize;
+    let mut prev = 0u64;
+    out.reserve(count);
+    for k in 0..count {
+        let value = if at < len && bytes[at] < 0x80 {
+            at += 1;
+            u64::from(bytes[at - 1])
+        } else {
+            long_varint(bytes, &mut at)?
+        };
+        let row = if k == 0 {
+            value
+        } else {
+            if value == 0 {
+                return Err("row indices are not strictly increasing (zero gap)".to_string());
+            }
+            prev + value
+        };
+        if row >= bound {
+            return Err(format!("row index {row} out of range for {order} nodes"));
+        }
+        prev = row;
+        out.push(row as u32);
+    }
+    if at != len {
+        return Err(format!("column encoding has {} trailing byte(s)", len - at));
+    }
+    Ok(())
+}
 
 /// Entries per chunk when streaming bulk blocks: bounds the scratch buffer
 /// (and any allocation driven by an untrusted header) to a few hundred KiB.
@@ -179,7 +319,7 @@ impl<R: Read> CrcReader<'_, R> {
         Ok(buf)
     }
 
-    fn take_u8(&mut self) -> Result<u8, IoError> {
+    pub(crate) fn take_u8(&mut self) -> Result<u8, IoError> {
         Ok(self.take::<1>()?[0])
     }
 
@@ -222,8 +362,10 @@ impl<R: Read> CrcReader<'_, R> {
 }
 
 /// Serializes an estimator (and optional node labels) to `writer` in the
-/// current format (version 2): the arena's three bulk buffers behind a
-/// checksummed header.
+/// current format (version 3): the arena's bulk buffers behind a checksummed
+/// header, with the row block auto-negotiated between the raw and
+/// delta-varint codecs and the per-column squared norms persisted so loads
+/// (resident and paged) never recompute them.
 ///
 /// # Errors
 ///
@@ -231,6 +373,73 @@ impl<R: Read> CrcReader<'_, R> {
 /// estimator is too large for the u32 index space or `labels` has the wrong
 /// length.
 pub fn write_snapshot<W: Write>(
+    writer: &mut W,
+    estimator: &EffectiveResistanceEstimator,
+    labels: Option<&[u64]>,
+) -> Result<(), IoError> {
+    let n = validate_for_write(estimator, labels)?;
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION_V3.to_le_bytes())?;
+    let mut out = CrcWriter::new(writer);
+    write_header_fields(&mut out, estimator, n)?;
+    let inverse = estimator.approximate_inverse();
+    let col_ptr = inverse.col_ptr();
+    let rows = inverse.arena_rows();
+    out.put_u64(rows.len() as u64)?;
+    out.put_block(col_ptr, |p: usize| (p as u64).to_le_bytes())?;
+
+    // Codec negotiation: per-column byte offsets of the delta-varint
+    // encoding, against the raw u32 block. The offset table itself counts
+    // against the varint side — tiny or gap-dense graphs keep the raw codec.
+    let mut row_off: Vec<u64> = Vec::with_capacity(n + 1);
+    row_off.push(0);
+    let mut varint_bytes = 0u64;
+    for j in 0..n {
+        varint_bytes += varint_column_len(&rows[col_ptr[j]..col_ptr[j + 1]]);
+        row_off.push(varint_bytes);
+    }
+    let raw_bytes = rows.len() as u64 * 4;
+    if varint_bytes + (n as u64 + 1) * 8 < raw_bytes {
+        out.put(&[ROW_CODEC_VARINT])?;
+        out.put_u64(varint_bytes)?;
+        out.put_block(&row_off, |p: u64| p.to_le_bytes())?;
+        // Stream the encoded rows in bounded chunks, column-aligned.
+        let mut buf: Vec<u8> = Vec::with_capacity(BLOCK_CHUNK * 5);
+        for j in 0..n {
+            encode_varint_column(&mut buf, &rows[col_ptr[j]..col_ptr[j + 1]]);
+            if buf.len() >= BLOCK_CHUNK * 4 {
+                out.put(&buf)?;
+                buf.clear();
+            }
+        }
+        out.put(&buf)?;
+    } else {
+        out.put(&[ROW_CODEC_RAW])?;
+        out.put_block(rows, |r: u32| r.to_le_bytes())?;
+    }
+
+    out.put_block(inverse.arena_values(), f64::to_le_bytes)?;
+    // The norms block: summed in index order, exactly what a resident sweep
+    // would compute — loaded tables are bit-identical to recomputed ones.
+    // (This also primes the estimator's own memoized table as a side effect.)
+    let norms = estimator.column_norms_shared();
+    out.put_block(&norms, f64::to_le_bytes)?;
+    write_labels(&mut out, labels)?;
+    let crc = out.crc.finish();
+    writer.write_all(&crc.to_le_bytes())?;
+    Ok(())
+}
+
+/// Serializes an estimator in the version-2 format (bulk arena blocks, raw
+/// row codec, no norms block).
+///
+/// Kept so compatibility tests can produce fresh v2 bytes (and fixtures can
+/// be regenerated); new snapshots should use [`write_snapshot`].
+///
+/// # Errors
+///
+/// See [`write_snapshot`].
+pub fn write_snapshot_v2<W: Write>(
     writer: &mut W,
     estimator: &EffectiveResistanceEstimator,
     labels: Option<&[u64]>,
@@ -372,8 +581,10 @@ pub fn read_snapshot<R: Read>(reader: &mut R) -> Result<Snapshot, IoError> {
     match u32::from_le_bytes(version) {
         VERSION_V1 => read_payload(reader, Version::V1),
         VERSION_V2 => read_payload(reader, Version::V2),
+        VERSION_V3 => read_payload(reader, Version::V3),
         other => Err(IoError::Format(format!(
-            "unsupported snapshot version {other} (this build reads {VERSION_V1} and {VERSION_V2})"
+            "unsupported snapshot version {other} \
+             (this build reads {VERSION_V1}, {VERSION_V2} and {VERSION_V3})"
         ))),
     }
 }
@@ -382,6 +593,7 @@ pub fn read_snapshot<R: Read>(reader: &mut R) -> Result<Snapshot, IoError> {
 enum Version {
     V1,
     V2,
+    V3,
 }
 
 /// The payload fields shared by both snapshot versions, up to (and
@@ -446,9 +658,19 @@ fn read_payload<R: Read>(reader: &mut R, version: Version) -> Result<Snapshot, I
         permutation,
     } = read_payload_header(&mut input)?;
 
-    let (col_ptr, arena_rows, arena_vals) = match version {
-        Version::V1 => read_columns_v1(&mut input, n)?,
-        Version::V2 => read_arena_v2(&mut input, n)?,
+    let (col_ptr, arena_rows, arena_vals, norms) = match version {
+        Version::V1 => {
+            let (c, r, v) = read_columns_v1(&mut input, n)?;
+            (c, r, v, None)
+        }
+        Version::V2 => {
+            let (c, r, v) = read_arena_v2(&mut input, n)?;
+            (c, r, v, None)
+        }
+        Version::V3 => {
+            let (c, r, v, norms) = read_arena_v3(&mut input, n)?;
+            (c, r, v, Some(norms))
+        }
     };
 
     let labels = match input.take_u8()? {
@@ -478,12 +700,20 @@ fn read_payload<R: Read>(reader: &mut R, version: Version) -> Result<Snapshot, I
         )));
     }
     // `from_arena` revalidates the structural invariants (monotone col_ptr,
-    // strictly increasing lower-triangular columns) for both versions, so a
+    // strictly increasing lower-triangular columns) for every version, so a
     // corrupt-but-checksummed payload still cannot reach the query kernels.
     let inverse = SparseApproximateInverse::from_arena(
         n, col_ptr, arena_rows, arena_vals, inv_stats, epsilon,
     )?;
     let estimator = EffectiveResistanceEstimator::from_parts(inverse, permutation, stats)?;
+    if let Some(norms) = norms {
+        // v3 persists the write-time norm table (summed in index order, so
+        // bit-identical to a recomputed sweep): priming it means a resident
+        // load never sweeps the arena for norms again.
+        estimator
+            .prime_column_norms(norms)
+            .map_err(|e| IoError::Format(format!("invalid norms block: {e}")))?;
+    }
     Ok(Snapshot { estimator, labels })
 }
 
@@ -611,6 +841,139 @@ fn read_arena_v2<R: Read>(
     Ok((col_ptr, arena_rows, arena_vals))
 }
 
+/// Reads and validates a v3 `row_off` block (per-column byte offsets of the
+/// delta-varint row encoding): `n + 1` monotone `u64` entries starting at 0
+/// and ending exactly at `rows_bytes`, with each column's span consistent
+/// with its entry count (`count ≤ n` — a column has at most `n` strictly
+/// increasing rows — and `count ≤ span ≤ 5·count`, a LEB128 `u32` being 1–5
+/// bytes). Like `col_ptr`, violations are rejected while streaming, before
+/// the row bytes are touched, which is what lets the paged store locate
+/// varint column ranges in an untrusted file — and what bounds every later
+/// per-column buffer to `5n` bytes, so a hostile `nnz`/`rows_bytes` cannot
+/// drive a giant allocation (the `count ≤ n` bound also keeps `count * 5`
+/// far from overflowing).
+pub(crate) fn read_row_off_block<R: Read>(
+    input: &mut CrcReader<'_, R>,
+    col_ptr: &[u64],
+    rows_bytes: u64,
+) -> Result<Vec<u64>, IoError> {
+    let n = col_ptr.len() - 1;
+    let mut row_off: Vec<u64> = Vec::with_capacity((n + 1).min(PREALLOC_CAP));
+    let mut prev = 0u64;
+    input.take_block(n + 1, |b: [u8; 8]| {
+        let p = u64::from_le_bytes(b);
+        let j = row_off.len();
+        if j == 0 {
+            if p != 0 {
+                return Err(IoError::Format(format!("row_off must start at 0, got {p}")));
+            }
+        } else {
+            if p < prev || p > rows_bytes {
+                return Err(IoError::Format(format!(
+                    "row_off entry {j} ({p}) is outside the monotone range {prev}..={rows_bytes}"
+                )));
+            }
+            let span = p - prev;
+            let count = col_ptr[j] - col_ptr[j - 1];
+            if count > n as u64 {
+                return Err(IoError::Format(format!(
+                    "column {} claims {count} rows in a {n}-node inverse",
+                    j - 1
+                )));
+            }
+            if span < count || span > count * 5 {
+                return Err(IoError::Format(format!(
+                    "column {} claims {span} varint bytes for {count} row(s)",
+                    j - 1
+                )));
+            }
+        }
+        prev = p;
+        row_off.push(p);
+        Ok(())
+    })?;
+    if row_off.last() != Some(&rows_bytes) {
+        return Err(IoError::Format(format!(
+            "row_off must end at the declared {rows_bytes} row bytes, got {:?}",
+            row_off.last()
+        )));
+    }
+    Ok(row_off)
+}
+
+/// Reads the v3 arena blocks (codec-dispatched rows, values, norms) into the
+/// arena buffers plus the persisted norm table.
+#[allow(clippy::type_complexity)]
+fn read_arena_v3<R: Read>(
+    input: &mut CrcReader<'_, R>,
+    n: usize,
+) -> Result<(Vec<usize>, Vec<u32>, Vec<f64>, Vec<f64>), IoError> {
+    let nnz = input.take_u64()? as usize;
+    let col_ptr_u64 = read_col_ptr_block(input, n, nnz as u64)?;
+    let codec = input.take_u8()?;
+    let mut arena_rows: Vec<u32> = Vec::with_capacity(nnz.min(PREALLOC_CAP));
+    match codec {
+        ROW_CODEC_RAW => {
+            input.take_block(nnz, |b: [u8; 4]| {
+                let r = u32::from_le_bytes(b);
+                if r as usize >= n {
+                    return Err(IoError::Format(format!(
+                        "row index {r} out of range for {n} nodes"
+                    )));
+                }
+                arena_rows.push(r);
+                Ok(())
+            })?;
+        }
+        ROW_CODEC_VARINT => {
+            let rows_bytes = input.take_u64()?;
+            let row_off = read_row_off_block(input, &col_ptr_u64, rows_bytes)?;
+            // Decode column by column: each column's byte span is known from
+            // row_off, so a corrupt encoding can cost at most one bounded
+            // column buffer before it is rejected.
+            let mut buf: Vec<u8> = Vec::new();
+            for j in 0..n {
+                let span = (row_off[j + 1] - row_off[j]) as usize;
+                let count = (col_ptr_u64[j + 1] - col_ptr_u64[j]) as usize;
+                buf.resize(span, 0);
+                input.fill(&mut buf)?;
+                decode_varint_column(&buf, count, n, &mut arena_rows)
+                    .map_err(|e| IoError::Format(format!("column {j}: {e}")))?;
+            }
+        }
+        other => {
+            return Err(IoError::Format(format!("unknown v3 row codec {other}")));
+        }
+    }
+    let col_ptr: Vec<usize> = col_ptr_u64.into_iter().map(|p| p as usize).collect();
+    let mut arena_vals: Vec<f64> = Vec::with_capacity(nnz.min(PREALLOC_CAP));
+    let mut bad_value = false;
+    input.take_block(nnz, |b: [u8; 8]| {
+        arena_vals.push(f64::from_le_bytes(b));
+        bad_value |= !arena_vals.last().expect("just pushed").is_finite();
+        Ok(())
+    })?;
+    if bad_value {
+        return Err(IoError::Format(
+            "non-finite value in the arena value block".into(),
+        ));
+    }
+    let mut norms: Vec<f64> = Vec::with_capacity(n.min(PREALLOC_CAP));
+    let mut bad_norm = false;
+    input.take_block(n, |b: [u8; 8]| {
+        let v = f64::from_le_bytes(b);
+        bad_norm |= !v.is_finite() || v < 0.0;
+        norms.push(v);
+        Ok(())
+    })?;
+    if bad_norm {
+        return Err(IoError::Format(
+            "non-finite or negative entry in the norms block".into(),
+        ));
+    }
+    Ok((col_ptr, arena_rows, arena_vals, norms))
+}
+
 /// Writes a snapshot to a file (buffered), in the current format.
 ///
 /// # Errors
@@ -668,32 +1031,115 @@ mod tests {
     }
 
     #[test]
-    fn v1_and_v2_writers_round_trip_identically() {
-        // Same estimator through both formats: the loaded arenas must match
-        // bit-for-bit, v1's per-column records and v2's bulk blocks being
-        // two encodings of the same buffers.
+    fn all_writers_round_trip_identically() {
+        // Same estimator through every format: the loaded arenas must match
+        // bit-for-bit — v1's per-column records, v2's bulk blocks and v3's
+        // codec-negotiated blocks are three encodings of the same buffers.
         let estimator = sample_estimator();
         let mut v1 = Vec::new();
         write_snapshot_v1(&mut v1, &estimator, None).expect("write v1");
         let mut v2 = Vec::new();
-        write_snapshot(&mut v2, &estimator, None).expect("write v2");
+        write_snapshot_v2(&mut v2, &estimator, None).expect("write v2");
+        let mut v3 = Vec::new();
+        write_snapshot(&mut v3, &estimator, None).expect("write v3");
         assert_eq!(u32::from_le_bytes(v1[8..12].try_into().unwrap()), 1);
         assert_eq!(u32::from_le_bytes(v2[8..12].try_into().unwrap()), 2);
-        // Same rows/vals payload; the formats differ only in framing (v1:
-        // one u32 nnz per column, v2: a u64 col_ptr block + nnz header).
+        assert_eq!(u32::from_le_bytes(v3[8..12].try_into().unwrap()), 3);
+        // Same rows/vals payload; v1 and v2 differ only in framing (v1: one
+        // u32 nnz per column, v2: a u64 col_ptr block + nnz header).
         assert_eq!(v2.len() as i64 - v1.len() as i64, 8 * 145 + 8 - 4 * 144);
         let from_v1 = read_snapshot(&mut v1.as_slice()).expect("read v1");
         let from_v2 = read_snapshot(&mut v2.as_slice()).expect("read v2");
+        let from_v3 = read_snapshot(&mut v3.as_slice()).expect("read v3");
         let a = from_v1.estimator.approximate_inverse();
-        let b = from_v2.estimator.approximate_inverse();
-        assert_eq!(a.col_ptr(), b.col_ptr());
-        assert_eq!(a.arena_rows(), b.arena_rows());
-        assert!(a
-            .arena_values()
+        for loaded in [&from_v2, &from_v3] {
+            let b = loaded.estimator.approximate_inverse();
+            assert_eq!(a.col_ptr(), b.col_ptr());
+            assert_eq!(a.arena_rows(), b.arena_rows());
+            assert!(a
+                .arena_values()
+                .iter()
+                .zip(b.arena_values())
+                .all(|(x, y)| x.to_bits() == y.to_bits()));
+            assert_eq!(from_v1.estimator.stats(), loaded.estimator.stats());
+        }
+        // Only the v3 load arrives with the norm table already resident, and
+        // it matches a recomputed sweep bit for bit.
+        assert!(from_v1.estimator.cached_column_norms().is_none());
+        assert!(from_v2.estimator.cached_column_norms().is_none());
+        let primed = from_v3
+            .estimator
+            .cached_column_norms()
+            .expect("v3 loads norms");
+        assert!(estimator
+            .approximate_inverse()
+            .column_norms_squared()
             .iter()
-            .zip(b.arena_values())
+            .zip(primed)
             .all(|(x, y)| x.to_bits() == y.to_bits()));
-        assert_eq!(from_v1.estimator.stats(), from_v2.estimator.stats());
+    }
+
+    #[test]
+    fn v3_negotiates_the_varint_codec_when_it_shrinks_the_rows() {
+        // The 144-node sample has dense-ish columns with small gaps: varint
+        // deltas beat raw u32 rows even after paying for the offset table.
+        let estimator = sample_estimator();
+        let mut v3 = Vec::new();
+        write_snapshot(&mut v3, &estimator, None).expect("write v3");
+        let n = estimator.node_count();
+        let codec_at = 12 + 16 + 48 + 16 + 4 * n + 8 + 8 * (n + 1);
+        assert_eq!(v3[codec_at], super::ROW_CODEC_VARINT);
+        let mut v2 = Vec::new();
+        write_snapshot_v2(&mut v2, &estimator, None).expect("write v2");
+        assert!(
+            v3.len() < v2.len(),
+            "v3 ({}) should be smaller than v2 ({})",
+            v3.len(),
+            v2.len()
+        );
+    }
+
+    #[test]
+    fn varint_codec_round_trips_hostile_shaped_columns() {
+        // Encode/decode edge cases directly: empty columns, the maximum
+        // index, single-byte and five-byte varints.
+        for rows in [
+            vec![],
+            vec![0u32],
+            vec![u32::MAX - 1],
+            vec![0, 1, 2, 3],
+            vec![5, 1000, 1001, u32::MAX - 2],
+        ] {
+            let mut bytes = Vec::new();
+            super::encode_varint_column(&mut bytes, &rows);
+            assert_eq!(bytes.len() as u64, super::varint_column_len(&rows));
+            let mut decoded = Vec::new();
+            super::decode_varint_column(&bytes, rows.len(), u32::MAX as usize, &mut decoded)
+                .expect("round trip");
+            assert_eq!(decoded, rows);
+        }
+        // Malformed encodings are rejected: zero gap, truncation, trailing
+        // garbage, out-of-range index, over-long varint.
+        let mut ok = Vec::new();
+        super::encode_varint_column(&mut ok, &[3, 7]);
+        let mut out = Vec::new();
+        assert!(super::decode_varint_column(&[3, 0], 2, 100, &mut out).is_err());
+        out.clear();
+        assert!(super::decode_varint_column(&ok[..1], 2, 100, &mut out).is_err());
+        out.clear();
+        let mut padded = ok.clone();
+        padded.push(1);
+        assert!(super::decode_varint_column(&padded, 2, 100, &mut out).is_err());
+        out.clear();
+        assert!(super::decode_varint_column(&ok, 2, 7, &mut out).is_err());
+        out.clear();
+        assert!(super::decode_varint_column(
+            &[0x80, 0x80, 0x80, 0x80, 0x80, 0x01],
+            1,
+            100,
+            &mut out
+        )
+        .is_err());
     }
 
     #[test]
@@ -708,7 +1154,11 @@ mod tests {
     #[test]
     fn corruption_is_detected() {
         let estimator = sample_estimator();
-        for write in [write_snapshot::<Vec<u8>>, write_snapshot_v1::<Vec<u8>>] {
+        for write in [
+            write_snapshot::<Vec<u8>>,
+            write_snapshot_v2::<Vec<u8>>,
+            write_snapshot_v1::<Vec<u8>>,
+        ] {
             let mut bytes = Vec::new();
             write(&mut bytes, &estimator, None).expect("write");
 
@@ -745,8 +1195,8 @@ mod tests {
     fn hostile_header_errors_instead_of_allocating() {
         // A tiny snapshot whose header claims u32::MAX nodes must fail with a
         // clean format error (truncated payload), not abort the process
-        // trying to preallocate gigabytes — in either version.
-        for version in [1u32, 2] {
+        // trying to preallocate gigabytes — in every version.
+        for version in [1u32, 2, 3] {
             let mut bytes = Vec::new();
             bytes.extend_from_slice(b"EFRSNAP\n");
             bytes.extend_from_slice(&version.to_le_bytes());
@@ -757,6 +1207,36 @@ mod tests {
                 Err(IoError::Format(_))
             ));
         }
+    }
+
+    #[test]
+    fn hostile_v3_varint_header_errors_instead_of_allocating() {
+        // A tiny crafted v3 file whose single column claims 2^61 rows and
+        // 2^61 varint bytes: the count-per-column bound (≤ n) must reject it
+        // while streaming row_off — before `buf.resize(span)` or
+        // `out.reserve(count)` could turn the hostile sizes into a
+        // multi-exbibyte allocation request.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"EFRSNAP\n");
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // n = 1
+        bytes.extend_from_slice(&1e-3f64.to_le_bytes()); // epsilon
+        bytes.extend_from_slice(&[0u8; 48]); // estimator stats
+        bytes.extend_from_slice(&[0u8; 16]); // inverse counters
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // permutation [0]
+        let huge = 1u64 << 61;
+        bytes.extend_from_slice(&huge.to_le_bytes()); // nnz
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // col_ptr[0]
+        bytes.extend_from_slice(&huge.to_le_bytes()); // col_ptr[1]
+        bytes.extend_from_slice(&[1u8]); // varint codec
+        bytes.extend_from_slice(&huge.to_le_bytes()); // rows_bytes
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // row_off[0]
+        bytes.extend_from_slice(&huge.to_le_bytes()); // row_off[1]
+        let err = read_snapshot(&mut bytes.as_slice()).expect_err("must reject");
+        assert!(
+            matches!(&err, IoError::Format(m) if m.contains("claims")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! The paged column store against the resident arena, pinned on the
-//! committed `v2_grid12.snap` fixture: every query answer must be
-//! **bit-identical** between the two backends for every page geometry and
-//! cache size (including a one-page cache that evicts on every page switch),
-//! and hostile files must produce typed errors *before* corrupt data can
-//! serve a query.
+//! committed `v2_grid12.snap` and `v3_grid12.snap` fixtures (same estimator,
+//! two on-disk encodings): every query answer must be **bit-identical**
+//! between the backends for every page geometry and cache size (including a
+//! one-page cache that evicts on every page switch), and hostile files —
+//! including corrupt v3 varint and norms blocks — must produce typed errors
+//! *before* corrupt data can serve a query.
 
 use effres::column_store::{self, ColumnStore};
 use effres::EffresError;
@@ -62,12 +63,19 @@ fn resident_norms() -> &'static [f64] {
     })
 }
 
+/// Every page geometry over every paged-capable fixture encoding: indices
+/// `0..4` are the v2 file (raw rows, per-page norms), `4..8` the v3 file
+/// (varint rows, persisted norms).
 fn paged_stores() -> &'static [PagedSnapshot] {
     static STORES: OnceLock<Vec<PagedSnapshot>> = OnceLock::new();
     STORES.get_or_init(|| {
-        paged_configs()
+        ["v2_grid12.snap", "v3_grid12.snap"]
             .iter()
-            .map(|options| open_paged(fixture("v2_grid12.snap"), options).expect("fixture opens"))
+            .flat_map(|name| {
+                paged_configs()
+                    .iter()
+                    .map(|options| open_paged(fixture(name), options).expect("fixture opens"))
+            })
             .collect()
     })
 }
@@ -76,11 +84,12 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(400))]
 
     /// Random pairs through the fill-reducing permutation, across every page
-    /// geometry: the paged store must reproduce the resident arena's
-    /// distance, norm-table distance and per-column norms bit for bit.
+    /// geometry and both paged encodings (v2 raw, v3 varint): the paged
+    /// store must reproduce the resident arena's distance, norm-table
+    /// distance and per-column norms bit for bit.
     #[test]
     fn paged_queries_match_resident_bitwise(
-        (p, q, which) in (0usize..144, 0usize..144, 0usize..4),
+        (p, q, which) in (0usize..144, 0usize..144, 0usize..8),
     ) {
         let snapshot = resident();
         let inverse = snapshot.estimator.approximate_inverse();
@@ -278,4 +287,128 @@ fn zero_columns_per_page_is_rejected() {
         open_paged(fixture("v2_grid12.snap"), &options),
         Err(IoError::Format(_))
     ));
+}
+
+/// Byte offsets of the v3 layout for the 144-node labeled fixture (the
+/// fixture negotiates the varint codec):
+/// magic+version (12) | n,eps (16) | stats (48) | counters (16) | perm (4n)
+/// | nnz (8) | col_ptr (8(n+1)) | codec (1) | rows_bytes (8)
+/// | row_off (8(n+1)) | varint rows | vals (8·nnz) | norms (8n)
+/// | labels (1 + 8n) | crc (4).
+const V3_CODEC_OFFSET: usize = COL_PTR_OFFSET + 8 * (N + 1);
+const V3_ROW_OFF_OFFSET: usize = V3_CODEC_OFFSET + 1 + 8;
+const V3_ROWS_OFFSET: usize = V3_ROW_OFF_OFFSET + 8 * (N + 1);
+/// Offset of the norms block, counted from the END of the file (crc, then
+/// the labeled fixture's label block, then norms).
+const V3_NORMS_FROM_END: usize = 4 + (1 + 8 * N) + 8 * N;
+
+fn hostile_v3_copy(name: &str, mutate: impl FnOnce(&mut Vec<u8>)) -> PathBuf {
+    let mut bytes = std::fs::read(fixture("v3_grid12.snap")).expect("fixture bytes");
+    assert_eq!(bytes[V3_CODEC_OFFSET], 1, "fixture uses the varint codec");
+    mutate(&mut bytes);
+    let dir = std::env::temp_dir().join("effres-paged-hostile");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("hostile_v3_{name}.snap"));
+    std::fs::write(&path, bytes).expect("write hostile");
+    path
+}
+
+#[test]
+fn corrupt_varint_rows_are_a_typed_store_failure_at_page_decode() {
+    // Zero the first column's varint bytes: the second entry decodes as a
+    // zero gap — rows no longer strictly increasing. The paged opener
+    // cannot see it (rows stay on disk), but the page must refuse to serve.
+    let path = hostile_v3_copy("zero_gap", |bytes| {
+        bytes[V3_ROWS_OFFSET] = 0;
+        bytes[V3_ROWS_OFFSET + 1] = 0;
+    });
+    let paged = open_paged(&path, &PagedOptions::default()).expect("open skips row bytes");
+    let err = paged
+        .store
+        .with_column(0, |_| ())
+        .expect_err("corrupt varint must not serve");
+    assert!(
+        matches!(err, EffresError::StoreFailure { .. }),
+        "unexpected error: {err}"
+    );
+    // The resident loader rejects the same bytes while streaming.
+    assert!(matches!(load_snapshot(&path), Err(IoError::Format(_))));
+}
+
+#[test]
+fn truncated_varint_column_is_rejected_wherever_it_is_noticed() {
+    // A continuation bit with no terminator: decoding the column overruns
+    // its declared byte span.
+    let path = hostile_v3_copy("dangling_continuation", |bytes| {
+        bytes[V3_ROWS_OFFSET] |= 0x80;
+    });
+    let paged = open_paged(&path, &PagedOptions::default()).expect("open skips row bytes");
+    assert!(paged.store.with_column(0, |_| ()).is_err());
+    assert!(load_snapshot(&path).is_err());
+}
+
+#[test]
+fn non_monotone_row_off_is_rejected_by_both_loaders_before_serving() {
+    // Make row_off[1] overshoot row_off[2]: the byte offsets go backwards,
+    // which would misplace every later positioned read.
+    let path = hostile_v3_copy("row_off", |bytes| {
+        let at2 = V3_ROW_OFF_OFFSET + 8 * 2;
+        let next = u64::from_le_bytes(bytes[at2..at2 + 8].try_into().unwrap());
+        let at1 = V3_ROW_OFF_OFFSET + 8;
+        bytes[at1..at1 + 8].copy_from_slice(&(next + 1).to_le_bytes());
+    });
+    let err = open_paged(&path, &PagedOptions::default()).expect_err("must reject at open");
+    assert!(matches!(err, IoError::Format(_)), "{err}");
+    assert!(matches!(load_snapshot(&path), Err(IoError::Format(_))));
+}
+
+#[test]
+fn non_finite_norms_are_rejected_by_both_loaders() {
+    let path = hostile_v3_copy("nan_norm", |bytes| {
+        let at = bytes.len() - V3_NORMS_FROM_END;
+        bytes[at..at + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+    });
+    let err = open_paged(&path, &PagedOptions::default()).expect_err("must reject at open");
+    assert!(err.to_string().contains("norms"), "{err}");
+    assert!(matches!(load_snapshot(&path), Err(IoError::Format(_))));
+}
+
+#[test]
+fn truncated_norms_block_is_rejected_at_open() {
+    // Cut the file in the middle of the norms block: the paged opener's
+    // layout-implied length check must notice before serving.
+    let bytes = std::fs::read(fixture("v3_grid12.snap")).expect("fixture bytes");
+    let cut = bytes.len() - V3_NORMS_FROM_END + 8 * (N / 2);
+    let dir = std::env::temp_dir().join("effres-paged-hostile");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("hostile_v3_truncated_norms.snap");
+    std::fs::write(&path, &bytes[..cut]).expect("write");
+    assert!(matches!(
+        open_paged(&path, &PagedOptions::default()),
+        Err(IoError::Format(_))
+    ));
+    assert!(load_snapshot(&path).is_err());
+}
+
+#[test]
+fn v3_fixture_serves_persisted_norms_bit_identical_to_resident() {
+    let snapshot = resident();
+    let paged = open_paged(fixture("v3_grid12.snap"), &PagedOptions::default()).expect("opens");
+    let norms = paged.norms().expect("v3 carries norms");
+    assert_eq!(norms.len(), 144);
+    for (j, norm) in norms.iter().enumerate() {
+        assert_eq!(
+            norm.to_bits(),
+            snapshot
+                .estimator
+                .approximate_inverse()
+                .column(j)
+                .norm2_squared()
+                .to_bits(),
+            "col {j}"
+        );
+    }
+    // And the store never touched a page to produce them.
+    let stats = paged.store.page_cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.bytes_read), (0, 0, 0));
 }

@@ -19,6 +19,7 @@ use effres::column_store::ColumnStore;
 use effres::EffectiveResistanceEstimator;
 use effres_io::{PageCacheStats, PagedSnapshot};
 use effres_sparse::Permutation;
+use std::sync::Arc;
 
 /// A complete source of effective-resistance answers: columns plus the
 /// permutation into them.
@@ -38,17 +39,29 @@ pub trait ResistanceBackend: Send + Sync + 'static {
     /// Number of nodes served.
     fn node_count(&self) -> usize;
 
-    /// A precomputed `‖z̃_j‖²` table in the permuted domain, if building one
-    /// is cheap for this backend (resident stores — one pass over data that
-    /// is already in memory). Out-of-core backends return `None`: the table
-    /// would stream the whole file at boot, so the engine falls back to
-    /// [`ColumnStore::column_norm_squared`] per query, which the trait
-    /// contract pins to the same bits.
-    fn precomputed_norms(&self) -> Option<Vec<f64>>;
+    /// A precomputed `‖z̃_j‖²` table in the permuted domain, if this backend
+    /// can produce one without paying per-query I/O for it: resident stores
+    /// sweep data that is already in memory (once, memoized), and paged v3
+    /// snapshots load the table straight from the file's persisted norms
+    /// block. The table comes behind an [`Arc`] so backend, store and engine
+    /// share one copy of the `8n` bytes. Backends that return `None` (paged
+    /// v2 files, whose table would stream the whole file at boot) make the
+    /// engine fall back to [`ColumnStore::column_norm_squared`] per query,
+    /// which the trait contract pins to the same bits.
+    fn precomputed_norms(&self) -> Option<Arc<Vec<f64>>>;
 
-    /// Cumulative page-cache counters, for backends that page columns in
-    /// from storage. Resident backends return `None`.
+    /// Page-cache counters accrued since the last
+    /// [`ResistanceBackend::take_page_cache_stats`], for backends that page
+    /// columns in from storage. Resident backends return `None`.
     fn page_cache_stats(&self) -> Option<PageCacheStats> {
+        None
+    }
+
+    /// Snapshots and resets the page-cache counters (see
+    /// [`effres_io::PagedColumnStore::take_page_cache_stats`]), so batch
+    /// executors can report exact per-batch page traffic. Resident backends
+    /// return `None`.
+    fn take_page_cache_stats(&self) -> Option<PageCacheStats> {
         None
     }
 }
@@ -68,8 +81,8 @@ impl ResistanceBackend for EffectiveResistanceEstimator {
         EffectiveResistanceEstimator::node_count(self)
     }
 
-    fn precomputed_norms(&self) -> Option<Vec<f64>> {
-        Some(self.column_norms_squared())
+    fn precomputed_norms(&self) -> Option<Arc<Vec<f64>>> {
+        Some(self.column_norms_shared())
     }
 }
 
@@ -88,14 +101,21 @@ impl ResistanceBackend for PagedSnapshot {
         PagedSnapshot::node_count(self)
     }
 
-    /// Never precomputed: it would read every value block of the file at
-    /// boot, defeating the paged cold start. Per-column norms come off the
-    /// decoded pages instead.
-    fn precomputed_norms(&self) -> Option<Vec<f64>> {
-        None
+    /// v3 snapshots persist the table, so the paged engine gets it resident
+    /// for free (`f64 × n`, part of the cold-start state — shared with the
+    /// store, not copied) and queries pay zero page traffic for the norm
+    /// terms. v2 files return `None` — computing the table would read every
+    /// value block at boot, defeating the paged cold start — and per-column
+    /// norms come off the decoded pages instead.
+    fn precomputed_norms(&self) -> Option<Arc<Vec<f64>>> {
+        self.store.resident_norms_shared()
     }
 
     fn page_cache_stats(&self) -> Option<PageCacheStats> {
         Some(self.store.page_cache_stats())
+    }
+
+    fn take_page_cache_stats(&self) -> Option<PageCacheStats> {
+        Some(self.store.take_page_cache_stats())
     }
 }

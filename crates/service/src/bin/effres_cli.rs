@@ -27,7 +27,7 @@ use effres_io::dataset::{load_graph, IngestOptions};
 use effres_io::paged::{open_paged, PagedOptions, PagedSnapshot};
 use effres_io::snapshot::{load_snapshot, save_snapshot, Snapshot};
 use effres_io::{pairs, IoError};
-use effres_service::{EngineOptions, QueryBatch, QueryEngine, ResistanceBackend};
+use effres_service::{EngineOptions, QueryBatch, QueryEngine};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -71,11 +71,17 @@ BATCH OPTIONS:
     --output <file>         write `p q resistance` lines here
 
 PAGED OPTIONS (snapshot inputs; out-of-core serving):
-    --paged                 serve columns directly from the v2 snapshot file
-                            (positioned reads + LRU page cache) instead of
-                            loading the arena into memory; answers are
+    --paged                 serve columns directly from the v2/v3 snapshot
+                            file (positioned reads + LRU page cache) instead
+                            of loading the arena into memory; answers are
                             bit-identical to resident serving
     --page-cache <n>        decoded pages kept resident   [default: 1024]
+    --columns-per-page <n>  columns decoded per page      [default: 64]
+    --readahead <n>         scheduled-batch readahead window, in pages
+                            (0 = auto-size from the cache budget)
+    --no-schedule           batch only: answer in arrival order instead of
+                            through the locality scheduler (slow; the
+                            bit-identical reference path)
 
 Node ids are the dataset's original ids (SNAP ids, 1-based .mtx indices).
 ";
@@ -147,6 +153,9 @@ struct Options {
     threads: usize,
     cache: usize,
     paged: bool,
+    columns_per_page: Option<usize>,
+    readahead: usize,
+    no_schedule: bool,
 }
 
 impl Default for Options {
@@ -163,6 +172,9 @@ impl Default for Options {
             threads: 0,
             cache: EngineOptions::default().cache_capacity,
             paged: false,
+            columns_per_page: None,
+            readahead: 0,
+            no_schedule: false,
         }
     }
 }
@@ -238,6 +250,17 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 let pages = parse_number(&value_of("--page-cache", &mut iter)?, "--page-cache")?;
                 options.config = options.config.with_page_cache_pages(pages);
             }
+            "--columns-per-page" => {
+                options.columns_per_page = Some(parse_number(
+                    &value_of("--columns-per-page", &mut iter)?,
+                    "--columns-per-page",
+                )?)
+            }
+            "--readahead" => {
+                options.readahead =
+                    parse_number(&value_of("--readahead", &mut iter)?, "--readahead")?
+            }
+            "--no-schedule" => options.no_schedule = true,
             flag if flag.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag `{flag}`")))
             }
@@ -324,17 +347,29 @@ fn obtain_paged(path: &Path, options: &Options) -> Result<PagedSnapshot, CliErro
         ));
     }
     let start = Instant::now();
-    let paged = open_paged(
-        path,
-        &PagedOptions::default().with_cache_pages(options.config.page_cache_pages),
-    )?;
+    let mut paged_options =
+        PagedOptions::default().with_cache_pages(options.config.page_cache_pages);
+    if let Some(columns) = options.columns_per_page {
+        paged_options = paged_options.with_columns_per_page(columns);
+    }
+    let paged = open_paged(path, &paged_options)?;
     let f = paged.store.footprint();
     println!(
-        "opened paged snapshot {} ({} nodes, {:.1} MiB on disk, {:.1} MiB resident) in {:.3}s",
+        "opened paged snapshot {} ({} nodes, {:.1} MiB on disk, {:.1} MiB resident, \
+         {} rows, norms {}) in {:.3}s",
         path.display(),
         paged.node_count(),
         mib(f.total_bytes()),
-        mib(paged.store.resident_bytes()),
+        mib(paged.store.resident_bytes() + paged.norms().map_or(0, |n| n.len() * 8)),
+        match paged.store.row_codec() {
+            effres_io::RowCodec::Raw => "raw",
+            effres_io::RowCodec::Varint => "delta-varint",
+        },
+        if paged.norms().is_some() {
+            "persisted"
+        } else {
+            "per-page"
+        },
         start.elapsed().as_secs_f64()
     );
     Ok(paged)
@@ -505,16 +540,16 @@ fn build_batch(
     }
 }
 
-/// Executes a batch on any backend and prints the summary (plus the
-/// page-cache line when the backend pages columns in from disk).
-fn serve_batch<B: ResistanceBackend>(
-    engine: &QueryEngine<B>,
+/// Prints a batch summary (plus the per-batch page-traffic and scheduler
+/// lines when the backend pages columns in from disk) and writes the result
+/// file.
+fn serve_batch(
+    result: &effres_service::BatchResult,
     batch: &QueryBatch,
     labels: &Option<Vec<u64>>,
     output: Option<&Path>,
     pool_threads: usize,
 ) -> Result<(), CliError> {
-    let result = engine.execute(batch)?;
     println!(
         "batch      {} queries in {:.3}s, {} chunk(s) on a {}-worker pool — {:.0} queries/s",
         batch.len(),
@@ -527,11 +562,28 @@ fn serve_batch<B: ResistanceBackend>(
         "cache      {} hits, {} misses",
         result.cache_hits, result.cache_misses
     );
-    if engine.backend().page_cache_stats().is_some() {
-        let stats = engine.stats();
+    if let Some(page) = result.page_cache {
+        // Per-batch traffic (the counters are snapshot/reset around the
+        // batch), not process-lifetime totals.
+        let lookups = page.hits + page.misses;
         println!(
-            "page cache {} hits, {} misses",
-            stats.page_cache_hits, stats.page_cache_misses
+            "page cache {} hits, {} misses ({:.1}% hit rate), {:.1} MiB read, \
+             {} readahead read(s) — this batch",
+            page.hits,
+            page.misses,
+            if lookups == 0 {
+                100.0
+            } else {
+                100.0 * page.hits as f64 / lookups as f64
+            },
+            page.bytes_read as f64 / (1024.0 * 1024.0),
+            page.readahead_reads
+        );
+    }
+    if let Some(schedule) = result.schedule {
+        println!(
+            "schedule   {} page-pair cluster(s) -> {} pinned block(s), {} readahead window(s)",
+            schedule.clusters, schedule.blocks, schedule.windows
         );
     }
     let mean = if result.values.is_empty() {
@@ -603,6 +655,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
                 threads: options.threads,
                 cache_capacity: options.cache,
                 pool: Some(pool.clone()),
+                readahead_pages: options.readahead,
                 ..EngineOptions::default()
             },
         );
@@ -613,8 +666,18 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
                 boot.elapsed().as_secs_f64()
             );
         }
+        // Batches run through the locality scheduler by default: queries are
+        // clustered by the pages they touch, blocks are pinned and drained,
+        // and the hi side is swept with coalesced readahead. `--no-schedule`
+        // keeps the arrival-order reference path (bit-identical, far more
+        // page traffic).
+        let result = if options.no_schedule {
+            engine.execute(&batch)?
+        } else {
+            engine.execute_scheduled(&batch)?
+        };
         return serve_batch(
-            &engine,
+            &result,
             &batch,
             &labels,
             options.output.as_deref(),
@@ -636,8 +699,9 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             ..EngineOptions::default()
         },
     );
+    let result = engine.execute(&batch)?;
     serve_batch(
-        &engine,
+        &result,
         &batch,
         &labels,
         options.output.as_deref(),
@@ -672,14 +736,26 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
             f.index_width_bytes
         );
         println!(
-            "resident   {:.1} MiB (col_ptr block; columns page in on demand)",
-            mib(paged.store.resident_bytes())
+            "resident   {:.1} MiB (col_ptr/offset/norm blocks; columns page in on demand)",
+            mib(paged.store.resident_bytes() + paged.norms().map_or(0, |n| n.len() * 8))
         );
         println!(
             "pages      {} column(s)/page, {} page(s) on disk, cache {} page(s)",
             paged.store.columns_per_page(),
             paged.store.page_count(),
             paged.store.cache_capacity_pages()
+        );
+        println!(
+            "codec      {} rows, norms {}",
+            match paged.store.row_codec() {
+                effres_io::RowCodec::Raw => "raw u32",
+                effres_io::RowCodec::Varint => "delta-varint",
+            },
+            if paged.norms().is_some() {
+                "persisted (v3)"
+            } else {
+                "per-page (v2)"
+            }
         );
         println!("max depth  {}", s.max_depth);
         println!(

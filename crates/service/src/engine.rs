@@ -27,6 +27,7 @@ use crate::batch::QueryBatch;
 use crate::cache::ShardedLru;
 use effres::column_store::{self, ColumnStore};
 use effres::{EffectiveResistanceEstimator, EffresError, WorkerPool};
+use effres_io::PageCacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -51,6 +52,12 @@ pub struct EngineOptions {
     /// estimator build used (`EffresConfig::with_worker_pool`) so the whole
     /// pipeline shares one set of workers.
     pub pool: Option<WorkerPool>,
+    /// Readahead window of the locality-scheduled paged batch path
+    /// (`QueryEngine::<PagedSnapshot>::execute_scheduled`), in pages: how
+    /// many upcoming non-resident pages each scheduling step pins with one
+    /// coalesced read. `0` (the default) sizes the window automatically from
+    /// the store's cache budget. Resident backends ignore it.
+    pub readahead_pages: usize,
 }
 
 impl Default for EngineOptions {
@@ -61,6 +68,7 @@ impl Default for EngineOptions {
             cache_shards: 16,
             parallel_threshold: 1 << 10,
             pool: None,
+            readahead_pages: 0,
         }
     }
 }
@@ -86,6 +94,12 @@ pub struct ServiceStats {
     /// Page-cache misses of an out-of-core backend (column fetches that
     /// read and decoded from disk). Zero for resident backends.
     pub page_cache_misses: u64,
+    /// Bytes an out-of-core backend read from disk. Zero for resident
+    /// backends.
+    pub page_bytes_read: u64,
+    /// Coalesced readahead reads an out-of-core backend issued (each covers
+    /// a run of adjacent pages). Zero for resident backends.
+    pub page_readahead_reads: u64,
 }
 
 /// Result of one batch execution.
@@ -103,6 +117,29 @@ pub struct BatchResult {
     pub cache_hits: u64,
     /// Pair-cache misses within this batch.
     pub cache_misses: u64,
+    /// Page traffic of **this batch** (hits, misses, bytes read, coalesced
+    /// readahead reads), for out-of-core backends — taken with a
+    /// snapshot/reset of the backend's relaxed counters around the batch, so
+    /// the rates are per-batch, not process-lifetime. `None` for resident
+    /// backends. Exact when batches on the engine do not overlap;
+    /// overlapping batches split the totals between them.
+    pub page_cache: Option<PageCacheStats>,
+    /// How the locality scheduler organized this batch (scheduled paged
+    /// executions only).
+    pub schedule: Option<ScheduleReport>,
+}
+
+/// Shape of one locality-scheduled batch execution (see
+/// `QueryEngine::<PagedSnapshot>::execute_scheduled`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScheduleReport {
+    /// Distinct `(page_lo, page_hi)` clusters the batch's cache-missing
+    /// queries collapsed into.
+    pub clusters: usize,
+    /// Pinned page blocks the lo-side page space was partitioned into.
+    pub blocks: usize,
+    /// Readahead windows (hi-side page groups) processed across all blocks.
+    pub windows: usize,
 }
 
 impl BatchResult {
@@ -195,13 +232,15 @@ impl ColumnScratch {
 /// result cache and a free list of reusable scratch columns. Lives behind
 /// one [`Arc`] so batch jobs are `'static` without copying any of it.
 #[derive(Debug)]
-struct EngineCore<B: ResistanceBackend> {
-    backend: Arc<B>,
+pub(crate) struct EngineCore<B: ResistanceBackend> {
+    pub(crate) backend: Arc<B>,
     /// `‖z̃_j‖²` per permuted column, when the backend can afford the table
-    /// (resident stores). `None` for out-of-core backends, which serve
-    /// per-column norms off their decoded pages — bit-identical either way.
-    norms: Option<Vec<f64>>,
-    cache: Option<ShardedLru>,
+    /// (resident stores, paged v3 snapshots) — shared with the backend, not
+    /// copied. `None` for out-of-core backends without a persisted table,
+    /// which serve per-column norms off their decoded pages — bit-identical
+    /// either way.
+    pub(crate) norms: Option<Arc<Vec<f64>>>,
+    pub(crate) cache: Option<ShardedLru>,
     /// Reusable scratch columns: a worker pops one per job and returns it,
     /// so steady-state batch traffic allocates no dense buffers at all.
     scratches: Mutex<Vec<ColumnScratch>>,
@@ -253,15 +292,19 @@ impl<B: ResistanceBackend> EngineCore<B> {
 /// [`ResistanceBackend`] for the paged alternative).
 #[derive(Debug)]
 pub struct QueryEngine<B: ResistanceBackend = EffectiveResistanceEstimator> {
-    core: Arc<EngineCore<B>>,
-    options: EngineOptions,
+    pub(crate) core: Arc<EngineCore<B>>,
+    pub(crate) options: EngineOptions,
     /// The engine's own pool, created lazily on the first parallel batch
     /// when no shared pool was configured.
     owned_pool: OnceLock<WorkerPool>,
-    queries: AtomicU64,
-    batches: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
+    pub(crate) queries: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    /// Page traffic drained from the backend's snapshot/reset counters by
+    /// finished batches, so cumulative [`ServiceStats`] survive the
+    /// per-batch resets.
+    pub(crate) drained_page_stats: Mutex<PageCacheStats>,
 }
 
 impl QueryEngine {
@@ -302,6 +345,7 @@ impl<B: ResistanceBackend> QueryEngine<B> {
             batches: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            drained_page_stats: Mutex::new(PageCacheStats::default()),
         }
     }
 
@@ -327,9 +371,16 @@ impl<B: ResistanceBackend> QueryEngine<B> {
         }
     }
 
-    /// Cumulative service counters.
+    /// Cumulative service counters: the page-cache figures combine what
+    /// finished batches drained from the backend's snapshot/reset counters
+    /// with whatever has accrued since (single queries, an in-flight batch).
     pub fn stats(&self) -> ServiceStats {
-        let page = self.core.backend.page_cache_stats().unwrap_or_default();
+        let live = self.core.backend.page_cache_stats().unwrap_or_default();
+        let page = self
+            .drained_page_stats
+            .lock()
+            .expect("page stats lock poisoned")
+            .merged(live);
         ServiceStats {
             queries: self.queries.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
@@ -339,7 +390,34 @@ impl<B: ResistanceBackend> QueryEngine<B> {
             cache_capacity: self.core.cache.as_ref().map_or(0, ShardedLru::capacity),
             page_cache_hits: page.hits,
             page_cache_misses: page.misses,
+            page_bytes_read: page.bytes_read,
+            page_readahead_reads: page.readahead_reads,
         }
+    }
+
+    /// Opens a per-batch page-traffic window: counters accrued *before* the
+    /// batch (single queries, stats polling) are drained into the cumulative
+    /// pool so the close-of-window delta is the batch's own traffic.
+    pub(crate) fn begin_page_window(&self) {
+        if let Some(stray) = self.core.backend.take_page_cache_stats() {
+            let mut drained = self
+                .drained_page_stats
+                .lock()
+                .expect("page stats lock poisoned");
+            *drained = drained.merged(stray);
+        }
+    }
+
+    /// Closes a per-batch window: returns the batch's page traffic and folds
+    /// it into the cumulative pool.
+    pub(crate) fn end_page_window(&self) -> Option<PageCacheStats> {
+        let delta = self.core.backend.take_page_cache_stats()?;
+        let mut drained = self
+            .drained_page_stats
+            .lock()
+            .expect("page stats lock poisoned");
+        *drained = drained.merged(delta);
+        Some(delta)
     }
 
     /// Answers one query through the cache and the norm identity.
@@ -401,6 +479,7 @@ impl<B: ResistanceBackend> QueryEngine<B> {
             }
         }
         let threads = self.effective_threads(batch.len());
+        self.begin_page_window();
         let start = Instant::now();
         let (values, hits, misses) = if threads <= 1 {
             let mut scratch = self.core.take_scratch();
@@ -422,10 +501,12 @@ impl<B: ResistanceBackend> QueryEngine<B> {
             threads,
             cache_hits: hits,
             cache_misses: misses,
+            page_cache: self.end_page_window(),
+            schedule: None,
         })
     }
 
-    fn effective_threads(&self, batch_len: usize) -> usize {
+    pub(crate) fn effective_threads(&self, batch_len: usize) -> usize {
         if batch_len < self.options.parallel_threshold.max(2) {
             return 1;
         }
@@ -494,7 +575,7 @@ impl<B: ResistanceBackend> QueryEngine<B> {
     }
 }
 
-fn cache_key(p: usize, q: usize) -> u64 {
+pub(crate) fn cache_key(p: usize, q: usize) -> u64 {
     let (a, b) = if p < q { (p, q) } else { (q, p) };
     ((a as u64) << 32) | b as u64
 }

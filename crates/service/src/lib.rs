@@ -12,7 +12,11 @@
 //!   [`EffectiveResistanceEstimator`](effres::EffectiveResistanceEstimator)
 //!   arena, or the out-of-core
 //!   [`PagedSnapshot`](effres_io::PagedSnapshot) paging columns in from a
-//!   v2 snapshot file (bit-identical answers either way);
+//!   v2/v3 snapshot file (bit-identical answers either way);
+//! * [`scheduler`] — the locality scheduler for paged batches:
+//!   `QueryEngine::<PagedSnapshot>::execute_scheduled` clusters queries by
+//!   the pages they touch, pins blocks out of the cache budget and sweeps
+//!   the rest with coalesced readahead — same bits, a fraction of the I/O;
 //! * [`cache::ShardedLru`] — a sharded LRU of recent pair results in front
 //!   of the sparse kernel;
 //! * `effres-cli` — a binary driving the whole pipeline from the shell:
@@ -44,11 +48,12 @@ pub mod backend;
 pub mod batch;
 pub mod cache;
 pub mod engine;
+pub mod scheduler;
 
 pub use backend::ResistanceBackend;
 pub use batch::QueryBatch;
 pub use cache::ShardedLru;
-pub use engine::{BatchResult, EngineOptions, QueryEngine, ServiceStats};
+pub use engine::{BatchResult, EngineOptions, QueryEngine, ScheduleReport, ServiceStats};
 
 /// Compile-time audit that everything shared across query workers is
 /// `Send + Sync`: the estimator and its constituents are plain owned data

@@ -8,7 +8,9 @@ use effres_graph::generators;
 use effres_io::dataset::{load_graph, IngestOptions};
 use effres_io::{edge_list, gzip, snapshot};
 use effres_service::{EngineOptions, QueryBatch, QueryEngine};
+use proptest::prelude::*;
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 fn temp_path(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join("effres-e2e");
@@ -125,7 +127,122 @@ fn dataset_to_batched_queries_to_snapshot_and_back() {
     let paged_stats = paged_engine.stats();
     assert!(paged_stats.page_cache_misses > 0);
     assert!(paged_stats.page_cache_hits > 0);
+    assert!(paged_stats.page_bytes_read > 0);
     let resident_stats = resident_engine.stats();
     assert_eq!(resident_stats.page_cache_hits, 0);
     assert_eq!(resident_stats.page_cache_misses, 0);
+    assert_eq!(resident_stats.page_bytes_read, 0);
+    // Per-batch page traffic rides on the result; resident batches have none.
+    assert!(paged_result.page_cache.expect("paged batch").misses > 0);
+    assert!(resident_result.page_cache.is_none());
+
+    // 8. The locality scheduler: the same batch through
+    //    `execute_scheduled` must reproduce the resident answers
+    //    bit-identically, in the original request order, while reading far
+    //    fewer pages than the arrival-order paged run above.
+    let scheduled_engine = QueryEngine::new(
+        Arc::new(
+            effres_io::paged::open_paged(
+                &snap_path,
+                &effres_io::paged::PagedOptions {
+                    columns_per_page: 16,
+                    cache_pages: 8,
+                    cache_shards: 2,
+                },
+            )
+            .expect("open paged"),
+        ),
+        engine_options(),
+    );
+    let scheduled_result = scheduled_engine
+        .execute_scheduled(&batch)
+        .expect("scheduled batch");
+    for (slot, (&a, &b)) in resident_result
+        .values
+        .iter()
+        .zip(&scheduled_result.values)
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "query {slot} {:?}: resident {a} vs scheduled {b}",
+            batch.pairs()[slot]
+        );
+    }
+    let schedule = scheduled_result.schedule.expect("schedule report");
+    assert!(schedule.blocks >= 1 && schedule.windows >= schedule.blocks);
+    let scheduled_page = scheduled_result.page_cache.expect("page stats");
+    let unscheduled_page = paged_result.page_cache.expect("page stats");
+    assert!(
+        scheduled_page.misses < unscheduled_page.misses / 2,
+        "locality scheduling should slash page misses: {} vs {}",
+        scheduled_page.misses,
+        unscheduled_page.misses
+    );
+    assert!(scheduled_page.readahead_reads > 0, "coalesced reads used");
+}
+
+/// A prebuilt snapshot shared by the scheduler property test: building the
+/// estimator once keeps the proptest cases cheap.
+fn shared_snapshot_path() -> &'static std::path::Path {
+    static PATH: OnceLock<std::path::PathBuf> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let graph = generators::grid_2d(14, 14, 0.5, 2.0, 21).expect("generator");
+        let estimator =
+            EffectiveResistanceEstimator::build(&graph, &EffresConfig::default()).expect("build");
+        let path = temp_path("scheduler_prop.snap");
+        snapshot::save_snapshot(&path, &estimator, None).expect("save");
+        path
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The locality-scheduler contract, as a property over random page
+    /// geometries (including a one-page cache), cache budgets, readahead
+    /// windows and batches: `execute_scheduled` returns its values in the
+    /// batch's original request order and bit-identical to the unscheduled
+    /// paged path.
+    #[test]
+    fn scheduler_preserves_order_and_bits_across_page_geometries(
+        (columns_per_page, cache_pages, readahead, queries, seed) in
+            (1usize..48, 1usize..32, 0usize..8, 1usize..600, any::<u64>()),
+    ) {
+        let path = shared_snapshot_path();
+        let paged_options = effres_io::paged::PagedOptions {
+            columns_per_page,
+            cache_pages,
+            cache_shards: 1 + (seed as usize % 4),
+        };
+        let engine_options = |readahead: usize| EngineOptions {
+            cache_capacity: 0,
+            parallel_threshold: usize::MAX,
+            readahead_pages: readahead,
+            ..EngineOptions::default()
+        };
+        let reference = QueryEngine::new(
+            Arc::new(effres_io::paged::open_paged(path, &paged_options).expect("open")),
+            engine_options(0),
+        );
+        let scheduled = QueryEngine::new(
+            Arc::new(effres_io::paged::open_paged(path, &paged_options).expect("open")),
+            engine_options(readahead),
+        );
+        let batch = QueryBatch::random(queries, reference.node_count(), seed);
+        let a = reference.execute(&batch).expect("unscheduled");
+        let b = scheduled.execute_scheduled(&batch).expect("scheduled");
+        prop_assert_eq!(a.values.len(), b.values.len());
+        for (slot, (x, y)) in a.values.iter().zip(&b.values).enumerate() {
+            prop_assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "slot {} {:?} (geometry {:?})",
+                slot,
+                batch.pairs()[slot],
+                paged_options
+            );
+        }
+    }
 }
