@@ -30,6 +30,16 @@
 //! [`PinnedReader`], and [`PagedColumnStore::prefetch_columns`] is the
 //! fire-and-forget cache warm-up hint.
 //!
+//! Decoded-page buffers are **recycled**, not churned: when the last `Arc`
+//! to an evicted page drops, its row/value/norm vectors return to a
+//! per-store free list (bounded by the cache budget) and the next decode
+//! reuses their capacity, and the multi-megabyte coalesced read scratch is
+//! pooled the same way. Without this, a cache-sized sweep allocates and
+//! frees one page buffer per miss — gigabytes of allocator traffic per
+//! large batch that glibc hands back to the kernel, turning a long-lived
+//! server's steady state into a minor-page-fault storm. With the pool,
+//! steady-state serving allocates nothing on the page path.
+//!
 //! Trust model: the file is untrusted. The `col_ptr` block is fully
 //! validated at [`open_paged`] time (monotone, spanning exactly the declared
 //! nonzeros — *before* anything is served), the file length must match the
@@ -63,7 +73,7 @@ use std::fs::File;
 use std::io::{BufReader, Read};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 
 /// Positioned reads over a shared [`File`], std-only on every platform:
 /// `pread` on Unix and `seek_read` on Windows never touch a shared cursor,
@@ -216,6 +226,145 @@ struct Page {
     rows: Vec<u32>,
     vals: Vec<f64>,
     norms: Vec<f64>,
+    /// Where the buffers go when the last `Arc` drops (`Weak`: a store being
+    /// torn down takes its pool with it and outstanding pages just free).
+    pool: Weak<BufferPool>,
+}
+
+impl Drop for Page {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.upgrade() {
+            pool.put_page_buffers(PageBuffers {
+                rows: std::mem::take(&mut self.rows),
+                vals: std::mem::take(&mut self.vals),
+                norms: std::mem::take(&mut self.norms),
+            });
+        }
+    }
+}
+
+/// The recyclable allocations of one [`Page`], detached from its identity.
+#[derive(Debug, Default)]
+struct PageBuffers {
+    rows: Vec<u32>,
+    vals: Vec<f64>,
+    norms: Vec<f64>,
+}
+
+impl PageBuffers {
+    /// Entries the set can hold without reallocating (rows and values are
+    /// always sized together; the min guards against them ever diverging).
+    fn entry_capacity(&self) -> usize {
+        self.rows.capacity().min(self.vals.capacity())
+    }
+}
+
+/// Spare [`ReadScratch`] sets retained per store. Each is bounded by
+/// [`MAX_COALESCED_BYTES`], so this caps retained read scratch at ~128 MiB
+/// worst case — in exchange, up to four concurrent batches run their bulk
+/// reads without touching the allocator.
+const SCRATCH_SPARES: usize = 4;
+
+/// Free lists of decoded-page and read-scratch buffers, shared between a
+/// store (which pops on decode) and its pages (which push on drop, via a
+/// `Weak` back-reference).
+///
+/// Page entry counts vary along the column profile, so recycling is by
+/// **best fit**: the spare list stays sorted by capacity and a decode takes
+/// the smallest spare that already holds the page (a too-small spare would
+/// just reallocate inside `extend` — allocator churn with extra steps), and
+/// fresh buffers are sized to power-of-two entry classes so the capacities
+/// in circulation converge onto a few reusable classes instead of chasing
+/// every page size.
+///
+/// The page free list is capped at the cache budget: eviction can never
+/// park more spare buffer sets than the cache holds pages, so the pool at
+/// worst doubles the decoded-page footprint transiently (the same order as
+/// the pin overshoot [`PagedColumnStore::pin_pages`] documents) and in
+/// steady state holds roughly one pin burst. Lock order: a page shard lock
+/// may be held while a dropped page takes a pool lock (eviction), never the
+/// reverse — decode pops before any shard lock is taken.
+#[derive(Debug)]
+struct BufferPool {
+    /// Spare buffer sets, sorted ascending by entry capacity.
+    pages: Mutex<Vec<PageBuffers>>,
+    scratch: Mutex<Vec<ReadScratch>>,
+    page_cap: usize,
+    /// Decodes served from a recycled buffer set vs. a fresh allocation —
+    /// the pool's hit/miss counters ([`PagedColumnStore::buffer_pool_stats`]).
+    recycled: AtomicU64,
+    fresh: AtomicU64,
+}
+
+impl BufferPool {
+    fn new(page_cap: usize) -> Self {
+        BufferPool {
+            pages: Mutex::new(Vec::new()),
+            scratch: Mutex::new(Vec::new()),
+            page_cap: page_cap.max(8),
+            recycled: AtomicU64::new(0),
+            fresh: AtomicU64::new(0),
+        }
+    }
+
+    /// A buffer set whose row/value capacity already covers `count` entries:
+    /// the smallest fitting spare, or a fresh set in the next power-of-two
+    /// entry class.
+    fn take_page_buffers(&self, count: usize) -> PageBuffers {
+        let fitting = {
+            let mut spares = self.pages.lock().expect("buffer pool poisoned");
+            let at = spares.partition_point(|b| b.entry_capacity() < count);
+            (at < spares.len()).then(|| spares.remove(at))
+        };
+        match fitting {
+            Some(buffers) => {
+                self.recycled.fetch_add(1, Ordering::Relaxed);
+                buffers
+            }
+            None => {
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                let class = count.next_power_of_two();
+                PageBuffers {
+                    rows: Vec::with_capacity(class),
+                    vals: Vec::with_capacity(class),
+                    norms: Vec::new(),
+                }
+            }
+        }
+    }
+
+    fn put_page_buffers(&self, buffers: PageBuffers) {
+        let mut evicted = None;
+        {
+            let mut spares = self.pages.lock().expect("buffer pool poisoned");
+            if spares.len() >= self.page_cap {
+                // Full: keep the larger set — a big spare can serve any
+                // smaller page, never the other way around.
+                if spares[0].entry_capacity() >= buffers.entry_capacity() {
+                    return; // `buffers` frees after the guard unlocks
+                }
+                evicted = Some(spares.remove(0));
+            }
+            let at = spares.partition_point(|b| b.entry_capacity() < buffers.entry_capacity());
+            spares.insert(at, buffers);
+        }
+        drop(evicted); // outside the lock
+    }
+
+    fn take_scratch(&self) -> ReadScratch {
+        self.scratch
+            .lock()
+            .expect("buffer pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put_scratch(&self, scratch: ReadScratch) {
+        let mut spares = self.scratch.lock().expect("buffer pool poisoned");
+        if spares.len() < SCRATCH_SPARES {
+            spares.push(scratch);
+        }
+    }
 }
 
 const NIL: u32 = u32::MAX;
@@ -421,6 +570,40 @@ pub struct PagedColumnStore {
     misses: AtomicU64,
     bytes_read: AtomicU64,
     readahead_reads: AtomicU64,
+    /// Live/high-water pin accounting, shared (`Arc`) with the guards inside
+    /// every outstanding [`PinnedPages`] so drops decrement from anywhere.
+    pin_counters: Arc<PinCounters>,
+    /// Recycled decoded-page and read-scratch buffers (see [`BufferPool`]):
+    /// dying pages park their vectors here and decodes reuse the capacity,
+    /// so steady-state serving does not churn the allocator.
+    buffers: Arc<BufferPool>,
+}
+
+/// Pin accounting shared between a store and its outstanding [`PinnedPages`]:
+/// how many pages are pinned *right now* across all holders, and the highest
+/// that count has ever been. Admission control leases capacity against the
+/// cache budget; these counters are the ground truth that the leases actually
+/// bound the pinned footprint (the over-pin test asserts
+/// `high_water ≤ budget`).
+#[derive(Debug, Default)]
+struct PinCounters {
+    current: AtomicU64,
+    high_water: AtomicU64,
+}
+
+/// Decrements the live pin count when a [`PinnedPages`] set is dropped.
+#[derive(Debug)]
+struct PinGuard {
+    counters: Arc<PinCounters>,
+    count: u64,
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        self.counters
+            .current
+            .fetch_sub(self.count, Ordering::Relaxed);
+    }
 }
 
 /// Encoding of the on-disk row block (see the v3 layout in
@@ -566,24 +749,35 @@ impl PagedColumnStore {
     /// decode the same page; both produce identical bits and the cache keeps
     /// one of them — correctness is unaffected, only a read is duplicated.
     fn decode_page(&self, pid: usize) -> Result<Page, EffresError> {
+        let mut scratch = self.buffers.take_scratch();
+        let result = self.decode_page_with_scratch(pid, &mut scratch);
+        self.buffers.put_scratch(scratch);
+        result
+    }
+
+    fn decode_page_with_scratch(
+        &self,
+        pid: usize,
+        scratch: &mut ReadScratch,
+    ) -> Result<Page, EffresError> {
         let (first_col, last_col) = self.page_columns(pid);
         let failed = |message: String| EffresError::StoreFailure {
             column: first_col,
             message,
         };
         let (row_at, row_len) = self.row_byte_range(first_col, last_col);
-        let mut row_bytes = vec![0u8; row_len];
+        scratch.rows.resize(row_len, 0);
         self.file
-            .read_exact_at(&mut row_bytes, row_at)
+            .read_exact_at(&mut scratch.rows, row_at)
             .map_err(|e| failed(format!("reading the row block: {e}")))?;
         let (val_at, val_len) = self.val_byte_range(first_col, last_col);
-        let mut val_bytes = vec![0u8; val_len];
+        scratch.vals.resize(val_len, 0);
         self.file
-            .read_exact_at(&mut val_bytes, val_at)
+            .read_exact_at(&mut scratch.vals, val_at)
             .map_err(|e| failed(format!("reading the value block: {e}")))?;
         self.bytes_read
             .fetch_add((row_len + val_len) as u64, Ordering::Relaxed);
-        self.decode_page_bytes(pid, &row_bytes, &val_bytes)
+        self.decode_page_bytes(pid, &scratch.rows, &scratch.vals)
     }
 
     /// Decodes and validates one page from its raw on-disk bytes (fetched by
@@ -601,9 +795,18 @@ impl PagedColumnStore {
         let base = self.col_ptr[first_col];
         let count = (self.col_ptr[last_col] - base) as usize;
 
-        let rows: Vec<u32> = match (&self.codec, &self.row_off) {
+        // Recycled buffers from a previously evicted page, when available:
+        // cleared here, so only capacity (never contents) survives reuse. On
+        // a validation error they simply drop instead of returning to the
+        // pool — corrupt files are not a steady state worth optimizing.
+        let PageBuffers {
+            mut rows,
+            mut vals,
+            mut norms,
+        } = self.buffers.take_page_buffers(count);
+        rows.clear();
+        match (&self.codec, &self.row_off) {
             (RowCodec::Varint, Some(off)) => {
-                let mut rows = Vec::with_capacity(count);
                 let byte_base = off[first_col];
                 for j in first_col..last_col {
                     let lo = (off[j] - byte_base) as usize;
@@ -613,13 +816,13 @@ impl PagedColumnStore {
                     decode_varint_column(&row_bytes[lo..hi], entries, self.order, &mut rows)
                         .map_err(|message| EffresError::StoreFailure { column: j, message })?;
                 }
-                rows
             }
             _ => {
-                let rows: Vec<u32> = row_bytes
-                    .chunks_exact(4)
-                    .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte chunk")))
-                    .collect();
+                rows.extend(
+                    row_bytes
+                        .chunks_exact(4)
+                        .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte chunk"))),
+                );
                 // Raw rows arrive unchecked: reject non-increasing or
                 // out-of-range indices per column.
                 for j in first_col..last_col {
@@ -638,18 +841,22 @@ impl PagedColumnStore {
                         });
                     }
                 }
-                rows
             }
         };
-        let vals: Vec<f64> = val_bytes
-            .chunks_exact(8)
-            .map(|b| f64::from_le_bytes(b.try_into().expect("8-byte chunk")))
-            .collect();
+        vals.clear();
+        vals.extend(
+            val_bytes
+                .chunks_exact(8)
+                .map(|b| f64::from_le_bytes(b.try_into().expect("8-byte chunk"))),
+        );
 
         // With a resident norm table (v3) the per-page norms are never read:
         // skip accumulating them on this hot path.
         let want_norms = self.norms.is_none();
-        let mut norms = Vec::with_capacity(if want_norms { last_col - first_col } else { 0 });
+        norms.clear();
+        if want_norms {
+            norms.reserve(last_col - first_col);
+        }
         for j in first_col..last_col {
             let lo = (self.col_ptr[j] - base) as usize;
             let hi = (self.col_ptr[j + 1] - base) as usize;
@@ -684,6 +891,7 @@ impl PagedColumnStore {
             rows,
             vals,
             norms,
+            pool: Arc::downgrade(&self.buffers),
         })
     }
 
@@ -741,7 +949,57 @@ impl PagedColumnStore {
             self.cache.insert(pid, Arc::clone(&page));
             pages.insert(pid, page);
         }
-        Ok(PinnedPages { pages })
+        let count = pages.len() as u64;
+        let now = self
+            .pin_counters
+            .current
+            .fetch_add(count, Ordering::Relaxed)
+            + count;
+        self.pin_counters
+            .high_water
+            .fetch_max(now, Ordering::Relaxed);
+        Ok(PinnedPages {
+            pages,
+            _guard: Some(PinGuard {
+                counters: Arc::clone(&self.pin_counters),
+                count,
+            }),
+        })
+    }
+
+    /// Pages currently pinned across all outstanding [`PinnedPages`] sets.
+    pub fn pinned_pages_now(&self) -> usize {
+        self.pin_counters.current.load(Ordering::Relaxed) as usize
+    }
+
+    /// The highest simultaneous pin count the store has ever seen. Admission
+    /// control promises this never exceeds the cache budget even under
+    /// concurrent batches; the over-pin regression test asserts exactly that.
+    pub fn pinned_pages_high_water(&self) -> usize {
+        self.pin_counters.high_water.load(Ordering::Relaxed) as usize
+    }
+
+    /// Spare decoded-page buffer sets currently parked in the recycling
+    /// pool (test-only: asserts that eviction feeds decode).
+    #[cfg(test)]
+    fn spare_page_buffers(&self) -> usize {
+        self.buffers
+            .pages
+            .lock()
+            .expect("buffer pool poisoned")
+            .len()
+    }
+
+    /// How many page decodes reused a recycled buffer set vs. allocated
+    /// fresh, since open: `(recycled, fresh)`. A long-lived store should see
+    /// `recycled` dominate once the cache has filled once — fresh decodes
+    /// after warm-up mean the allocator (and, behind it, the kernel's page
+    /// fault path) is back on the serving path.
+    pub fn buffer_pool_stats(&self) -> (u64, u64) {
+        (
+            self.buffers.recycled.load(Ordering::Relaxed),
+            self.buffers.fresh.load(Ordering::Relaxed),
+        )
     }
 
     /// Fetches a sorted, deduplicated list of non-resident pages: maximal
@@ -751,20 +1009,24 @@ impl PagedColumnStore {
         &self,
         missing: &[usize],
     ) -> Result<HashMap<usize, Arc<Page>>, EffresError> {
-        let mut fetched: HashMap<usize, Arc<Page>> = HashMap::with_capacity(missing.len());
-        let mut scratch = ReadScratch::default();
-        let mut run_start = 0;
-        while run_start < missing.len() {
-            let mut run_end = run_start + 1;
-            while run_end < missing.len() && missing[run_end] == missing[run_end - 1] + 1 {
-                run_end += 1;
+        let mut scratch = self.buffers.take_scratch();
+        let result = (|| {
+            let mut fetched: HashMap<usize, Arc<Page>> = HashMap::with_capacity(missing.len());
+            let mut run_start = 0;
+            while run_start < missing.len() {
+                let mut run_end = run_start + 1;
+                while run_end < missing.len() && missing[run_end] == missing[run_end - 1] + 1 {
+                    run_end += 1;
+                }
+                self.read_page_run(&missing[run_start..run_end], &mut fetched, &mut scratch)?;
+                run_start = run_end;
             }
-            self.read_page_run(&missing[run_start..run_end], &mut fetched, &mut scratch)?;
-            run_start = run_end;
-        }
-        self.misses
-            .fetch_add(missing.len() as u64, Ordering::Relaxed);
-        Ok(fetched)
+            self.misses
+                .fetch_add(missing.len() as u64, Ordering::Relaxed);
+            Ok(fetched)
+        })();
+        self.buffers.put_scratch(scratch);
+        result
     }
 
     /// Reads one run of adjacent pages, splitting it into coalesced
@@ -883,6 +1145,9 @@ impl PagedColumnStore {
 #[derive(Debug, Default)]
 pub struct PinnedPages {
     pages: HashMap<usize, Arc<Page>>,
+    /// `None` only for the empty `Default` set, which pins nothing. Held
+    /// purely for its `Drop` (decrements the store's live pin count).
+    _guard: Option<PinGuard>,
 }
 
 impl PinnedPages {
@@ -1044,6 +1309,8 @@ pub struct PagedSnapshot {
     /// Original dataset ids of the dense nodes, if the snapshot was written
     /// from an ingested dataset.
     pub labels: Option<Vec<u64>>,
+    /// On-disk format version the snapshot was opened from (2 or 3).
+    pub version: u32,
 }
 
 impl PagedSnapshot {
@@ -1226,6 +1493,8 @@ pub fn open_paged(
         )));
     }
 
+    let cache = PageLru::new(options.cache_pages, options.cache_shards);
+    let buffers = Arc::new(BufferPool::new(cache.capacity()));
     let store = PagedColumnStore {
         file,
         order: n,
@@ -1237,11 +1506,13 @@ pub fn open_paged(
         rows_offset,
         vals_offset,
         columns_per_page: options.columns_per_page,
-        cache: PageLru::new(options.cache_pages, options.cache_shards),
+        cache,
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
         bytes_read: AtomicU64::new(0),
         readahead_reads: AtomicU64::new(0),
+        pin_counters: Arc::new(PinCounters::default()),
+        buffers,
     };
     Ok(PagedSnapshot {
         store,
@@ -1249,6 +1520,7 @@ pub fn open_paged(
         stats,
         epsilon,
         labels,
+        version,
     })
 }
 
@@ -1368,6 +1640,10 @@ mod tests {
         assert_eq!(s.misses as usize, 2 * paged.store.page_count());
         // Within a page, consecutive columns hit.
         assert!(s.hits > 0);
+        // Every eviction parked its buffers for the next decode to reuse:
+        // a churning cache recycles instead of hammering the allocator. One
+        // page is still resident and one spare set cycles through the pool.
+        assert_eq!(paged.store.spare_page_buffers(), 1);
     }
 
     #[test]

@@ -217,6 +217,11 @@ pub struct Snapshot {
     /// Original dataset ids of the estimator's dense nodes, if the snapshot
     /// was written from an ingested dataset.
     pub labels: Option<Vec<u64>>,
+    /// On-disk format version the snapshot was read from (1, 2 or 3), or
+    /// `None` for estimators built in memory that never touched a file.
+    /// Surfaced so `effres-cli stats` and the server's stats reply can name
+    /// the format a deployment is actually serving.
+    pub version: Option<u32>,
 }
 
 struct CrcWriter<'a, W: Write> {
@@ -714,7 +719,16 @@ fn read_payload<R: Read>(reader: &mut R, version: Version) -> Result<Snapshot, I
             .prime_column_norms(norms)
             .map_err(|e| IoError::Format(format!("invalid norms block: {e}")))?;
     }
-    Ok(Snapshot { estimator, labels })
+    let version = Some(match version {
+        Version::V1 => 1,
+        Version::V2 => 2,
+        Version::V3 => 3,
+    });
+    Ok(Snapshot {
+        estimator,
+        labels,
+        version,
+    })
 }
 
 /// Reads the v1 per-column records, assembling them into arena buffers.

@@ -7,13 +7,16 @@
 //! effres-cli batch <dataset|snapshot> --random N  thousands of queries
 //! effres-cli batch <dataset|snapshot> --pairs f   ... from a pair file
 //! effres-cli stats <dataset|snapshot>             what's inside
+//! effres-cli serve <dataset|snapshot> --port N    long-lived TCP front-end
+//! effres-cli bench-client <host:port>             load generator
 //! ```
 //!
 //! `<dataset>` is a SNAP-style edge list or a Matrix Market `.mtx` file,
 //! optionally gzipped; a snapshot is the binary format written by `build
 //! --output`. Node ids on the command line and in pair files are the
 //! *original dataset ids*; the CLI maps them onto the dense node space the
-//! estimator uses internally.
+//! estimator uses internally (`--dense` skips the mapping — that is the id
+//! space the network protocol speaks).
 //!
 //! With `--paged`, `query`/`batch`/`stats` serve a **v2 snapshot straight
 //! from disk**: only the header, permutation and column pointers are loaded
@@ -27,12 +30,14 @@ use effres_io::dataset::{load_graph, IngestOptions};
 use effres_io::paged::{open_paged, PagedOptions, PagedSnapshot};
 use effres_io::snapshot::{load_snapshot, save_snapshot, Snapshot};
 use effres_io::{pairs, IoError};
-use effres_service::{EngineOptions, QueryBatch, QueryEngine};
+use effres_server::{Client, ClientError, ServedEngine, Server};
+use effres_service::{EngineOptions, LatencyHistogram, QueryBatch, QueryEngine};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering as MemOrder};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "effres-cli — effective-resistance queries on graph datasets
 
@@ -45,6 +50,11 @@ USAGE:
                      [--threads N] [--cache N] [--seed S] [--output <file>]
                      [--paged [--page-cache N]] [ingest|build options]
     effres-cli stats <dataset|snapshot> [--paged [--page-cache N]]
+    effres-cli serve <dataset|snapshot> [--host H] [--port N] [--threads N]
+                     [--cache N] [--paged [--page-cache N]]
+    effres-cli bench-client <host:port> [--connections N] [--requests N]
+                     [--batch K [--batch-every J]] [--rate R] [--seed S]
+                     [--check K] [--shutdown]
 
 INGEST OPTIONS (dataset inputs):
     --keep-all-components   keep every component (default: largest only)
@@ -83,7 +93,25 @@ PAGED OPTIONS (snapshot inputs; out-of-core serving):
                             through the locality scheduler (slow; the
                             bit-identical reference path)
 
-Node ids are the dataset's original ids (SNAP ids, 1-based .mtx indices).
+SERVE OPTIONS:
+    --host <h>              listen address               [default: 127.0.0.1]
+    --port <n>              listen port (0 = ephemeral)  [default: 7878]
+
+BENCH-CLIENT OPTIONS:
+    --connections <n>       concurrent client connections [default: 4]
+    --requests <n>          requests per connection       [default: 1000]
+    --batch <k>             mixed traffic: batches of k pairs between the
+                            single queries (0 = singles only)
+    --batch-every <j>       every j-th request is a batch [default: 8]
+    --rate <r>              open-loop target rate per connection, in
+                            requests/s (0 = closed loop)  [default: 0]
+    --check <k>             after the run, print k deterministic `p q R`
+                            lines (cross-check against `query --dense`)
+    --shutdown              ask the server to shut down once done
+
+Node ids are the dataset's original ids (SNAP ids, 1-based .mtx indices);
+`--dense` on query/batch switches to the dense ids `0..nodes` — the id
+space the network protocol speaks.
 ";
 
 fn main() -> ExitCode {
@@ -132,6 +160,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "query" => cmd_query(rest),
         "batch" => cmd_batch(rest),
         "stats" => cmd_stats(rest),
+        "serve" => cmd_serve(rest),
+        "bench-client" => cmd_bench_client(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -156,6 +186,16 @@ struct Options {
     columns_per_page: Option<usize>,
     readahead: usize,
     no_schedule: bool,
+    dense: bool,
+    host: String,
+    port: u16,
+    connections: usize,
+    requests: usize,
+    batch: usize,
+    batch_every: usize,
+    rate: f64,
+    check: usize,
+    shutdown: bool,
 }
 
 impl Default for Options {
@@ -175,6 +215,16 @@ impl Default for Options {
             columns_per_page: None,
             readahead: 0,
             no_schedule: false,
+            dense: false,
+            host: "127.0.0.1".to_string(),
+            port: 7878,
+            connections: 4,
+            requests: 1000,
+            batch: 0,
+            batch_every: 8,
+            rate: 0.0,
+            check: 0,
+            shutdown: false,
         }
     }
 }
@@ -261,6 +311,24 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     parse_number(&value_of("--readahead", &mut iter)?, "--readahead")?
             }
             "--no-schedule" => options.no_schedule = true,
+            "--dense" => options.dense = true,
+            "--host" => options.host = value_of("--host", &mut iter)?,
+            "--port" => options.port = parse_number(&value_of("--port", &mut iter)?, "--port")?,
+            "--connections" => {
+                options.connections =
+                    parse_number(&value_of("--connections", &mut iter)?, "--connections")?
+            }
+            "--requests" => {
+                options.requests = parse_number(&value_of("--requests", &mut iter)?, "--requests")?
+            }
+            "--batch" => options.batch = parse_number(&value_of("--batch", &mut iter)?, "--batch")?,
+            "--batch-every" => {
+                options.batch_every =
+                    parse_number(&value_of("--batch-every", &mut iter)?, "--batch-every")?
+            }
+            "--rate" => options.rate = parse_number(&value_of("--rate", &mut iter)?, "--rate")?,
+            "--check" => options.check = parse_number(&value_of("--check", &mut iter)?, "--check")?,
+            "--shutdown" => options.shutdown = true,
             flag if flag.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag `{flag}`")))
             }
@@ -334,6 +402,7 @@ fn obtain_snapshot(path: &Path, options: &Options) -> Result<Snapshot, CliError>
     Ok(Snapshot {
         estimator,
         labels: Some(ds.labels),
+        version: None,
     })
 }
 
@@ -466,7 +535,11 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     if options.paged {
         let boot = Instant::now();
         let paged = obtain_paged(path, &options)?;
-        let labels = paged.labels.clone();
+        let labels = if options.dense {
+            None
+        } else {
+            paged.labels.clone()
+        };
         let map = label_map(&labels);
         let dense_p = resolve_node(p, &labels, &map)
             .ok_or_else(|| CliError::Run(format!("node id {p} not in the dataset")))?;
@@ -494,10 +567,15 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
         return Ok(());
     }
     let snapshot = obtain_snapshot(path, &options)?;
-    let map = label_map(&snapshot.labels);
-    let dense_p = resolve_node(p, &snapshot.labels, &map)
+    let labels = if options.dense {
+        None
+    } else {
+        snapshot.labels.clone()
+    };
+    let map = label_map(&labels);
+    let dense_p = resolve_node(p, &labels, &map)
         .ok_or_else(|| CliError::Run(format!("node id {p} not in the dataset")))?;
-    let dense_q = resolve_node(q, &snapshot.labels, &map)
+    let dense_q = resolve_node(q, &labels, &map)
         .ok_or_else(|| CliError::Run(format!("node id {q} not in the dataset")))?;
     let start = Instant::now();
     let r = snapshot.estimator.query(dense_p, dense_q)?;
@@ -645,7 +723,11 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         // pages in its two columns, so it is the honest time-to-first-query.
         let boot = Instant::now();
         let paged = obtain_paged(&path, &options)?;
-        let labels = paged.labels.clone();
+        let labels = if options.dense {
+            None
+        } else {
+            paged.labels.clone()
+        };
         let map = label_map(&labels);
         let node_count = paged.node_count();
         let batch = build_batch(source, &labels, &map, node_count, options.seed)?;
@@ -686,8 +768,12 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     }
 
     let snapshot = obtain_snapshot(&path, &options)?;
-    let map = label_map(&snapshot.labels);
-    let labels = snapshot.labels.clone();
+    let labels = if options.dense {
+        None
+    } else {
+        snapshot.labels.clone()
+    };
+    let map = label_map(&labels);
     let node_count = snapshot.estimator.node_count();
     let batch = build_batch(source, &labels, &map, node_count, options.seed)?;
     let engine = QueryEngine::new(
@@ -715,6 +801,7 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     if options.paged {
         let paged = obtain_paged(path, &options)?;
         println!("snapshot   {} (paged)", path.display());
+        println!("format     v{}", paged.version);
         let s = paged.stats;
         println!("nodes      {}", s.node_count);
         println!(
@@ -767,6 +854,10 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     if is_snapshot(path) {
         let snapshot = load_snapshot(path)?;
         println!("snapshot   {}", path.display());
+        match snapshot.version {
+            Some(v) => println!("format     v{v}"),
+            None => println!("format     built in memory"),
+        }
         print_estimator_stats(&snapshot.estimator);
         let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
         let workers = if options.threads == 0 {
@@ -787,6 +878,221 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     } else {
         cmd_load(args)
     }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    let path = require_input(&options)?.to_path_buf();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let workers = if options.threads == 0 {
+        cores
+    } else {
+        options.threads
+    };
+    let pool = WorkerPool::new(workers);
+    // The server speaks dense node ids, so labels are not needed here; a
+    // client that has dataset ids maps them with `query --dense` semantics.
+    let (engine, version) = if options.paged {
+        let paged = obtain_paged(&path, &options)?;
+        let version = paged.version;
+        let engine = QueryEngine::new(
+            Arc::new(paged),
+            EngineOptions {
+                threads: options.threads,
+                cache_capacity: options.cache,
+                pool: Some(pool),
+                readahead_pages: options.readahead,
+                ..EngineOptions::default()
+            },
+        );
+        (ServedEngine::Paged(engine), Some(version))
+    } else {
+        let snapshot = obtain_snapshot(&path, &options)?;
+        let version = snapshot.version;
+        let engine = QueryEngine::new(
+            Arc::new(snapshot.estimator),
+            EngineOptions {
+                threads: options.threads,
+                cache_capacity: options.cache,
+                pool: Some(pool),
+                ..EngineOptions::default()
+            },
+        );
+        (ServedEngine::Resident(engine), version)
+    };
+    let addr = format!("{}:{}", options.host, options.port);
+    let server = Server::bind(&addr, engine, version)
+        .map_err(|e| CliError::Run(format!("cannot bind {addr}: {e}")))?;
+    let served = match version {
+        Some(v) => format!("snapshot v{v}"),
+        None => "built in memory".to_string(),
+    };
+    println!(
+        "serving on {} — {} nodes, {} backend, {served}, {workers} worker(s)",
+        server.local_addr(),
+        server.engine().node_count(),
+        server.engine().backend_kind(),
+    );
+    println!("stop with `effres-cli bench-client <addr> --requests 0 --shutdown` or SIGINT");
+    let stats = server
+        .run()
+        .map_err(|e| CliError::Run(format!("serve loop failed: {e}")))?;
+    println!("final stats {stats}");
+    Ok(())
+}
+
+fn cmd_bench_client(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    let addr = require_input(&options)?
+        .to_str()
+        .ok_or_else(|| CliError::Usage("bench-client needs a <host:port> address".into()))?
+        .to_string();
+    let connect = |what: &str| -> Result<Client, CliError> {
+        Client::connect(addr.as_str())
+            .map_err(|e| CliError::Run(format!("cannot connect {what} to {addr}: {e}")))
+    };
+    let mut probe = connect("probe")?;
+    let info = probe.info();
+    println!(
+        "server     {} — {} nodes, {} backend, {}",
+        addr,
+        info.node_count,
+        if info.paged { "paged" } else { "resident" },
+        match info.snapshot_version {
+            Some(v) => format!("snapshot v{v}"),
+            None => "built in memory".to_string(),
+        }
+    );
+    if info.node_count < 2 {
+        return Err(CliError::Run("server has fewer than two nodes".into()));
+    }
+
+    // ---- load phase: N connections, closed loop (or paced open loop) ----
+    let latency = Arc::new(LatencyHistogram::new());
+    let queries_done = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for connection in 0..options.connections {
+        let addr = addr.clone();
+        let latency = Arc::clone(&latency);
+        let queries_done = Arc::clone(&queries_done);
+        let node_count = info.node_count;
+        let requests = options.requests;
+        let batch = options.batch;
+        let batch_every = options.batch_every.max(1);
+        let rate = options.rate;
+        let mut rng = options.seed ^ (0x9E37 + connection as u64);
+        workers.push(std::thread::spawn(move || -> Result<(), ClientError> {
+            let mut client = Client::connect(addr.as_str())?;
+            let begun = Instant::now();
+            for request in 0..requests {
+                if rate > 0.0 {
+                    // Open loop: stick to the schedule; if we are behind,
+                    // fire immediately (no catch-up bursts beyond that).
+                    let due = Duration::from_secs_f64(request as f64 / rate);
+                    if let Some(pause) = due.checked_sub(begun.elapsed()) {
+                        std::thread::sleep(pause);
+                    }
+                }
+                let sent = Instant::now();
+                if batch > 0 && request % batch_every == batch_every - 1 {
+                    let pairs: Vec<(u64, u64)> = (0..batch)
+                        .map(|_| {
+                            (
+                                splitmix64(&mut rng) % node_count,
+                                splitmix64(&mut rng) % node_count,
+                            )
+                        })
+                        .collect();
+                    client.query_batch(&pairs)?;
+                    queries_done.fetch_add(batch as u64, MemOrder::Relaxed);
+                } else {
+                    let p = splitmix64(&mut rng) % node_count;
+                    let q = splitmix64(&mut rng) % node_count;
+                    client.query(p, q)?;
+                    queries_done.fetch_add(1, MemOrder::Relaxed);
+                }
+                latency.record(sent.elapsed());
+            }
+            Ok(())
+        }));
+    }
+    let mut failures = Vec::new();
+    for (connection, worker) in workers.into_iter().enumerate() {
+        match worker.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => failures.push(format!("connection {connection}: {e}")),
+            Err(_) => failures.push(format!("connection {connection}: worker panicked")),
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    if !failures.is_empty() {
+        return Err(CliError::Run(failures.join("; ")));
+    }
+
+    let queries = queries_done.load(MemOrder::Relaxed);
+    let snapshot = latency.snapshot();
+    if options.requests > 0 {
+        println!(
+            "load       {} connection(s) × {} request(s), {} queries in {elapsed:.3}s \
+             — {:.0} queries/s",
+            options.connections,
+            options.requests,
+            queries,
+            queries as f64 / elapsed.max(1e-9),
+        );
+        println!(
+            "latency    p50 {} µs, p95 {} µs, p99 {} µs, max {} µs (mean {:.1} µs, \
+             per request{})",
+            snapshot.quantile_micros(0.50),
+            snapshot.quantile_micros(0.95),
+            snapshot.quantile_micros(0.99),
+            snapshot.max_micros,
+            snapshot.mean_micros(),
+            if options.batch > 0 {
+                "; batches count once"
+            } else {
+                ""
+            }
+        );
+    }
+
+    // ---- check phase: deterministic pairs, greppable `p q R` lines ----
+    if options.check > 0 {
+        let mut rng = options.seed ^ 0xC0FFEE;
+        for _ in 0..options.check {
+            let p = splitmix64(&mut rng) % info.node_count;
+            let q = splitmix64(&mut rng) % info.node_count;
+            let value = probe
+                .query(p, q)
+                .map_err(|e| CliError::Run(format!("check query failed: {e}")))?;
+            // f64 Display is shortest-roundtrip, so these lines compare
+            // byte-for-byte against `effres-cli query --dense` output.
+            println!("check {p} {q} {value}");
+        }
+    }
+
+    let stats = probe
+        .stats_json()
+        .map_err(|e| CliError::Run(format!("stats request failed: {e}")))?;
+    println!("server stats {stats}");
+
+    if options.shutdown {
+        probe
+            .shutdown_server()
+            .map_err(|e| CliError::Run(format!("shutdown request failed: {e}")))?;
+        println!("server acknowledged shutdown");
+    }
+    Ok(())
+}
+
+/// SplitMix64: the bench client's deterministic id stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 fn mib(bytes: usize) -> f64 {

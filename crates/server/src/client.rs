@@ -1,0 +1,192 @@
+//! A blocking client for the effres wire protocol.
+//!
+//! [`Client::connect`] dials, performs the `HELLO` handshake, and exposes
+//! one method per request type. Each method writes one frame, flushes, and
+//! blocks for the matching response — the protocol is strictly
+//! request/response, so a client needs no background machinery. A `Client`
+//! owns its connection and is cheap enough to open per thread; the load
+//! generator in `effres-cli bench-client` does exactly that.
+
+use crate::protocol::{
+    read_frame, write_frame, PayloadReader, OP_BATCH, OP_BATCH_OK, OP_ERROR, OP_HELLO, OP_HELLO_OK,
+    OP_QUERY, OP_QUERY_OK, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STATS, OP_STATS_OK,
+};
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What the server announced in its `HELLO` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Number of nodes served; valid dense ids are `0..node_count`.
+    pub node_count: u64,
+    /// Whether the backend is paged (out-of-core) rather than resident.
+    pub paged: bool,
+    /// Snapshot format version of the served file (v1/v2/v3), or `None`
+    /// when the server built its estimator in memory.
+    pub snapshot_version: Option<u32>,
+}
+
+/// Why a request failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection itself failed (refused, reset, timed out).
+    Io(io::Error),
+    /// The server answered with an error frame (bad node id, malformed
+    /// request); the connection stays usable.
+    Remote(String),
+    /// The server answered with bytes this client cannot interpret.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Remote(message) => write!(f, "server error: {message}"),
+            ClientError::Protocol(message) => write!(f, "protocol error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to an effres server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    info: ServerInfo,
+}
+
+impl Client {
+    /// Connects and performs the `HELLO` handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            info: ServerInfo {
+                node_count: 0,
+                paged: false,
+                snapshot_version: None,
+            },
+        };
+        let payload = client.round_trip(&[OP_HELLO], OP_HELLO_OK)?;
+        let mut reader = PayloadReader::new(&payload);
+        let node_count = reader.u64().map_err(bad_reply)?;
+        let paged = reader.u8().map_err(bad_reply)? != 0;
+        let version = reader.u32().map_err(bad_reply)?;
+        reader.finish().map_err(bad_reply)?;
+        client.info = ServerInfo {
+            node_count,
+            paged,
+            snapshot_version: (version != 0).then_some(version),
+        };
+        Ok(client)
+    }
+
+    /// What the server announced at connect time.
+    pub fn info(&self) -> ServerInfo {
+        self.info
+    }
+
+    /// Effective resistance between dense node ids `p` and `q`.
+    pub fn query(&mut self, p: u64, q: u64) -> Result<f64, ClientError> {
+        let mut request = Vec::with_capacity(17);
+        request.push(OP_QUERY);
+        request.extend_from_slice(&p.to_le_bytes());
+        request.extend_from_slice(&q.to_le_bytes());
+        let payload = self.round_trip(&request, OP_QUERY_OK)?;
+        let mut reader = PayloadReader::new(&payload);
+        let value = reader.f64().map_err(bad_reply)?;
+        reader.finish().map_err(bad_reply)?;
+        Ok(value)
+    }
+
+    /// Effective resistances for a batch of dense node-id pairs, in the
+    /// order given.
+    pub fn query_batch(&mut self, pairs: &[(u64, u64)]) -> Result<Vec<f64>, ClientError> {
+        let mut request = Vec::with_capacity(5 + pairs.len() * 16);
+        request.push(OP_BATCH);
+        request.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+        for &(p, q) in pairs {
+            request.extend_from_slice(&p.to_le_bytes());
+            request.extend_from_slice(&q.to_le_bytes());
+        }
+        let payload = self.round_trip(&request, OP_BATCH_OK)?;
+        let mut reader = PayloadReader::new(&payload);
+        let count = reader.u32().map_err(bad_reply)? as usize;
+        if count != pairs.len() {
+            return Err(ClientError::Protocol(format!(
+                "batch answered {count} values for {} pairs",
+                pairs.len()
+            )));
+        }
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            values.push(reader.f64().map_err(bad_reply)?);
+        }
+        reader.finish().map_err(bad_reply)?;
+        Ok(values)
+    }
+
+    /// The server's stats document (JSON).
+    pub fn stats_json(&mut self) -> Result<String, ClientError> {
+        let payload = self.round_trip(&[OP_STATS], OP_STATS_OK)?;
+        String::from_utf8(payload)
+            .map_err(|_| ClientError::Protocol("stats reply is not UTF-8".to_string()))
+    }
+
+    /// Asks the server to shut down. The server acknowledges, then stops
+    /// accepting and drains the other connections; this connection is done.
+    pub fn shutdown_server(mut self) -> Result<(), ClientError> {
+        let payload = self.round_trip(&[OP_SHUTDOWN], OP_SHUTDOWN_OK)?;
+        if payload.is_empty() {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(
+                "unexpected body in shutdown ack".to_string(),
+            ))
+        }
+    }
+
+    /// Writes one request frame and reads the matching response, returning
+    /// the response body past the opcode after checking it is `expected`.
+    fn round_trip(&mut self, request: &[u8], expected: u8) -> Result<Vec<u8>, ClientError> {
+        write_frame(&mut self.writer, request)?;
+        self.writer.flush()?;
+        let Some(mut payload) = read_frame(&mut self.reader)? else {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        };
+        let Some(&opcode) = payload.first() else {
+            return Err(ClientError::Protocol("empty response frame".to_string()));
+        };
+        payload.remove(0);
+        if opcode == OP_ERROR {
+            return Err(ClientError::Remote(
+                String::from_utf8_lossy(&payload).into_owned(),
+            ));
+        }
+        if opcode != expected {
+            return Err(ClientError::Protocol(format!(
+                "expected opcode {expected:#04x}, got {opcode:#04x}"
+            )));
+        }
+        Ok(payload)
+    }
+}
+
+fn bad_reply(e: io::Error) -> ClientError {
+    ClientError::Protocol(format!("malformed response body: {e}"))
+}

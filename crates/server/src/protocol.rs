@@ -1,0 +1,204 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message — request or response — is one **frame**: a little-endian
+//! `u32` payload length followed by the payload, whose first byte is the
+//! opcode. Requests and their responses pair up one-to-one on a connection
+//! (the protocol is strictly request/response; pipelining works because the
+//! server answers in order, but nothing requires it). All integers are
+//! little-endian; node ids are the engine's **dense** ids in
+//! `0..node_count` (the `HELLO` response carries `node_count`, so a client
+//! can generate valid ids without knowing the dataset's label space).
+//!
+//! | request | body | response | body |
+//! |---|---|---|---|
+//! | [`OP_HELLO`] | — | [`OP_HELLO_OK`] | `u64 node_count, u8 backend (0 resident / 1 paged), u32 snapshot_version (0 = built in memory)` |
+//! | [`OP_QUERY`] | `u64 p, u64 q` | [`OP_QUERY_OK`] | `f64 resistance` |
+//! | [`OP_BATCH`] | `u32 count, count × (u64 p, u64 q)` | [`OP_BATCH_OK`] | `u32 count, count × f64` |
+//! | [`OP_STATS`] | — | [`OP_STATS_OK`] | UTF-8 JSON (see [`crate::server`]) |
+//! | [`OP_SHUTDOWN`] | — | [`OP_SHUTDOWN_OK`] | — (the server then stops accepting and drains) |
+//!
+//! Any request can instead draw [`OP_ERROR`] with a UTF-8 message (bad
+//! node id, malformed body, unknown opcode); the connection stays usable.
+//! Frames over [`MAX_FRAME_BYTES`] are rejected without allocation — that
+//! caps a batch at about four million pairs, far above anything the engine
+//! wants in one piece anyway.
+
+use std::io::{self, Read, Write};
+
+/// Handshake: ask who is serving.
+pub const OP_HELLO: u8 = 0x01;
+/// One pair query (dense ids).
+pub const OP_QUERY: u8 = 0x02;
+/// A batch of pair queries (dense ids).
+pub const OP_BATCH: u8 = 0x03;
+/// Server statistics as JSON.
+pub const OP_STATS: u8 = 0x04;
+/// Stop accepting, drain connections, exit the serve loop.
+pub const OP_SHUTDOWN: u8 = 0x05;
+
+/// Response to [`OP_HELLO`].
+pub const OP_HELLO_OK: u8 = 0x81;
+/// Response to [`OP_QUERY`].
+pub const OP_QUERY_OK: u8 = 0x82;
+/// Response to [`OP_BATCH`].
+pub const OP_BATCH_OK: u8 = 0x83;
+/// Response to [`OP_STATS`].
+pub const OP_STATS_OK: u8 = 0x84;
+/// Response to [`OP_SHUTDOWN`] (acknowledged before the listener stops).
+pub const OP_SHUTDOWN_OK: u8 = 0x85;
+/// Error response to any request; body is a UTF-8 message.
+pub const OP_ERROR: u8 = 0xFF;
+
+/// Largest accepted frame payload (64 MiB).
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Writes one frame (length prefix + payload). The caller flushes.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(payload)
+}
+
+/// Reads one frame's payload. `Ok(None)` on clean EOF at a frame boundary
+/// (the peer closed the connection); errors on EOF mid-frame, or on a
+/// length prefix beyond [`MAX_FRAME_BYTES`].
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    match reader.read_exact(&mut prefix) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// A cursor over a received payload with checked little-endian reads.
+#[derive(Debug)]
+pub struct PayloadReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// A reader over `bytes` (typically a frame payload past the opcode).
+    pub fn new(bytes: &'a [u8]) -> Self {
+        PayloadReader { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "truncated payload",
+            ));
+        };
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    /// Next `u8`.
+    pub fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Next little-endian `u32`.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Next little-endian `u64`.
+    pub fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Next little-endian `f64`.
+    pub fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// All remaining bytes.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let rest = &self.bytes[self.at..];
+        self.at = self.bytes.len();
+        rest
+    }
+
+    /// Errors unless the payload was consumed exactly.
+    pub fn finish(self) -> io::Result<()> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes in payload",
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[OP_QUERY, 1, 2, 3]).expect("write");
+        write_frame(&mut wire, &[]).expect("write empty");
+        let mut reader = wire.as_slice();
+        assert_eq!(
+            read_frame(&mut reader).expect("read").as_deref(),
+            Some(&[OP_QUERY, 1, 2, 3][..])
+        );
+        assert_eq!(
+            read_frame(&mut reader).expect("read").as_deref(),
+            Some(&[][..])
+        );
+        assert_eq!(read_frame(&mut reader).expect("eof"), None);
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_rejected() {
+        let huge = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes();
+        assert!(read_frame(&mut huge.as_slice()).is_err());
+        let mut truncated = Vec::new();
+        write_frame(&mut truncated, &[0u8; 16]).expect("write");
+        truncated.truncate(10);
+        assert!(read_frame(&mut truncated.as_slice()).is_err());
+    }
+
+    #[test]
+    fn payload_reader_checks_bounds_and_trailing_bytes() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&1.5f64.to_le_bytes());
+        let mut reader = PayloadReader::new(&bytes);
+        assert_eq!(reader.u64().expect("u64"), 7);
+        assert_eq!(reader.f64().expect("f64"), 1.5);
+        assert!(reader.u8().is_err(), "reading past the end fails");
+        let mut reader = PayloadReader::new(&bytes);
+        assert_eq!(reader.u64().expect("u64"), 7);
+        assert!(reader.finish().is_err(), "unconsumed bytes are an error");
+    }
+}

@@ -1,0 +1,489 @@
+//! The serving loop: a TCP listener multiplexing every connection onto one
+//! shared [`QueryEngine`].
+//!
+//! Each accepted connection gets a handler thread that parses frames (see
+//! [`crate::protocol`]), answers them against the shared engine, and
+//! records per-request latency into a process-wide
+//! [`LatencyHistogram`]. The engine is the concurrency story: it is
+//! `Sync`, batches fan out on its worker pool, the pair cache is sharded,
+//! and — on the paged backend — concurrent batches lease pin capacity from
+//! the engine's admission ledger, so many clients can run large batches
+//! without over-pinning the page cache.
+//!
+//! Shutdown is cooperative: an [`OP_SHUTDOWN`]
+//! request (or [`ServerHandle::shutdown`]) sets a flag, the listener is
+//! woken with a loopback connection, and [`Server::run`] drains: it stops
+//! accepting, every handler notices the flag within its poll interval
+//! (200 ms) once its requests are answered, and `run` joins them all before
+//! returning — so when the process exits, no request was dropped mid-frame.
+//!
+//! The [`OP_STATS`] response is a JSON object
+//! (stable keys, no external dependencies) carrying the backend identity
+//! (including the snapshot format version), cumulative service counters,
+//! admission-ledger state, the latency quantiles (p50/p95/p99 in
+//! microseconds) and overall queries-per-second throughput.
+
+use crate::protocol::{
+    write_frame, PayloadReader, MAX_FRAME_BYTES, OP_BATCH, OP_BATCH_OK, OP_ERROR, OP_HELLO,
+    OP_HELLO_OK, OP_QUERY, OP_QUERY_OK, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STATS, OP_STATS_OK,
+};
+use effres::{EffectiveResistanceEstimator, EffresError};
+use effres_io::PagedSnapshot;
+use effres_service::{
+    AdmissionStats, BatchResult, LatencyHistogram, QueryBatch, QueryEngine, ServiceStats,
+};
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often an idle connection handler re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// The engine behind a server: resident or paged, one shared instance.
+///
+/// Batches on the paged variant run through the locality scheduler
+/// (`execute_scheduled`), which is both the fast path and the one that
+/// leases pin capacity from the admission ledger; the resident variant has
+/// no pages to schedule and uses plain parallel execution.
+#[derive(Debug)]
+pub enum ServedEngine {
+    /// In-memory arena backend.
+    Resident(QueryEngine<EffectiveResistanceEstimator>),
+    /// Out-of-core paged-snapshot backend.
+    Paged(QueryEngine<PagedSnapshot>),
+}
+
+impl ServedEngine {
+    /// Number of nodes served (dense ids are `0..node_count`).
+    pub fn node_count(&self) -> usize {
+        match self {
+            ServedEngine::Resident(engine) => engine.node_count(),
+            ServedEngine::Paged(engine) => engine.node_count(),
+        }
+    }
+
+    /// `"resident"` or `"paged"`.
+    pub fn backend_kind(&self) -> &'static str {
+        match self {
+            ServedEngine::Resident(_) => "resident",
+            ServedEngine::Paged(_) => "paged",
+        }
+    }
+
+    /// Answers one pair query (dense ids).
+    pub fn query(&self, p: usize, q: usize) -> Result<f64, EffresError> {
+        match self {
+            ServedEngine::Resident(engine) => engine.query(p, q),
+            ServedEngine::Paged(engine) => engine.query(p, q),
+        }
+    }
+
+    /// Executes a batch — scheduled on the paged backend, plain on the
+    /// resident one.
+    pub fn execute(&self, batch: &QueryBatch) -> Result<BatchResult, EffresError> {
+        match self {
+            ServedEngine::Resident(engine) => engine.execute(batch),
+            ServedEngine::Paged(engine) => engine.execute_scheduled(batch),
+        }
+    }
+
+    /// Cumulative service counters.
+    pub fn stats(&self) -> ServiceStats {
+        match self {
+            ServedEngine::Resident(engine) => engine.stats(),
+            ServedEngine::Paged(engine) => engine.stats(),
+        }
+    }
+
+    /// Per-interval service counters (see
+    /// [`QueryEngine::take_service_stats`]).
+    pub fn take_service_stats(&self) -> ServiceStats {
+        match self {
+            ServedEngine::Resident(engine) => engine.take_service_stats(),
+            ServedEngine::Paged(engine) => engine.take_service_stats(),
+        }
+    }
+
+    /// Admission-ledger counters (paged backends only).
+    pub fn admission_stats(&self) -> Option<AdmissionStats> {
+        match self {
+            ServedEngine::Resident(engine) => engine.admission_stats(),
+            ServedEngine::Paged(engine) => engine.admission_stats(),
+        }
+    }
+}
+
+/// State shared by the accept loop and every connection handler.
+#[derive(Debug)]
+struct Shared {
+    engine: ServedEngine,
+    /// Snapshot format version of the file being served (v1/v2/v3); `None`
+    /// for estimators built in memory.
+    snapshot_version: Option<u32>,
+    latency: LatencyHistogram,
+    started: Instant,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks until shutdown.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// A cheap handle onto a running (or about-to-run) server: lets another
+/// thread observe the bound address, read stats, or trigger shutdown.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) over a
+    /// shared engine. `snapshot_version` names the on-disk format being
+    /// served, when the engine came from a snapshot file.
+    pub fn bind(
+        addr: &str,
+        engine: ServedEngine,
+        snapshot_version: Option<u32>,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                engine,
+                snapshot_version,
+                latency: LatencyHistogram::new(),
+                started: Instant::now(),
+                shutdown: AtomicBool::new(false),
+                addr,
+                connections: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+                protocol_errors: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The engine being served.
+    pub fn engine(&self) -> &ServedEngine {
+        &self.shared.engine
+    }
+
+    /// A handle for observing or shutting down the server from elsewhere.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves until shutdown: accepts connections, one handler thread each,
+    /// then joins every handler so no request is dropped mid-frame. Returns
+    /// the final stats JSON (the same document [`OP_STATS`] serves).
+    pub fn run(self) -> io::Result<String> {
+        let mut handlers = Vec::new();
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(accepted) => accepted,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break; // the wake-up connection; stop accepting
+            }
+            self.shared.connections.fetch_add(1, Ordering::Relaxed);
+            let shared = Arc::clone(&self.shared);
+            handlers.push(std::thread::spawn(move || {
+                // Connection failures (peer reset, malformed framing) end
+                // that connection only; the server keeps serving.
+                let _ = serve_connection(stream, &shared);
+            }));
+        }
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        Ok(stats_json(&self.shared))
+    }
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The current stats JSON (same document [`OP_STATS`] serves).
+    pub fn stats_json(&self) -> String {
+        stats_json(&self.shared)
+    }
+
+    /// Requests shutdown and wakes the accept loop. Idempotent.
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+}
+
+fn trigger_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    // Wake the blocking accept with a throwaway loopback connection; if it
+    // fails (listener already gone), shutdown is underway anyway.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// Serves one connection until the peer closes, the stream fails, or the
+/// server shuts down. Reads are chunked with a poll timeout so the handler
+/// notices the shutdown flag while idle; the frame buffer survives partial
+/// reads, so a slow sender cannot desynchronize the framing.
+fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true)?;
+    let mut writer = io::BufWriter::new(stream.try_clone()?);
+    let mut stream = stream;
+    let mut buffer: Vec<u8> = Vec::new();
+    let mut chunk = vec![0u8; 64 << 10];
+    loop {
+        while let Some(consumed) = frame_length(&buffer)? {
+            let payload: Vec<u8> = buffer.drain(..consumed).skip(4).collect();
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            let proceed = handle_request(&payload, shared, &mut writer)?;
+            writer.flush()?;
+            if !proceed {
+                return Ok(());
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // peer closed
+            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Length of the first complete frame in `buffer` (prefix + payload), or
+/// `None` if more bytes are needed; errors on an oversized length prefix.
+fn frame_length(buffer: &[u8]) -> io::Result<Option<usize>> {
+    if buffer.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buffer[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    Ok(if buffer.len() >= 4 + len {
+        Some(4 + len)
+    } else {
+        None
+    })
+}
+
+/// Answers one request; returns `false` when the connection should close
+/// (after a shutdown ack).
+fn handle_request(payload: &[u8], shared: &Shared, writer: &mut impl Write) -> io::Result<bool> {
+    let Some((&opcode, body)) = payload.split_first() else {
+        shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        return write_error(writer, "empty frame").map(|()| true);
+    };
+    match opcode {
+        OP_HELLO => {
+            let mut out = Vec::with_capacity(1 + 8 + 1 + 4);
+            out.push(OP_HELLO_OK);
+            out.extend_from_slice(&(shared.engine.node_count() as u64).to_le_bytes());
+            out.push(u8::from(shared.engine.backend_kind() == "paged"));
+            out.extend_from_slice(&shared.snapshot_version.unwrap_or(0).to_le_bytes());
+            write_frame(writer, &out)?;
+        }
+        OP_QUERY => {
+            let started = Instant::now();
+            let mut reader = PayloadReader::new(body);
+            let parsed = (|| -> io::Result<(u64, u64)> {
+                let p = reader.u64()?;
+                let q = reader.u64()?;
+                reader.finish()?;
+                Ok((p, q))
+            })();
+            match parsed {
+                Err(e) => {
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    write_error(writer, &format!("malformed query: {e}"))?;
+                }
+                Ok((p, q)) => match shared.engine.query(p as usize, q as usize) {
+                    Ok(value) => {
+                        let mut out = Vec::with_capacity(9);
+                        out.push(OP_QUERY_OK);
+                        out.extend_from_slice(&value.to_le_bytes());
+                        write_frame(writer, &out)?;
+                        shared.latency.record(started.elapsed());
+                    }
+                    Err(e) => write_error(writer, &e.to_string())?,
+                },
+            }
+        }
+        OP_BATCH => {
+            let started = Instant::now();
+            let mut reader = PayloadReader::new(body);
+            let parsed = (|| -> io::Result<Vec<(usize, usize)>> {
+                let count = reader.u32()? as usize;
+                if count * 16 != body.len() - 4 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "batch count disagrees with payload size",
+                    ));
+                }
+                let mut pairs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    pairs.push((reader.u64()? as usize, reader.u64()? as usize));
+                }
+                reader.finish()?;
+                Ok(pairs)
+            })();
+            match parsed {
+                Err(e) => {
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    write_error(writer, &format!("malformed batch: {e}"))?;
+                }
+                Ok(pairs) => {
+                    let batch = QueryBatch::from_pairs(pairs);
+                    match shared.engine.execute(&batch) {
+                        Ok(result) => {
+                            let mut out = Vec::with_capacity(5 + result.values.len() * 8);
+                            out.push(OP_BATCH_OK);
+                            out.extend_from_slice(&(result.values.len() as u32).to_le_bytes());
+                            for value in &result.values {
+                                out.extend_from_slice(&value.to_le_bytes());
+                            }
+                            write_frame(writer, &out)?;
+                            shared.latency.record(started.elapsed());
+                        }
+                        Err(e) => write_error(writer, &e.to_string())?,
+                    }
+                }
+            }
+        }
+        OP_STATS => {
+            let json = stats_json(shared);
+            let mut out = Vec::with_capacity(1 + json.len());
+            out.push(OP_STATS_OK);
+            out.extend_from_slice(json.as_bytes());
+            write_frame(writer, &out)?;
+        }
+        OP_SHUTDOWN => {
+            write_frame(writer, &[OP_SHUTDOWN_OK])?;
+            writer.flush()?;
+            trigger_shutdown(shared);
+            return Ok(false);
+        }
+        other => {
+            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            write_error(writer, &format!("unknown opcode {other:#04x}"))?;
+        }
+    }
+    Ok(true)
+}
+
+fn write_error(writer: &mut impl Write, message: &str) -> io::Result<()> {
+    let mut out = Vec::with_capacity(1 + message.len());
+    out.push(OP_ERROR);
+    out.extend_from_slice(message.as_bytes());
+    write_frame(writer, &out)
+}
+
+/// Renders the stats document: plain JSON with stable keys, no external
+/// dependencies (numbers and a fixed vocabulary of strings only).
+fn stats_json(shared: &Shared) -> String {
+    let service = shared.engine.stats();
+    let latency = shared.latency.snapshot();
+    let uptime = shared.started.elapsed().as_secs_f64();
+    let mut out = String::with_capacity(1024);
+    out.push('{');
+    write!(
+        out,
+        "\"backend\":\"{}\",\"nodes\":{},\"snapshot_version\":{},",
+        shared.engine.backend_kind(),
+        shared.engine.node_count(),
+        shared
+            .snapshot_version
+            .map_or("null".to_string(), |v| v.to_string()),
+    )
+    .expect("write to string");
+    write!(
+        out,
+        "\"uptime_secs\":{uptime:.3},\"connections\":{},\"requests\":{},\"protocol_errors\":{},",
+        shared.connections.load(Ordering::Relaxed),
+        shared.requests.load(Ordering::Relaxed),
+        shared.protocol_errors.load(Ordering::Relaxed),
+    )
+    .expect("write to string");
+    write!(
+        out,
+        "\"service\":{{\"queries\":{},\"batches\":{},\"pair_cache_hits\":{},\
+         \"pair_cache_misses\":{},\"pair_cache_entries\":{},\"pair_cache_capacity\":{},\
+         \"page_cache_hits\":{},\"page_cache_misses\":{},\"page_bytes_read\":{},\
+         \"page_readahead_reads\":{}}},",
+        service.queries,
+        service.batches,
+        service.cache_hits,
+        service.cache_misses,
+        service.cache_entries,
+        service.cache_capacity,
+        service.page_cache_hits,
+        service.page_cache_misses,
+        service.page_bytes_read,
+        service.page_readahead_reads,
+    )
+    .expect("write to string");
+    match shared.engine.admission_stats() {
+        Some(a) => write!(
+            out,
+            "\"admission\":{{\"budget\":{},\"available\":{},\"waiting\":{},\"leases\":{},\
+             \"queued\":{}}},",
+            a.budget, a.available, a.waiting, a.leases, a.queued
+        )
+        .expect("write to string"),
+        None => out.push_str("\"admission\":null,"),
+    }
+    write!(
+        out,
+        "\"latency_us\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p95\":{},\"p99\":{},\
+         \"max\":{}}},",
+        latency.count,
+        latency.mean_micros(),
+        latency.quantile_micros(0.50),
+        latency.quantile_micros(0.95),
+        latency.quantile_micros(0.99),
+        latency.max_micros,
+    )
+    .expect("write to string");
+    let qps = if uptime > 0.0 {
+        service.queries as f64 / uptime
+    } else {
+        0.0
+    };
+    write!(out, "\"throughput_qps\":{qps:.1}}}").expect("write to string");
+    out
+}

@@ -64,6 +64,16 @@ pub trait ResistanceBackend: Send + Sync + 'static {
     fn take_page_cache_stats(&self) -> Option<PageCacheStats> {
         None
     }
+
+    /// The page-pin budget concurrent batch executions must share, for
+    /// backends that pin pages out of a bounded cache: the engine puts an
+    /// [`AdmissionLedger`](crate::admission::AdmissionLedger) of this many
+    /// pages in front of the scheduler so concurrent batches lease capacity
+    /// instead of each assuming they own all of it. Resident backends pin
+    /// nothing and return `None`.
+    fn pin_budget_pages(&self) -> Option<usize> {
+        None
+    }
 }
 
 impl ResistanceBackend for EffectiveResistanceEstimator {
@@ -117,5 +127,9 @@ impl ResistanceBackend for PagedSnapshot {
 
     fn take_page_cache_stats(&self) -> Option<PageCacheStats> {
         Some(self.store.take_page_cache_stats())
+    }
+
+    fn pin_budget_pages(&self) -> Option<usize> {
+        Some(self.store.cache_capacity_pages())
     }
 }

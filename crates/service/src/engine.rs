@@ -22,6 +22,7 @@
 //! [`Arc`] is sound; the static assertions in the crate root pin the
 //! `Send + Sync` audit down at compile time.
 
+use crate::admission::{AdmissionLedger, AdmissionStats};
 use crate::backend::ResistanceBackend;
 use crate::batch::QueryBatch;
 use crate::cache::ShardedLru;
@@ -100,6 +101,27 @@ pub struct ServiceStats {
     /// Coalesced readahead reads an out-of-core backend issued (each covers
     /// a run of adjacent pages). Zero for resident backends.
     pub page_readahead_reads: u64,
+}
+
+impl ServiceStats {
+    /// Combines counters drained in an earlier window with counters accrued
+    /// since: the monotone counters sum; the point-in-time gauges
+    /// (`cache_entries`, `cache_capacity`) come from `later`.
+    #[must_use]
+    pub fn merged(&self, later: ServiceStats) -> ServiceStats {
+        ServiceStats {
+            queries: self.queries + later.queries,
+            batches: self.batches + later.batches,
+            cache_hits: self.cache_hits + later.cache_hits,
+            cache_misses: self.cache_misses + later.cache_misses,
+            cache_entries: later.cache_entries,
+            cache_capacity: later.cache_capacity,
+            page_cache_hits: self.page_cache_hits + later.page_cache_hits,
+            page_cache_misses: self.page_cache_misses + later.page_cache_misses,
+            page_bytes_read: self.page_bytes_read + later.page_bytes_read,
+            page_readahead_reads: self.page_readahead_reads + later.page_readahead_reads,
+        }
+    }
 }
 
 /// Result of one batch execution.
@@ -241,6 +263,11 @@ pub(crate) struct EngineCore<B: ResistanceBackend> {
     /// either way.
     pub(crate) norms: Option<Arc<Vec<f64>>>,
     pub(crate) cache: Option<ShardedLru>,
+    /// The pin-budget ledger concurrent scheduled batches lease capacity
+    /// from, for backends that pin pages out of a bounded cache
+    /// ([`ResistanceBackend::pin_budget_pages`]); `None` for resident
+    /// backends, which pin nothing.
+    pub(crate) admission: Option<Arc<AdmissionLedger>>,
     /// Reusable scratch columns: a worker pops one per job and returns it,
     /// so steady-state batch traffic allocates no dense buffers at all.
     scratches: Mutex<Vec<ColumnScratch>>,
@@ -305,6 +332,9 @@ pub struct QueryEngine<B: ResistanceBackend = EffectiveResistanceEstimator> {
     /// finished batches, so cumulative [`ServiceStats`] survive the
     /// per-batch resets.
     pub(crate) drained_page_stats: Mutex<PageCacheStats>,
+    /// Service counters drained by [`QueryEngine::take_service_stats`], so
+    /// cumulative [`QueryEngine::stats`] survive the per-interval resets.
+    drained_service_stats: Mutex<ServiceStats>,
 }
 
 impl QueryEngine {
@@ -332,11 +362,17 @@ impl<B: ResistanceBackend> QueryEngine<B> {
         } else {
             None
         };
+        // The ledger needs at least two pages (one per side of a pair), the
+        // same floor the scheduler's own budget math applies.
+        let admission = backend
+            .pin_budget_pages()
+            .map(|budget| Arc::new(AdmissionLedger::new(budget.max(2))));
         QueryEngine {
             core: Arc::new(EngineCore {
                 backend,
                 norms,
                 cache,
+                admission,
                 scratches: Mutex::new(Vec::new()),
             }),
             options,
@@ -346,6 +382,7 @@ impl<B: ResistanceBackend> QueryEngine<B> {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             drained_page_stats: Mutex::new(PageCacheStats::default()),
+            drained_service_stats: Mutex::new(ServiceStats::default()),
         }
     }
 
@@ -373,8 +410,20 @@ impl<B: ResistanceBackend> QueryEngine<B> {
 
     /// Cumulative service counters: the page-cache figures combine what
     /// finished batches drained from the backend's snapshot/reset counters
-    /// with whatever has accrued since (single queries, an in-flight batch).
+    /// with whatever has accrued since (single queries, an in-flight batch),
+    /// and the service counters survive [`QueryEngine::take_service_stats`]
+    /// windows the same way.
     pub fn stats(&self) -> ServiceStats {
+        let live = self.live_service_stats();
+        self.drained_service_stats
+            .lock()
+            .expect("service stats lock poisoned")
+            .merged(live)
+    }
+
+    /// Counters accrued since the last [`QueryEngine::take_service_stats`]
+    /// window (or since construction).
+    fn live_service_stats(&self) -> ServiceStats {
         let live = self.core.backend.page_cache_stats().unwrap_or_default();
         let page = self
             .drained_page_stats
@@ -393,6 +442,60 @@ impl<B: ResistanceBackend> QueryEngine<B> {
             page_bytes_read: page.bytes_read,
             page_readahead_reads: page.readahead_reads,
         }
+    }
+
+    /// Snapshots the service counters accrued since the previous call and
+    /// resets the interval, mirroring
+    /// [`take_page_cache_stats`](effres_io::PagedColumnStore::take_page_cache_stats):
+    /// a long-lived server calls this once per reporting interval to get
+    /// per-interval hit rates under sustained traffic, while
+    /// [`QueryEngine::stats`] keeps reporting cumulative totals (the drained
+    /// intervals are folded into a lifetime pool). The gauges
+    /// (`cache_entries`, `cache_capacity`) are point-in-time in both views.
+    ///
+    /// Taking an interval while a batch is in flight attributes the batch's
+    /// traffic so far to the closing interval and the rest to the next one —
+    /// nothing is lost or double-counted.
+    pub fn take_service_stats(&self) -> ServiceStats {
+        // Drain the backend's live page counters into the per-engine pool
+        // first, then empty the pool into the interval delta.
+        if let Some(live) = self.core.backend.take_page_cache_stats() {
+            let mut drained = self
+                .drained_page_stats
+                .lock()
+                .expect("page stats lock poisoned");
+            *drained = drained.merged(live);
+        }
+        let page = std::mem::take(
+            &mut *self
+                .drained_page_stats
+                .lock()
+                .expect("page stats lock poisoned"),
+        );
+        let delta = ServiceStats {
+            queries: self.queries.swap(0, Ordering::Relaxed),
+            batches: self.batches.swap(0, Ordering::Relaxed),
+            cache_hits: self.cache_hits.swap(0, Ordering::Relaxed),
+            cache_misses: self.cache_misses.swap(0, Ordering::Relaxed),
+            cache_entries: self.core.cache.as_ref().map_or(0, ShardedLru::len),
+            cache_capacity: self.core.cache.as_ref().map_or(0, ShardedLru::capacity),
+            page_cache_hits: page.hits,
+            page_cache_misses: page.misses,
+            page_bytes_read: page.bytes_read,
+            page_readahead_reads: page.readahead_reads,
+        };
+        let mut pool = self
+            .drained_service_stats
+            .lock()
+            .expect("service stats lock poisoned");
+        *pool = pool.merged(delta);
+        delta
+    }
+
+    /// Counters of the pin-budget admission ledger, for backends that pin
+    /// pages out of a bounded cache; `None` for resident backends.
+    pub fn admission_stats(&self) -> Option<AdmissionStats> {
+        self.core.admission.as_deref().map(AdmissionLedger::stats)
     }
 
     /// Opens a per-batch page-traffic window: counters accrued *before* the

@@ -19,9 +19,17 @@
 //!   the rest with coalesced readahead — same bits, a fraction of the I/O;
 //! * [`cache::ShardedLru`] — a sharded LRU of recent pair results in front
 //!   of the sparse kernel;
-//! * `effres-cli` — a binary driving the whole pipeline from the shell:
-//!   `load` / `build` / `query` / `batch` / `stats` (see the repository
-//!   README for a walkthrough).
+//! * [`admission::AdmissionLedger`] — cross-batch admission control for the
+//!   paged backend: concurrent scheduled batches lease page-cache pin
+//!   capacity from one FIFO budget ledger, so many clients can run large
+//!   batches at once without over-pinning the cache;
+//! * [`metrics::LatencyHistogram`] — a streaming log-linear histogram for
+//!   per-request latency (p50/p95/p99 without storing samples).
+//!
+//! The `effres-cli` binary (`load` / `build` / `query` / `batch` / `stats`
+//! / `serve` / `bench-client`) lives in the `effres-server` crate, which
+//! puts a TCP front-end over one shared [`engine::QueryEngine`]; see the
+//! repository README for a walkthrough.
 //!
 //! # Quick start
 //!
@@ -44,16 +52,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod backend;
 pub mod batch;
 pub mod cache;
 pub mod engine;
+pub mod metrics;
 pub mod scheduler;
 
+pub use admission::{AdmissionLedger, AdmissionStats, PinLease};
 pub use backend::ResistanceBackend;
 pub use batch::QueryBatch;
 pub use cache::ShardedLru;
 pub use engine::{BatchResult, EngineOptions, QueryEngine, ScheduleReport, ServiceStats};
+pub use metrics::{HistogramSnapshot, LatencyHistogram};
 
 /// Compile-time audit that everything shared across query workers is
 /// `Send + Sync`: the estimator and its constituents are plain owned data
@@ -77,5 +89,7 @@ mod send_sync_audit {
         assert_send_sync::<crate::cache::ShardedLru>();
         assert_send_sync::<crate::engine::QueryEngine>();
         assert_send_sync::<crate::batch::QueryBatch>();
+        assert_send_sync::<crate::admission::AdmissionLedger>();
+        assert_send_sync::<crate::metrics::LatencyHistogram>();
     }
 }

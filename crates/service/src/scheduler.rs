@@ -28,7 +28,12 @@
 //!    (its private cache shard, in effect) while sharing the block pin.
 //!
 //! Every page is therefore read `O(blocks)` times instead of `O(queries)`
-//! times, and every read is a large sequential one. Results are scattered
+//! times, and every read is a large sequential one. Pin capacity is not
+//! assumed but **leased**: every block acquires its pages from the engine's
+//! [`AdmissionLedger`](crate::admission::AdmissionLedger) first, so
+//! concurrent batches on one engine split the cache budget between them
+//! (block by block) instead of over-pinning it — an uncontended lease gets
+//! the full budget and the plan is exactly the solo plan. Results are scattered
 //! back into the batch's original request order, and each query is evaluated
 //! by exactly the same store-generic kernels as the unscheduled path
 //! ([`column_dot`](effres::column_store::column_dot) + the norm identity),
@@ -149,15 +154,34 @@ impl QueryEngine<PagedSnapshot> {
         // block pin plus a readahead window per concurrent worker. The
         // scheduler needs at least two pages of budget (one per side of a
         // pair) — a smaller cache still works, it just re-reads more.
+        //
+        // Under concurrent batches the budget is not ours to assume: each
+        // block **leases** its pin capacity from the engine's admission
+        // ledger (full budget when uncontended — identical plan to solo
+        // execution — a fair share otherwise), and the block/window split is
+        // recomputed from the actual grant. Leasing per block, not per
+        // batch, is what lets a large batch split: it re-queues at every
+        // block boundary, so competing traffic interleaves.
         let budget = store.cache_capacity_pages().max(2);
         let threads = self.effective_threads(batch.len()).max(1);
-        let window = match self.options.readahead_pages {
-            0 => (budget / 8).clamp(1, 64),
-            w => w,
+        let window_of = |grant: usize| {
+            match self.options.readahead_pages {
+                0 => (grant / 8).clamp(1, 64),
+                w => w,
+            }
+            .min(grant - 1)
+            .max(1)
+        };
+        let full_window = window_of(budget);
+        let full_block_cap = budget.saturating_sub(full_window * threads).max(1);
+
+        // Distinct lo pages in `pending[i..]`, for sizing the lease of a
+        // final partial block to what it can actually use.
+        let mut distinct_lo_from = vec![0usize; pending.len() + 1];
+        for i in (0..pending.len()).rev() {
+            let new_page = i + 1 == pending.len() || pending[i].page_lo != pending[i + 1].page_lo;
+            distinct_lo_from[i] = distinct_lo_from[i + 1] + usize::from(new_page);
         }
-        .min(budget - 1)
-        .max(1);
-        let block_cap = budget.saturating_sub(window * threads).max(1);
 
         let mut report = ScheduleReport {
             clusters,
@@ -167,6 +191,27 @@ impl QueryEngine<PagedSnapshot> {
         let mut parallel_fan = 1usize;
         let mut at = 0usize;
         while at < pending.len() {
+            let desired = if distinct_lo_from[at] >= full_block_cap {
+                budget
+            } else {
+                (distinct_lo_from[at] + full_window * threads).min(budget)
+            };
+            // Two pages is the smallest viable grant: one block page plus
+            // one window page. The lease blocks until capacity is free and
+            // returns it when dropped at the end of the block.
+            let lease = self
+                .core
+                .admission
+                .as_ref()
+                .map(|ledger| ledger.lease(2, desired));
+            let grant = lease.as_ref().map_or(budget, |l| l.granted());
+            // Re-derive the split from the grant. `fan` caps how many
+            // windows may be pinned at once so block + concurrent windows
+            // never exceed the grant (`block_cap + fan·window ≤ grant`).
+            let window = window_of(grant.max(2));
+            let fan = threads.min((grant.saturating_sub(1) / window).max(1));
+            let block_cap = grant.saturating_sub(window * fan).max(1);
+
             // Grow the block until it holds `block_cap` distinct lo pages.
             let block_start = at;
             let mut lo_pages: Vec<usize> = Vec::new();
@@ -207,11 +252,15 @@ impl QueryEngine<PagedSnapshot> {
             job_bounds.push((job_pids, job_start, block.len()));
             report.windows += job_bounds.len();
 
-            if threads > 1 && job_bounds.len() > 1 {
+            if fan > 1 && job_bounds.len() > 1 {
                 // Fan the windows out: each worker pins its own window (its
-                // per-worker shard of the budget) over the shared block pin.
-                parallel_fan = parallel_fan.max(job_bounds.len().min(threads));
-                let jobs: Vec<_> = job_bounds
+                // per-worker shard of the grant) over the shared block pin.
+                // Jobs are submitted in waves of at most `fan`, because the
+                // pin bound is per *concurrent* window — a pool with more
+                // workers than `fan` would otherwise pin every window of the
+                // block at once and blow through the lease.
+                parallel_fan = parallel_fan.max(job_bounds.len().min(fan));
+                let mut jobs: Vec<_> = job_bounds
                     .into_iter()
                     .map(|(pids, lo, hi)| {
                         let core = Arc::clone(&self.core);
@@ -220,9 +269,12 @@ impl QueryEngine<PagedSnapshot> {
                         move || drain_window(&core, &pinned, &pids, &queries)
                     })
                     .collect();
-                for result in self.worker_pool().run(jobs) {
-                    for (slot, value) in result? {
-                        values[slot as usize] = value;
+                while !jobs.is_empty() {
+                    let wave: Vec<_> = jobs.drain(..fan.min(jobs.len())).collect();
+                    for result in self.worker_pool().run(wave) {
+                        for (slot, value) in result? {
+                            values[slot as usize] = value;
+                        }
                     }
                 }
             } else {

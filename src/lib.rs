@@ -2,7 +2,7 @@
 //! the examples and cross-crate integration tests have a single dependency
 //! root. Library users should depend on the individual crates
 //! ([`effres`], [`effres_graph`], [`effres_sparse`], [`effres_powergrid`],
-//! [`effres_io`], [`effres_service`]) directly.
+//! [`effres_io`], [`effres_service`], [`effres_server`]) directly.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -11,5 +11,6 @@ pub use effres;
 pub use effres_graph;
 pub use effres_io;
 pub use effres_powergrid;
+pub use effres_server;
 pub use effres_service;
 pub use effres_sparse;
