@@ -48,6 +48,35 @@ pub enum EffresError {
         /// Description of the failure.
         message: String,
     },
+    /// The serving layer shed the request instead of queueing it.
+    ///
+    /// Overload is a *policy* outcome, not a fault: the admission queue was
+    /// at its depth bound, or the request waited out its lease timeout
+    /// without capacity freeing. Callers should back off and retry; nothing
+    /// about the request itself was wrong.
+    Busy {
+        /// Why the request was shed.
+        reason: BusyReason,
+    },
+}
+
+/// Why an [`EffresError::Busy`] request was shed (see
+/// `AdmissionLedger::lease_within` in `effres-service`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyReason {
+    /// The admission queue was already at its configured depth bound.
+    QueueFull,
+    /// The request queued but timed out before capacity was granted.
+    LeaseTimeout,
+}
+
+impl fmt::Display for BusyReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusyReason::QueueFull => write!(f, "admission queue full"),
+            BusyReason::LeaseTimeout => write!(f, "lease timed out"),
+        }
+    }
 }
 
 impl fmt::Display for EffresError {
@@ -74,6 +103,9 @@ impl fmt::Display for EffresError {
                     f,
                     "column store failed to produce column {column}: {message}"
                 )
+            }
+            EffresError::Busy { reason } => {
+                write!(f, "service busy ({reason}); back off and retry")
             }
         }
     }

@@ -58,7 +58,7 @@ pub mod stats;
 
 pub use config::{BuildOptions, EffresConfig, Ordering};
 pub use effres_sparse::WorkerPool;
-pub use error::EffresError;
+pub use error::{BusyReason, EffresError};
 pub use estimator::EffectiveResistanceEstimator;
 pub use exact::ExactEffectiveResistance;
 pub use random_projection::{RandomProjectionEstimator, RandomProjectionOptions, SolverKind};
@@ -70,7 +70,7 @@ pub mod prelude {
     pub use crate::approx_inverse::SparseApproximateInverse;
     pub use crate::column_store::ColumnStore;
     pub use crate::config::{BuildOptions, EffresConfig, Ordering};
-    pub use crate::error::EffresError;
+    pub use crate::error::{BusyReason, EffresError};
     pub use crate::estimator::EffectiveResistanceEstimator;
     pub use crate::exact::ExactEffectiveResistance;
     pub use crate::random_projection::{

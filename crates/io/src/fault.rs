@@ -1,0 +1,328 @@
+//! Deterministic fault injection and retry policy for the paged store.
+//!
+//! Out-of-core serving turns disk faults from a boot-time event into a
+//! steady-state one: every query is a positioned read away from an `EIO`,
+//! a short read off a flaky NFS mount, or a flipped byte. The paged store
+//! therefore retries transient read failures with bounded exponential
+//! backoff ([`RetryPolicy`]) and re-fetches pages that fail validation once
+//! before surfacing a typed per-column failure — and this module provides
+//! the *deterministic* fault source that proves those paths work:
+//! [`FaultPlan`], a seeded schedule of injected faults applied behind the
+//! positioned-read seam of
+//! [`PagedColumnStore`](crate::paged::PagedColumnStore).
+//!
+//! The schedule is a pure function of `(seed, file offset, attempt index)`
+//! — no global counter, no wall clock — so whether a given read attempt
+//! faults does not depend on thread interleaving: a chaos run with a fixed
+//! seed injects the same faults every time, on every machine, and a retried
+//! attempt re-rolls (same offset, next attempt index) instead of hitting
+//! the same fault forever. Three fault shapes are modeled:
+//!
+//! * **transient read errors** ([`FaultPlan::with_transient_errors`]) — the
+//!   read fails with an I/O error; a retry at the same offset draws a fresh
+//!   (seeded) outcome, so bounded retry absorbs them;
+//! * **short reads** ([`FaultPlan::with_short_reads`]) — the read returns
+//!   [`std::io::ErrorKind::UnexpectedEof`], the shape a truncated-by-a-race
+//!   file or interrupted `pread` produces; retried identically;
+//! * **byte corruption** ([`FaultPlan::poison`] /
+//!   [`FaultPlan::poison_until_refetch`]) — reads covering a poisoned byte
+//!   range observe `0xFF` bytes there. *Persistent* poison survives
+//!   re-fetching (a genuinely rotten sector): page validation fails twice
+//!   and the store surfaces a typed
+//!   [`StoreFailure`](effres::EffresError::StoreFailure). *Transient* poison
+//!   clears on the re-fetch pass (corruption in transit, not at rest), which
+//!   is exactly the case the fetch-validate-refetch cycle exists for.
+//!
+//! Injection is compiled in unconditionally but costs nothing when no plan
+//! is installed (one `Option` check per read); production opens simply never
+//! install one. Poisoning `0xFF` into the *high bytes of a value* is the
+//! recommended way to model detectable at-rest corruption: `0xFF 0xFF` in
+//! an `f64`'s exponent bytes decodes as NaN, which page validation rejects
+//! deterministically. (Corruption that keeps values finite is explicitly
+//! outside the structural checks' trust model — see the module docs of
+//! [`crate::paged`].)
+
+use std::time::Duration;
+
+/// Attempt index at which a validation-failure re-fetch re-reads a page
+/// (see [`crate::paged::PagedColumnStore`]): far above any retry attempt of
+/// the first fetch, so transient poison (and one-shot fault rolls) resolve
+/// differently on the re-fetch pass.
+pub(crate) const REFETCH_ATTEMPT_BASE: u32 = 32;
+
+/// Bounded retry-with-backoff applied to every positioned read of a paged
+/// store (installed via
+/// [`PagedOptions::retry`](crate::paged::PagedOptions::retry)).
+///
+/// A read that fails is retried up to `max_retries` more times, sleeping
+/// `backoff · 2^attempt` (capped at 64× the base) between attempts. The
+/// fault-free path never consults the policy beyond a branch, so retry
+/// support costs nothing when reads succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first failed read (`0` fails fast).
+    pub max_retries: u32,
+    /// Base backoff slept before the first retry; doubles per attempt.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff: Duration::from_micros(250),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every read failure surfaces immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// The backoff to sleep before retry number `attempt` (0-based):
+    /// exponential, capped at 64× the base so a deep retry never sleeps
+    /// unboundedly.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        self.backoff * (1u32 << attempt.min(6))
+    }
+}
+
+/// How long a poisoned byte range stays poisoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PoisonLife {
+    /// Every read observes the corruption (rot at rest): validation fails on
+    /// fetch *and* re-fetch, so the store surfaces a typed failure.
+    Persistent,
+    /// Only first-fetch attempts observe it (corruption in transit): the
+    /// validation-failure re-fetch reads clean bytes and the page serves.
+    UntilRefetch,
+}
+
+/// A seeded, deterministic schedule of injected read faults (see the module
+/// docs). Installed at open time via
+/// [`open_paged_with_faults`](crate::paged::open_paged_with_faults); plans
+/// are immutable and `Send + Sync`, shared freely by concurrent readers.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    transient_error_ppm: u32,
+    short_read_ppm: u32,
+    poisoned: Vec<(u64, u64, PoisonLife)>,
+}
+
+/// The outcome of consulting a [`FaultPlan`] for one read attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReadFault {
+    /// Perform the real read (poison, if any, is applied afterwards).
+    None,
+    /// Fail the attempt with a generic I/O error.
+    TransientError,
+    /// Fail the attempt as a short read (`UnexpectedEof`).
+    ShortRead,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            transient_error_ppm: 0,
+            short_read_ppm: 0,
+            poisoned: Vec::new(),
+        }
+    }
+
+    /// Sets the per-read-attempt probability of a transient I/O error, in
+    /// parts per million (clamped to 1e6).
+    #[must_use]
+    pub fn with_transient_errors(mut self, ppm: u32) -> Self {
+        self.transient_error_ppm = ppm.min(1_000_000);
+        self
+    }
+
+    /// Sets the per-read-attempt probability of a short read, in parts per
+    /// million (clamped to 1e6).
+    #[must_use]
+    pub fn with_short_reads(mut self, ppm: u32) -> Self {
+        self.short_read_ppm = ppm.min(1_000_000);
+        self
+    }
+
+    /// Poisons `len` bytes at file `offset` persistently: every read
+    /// covering the range observes `0xFF` there, including the
+    /// validation-failure re-fetch, so the store reports a typed per-column
+    /// failure for the affected page.
+    #[must_use]
+    pub fn poison(mut self, offset: u64, len: u64) -> Self {
+        self.poisoned.push((offset, len, PoisonLife::Persistent));
+        self
+    }
+
+    /// Poisons `len` bytes at file `offset` until the re-fetch pass: the
+    /// first fetch of a covering page observes the corruption and fails
+    /// validation, the automatic re-fetch reads clean bytes, and the page
+    /// serves normally (observable as a retry in the page-cache stats).
+    #[must_use]
+    pub fn poison_until_refetch(mut self, offset: u64, len: u64) -> Self {
+        self.poisoned.push((offset, len, PoisonLife::UntilRefetch));
+        self
+    }
+
+    /// Whether the plan can inject anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.transient_error_ppm == 0 && self.short_read_ppm == 0 && self.poisoned.is_empty()
+    }
+
+    /// The seeded outcome of read attempt `attempt` at file `offset`: a pure
+    /// function of `(seed, offset, attempt)` so schedules are reproducible
+    /// under any thread interleaving, and a retry (next `attempt`) re-rolls
+    /// instead of replaying the same fault.
+    pub(crate) fn read_fault(&self, offset: u64, attempt: u32) -> ReadFault {
+        if self.transient_error_ppm == 0 && self.short_read_ppm == 0 {
+            return ReadFault::None;
+        }
+        let keyed =
+            self.seed ^ offset.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (u64::from(attempt) << 48);
+        let draw = (mix64(keyed) % 1_000_000) as u32;
+        if draw < self.transient_error_ppm {
+            ReadFault::TransientError
+        } else if draw < self.transient_error_ppm + self.short_read_ppm {
+            ReadFault::ShortRead
+        } else {
+            ReadFault::None
+        }
+    }
+
+    /// Overwrites with `0xFF` every poisoned byte the buffer read at
+    /// `offset` covers, honoring each range's lifetime against `attempt`.
+    /// Returns whether anything was poisoned.
+    pub(crate) fn apply_poison(&self, buf: &mut [u8], offset: u64, attempt: u32) -> bool {
+        let mut hit = false;
+        let end = offset + buf.len() as u64;
+        for &(at, len, life) in &self.poisoned {
+            if life == PoisonLife::UntilRefetch && attempt >= REFETCH_ATTEMPT_BASE {
+                continue;
+            }
+            let lo = at.max(offset);
+            let hi = at.saturating_add(len).min(end);
+            if lo < hi {
+                buf[(lo - offset) as usize..(hi - offset) as usize].fill(0xFF);
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+/// SplitMix64 finalizer: the same bit mixer the page cache and batch
+/// generators use for seeded determinism.
+fn mix64(mut h: u64) -> u64 {
+    h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::new(42);
+        assert!(plan.is_empty());
+        for offset in [0u64, 17, 4096, 1 << 33] {
+            for attempt in 0..8 {
+                assert_eq!(plan.read_fault(offset, attempt), ReadFault::None);
+            }
+        }
+        let mut buf = [1u8; 16];
+        assert!(!plan.apply_poison(&mut buf, 0, 0));
+        assert_eq!(buf, [1u8; 16]);
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_attempt_sensitive() {
+        let plan = FaultPlan::new(7).with_transient_errors(300_000);
+        let replay = FaultPlan::new(7).with_transient_errors(300_000);
+        let mut faulted = 0usize;
+        let mut rerolled = 0usize;
+        for read in 0..10_000u64 {
+            let offset = read * 4096;
+            let first = plan.read_fault(offset, 0);
+            assert_eq!(
+                first,
+                replay.read_fault(offset, 0),
+                "same seed, same schedule"
+            );
+            if first == ReadFault::TransientError {
+                faulted += 1;
+                if plan.read_fault(offset, 1) == ReadFault::None {
+                    rerolled += 1;
+                }
+            }
+        }
+        // ~30% fault rate, and retries re-roll rather than replaying.
+        assert!((2_000..4_000).contains(&faulted), "fault count {faulted}");
+        assert!(rerolled > faulted / 2, "retries must draw fresh outcomes");
+    }
+
+    #[test]
+    fn fault_mix_respects_the_configured_rates() {
+        let plan = FaultPlan::new(3)
+            .with_transient_errors(100_000)
+            .with_short_reads(100_000);
+        let (mut errors, mut shorts) = (0usize, 0usize);
+        for read in 0..20_000u64 {
+            match plan.read_fault(read * 512, 0) {
+                ReadFault::TransientError => errors += 1,
+                ReadFault::ShortRead => shorts += 1,
+                ReadFault::None => {}
+            }
+        }
+        assert!((1_000..3_000).contains(&errors), "errors {errors}");
+        assert!((1_000..3_000).contains(&shorts), "shorts {shorts}");
+    }
+
+    #[test]
+    fn poison_overwrites_exactly_the_overlap() {
+        let plan = FaultPlan::new(0).poison(10, 4);
+        let mut buf = [0u8; 8];
+        // Read covering bytes 8..16: poison lands on buffer indices 2..6.
+        assert!(plan.apply_poison(&mut buf, 8, 0));
+        assert_eq!(buf, [0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0]);
+        // Disjoint read: untouched.
+        let mut clean = [0u8; 8];
+        assert!(!plan.apply_poison(&mut clean, 100, 0));
+        assert_eq!(clean, [0u8; 8]);
+    }
+
+    #[test]
+    fn transient_poison_clears_on_the_refetch_pass() {
+        let plan = FaultPlan::new(0).poison_until_refetch(0, 2);
+        let mut buf = [0u8; 4];
+        assert!(plan.apply_poison(&mut buf, 0, 0));
+        assert_eq!(&buf[..2], &[0xFF, 0xFF]);
+        let mut refetched = [0u8; 4];
+        assert!(!plan.apply_poison(&mut refetched, 0, REFETCH_ATTEMPT_BASE));
+        assert_eq!(refetched, [0u8; 4]);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            backoff: Duration::from_micros(100),
+        };
+        assert_eq!(policy.backoff_for(0), Duration::from_micros(100));
+        assert_eq!(policy.backoff_for(1), Duration::from_micros(200));
+        assert_eq!(policy.backoff_for(6), Duration::from_micros(6_400));
+        assert_eq!(policy.backoff_for(60), Duration::from_micros(6_400));
+        assert_eq!(RetryPolicy::none().max_retries, 0);
+    }
+}

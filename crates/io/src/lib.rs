@@ -19,6 +19,9 @@
 //! * [`paged`] — the out-of-core column store: serving queries *directly
 //!   from* a v2 snapshot file via positioned reads and an LRU page cache,
 //!   without ever materializing the column arena in memory;
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]) and the
+//!   positioned-read retry policy ([`RetryPolicy`]) behind the paged store's
+//!   failure tolerance;
 //! * [`pairs`] — query-pair files driving batched workloads.
 //!
 //! # Quick start
@@ -54,6 +57,7 @@
 pub mod dataset;
 pub mod edge_list;
 pub mod error;
+pub mod fault;
 pub mod gzip;
 pub mod matrix_market;
 pub mod paged;
@@ -62,8 +66,9 @@ pub mod snapshot;
 
 pub use dataset::{load_graph, Dataset, IngestOptions, IngestStats};
 pub use error::IoError;
+pub use fault::{FaultPlan, RetryPolicy};
 pub use paged::{
-    open_paged, PageCacheStats, PagedColumnStore, PagedOptions, PagedSnapshot, PinnedPages,
-    PinnedReader, RowCodec,
+    open_paged, open_paged_with_faults, PageCacheStats, PagedColumnStore, PagedOptions,
+    PagedSnapshot, PinnedPages, PinnedReader, RowCodec,
 };
 pub use snapshot::{load_snapshot, save_snapshot, Snapshot};

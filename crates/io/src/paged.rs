@@ -59,6 +59,7 @@
 //! the kernels are the same generic code (`effres::column_store`).
 
 use crate::error::IoError;
+use crate::fault::{FaultPlan, ReadFault, RetryPolicy, REFETCH_ATTEMPT_BASE};
 use crate::snapshot::{
     decode_varint_column, read_col_ptr_block, read_payload_header, read_row_off_block, CrcReader,
     PayloadHeader, MAGIC, ROW_CODEC_RAW, ROW_CODEC_VARINT, VERSION_V1, VERSION_V2, VERSION_V3,
@@ -153,6 +154,10 @@ pub struct PagedOptions {
     /// Number of cache shards (rounded up to a power of two); more shards
     /// mean less lock contention between parallel query workers.
     pub cache_shards: usize,
+    /// Bounded retry-with-backoff applied to every positioned read (see
+    /// [`RetryPolicy`]): transient faults are absorbed and counted
+    /// ([`PageCacheStats::retries`]) instead of failing the query.
+    pub retry: RetryPolicy,
 }
 
 impl Default for PagedOptions {
@@ -161,6 +166,7 @@ impl Default for PagedOptions {
             columns_per_page: 64,
             cache_pages: effres::config::DEFAULT_PAGE_CACHE_PAGES,
             cache_shards: 8,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -176,6 +182,12 @@ impl PagedOptions {
     /// [`PagedOptions::columns_per_page`]).
     pub fn with_columns_per_page(mut self, columns: usize) -> Self {
         self.columns_per_page = columns;
+        self
+    }
+
+    /// Sets the positioned-read retry policy (see [`PagedOptions::retry`]).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -199,6 +211,15 @@ pub struct PageCacheStats {
     /// one covers a run of adjacent pages that single-page misses would have
     /// fetched with one read (and one syscall) per page per block.
     pub readahead_reads: u64,
+    /// Read attempts re-issued after a fault: transient-failure retries
+    /// plus validation-failure page re-fetches. A fault-free store reports
+    /// zero; a store surviving on retries reports how hard it is working.
+    pub retries: u64,
+    /// Faults observed on the read path: failed read attempts (before and
+    /// including the one that exhausted the retry budget) and page
+    /// validation failures. `faulted_reads > retries` means some faults
+    /// burned through the whole retry budget and surfaced as errors.
+    pub faulted_reads: u64,
 }
 
 impl PageCacheStats {
@@ -210,6 +231,8 @@ impl PageCacheStats {
             misses: self.misses + other.misses,
             bytes_read: self.bytes_read + other.bytes_read,
             readahead_reads: self.readahead_reads + other.readahead_reads,
+            retries: self.retries + other.retries,
+            faulted_reads: self.faulted_reads + other.faulted_reads,
         }
     }
 }
@@ -566,10 +589,18 @@ pub struct PagedColumnStore {
     vals_offset: u64,
     columns_per_page: usize,
     cache: PageLru,
+    /// Retry policy for positioned reads ([`PagedOptions::retry`]).
+    retry: RetryPolicy,
+    /// Injected-fault schedule, if one was installed at open time
+    /// ([`open_paged_with_faults`]); `None` on every production open, where
+    /// the read seam costs a single branch.
+    faults: Option<FaultPlan>,
     hits: AtomicU64,
     misses: AtomicU64,
     bytes_read: AtomicU64,
     readahead_reads: AtomicU64,
+    retries: AtomicU64,
+    faulted_reads: AtomicU64,
     /// Live/high-water pin accounting, shared (`Arc`) with the guards inside
     /// every outstanding [`PinnedPages`] so drops decrement from anywhere.
     pin_counters: Arc<PinCounters>,
@@ -659,6 +690,8 @@ impl PagedColumnStore {
             misses: self.misses.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             readahead_reads: self.readahead_reads.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            faulted_reads: self.faulted_reads.load(Ordering::Relaxed),
         }
     }
 
@@ -673,6 +706,8 @@ impl PagedColumnStore {
             misses: self.misses.swap(0, Ordering::Relaxed),
             bytes_read: self.bytes_read.swap(0, Ordering::Relaxed),
             readahead_reads: self.readahead_reads.swap(0, Ordering::Relaxed),
+            retries: self.retries.swap(0, Ordering::Relaxed),
+            faulted_reads: self.faulted_reads.swap(0, Ordering::Relaxed),
         }
     }
 
@@ -704,7 +739,11 @@ impl PagedColumnStore {
 
     /// The decoded page covering column `j`, from the cache or from disk.
     fn page_for(&self, j: usize) -> Result<Arc<Page>, EffresError> {
-        let pid = j / self.columns_per_page;
+        self.page_by_id(j / self.columns_per_page)
+    }
+
+    /// The decoded page `pid`, from the cache or from disk.
+    fn page_by_id(&self, pid: usize) -> Result<Arc<Page>, EffresError> {
         if let Some(page) = self.cache.get(pid) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(page);
@@ -713,6 +752,57 @@ impl PagedColumnStore {
         let page = Arc::new(self.decode_page(pid)?);
         self.cache.insert(pid, Arc::clone(&page));
         Ok(page)
+    }
+
+    /// One positioned-read **attempt**: the real read, unless a fault plan
+    /// is installed and schedules a failure for `(offset, attempt)`; poison
+    /// (injected at-rest corruption) is applied to successful reads. This is
+    /// the single seam every page/readahead byte passes through.
+    fn read_attempt(&self, buf: &mut [u8], offset: u64, attempt: u32) -> std::io::Result<()> {
+        let Some(plan) = &self.faults else {
+            return self.file.read_exact_at(buf, offset);
+        };
+        match plan.read_fault(offset, attempt) {
+            ReadFault::TransientError => Err(std::io::Error::other(
+                "injected transient read error (fault plan)",
+            )),
+            ReadFault::ShortRead => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "injected short read (fault plan)",
+            )),
+            ReadFault::None => {
+                self.file.read_exact_at(buf, offset)?;
+                plan.apply_poison(buf, offset, attempt);
+                Ok(())
+            }
+        }
+    }
+
+    /// A positioned read with bounded retry-with-backoff: transient failures
+    /// are counted ([`PageCacheStats::faulted_reads`]) and retried
+    /// ([`PageCacheStats::retries`]) up to the policy's budget before the
+    /// last error surfaces. `attempt_base` keys the fault schedule — the
+    /// validation-failure re-fetch pass uses a disjoint attempt range so its
+    /// reads draw fresh outcomes.
+    fn read_block(&self, buf: &mut [u8], offset: u64, attempt_base: u32) -> std::io::Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            match self.read_attempt(buf, offset, attempt_base + attempt) {
+                Ok(()) => return Ok(()),
+                Err(error) => {
+                    self.faulted_reads.fetch_add(1, Ordering::Relaxed);
+                    if attempt >= self.retry.max_retries {
+                        return Err(error);
+                    }
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = self.retry.backoff_for(attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    attempt += 1;
+                }
+            }
+        }
     }
 
     /// First and one-past-last column of page `pid`.
@@ -755,11 +845,14 @@ impl PagedColumnStore {
         result
     }
 
-    fn decode_page_with_scratch(
+    /// Reads the raw row/value bytes of page `pid` into `scratch`, with the
+    /// retry policy applied to both positioned reads.
+    fn fetch_page_bytes(
         &self,
         pid: usize,
         scratch: &mut ReadScratch,
-    ) -> Result<Page, EffresError> {
+        attempt_base: u32,
+    ) -> Result<(), EffresError> {
         let (first_col, last_col) = self.page_columns(pid);
         let failed = |message: String| EffresError::StoreFailure {
             column: first_col,
@@ -767,17 +860,37 @@ impl PagedColumnStore {
         };
         let (row_at, row_len) = self.row_byte_range(first_col, last_col);
         scratch.rows.resize(row_len, 0);
-        self.file
-            .read_exact_at(&mut scratch.rows, row_at)
+        self.read_block(&mut scratch.rows, row_at, attempt_base)
             .map_err(|e| failed(format!("reading the row block: {e}")))?;
         let (val_at, val_len) = self.val_byte_range(first_col, last_col);
         scratch.vals.resize(val_len, 0);
-        self.file
-            .read_exact_at(&mut scratch.vals, val_at)
+        self.read_block(&mut scratch.vals, val_at, attempt_base)
             .map_err(|e| failed(format!("reading the value block: {e}")))?;
         self.bytes_read
             .fetch_add((row_len + val_len) as u64, Ordering::Relaxed);
-        self.decode_page_bytes(pid, &scratch.rows, &scratch.vals)
+        Ok(())
+    }
+
+    /// Fetches and decodes one page. A page that fails *validation* (the
+    /// bytes read fine but do not decode as a well-formed page) is fetched
+    /// once more — corruption in transit heals, corruption at rest fails
+    /// again and surfaces as the typed per-column error of the second
+    /// attempt.
+    fn decode_page_with_scratch(
+        &self,
+        pid: usize,
+        scratch: &mut ReadScratch,
+    ) -> Result<Page, EffresError> {
+        self.fetch_page_bytes(pid, scratch, 0)?;
+        match self.decode_page_bytes(pid, &scratch.rows, &scratch.vals) {
+            Ok(page) => Ok(page),
+            Err(_) => {
+                self.faulted_reads.fetch_add(1, Ordering::Relaxed);
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                self.fetch_page_bytes(pid, scratch, REFETCH_ATTEMPT_BASE)?;
+                self.decode_page_bytes(pid, &scratch.rows, &scratch.vals)
+            }
+        }
     }
 
     /// Decodes and validates one page from its raw on-disk bytes (fetched by
@@ -900,6 +1013,23 @@ impl PagedColumnStore {
         j / self.columns_per_page
     }
 
+    /// File offset of the first stored value (`f64`, little-endian) of
+    /// column `j` — the seam chaos tests aim [`FaultPlan::poison`] at: the
+    /// two *high* bytes of a value (offset `+6`) overwritten with `0xFF`
+    /// decode as NaN, which page validation rejects deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.order()`.
+    pub fn column_value_byte_offset(&self, j: usize) -> u64 {
+        assert!(
+            j < self.order,
+            "column {j} out of bounds for order {}",
+            self.order
+        );
+        self.vals_offset + self.col_ptr[j] * 8
+    }
+
     /// Pins a set of pages for the duration of a batch: pages already in the
     /// LRU are reused (a **hit** each), and the missing ones are fetched with
     /// **coalesced readahead** — maximal runs of adjacent missing pages
@@ -949,6 +1079,48 @@ impl PagedColumnStore {
             self.cache.insert(pid, Arc::clone(&page));
             pages.insert(pid, page);
         }
+        Ok(self.pin_set(pages))
+    }
+
+    /// Degraded form of [`PagedColumnStore::pin_pages`] for partial-results
+    /// batch execution: instead of failing the whole pin when any page is
+    /// bad, returns whatever subset could be fetched plus a typed failure
+    /// per page that could not. The happy path is exactly `pin_pages`
+    /// (coalesced readahead, all pages pinned, empty failure list); only
+    /// when that fails does it degrade to page-at-a-time fetches so one
+    /// rotten page costs the batch that page's queries, not the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page id is out of range.
+    pub fn pin_pages_partial(
+        &self,
+        page_ids: &[usize],
+    ) -> (PinnedPages, Vec<(usize, EffresError)>) {
+        match self.pin_pages(page_ids) {
+            Ok(pinned) => (pinned, Vec::new()),
+            Err(_) => {
+                let mut pids: Vec<usize> = page_ids.to_vec();
+                pids.sort_unstable();
+                pids.dedup();
+                let mut pages = HashMap::with_capacity(pids.len());
+                let mut failures = Vec::new();
+                for pid in pids {
+                    match self.page_by_id(pid) {
+                        Ok(page) => {
+                            pages.insert(pid, page);
+                        }
+                        Err(error) => failures.push((pid, error)),
+                    }
+                }
+                (self.pin_set(pages), failures)
+            }
+        }
+    }
+
+    /// Wraps a fetched page set in a [`PinnedPages`], recording the pin in
+    /// the live/high-water counters.
+    fn pin_set(&self, pages: HashMap<usize, Arc<Page>>) -> PinnedPages {
         let count = pages.len() as u64;
         let now = self
             .pin_counters
@@ -958,13 +1130,13 @@ impl PagedColumnStore {
         self.pin_counters
             .high_water
             .fetch_max(now, Ordering::Relaxed);
-        Ok(PinnedPages {
+        PinnedPages {
             pages,
             _guard: Some(PinGuard {
                 counters: Arc::clone(&self.pin_counters),
                 count,
             }),
-        })
+        }
     }
 
     /// Pages currently pinned across all outstanding [`PinnedPages`] sets.
@@ -1074,13 +1246,11 @@ impl PagedColumnStore {
         };
         let (row_at, row_len) = self.row_byte_range(first_col, last_col);
         scratch.rows.resize(row_len, 0);
-        self.file
-            .read_exact_at(&mut scratch.rows, row_at)
+        self.read_block(&mut scratch.rows, row_at, 0)
             .map_err(|e| failed(format!("readahead of the row block: {e}")))?;
         let (val_at, val_len) = self.val_byte_range(first_col, last_col);
         scratch.vals.resize(val_len, 0);
-        self.file
-            .read_exact_at(&mut scratch.vals, val_at)
+        self.read_block(&mut scratch.vals, val_at, 0)
             .map_err(|e| failed(format!("readahead of the value block: {e}")))?;
         self.readahead_reads.fetch_add(2, Ordering::Relaxed);
         self.bytes_read
@@ -1091,11 +1261,22 @@ impl PagedColumnStore {
             let row_lo = (page_row_at - row_at) as usize;
             let (page_val_at, page_val_len) = self.val_byte_range(lo_col, hi_col);
             let val_lo = (page_val_at - val_at) as usize;
-            let page = self.decode_page_bytes(
+            let page = match self.decode_page_bytes(
                 pid,
                 &scratch.rows[row_lo..row_lo + page_row_len],
                 &scratch.vals[val_lo..val_lo + page_val_len],
-            )?;
+            ) {
+                Ok(page) => page,
+                // A page inside a coalesced read failed validation: re-fetch
+                // just that page through the single-page path (which carries
+                // its own fetch-validate-refetch cycle) instead of failing
+                // the whole chunk on corruption that may heal.
+                Err(_) => {
+                    self.faulted_reads.fetch_add(1, Ordering::Relaxed);
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.decode_page(pid)?
+                }
+            };
             pages.insert(pid, Arc::new(page));
         }
         Ok(())
@@ -1351,6 +1532,32 @@ pub fn open_paged(
     path: impl AsRef<Path>,
     options: &PagedOptions,
 ) -> Result<PagedSnapshot, IoError> {
+    open_paged_impl(path, options, None)
+}
+
+/// [`open_paged`] with a deterministic [`FaultPlan`] installed behind the
+/// store's positioned-read seam (see [`crate::fault`]): every page and
+/// readahead read consults the plan, so chaos tests exercise the real
+/// retry/re-fetch/degrade machinery against seeded, reproducible faults.
+/// Open-time reads (header, `col_ptr`, norms, labels) are *not* injected —
+/// the plan models faults while serving, not a file that was never valid.
+///
+/// # Errors
+///
+/// As [`open_paged`].
+pub fn open_paged_with_faults(
+    path: impl AsRef<Path>,
+    options: &PagedOptions,
+    plan: FaultPlan,
+) -> Result<PagedSnapshot, IoError> {
+    open_paged_impl(path, options, Some(plan))
+}
+
+fn open_paged_impl(
+    path: impl AsRef<Path>,
+    options: &PagedOptions,
+    faults: Option<FaultPlan>,
+) -> Result<PagedSnapshot, IoError> {
     if options.columns_per_page == 0 {
         return Err(IoError::Format(
             "columns_per_page must be at least 1".into(),
@@ -1507,10 +1714,14 @@ pub fn open_paged(
         vals_offset,
         columns_per_page: options.columns_per_page,
         cache,
+        retry: options.retry,
+        faults: faults.filter(|plan| !plan.is_empty()),
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
         bytes_read: AtomicU64::new(0),
         readahead_reads: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
+        faulted_reads: AtomicU64::new(0),
         pin_counters: Arc::new(PinCounters::default()),
         buffers,
     };
@@ -1558,11 +1769,13 @@ mod tests {
                 columns_per_page: 1,
                 cache_pages: 1,
                 cache_shards: 1,
+                ..PagedOptions::default()
             },
             PagedOptions {
                 columns_per_page: 7,
                 cache_pages: 3,
                 cache_shards: 2,
+                ..PagedOptions::default()
             },
         ] {
             let paged = open_paged(&path, &options).expect("open");
@@ -1616,6 +1829,7 @@ mod tests {
             columns_per_page: 4,
             cache_pages: 1,
             cache_shards: 1,
+            ..PagedOptions::default()
         };
         let paged = open_paged(&path, &options).expect("open");
         assert_eq!(paged.store.cache_capacity_pages(), 1);
@@ -1700,6 +1914,7 @@ mod tests {
             columns_per_page: 8,
             cache_pages: 2,
             cache_shards: 1,
+            ..PagedOptions::default()
         };
         let paged = open_paged(&path, &options).expect("open");
         let inverse = estimator.approximate_inverse();
@@ -1749,6 +1964,7 @@ mod tests {
             columns_per_page: 16,
             cache_pages: 64,
             cache_shards: 1,
+            ..PagedOptions::default()
         };
         let paged = open_paged(&path, &options).expect("open");
         let all: Vec<usize> = (0..paged.store.order).collect();

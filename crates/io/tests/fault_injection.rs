@@ -1,0 +1,183 @@
+//! Fault-injection integration tests: the paged store against a seeded
+//! [`FaultPlan`] behind its positioned-read seam, pinned on the committed
+//! `v3_grid12.snap` fixture.
+//!
+//! The invariants under test: transient faults (I/O errors, short reads,
+//! in-transit corruption) are absorbed by bounded retry and the re-fetch
+//! pass with **bit-identical** answers and observable `retries` counters;
+//! persistent corruption fails validation deterministically and confines
+//! the damage to the page it lives on; and an exhausted retry budget
+//! surfaces a typed [`EffresError::StoreFailure`], never a panic or a
+//! wrong answer.
+
+use effres::column_store::ColumnStore;
+use effres::EffresError;
+use effres_io::paged::{open_paged, open_paged_with_faults, PagedOptions, PagedSnapshot};
+use effres_io::{FaultPlan, RetryPolicy};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Small pages + small cache: every column read goes through the injected
+/// read seam instead of hiding in one giant cached page.
+fn churny_options() -> PagedOptions {
+    PagedOptions {
+        columns_per_page: 4,
+        cache_pages: 2,
+        cache_shards: 1,
+        ..PagedOptions::default()
+    }
+}
+
+/// Fast test backoff: exercises the retry loop without sleeping for real.
+fn fast_retry(max_retries: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_retries,
+        backoff: Duration::from_micros(1),
+    }
+}
+
+/// Every column of `store`, decoded to owned `(rows, value bits)` — the
+/// canonical form for bitwise comparison across fault configurations.
+fn dump_columns(store: &PagedSnapshot) -> Vec<(Vec<u32>, Vec<u64>)> {
+    (0..store.store.order())
+        .map(|j| {
+            store
+                .store
+                .with_column(j, |col| {
+                    (
+                        col.indices().to_vec(),
+                        col.values().iter().map(|v| v.to_bits()).collect(),
+                    )
+                })
+                .expect("fault-free or recovered column read")
+        })
+        .collect()
+}
+
+#[test]
+fn transient_faults_are_absorbed_bit_identically() {
+    let path = fixture("v3_grid12.snap");
+    let clean = open_paged(&path, &churny_options()).expect("fault-free open");
+    let reference = dump_columns(&clean);
+
+    // 3% transient errors + 1% short reads per read attempt: with a small
+    // cache every page is fetched (and re-fetched after eviction) many
+    // times, so plenty of attempts fault — and bounded retry absorbs every
+    // one of them.
+    let plan = FaultPlan::new(0xFA17)
+        .with_transient_errors(30_000)
+        .with_short_reads(10_000);
+    let faulted = open_paged_with_faults(&path, &churny_options().with_retry(fast_retry(3)), plan)
+        .expect("faulted open");
+    let survived = dump_columns(&faulted);
+
+    assert_eq!(reference.len(), survived.len());
+    for (j, (clean_col, survived_col)) in reference.iter().zip(&survived).enumerate() {
+        assert_eq!(clean_col, survived_col, "column {j} must be bit-identical");
+    }
+    let stats = faulted.store.page_cache_stats();
+    assert!(
+        stats.retries > 0,
+        "a 4% fault rate must be visible in the retry counter: {stats:?}"
+    );
+    assert!(
+        stats.faulted_reads >= stats.retries,
+        "every retry was provoked by an observed fault: {stats:?}"
+    );
+}
+
+#[test]
+fn exhausted_retries_surface_a_typed_store_failure() {
+    let path = fixture("v3_grid12.snap");
+    // Every read attempt faults and there is no retry budget: the very
+    // first column fetch must fail with a typed error, not a panic.
+    let plan = FaultPlan::new(9).with_transient_errors(1_000_000);
+    let faulted = open_paged_with_faults(
+        &path,
+        &churny_options().with_retry(RetryPolicy::none()),
+        plan,
+    )
+    .expect("open-time reads are not injected");
+    let result = faulted.store.with_column(0, |col| col.indices().len());
+    match result {
+        Err(EffresError::StoreFailure { column, .. }) => {
+            assert_eq!(column, 0, "the failure names the column that asked")
+        }
+        other => panic!("expected a typed store failure, got {other:?}"),
+    }
+    let stats = faulted.store.page_cache_stats();
+    assert!(stats.faulted_reads > 0);
+    assert_eq!(stats.retries, 0, "no retry budget means no retries");
+}
+
+#[test]
+fn persistent_poison_fails_only_the_page_it_lives_on() {
+    let path = fixture("v3_grid12.snap");
+    let clean = open_paged(&path, &churny_options()).expect("fault-free open");
+    let reference = dump_columns(&clean);
+
+    // Rot the two high bytes of a mid-file value: they decode as NaN, page
+    // validation rejects the page on fetch *and* on the re-fetch pass, and
+    // the typed failure is confined to the columns of that one page.
+    let victim = 57;
+    let offset = clean.store.column_value_byte_offset(victim) + 6;
+    let poisoned_page = clean.store.page_of_column(victim);
+    let columns_per_page = clean.store.columns_per_page();
+    let plan = FaultPlan::new(0).poison(offset, 2);
+    let faulted = open_paged_with_faults(&path, &churny_options().with_retry(fast_retry(2)), plan)
+        .expect("faulted open");
+
+    for j in 0..faulted.store.order() {
+        let result = faulted.store.with_column(j, |col| {
+            (
+                col.indices().to_vec(),
+                col.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            )
+        });
+        if faulted.store.page_of_column(j) == poisoned_page {
+            assert!(
+                matches!(result, Err(EffresError::StoreFailure { .. })),
+                "column {j} shares the rotten page (columns/page {columns_per_page}) \
+                 and must fail typed, got {result:?}"
+            );
+        } else {
+            assert_eq!(
+                result.expect("untouched page serves"),
+                reference[j],
+                "column {j} is off the rotten page and must be bit-identical"
+            );
+        }
+    }
+    let stats = faulted.store.page_cache_stats();
+    assert!(
+        stats.retries > 0,
+        "each validation failure re-fetches once before giving up: {stats:?}"
+    );
+}
+
+#[test]
+fn transient_poison_clears_on_the_refetch_pass() {
+    let path = fixture("v3_grid12.snap");
+    let clean = open_paged(&path, &churny_options()).expect("fault-free open");
+    let reference = dump_columns(&clean);
+
+    // Same corruption shape, but only on first-fetch attempts (rot in
+    // transit, not at rest): the automatic re-fetch reads clean bytes and
+    // every answer is bit-identical — the recovery is visible only in the
+    // retry counter.
+    let offset = clean.store.column_value_byte_offset(57) + 6;
+    let plan = FaultPlan::new(0).poison_until_refetch(offset, 2);
+    let faulted = open_paged_with_faults(&path, &churny_options().with_retry(fast_retry(2)), plan)
+        .expect("faulted open");
+    let recovered = dump_columns(&faulted);
+    assert_eq!(reference, recovered, "re-fetch must recover every bit");
+    let stats = faulted.store.page_cache_stats();
+    assert!(stats.retries > 0, "the recovery was not free: {stats:?}");
+    assert!(stats.faulted_reads > 0);
+}

@@ -33,16 +33,19 @@ fn paged_configs() -> &'static [PagedOptions] {
                 columns_per_page: 1,
                 cache_pages: 1,
                 cache_shards: 1,
+                ..PagedOptions::default()
             },
             PagedOptions {
                 columns_per_page: 7,
                 cache_pages: 2,
                 cache_shards: 1,
+                ..PagedOptions::default()
             },
             PagedOptions {
                 columns_per_page: 1024,
                 cache_pages: 4,
                 cache_shards: 2,
+                ..PagedOptions::default()
             },
         ]
     })
@@ -140,6 +143,7 @@ fn one_page_cache_evicts_on_every_page_switch_and_stays_bit_identical() {
             columns_per_page: 1,
             cache_pages: 1,
             cache_shards: 1,
+            ..PagedOptions::default()
         },
     )
     .expect("fixture opens");

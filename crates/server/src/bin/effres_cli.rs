@@ -8,6 +8,7 @@
 //! effres-cli batch <dataset|snapshot> --pairs f   ... from a pair file
 //! effres-cli stats <dataset|snapshot>             what's inside
 //! effres-cli serve <dataset|snapshot> --port N    long-lived TCP front-end
+//! effres-cli ping  <host:port>                    health check
 //! effres-cli bench-client <host:port>             load generator
 //! ```
 //!
@@ -30,7 +31,7 @@ use effres_io::dataset::{load_graph, IngestOptions};
 use effres_io::paged::{open_paged, PagedOptions, PagedSnapshot};
 use effres_io::snapshot::{load_snapshot, save_snapshot, Snapshot};
 use effres_io::{pairs, IoError};
-use effres_server::{Client, ClientError, ServedEngine, Server};
+use effres_server::{Client, ClientError, ServedEngine, Server, ServerOptions};
 use effres_service::{EngineOptions, LatencyHistogram, QueryBatch, QueryEngine};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -52,6 +53,9 @@ USAGE:
     effres-cli stats <dataset|snapshot> [--paged [--page-cache N]]
     effres-cli serve <dataset|snapshot> [--host H] [--port N] [--threads N]
                      [--cache N] [--paged [--page-cache N]]
+                     [--frame-deadline S] [--idle-deadline S]
+                     [--admission-depth N [--admission-timeout-ms T]]
+    effres-cli ping  <host:port>
     effres-cli bench-client <host:port> [--connections N] [--requests N]
                      [--batch K [--batch-every J]] [--rate R] [--seed S]
                      [--check K] [--shutdown]
@@ -96,6 +100,18 @@ PAGED OPTIONS (snapshot inputs; out-of-core serving):
 SERVE OPTIONS:
     --host <h>              listen address               [default: 127.0.0.1]
     --port <n>              listen port (0 = ephemeral)  [default: 7878]
+    --frame-deadline <s>    close a connection stalled mid-frame after this
+                            many seconds                 [default: 10]
+    --idle-deadline <s>     close a connection idle this many seconds
+                            (clients reconnect)          [default: 300]
+    --admission-depth <n>   paged only: bound the admission queue at n
+                            waiting batches; beyond that the server answers
+                            BUSY instead of queueing (0 = unbounded, the
+                            default)
+    --admission-timeout-ms <t>
+                            paged only: shed a queued batch that has not
+                            been granted pin capacity after t milliseconds
+                            [default: 2000]
 
 BENCH-CLIENT OPTIONS:
     --connections <n>       concurrent client connections [default: 4]
@@ -161,6 +177,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "batch" => cmd_batch(rest),
         "stats" => cmd_stats(rest),
         "serve" => cmd_serve(rest),
+        "ping" => cmd_ping(rest),
         "bench-client" => cmd_bench_client(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -189,6 +206,10 @@ struct Options {
     dense: bool,
     host: String,
     port: u16,
+    frame_deadline_secs: u64,
+    idle_deadline_secs: u64,
+    admission_depth: usize,
+    admission_timeout_ms: u64,
     connections: usize,
     requests: usize,
     batch: usize,
@@ -218,6 +239,10 @@ impl Default for Options {
             dense: false,
             host: "127.0.0.1".to_string(),
             port: 7878,
+            frame_deadline_secs: 10,
+            idle_deadline_secs: 300,
+            admission_depth: 0,
+            admission_timeout_ms: 2000,
             connections: 4,
             requests: 1000,
             batch: 0,
@@ -314,6 +339,28 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--dense" => options.dense = true,
             "--host" => options.host = value_of("--host", &mut iter)?,
             "--port" => options.port = parse_number(&value_of("--port", &mut iter)?, "--port")?,
+            "--frame-deadline" => {
+                options.frame_deadline_secs = parse_number(
+                    &value_of("--frame-deadline", &mut iter)?,
+                    "--frame-deadline",
+                )?
+            }
+            "--idle-deadline" => {
+                options.idle_deadline_secs =
+                    parse_number(&value_of("--idle-deadline", &mut iter)?, "--idle-deadline")?
+            }
+            "--admission-depth" => {
+                options.admission_depth = parse_number(
+                    &value_of("--admission-depth", &mut iter)?,
+                    "--admission-depth",
+                )?
+            }
+            "--admission-timeout-ms" => {
+                options.admission_timeout_ms = parse_number(
+                    &value_of("--admission-timeout-ms", &mut iter)?,
+                    "--admission-timeout-ms",
+                )?
+            }
             "--connections" => {
                 options.connections =
                     parse_number(&value_of("--connections", &mut iter)?, "--connections")?
@@ -902,6 +949,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                 cache_capacity: options.cache,
                 pool: Some(pool),
                 readahead_pages: options.readahead,
+                admission_queue_depth: (options.admission_depth > 0)
+                    .then_some(options.admission_depth),
+                admission_timeout: Duration::from_millis(options.admission_timeout_ms),
                 ..EngineOptions::default()
             },
         );
@@ -921,7 +971,11 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         (ServedEngine::Resident(engine), version)
     };
     let addr = format!("{}:{}", options.host, options.port);
-    let server = Server::bind(&addr, engine, version)
+    let server_options = ServerOptions {
+        frame_deadline: Duration::from_secs(options.frame_deadline_secs.max(1)),
+        idle_deadline: Duration::from_secs(options.idle_deadline_secs.max(1)),
+    };
+    let server = Server::bind_with(&addr, engine, version, server_options)
         .map_err(|e| CliError::Run(format!("cannot bind {addr}: {e}")))?;
     let served = match version {
         Some(v) => format!("snapshot v{v}"),
@@ -938,6 +992,31 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         .run()
         .map_err(|e| CliError::Run(format!("serve loop failed: {e}")))?;
     println!("final stats {stats}");
+    Ok(())
+}
+
+/// `ping <host:port>` — one round trip against a live server; exit code is
+/// the health check (scriptable from cron or an orchestrator's liveness
+/// probe).
+fn cmd_ping(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    let addr = require_input(&options)?
+        .to_str()
+        .ok_or_else(|| CliError::Usage("ping needs a <host:port> address".into()))?
+        .to_string();
+    let started = Instant::now();
+    let mut client = Client::connect(addr.as_str())
+        .map_err(|e| CliError::Run(format!("cannot connect to {addr}: {e}")))?;
+    let report = client
+        .ping()
+        .map_err(|e| CliError::Run(format!("ping failed: {e}")))?;
+    println!(
+        "{addr} alive — {} backend, {} nodes, up {:.1}s (round trip {:.1} ms)",
+        if report.paged { "paged" } else { "resident" },
+        report.node_count,
+        report.uptime_secs,
+        started.elapsed().as_secs_f64() * 1e3
+    );
     Ok(())
 }
 

@@ -6,14 +6,25 @@
 //! request/response, so a client needs no background machinery. A `Client`
 //! owns its connection and is cheap enough to open per thread; the load
 //! generator in `effres-cli bench-client` does exactly that.
+//!
+//! For operating against a server that sheds load or closes idle
+//! connections, [`Client::connect_with`] takes a [`ReconnectPolicy`]
+//! (bounded attempts with exponential backoff) and [`Client::reconnect`]
+//! re-dials the same peer under that policy — the server's idle-deadline
+//! close then costs one handshake, not a failed request. An
+//! [`OP_BUSY`] response surfaces as
+//! [`ClientError::Busy`], distinct from real errors, so callers know to
+//! back off and retry rather than give up.
 
 use crate::protocol::{
-    read_frame, write_frame, PayloadReader, OP_BATCH, OP_BATCH_OK, OP_ERROR, OP_HELLO, OP_HELLO_OK,
-    OP_QUERY, OP_QUERY_OK, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STATS, OP_STATS_OK,
+    read_frame, write_frame, PayloadReader, OP_BATCH, OP_BATCH_OK, OP_BATCH_PARTIAL,
+    OP_BATCH_PARTIAL_OK, OP_BUSY, OP_ERROR, OP_HELLO, OP_HELLO_OK, OP_PING, OP_PING_OK, OP_QUERY,
+    OP_QUERY_OK, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STATS, OP_STATS_OK, STATUS_OK,
 };
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// What the server announced in its `HELLO` response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +38,77 @@ pub struct ServerInfo {
     pub snapshot_version: Option<u32>,
 }
 
+/// What the server answered to a `PING` health check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PingReport {
+    /// Whether the backend is paged (out-of-core) rather than resident.
+    pub paged: bool,
+    /// Number of nodes served.
+    pub node_count: u64,
+    /// Seconds since the server started.
+    pub uptime_secs: f64,
+}
+
+/// A batch answered in partial-results mode: per-query status bytes (the
+/// `STATUS_*` constants in [`crate::protocol`]) next to per-query values
+/// (0.0 where the status is a failure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialBatch {
+    /// Per-query status byte, in request order.
+    pub statuses: Vec<u8>,
+    /// Per-query value, in request order; only meaningful where the status
+    /// is [`STATUS_OK`].
+    pub values: Vec<f64>,
+    /// How many queries failed.
+    pub failed: u32,
+    /// The first failed query's error message, if any failed.
+    pub first_failure: Option<String>,
+}
+
+impl PartialBatch {
+    /// `true` when every query succeeded (the values match what a plain
+    /// batch would have returned, bit for bit).
+    pub fn is_complete(&self) -> bool {
+        self.failed == 0
+    }
+}
+
+/// How [`Client::connect_with`] and [`Client::reconnect`] retry dialing:
+/// up to `attempts` tries, sleeping `initial_backoff` before the second and
+/// doubling up to `max_backoff` between subsequent tries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Total connection attempts (at least 1).
+    pub attempts: u32,
+    /// Sleep before the second attempt.
+    pub initial_backoff: Duration,
+    /// Ceiling for the doubled backoff.
+    pub max_backoff: Duration,
+}
+
+impl ReconnectPolicy {
+    /// One attempt, no retry — the behavior of [`Client::connect`].
+    pub fn none() -> Self {
+        ReconnectPolicy {
+            attempts: 1,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for ReconnectPolicy {
+    /// Five attempts backing off 50 ms → 100 → 200 → 400 (capped at 2 s):
+    /// rides out a server restart without hammering it.
+    fn default() -> Self {
+        ReconnectPolicy {
+            attempts: 5,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
 /// Why a request failed.
 #[derive(Debug)]
 pub enum ClientError {
@@ -35,6 +117,9 @@ pub enum ClientError {
     /// The server answered with an error frame (bad node id, malformed
     /// request); the connection stays usable.
     Remote(String),
+    /// The server shed the request under overload; it was well-formed and
+    /// the connection stays usable — back off and retry.
+    Busy(String),
     /// The server answered with bytes this client cannot interpret.
     Protocol(String),
 }
@@ -44,6 +129,7 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Remote(message) => write!(f, "server error: {message}"),
+            ClientError::Busy(message) => write!(f, "server busy: {message}"),
             ClientError::Protocol(message) => write!(f, "protocol error: {message}"),
         }
     }
@@ -63,13 +149,28 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     info: ServerInfo,
+    peer: SocketAddr,
+    policy: ReconnectPolicy,
 }
 
 impl Client {
-    /// Connects and performs the `HELLO` handshake.
+    /// Connects (one attempt) and performs the `HELLO` handshake.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, ReconnectPolicy::none())
+    }
+
+    /// Connects under `policy` — retrying refused/reset dials with
+    /// exponential backoff — then performs the `HELLO` handshake. The
+    /// resolved peer address and the policy are kept, so
+    /// [`Client::reconnect`] can re-dial later.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        policy: ReconnectPolicy,
+    ) -> Result<Client, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = dial(&addrs, policy)?;
         stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
         let mut client = Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
@@ -78,24 +179,58 @@ impl Client {
                 paged: false,
                 snapshot_version: None,
             },
+            peer,
+            policy,
         };
-        let payload = client.round_trip(&[OP_HELLO], OP_HELLO_OK)?;
+        client.handshake()?;
+        Ok(client)
+    }
+
+    /// Drops the current connection and dials the same peer again under
+    /// the connect-time [`ReconnectPolicy`], re-running the handshake.
+    /// Use after an [`ClientError::Io`] failure (server restarted, idle
+    /// deadline closed the connection).
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = dial(&[self.peer], self.policy)?;
+        stream.set_nodelay(true)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = BufWriter::new(stream);
+        self.handshake()
+    }
+
+    fn handshake(&mut self) -> Result<(), ClientError> {
+        let payload = self.round_trip(&[OP_HELLO], OP_HELLO_OK)?;
         let mut reader = PayloadReader::new(&payload);
         let node_count = reader.u64().map_err(bad_reply)?;
         let paged = reader.u8().map_err(bad_reply)? != 0;
         let version = reader.u32().map_err(bad_reply)?;
         reader.finish().map_err(bad_reply)?;
-        client.info = ServerInfo {
+        self.info = ServerInfo {
             node_count,
             paged,
             snapshot_version: (version != 0).then_some(version),
         };
-        Ok(client)
+        Ok(())
     }
 
     /// What the server announced at connect time.
     pub fn info(&self) -> ServerInfo {
         self.info
+    }
+
+    /// Health check: round-trips the server without touching columns.
+    pub fn ping(&mut self) -> Result<PingReport, ClientError> {
+        let payload = self.round_trip(&[OP_PING], OP_PING_OK)?;
+        let mut reader = PayloadReader::new(&payload);
+        let paged = reader.u8().map_err(bad_reply)? != 0;
+        let node_count = reader.u64().map_err(bad_reply)?;
+        let uptime_secs = reader.f64().map_err(bad_reply)?;
+        reader.finish().map_err(bad_reply)?;
+        Ok(PingReport {
+            paged,
+            node_count,
+            uptime_secs,
+        })
     }
 
     /// Effective resistance between dense node ids `p` and `q`.
@@ -114,14 +249,7 @@ impl Client {
     /// Effective resistances for a batch of dense node-id pairs, in the
     /// order given.
     pub fn query_batch(&mut self, pairs: &[(u64, u64)]) -> Result<Vec<f64>, ClientError> {
-        let mut request = Vec::with_capacity(5 + pairs.len() * 16);
-        request.push(OP_BATCH);
-        request.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
-        for &(p, q) in pairs {
-            request.extend_from_slice(&p.to_le_bytes());
-            request.extend_from_slice(&q.to_le_bytes());
-        }
-        let payload = self.round_trip(&request, OP_BATCH_OK)?;
+        let payload = self.round_trip(&batch_request(OP_BATCH, pairs), OP_BATCH_OK)?;
         let mut reader = PayloadReader::new(&payload);
         let count = reader.u32().map_err(bad_reply)? as usize;
         if count != pairs.len() {
@@ -136,6 +264,48 @@ impl Client {
         }
         reader.finish().map_err(bad_reply)?;
         Ok(values)
+    }
+
+    /// Like [`Client::query_batch`], but in partial-results mode: queries
+    /// that hit a failed page (or an out-of-bounds id, or a mid-batch shed)
+    /// come back with a failure status instead of failing the whole batch.
+    /// Successful values are bit-identical to the plain batch path.
+    pub fn query_batch_partial(
+        &mut self,
+        pairs: &[(u64, u64)],
+    ) -> Result<PartialBatch, ClientError> {
+        let payload =
+            self.round_trip(&batch_request(OP_BATCH_PARTIAL, pairs), OP_BATCH_PARTIAL_OK)?;
+        let mut reader = PayloadReader::new(&payload);
+        let count = reader.u32().map_err(bad_reply)? as usize;
+        if count != pairs.len() {
+            return Err(ClientError::Protocol(format!(
+                "partial batch answered {count} statuses for {} pairs",
+                pairs.len()
+            )));
+        }
+        let failed = reader.u32().map_err(bad_reply)?;
+        let mut statuses = Vec::with_capacity(count);
+        for _ in 0..count {
+            statuses.push(reader.u8().map_err(bad_reply)?);
+        }
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            values.push(reader.f64().map_err(bad_reply)?);
+        }
+        let message = String::from_utf8_lossy(reader.rest()).into_owned();
+        let observed = statuses.iter().filter(|&&s| s != STATUS_OK).count();
+        if observed != failed as usize {
+            return Err(ClientError::Protocol(format!(
+                "partial batch declared {failed} failures but carried {observed}"
+            )));
+        }
+        Ok(PartialBatch {
+            statuses,
+            values,
+            failed,
+            first_failure: (failed > 0).then_some(message),
+        })
     }
 
     /// The server's stats document (JSON).
@@ -178,6 +348,11 @@ impl Client {
                 String::from_utf8_lossy(&payload).into_owned(),
             ));
         }
+        if opcode == OP_BUSY {
+            return Err(ClientError::Busy(
+                String::from_utf8_lossy(&payload).into_owned(),
+            ));
+        }
         if opcode != expected {
             return Err(ClientError::Protocol(format!(
                 "expected opcode {expected:#04x}, got {opcode:#04x}"
@@ -189,4 +364,41 @@ impl Client {
 
 fn bad_reply(e: io::Error) -> ClientError {
     ClientError::Protocol(format!("malformed response body: {e}"))
+}
+
+/// Encodes an `OP_BATCH`-shaped request body under `opcode`.
+fn batch_request(opcode: u8, pairs: &[(u64, u64)]) -> Vec<u8> {
+    let mut request = Vec::with_capacity(5 + pairs.len() * 16);
+    request.push(opcode);
+    request.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for &(p, q) in pairs {
+        request.extend_from_slice(&p.to_le_bytes());
+        request.extend_from_slice(&q.to_le_bytes());
+    }
+    request
+}
+
+/// Dials the first reachable address under `policy`.
+fn dial(addrs: &[SocketAddr], policy: ReconnectPolicy) -> Result<TcpStream, ClientError> {
+    if addrs.is_empty() {
+        return Err(ClientError::Io(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "address resolved to nothing",
+        )));
+    }
+    let mut backoff = policy.initial_backoff;
+    let mut last = None;
+    for attempt in 0..policy.attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(policy.max_backoff);
+        }
+        for addr in addrs {
+            match TcpStream::connect(addr) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last = Some(e),
+            }
+        }
+    }
+    Err(ClientError::Io(last.expect("at least one attempt failed")))
 }

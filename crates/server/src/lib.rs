@@ -41,5 +41,5 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, ServerInfo};
-pub use server::{ServedEngine, Server, ServerHandle};
+pub use client::{Client, ClientError, PartialBatch, PingReport, ReconnectPolicy, ServerInfo};
+pub use server::{ServedEngine, Server, ServerHandle, ServerOptions};

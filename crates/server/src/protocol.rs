@@ -14,14 +14,24 @@
 //! | [`OP_HELLO`] | — | [`OP_HELLO_OK`] | `u64 node_count, u8 backend (0 resident / 1 paged), u32 snapshot_version (0 = built in memory)` |
 //! | [`OP_QUERY`] | `u64 p, u64 q` | [`OP_QUERY_OK`] | `f64 resistance` |
 //! | [`OP_BATCH`] | `u32 count, count × (u64 p, u64 q)` | [`OP_BATCH_OK`] | `u32 count, count × f64` |
+//! | [`OP_BATCH_PARTIAL`] | `u32 count, count × (u64 p, u64 q)` | [`OP_BATCH_PARTIAL_OK`] | `u32 count, u32 failed, count × u8 status, count × f64, UTF-8 first-failure message` |
+//! | [`OP_PING`] | — | [`OP_PING_OK`] | `u8 backend (0 resident / 1 paged), u64 node_count, f64 uptime_secs` |
 //! | [`OP_STATS`] | — | [`OP_STATS_OK`] | UTF-8 JSON (see [`crate::server`]) |
 //! | [`OP_SHUTDOWN`] | — | [`OP_SHUTDOWN_OK`] | — (the server then stops accepting and drains) |
 //!
 //! Any request can instead draw [`OP_ERROR`] with a UTF-8 message (bad
-//! node id, malformed body, unknown opcode); the connection stays usable.
+//! node id, malformed body, unknown opcode) — the connection stays usable —
+//! or [`OP_BUSY`] when the server sheds the request under overload: the
+//! request was well-formed, the client should back off and retry.
 //! Frames over [`MAX_FRAME_BYTES`] are rejected without allocation — that
 //! caps a batch at about four million pairs, far above anything the engine
 //! wants in one piece anyway.
+//!
+//! A partial-batch response carries one status byte per query
+//! ([`STATUS_OK`], [`STATUS_STORE_FAILURE`], [`STATUS_OUT_OF_BOUNDS`],
+//! [`STATUS_BUSY`]) followed by one `f64` per query (0.0 where the status
+//! is a failure), so a poisoned page degrades the queries that touch it
+//! instead of failing the whole batch.
 
 use std::io::{self, Read, Write};
 
@@ -35,6 +45,11 @@ pub const OP_BATCH: u8 = 0x03;
 pub const OP_STATS: u8 = 0x04;
 /// Stop accepting, drain connections, exit the serve loop.
 pub const OP_SHUTDOWN: u8 = 0x05;
+/// Health check: round-trips engine liveness without touching columns.
+pub const OP_PING: u8 = 0x06;
+/// A batch of pair queries answered in partial-results mode: per-query
+/// statuses instead of all-or-nothing.
+pub const OP_BATCH_PARTIAL: u8 = 0x07;
 
 /// Response to [`OP_HELLO`].
 pub const OP_HELLO_OK: u8 = 0x81;
@@ -46,8 +61,27 @@ pub const OP_BATCH_OK: u8 = 0x83;
 pub const OP_STATS_OK: u8 = 0x84;
 /// Response to [`OP_SHUTDOWN`] (acknowledged before the listener stops).
 pub const OP_SHUTDOWN_OK: u8 = 0x85;
+/// Response to [`OP_PING`].
+pub const OP_PING_OK: u8 = 0x86;
+/// Response to [`OP_BATCH_PARTIAL`].
+pub const OP_BATCH_PARTIAL_OK: u8 = 0x87;
+/// Overload response to any request: the server shed it (admission queue
+/// full or lease timeout); body is a UTF-8 message. Back off and retry.
+pub const OP_BUSY: u8 = 0xFE;
 /// Error response to any request; body is a UTF-8 message.
 pub const OP_ERROR: u8 = 0xFF;
+
+/// Partial-batch per-query status: answered, value is valid.
+pub const STATUS_OK: u8 = 0;
+/// Partial-batch per-query status: the store could not produce a column
+/// this pair touches (exhausted retries, persistent corruption).
+pub const STATUS_STORE_FAILURE: u8 = 1;
+/// Partial-batch per-query status: a node id was out of bounds.
+pub const STATUS_OUT_OF_BOUNDS: u8 = 2;
+/// Partial-batch per-query status: admission shed this query mid-batch.
+pub const STATUS_BUSY: u8 = 3;
+/// Partial-batch per-query status: any other typed engine failure.
+pub const STATUS_OTHER: u8 = 4;
 
 /// Largest accepted frame payload (64 MiB).
 pub const MAX_FRAME_BYTES: usize = 64 << 20;

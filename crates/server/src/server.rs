@@ -24,13 +24,16 @@
 //! microseconds) and overall queries-per-second throughput.
 
 use crate::protocol::{
-    write_frame, PayloadReader, MAX_FRAME_BYTES, OP_BATCH, OP_BATCH_OK, OP_ERROR, OP_HELLO,
-    OP_HELLO_OK, OP_QUERY, OP_QUERY_OK, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STATS, OP_STATS_OK,
+    write_frame, PayloadReader, MAX_FRAME_BYTES, OP_BATCH, OP_BATCH_OK, OP_BATCH_PARTIAL,
+    OP_BATCH_PARTIAL_OK, OP_BUSY, OP_ERROR, OP_HELLO, OP_HELLO_OK, OP_PING, OP_PING_OK, OP_QUERY,
+    OP_QUERY_OK, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STATS, OP_STATS_OK, STATUS_BUSY, STATUS_OK,
+    STATUS_OTHER, STATUS_OUT_OF_BOUNDS, STATUS_STORE_FAILURE,
 };
 use effres::{EffectiveResistanceEstimator, EffresError};
 use effres_io::PagedSnapshot;
 use effres_service::{
-    AdmissionStats, BatchResult, LatencyHistogram, QueryBatch, QueryEngine, ServiceStats,
+    AdmissionStats, BatchResult, LatencyHistogram, PartialBatchResult, QueryBatch, QueryEngine,
+    ServiceStats,
 };
 use std::fmt::Write as _;
 use std::io::{self, Read, Write};
@@ -41,6 +44,31 @@ use std::time::{Duration, Instant};
 
 /// How often an idle connection handler re-checks the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Connection-level tuning of a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerOptions {
+    /// How long a connection may sit **mid-frame** (a length prefix
+    /// arrived, the payload did not finish) before the server closes it. A
+    /// client that stalls mid-payload used to park its handler thread
+    /// forever; now it is cut loose and counted
+    /// (`deadline_closes` in the stats document).
+    pub frame_deadline: Duration,
+    /// How long a connection may sit **idle** (no request in flight, empty
+    /// receive buffer) before the server closes it to reclaim the handler
+    /// thread (`idle_closes` in the stats document). Healthy clients
+    /// reconnect transparently ([`crate::Client::connect_with`]).
+    pub idle_deadline: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            frame_deadline: Duration::from_secs(10),
+            idle_deadline: Duration::from_secs(300),
+        }
+    }
+}
 
 /// The engine behind a server: resident or paged, one shared instance.
 ///
@@ -90,6 +118,22 @@ impl ServedEngine {
         }
     }
 
+    /// Executes a batch in partial-results mode: per-query statuses instead
+    /// of all-or-nothing (see
+    /// [`QueryEngine::execute_partial`] and
+    /// `QueryEngine::<PagedSnapshot>::execute_scheduled_partial`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::Busy`] when bounded admission shed the whole
+    /// batch before any work.
+    pub fn execute_partial(&self, batch: &QueryBatch) -> Result<PartialBatchResult, EffresError> {
+        match self {
+            ServedEngine::Resident(engine) => Ok(engine.execute_partial(batch)),
+            ServedEngine::Paged(engine) => engine.execute_scheduled_partial(batch),
+        }
+    }
+
     /// Cumulative service counters.
     pub fn stats(&self) -> ServiceStats {
         match self {
@@ -123,13 +167,32 @@ struct Shared {
     /// Snapshot format version of the file being served (v1/v2/v3); `None`
     /// for estimators built in memory.
     snapshot_version: Option<u32>,
+    options: ServerOptions,
     latency: LatencyHistogram,
     started: Instant,
     shutdown: AtomicBool,
     addr: SocketAddr,
     connections: AtomicU64,
     requests: AtomicU64,
+    /// Malformed requests: empty frames, bad bodies, unknown opcodes.
     protocol_errors: AtomicU64,
+    /// Connections dropped at the framing layer: oversized length prefix,
+    /// or a hard stream error mid-read.
+    frame_errors: AtomicU64,
+    /// Connections closed because a frame stalled mid-payload past
+    /// [`ServerOptions::frame_deadline`].
+    deadline_closes: AtomicU64,
+    /// Connections closed after sitting idle past
+    /// [`ServerOptions::idle_deadline`].
+    idle_closes: AtomicU64,
+    /// Requests answered with [`OP_BUSY`] (admission shed).
+    busy_rejections: AtomicU64,
+    /// Queries that failed with a typed store failure (exhausted retries,
+    /// persistent corruption) — whole-request for `OP_QUERY`/`OP_BATCH`,
+    /// per-query for `OP_BATCH_PARTIAL`.
+    store_failures: AtomicU64,
+    /// Partial batches that carried at least one failed query.
+    partial_batches: AtomicU64,
 }
 
 /// A bound, not-yet-running server. [`Server::run`] blocks until shutdown.
@@ -148,12 +211,23 @@ pub struct ServerHandle {
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) over a
-    /// shared engine. `snapshot_version` names the on-disk format being
-    /// served, when the engine came from a snapshot file.
+    /// shared engine with default [`ServerOptions`]. `snapshot_version`
+    /// names the on-disk format being served, when the engine came from a
+    /// snapshot file.
     pub fn bind(
         addr: &str,
         engine: ServedEngine,
         snapshot_version: Option<u32>,
+    ) -> io::Result<Server> {
+        Server::bind_with(addr, engine, snapshot_version, ServerOptions::default())
+    }
+
+    /// [`Server::bind`] with explicit connection deadlines.
+    pub fn bind_with(
+        addr: &str,
+        engine: ServedEngine,
+        snapshot_version: Option<u32>,
+        options: ServerOptions,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -162,6 +236,7 @@ impl Server {
             shared: Arc::new(Shared {
                 engine,
                 snapshot_version,
+                options,
                 latency: LatencyHistogram::new(),
                 started: Instant::now(),
                 shutdown: AtomicBool::new(false),
@@ -169,6 +244,12 @@ impl Server {
                 connections: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
                 protocol_errors: AtomicU64::new(0),
+                frame_errors: AtomicU64::new(0),
+                deadline_closes: AtomicU64::new(0),
+                idle_closes: AtomicU64::new(0),
+                busy_rejections: AtomicU64::new(0),
+                store_failures: AtomicU64::new(0),
+                partial_batches: AtomicU64::new(0),
             }),
         })
     }
@@ -243,10 +324,19 @@ fn trigger_shutdown(shared: &Shared) {
     let _ = TcpStream::connect(shared.addr);
 }
 
-/// Serves one connection until the peer closes, the stream fails, or the
-/// server shuts down. Reads are chunked with a poll timeout so the handler
-/// notices the shutdown flag while idle; the frame buffer survives partial
-/// reads, so a slow sender cannot desynchronize the framing.
+/// Serves one connection until the peer closes, the stream fails, a
+/// deadline expires, or the server shuts down. Reads are chunked with a
+/// poll timeout so the handler notices the shutdown flag while idle; the
+/// frame buffer survives partial reads, so a slow sender cannot
+/// desynchronize the framing.
+///
+/// Two deadlines bound how long a handler thread can be held hostage
+/// (before PR 7, a client that sent a length prefix and then stalled parked
+/// its handler forever): a connection **mid-frame** for longer than
+/// [`ServerOptions::frame_deadline`] is cut loose and counted in
+/// `deadline_closes`; a connection **idle** past
+/// [`ServerOptions::idle_deadline`] is closed and counted in `idle_closes`.
+/// Both clocks reset on every received byte.
 fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     stream.set_nodelay(true)?;
@@ -254,12 +344,27 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     let mut stream = stream;
     let mut buffer: Vec<u8> = Vec::new();
     let mut chunk = vec![0u8; 64 << 10];
+    let mut last_activity = Instant::now();
     loop {
-        while let Some(consumed) = frame_length(&buffer)? {
+        loop {
+            let consumed = match frame_length(&buffer) {
+                Ok(Some(consumed)) => consumed,
+                Ok(None) => break,
+                Err(e) => {
+                    // Oversized length prefix (or hostile garbage decoding
+                    // as one): tell the peer, count it, drop the link —
+                    // the framing cannot resynchronize past it.
+                    shared.frame_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_error(&mut writer, &e.to_string());
+                    let _ = writer.flush();
+                    return Err(e);
+                }
+            };
             let payload: Vec<u8> = buffer.drain(..consumed).skip(4).collect();
             shared.requests.fetch_add(1, Ordering::Relaxed);
             let proceed = handle_request(&payload, shared, &mut writer)?;
             writer.flush()?;
+            last_activity = Instant::now();
             if !proceed {
                 return Ok(());
             }
@@ -267,9 +372,27 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
         if shared.shutdown.load(Ordering::SeqCst) {
             return Ok(());
         }
+        let deadline = if buffer.is_empty() {
+            shared.options.idle_deadline
+        } else {
+            shared.options.frame_deadline
+        };
+        if last_activity.elapsed() >= deadline {
+            if buffer.is_empty() {
+                shared.idle_closes.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.deadline_closes.fetch_add(1, Ordering::Relaxed);
+                let _ = write_error(&mut writer, "frame deadline exceeded mid-payload");
+                let _ = writer.flush();
+            }
+            return Ok(());
+        }
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(()), // peer closed
-            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                buffer.extend_from_slice(&chunk[..n]);
+                last_activity = Instant::now();
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -277,7 +400,10 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                         | io::ErrorKind::TimedOut
                         | io::ErrorKind::Interrupted
                 ) => {}
-            Err(e) => return Err(e),
+            Err(e) => {
+                shared.frame_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
         }
     }
 }
@@ -340,7 +466,7 @@ fn handle_request(payload: &[u8], shared: &Shared, writer: &mut impl Write) -> i
                         write_frame(writer, &out)?;
                         shared.latency.record(started.elapsed());
                     }
-                    Err(e) => write_error(writer, &e.to_string())?,
+                    Err(e) => write_engine_error(writer, shared, &e)?,
                 },
             }
         }
@@ -380,10 +506,53 @@ fn handle_request(payload: &[u8], shared: &Shared, writer: &mut impl Write) -> i
                             write_frame(writer, &out)?;
                             shared.latency.record(started.elapsed());
                         }
-                        Err(e) => write_error(writer, &e.to_string())?,
+                        Err(e) => write_engine_error(writer, shared, &e)?,
                     }
                 }
             }
+        }
+        OP_BATCH_PARTIAL => {
+            let started = Instant::now();
+            let mut reader = PayloadReader::new(body);
+            let parsed = (|| -> io::Result<Vec<(usize, usize)>> {
+                let count = reader.u32()? as usize;
+                if count * 16 != body.len() - 4 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "batch count disagrees with payload size",
+                    ));
+                }
+                let mut pairs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    pairs.push((reader.u64()? as usize, reader.u64()? as usize));
+                }
+                reader.finish()?;
+                Ok(pairs)
+            })();
+            match parsed {
+                Err(e) => {
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    write_error(writer, &format!("malformed batch: {e}"))?;
+                }
+                Ok(pairs) => {
+                    let batch = QueryBatch::from_pairs(pairs);
+                    match shared.engine.execute_partial(&batch) {
+                        Ok(result) => {
+                            write_partial_batch(writer, shared, &result)?;
+                            shared.latency.record(started.elapsed());
+                        }
+                        Err(e) => write_engine_error(writer, shared, &e)?,
+                    }
+                }
+            }
+        }
+        OP_PING => {
+            let mut out = Vec::with_capacity(1 + 1 + 8 + 8);
+            out.push(OP_PING_OK);
+            out.push(u8::from(shared.engine.backend_kind() == "paged"));
+            out.extend_from_slice(&(shared.engine.node_count() as u64).to_le_bytes());
+            out.extend_from_slice(&shared.started.elapsed().as_secs_f64().to_le_bytes());
+            write_frame(writer, &out)?;
         }
         OP_STATS => {
             let json = stats_json(shared);
@@ -413,6 +582,89 @@ fn write_error(writer: &mut impl Write, message: &str) -> io::Result<()> {
     write_frame(writer, &out)
 }
 
+fn write_busy(writer: &mut impl Write, message: &str) -> io::Result<()> {
+    let mut out = Vec::with_capacity(1 + message.len());
+    out.push(OP_BUSY);
+    out.extend_from_slice(message.as_bytes());
+    write_frame(writer, &out)
+}
+
+/// Maps a typed engine failure onto the wire: overload draws [`OP_BUSY`]
+/// (the request was fine; back off), everything else [`OP_ERROR`]. Counts
+/// the per-cause statistic either way.
+fn write_engine_error(
+    writer: &mut impl Write,
+    shared: &Shared,
+    error: &EffresError,
+) -> io::Result<()> {
+    match error {
+        EffresError::Busy { .. } => {
+            shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            write_busy(writer, &error.to_string())
+        }
+        EffresError::StoreFailure { .. } => {
+            shared.store_failures.fetch_add(1, Ordering::Relaxed);
+            write_error(writer, &error.to_string())
+        }
+        other => write_error(writer, &other.to_string()),
+    }
+}
+
+/// Status byte for one partial-batch query outcome.
+fn partial_status(status: &Result<f64, EffresError>) -> u8 {
+    match status {
+        Ok(_) => STATUS_OK,
+        Err(EffresError::StoreFailure { .. }) => STATUS_STORE_FAILURE,
+        Err(EffresError::NodeOutOfBounds { .. }) => STATUS_OUT_OF_BOUNDS,
+        Err(EffresError::Busy { .. }) => STATUS_BUSY,
+        Err(_) => STATUS_OTHER,
+    }
+}
+
+/// Encodes an [`OP_BATCH_PARTIAL_OK`] response: per-query status bytes,
+/// values (0.0 where failed), and the first failure's message. Bumps the
+/// per-cause counters for every failed query.
+fn write_partial_batch(
+    writer: &mut impl Write,
+    shared: &Shared,
+    result: &PartialBatchResult,
+) -> io::Result<()> {
+    let count = result.statuses.len();
+    let mut failed: u32 = 0;
+    let mut first_failure = String::new();
+    let mut out = Vec::with_capacity(1 + 8 + count * 9);
+    out.push(OP_BATCH_PARTIAL_OK);
+    out.extend_from_slice(&(count as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // patched below
+    for status in &result.statuses {
+        out.push(partial_status(status));
+        if let Err(e) = status {
+            failed += 1;
+            if first_failure.is_empty() {
+                first_failure = e.to_string();
+            }
+            match e {
+                EffresError::StoreFailure { .. } => {
+                    shared.store_failures.fetch_add(1, Ordering::Relaxed);
+                }
+                EffresError::Busy { .. } => {
+                    shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+        }
+    }
+    out[5..9].copy_from_slice(&failed.to_le_bytes());
+    for status in &result.statuses {
+        out.extend_from_slice(&status.as_ref().copied().unwrap_or(0.0).to_le_bytes());
+    }
+    out.extend_from_slice(first_failure.as_bytes());
+    if failed > 0 {
+        shared.partial_batches.fetch_add(1, Ordering::Relaxed);
+    }
+    write_frame(writer, &out)
+}
+
 /// Renders the stats document: plain JSON with stable keys, no external
 /// dependencies (numbers and a fixed vocabulary of strings only).
 fn stats_json(shared: &Shared) -> String {
@@ -433,10 +685,22 @@ fn stats_json(shared: &Shared) -> String {
     .expect("write to string");
     write!(
         out,
-        "\"uptime_secs\":{uptime:.3},\"connections\":{},\"requests\":{},\"protocol_errors\":{},",
+        "\"uptime_secs\":{uptime:.3},\"connections\":{},\"requests\":{},",
         shared.connections.load(Ordering::Relaxed),
         shared.requests.load(Ordering::Relaxed),
+    )
+    .expect("write to string");
+    write!(
+        out,
+        "\"errors\":{{\"protocol\":{},\"frame\":{},\"deadline_closes\":{},\"idle_closes\":{},\
+         \"busy_rejections\":{},\"store_failures\":{},\"partial_batches\":{}}},",
         shared.protocol_errors.load(Ordering::Relaxed),
+        shared.frame_errors.load(Ordering::Relaxed),
+        shared.deadline_closes.load(Ordering::Relaxed),
+        shared.idle_closes.load(Ordering::Relaxed),
+        shared.busy_rejections.load(Ordering::Relaxed),
+        shared.store_failures.load(Ordering::Relaxed),
+        shared.partial_batches.load(Ordering::Relaxed),
     )
     .expect("write to string");
     write!(
@@ -444,7 +708,7 @@ fn stats_json(shared: &Shared) -> String {
         "\"service\":{{\"queries\":{},\"batches\":{},\"pair_cache_hits\":{},\
          \"pair_cache_misses\":{},\"pair_cache_entries\":{},\"pair_cache_capacity\":{},\
          \"page_cache_hits\":{},\"page_cache_misses\":{},\"page_bytes_read\":{},\
-         \"page_readahead_reads\":{}}},",
+         \"page_readahead_reads\":{},\"page_retries\":{},\"page_faulted_reads\":{}}},",
         service.queries,
         service.batches,
         service.cache_hits,
@@ -455,14 +719,16 @@ fn stats_json(shared: &Shared) -> String {
         service.page_cache_misses,
         service.page_bytes_read,
         service.page_readahead_reads,
+        service.page_retries,
+        service.page_faulted_reads,
     )
     .expect("write to string");
     match shared.engine.admission_stats() {
         Some(a) => write!(
             out,
             "\"admission\":{{\"budget\":{},\"available\":{},\"waiting\":{},\"leases\":{},\
-             \"queued\":{}}},",
-            a.budget, a.available, a.waiting, a.leases, a.queued
+             \"queued\":{},\"shed_queue_full\":{},\"shed_timeout\":{}}},",
+            a.budget, a.available, a.waiting, a.leases, a.queued, a.shed_queue_full, a.shed_timeout
         )
         .expect("write to string"),
         None => out.push_str("\"admission\":null,"),

@@ -158,6 +158,7 @@ fn paged_backend_serves_with_admission_control_over_the_wire() {
             columns_per_page: 2,
             cache_pages: 4,
             cache_shards: 1,
+            ..PagedOptions::default()
         },
     )
     .expect("open");

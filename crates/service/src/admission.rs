@@ -31,8 +31,10 @@
 //! ([`pinned_pages_high_water`](effres_io::PagedColumnStore::pinned_pages_high_water)),
 //! which the over-pin regression test asserts against.
 
+use effres::{BusyReason, EffresError};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Observable state of an [`AdmissionLedger`], for stats reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,6 +49,10 @@ pub struct AdmissionStats {
     pub leases: u64,
     /// Lease requests that had to wait at least once before being granted.
     pub queued: u64,
+    /// Bounded requests rejected because the queue was at its depth bound.
+    pub shed_queue_full: u64,
+    /// Bounded requests that timed out waiting for capacity.
+    pub shed_timeout: u64,
 }
 
 #[derive(Debug)]
@@ -57,6 +63,8 @@ struct LedgerState {
     next_ticket: u64,
     leases: u64,
     queued: u64,
+    shed_queue_full: u64,
+    shed_timeout: u64,
 }
 
 /// A FIFO budget ledger concurrent batch executions lease page-pin capacity
@@ -79,6 +87,8 @@ impl AdmissionLedger {
                 next_ticket: 0,
                 leases: 0,
                 queued: 0,
+                shed_queue_full: 0,
+                shed_timeout: 0,
             }),
             freed: Condvar::new(),
             budget,
@@ -99,6 +109,8 @@ impl AdmissionLedger {
             waiting: state.queue.len(),
             leases: state.leases,
             queued: state.queued,
+            shed_queue_full: state.shed_queue_full,
+            shed_timeout: state.shed_timeout,
         }
     }
 
@@ -163,6 +175,96 @@ impl AdmissionLedger {
                 .freed
                 .wait(state)
                 .expect("admission ledger lock poisoned");
+        }
+    }
+
+    /// The bounded, shedding variant of [`lease`](Self::lease): identical
+    /// grant policy, but the request is **rejected** with a typed
+    /// [`EffresError::Busy`] instead of waiting forever.
+    ///
+    /// Two bounds apply:
+    ///
+    /// * `max_waiting` — if that many requests are already queued, the
+    ///   request is shed immediately ([`BusyReason::QueueFull`]). Depth
+    ///   bounds the queue's latency promise: a request admitted to the queue
+    ///   has a real chance of being served within its timeout; one behind an
+    ///   unbounded line does not.
+    /// * `timeout` — the longest the request will wait once queued. If
+    ///   capacity has not been granted by then, the ticket is withdrawn and
+    ///   the request shed ([`BusyReason::LeaseTimeout`]).
+    ///
+    /// Shed requests leave the ledger exactly as they found it (the ticket
+    /// is removed and every remaining waiter re-evaluated), and are counted
+    /// in [`AdmissionStats::shed_queue_full`] / [`shed_timeout`](AdmissionStats::shed_timeout).
+    pub fn lease_within(
+        &self,
+        min: usize,
+        desired: usize,
+        max_waiting: usize,
+        timeout: Duration,
+    ) -> Result<PinLease<'_>, EffresError> {
+        let min = min.clamp(1, self.budget);
+        let desired = desired.clamp(min, self.budget);
+        let mut state = self.state.lock().expect("admission ledger lock poisoned");
+        if state.queue.is_empty() && state.available >= desired {
+            state.available -= desired;
+            state.leases += 1;
+            return Ok(PinLease {
+                ledger: self,
+                granted: desired,
+            });
+        }
+        if state.queue.len() >= max_waiting {
+            state.shed_queue_full += 1;
+            return Err(EffresError::Busy {
+                reason: BusyReason::QueueFull,
+            });
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.queue.push_back((ticket, min));
+        state.queued += 1;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let pos = state
+                .queue
+                .iter()
+                .position(|&(t, _)| t == ticket)
+                .expect("waiting ticket stays queued");
+            let ahead: usize = state.queue.iter().take(pos).map(|&(_, m)| m).sum();
+            let granted = if pos == 0 && state.available >= min {
+                Some(desired.min(state.available))
+            } else if pos > 0 && state.available >= ahead + desired {
+                Some(desired)
+            } else {
+                None
+            };
+            if let Some(granted) = granted {
+                state.queue.remove(pos);
+                state.available -= granted;
+                state.leases += 1;
+                self.freed.notify_all();
+                return Ok(PinLease {
+                    ledger: self,
+                    granted,
+                });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                state.queue.remove(pos);
+                state.shed_timeout += 1;
+                // Positions shifted: a bypass that was blocked behind this
+                // ticket's minimum may now fit.
+                self.freed.notify_all();
+                return Err(EffresError::Busy {
+                    reason: BusyReason::LeaseTimeout,
+                });
+            }
+            let (guard, _timed_out) = self
+                .freed
+                .wait_timeout(state, deadline - now)
+                .expect("admission ledger lock poisoned");
+            state = guard;
         }
     }
 
@@ -304,5 +406,60 @@ mod tests {
         assert_eq!(head.join().expect("head lease"), 10);
         assert_eq!(second.join().expect("second lease"), 6);
         assert_eq!(ledger.stats().available, 10);
+    }
+
+    #[test]
+    fn bounded_lease_grants_when_uncontended() {
+        let ledger = AdmissionLedger::new(8);
+        let lease = ledger
+            .lease_within(2, 8, 4, Duration::from_millis(50))
+            .expect("uncontended bounded lease");
+        assert_eq!(lease.granted(), 8);
+        drop(lease);
+        let stats = ledger.stats();
+        assert_eq!(stats.shed_queue_full, 0);
+        assert_eq!(stats.shed_timeout, 0);
+    }
+
+    #[test]
+    fn bounded_lease_sheds_immediately_when_the_queue_is_full() {
+        let ledger = AdmissionLedger::new(4);
+        let _holder = ledger.lease(2, 4); // budget exhausted
+        let shed = ledger.lease_within(2, 4, 0, Duration::from_secs(10));
+        assert_eq!(
+            shed.unwrap_err(),
+            EffresError::Busy {
+                reason: BusyReason::QueueFull
+            }
+        );
+        assert_eq!(ledger.stats().shed_queue_full, 1);
+        // The decision is immediate — the 10s timeout never ran.
+        assert_eq!(ledger.stats().waiting, 0);
+    }
+
+    #[test]
+    fn bounded_lease_times_out_and_withdraws_its_ticket() {
+        let ledger = AdmissionLedger::new(4);
+        let holder = ledger.lease(2, 4);
+        let start = Instant::now();
+        let shed = ledger.lease_within(2, 4, 4, Duration::from_millis(20));
+        assert_eq!(
+            shed.unwrap_err(),
+            EffresError::Busy {
+                reason: BusyReason::LeaseTimeout
+            }
+        );
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert_eq!(ledger.stats().shed_timeout, 1);
+        assert_eq!(ledger.stats().waiting, 0, "ticket withdrawn on timeout");
+        drop(holder);
+        // The ledger is intact: a later request proceeds normally.
+        assert_eq!(
+            ledger
+                .lease_within(2, 4, 4, Duration::from_millis(20))
+                .expect("post-shed lease")
+                .granted(),
+            4
+        );
     }
 }

@@ -59,6 +59,19 @@ pub struct EngineOptions {
     /// coalesced read. `0` (the default) sizes the window automatically from
     /// the store's cache budget. Resident backends ignore it.
     pub readahead_pages: usize,
+    /// Bound on the admission ledger's queue depth for scheduled paged
+    /// batches. `None` (the default) keeps the PR-5 behavior — lease
+    /// requests queue without bound and never fail. `Some(depth)` turns
+    /// overload into a typed [`EffresError::Busy`]: a batch arriving when
+    /// `depth` requests are already waiting is shed immediately, and a
+    /// queued batch that waits out [`admission_timeout`](Self::admission_timeout)
+    /// without capacity is shed too. Resident backends (no pin budget)
+    /// ignore both knobs.
+    pub admission_queue_depth: Option<usize>,
+    /// How long a scheduled batch may wait for a pin-capacity lease before
+    /// being shed, when [`admission_queue_depth`](Self::admission_queue_depth)
+    /// is bounded.
+    pub admission_timeout: Duration,
 }
 
 impl Default for EngineOptions {
@@ -70,6 +83,8 @@ impl Default for EngineOptions {
             parallel_threshold: 1 << 10,
             pool: None,
             readahead_pages: 0,
+            admission_queue_depth: None,
+            admission_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -101,6 +116,15 @@ pub struct ServiceStats {
     /// Coalesced readahead reads an out-of-core backend issued (each covers
     /// a run of adjacent pages). Zero for resident backends.
     pub page_readahead_reads: u64,
+    /// Page read attempts an out-of-core backend re-issued after a transient
+    /// fault (including corruption re-fetches). Zero for resident backends
+    /// and on fault-free storage.
+    pub page_retries: u64,
+    /// Page read attempts that faulted (I/O errors, short reads, validation
+    /// failures) on an out-of-core backend. When this exceeds
+    /// `page_retries`, faults burned through the retry budget and surfaced
+    /// as typed per-column failures.
+    pub page_faulted_reads: u64,
 }
 
 impl ServiceStats {
@@ -120,6 +144,8 @@ impl ServiceStats {
             page_cache_misses: self.page_cache_misses + later.page_cache_misses,
             page_bytes_read: self.page_bytes_read + later.page_bytes_read,
             page_readahead_reads: self.page_readahead_reads + later.page_readahead_reads,
+            page_retries: self.page_retries + later.page_retries,
+            page_faulted_reads: self.page_faulted_reads + later.page_faulted_reads,
         }
     }
 }
@@ -171,6 +197,47 @@ impl BatchResult {
             return f64::INFINITY;
         }
         self.values.len() as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Result of one batch executed in **partial-results mode**
+/// ([`QueryEngine::execute_partial`],
+/// `QueryEngine::<PagedSnapshot>::execute_scheduled_partial`): instead of
+/// one failure aborting the batch, every query carries its own status.
+/// Successful answers are bit-identical to the all-or-nothing paths — the
+/// partial paths run the very same kernels in the very same order; only
+/// failure *handling* differs.
+#[derive(Debug, Clone)]
+pub struct PartialBatchResult {
+    /// Per-query outcome, in the order of the batch's pairs: the resistance,
+    /// or the typed error that failed this query (out-of-bounds node, a
+    /// store failure on a page the pair touches, admission shed).
+    pub statuses: Vec<Result<f64, EffresError>>,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Parallel job chunks the batch fanned out into (1 for the sequential
+    /// path).
+    pub threads: usize,
+    /// Pair-cache hits within this batch.
+    pub cache_hits: u64,
+    /// Pair-cache misses within this batch.
+    pub cache_misses: u64,
+    /// Page traffic of this batch (see [`BatchResult::page_cache`]).
+    pub page_cache: Option<PageCacheStats>,
+    /// How the locality scheduler organized this batch (scheduled paged
+    /// executions only).
+    pub schedule: Option<ScheduleReport>,
+}
+
+impl PartialBatchResult {
+    /// Queries that failed.
+    pub fn failures(&self) -> usize {
+        self.statuses.iter().filter(|s| s.is_err()).count()
+    }
+
+    /// `true` when every query succeeded.
+    pub fn is_complete(&self) -> bool {
+        self.statuses.iter().all(Result::is_ok)
     }
 }
 
@@ -441,6 +508,8 @@ impl<B: ResistanceBackend> QueryEngine<B> {
             page_cache_misses: page.misses,
             page_bytes_read: page.bytes_read,
             page_readahead_reads: page.readahead_reads,
+            page_retries: page.retries,
+            page_faulted_reads: page.faulted_reads,
         }
     }
 
@@ -483,6 +552,8 @@ impl<B: ResistanceBackend> QueryEngine<B> {
             page_cache_misses: page.misses,
             page_bytes_read: page.bytes_read,
             page_readahead_reads: page.readahead_reads,
+            page_retries: page.retries,
+            page_faulted_reads: page.faulted_reads,
         };
         let mut pool = self
             .drained_service_stats
@@ -609,6 +680,49 @@ impl<B: ResistanceBackend> QueryEngine<B> {
         })
     }
 
+    /// Executes a batch in **partial-results mode**: no single failure
+    /// aborts the batch. Every query gets its own status — an invalid pair
+    /// fails with [`EffresError::NodeOutOfBounds`], a pair touching a page
+    /// the store cannot produce fails with [`EffresError::StoreFailure`],
+    /// and every other query still succeeds, with values bit-identical to
+    /// what [`QueryEngine::execute`] would have returned for it (same
+    /// kernels, same order; see `tests/` for the pinning property tests).
+    ///
+    /// This is the serving mode of a long-lived server: one poisoned page
+    /// degrades the answers that touch it instead of killing 20k-query
+    /// batches wholesale.
+    pub fn execute_partial(&self, batch: &QueryBatch) -> PartialBatchResult {
+        let threads = self.effective_threads(batch.len());
+        self.begin_page_window();
+        let start = Instant::now();
+        let (statuses, hits, misses) = if threads <= 1 {
+            let mut scratch = self.core.take_scratch();
+            let out = self
+                .core
+                .run_slice_statuses(batch.pairs(), &mut scratch, false);
+            self.core.return_scratch(scratch);
+            out.expect("partial-mode slice never aborts")
+        } else {
+            self.run_parallel_statuses(batch.pairs(), threads, false)
+                .expect("partial-mode parallel run never aborts")
+        };
+        let elapsed = start.elapsed();
+        self.queries
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+        PartialBatchResult {
+            statuses,
+            elapsed,
+            threads,
+            cache_hits: hits,
+            cache_misses: misses,
+            page_cache: self.end_page_window(),
+            schedule: None,
+        }
+    }
+
     pub(crate) fn effective_threads(&self, batch_len: usize) -> usize {
         if batch_len < self.options.parallel_threshold.max(2) {
             return 1;
@@ -632,6 +746,25 @@ impl<B: ResistanceBackend> QueryEngine<B> {
         pairs: &[(usize, usize)],
         threads: usize,
     ) -> Result<(Vec<f64>, u64, u64), EffresError> {
+        let (statuses, hits, misses) = self.run_parallel_statuses(pairs, threads, true)?;
+        let values = statuses
+            .into_iter()
+            .map(|s| s.expect("fail-fast parallel run aborts on the first error"))
+            .collect();
+        Ok((values, hits, misses))
+    }
+
+    /// The status-returning parallel path (see
+    /// [`EngineCore::run_slice_statuses`] for the two modes): chunks are
+    /// still sorted and scattered back identically, so values are
+    /// bit-identical across modes.
+    #[allow(clippy::type_complexity)]
+    fn run_parallel_statuses(
+        &self,
+        pairs: &[(usize, usize)],
+        threads: usize,
+        fail_fast: bool,
+    ) -> Result<(Vec<Result<f64, EffresError>>, u64, u64), EffresError> {
         // Sort query indices by normalized pair so queries sharing an
         // endpoint land in the same chunk and reuse the scattered column
         // (and, on the paged backend, the same decoded pages).
@@ -645,7 +778,7 @@ impl<B: ResistanceBackend> QueryEngine<B> {
         let chunk_len = sorted_pairs.len().div_ceil(threads);
         // One pool job per chunk: the job owns its pairs and a clone of the
         // engine core, answers the chunk with a scratch column drawn from the
-        // core's free list, and hands the values back through `run`.
+        // core's free list, and hands the statuses back through `run`.
         let jobs: Vec<_> = sorted_pairs
             .chunks(chunk_len)
             .map(|chunk| {
@@ -653,7 +786,7 @@ impl<B: ResistanceBackend> QueryEngine<B> {
                 let chunk = chunk.to_vec();
                 move || {
                     let mut scratch = core.take_scratch();
-                    let out = core.run_slice(&chunk, &mut scratch);
+                    let out = core.run_slice_statuses(&chunk, &mut scratch, fail_fast);
                     core.return_scratch(scratch);
                     out
                 }
@@ -661,20 +794,21 @@ impl<B: ResistanceBackend> QueryEngine<B> {
             .collect();
         let results = self.worker_pool().run(jobs);
 
-        let mut sorted_values = Vec::with_capacity(sorted_pairs.len());
+        let mut sorted_statuses = Vec::with_capacity(sorted_pairs.len());
         let mut hits = 0u64;
         let mut misses = 0u64;
         for result in results {
-            let (values, h, m) = result?;
-            sorted_values.extend_from_slice(&values);
+            let (statuses, h, m) = result?;
+            sorted_statuses.extend(statuses);
             hits += h;
             misses += m;
         }
-        let mut values = vec![0.0f64; pairs.len()];
-        for (slot, &original) in order.iter().enumerate() {
-            values[original as usize] = sorted_values[slot];
+        let mut statuses: Vec<Result<f64, EffresError>> =
+            (0..pairs.len()).map(|_| Ok(0.0)).collect();
+        for (&original, status) in order.iter().zip(sorted_statuses) {
+            statuses[original as usize] = status;
         }
-        Ok((values, hits, misses))
+        Ok((statuses, hits, misses))
     }
 }
 
@@ -693,21 +827,58 @@ impl<B: ResistanceBackend> EngineCore<B> {
         pairs: &[(usize, usize)],
         scratch: &mut ColumnScratch,
     ) -> Result<(Vec<f64>, u64, u64), EffresError> {
-        let mut values = Vec::with_capacity(pairs.len());
+        let (statuses, hits, misses) = self.run_slice_statuses(pairs, scratch, true)?;
+        let values = statuses
+            .into_iter()
+            .map(|s| s.expect("fail-fast slice aborts on the first error"))
+            .collect();
+        Ok((values, hits, misses))
+    }
+
+    /// The status-returning heart of both batch modes: answers `pairs` in
+    /// order, producing a per-query `Result`. With `fail_fast` the first
+    /// failure aborts the slice (the all-or-nothing contract of
+    /// [`QueryEngine::execute`]); without it the failure is recorded as that
+    /// query's status and the slice continues — the partial-results
+    /// contract. Both modes run the **same kernels in the same order**, so
+    /// the values a query succeeds with are bit-identical regardless of
+    /// mode and of failures elsewhere in the slice (a failed scratch load
+    /// leaves the scratch empty, which only means the next run re-scatters —
+    /// same arithmetic).
+    #[allow(clippy::type_complexity)]
+    fn run_slice_statuses(
+        &self,
+        pairs: &[(usize, usize)],
+        scratch: &mut ColumnScratch,
+        fail_fast: bool,
+    ) -> Result<(Vec<Result<f64, EffresError>>, u64, u64), EffresError> {
+        let mut statuses = Vec::with_capacity(pairs.len());
         let mut hits = 0u64;
         let mut misses = 0u64;
+        let n = self.backend.node_count();
         let store = self.backend.store();
         let permutation = self.backend.permutation();
         for (slot, &(p, q)) in pairs.iter().enumerate() {
+            if p >= n || q >= n {
+                let err = EffresError::NodeOutOfBounds {
+                    node: p.max(q),
+                    node_count: n,
+                };
+                if fail_fast {
+                    return Err(err);
+                }
+                statuses.push(Err(err));
+                continue;
+            }
             if p == q {
-                values.push(0.0);
+                statuses.push(Ok(0.0));
                 continue;
             }
             let key = cache_key(p, q);
             if let Some(cache) = &self.cache {
                 if let Some(value) = cache.get(key) {
                     hits += 1;
-                    values.push(value);
+                    statuses.push(Ok(value));
                     continue;
                 }
             }
@@ -724,22 +895,34 @@ impl<B: ResistanceBackend> EngineCore<B> {
             let shares_anchor = |other: &(usize, usize)| other.0.min(other.1) == anchor;
             let run = scratch.loaded == Some(permutation.new(anchor))
                 || pairs.get(slot + 1).is_some_and(shares_anchor);
-            let dot = if run {
-                let aa = permutation.new(anchor);
-                scratch.load(store, aa)?;
-                let other = if aa == pp { qq } else { pp };
-                scratch.suffix_dot(store, other, bound)?
-            } else {
-                column_store::column_dot(store, pp, qq)?
-            };
-            let (np, nq) = self.norms_of(pp, qq)?;
-            let value = (np + nq - 2.0 * dot).max(0.0);
-            if let Some(cache) = &self.cache {
-                cache.insert(key, value);
+            let outcome = (|| {
+                let dot = if run {
+                    let aa = permutation.new(anchor);
+                    scratch.load(store, aa)?;
+                    let other = if aa == pp { qq } else { pp };
+                    scratch.suffix_dot(store, other, bound)?
+                } else {
+                    column_store::column_dot(store, pp, qq)?
+                };
+                let (np, nq) = self.norms_of(pp, qq)?;
+                Ok((np + nq - 2.0 * dot).max(0.0))
+            })();
+            match outcome {
+                Ok(value) => {
+                    if let Some(cache) = &self.cache {
+                        cache.insert(key, value);
+                    }
+                    statuses.push(Ok(value));
+                }
+                Err(err) => {
+                    if fail_fast {
+                        return Err(err);
+                    }
+                    statuses.push(Err(err));
+                }
             }
-            values.push(value);
         }
-        Ok((values, hits, misses))
+        Ok((statuses, hits, misses))
     }
 }
 

@@ -64,7 +64,9 @@ pub use admission::{AdmissionLedger, AdmissionStats, PinLease};
 pub use backend::ResistanceBackend;
 pub use batch::QueryBatch;
 pub use cache::ShardedLru;
-pub use engine::{BatchResult, EngineOptions, QueryEngine, ScheduleReport, ServiceStats};
+pub use engine::{
+    BatchResult, EngineOptions, PartialBatchResult, QueryEngine, ScheduleReport, ServiceStats,
+};
 pub use metrics::{HistogramSnapshot, LatencyHistogram};
 
 /// Compile-time audit that everything shared across query workers is

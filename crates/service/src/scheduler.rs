@@ -42,9 +42,12 @@
 //! change. Query independence makes that reordering safe by construction,
 //! and the property tests in `tests/io_service_end_to_end.rs` pin it.
 
+use crate::admission::PinLease;
 use crate::backend::ResistanceBackend;
 use crate::batch::QueryBatch;
-use crate::engine::{cache_key, BatchResult, EngineCore, QueryEngine, ScheduleReport};
+use crate::engine::{
+    cache_key, BatchResult, EngineCore, PartialBatchResult, QueryEngine, ScheduleReport,
+};
 use effres::column_store;
 use effres::EffresError;
 use effres_io::{PagedSnapshot, PinnedPages, PinnedReader};
@@ -69,6 +72,23 @@ struct Pending {
 }
 
 impl QueryEngine<PagedSnapshot> {
+    /// Leases pin capacity for one block, honoring the engine's admission
+    /// bounds: unbounded blocking by default, shedding with a typed
+    /// [`EffresError::Busy`] when
+    /// [`admission_queue_depth`](crate::engine::EngineOptions::admission_queue_depth)
+    /// is configured.
+    fn lease_block(&self, desired: usize) -> Result<Option<PinLease<'_>>, EffresError> {
+        match self.core.admission.as_deref() {
+            None => Ok(None),
+            Some(ledger) => match self.options.admission_queue_depth {
+                None => Ok(Some(ledger.lease(2, desired))),
+                Some(depth) => ledger
+                    .lease_within(2, desired, depth, self.options.admission_timeout)
+                    .map(Some),
+            },
+        }
+    }
+
     /// Executes a batch through the locality scheduler (see the module
     /// docs): answers come back in the batch's original pair order and are
     /// bit-identical to [`QueryEngine::execute`], which remains the
@@ -77,8 +97,9 @@ impl QueryEngine<PagedSnapshot> {
     /// # Errors
     ///
     /// Returns [`EffresError::NodeOutOfBounds`] naming the first invalid
-    /// node (no query has run), or [`EffresError::StoreFailure`] if the
-    /// store failed mid-batch (in which case the batch produced no values).
+    /// node (no query has run), [`EffresError::StoreFailure`] if the
+    /// store failed mid-batch (in which case the batch produced no values),
+    /// or [`EffresError::Busy`] if bounded admission shed the batch.
     pub fn execute_scheduled(&self, batch: &QueryBatch) -> Result<BatchResult, EffresError> {
         let n = self.core.backend.node_count();
         for &(p, q) in batch.pairs() {
@@ -198,12 +219,9 @@ impl QueryEngine<PagedSnapshot> {
             };
             // Two pages is the smallest viable grant: one block page plus
             // one window page. The lease blocks until capacity is free and
-            // returns it when dropped at the end of the block.
-            let lease = self
-                .core
-                .admission
-                .as_ref()
-                .map(|ledger| ledger.lease(2, desired));
+            // returns it when dropped at the end of the block (or sheds
+            // with `Busy` under bounded admission).
+            let lease = self.lease_block(desired)?;
             let grant = lease.as_ref().map_or(budget, |l| l.granted());
             // Re-derive the split from the grant. `fan` caps how many
             // windows may be pinned at once so block + concurrent windows
@@ -306,6 +324,253 @@ impl QueryEngine<PagedSnapshot> {
             schedule: Some(report),
         })
     }
+
+    /// The partial-results twin of
+    /// [`execute_scheduled`](Self::execute_scheduled): same clustering, same
+    /// blocks, same kernels — but failures **degrade** instead of aborting.
+    ///
+    /// * An out-of-bounds pair fails only its own slot
+    ///   ([`EffresError::NodeOutOfBounds`]).
+    /// * A page the store cannot produce (exhausted retries, persistent
+    ///   corruption) fails only the queries that touch it: block pins
+    ///   degrade through
+    ///   [`pin_pages_partial`](effres_io::PagedColumnStore::pin_pages_partial),
+    ///   and a window whose batched kernel fails is re-run query by query so
+    ///   the poisoned page pair is isolated
+    ///   ([`EffresError::StoreFailure`]).
+    /// * Under bounded admission, a shed at a block boundary marks the
+    ///   *remaining* queries [`EffresError::Busy`] and returns what already
+    ///   drained.
+    ///
+    /// Successful answers are bit-identical to a fault-free
+    /// [`execute_scheduled`](Self::execute_scheduled) run: the per-query
+    /// fallback calls the very same batched kernel
+    /// ([`column_store::column_distances_squared_batch`]) on a one-pair
+    /// slice, which computes per pair exactly what the full-window call
+    /// computes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::Busy`] only when bounded admission sheds the
+    /// **first** block — nothing has been computed, so the caller should
+    /// back off and resubmit the batch whole.
+    pub fn execute_scheduled_partial(
+        &self,
+        batch: &QueryBatch,
+    ) -> Result<PartialBatchResult, EffresError> {
+        let n = self.core.backend.node_count();
+        self.begin_page_window();
+        let start = Instant::now();
+
+        let store = &self.core.backend.store;
+        let permutation = self.core.backend.permutation();
+        let mut statuses: Vec<Result<f64, EffresError>> =
+            (0..batch.len()).map(|_| Ok(0.0)).collect();
+        let mut hits = 0u64;
+        let mut pending: Vec<Pending> = Vec::with_capacity(batch.len());
+        let mut duplicates: Vec<(u32, u32)> = Vec::new();
+        let mut first_slot_of: std::collections::HashMap<u64, u32> =
+            std::collections::HashMap::new();
+        for (slot, &(p, q)) in batch.pairs().iter().enumerate() {
+            if p >= n || q >= n {
+                statuses[slot] = Err(EffresError::NodeOutOfBounds {
+                    node: p.max(q),
+                    node_count: n,
+                });
+                continue;
+            }
+            if p == q {
+                continue; // statuses[slot] stays Ok(0.0)
+            }
+            let key = cache_key(p, q);
+            if let Some(cache) = &self.core.cache {
+                if let Some(value) = cache.get(key) {
+                    hits += 1;
+                    statuses[slot] = Ok(value);
+                    continue;
+                }
+                if let Some(&first) = first_slot_of.get(&key) {
+                    hits += 1;
+                    duplicates.push((slot as u32, first));
+                    continue;
+                }
+                first_slot_of.insert(key, slot as u32);
+            }
+            let pp = permutation.new(p);
+            let qq = permutation.new(q);
+            let (pa, pb) = (store.page_of_column(pp), store.page_of_column(qq));
+            pending.push(Pending {
+                slot: slot as u32,
+                pp: pp as u32,
+                qq: qq as u32,
+                key,
+                page_lo: pa.min(pb) as u32,
+                page_hi: pa.max(pb) as u32,
+            });
+        }
+        drop(first_slot_of);
+        let misses = pending.len() as u64;
+
+        pending.sort_unstable_by_key(|t| (t.page_lo, t.page_hi, t.slot));
+        let clusters = pending
+            .windows(2)
+            .filter(|w| (w[0].page_lo, w[0].page_hi) != (w[1].page_lo, w[1].page_hi))
+            .count()
+            + usize::from(!pending.is_empty());
+
+        // Identical budget math to the all-or-nothing path: the plan — and
+        // therefore the evaluation order — must not depend on the mode.
+        let budget = store.cache_capacity_pages().max(2);
+        let threads = self.effective_threads(batch.len()).max(1);
+        let window_of = |grant: usize| {
+            match self.options.readahead_pages {
+                0 => (grant / 8).clamp(1, 64),
+                w => w,
+            }
+            .min(grant - 1)
+            .max(1)
+        };
+        let full_window = window_of(budget);
+        let full_block_cap = budget.saturating_sub(full_window * threads).max(1);
+
+        let mut distinct_lo_from = vec![0usize; pending.len() + 1];
+        for i in (0..pending.len()).rev() {
+            let new_page = i + 1 == pending.len() || pending[i].page_lo != pending[i + 1].page_lo;
+            distinct_lo_from[i] = distinct_lo_from[i + 1] + usize::from(new_page);
+        }
+
+        let mut report = ScheduleReport {
+            clusters,
+            blocks: 0,
+            windows: 0,
+        };
+        let mut parallel_fan = 1usize;
+        let mut at = 0usize;
+        while at < pending.len() {
+            let desired = if distinct_lo_from[at] >= full_block_cap {
+                budget
+            } else {
+                (distinct_lo_from[at] + full_window * threads).min(budget)
+            };
+            let lease = match self.lease_block(desired) {
+                Ok(lease) => lease,
+                Err(busy) if at == 0 => return Err(busy),
+                Err(busy) => {
+                    // Mid-batch shed: everything drained so far stands;
+                    // the rest is typed Busy for the client to retry.
+                    for t in &pending[at..] {
+                        statuses[t.slot as usize] = Err(busy.clone());
+                    }
+                    break;
+                }
+            };
+            let grant = lease.as_ref().map_or(budget, |l| l.granted());
+            let window = window_of(grant.max(2));
+            let fan = threads.min((grant.saturating_sub(1) / window).max(1));
+            let block_cap = grant.saturating_sub(window * fan).max(1);
+
+            let block_start = at;
+            let mut lo_pages: Vec<usize> = Vec::new();
+            while at < pending.len() {
+                let lo = pending[at].page_lo as usize;
+                if lo_pages.last() != Some(&lo) {
+                    if lo_pages.len() == block_cap {
+                        break;
+                    }
+                    lo_pages.push(lo);
+                }
+                at += 1;
+            }
+            report.blocks += 1;
+            let block = &mut pending[block_start..at];
+            // Degraded pin: pages that cannot be produced fail only the
+            // queries anchored on them; the rest of the block proceeds over
+            // whatever did pin.
+            let (pinned, pin_failures) = store.pin_pages_partial(&lo_pages);
+            let pinned = Arc::new(pinned);
+            block.sort_unstable_by_key(|t| (t.page_hi, t.page_lo, t.slot));
+            let mut drainable: Vec<Pending> = Vec::with_capacity(block.len());
+            if pin_failures.is_empty() {
+                drainable.extend_from_slice(block);
+            } else {
+                for t in block.iter() {
+                    match pin_failures
+                        .iter()
+                        .find(|(pid, _)| *pid == t.page_lo as usize)
+                    {
+                        Some((_, err)) => statuses[t.slot as usize] = Err(err.clone()),
+                        None => drainable.push(*t),
+                    }
+                }
+            }
+
+            let mut job_bounds: Vec<(Vec<usize>, usize, usize)> = Vec::new();
+            let mut job_pids: Vec<usize> = Vec::new();
+            let mut job_start = 0usize;
+            for (i, t) in drainable.iter().enumerate() {
+                let hi = t.page_hi as usize;
+                let needed = lo_pages.binary_search(&hi).is_err() && job_pids.last() != Some(&hi);
+                if needed && job_pids.len() == window {
+                    job_bounds.push((std::mem::take(&mut job_pids), job_start, i));
+                    job_start = i;
+                }
+                if needed {
+                    job_pids.push(hi);
+                }
+            }
+            job_bounds.push((job_pids, job_start, drainable.len()));
+            report.windows += job_bounds.len();
+
+            if fan > 1 && job_bounds.len() > 1 {
+                parallel_fan = parallel_fan.max(job_bounds.len().min(fan));
+                let mut jobs: Vec<_> = job_bounds
+                    .into_iter()
+                    .map(|(pids, lo, hi)| {
+                        let core = Arc::clone(&self.core);
+                        let pinned = Arc::clone(&pinned);
+                        let queries = drainable[lo..hi].to_vec();
+                        move || drain_window_partial(&core, &pinned, &pids, &queries)
+                    })
+                    .collect();
+                while !jobs.is_empty() {
+                    let wave: Vec<_> = jobs.drain(..fan.min(jobs.len())).collect();
+                    for window_statuses in self.worker_pool().run(wave) {
+                        for (slot, status) in window_statuses {
+                            statuses[slot as usize] = status;
+                        }
+                    }
+                }
+            } else {
+                for (pids, lo, hi) in job_bounds {
+                    for (slot, status) in
+                        drain_window_partial(&self.core, &pinned, &pids, &drainable[lo..hi])
+                    {
+                        statuses[slot as usize] = status;
+                    }
+                }
+            }
+        }
+
+        for (slot, first) in duplicates {
+            statuses[slot as usize] = statuses[first as usize].clone();
+        }
+
+        let elapsed = start.elapsed();
+        self.queries
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+        Ok(PartialBatchResult {
+            statuses,
+            elapsed,
+            threads: parallel_fan,
+            cache_hits: hits,
+            cache_misses: misses,
+            page_cache: self.end_page_window(),
+            schedule: Some(report),
+        })
+    }
 }
 
 /// Drains one readahead window: pins its hi pages (one coalesced read for
@@ -340,6 +605,58 @@ fn drain_window(
         out.push((t.slot, value));
     }
     Ok(out)
+}
+
+/// The degrading twin of [`drain_window`]: window pins degrade page by page,
+/// and a failed batched kernel is re-run **query by query** over the same
+/// pinned reader — the batched kernel on a one-pair slice computes exactly
+/// the full-window arithmetic per pair, so the successes stay bit-identical
+/// and only queries actually touching an unproducible page fail.
+fn drain_window_partial(
+    core: &EngineCore<PagedSnapshot>,
+    block_pin: &PinnedPages,
+    window_pids: &[usize],
+    queries: &[Pending],
+) -> Vec<(u32, Result<f64, EffresError>)> {
+    let store = &core.backend.store;
+    // Failed window pins are not fatal: the reader falls back to the store
+    // for unpinned pages, and any page that truly cannot be produced fails
+    // its queries in the per-query pass below.
+    let (window_pin, _window_failures) = store.pin_pages_partial(window_pids);
+    let reader = PinnedReader::new(store, block_pin, Some(&window_pin));
+    let norms = core.norms.as_ref().map(|table| table.as_slice());
+    let pairs: Vec<(usize, usize)> = queries
+        .iter()
+        .map(|t| (t.pp as usize, t.qq as usize))
+        .collect();
+    match column_store::column_distances_squared_batch(&reader, &pairs, norms) {
+        Ok(values) => queries
+            .iter()
+            .zip(&values)
+            .map(|(t, &value)| {
+                if let Some(cache) = &core.cache {
+                    cache.insert(t.key, value);
+                }
+                (t.slot, Ok(value))
+            })
+            .collect(),
+        Err(_) => queries
+            .iter()
+            .map(|t| {
+                let pair = [(t.pp as usize, t.qq as usize)];
+                match column_store::column_distances_squared_batch(&reader, &pair, norms) {
+                    Ok(values) => {
+                        let value = values[0];
+                        if let Some(cache) = &core.cache {
+                            cache.insert(t.key, value);
+                        }
+                        (t.slot, Ok(value))
+                    }
+                    Err(err) => (t.slot, Err(err)),
+                }
+            })
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -380,16 +697,19 @@ mod tests {
                 columns_per_page: 4,
                 cache_pages: 8,
                 cache_shards: 2,
+                ..PagedOptions::default()
             },
             PagedOptions {
                 columns_per_page: 1,
                 cache_pages: 1,
                 cache_shards: 1,
+                ..PagedOptions::default()
             },
             PagedOptions {
                 columns_per_page: 64,
                 cache_pages: 2,
                 cache_shards: 1,
+                ..PagedOptions::default()
             },
         ] {
             // Fresh engines, pair caches off: both sides take the kernel
@@ -430,6 +750,7 @@ mod tests {
             columns_per_page: 2,
             cache_pages: 16,
             cache_shards: 2,
+            ..PagedOptions::default()
         };
         let sequential = paged_engine(
             &path,
@@ -468,6 +789,7 @@ mod tests {
                 columns_per_page: 8,
                 cache_pages: 4,
                 cache_shards: 1,
+                ..PagedOptions::default()
             },
             EngineOptions::default(),
         );

@@ -48,6 +48,7 @@ fn concurrent_scheduled_batches_never_over_pin_the_page_cache() {
         columns_per_page: 2,
         cache_pages: 6,
         cache_shards: 1,
+        ..PagedOptions::default()
     };
     let batch_a = QueryBatch::random(3000, 24 * 24, 11);
     let batch_b = QueryBatch::random(3000, 24 * 24, 22);
@@ -124,6 +125,7 @@ fn admission_capacity_is_fully_returned_after_a_storm() {
                 columns_per_page: 4,
                 cache_pages: 4,
                 cache_shards: 1,
+                ..PagedOptions::default()
             },
         )
         .expect("open"),

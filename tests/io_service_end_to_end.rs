@@ -94,6 +94,7 @@ fn dataset_to_batched_queries_to_snapshot_and_back() {
             columns_per_page: 16,
             cache_pages: 8,
             cache_shards: 2,
+            ..effres_io::paged::PagedOptions::default()
         },
     )
     .expect("open paged");
@@ -148,6 +149,7 @@ fn dataset_to_batched_queries_to_snapshot_and_back() {
                     columns_per_page: 16,
                     cache_pages: 8,
                     cache_shards: 2,
+                    ..effres_io::paged::PagedOptions::default()
                 },
             )
             .expect("open paged"),
@@ -215,6 +217,7 @@ proptest! {
             columns_per_page,
             cache_pages,
             cache_shards: 1 + (seed as usize % 4),
+            ..effres_io::paged::PagedOptions::default()
         };
         let engine_options = |readahead: usize| EngineOptions {
             cache_capacity: 0,
