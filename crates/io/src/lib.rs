@@ -69,6 +69,6 @@ pub use error::IoError;
 pub use fault::{FaultPlan, RetryPolicy};
 pub use paged::{
     open_paged, open_paged_with_faults, PageCacheStats, PagedColumnStore, PagedOptions,
-    PagedSnapshot, PinnedPages, PinnedReader, RowCodec,
+    PagedSnapshot, PinnedPages, PinnedReader, RowCodec, ScrubStats,
 };
-pub use snapshot::{load_snapshot, save_snapshot, Snapshot};
+pub use snapshot::{load_snapshot, save_snapshot, save_snapshot_crashing_at, Snapshot};

@@ -222,6 +222,24 @@ pub struct PageCacheStats {
     pub faulted_reads: u64,
 }
 
+/// Cumulative counters of the background integrity scrubber (see
+/// [`PagedColumnStore::scrub_page`]). Unlike [`PageCacheStats`] these are
+/// **never** reset by the per-batch stat windows: they describe the health
+/// of the snapshot at rest over the store's whole lifetime, which is what a
+/// health check wants to see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrubStats {
+    /// Pages fetched and revalidated by the scrubber.
+    pub pages_scrubbed: u64,
+    /// Scrub passes over a page that found it rotten (failed the same
+    /// validation the serve path applies, after the one-shot re-fetch).
+    pub scrub_failures: u64,
+    /// Rotten pages evicted from the cache by
+    /// [`PagedColumnStore::quarantine_page`] — the next query touching one
+    /// re-fetches from disk and surfaces a typed error if the rot persists.
+    pub quarantined: u64,
+}
+
 impl PageCacheStats {
     /// Counter-wise sum (both sides of a snapshot/reset cycle).
     #[must_use]
@@ -409,7 +427,9 @@ struct ReadScratch {
 #[derive(Debug)]
 struct PageNode {
     key: usize,
-    page: Arc<Page>,
+    /// `None` only while the slot sits on the free list (the page of a
+    /// removed entry must drop immediately, not linger until slot reuse).
+    page: Option<Arc<Page>>,
     prev: u32,
     next: u32,
 }
@@ -424,6 +444,10 @@ struct PageShard {
     head: u32,
     tail: u32,
     capacity: usize,
+    /// Slab slots vacated by [`PageShard::remove`] (quarantine), reused by
+    /// the next inserts — eviction recycles its victim's slot in place, so
+    /// only explicit removal ever frees one.
+    free: Vec<u32>,
 }
 
 impl PageShard {
@@ -434,6 +458,7 @@ impl PageShard {
             head: NIL,
             tail: NIL,
             capacity,
+            free: Vec::new(),
         }
     }
 
@@ -474,32 +499,42 @@ impl PageShard {
             self.unlink(index);
             self.push_front(index);
         }
-        Some(Arc::clone(&self.slab[index as usize].page))
+        Some(Arc::clone(
+            self.slab[index as usize]
+                .page
+                .as_ref()
+                .expect("mapped slot always holds a page"),
+        ))
     }
 
     fn insert(&mut self, key: usize, page: Arc<Page>) {
         if let Some(&index) = self.map.get(&key) {
             // A concurrent miss decoded the same page; keep the resident one
             // fresh (both decodes hold identical bits).
-            self.slab[index as usize].page = page;
+            self.slab[index as usize].page = Some(page);
             if self.head != index {
                 self.unlink(index);
                 self.push_front(index);
             }
             return;
         }
-        let index = if self.map.len() >= self.capacity {
+        let index = if let Some(index) = self.free.pop() {
+            let node = &mut self.slab[index as usize];
+            node.key = key;
+            node.page = Some(page);
+            index
+        } else if self.map.len() >= self.capacity {
             let victim = self.tail;
             self.unlink(victim);
             let node = &mut self.slab[victim as usize];
             self.map.remove(&node.key);
             node.key = key;
-            node.page = page;
+            node.page = Some(page);
             victim
         } else {
             self.slab.push(PageNode {
                 key,
-                page,
+                page: Some(page),
                 prev: NIL,
                 next: NIL,
             });
@@ -507,6 +542,22 @@ impl PageShard {
         };
         self.map.insert(key, index);
         self.push_front(index);
+    }
+
+    /// Drops `key` from the shard (quarantine), freeing its slab slot for
+    /// reuse; the page's buffers recycle as soon as the last outside reader
+    /// releases its `Arc`. Returns whether the key was resident.
+    fn remove(&mut self, key: usize) -> bool {
+        let Some(index) = self.map.remove(&key) else {
+            return false;
+        };
+        self.unlink(index);
+        let node = &mut self.slab[index as usize];
+        node.page = None;
+        node.prev = NIL;
+        node.next = NIL;
+        self.free.push(index);
+        true
     }
 }
 
@@ -552,6 +603,13 @@ impl PageLru {
             .lock()
             .expect("page cache shard poisoned")
             .insert(key, page);
+    }
+
+    fn remove(&self, key: usize) -> bool {
+        self.shard(key)
+            .lock()
+            .expect("page cache shard poisoned")
+            .remove(key)
     }
 
     fn capacity(&self) -> usize {
@@ -601,6 +659,11 @@ pub struct PagedColumnStore {
     readahead_reads: AtomicU64,
     retries: AtomicU64,
     faulted_reads: AtomicU64,
+    /// Cumulative scrubber counters ([`ScrubStats`]) — separate from the
+    /// windowed page-cache stats so batch snapshots never reset them.
+    pages_scrubbed: AtomicU64,
+    scrub_failures: AtomicU64,
+    quarantined: AtomicU64,
     /// Live/high-water pin accounting, shared (`Arc`) with the guards inside
     /// every outstanding [`PinnedPages`] so drops decrement from anywhere.
     pin_counters: Arc<PinCounters>,
@@ -709,6 +772,56 @@ impl PagedColumnStore {
             retries: self.retries.swap(0, Ordering::Relaxed),
             faulted_reads: self.faulted_reads.swap(0, Ordering::Relaxed),
         }
+    }
+
+    /// Cumulative integrity-scrubber counters (never reset; see
+    /// [`ScrubStats`]).
+    pub fn scrub_stats(&self) -> ScrubStats {
+        ScrubStats {
+            pages_scrubbed: self.pages_scrubbed.load(Ordering::Relaxed),
+            scrub_failures: self.scrub_failures.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fetches page `pid` from disk and revalidates it with exactly the
+    /// checks the serve path applies — including the one-shot re-fetch that
+    /// lets corruption in transit heal — **without** touching the page
+    /// cache: no insertion, no eviction, no interference with resident
+    /// pages' recency. The read bytes/retries ride in the ordinary
+    /// page-cache counters; the verdict lands in the cumulative
+    /// [`ScrubStats`].
+    ///
+    /// A page that stays rotten (or unreadable past the retry budget) counts
+    /// a [`ScrubStats::scrub_failures`] and is quarantined via
+    /// [`PagedColumnStore::quarantine_page`], so a possibly-stale cached
+    /// copy cannot outlive the knowledge that its backing bytes are bad.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serve path's typed per-column
+    /// [`EffresError::StoreFailure`] when the page is rotten.
+    pub fn scrub_page(&self, pid: usize) -> Result<(), EffresError> {
+        let mut scratch = self.buffers.take_scratch();
+        let result = self.decode_page_with_scratch(pid, &mut scratch).map(drop);
+        self.buffers.put_scratch(scratch);
+        self.pages_scrubbed.fetch_add(1, Ordering::Relaxed);
+        if result.is_err() {
+            self.scrub_failures.fetch_add(1, Ordering::Relaxed);
+            self.quarantine_page(pid);
+        }
+        result
+    }
+
+    /// Quarantines page `pid`: evicts any resident copy from the cache (the
+    /// next query touching the page re-fetches from disk and surfaces a
+    /// typed error if the rot persists) and counts it in
+    /// [`ScrubStats::quarantined`]. Outstanding readers holding the page's
+    /// `Arc` finish unaffected. Returns whether a copy was resident.
+    pub fn quarantine_page(&self, pid: usize) -> bool {
+        let evicted = self.cache.remove(pid);
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        evicted
     }
 
     /// Bytes this store keeps permanently resident (the `col_ptr` block,
@@ -1722,6 +1835,9 @@ fn open_paged_impl(
         readahead_reads: AtomicU64::new(0),
         retries: AtomicU64::new(0),
         faulted_reads: AtomicU64::new(0),
+        pages_scrubbed: AtomicU64::new(0),
+        scrub_failures: AtomicU64::new(0),
+        quarantined: AtomicU64::new(0),
         pin_counters: Arc::new(PinCounters::default()),
         buffers,
     };

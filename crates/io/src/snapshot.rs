@@ -988,21 +988,164 @@ fn read_arena_v3<R: Read>(
     Ok((col_ptr, arena_rows, arena_vals, norms))
 }
 
-/// Writes a snapshot to a file (buffered), in the current format.
+/// The staging path [`save_snapshot`] writes to before its atomic rename: a
+/// dot-prefixed sibling of `path` tagged with the writing process id, so the
+/// rename never crosses a filesystem boundary and concurrent writers from
+/// different processes never collide on the staging file.
+fn staging_path(path: &Path) -> std::path::PathBuf {
+    let name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("snapshot"),
+        |n| n.to_os_string(),
+    );
+    let mut staged = std::ffi::OsString::from(".");
+    staged.push(&name);
+    staged.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(staged)
+}
+
+/// Makes the rename that committed `path` durable by fsyncing its parent
+/// directory (the rename itself lives in the directory's metadata). A no-op
+/// on non-Unix targets, where directories cannot be opened for syncing.
+fn sync_parent_dir(path: &Path) -> Result<(), IoError> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        let dir = std::fs::File::open(parent)?;
+        dir.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
+
+/// Flushes `writer`, fsyncs the staged file behind it, and atomically renames
+/// it over `path` (fsyncing the parent directory so the rename is durable).
+fn commit_staged(
+    mut writer: BufWriter<std::fs::File>,
+    staged: &Path,
+    path: &Path,
+) -> Result<(), IoError> {
+    writer.flush()?;
+    let file = writer
+        .into_inner()
+        .map_err(|e| IoError::Io(e.into_error()))?;
+    file.sync_all()?;
+    std::fs::rename(staged, path)?;
+    sync_parent_dir(path)
+}
+
+/// Writes a snapshot to a file in the current format, **crash-safely**: the
+/// bytes are staged in a temporary sibling file, flushed and fsynced, and
+/// only then atomically renamed over `path` (with the parent directory
+/// fsynced so the rename itself is durable). A crash — of this process or
+/// the machine — at any byte leaves either the previous contents of `path`
+/// or no file at all, never a torn snapshot. On an error return the staging
+/// file is removed.
 ///
 /// # Errors
 ///
-/// See [`write_snapshot`].
+/// See [`write_snapshot`]; staging, fsync and rename failures surface as
+/// [`IoError::Io`].
 pub fn save_snapshot(
     path: impl AsRef<Path>,
     estimator: &EffectiveResistanceEstimator,
     labels: Option<&[u64]>,
 ) -> Result<(), IoError> {
-    let file = std::fs::File::create(path)?;
-    let mut writer = BufWriter::new(file);
-    write_snapshot(&mut writer, estimator, labels)?;
-    writer.flush()?;
-    Ok(())
+    let path = path.as_ref();
+    let staged = staging_path(path);
+    let result = (|| {
+        let file = std::fs::File::create(&staged)?;
+        let mut writer = BufWriter::new(file);
+        write_snapshot(&mut writer, estimator, labels)?;
+        commit_staged(writer, &staged, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&staged);
+    }
+    result
+}
+
+/// The marker message carried by the simulated-crash I/O error that
+/// [`save_snapshot_crashing_at`] injects.
+const SIMULATED_CRASH: &str = "simulated crash point";
+
+/// A writer that passes through exactly `remaining` bytes and then fails
+/// every further write, simulating a process death at a byte boundary.
+struct CrashWriter<W> {
+    inner: W,
+    remaining: u64,
+}
+
+impl<W: Write> Write for CrashWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(std::io::Error::other(SIMULATED_CRASH));
+        }
+        let take = buf
+            .len()
+            .min(usize::try_from(self.remaining).unwrap_or(usize::MAX));
+        let written = self.inner.write(&buf[..take])?;
+        self.remaining -= written as u64;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Test support for the crash-safety guarantee: runs the exact
+/// [`save_snapshot`] staging path, but simulates a process crash once
+/// `crash_after_bytes` bytes have reached the staging file — writing stops
+/// mid-stream, nothing is fsynced or renamed, and the truncated staging file
+/// is **left behind**, reproducing the on-disk state an interrupted
+/// [`save_snapshot`] leaves. `path` itself is never touched.
+///
+/// Returns `Ok(false)` if the simulated crash fired, and `Ok(true)` if the
+/// whole snapshot fit within the budget, in which case the write committed
+/// normally (fsync + atomic rename) exactly as [`save_snapshot`] would.
+///
+/// # Errors
+///
+/// See [`save_snapshot`]; the injected crash itself is reported via the
+/// `Ok(false)` return, not as an error.
+pub fn save_snapshot_crashing_at(
+    path: impl AsRef<Path>,
+    estimator: &EffectiveResistanceEstimator,
+    labels: Option<&[u64]>,
+    crash_after_bytes: u64,
+) -> Result<bool, IoError> {
+    let path = path.as_ref();
+    let staged = staging_path(path);
+    let file = std::fs::File::create(&staged)?;
+    let mut writer = BufWriter::new(CrashWriter {
+        inner: file,
+        remaining: crash_after_bytes,
+    });
+    let staged_result = write_snapshot(&mut writer, estimator, labels).and_then(|()| {
+        // The buffered tail may still trip the crash point on flush.
+        writer.flush().map_err(IoError::Io)
+    });
+    match staged_result {
+        Ok(()) => {
+            let file = writer
+                .into_inner()
+                .map_err(|e| IoError::Io(e.into_error()))?
+                .inner;
+            file.sync_all()?;
+            std::fs::rename(&staged, path)?;
+            sync_parent_dir(path)?;
+            Ok(true)
+        }
+        Err(IoError::Io(e)) if e.to_string().contains(SIMULATED_CRASH) => Ok(false),
+        Err(other) => {
+            let _ = std::fs::remove_file(&staged);
+            Err(other)
+        }
+    }
 }
 
 /// Loads a snapshot from a file (buffered), auto-detecting the version.

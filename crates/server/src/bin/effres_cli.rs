@@ -7,8 +7,10 @@
 //! effres-cli batch <dataset|snapshot> --random N  thousands of queries
 //! effres-cli batch <dataset|snapshot> --pairs f   ... from a pair file
 //! effres-cli stats <dataset|snapshot>             what's inside
+//! effres-cli stats <host:port>                    live server stats JSON
 //! effres-cli serve <dataset|snapshot> --port N    long-lived TCP front-end
 //! effres-cli ping  <host:port>                    health check
+//! effres-cli reload <host:port> <snapshot>        hot-swap the served data
 //! effres-cli bench-client <host:port>             load generator
 //! ```
 //!
@@ -51,11 +53,14 @@ USAGE:
                      [--threads N] [--cache N] [--seed S] [--output <file>]
                      [--paged [--page-cache N]] [ingest|build options]
     effres-cli stats <dataset|snapshot> [--paged [--page-cache N]]
+    effres-cli stats <host:port>
     effres-cli serve <dataset|snapshot> [--host H] [--port N] [--threads N]
                      [--cache N] [--paged [--page-cache N]]
                      [--frame-deadline S] [--idle-deadline S]
+                     [--drain-deadline S] [--scrub-rate M]
                      [--admission-depth N [--admission-timeout-ms T]]
     effres-cli ping  <host:port>
+    effres-cli reload <host:port> <snapshot>
     effres-cli bench-client <host:port> [--connections N] [--requests N]
                      [--batch K [--batch-every J]] [--rate R] [--seed S]
                      [--check K] [--shutdown]
@@ -104,6 +109,11 @@ SERVE OPTIONS:
                             many seconds                 [default: 10]
     --idle-deadline <s>     close a connection idle this many seconds
                             (clients reconnect)          [default: 300]
+    --drain-deadline <s>    on shutdown, wait up to this many seconds for
+                            in-flight requests to finish [default: 30]
+    --scrub-rate <m>        background integrity scrubber budget, in MiB/s
+                            of snapshot pages re-validated (0 = off; paged
+                            backend only)                [default: 0]
     --admission-depth <n>   paged only: bound the admission queue at n
                             waiting batches; beyond that the server answers
                             BUSY instead of queueing (0 = unbounded, the
@@ -178,6 +188,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "stats" => cmd_stats(rest),
         "serve" => cmd_serve(rest),
         "ping" => cmd_ping(rest),
+        "reload" => cmd_reload(rest),
         "bench-client" => cmd_bench_client(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -208,6 +219,8 @@ struct Options {
     port: u16,
     frame_deadline_secs: u64,
     idle_deadline_secs: u64,
+    drain_deadline_secs: u64,
+    scrub_mibps: f64,
     admission_depth: usize,
     admission_timeout_ms: u64,
     connections: usize,
@@ -241,6 +254,8 @@ impl Default for Options {
             port: 7878,
             frame_deadline_secs: 10,
             idle_deadline_secs: 300,
+            drain_deadline_secs: 30,
+            scrub_mibps: 0.0,
             admission_depth: 0,
             admission_timeout_ms: 2000,
             connections: 4,
@@ -348,6 +363,16 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--idle-deadline" => {
                 options.idle_deadline_secs =
                     parse_number(&value_of("--idle-deadline", &mut iter)?, "--idle-deadline")?
+            }
+            "--drain-deadline" => {
+                options.drain_deadline_secs = parse_number(
+                    &value_of("--drain-deadline", &mut iter)?,
+                    "--drain-deadline",
+                )?
+            }
+            "--scrub-rate" => {
+                options.scrub_mibps =
+                    parse_number(&value_of("--scrub-rate", &mut iter)?, "--scrub-rate")?
             }
             "--admission-depth" => {
                 options.admission_depth = parse_number(
@@ -845,6 +870,19 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
 fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let options = parse_options(args)?;
     let path = require_input(&options)?;
+    // `stats <host:port>` against something that is not a local file fetches
+    // a live server's stats document instead.
+    if !path.exists() {
+        if let Some(addr) = path.to_str().filter(|s| s.contains(':')) {
+            let mut client = Client::connect(addr)
+                .map_err(|e| CliError::Run(format!("cannot connect to {addr}: {e}")))?;
+            let stats = client
+                .stats_json()
+                .map_err(|e| CliError::Run(format!("stats request failed: {e}")))?;
+            println!("{stats}");
+            return Ok(());
+        }
+    }
     if options.paged {
         let paged = obtain_paged(path, &options)?;
         println!("snapshot   {} (paged)", path.display());
@@ -927,6 +965,86 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// Builds the served engine from a dataset or snapshot path, reporting the
+/// timings — shared by `serve` startup and `OP_RELOAD`, so a hot reload
+/// goes through exactly the code path a fresh start would (on the same
+/// worker pool).
+///
+/// The server speaks dense node ids, so labels are not needed here; a
+/// client that has dataset ids maps them with `query --dense` semantics.
+fn build_engine(
+    path: &Path,
+    options: &Options,
+    pool: &WorkerPool,
+) -> Result<(ServedEngine, Option<u32>), CliError> {
+    if options.paged {
+        let paged = obtain_paged(path, options)?;
+        let version = paged.version;
+        let engine = QueryEngine::new(
+            Arc::new(paged),
+            EngineOptions {
+                threads: options.threads,
+                cache_capacity: options.cache,
+                pool: Some(pool.clone()),
+                readahead_pages: options.readahead,
+                admission_queue_depth: (options.admission_depth > 0)
+                    .then_some(options.admission_depth),
+                admission_timeout: Duration::from_millis(options.admission_timeout_ms),
+                ..EngineOptions::default()
+            },
+        );
+        Ok((ServedEngine::Paged(engine), Some(version)))
+    } else {
+        let snapshot = obtain_snapshot(path, options)?;
+        let version = snapshot.version;
+        let engine = QueryEngine::new(
+            Arc::new(snapshot.estimator),
+            EngineOptions {
+                threads: options.threads,
+                cache_capacity: options.cache,
+                pool: Some(pool.clone()),
+                ..EngineOptions::default()
+            },
+        );
+        Ok((ServedEngine::Resident(engine), version))
+    }
+}
+
+/// SIGINT/SIGTERM handling for `serve`, std-only: the handler just flips an
+/// atomic (the only thing that is async-signal-safe to do), and a watcher
+/// thread polls it and triggers the same graceful drain as `OP_SHUTDOWN`.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SEEN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        SEEN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // `signal(2)` from the platform libc that std already links.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Registers the flag-setting handler for SIGINT and SIGTERM.
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    /// True once either signal has been delivered.
+    pub fn seen() -> bool {
+        SEEN.load(Ordering::SeqCst)
+    }
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let options = parse_options(args)?;
     let path = require_input(&options)?.to_path_buf();
@@ -937,60 +1055,66 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         options.threads
     };
     let pool = WorkerPool::new(workers);
-    // The server speaks dense node ids, so labels are not needed here; a
-    // client that has dataset ids maps them with `query --dense` semantics.
-    let (engine, version) = if options.paged {
-        let paged = obtain_paged(&path, &options)?;
-        let version = paged.version;
-        let engine = QueryEngine::new(
-            Arc::new(paged),
-            EngineOptions {
-                threads: options.threads,
-                cache_capacity: options.cache,
-                pool: Some(pool),
-                readahead_pages: options.readahead,
-                admission_queue_depth: (options.admission_depth > 0)
-                    .then_some(options.admission_depth),
-                admission_timeout: Duration::from_millis(options.admission_timeout_ms),
-                ..EngineOptions::default()
-            },
-        );
-        (ServedEngine::Paged(engine), Some(version))
-    } else {
-        let snapshot = obtain_snapshot(&path, &options)?;
-        let version = snapshot.version;
-        let engine = QueryEngine::new(
-            Arc::new(snapshot.estimator),
-            EngineOptions {
-                threads: options.threads,
-                cache_capacity: options.cache,
-                pool: Some(pool),
-                ..EngineOptions::default()
-            },
-        );
-        (ServedEngine::Resident(engine), version)
-    };
+    let (engine, version) = build_engine(&path, &options, &pool)?;
     let addr = format!("{}:{}", options.host, options.port);
     let server_options = ServerOptions {
         frame_deadline: Duration::from_secs(options.frame_deadline_secs.max(1)),
         idle_deadline: Duration::from_secs(options.idle_deadline_secs.max(1)),
+        drain_deadline: Duration::from_secs(options.drain_deadline_secs),
+        scrub_bytes_per_sec: (options.scrub_mibps * 1024.0 * 1024.0) as u64,
     };
-    let server = Server::bind_with(&addr, engine, version, server_options)
+    let snapshot_path = is_snapshot(&path).then(|| path.clone());
+    let server = Server::bind_with(&addr, engine, version, snapshot_path, server_options)
         .map_err(|e| CliError::Run(format!("cannot bind {addr}: {e}")))?;
+    // Hot reloads rebuild through `build_engine` with the same serve options
+    // and the same worker pool; `options` moves into the closure (nothing
+    // below needs it).
+    {
+        let pool = pool.clone();
+        server.set_reloader(move |new_path: &Path| {
+            build_engine(new_path, &options, &pool).map_err(|e| match e {
+                CliError::Usage(message) | CliError::Run(message) => message,
+            })
+        });
+    }
     let served = match version {
         Some(v) => format!("snapshot v{v}"),
         None => "built in memory".to_string(),
     };
+    let epoch = server.engine();
     println!(
         "serving on {} — {} nodes, {} backend, {served}, {workers} worker(s)",
         server.local_addr(),
-        server.engine().node_count(),
-        server.engine().backend_kind(),
+        epoch.engine.node_count(),
+        epoch.engine.backend_kind(),
     );
-    println!("stop with `effres-cli bench-client <addr> --requests 0 --shutdown` or SIGINT");
+    println!(
+        "stop with `effres-cli bench-client <addr> --requests 0 --shutdown`, SIGINT, or \
+         SIGTERM — in-flight requests drain first"
+    );
+    #[cfg(unix)]
+    let serving = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    #[cfg(unix)]
+    {
+        sig::install();
+        let handle = server.handle();
+        let serving = Arc::clone(&serving);
+        std::thread::spawn(move || {
+            while serving.load(MemOrder::Relaxed) {
+                if sig::seen() {
+                    eprintln!("signal received — draining in-flight requests");
+                    handle.shutdown();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+    }
     let stats = server
         .run()
         .map_err(|e| CliError::Run(format!("serve loop failed: {e}")))?;
+    #[cfg(unix)]
+    serving.store(false, MemOrder::Relaxed);
     println!("final stats {stats}");
     Ok(())
 }
@@ -1011,11 +1135,50 @@ fn cmd_ping(args: &[String]) -> Result<(), CliError> {
         .ping()
         .map_err(|e| CliError::Run(format!("ping failed: {e}")))?;
     println!(
-        "{addr} alive — {} backend, {} nodes, up {:.1}s (round trip {:.1} ms)",
+        "{addr} alive — {} backend, {} nodes, epoch {}, health {}, up {:.1}s \
+         (round trip {:.1} ms)",
         if report.paged { "paged" } else { "resident" },
         report.node_count,
+        report.epoch,
+        report.health.as_str(),
         report.uptime_secs,
         started.elapsed().as_secs_f64() * 1e3
+    );
+    if let Some(snapshot) = &report.snapshot_path {
+        println!("snapshot   {snapshot}");
+    }
+    Ok(())
+}
+
+/// `reload <host:port> <snapshot>` — hot-swap the served engine without
+/// dropping a connection: in-flight requests finish on the old snapshot,
+/// everything after the swap answers from the new one.
+fn cmd_reload(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    let addr = require_input(&options)?
+        .to_str()
+        .ok_or_else(|| CliError::Usage("reload needs a <host:port> address".into()))?
+        .to_string();
+    let [path] = options.positional.as_slice() else {
+        return Err(CliError::Usage(
+            "reload needs exactly `<host:port> <snapshot>`".into(),
+        ));
+    };
+    let started = Instant::now();
+    let mut client = Client::connect(addr.as_str())
+        .map_err(|e| CliError::Run(format!("cannot connect to {addr}: {e}")))?;
+    let report = client
+        .reload(path)
+        .map_err(|e| CliError::Run(format!("reload failed: {e}")))?;
+    println!(
+        "{addr} reloaded {path} — epoch {}, {} nodes, {} ({:.3}s)",
+        report.epoch,
+        report.node_count,
+        match report.snapshot_version {
+            Some(v) => format!("snapshot v{v}"),
+            None => "built in memory".to_string(),
+        },
+        started.elapsed().as_secs_f64()
     );
     Ok(())
 }

@@ -17,9 +17,10 @@
 //! back off and retry rather than give up.
 
 use crate::protocol::{
-    read_frame, write_frame, PayloadReader, OP_BATCH, OP_BATCH_OK, OP_BATCH_PARTIAL,
+    read_frame, write_frame, Health, PayloadReader, OP_BATCH, OP_BATCH_OK, OP_BATCH_PARTIAL,
     OP_BATCH_PARTIAL_OK, OP_BUSY, OP_ERROR, OP_HELLO, OP_HELLO_OK, OP_PING, OP_PING_OK, OP_QUERY,
-    OP_QUERY_OK, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STATS, OP_STATS_OK, STATUS_OK,
+    OP_QUERY_OK, OP_RELOAD, OP_RELOAD_OK, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STATS, OP_STATS_OK,
+    STATUS_OK,
 };
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -39,7 +40,7 @@ pub struct ServerInfo {
 }
 
 /// What the server answered to a `PING` health check.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PingReport {
     /// Whether the backend is paged (out-of-core) rather than resident.
     pub paged: bool,
@@ -47,6 +48,27 @@ pub struct PingReport {
     pub node_count: u64,
     /// Seconds since the server started.
     pub uptime_secs: f64,
+    /// Serving epoch: 1 for the engine the server started with, +1 per hot
+    /// reload since.
+    pub epoch: u64,
+    /// Server health: ok, degraded (integrity failures on the books) or
+    /// draining (shutdown in progress).
+    pub health: Health,
+    /// The snapshot file the current epoch serves, when it came from one.
+    pub snapshot_path: Option<String>,
+}
+
+/// What the server answered to a successful `RELOAD`: the identity of the
+/// engine it atomically swapped in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReloadReport {
+    /// The new serving epoch.
+    pub epoch: u64,
+    /// Node count of the swapped-in engine.
+    pub node_count: u64,
+    /// Snapshot format version of the reloaded file, or `None` if the
+    /// server did not report one.
+    pub snapshot_version: Option<u32>,
 }
 
 /// A batch answered in partial-results mode: per-query status bytes (the
@@ -225,11 +247,39 @@ impl Client {
         let paged = reader.u8().map_err(bad_reply)? != 0;
         let node_count = reader.u64().map_err(bad_reply)?;
         let uptime_secs = reader.f64().map_err(bad_reply)?;
-        reader.finish().map_err(bad_reply)?;
+        let epoch = reader.u64().map_err(bad_reply)?;
+        let health_byte = reader.u8().map_err(bad_reply)?;
+        let health = Health::from_u8(health_byte)
+            .ok_or_else(|| ClientError::Protocol(format!("unknown health state {health_byte}")))?;
+        let path = String::from_utf8_lossy(reader.rest()).into_owned();
         Ok(PingReport {
             paged,
             node_count,
             uptime_secs,
+            epoch,
+            health,
+            snapshot_path: (!path.is_empty()).then_some(path),
+        })
+    }
+
+    /// Asks the server to hot-reload: open the snapshot at `path` (a path
+    /// **the server process** can read), swap it in atomically, and report
+    /// the new epoch. In-flight requests finish on the old engine; requests
+    /// accepted after the ack serve the new one.
+    pub fn reload(&mut self, path: &str) -> Result<ReloadReport, ClientError> {
+        let mut request = Vec::with_capacity(1 + path.len());
+        request.push(OP_RELOAD);
+        request.extend_from_slice(path.as_bytes());
+        let payload = self.round_trip(&request, OP_RELOAD_OK)?;
+        let mut reader = PayloadReader::new(&payload);
+        let epoch = reader.u64().map_err(bad_reply)?;
+        let node_count = reader.u64().map_err(bad_reply)?;
+        let version = reader.u32().map_err(bad_reply)?;
+        reader.finish().map_err(bad_reply)?;
+        Ok(ReloadReport {
+            epoch,
+            node_count,
+            snapshot_version: (version != 0).then_some(version),
         })
     }
 

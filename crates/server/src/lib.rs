@@ -41,5 +41,8 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, PartialBatch, PingReport, ReconnectPolicy, ServerInfo};
-pub use server::{ServedEngine, Server, ServerHandle, ServerOptions};
+pub use client::{
+    Client, ClientError, PartialBatch, PingReport, ReconnectPolicy, ReloadReport, ServerInfo,
+};
+pub use protocol::Health;
+pub use server::{EngineEpoch, Reloader, ServedEngine, Server, ServerHandle, ServerOptions};

@@ -15,9 +15,10 @@
 //! | [`OP_QUERY`] | `u64 p, u64 q` | [`OP_QUERY_OK`] | `f64 resistance` |
 //! | [`OP_BATCH`] | `u32 count, count × (u64 p, u64 q)` | [`OP_BATCH_OK`] | `u32 count, count × f64` |
 //! | [`OP_BATCH_PARTIAL`] | `u32 count, count × (u64 p, u64 q)` | [`OP_BATCH_PARTIAL_OK`] | `u32 count, u32 failed, count × u8 status, count × f64, UTF-8 first-failure message` |
-//! | [`OP_PING`] | — | [`OP_PING_OK`] | `u8 backend (0 resident / 1 paged), u64 node_count, f64 uptime_secs` |
+//! | [`OP_PING`] | — | [`OP_PING_OK`] | `u8 backend (0 resident / 1 paged), u64 node_count, f64 uptime_secs, u64 epoch, u8 health (0 ok / 1 degraded / 2 draining), UTF-8 snapshot path (may be empty)` |
 //! | [`OP_STATS`] | — | [`OP_STATS_OK`] | UTF-8 JSON (see [`crate::server`]) |
 //! | [`OP_SHUTDOWN`] | — | [`OP_SHUTDOWN_OK`] | — (the server then stops accepting and drains) |
+//! | [`OP_RELOAD`] | UTF-8 snapshot path | [`OP_RELOAD_OK`] | `u64 epoch, u64 node_count, u32 snapshot_version` (the swapped-in engine) |
 //!
 //! Any request can instead draw [`OP_ERROR`] with a UTF-8 message (bad
 //! node id, malformed body, unknown opcode) — the connection stays usable —
@@ -50,6 +51,11 @@ pub const OP_PING: u8 = 0x06;
 /// A batch of pair queries answered in partial-results mode: per-query
 /// statuses instead of all-or-nothing.
 pub const OP_BATCH_PARTIAL: u8 = 0x07;
+/// Hot reload: atomically swap the served engine to the snapshot named in
+/// the body (a UTF-8 path the *server* process can read). In-flight requests
+/// finish on the old epoch; every request accepted after the swap serves the
+/// new one.
+pub const OP_RELOAD: u8 = 0x08;
 
 /// Response to [`OP_HELLO`].
 pub const OP_HELLO_OK: u8 = 0x81;
@@ -65,6 +71,8 @@ pub const OP_SHUTDOWN_OK: u8 = 0x85;
 pub const OP_PING_OK: u8 = 0x86;
 /// Response to [`OP_BATCH_PARTIAL`].
 pub const OP_BATCH_PARTIAL_OK: u8 = 0x87;
+/// Response to [`OP_RELOAD`]: the new engine is live.
+pub const OP_RELOAD_OK: u8 = 0x88;
 /// Overload response to any request: the server shed it (admission queue
 /// full or lease timeout); body is a UTF-8 message. Back off and retry.
 pub const OP_BUSY: u8 = 0xFE;
@@ -85,6 +93,50 @@ pub const STATUS_OTHER: u8 = 4;
 
 /// Largest accepted frame payload (64 MiB).
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Server health as carried in [`OP_PING_OK`] (one byte on the wire) and in
+/// the stats document (its [`Health::as_str`] form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Serving normally, no integrity failures observed.
+    Ok,
+    /// Still serving, but typed store failures or scrubber findings have
+    /// been recorded — the snapshot (or the disk under it) deserves a look.
+    Degraded,
+    /// Shutdown in progress: the listener is closed and in-flight requests
+    /// are draining.
+    Draining,
+}
+
+impl Health {
+    /// Wire encoding (`0` ok, `1` degraded, `2` draining).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Health::Ok => 0,
+            Health::Degraded => 1,
+            Health::Draining => 2,
+        }
+    }
+
+    /// Decodes the wire byte; `None` for anything unassigned.
+    pub fn from_u8(value: u8) -> Option<Health> {
+        match value {
+            0 => Some(Health::Ok),
+            1 => Some(Health::Degraded),
+            2 => Some(Health::Draining),
+            _ => None,
+        }
+    }
+
+    /// The stats-document spelling: `"ok"`, `"degraded"` or `"draining"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Health::Ok => "ok",
+            Health::Degraded => "degraded",
+            Health::Draining => "draining",
+        }
+    }
+}
 
 /// Writes one frame (length prefix + payload). The caller flushes.
 pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {

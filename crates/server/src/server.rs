@@ -10,27 +10,46 @@
 //! the engine's admission ledger, so many clients can run large batches
 //! without over-pinning the page cache.
 //!
-//! Shutdown is cooperative: an [`OP_SHUTDOWN`]
-//! request (or [`ServerHandle::shutdown`]) sets a flag, the listener is
-//! woken with a loopback connection, and [`Server::run`] drains: it stops
-//! accepting, every handler notices the flag within its poll interval
-//! (200 ms) once its requests are answered, and `run` joins them all before
-//! returning — so when the process exits, no request was dropped mid-frame.
+//! Shutdown is cooperative and **graceful**: an [`OP_SHUTDOWN`]
+//! request (or [`ServerHandle::shutdown`], which the CLI's SIGINT/SIGTERM
+//! handler also calls) sets a flag and wakes the listener with a loopback
+//! connection. [`Server::run`] then drains: it closes the listener, lets
+//! every in-flight request finish (handlers notice the flag within their
+//! poll interval once their buffered requests are answered), and waits up
+//! to [`ServerOptions::drain_deadline`] before giving up on stragglers —
+//! so a normal shutdown drops no request mid-frame.
+//!
+//! The engine rides behind an **epoch-versioned handle**
+//! ([`EngineEpoch`]): every request pins the current epoch's `Arc` before
+//! touching the engine, so [`OP_RELOAD`] can
+//! atomically swap in a freshly opened snapshot with zero downtime —
+//! in-flight batches finish on the epoch they started with, requests
+//! accepted after the swap serve the new one, and the old engine (its page
+//! cache and buffer pools included) drops when its last pinned request
+//! completes.
+//!
+//! When serving a paged snapshot with a scrub rate configured
+//! ([`ServerOptions::scrub_bytes_per_sec`]), a low-priority **integrity
+//! scrubber** thread walks the snapshot's pages in the background,
+//! revalidating each with the same checks the fetch path applies; rotten
+//! pages are quarantined out of the cache. Its findings ride in the stats
+//! document and in the `health` byte of [`OP_PING`].
 //!
 //! The [`OP_STATS`] response is a JSON object
 //! (stable keys, no external dependencies) carrying the backend identity
-//! (including the snapshot format version), cumulative service counters,
-//! admission-ledger state, the latency quantiles (p50/p95/p99 in
-//! microseconds) and overall queries-per-second throughput.
+//! (including the snapshot format version, path, epoch and reload count),
+//! cumulative service counters, admission-ledger state, scrubber counters,
+//! the health state, the latency quantiles (p50/p95/p99 in microseconds)
+//! and overall queries-per-second throughput.
 
 use crate::protocol::{
-    write_frame, PayloadReader, MAX_FRAME_BYTES, OP_BATCH, OP_BATCH_OK, OP_BATCH_PARTIAL,
+    write_frame, Health, PayloadReader, MAX_FRAME_BYTES, OP_BATCH, OP_BATCH_OK, OP_BATCH_PARTIAL,
     OP_BATCH_PARTIAL_OK, OP_BUSY, OP_ERROR, OP_HELLO, OP_HELLO_OK, OP_PING, OP_PING_OK, OP_QUERY,
-    OP_QUERY_OK, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STATS, OP_STATS_OK, STATUS_BUSY, STATUS_OK,
-    STATUS_OTHER, STATUS_OUT_OF_BOUNDS, STATUS_STORE_FAILURE,
+    OP_QUERY_OK, OP_RELOAD, OP_RELOAD_OK, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STATS, OP_STATS_OK,
+    STATUS_BUSY, STATUS_OK, STATUS_OTHER, STATUS_OUT_OF_BOUNDS, STATUS_STORE_FAILURE,
 };
 use effres::{EffectiveResistanceEstimator, EffresError};
-use effres_io::PagedSnapshot;
+use effres_io::{PagedSnapshot, ScrubStats};
 use effres_service::{
     AdmissionStats, BatchResult, LatencyHistogram, PartialBatchResult, QueryBatch, QueryEngine,
     ServiceStats,
@@ -38,8 +57,9 @@ use effres_service::{
 use std::fmt::Write as _;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 /// How often an idle connection handler re-checks the shutdown flag.
@@ -59,6 +79,18 @@ pub struct ServerOptions {
     /// thread (`idle_closes` in the stats document). Healthy clients
     /// reconnect transparently ([`crate::Client::connect_with`]).
     pub idle_deadline: Duration,
+    /// How long [`Server::run`] waits for in-flight requests after shutdown
+    /// is requested. Handlers that finish within the deadline are joined
+    /// (the normal case: a handler needs one poll interval plus whatever
+    /// its current batch takes); stragglers past it are abandoned so the
+    /// process can exit.
+    pub drain_deadline: Duration,
+    /// Target byte rate of the background integrity scrubber on paged
+    /// backends; `0` disables it. The scrubber fetches and revalidates one
+    /// page at a time, sleeping between pages so its disk traffic averages
+    /// this rate — size it well below the disk's bandwidth so serving
+    /// traffic keeps priority.
+    pub scrub_bytes_per_sec: u64,
 }
 
 impl Default for ServerOptions {
@@ -66,6 +98,8 @@ impl Default for ServerOptions {
         ServerOptions {
             frame_deadline: Duration::from_secs(10),
             idle_deadline: Duration::from_secs(300),
+            drain_deadline: Duration::from_secs(30),
+            scrub_bytes_per_sec: 0,
         }
     }
 }
@@ -158,15 +192,55 @@ impl ServedEngine {
             ServedEngine::Paged(engine) => engine.admission_stats(),
         }
     }
+
+    /// Cumulative integrity-scrubber counters (paged backends only).
+    pub fn scrub_stats(&self) -> Option<ScrubStats> {
+        match self {
+            ServedEngine::Resident(_) => None,
+            ServedEngine::Paged(engine) => Some(engine.backend().store.scrub_stats()),
+        }
+    }
 }
 
-/// State shared by the accept loop and every connection handler.
+/// One epoch of serving: an engine plus the identity of the snapshot it was
+/// opened from. Requests pin the current epoch's `Arc` before touching the
+/// engine, so a hot reload ([`crate::protocol::OP_RELOAD`]) swaps the handle
+/// atomically while in-flight work finishes on the epoch it started with;
+/// the old engine — page cache and buffer pools included — drops with the
+/// last pinned request.
 #[derive(Debug)]
+pub struct EngineEpoch {
+    /// The engine serving this epoch.
+    pub engine: ServedEngine,
+    /// Monotonic epoch number, starting at 1 for the engine the server was
+    /// bound with and incremented by every successful reload.
+    pub epoch: u64,
+    /// The snapshot file this epoch serves, when it came from one.
+    pub snapshot_path: Option<PathBuf>,
+    /// Snapshot format version of that file (v1/v2/v3); `None` for
+    /// estimators built in memory.
+    pub snapshot_version: Option<u32>,
+}
+
+/// The closure hot reload uses to open a snapshot into a fresh engine. The
+/// host installs it ([`Server::set_reloader`]) so the server crate stays
+/// agnostic of how engines are configured — the CLI's reloader reapplies the
+/// same backend, cache and worker-pool choices `serve` started with.
+pub type Reloader = Box<dyn Fn(&Path) -> Result<(ServedEngine, Option<u32>), String> + Send + Sync>;
+
+/// State shared by the accept loop and every connection handler.
 struct Shared {
-    engine: ServedEngine,
-    /// Snapshot format version of the file being served (v1/v2/v3); `None`
-    /// for estimators built in memory.
-    snapshot_version: Option<u32>,
+    /// The current serving epoch, swapped whole on reload. Readers take the
+    /// lock only long enough to clone the `Arc`.
+    engine: RwLock<Arc<EngineEpoch>>,
+    /// Opens snapshots for [`crate::protocol::OP_RELOAD`]; reloads are
+    /// refused until the host installs one.
+    reloader: OnceLock<Reloader>,
+    /// Successful hot reloads since the server was bound.
+    reloads: AtomicU64,
+    /// Handler threads currently serving a connection — the drain loop
+    /// waits for this to reach zero.
+    active_handlers: AtomicUsize,
     options: ServerOptions,
     latency: LatencyHistogram,
     started: Instant,
@@ -195,6 +269,67 @@ struct Shared {
     partial_batches: AtomicU64,
 }
 
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("addr", &self.addr)
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Shared {
+    /// Pins the current serving epoch: one lock acquisition, one `Arc`
+    /// clone. Every request (and the scrubber) goes through this, so a
+    /// reload mid-request never swaps an engine out from under anyone.
+    fn current_epoch(&self) -> Arc<EngineEpoch> {
+        Arc::clone(&self.engine.read().expect("engine lock poisoned"))
+    }
+
+    /// Opens `path` through the installed reloader and atomically swaps the
+    /// serving epoch. Returns the new epoch's identity.
+    fn reload(&self, path: &Path) -> Result<(u64, u64, u32), String> {
+        let reloader = self
+            .reloader
+            .get()
+            .ok_or_else(|| "this server has no reloader installed".to_string())?;
+        let (engine, snapshot_version) = reloader(path)?;
+        let node_count = engine.node_count() as u64;
+        let version = snapshot_version.unwrap_or(0);
+        let mut guard = self.engine.write().expect("engine lock poisoned");
+        let epoch = guard.epoch + 1;
+        *guard = Arc::new(EngineEpoch {
+            engine,
+            epoch,
+            snapshot_path: Some(path.to_path_buf()),
+            snapshot_version,
+        });
+        drop(guard);
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        Ok((epoch, node_count, version))
+    }
+
+    /// The server's health state: draining once shutdown is requested,
+    /// degraded while typed store failures or scrubber findings are on the
+    /// books, ok otherwise.
+    fn health(&self) -> Health {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Health::Draining;
+        }
+        let degraded = self.store_failures.load(Ordering::Relaxed) > 0
+            || self
+                .current_epoch()
+                .engine
+                .scrub_stats()
+                .is_some_and(|s| s.scrub_failures > 0);
+        if degraded {
+            Health::Degraded
+        } else {
+            Health::Ok
+        }
+    }
+}
+
 /// A bound, not-yet-running server. [`Server::run`] blocks until shutdown.
 #[derive(Debug)]
 pub struct Server {
@@ -219,14 +354,23 @@ impl Server {
         engine: ServedEngine,
         snapshot_version: Option<u32>,
     ) -> io::Result<Server> {
-        Server::bind_with(addr, engine, snapshot_version, ServerOptions::default())
+        Server::bind_with(
+            addr,
+            engine,
+            snapshot_version,
+            None,
+            ServerOptions::default(),
+        )
     }
 
-    /// [`Server::bind`] with explicit connection deadlines.
+    /// [`Server::bind`] with explicit connection deadlines, and optionally
+    /// the snapshot file the engine was opened from (reported by `OP_PING`
+    /// and the stats document, and updated by every reload).
     pub fn bind_with(
         addr: &str,
         engine: ServedEngine,
         snapshot_version: Option<u32>,
+        snapshot_path: Option<PathBuf>,
         options: ServerOptions,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
@@ -234,8 +378,15 @@ impl Server {
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                engine,
-                snapshot_version,
+                engine: RwLock::new(Arc::new(EngineEpoch {
+                    engine,
+                    epoch: 1,
+                    snapshot_path,
+                    snapshot_version,
+                })),
+                reloader: OnceLock::new(),
+                reloads: AtomicU64::new(0),
+                active_handlers: AtomicUsize::new(0),
                 options,
                 latency: LatencyHistogram::new(),
                 started: Instant::now(),
@@ -259,9 +410,20 @@ impl Server {
         self.shared.addr
     }
 
-    /// The engine being served.
-    pub fn engine(&self) -> &ServedEngine {
-        &self.shared.engine
+    /// The current serving epoch (engine plus snapshot identity).
+    pub fn engine(&self) -> Arc<EngineEpoch> {
+        self.shared.current_epoch()
+    }
+
+    /// Installs the closure [`crate::protocol::OP_RELOAD`] uses to open a
+    /// snapshot into a fresh engine. Without one, reload requests are
+    /// refused with a typed error. Returns `false` if a reloader was
+    /// already installed (the first one wins).
+    pub fn set_reloader(
+        &self,
+        reloader: impl Fn(&Path) -> Result<(ServedEngine, Option<u32>), String> + Send + Sync + 'static,
+    ) -> bool {
+        self.shared.reloader.set(Box::new(reloader)).is_ok()
     }
 
     /// A handle for observing or shutting down the server from elsewhere.
@@ -271,10 +433,14 @@ impl Server {
         }
     }
 
-    /// Serves until shutdown: accepts connections, one handler thread each,
-    /// then joins every handler so no request is dropped mid-frame. Returns
-    /// the final stats JSON (the same document [`OP_STATS`] serves).
+    /// Serves until shutdown: accepts connections, one handler thread each.
+    /// On shutdown the listener closes immediately (no new connections) and
+    /// the in-flight handlers are drained — joined as they finish, up to
+    /// [`ServerOptions::drain_deadline`], after which stragglers are
+    /// abandoned. Returns the final stats JSON (the same document
+    /// [`OP_STATS`] serves).
     pub fn run(self) -> io::Result<String> {
+        let scrubber = spawn_scrubber(&self.shared);
         let mut handlers = Vec::new();
         loop {
             let (stream, _) = match self.listener.accept() {
@@ -286,17 +452,101 @@ impl Server {
                 break; // the wake-up connection; stop accepting
             }
             self.shared.connections.fetch_add(1, Ordering::Relaxed);
+            self.shared.active_handlers.fetch_add(1, Ordering::SeqCst);
             let shared = Arc::clone(&self.shared);
             handlers.push(std::thread::spawn(move || {
                 // Connection failures (peer reset, malformed framing) end
                 // that connection only; the server keeps serving.
                 let _ = serve_connection(stream, &shared);
+                shared.active_handlers.fetch_sub(1, Ordering::SeqCst);
             }));
         }
-        for handler in handlers {
-            let _ = handler.join();
+        // Close the listener now: drain means no new work, only finishing
+        // what is already in flight.
+        drop(self.listener);
+        let deadline = Instant::now() + self.shared.options.drain_deadline;
+        while self.shared.active_handlers.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if self.shared.active_handlers.load(Ordering::SeqCst) == 0 {
+            // Everything finished within the deadline: join so no handler
+            // outlives `run` (the no-dropped-batches case).
+            for handler in handlers {
+                let _ = handler.join();
+            }
+        }
+        // Handlers still running past the deadline are abandoned: their
+        // threads keep draining but `run` stops waiting on them.
+        if let Some(scrubber) = scrubber {
+            let _ = scrubber.join();
         }
         Ok(stats_json(&self.shared))
+    }
+}
+
+/// Starts the background integrity scrubber when the options ask for one:
+/// a low-priority thread walking the paged snapshot's pages at roughly
+/// [`ServerOptions::scrub_bytes_per_sec`], revalidating each with the serve
+/// path's own checks (see
+/// [`PagedColumnStore::scrub_page`](effres_io::PagedColumnStore::scrub_page))
+/// and quarantining rot. It follows epoch swaps (a reload restarts the walk
+/// on the new snapshot) and exits at shutdown.
+fn spawn_scrubber(shared: &Arc<Shared>) -> Option<std::thread::JoinHandle<()>> {
+    let rate = shared.options.scrub_bytes_per_sec;
+    if rate == 0 {
+        return None;
+    }
+    let shared = Arc::clone(shared);
+    Some(
+        std::thread::Builder::new()
+            .name("effres-scrubber".to_string())
+            .spawn(move || scrub_loop(&shared, rate))
+            .expect("spawn scrubber thread"),
+    )
+}
+
+fn scrub_loop(shared: &Shared, bytes_per_sec: u64) {
+    let mut walk_epoch = 0u64;
+    let mut next_page = 0usize;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let current = shared.current_epoch();
+        if current.epoch != walk_epoch {
+            // A reload swapped the snapshot: restart the walk from page 0.
+            walk_epoch = current.epoch;
+            next_page = 0;
+        }
+        let pause = match &current.engine {
+            ServedEngine::Paged(engine) => {
+                let store = &engine.backend().store;
+                let pages = store.page_count();
+                if pages == 0 {
+                    POLL_INTERVAL
+                } else {
+                    if next_page >= pages {
+                        next_page = 0;
+                    }
+                    // The verdict already landed in the store's scrub
+                    // stats; rotten pages were quarantined there too.
+                    let _ = store.scrub_page(next_page);
+                    next_page += 1;
+                    // Pace to the byte budget using the mean page size.
+                    let footprint = store.footprint();
+                    let page_bytes =
+                        ((footprint.rows_bytes + footprint.vals_bytes) / pages).max(1) as u64;
+                    Duration::from_secs_f64(page_bytes as f64 / bytes_per_sec as f64)
+                }
+            }
+            // Nothing to scrub on a resident engine; idle until a reload
+            // possibly swaps a paged one in.
+            ServedEngine::Resident(_) => Duration::from_secs(1),
+        };
+        // Sleep in poll-interval slices so shutdown is noticed promptly.
+        let mut remaining = pause;
+        while !remaining.is_zero() && !shared.shutdown.load(Ordering::SeqCst) {
+            let slice = remaining.min(POLL_INTERVAL);
+            std::thread::sleep(slice);
+            remaining -= slice;
+        }
     }
 }
 
@@ -430,6 +680,11 @@ fn frame_length(buffer: &[u8]) -> io::Result<Option<usize>> {
 
 /// Answers one request; returns `false` when the connection should close
 /// (after a shutdown ack).
+///
+/// Every engine-touching opcode pins the current [`EngineEpoch`] **once, up
+/// front** — a reload arriving mid-request swaps the shared handle but this
+/// request keeps the epoch it pinned, so a batch never mixes columns from
+/// two snapshots.
 fn handle_request(payload: &[u8], shared: &Shared, writer: &mut impl Write) -> io::Result<bool> {
     let Some((&opcode, body)) = payload.split_first() else {
         shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -437,11 +692,12 @@ fn handle_request(payload: &[u8], shared: &Shared, writer: &mut impl Write) -> i
     };
     match opcode {
         OP_HELLO => {
+            let epoch = shared.current_epoch();
             let mut out = Vec::with_capacity(1 + 8 + 1 + 4);
             out.push(OP_HELLO_OK);
-            out.extend_from_slice(&(shared.engine.node_count() as u64).to_le_bytes());
-            out.push(u8::from(shared.engine.backend_kind() == "paged"));
-            out.extend_from_slice(&shared.snapshot_version.unwrap_or(0).to_le_bytes());
+            out.extend_from_slice(&(epoch.engine.node_count() as u64).to_le_bytes());
+            out.push(u8::from(epoch.engine.backend_kind() == "paged"));
+            out.extend_from_slice(&epoch.snapshot_version.unwrap_or(0).to_le_bytes());
             write_frame(writer, &out)?;
         }
         OP_QUERY => {
@@ -458,7 +714,7 @@ fn handle_request(payload: &[u8], shared: &Shared, writer: &mut impl Write) -> i
                     shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     write_error(writer, &format!("malformed query: {e}"))?;
                 }
-                Ok((p, q)) => match shared.engine.query(p as usize, q as usize) {
+                Ok((p, q)) => match shared.current_epoch().engine.query(p as usize, q as usize) {
                     Ok(value) => {
                         let mut out = Vec::with_capacity(9);
                         out.push(OP_QUERY_OK);
@@ -495,7 +751,7 @@ fn handle_request(payload: &[u8], shared: &Shared, writer: &mut impl Write) -> i
                 }
                 Ok(pairs) => {
                     let batch = QueryBatch::from_pairs(pairs);
-                    match shared.engine.execute(&batch) {
+                    match shared.current_epoch().engine.execute(&batch) {
                         Ok(result) => {
                             let mut out = Vec::with_capacity(5 + result.values.len() * 8);
                             out.push(OP_BATCH_OK);
@@ -536,7 +792,7 @@ fn handle_request(payload: &[u8], shared: &Shared, writer: &mut impl Write) -> i
                 }
                 Ok(pairs) => {
                     let batch = QueryBatch::from_pairs(pairs);
-                    match shared.engine.execute_partial(&batch) {
+                    match shared.current_epoch().engine.execute_partial(&batch) {
                         Ok(result) => {
                             write_partial_batch(writer, shared, &result)?;
                             shared.latency.record(started.elapsed());
@@ -547,13 +803,43 @@ fn handle_request(payload: &[u8], shared: &Shared, writer: &mut impl Write) -> i
             }
         }
         OP_PING => {
-            let mut out = Vec::with_capacity(1 + 1 + 8 + 8);
+            let epoch = shared.current_epoch();
+            let path = epoch
+                .snapshot_path
+                .as_ref()
+                .map(|p| p.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let mut out = Vec::with_capacity(1 + 1 + 8 + 8 + 8 + 1 + path.len());
             out.push(OP_PING_OK);
-            out.push(u8::from(shared.engine.backend_kind() == "paged"));
-            out.extend_from_slice(&(shared.engine.node_count() as u64).to_le_bytes());
+            out.push(u8::from(epoch.engine.backend_kind() == "paged"));
+            out.extend_from_slice(&(epoch.engine.node_count() as u64).to_le_bytes());
             out.extend_from_slice(&shared.started.elapsed().as_secs_f64().to_le_bytes());
+            out.extend_from_slice(&epoch.epoch.to_le_bytes());
+            out.push(shared.health().as_u8());
+            out.extend_from_slice(path.as_bytes());
             write_frame(writer, &out)?;
         }
+        OP_RELOAD => match std::str::from_utf8(body) {
+            Err(_) => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                write_error(writer, "reload path is not valid UTF-8")?;
+            }
+            Ok("") => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                write_error(writer, "reload needs a snapshot path")?;
+            }
+            Ok(path) => match shared.reload(Path::new(path)) {
+                Ok((epoch, node_count, version)) => {
+                    let mut out = Vec::with_capacity(1 + 8 + 8 + 4);
+                    out.push(OP_RELOAD_OK);
+                    out.extend_from_slice(&epoch.to_le_bytes());
+                    out.extend_from_slice(&node_count.to_le_bytes());
+                    out.extend_from_slice(&version.to_le_bytes());
+                    write_frame(writer, &out)?;
+                }
+                Err(message) => write_error(writer, &format!("reload failed: {message}"))?,
+            },
+        },
         OP_STATS => {
             let json = stats_json(shared);
             let mut out = Vec::with_capacity(1 + json.len());
@@ -665,24 +951,65 @@ fn write_partial_batch(
     write_frame(writer, &out)
 }
 
+/// Encodes `s` as a JSON string literal (quotes, backslashes and control
+/// characters escaped — enough for arbitrary snapshot paths).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write to string");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Renders the stats document: plain JSON with stable keys, no external
 /// dependencies (numbers and a fixed vocabulary of strings only).
 fn stats_json(shared: &Shared) -> String {
-    let service = shared.engine.stats();
+    let epoch = shared.current_epoch();
+    let service = epoch.engine.stats();
     let latency = shared.latency.snapshot();
     let uptime = shared.started.elapsed().as_secs_f64();
     let mut out = String::with_capacity(1024);
     out.push('{');
     write!(
         out,
-        "\"backend\":\"{}\",\"nodes\":{},\"snapshot_version\":{},",
-        shared.engine.backend_kind(),
-        shared.engine.node_count(),
-        shared
+        "\"backend\":\"{}\",\"nodes\":{},\"snapshot_version\":{},\"snapshot_path\":{},",
+        epoch.engine.backend_kind(),
+        epoch.engine.node_count(),
+        epoch
             .snapshot_version
             .map_or("null".to_string(), |v| v.to_string()),
+        epoch
+            .snapshot_path
+            .as_ref()
+            .map_or("null".to_string(), |p| json_string(&p.to_string_lossy())),
     )
     .expect("write to string");
+    write!(
+        out,
+        "\"epoch\":{},\"reloads\":{},\"health\":\"{}\",",
+        epoch.epoch,
+        shared.reloads.load(Ordering::Relaxed),
+        shared.health().as_str(),
+    )
+    .expect("write to string");
+    match epoch.engine.scrub_stats() {
+        Some(s) => write!(
+            out,
+            "\"scrubber\":{{\"pages_scrubbed\":{},\"scrub_failures\":{},\"quarantined\":{}}},",
+            s.pages_scrubbed, s.scrub_failures, s.quarantined,
+        )
+        .expect("write to string"),
+        None => out.push_str("\"scrubber\":null,"),
+    }
     write!(
         out,
         "\"uptime_secs\":{uptime:.3},\"connections\":{},\"requests\":{},",
@@ -723,7 +1050,7 @@ fn stats_json(shared: &Shared) -> String {
         service.page_faulted_reads,
     )
     .expect("write to string");
-    match shared.engine.admission_stats() {
+    match epoch.engine.admission_stats() {
         Some(a) => write!(
             out,
             "\"admission\":{{\"budget\":{},\"available\":{},\"waiting\":{},\"leases\":{},\

@@ -32,8 +32,14 @@ fn start(
             ..EngineOptions::default()
         },
     );
-    let server = Server::bind_with("127.0.0.1:0", ServedEngine::Resident(engine), None, options)
-        .expect("bind");
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        ServedEngine::Resident(engine),
+        None,
+        None,
+        options,
+    )
+    .expect("bind");
     let addr = server.local_addr();
     let handle = server.handle();
     let runner = std::thread::spawn(move || server.run());
@@ -45,6 +51,7 @@ fn twitchy() -> ServerOptions {
     ServerOptions {
         frame_deadline: Duration::from_millis(300),
         idle_deadline: Duration::from_millis(300),
+        ..ServerOptions::default()
     }
 }
 

@@ -1,0 +1,128 @@
+//! Engine-swap tests: the hot-reload pattern pins the serving engine behind
+//! an epoch-versioned `Arc`, so batches in flight when the swap happens
+//! finish on the old engine — its page cache and buffer pools included —
+//! and the old engine (buffers and all) is released exactly when the last
+//! in-flight batch lets go. Under concurrent churn there must be no failed
+//! batch, no answer mixing epochs, and no leaked reference afterwards.
+
+use effres::{EffectiveResistanceEstimator, EffresConfig};
+use effres_graph::generators;
+use effres_io::paged::{open_paged, PagedOptions, PagedSnapshot};
+use effres_io::snapshot::save_snapshot;
+use effres_service::{EngineOptions, QueryBatch, QueryEngine};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Builds a 10×10 grid estimator with seed-dependent weights and snapshots
+/// it to a temp file, so the two swap sides hold genuinely different data.
+fn snapshot_file(name: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join("effres-engine-swap");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    let graph = generators::grid_2d(10, 10, 0.5, 2.0, seed).expect("generator");
+    let estimator =
+        EffectiveResistanceEstimator::build(&graph, &EffresConfig::default()).expect("build");
+    save_snapshot(&path, &estimator, None).expect("save");
+    path
+}
+
+/// A deliberately tiny page cache: every batch churns pages through the
+/// buffer pool instead of serving from a warm cache.
+fn churny_engine(path: &PathBuf) -> Arc<QueryEngine<PagedSnapshot>> {
+    let options = PagedOptions {
+        columns_per_page: 4,
+        cache_pages: 4,
+        cache_shards: 1,
+        ..PagedOptions::default()
+    };
+    let paged = open_paged(path, &options).expect("open paged");
+    Arc::new(QueryEngine::new(
+        Arc::new(paged),
+        EngineOptions {
+            cache_capacity: 0,
+            ..EngineOptions::default()
+        },
+    ))
+}
+
+fn value_bits(engine: &QueryEngine<PagedSnapshot>, batch: &QueryBatch) -> Vec<u64> {
+    engine
+        .execute(batch)
+        .expect("batch")
+        .values
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+#[test]
+fn buffers_survive_an_engine_swap_under_concurrent_churn() {
+    let engine_a = churny_engine(&snapshot_file("swap_a.snap", 5));
+    let engine_b = churny_engine(&snapshot_file("swap_b.snap", 23));
+    let node_count = engine_a.backend().node_count();
+    assert_eq!(node_count, engine_b.backend().node_count());
+    let batch = QueryBatch::random(192, node_count, 7);
+
+    // Solo references: any churn batch must match one of these exactly —
+    // an answer mixing the two engines would match neither.
+    let reference_a = value_bits(&engine_a, &batch);
+    let reference_b = value_bits(&engine_b, &batch);
+    assert_ne!(reference_a, reference_b, "the swap sides must differ");
+
+    let current: Arc<RwLock<Arc<QueryEngine<PagedSnapshot>>>> =
+        Arc::new(RwLock::new(Arc::clone(&engine_a)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut churners = Vec::new();
+    for _ in 0..4 {
+        let current = Arc::clone(&current);
+        let stop = Arc::clone(&stop);
+        let engine_a = Arc::clone(&engine_a);
+        let batch = batch.clone();
+        let reference_a = reference_a.clone();
+        let reference_b = reference_b.clone();
+        churners.push(std::thread::spawn(move || -> (u64, u64) {
+            let (mut on_a, mut on_b) = (0u64, 0u64);
+            while !stop.load(Ordering::Relaxed) {
+                // Pin once per batch, exactly as a server request handler
+                // pins the epoch: the swap must not affect this batch.
+                let pinned = Arc::clone(&current.read().expect("swap lock"));
+                let bits = value_bits(&pinned, &batch);
+                if Arc::ptr_eq(&pinned, &engine_a) {
+                    assert_eq!(bits, reference_a, "old-epoch batch must stay old-epoch");
+                    on_a += 1;
+                } else {
+                    assert_eq!(bits, reference_b, "new-epoch batch answers new data");
+                    on_b += 1;
+                }
+            }
+            (on_a, on_b)
+        }));
+    }
+
+    // Let churn establish on A, swap to B mid-flight, let churn continue.
+    std::thread::sleep(Duration::from_millis(100));
+    *current.write().expect("swap lock") = Arc::clone(&engine_b);
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, Ordering::Relaxed);
+
+    let (mut total_a, mut total_b) = (0u64, 0u64);
+    for churner in churners {
+        let (on_a, on_b) = churner.join().expect("no churner may panic");
+        total_a += on_a;
+        total_b += on_b;
+    }
+    assert!(total_a > 0, "some batches must have run before the swap");
+    assert!(total_b > 0, "some batches must have run after the swap");
+
+    // Leak check: once the churners and this test drop their handles, no
+    // hidden reference (leaked page lease, parked buffer, stale cache
+    // entry) may keep the old engine alive.
+    let weak_a = Arc::downgrade(&engine_a);
+    drop(engine_a);
+    assert!(
+        weak_a.upgrade().is_none(),
+        "the swapped-out engine must drop with its last user"
+    );
+}
