@@ -1,9 +1,12 @@
-//! Batched query throughput: the naive sequential loop
-//! (`EffectiveResistanceEstimator::query_many`, one full two-column merge per
-//! query) against the `effres-service` engine's batched path (precomputed
-//! column norms, reusable scratch columns over a sorted batch, and — on
-//! multi-core hosts — jobs on a persistent worker pool), all reading columns
-//! out of the flat CSC arena with its narrowed `u32` row indices.
+//! Batched query throughput: the single-threaded
+//! `EffectiveResistanceEstimator::query_many` baseline against the
+//! `effres-service` engine's batched path (precomputed column norms,
+//! reusable scratch columns over a sorted batch, and — on multi-core hosts
+//! — jobs on a persistent worker pool), all reading columns out of the flat
+//! CSC arena with its narrowed `u32` row indices. Both now answer through
+//! the hub-grouped multi-pair kernel; the `all_edges` section additionally
+//! times that kernel against the plain pairwise merge on identical sorted
+//! input, isolating the multi-pair gain itself.
 //!
 //! This is the acceptance workload of the ingestion/service subsystem: a
 //! ≥ 100k-node generated graph answering tens of thousands of `(p, q)`
@@ -22,6 +25,13 @@
 //! readahead reads and page-cache hit rates are recorded per variant. The
 //! paged answers are asserted bit-identical to the resident ones before
 //! anything is timed.
+//!
+//! Two further sections ride the same graph: `all_edges` times the
+//! spanning-edge-centrality workload (every edge as a pair — the natural
+//! stress for the hub-grouped multi-pair kernel, pinned bit-identical to
+//! the pairwise loop in the same run) and `value_mode` times the f32
+//! narrowed arena against the f64 baseline, recording the halved value
+//! stream and the measured rounding error.
 
 use effres::prelude::*;
 use effres_bench::report::{min_seconds, write_report, Json};
@@ -82,6 +92,131 @@ fn main() {
             ),
         ]));
     }
+
+    // The all-edges centrality workload: every graph edge as a query pair.
+    // An edge list shares endpoints heavily, so this is the natural stress
+    // for the hub-grouped multi-pair kernel — the engine sorts the batch and
+    // streams each shared column once per run instead of once per pair.
+    // Answers are asserted bit-identical to the pairwise merge kernel (the
+    // same-run baseline) before anything is timed.
+    let edge_batch = QueryBatch::all_edges(&graph);
+    let edge_pairs = edge_batch.pairs().to_vec();
+    let edge_queries = edge_pairs.len();
+
+    // Kernel-vs-kernel on identical sorted input: the pairwise two-pointer
+    // merge against the hub-grouped scatter, outside the engine, so the
+    // multi-pair gain is isolated from sorting/dispatch overheads.
+    let inverse = estimator.approximate_inverse();
+    let norms_table = inverse.column_norms_squared();
+    let mut sorted_edges: Vec<(usize, usize)> = edge_pairs
+        .iter()
+        .map(|&(p, q)| {
+            let (a, b) = (
+                estimator.permutation().new(p),
+                estimator.permutation().new(q),
+            );
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    sorted_edges.sort_unstable();
+    let pairwise_kernel_seconds = min_seconds(SAMPLES, true, || {
+        effres::column_store::column_distances_squared_batch(
+            inverse,
+            &sorted_edges,
+            Some(&norms_table),
+        )
+        .expect("resident store never fails")
+    });
+    let mut kernel_scratch = effres::column_store::HubScratch::new(inverse.order());
+    let grouped_kernel_seconds = min_seconds(SAMPLES, true, || {
+        effres::column_store::column_distances_squared_grouped(
+            inverse,
+            &sorted_edges,
+            Some(&norms_table),
+            &mut kernel_scratch,
+        )
+        .expect("resident store never fails")
+    });
+    kernel_scratch.take_stats();
+    let kernel_speedup = pairwise_kernel_seconds / grouped_kernel_seconds;
+    println!(
+        "all_edges kernels: pairwise merge {pairwise_kernel_seconds:.3}s \
+         ({:.0} q/s), grouped scatter {grouped_kernel_seconds:.3}s ({:.0} q/s, \
+         {kernel_speedup:.2}x pairwise)",
+        edge_queries as f64 / pairwise_kernel_seconds,
+        edge_queries as f64 / grouped_kernel_seconds,
+    );
+    let all_edges_sequential_seconds = min_seconds(SAMPLES, true, || {
+        estimator.query_many(&edge_pairs).expect("in bounds")
+    });
+    let all_edges_sequential_qps = edge_queries as f64 / all_edges_sequential_seconds;
+    let edge_reference = estimator.query_many(&edge_pairs).expect("in bounds");
+    let edge_engine = QueryEngine::new(
+        Arc::clone(&estimator),
+        EngineOptions {
+            threads: 1,
+            cache_capacity: 0,
+            parallel_threshold: usize::MAX,
+            ..EngineOptions::default()
+        },
+    );
+    let edge_check = edge_engine.execute(&edge_batch).expect("in bounds");
+    assert!(
+        edge_check
+            .values
+            .iter()
+            .zip(&edge_reference)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "grouped all-edges answers diverged from the pairwise loop"
+    );
+    let kernel = edge_check.kernel;
+    let all_edges_seconds = min_seconds(SAMPLES, true, || {
+        edge_engine.execute(&edge_batch).expect("in bounds")
+    });
+    let all_edges_qps = edge_queries as f64 / all_edges_seconds;
+    let centralities =
+        effres::centrality::centralities_from_resistances(&graph, &edge_check.values);
+    let centrality_sum: f64 = centralities.iter().sum();
+    println!(
+        "all_edges ({edge_queries} edges): sequential {all_edges_sequential_seconds:.3}s \
+         ({all_edges_sequential_qps:.0} q/s), grouped engine {all_edges_seconds:.3}s \
+         ({all_edges_qps:.0} q/s, {:.2}x); kernel {} hub load(s) x {:.1} pair(s)/hub, \
+         {} isolated, {:.1} MiB streamed; centrality sum {centrality_sum:.1} (n-1 = {})",
+        all_edges_sequential_seconds / all_edges_seconds,
+        kernel.hub_loads,
+        kernel.pairs_per_hub_load(),
+        kernel.isolated_pairs,
+        kernel.bytes_streamed as f64 / (1024.0 * 1024.0),
+        estimator.node_count() - 1,
+    );
+    let all_edges_report = Json::Obj(vec![
+        ("edges", Json::Int(edge_queries as u64)),
+        (
+            "pairwise_kernel_seconds",
+            Json::Num(pairwise_kernel_seconds),
+        ),
+        ("grouped_kernel_seconds", Json::Num(grouped_kernel_seconds)),
+        ("kernel_speedup", Json::Num(kernel_speedup)),
+        (
+            "sequential_seconds",
+            Json::Num(all_edges_sequential_seconds),
+        ),
+        (
+            "sequential_queries_per_second",
+            Json::Num(all_edges_sequential_qps),
+        ),
+        ("engine_seconds", Json::Num(all_edges_seconds)),
+        ("engine_queries_per_second", Json::Num(all_edges_qps)),
+        (
+            "speedup_vs_sequential",
+            Json::Num(all_edges_sequential_seconds / all_edges_seconds),
+        ),
+        ("hub_loads", Json::Int(kernel.hub_loads)),
+        ("hub_pairs", Json::Int(kernel.hub_pairs)),
+        ("isolated_pairs", Json::Int(kernel.isolated_pairs)),
+        ("bytes_streamed", Json::Int(kernel.bytes_streamed)),
+        ("centrality_sum", Json::Num(centrality_sum)),
+    ]);
 
     // Out-of-core serving: snapshot to disk, then answer the same batch
     // straight from the file. Cold start = open (header + col_ptr only) +
@@ -241,6 +376,57 @@ fn main() {
             ("windows", Json::Int(schedule.windows as u64)),
         ]));
     }
+    // The f32 value mode: reload the (f64-canonical) snapshot, narrow the
+    // arena, and answer the same random batch. Records the halved value
+    // stream, the measured narrowing error, the worst whole-query relative
+    // error against the f64 answers, and the narrowed throughput.
+    let narrow = effres_io::snapshot::load_snapshot(&snap_path)
+        .expect("reload snapshot")
+        .estimator
+        .with_value_mode(ValueMode::F32)
+        .expect("narrowing a healthy arena succeeds");
+    let f64_vals_bytes = estimator.approximate_inverse().footprint().vals_bytes;
+    let f32_vals_bytes = narrow.approximate_inverse().footprint().vals_bytes;
+    let narrowing_error = narrow.approximate_inverse().narrowing_error();
+    let narrow_engine = QueryEngine::new(
+        Arc::new(narrow),
+        EngineOptions {
+            threads: 1,
+            cache_capacity: 0,
+            parallel_threshold: usize::MAX,
+            ..EngineOptions::default()
+        },
+    );
+    let narrow_values = narrow_engine.execute(&batch).expect("in bounds").values;
+    let max_query_rel_error = narrow_values
+        .iter()
+        .zip(&resident_reference)
+        .map(|(a, b)| (a - b).abs() / b.abs().max(1e-12))
+        .fold(0.0_f64, f64::max);
+    let f32_seconds = min_seconds(SAMPLES, true, || {
+        narrow_engine.execute(&batch).expect("in bounds")
+    });
+    let f32_qps = QUERIES as f64 / f32_seconds;
+    println!(
+        "value_mode f32: vals {:.1} -> {:.1} MiB, narrowing error {narrowing_error:.2e}, \
+         max query relative error {max_query_rel_error:.2e}, {f32_seconds:.3}s \
+         ({f32_qps:.0} queries/s, {:.2}x sequential f64)",
+        f64_vals_bytes as f64 / (1024.0 * 1024.0),
+        f32_vals_bytes as f64 / (1024.0 * 1024.0),
+        sequential_seconds / f32_seconds,
+    );
+    let value_mode_report = Json::Obj(vec![
+        ("f64_vals_bytes", Json::Int(f64_vals_bytes as u64)),
+        ("f32_vals_bytes", Json::Int(f32_vals_bytes as u64)),
+        ("narrowing_error", Json::Num(narrowing_error)),
+        ("max_query_relative_error", Json::Num(max_query_rel_error)),
+        ("f32_seconds", Json::Num(f32_seconds)),
+        ("f32_queries_per_second", Json::Num(f32_qps)),
+        (
+            "speedup_vs_sequential_f64",
+            Json::Num(sequential_seconds / f32_seconds),
+        ),
+    ]);
     std::fs::remove_file(&snap_path).ok();
 
     let stats = estimator.stats();
@@ -267,6 +453,8 @@ fn main() {
         ("sequential_seconds", Json::Num(sequential_seconds)),
         ("sequential_queries_per_second", Json::Num(sequential_qps)),
         ("engine", Json::Arr(engine_reports)),
+        ("all_edges", all_edges_report),
+        ("value_mode", value_mode_report),
         (
             "paged",
             Json::Obj(vec![

@@ -31,12 +31,48 @@ pub fn spanning_edge_centralities(
     config: &EffresConfig,
 ) -> Result<Vec<f64>, EffresError> {
     let estimator = EffectiveResistanceEstimator::build(graph, config)?;
+    spanning_edge_centralities_with(&estimator, graph)
+}
+
+/// Spanning-edge centralities of every edge against an already-built
+/// estimator — the entry point for deployments that serve many workloads
+/// from one estimator (the CLI `centrality` command, the query engine's
+/// all-edges path). Queries run through the grouped multi-pair kernel of
+/// [`EffectiveResistanceEstimator::query_all_edges`].
+///
+/// # Errors
+///
+/// Propagates query errors, including [`EffresError::NodeOutOfBounds`] if
+/// the graph has more nodes than the estimator.
+pub fn spanning_edge_centralities_with(
+    estimator: &EffectiveResistanceEstimator,
+    graph: &Graph,
+) -> Result<Vec<f64>, EffresError> {
     let resistances = estimator.query_all_edges(graph)?;
-    Ok(graph
+    Ok(centralities_from_resistances(graph, &resistances))
+}
+
+/// Maps per-edge effective resistances (in edge-id order, as returned by
+/// `query_all_edges` or an engine batch built from
+/// `QueryBatch::all_edges`-style pairs) to spanning-edge centralities
+/// `min(w_e · R_e, 1)`. The clamp absorbs approximation error on bridges,
+/// whose exact centrality is 1.
+///
+/// # Panics
+///
+/// Panics if `resistances` is shorter than the graph's edge count.
+pub fn centralities_from_resistances(graph: &Graph, resistances: &[f64]) -> Vec<f64> {
+    assert!(
+        resistances.len() >= graph.edge_count(),
+        "resistances cover {} of {} edges",
+        resistances.len(),
+        graph.edge_count()
+    );
+    graph
         .edges()
         .zip(resistances)
-        .map(|((_, e), r)| (e.weight * r).min(1.0))
-        .collect())
+        .map(|((_, e), &r)| (e.weight * r).min(1.0))
+        .collect()
 }
 
 /// Current-flow closeness centrality of the listed nodes.

@@ -25,9 +25,10 @@
 //! serving thread. For the in-memory store the closure compiles down to the
 //! direct slice access it always was.
 
-use crate::approx_inverse::{ColumnView, SparseApproximateInverse};
+use crate::approx_inverse::{ColumnView, SparseApproximateInverse, ValuesView};
 use crate::error::EffresError;
 use effres_sparse::vecops;
+use effres_sparse::vecops::ScalarValue;
 
 /// A source of the columns of the approximate inverse `Z̃`.
 ///
@@ -156,25 +157,39 @@ pub fn column_dot<S: ColumnStore + ?Sized>(
 }
 
 /// The suffix-restricted two-pointer merge shared by [`column_dot`]'s
-/// nested-fetch path (where both views are alive at once).
+/// nested-fetch path (where both views are alive at once). Dispatches on
+/// the views' value widths; every arm accumulates in `f64` via the shared
+/// `vecops` merge, so the all-`f64` arm is bit-identical to the historical
+/// `&[f64]`-only loop.
 fn suffix_dot_views(a: ColumnView<'_>, b: ColumnView<'_>, bound: u32) -> f64 {
-    let (ai, av) = (a.indices(), a.values());
-    let (bi, bv) = (b.indices(), b.values());
-    let mut i = ai.partition_point(|&row| row < bound);
-    let mut j = bi.partition_point(|&row| row < bound);
-    let mut sum = 0.0;
-    while i < ai.len() && j < bi.len() {
-        match ai[i].cmp(&bi[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                sum += av[i] * bv[j];
-                i += 1;
-                j += 1;
-            }
+    match (a.values_view(), b.values_view()) {
+        (ValuesView::F64(av), ValuesView::F64(bv)) => {
+            suffix_merge_dot(a.indices(), av, b.indices(), bv, bound)
+        }
+        (ValuesView::F64(av), ValuesView::F32(bv)) => {
+            suffix_merge_dot(a.indices(), av, b.indices(), bv, bound)
+        }
+        (ValuesView::F32(av), ValuesView::F64(bv)) => {
+            suffix_merge_dot(a.indices(), av, b.indices(), bv, bound)
+        }
+        (ValuesView::F32(av), ValuesView::F32(bv)) => {
+            suffix_merge_dot(a.indices(), av, b.indices(), bv, bound)
         }
     }
-    sum
+}
+
+/// Binary-searches both operands to the `bound..` suffix, then runs the
+/// shared sorted-merge dot product (f64 accumulation for any value width).
+fn suffix_merge_dot<A: ScalarValue, B: ScalarValue>(
+    ai: &[u32],
+    av: &[A],
+    bi: &[u32],
+    bv: &[B],
+    bound: u32,
+) -> f64 {
+    let i = ai.partition_point(|&row| row < bound);
+    let j = bi.partition_point(|&row| row < bound);
+    vecops::sparse_dot(&ai[i..], &av[i..], &bi[j..], &bv[j..])
 }
 
 /// Squared Euclidean distance between two columns — the effective-resistance
@@ -194,8 +209,19 @@ pub fn column_distance_squared<S: ColumnStore + ?Sized>(
     q: usize,
 ) -> Result<f64, EffresError> {
     store.with_column(p, |a| {
-        store.with_column(q, |b| {
-            vecops::sparse_distance_squared(a.indices(), a.values(), b.indices(), b.values())
+        store.with_column(q, |b| match (a.values_view(), b.values_view()) {
+            (ValuesView::F64(av), ValuesView::F64(bv)) => {
+                vecops::sparse_distance_squared(a.indices(), av, b.indices(), bv)
+            }
+            (ValuesView::F64(av), ValuesView::F32(bv)) => {
+                vecops::sparse_distance_squared(a.indices(), av, b.indices(), bv)
+            }
+            (ValuesView::F32(av), ValuesView::F64(bv)) => {
+                vecops::sparse_distance_squared(a.indices(), av, b.indices(), bv)
+            }
+            (ValuesView::F32(av), ValuesView::F32(bv)) => {
+                vecops::sparse_distance_squared(a.indices(), av, b.indices(), bv)
+            }
         })
     })?
 }
@@ -263,6 +289,367 @@ pub fn column_distances_squared_batch<S: ColumnStore + ?Sized>(
             Ok((np + nq - 2.0 * dot).max(0.0))
         })
         .collect()
+}
+
+/// Byte-level counters of what the multi-pair kernels actually streamed —
+/// the observability half of the batched path: `bytes_streamed / pairs()`
+/// is the bytes-per-query figure the kernels exist to shrink, and
+/// `hub_pairs / hub_loads` is how many pairs each hub-column load was
+/// amortized over.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Hub columns scattered into a dense scratch (each streams the hub's
+    /// rows/vals exactly once, however many pairs follow).
+    pub hub_loads: u64,
+    /// Pairs answered against a resident hub (only the partner's suffix is
+    /// streamed).
+    pub hub_pairs: u64,
+    /// Pairs answered by the plain two-column suffix merge (no neighbour
+    /// shared a hub, so batching had nothing to amortize).
+    pub isolated_pairs: u64,
+    /// Approximate arena bytes the kernels read (row indices + values, at
+    /// the store's value width), excluding norm-table lookups.
+    pub bytes_streamed: u64,
+}
+
+impl KernelStats {
+    /// Total pairs answered.
+    pub fn pairs(&self) -> u64 {
+        self.hub_pairs + self.isolated_pairs
+    }
+
+    /// Mean pairs amortized over each hub-column load (`0` when no hub was
+    /// ever loaded).
+    pub fn pairs_per_hub_load(&self) -> f64 {
+        if self.hub_loads == 0 {
+            0.0
+        } else {
+            self.hub_pairs as f64 / self.hub_loads as f64
+        }
+    }
+
+    /// Accumulates `other` into `self` (for summing per-worker or
+    /// per-window counters into a batch total).
+    pub fn merge(&mut self, other: KernelStats) {
+        self.hub_loads += other.hub_loads;
+        self.hub_pairs += other.hub_pairs;
+        self.isolated_pairs += other.isolated_pairs;
+        self.bytes_streamed += other.bytes_streamed;
+    }
+}
+
+/// Reusable state for the batched multi-pair kernels: one dense scatter of
+/// a pinned "hub" column, so every pair sharing that hub streams only its
+/// partner's suffix instead of re-merging the hub's rows/vals.
+///
+/// The scatter trades the two-pointer merge for indexed loads
+/// `dense[row] · v` over the partner's entries. Positions the hub does not
+/// store hold `0.0`, so the extra terms are exact zeros; with the
+/// nonnegative columns of a Laplacian factor (Lemma 1 of the paper, pinned
+/// by the build tests) adding them never flips the accumulator's sign bit,
+/// making the scatter path **bit-identical** to [`column_dot`]'s merge —
+/// the property the grouped kernels are pinned to.
+///
+/// The scratch is `O(order)` memory and is meant to be pooled and reused
+/// across batches; [`HubScratch::load`] is a no-op when the hub is already
+/// resident, and the scatter is cleaned eagerly via the recorded indices
+/// (not a full `O(order)` wipe). A scratch identifies its resident hub by
+/// column index only, so reuse it against a **single store** — pools are
+/// per-engine, never shared across backends.
+#[derive(Debug, Default)]
+pub struct HubScratch {
+    dense: Vec<f64>,
+    loaded_indices: Vec<u32>,
+    hub: Option<usize>,
+    /// First row the resident scatter covers: rows `loaded_from..` of the
+    /// hub are in `dense`, rows below it were skipped (suffix load).
+    loaded_from: u32,
+    stats: KernelStats,
+}
+
+impl HubScratch {
+    /// A scratch ready for stores of `order` columns (it grows on demand,
+    /// so `new(0)` is a valid lazy initializer for pools).
+    pub fn new(order: usize) -> Self {
+        HubScratch {
+            dense: vec![0.0; order],
+            loaded_indices: Vec::new(),
+            hub: None,
+            loaded_from: 0,
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// The column currently scattered into the dense buffer, if any.
+    pub fn hub(&self) -> Option<usize> {
+        self.hub
+    }
+
+    /// Counters accumulated since construction or the last
+    /// [`HubScratch::take_stats`].
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Returns the accumulated counters and resets them to zero (the
+    /// per-batch reporting hook: pool the scratch, drain its counters).
+    pub fn take_stats(&mut self) -> KernelStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Scatters column `hub` of `store` into the dense buffer (a no-op if
+    /// it is already resident). On error the scratch is left empty, never
+    /// holding a stale or partial column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's fetch errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hub >= store.order()`.
+    pub fn load<S: ColumnStore + ?Sized>(
+        &mut self,
+        store: &S,
+        hub: usize,
+    ) -> Result<(), EffresError> {
+        self.load_suffix(store, hub, 0)
+    }
+
+    /// Scatters only rows `from_row..` of column `hub` into the dense
+    /// buffer — the part the suffix dots can ever read. A no-op when the
+    /// hub is already resident with a covering suffix
+    /// (`loaded_from <= from_row`); a resident hub whose suffix starts too
+    /// late is re-scattered from the new bound. On error the scratch is
+    /// left empty, never holding a stale or partial column.
+    ///
+    /// This is what makes the hub path pay from the second pair of a run
+    /// on: callers sorted by `(min, max)` endpoint see ascending bounds, so
+    /// the scatter streams exactly the hub suffix the *first* pairwise
+    /// merge would have read, and every later pair in the run skips its hub
+    /// suffix stream entirely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's fetch errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hub >= store.order()`.
+    pub fn load_suffix<S: ColumnStore + ?Sized>(
+        &mut self,
+        store: &S,
+        hub: usize,
+        from_row: u32,
+    ) -> Result<(), EffresError> {
+        if self.hub == Some(hub) && self.loaded_from <= from_row {
+            return Ok(());
+        }
+        for &i in &self.loaded_indices {
+            self.dense[i as usize] = 0.0;
+        }
+        self.loaded_indices.clear();
+        self.hub = None;
+        if self.dense.len() < store.order() {
+            self.dense.resize(store.order(), 0.0);
+        }
+        let dense = &mut self.dense;
+        let loaded_indices = &mut self.loaded_indices;
+        let bytes = store.with_column(hub, |column| {
+            let start = column.indices().partition_point(|&row| row < from_row);
+            // Record the indices before scattering so a store that fails
+            // after running the closure still leaves a cleanable scratch.
+            let indices = &column.indices()[start..];
+            loaded_indices.extend_from_slice(indices);
+            match column.values_view() {
+                ValuesView::F64(values) => {
+                    for (&i, &v) in indices.iter().zip(&values[start..]) {
+                        dense[i as usize] = v;
+                    }
+                }
+                ValuesView::F32(values) => {
+                    for (&i, &v) in indices.iter().zip(&values[start..]) {
+                        dense[i as usize] = f64::from(v);
+                    }
+                }
+            }
+            (column.nnz() - start) * column.entry_bytes()
+        })?;
+        self.hub = Some(hub);
+        self.loaded_from = from_row;
+        self.stats.hub_loads += 1;
+        self.stats.bytes_streamed += bytes as u64;
+        Ok(())
+    }
+
+    /// Inner product of the resident hub column with column `partner`,
+    /// restricted (like [`column_dot`]) to the `max(hub, partner)..` suffix
+    /// — only the partner's suffix is streamed. If the resident suffix does
+    /// not cover this pair's bound (a [`HubScratch::load_suffix`] with a
+    /// larger bound), the hub is re-scattered from the needed bound first,
+    /// so the answer is always the full suffix dot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's fetch errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no hub is loaded or `partner >= store.order()`.
+    pub fn suffix_dot<S: ColumnStore + ?Sized>(
+        &mut self,
+        store: &S,
+        partner: usize,
+    ) -> Result<f64, EffresError> {
+        let hub = self
+            .hub
+            .expect("HubScratch::suffix_dot without a loaded hub");
+        let bound = hub.max(partner) as u32;
+        if self.loaded_from > bound {
+            self.hub = None;
+            self.load_suffix(store, hub, bound)?;
+        }
+        let dense = &self.dense;
+        let (dot, bytes) = store.with_column(partner, |column| {
+            let start = column.indices().partition_point(|&row| row < bound);
+            (
+                column.suffix_dot_dense(dense, bound),
+                (column.nnz() - start) * column.entry_bytes(),
+            )
+        })?;
+        self.stats.hub_pairs += 1;
+        self.stats.bytes_streamed += bytes as u64;
+        Ok(dot)
+    }
+
+    /// The plain two-column suffix merge of [`column_dot`], counted as an
+    /// isolated pair (the grouped kernels fall back to this when no
+    /// neighbouring pair shares a hub, leaving any resident hub untouched).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's fetch errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn isolated_dot<S: ColumnStore + ?Sized>(
+        &mut self,
+        store: &S,
+        p: usize,
+        q: usize,
+    ) -> Result<f64, EffresError> {
+        let bound = p.max(q) as u32;
+        let (dot, bytes) = store.with_column(p, |a| {
+            store.with_column(q, |b| {
+                let start_a = a.indices().partition_point(|&row| row < bound);
+                let start_b = b.indices().partition_point(|&row| row < bound);
+                (
+                    suffix_dot_views(a, b, bound),
+                    (a.nnz() - start_a) * a.entry_bytes() + (b.nnz() - start_b) * b.entry_bytes(),
+                )
+            })
+        })??;
+        self.stats.isolated_pairs += 1;
+        self.stats.bytes_streamed += bytes as u64;
+        Ok(dot)
+    }
+}
+
+/// Batched multi-pair dot products against one pinned hub column: loads
+/// `hub` once into `scratch` and answers `⟨z̃_hub, z̃_partner⟩` for every
+/// partner, streaming the hub's rows/vals a single time however many
+/// partners follow. Each dot is bit-identical to
+/// [`column_dot`]`(store, hub, partner)` (see [`HubScratch`] for why the
+/// scatter preserves bits).
+///
+/// # Errors
+///
+/// Propagates the store's fetch errors; on error some prefix of the
+/// partners may have been evaluated but nothing is returned.
+///
+/// # Panics
+///
+/// Panics if `hub` or any partner is out of bounds.
+pub fn column_dots_hub<S: ColumnStore + ?Sized>(
+    store: &S,
+    hub: usize,
+    partners: &[usize],
+    scratch: &mut HubScratch,
+) -> Result<Vec<f64>, EffresError> {
+    if partners.is_empty() {
+        return Ok(Vec::new());
+    }
+    // One scatter covering every partner's bound: the smallest bound over
+    // the set is all the suffix dots can ever read below.
+    let from_row = partners
+        .iter()
+        .map(|&partner| hub.max(partner) as u32)
+        .min()
+        .expect("partners is non-empty");
+    scratch.load_suffix(store, hub, from_row)?;
+    partners
+        .iter()
+        .map(|&partner| scratch.suffix_dot(store, partner))
+        .collect()
+}
+
+/// The grouped form of [`column_distances_squared_batch`]: answers every
+/// (permuted) pair of `pairs` in order, but runs consecutive pairs that
+/// share their smaller endpoint through the hub-scatter kernel so the
+/// shared column is streamed once per run instead of once per pair.
+/// Callers that sort their batch by `(min, max)` endpoint — the service
+/// engine and the paged scheduler already do — turn every hub cluster into
+/// one load.
+///
+/// Answers are **bit-identical** to the pairwise batch kernel for any pair
+/// order: each pair evaluates the same suffix-restricted dot (see
+/// [`HubScratch`]) and the same norm identity with the same clamp.
+///
+/// # Errors
+///
+/// Propagates the store's fetch errors; on error some prefix of the batch
+/// may have been evaluated but nothing is returned.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds or `norms_squared` is `Some` but
+/// shorter than the store's order.
+pub fn column_distances_squared_grouped<S: ColumnStore + ?Sized>(
+    store: &S,
+    pairs: &[(usize, usize)],
+    norms_squared: Option<&[f64]>,
+    scratch: &mut HubScratch,
+) -> Result<Vec<f64>, EffresError> {
+    let mut out = Vec::with_capacity(pairs.len());
+    for (slot, &(p, q)) in pairs.iter().enumerate() {
+        if p == q {
+            out.push(0.0);
+            continue;
+        }
+        let hub = p.min(q);
+        let partner = p.max(q);
+        // Scatter the hub only when it amortizes: it is already resident,
+        // or the next pair shares it.
+        let shares_hub = |other: &(usize, usize)| other.0.min(other.1) == hub;
+        let batched = scratch.hub() == Some(hub) || pairs.get(slot + 1).is_some_and(shares_hub);
+        let dot = if batched {
+            // Suffix-bounded scatter: on a batch sorted by `(min, max)` the
+            // run's first pair has the smallest bound, so later pairs no-op
+            // here and the hub streams exactly once, from that bound on.
+            scratch.load_suffix(store, hub, partner as u32)?;
+            scratch.suffix_dot(store, partner)?
+        } else {
+            scratch.isolated_dot(store, p, q)?
+        };
+        let (np, nq) = match norms_squared {
+            Some(table) => (table[p], table[q]),
+            None => (store.column_norm_squared(p)?, store.column_norm_squared(q)?),
+        };
+        // Same clamp as the scalar kernel: cancellation can dip below 0.
+        out.push((np + nq - 2.0 * dot).max(0.0));
+    }
+    Ok(out)
 }
 
 /// Squared Euclidean norms `‖z̃_j‖²` of every column, in column order.
@@ -360,6 +747,85 @@ mod tests {
             assert_eq!(with_table[slot].to_bits(), scalar.to_bits(), "({p},{q})");
             assert_eq!(without_table[slot].to_bits(), scalar.to_bits(), "({p},{q})");
         }
+    }
+
+    #[test]
+    fn hub_kernel_matches_column_dot_bitwise() {
+        let z = sample_inverse();
+        let mut scratch = HubScratch::new(z.order());
+        for hub in [0usize, 7, 20, 35] {
+            let partners: Vec<usize> = vec![hub, 0, 5, 20, 35, 35];
+            let dots = column_dots_hub(&z, hub, &partners, &mut scratch).expect("infallible");
+            for (&partner, dot) in partners.iter().zip(&dots) {
+                assert_eq!(
+                    dot.to_bits(),
+                    z.column_dot(hub, partner).to_bits(),
+                    "hub {hub} partner {partner}"
+                );
+            }
+        }
+        // Empty partner sets are answered without touching the store.
+        let loads_before = scratch.stats().hub_loads;
+        assert!(column_dots_hub(&z, 3, &[], &mut scratch)
+            .expect("infallible")
+            .is_empty());
+        assert_eq!(scratch.stats().hub_loads, loads_before);
+    }
+
+    #[test]
+    fn grouped_kernel_matches_batched_kernel_bitwise() {
+        let z = sample_inverse();
+        let norms = z.column_norms_squared();
+        // Mixed workload: hub runs, isolated pairs, self pairs, reversed
+        // endpoints sharing a hub.
+        let pairs = [
+            (0, 35),
+            (0, 12),
+            (12, 0),
+            (3, 3),
+            (10, 20),
+            (34, 35),
+            (5, 9),
+            (9, 5),
+            (35, 9),
+        ];
+        let mut scratch = HubScratch::new(z.order());
+        for norms_arg in [Some(norms.as_slice()), None] {
+            let grouped = column_distances_squared_grouped(&z, &pairs, norms_arg, &mut scratch)
+                .expect("infallible");
+            let batched =
+                column_distances_squared_batch(&z, &pairs, norms_arg).expect("infallible");
+            for (slot, (g, b)) in grouped.iter().zip(&batched).enumerate() {
+                assert_eq!(g.to_bits(), b.to_bits(), "pair {:?}", pairs[slot]);
+            }
+        }
+        let stats = scratch.take_stats();
+        assert_eq!(stats.pairs(), 2 * (pairs.len() as u64 - 1)); // self pair excluded
+        assert!(stats.hub_pairs > 0 && stats.isolated_pairs > 0);
+        assert!(stats.bytes_streamed > 0);
+        assert!(stats.pairs_per_hub_load() > 1.0);
+        assert_eq!(scratch.stats(), KernelStats::default());
+    }
+
+    #[test]
+    fn failed_kernel_stats_merge_adds_counters() {
+        let mut a = KernelStats {
+            hub_loads: 1,
+            hub_pairs: 2,
+            isolated_pairs: 3,
+            bytes_streamed: 4,
+        };
+        a.merge(KernelStats {
+            hub_loads: 10,
+            hub_pairs: 20,
+            isolated_pairs: 30,
+            bytes_streamed: 40,
+        });
+        assert_eq!(a.hub_loads, 11);
+        assert_eq!(a.hub_pairs, 22);
+        assert_eq!(a.isolated_pairs, 33);
+        assert_eq!(a.bytes_streamed, 44);
+        assert_eq!(a.pairs(), 55);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Configuration of the effective-resistance estimator.
 
+use crate::approx_inverse::ValueMode;
 use crate::error::EffresError;
 use effres_sparse::WorkerPool;
 
@@ -109,6 +110,14 @@ pub struct EffresConfig {
     /// answers are bit-identical for every cache size — the knob trades
     /// disk reads only.
     pub page_cache_pages: usize,
+    /// Width of the stored arena values (see
+    /// [`ValueMode`]). The default `F64` is bit-identical
+    /// to every release so far; `F32` halves the value stream the query
+    /// kernels read (the estimator narrows the arena after the f64 build,
+    /// recording the worst relative rounding error in
+    /// [`crate::SparseApproximateInverse::narrowing_error`]). Snapshots
+    /// stay f64-canonical regardless.
+    pub value_mode: ValueMode,
 }
 
 impl Default for EffresConfig {
@@ -122,6 +131,7 @@ impl Default for EffresConfig {
             build: BuildOptions::default(),
             worker_pool: None,
             page_cache_pages: DEFAULT_PAGE_CACHE_PAGES,
+            value_mode: ValueMode::default(),
         }
     }
 }
@@ -186,6 +196,12 @@ impl EffresConfig {
     /// the store, never here.
     pub fn with_page_cache_pages(mut self, pages: usize) -> Self {
         self.page_cache_pages = pages;
+        self
+    }
+
+    /// Sets the stored value width (see [`EffresConfig::value_mode`]).
+    pub fn with_value_mode(mut self, value_mode: ValueMode) -> Self {
+        self.value_mode = value_mode;
         self
     }
 

@@ -9,7 +9,8 @@
 //! 4. run Alg. 2 to obtain the sparse approximate inverse `Z̃ ≈ L⁻¹`;
 //! 5. answer each query `(p, q)` as `R(p, q) ≈ ‖z̃_{π(p)} − z̃_{π(q)}‖²`.
 
-use crate::approx_inverse::SparseApproximateInverse;
+use crate::approx_inverse::{SparseApproximateInverse, ValueMode};
+use crate::column_store::{column_distances_squared_grouped, HubScratch};
 use crate::config::{EffresConfig, Ordering};
 use crate::depth::FilledGraphDepth;
 use crate::error::EffresError;
@@ -109,7 +110,11 @@ impl EffectiveResistanceEstimator {
             config.dense_column_threshold,
             &config.build,
             config.worker_pool.as_ref(),
-        )?;
+        )?
+        // The build always runs in full precision; an f32 deployment
+        // narrows the finished arena (so the narrowing error is a single
+        // rounding per value, never compounded through the sweep).
+        .with_value_mode(config.value_mode)?;
         let stats = EstimatorStats {
             node_count: matrix.ncols(),
             factor_nnz,
@@ -160,6 +165,12 @@ impl EffectiveResistanceEstimator {
     /// wasting work (or panicking mid-batch); `p == q` pairs short-circuit
     /// to `0.0`.
     ///
+    /// The batch is answered by the grouped multi-pair kernel
+    /// ([`crate::column_store::column_distances_squared_grouped`]): pairs
+    /// are sorted by their (permuted) endpoints so queries sharing a column
+    /// stream that column's rows/vals once, and each pair is evaluated with
+    /// the memoized norm table. Answers are returned in the caller's order.
+    ///
     /// # Errors
     ///
     /// Returns [`EffresError::NodeOutOfBounds`] naming the first invalid
@@ -169,14 +180,38 @@ impl EffectiveResistanceEstimator {
             self.check(p)?;
             self.check(q)?;
         }
-        Ok(queries
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Permute and normalize to (min, max) endpoints, then sort so every
+        // cluster sharing a smaller endpoint becomes one hub run.
+        let permuted: Vec<(usize, usize)> = queries
             .iter()
-            .map(|&(p, q)| self.query_unchecked(p, q))
-            .collect())
+            .map(|&(p, q)| {
+                let pp = self.permutation.new(p);
+                let qq = self.permutation.new(q);
+                (pp.min(qq), pp.max(qq))
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        order.sort_by_key(|&slot| permuted[slot]);
+        let sorted: Vec<(usize, usize)> = order.iter().map(|&slot| permuted[slot]).collect();
+        let norms = self.column_norms_shared();
+        let mut scratch = HubScratch::new(self.inverse.order());
+        let values =
+            column_distances_squared_grouped(&self.inverse, &sorted, Some(&norms), &mut scratch)?;
+        let mut out = vec![0.0; queries.len()];
+        for (&slot, value) in order.iter().zip(values) {
+            out[slot] = value;
+        }
+        Ok(out)
     }
 
     /// Approximate effective resistances of every edge of `graph`, in edge-id
-    /// order. This is the `Q_r = E` workload of Table I.
+    /// order. This is the `Q_r = E` workload of Table I, and it runs on the
+    /// same grouped multi-pair kernel as
+    /// [`EffectiveResistanceEstimator::query_many`] — all-edges batches are
+    /// exactly the hub-heavy workload the kernel amortizes best.
     ///
     /// # Errors
     ///
@@ -189,22 +224,31 @@ impl EffectiveResistanceEstimator {
                 node_count: self.stats.node_count,
             });
         }
-        Ok(graph
-            .edges()
-            .map(|(_, e)| self.query_unchecked(e.u, e.v))
-            .collect())
+        let pairs: Vec<(usize, usize)> = graph.edges().map(|(_, e)| (e.u, e.v)).collect();
+        self.query_many(&pairs)
     }
 
-    /// One query with the bounds checks already done (edge endpoints of a
-    /// validated graph, or a batch validated by
-    /// [`EffectiveResistanceEstimator::query_many`]).
-    fn query_unchecked(&self, p: usize, q: usize) -> f64 {
-        if p == q {
-            return 0.0;
+    /// Converts the arena's value storage (see [`ValueMode`] and
+    /// [`SparseApproximateInverse::with_value_mode`]). The memoized norm
+    /// table is dropped: in f32 mode the norms must be recomputed from the
+    /// *narrowed* values so they stay bit-consistent with what the query
+    /// kernels stream, so a table primed from an f64 snapshot cannot be
+    /// carried over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EffresError::InvalidConfig`] if a stored value overflows
+    /// `f32` when narrowing.
+    pub fn with_value_mode(self, mode: ValueMode) -> Result<Self, EffresError> {
+        if self.inverse.value_mode() == mode {
+            return Ok(self);
         }
-        let pp = self.permutation.new(p);
-        let qq = self.permutation.new(q);
-        self.inverse.column_distance_squared(pp, qq)
+        Ok(EffectiveResistanceEstimator {
+            inverse: self.inverse.with_value_mode(mode)?,
+            permutation: self.permutation,
+            stats: self.stats,
+            norms: std::sync::OnceLock::new(),
+        })
     }
 
     /// Approximate effective resistance using squared column norms

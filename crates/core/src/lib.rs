@@ -56,6 +56,7 @@ pub mod exact;
 pub mod random_projection;
 pub mod stats;
 
+pub use approx_inverse::{SparseApproximateInverse, ValueMode};
 pub use config::{BuildOptions, EffresConfig, Ordering};
 pub use effres_sparse::WorkerPool;
 pub use error::{BusyReason, EffresError};
@@ -63,12 +64,12 @@ pub use estimator::EffectiveResistanceEstimator;
 pub use exact::ExactEffectiveResistance;
 pub use random_projection::{RandomProjectionEstimator, RandomProjectionOptions, SolverKind};
 
-pub use column_store::ColumnStore;
+pub use column_store::{ColumnStore, HubScratch, KernelStats};
 
 /// Convenient glob import of the main types.
 pub mod prelude {
-    pub use crate::approx_inverse::SparseApproximateInverse;
-    pub use crate::column_store::ColumnStore;
+    pub use crate::approx_inverse::{SparseApproximateInverse, ValueMode};
+    pub use crate::column_store::{ColumnStore, HubScratch, KernelStats};
     pub use crate::config::{BuildOptions, EffresConfig, Ordering};
     pub use crate::error::{BusyReason, EffresError};
     pub use crate::estimator::EffectiveResistanceEstimator;

@@ -68,6 +68,7 @@ use effres::approx_inverse::{ensure_u32_indexable, ArenaFootprint, ColumnView};
 use effres::column_store::ColumnStore;
 use effres::error::EffresError;
 use effres::estimator::EstimatorStats;
+use effres::ValueMode;
 use effres_sparse::Permutation;
 use std::collections::HashMap;
 use std::fs::File;
@@ -158,6 +159,15 @@ pub struct PagedOptions {
     /// [`RetryPolicy`]): transient faults are absorbed and counted
     /// ([`PageCacheStats::retries`]) instead of failing the query.
     pub retry: RetryPolicy,
+    /// Width of the *decoded* page values (see [`ValueMode`]). The on-disk
+    /// file stays f64-canonical either way; `F32` narrows each value once at
+    /// page-decode time, halving the decoded value stream in memory. Unlike
+    /// the other knobs this one changes bits: answers match a resident
+    /// estimator narrowed with the same mode, not the f64 answers. In `F32`
+    /// mode a v3 file's persisted norm table is ignored and per-page norms
+    /// are recomputed from the narrowed values, keeping paged answers
+    /// bit-identical to resident f32 serving.
+    pub value_mode: ValueMode,
 }
 
 impl Default for PagedOptions {
@@ -167,6 +177,7 @@ impl Default for PagedOptions {
             cache_pages: effres::config::DEFAULT_PAGE_CACHE_PAGES,
             cache_shards: 8,
             retry: RetryPolicy::default(),
+            value_mode: ValueMode::default(),
         }
     }
 }
@@ -188,6 +199,12 @@ impl PagedOptions {
     /// Sets the positioned-read retry policy (see [`PagedOptions::retry`]).
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Sets the decoded value width (see [`PagedOptions::value_mode`]).
+    pub fn with_value_mode(mut self, value_mode: ValueMode) -> Self {
+        self.value_mode = value_mode;
         self
     }
 }
@@ -265,7 +282,11 @@ struct Page {
     /// `col_ptr[first_col]` — the entry offset the page's buffers start at.
     base: u64,
     rows: Vec<u32>,
+    /// Decoded values in the store's [`ValueMode`]: exactly one of `vals`
+    /// (f64 mode) and `vals32` (f32 mode) is populated, the other stays
+    /// empty — a page never holds both widths.
     vals: Vec<f64>,
+    vals32: Vec<f32>,
     norms: Vec<f64>,
     /// Where the buffers go when the last `Arc` drops (`Weak`: a store being
     /// torn down takes its pool with it and outstanding pages just free).
@@ -278,6 +299,7 @@ impl Drop for Page {
             pool.put_page_buffers(PageBuffers {
                 rows: std::mem::take(&mut self.rows),
                 vals: std::mem::take(&mut self.vals),
+                vals32: std::mem::take(&mut self.vals32),
                 norms: std::mem::take(&mut self.norms),
             });
         }
@@ -289,14 +311,19 @@ impl Drop for Page {
 struct PageBuffers {
     rows: Vec<u32>,
     vals: Vec<f64>,
+    vals32: Vec<f32>,
     norms: Vec<f64>,
 }
 
 impl PageBuffers {
     /// Entries the set can hold without reallocating (rows and values are
     /// always sized together; the min guards against them ever diverging).
+    /// A store's pool only ever sees its own value mode, so whichever value
+    /// vector that mode uses carries the capacity and the other stays empty.
     fn entry_capacity(&self) -> usize {
-        self.rows.capacity().min(self.vals.capacity())
+        self.rows
+            .capacity()
+            .min(self.vals.capacity().max(self.vals32.capacity()))
     }
 }
 
@@ -350,8 +377,10 @@ impl BufferPool {
 
     /// A buffer set whose row/value capacity already covers `count` entries:
     /// the smallest fitting spare, or a fresh set in the next power-of-two
-    /// entry class.
-    fn take_page_buffers(&self, count: usize) -> PageBuffers {
+    /// entry class, with the value vector of the store's `mode` pre-sized
+    /// (the other width stays empty so f32 stores never pay for f64-wide
+    /// buffers).
+    fn take_page_buffers(&self, count: usize, mode: ValueMode) -> PageBuffers {
         let fitting = {
             let mut spares = self.pages.lock().expect("buffer pool poisoned");
             let at = spares.partition_point(|b| b.entry_capacity() < count);
@@ -365,9 +394,14 @@ impl BufferPool {
             None => {
                 self.fresh.fetch_add(1, Ordering::Relaxed);
                 let class = count.next_power_of_two();
+                let (vals, vals32) = match mode {
+                    ValueMode::F64 => (Vec::with_capacity(class), Vec::new()),
+                    ValueMode::F32 => (Vec::new(), Vec::with_capacity(class)),
+                };
                 PageBuffers {
                     rows: Vec::with_capacity(class),
-                    vals: Vec::with_capacity(class),
+                    vals,
+                    vals32,
                     norms: Vec::new(),
                 }
             }
@@ -645,6 +679,9 @@ pub struct PagedColumnStore {
     norms: Option<Arc<Vec<f64>>>,
     rows_offset: u64,
     vals_offset: u64,
+    /// Width pages are decoded at ([`PagedOptions::value_mode`]); the file
+    /// itself is always f64-canonical.
+    value_mode: ValueMode,
     columns_per_page: usize,
     cache: PageLru,
     /// Retry policy for positioned reads ([`PagedOptions::retry`]).
@@ -731,6 +768,11 @@ impl PagedColumnStore {
     /// The row codec of the underlying file.
     pub fn row_codec(&self) -> RowCodec {
         self.codec
+    }
+
+    /// Width pages are decoded at (see [`PagedOptions::value_mode`]).
+    pub fn value_mode(&self) -> ValueMode {
+        self.value_mode
     }
 
     /// The persisted `‖z̃_j‖²` table (permuted domain), resident for v3
@@ -1028,8 +1070,9 @@ impl PagedColumnStore {
         let PageBuffers {
             mut rows,
             mut vals,
+            mut vals32,
             mut norms,
-        } = self.buffers.take_page_buffers(count);
+        } = self.buffers.take_page_buffers(count, self.value_mode);
         rows.clear();
         match (&self.codec, &self.row_off) {
             (RowCodec::Varint, Some(off)) => {
@@ -1069,15 +1112,27 @@ impl PagedColumnStore {
                 }
             }
         };
+        // On-disk values are always f64; f32 mode narrows each one here,
+        // once per decode, exactly as the resident estimator narrows its
+        // arena — so a paged f32 column is bit-identical to a resident f32
+        // column.
         vals.clear();
-        vals.extend(
-            val_bytes
-                .chunks_exact(8)
-                .map(|b| f64::from_le_bytes(b.try_into().expect("8-byte chunk"))),
-        );
+        vals32.clear();
+        match self.value_mode {
+            ValueMode::F64 => vals.extend(
+                val_bytes
+                    .chunks_exact(8)
+                    .map(|b| f64::from_le_bytes(b.try_into().expect("8-byte chunk"))),
+            ),
+            ValueMode::F32 => vals32.extend(
+                val_bytes
+                    .chunks_exact(8)
+                    .map(|b| f64::from_le_bytes(b.try_into().expect("8-byte chunk")) as f32),
+            ),
+        }
 
-        // With a resident norm table (v3) the per-page norms are never read:
-        // skip accumulating them on this hot path.
+        // With a resident norm table (v3, f64 mode) the per-page norms are
+        // never read: skip accumulating them on this hot path.
         let want_norms = self.norms.is_none();
         norms.clear();
         if want_norms {
@@ -1096,12 +1151,25 @@ impl PagedColumnStore {
             }
             if want_norms {
                 // One fused pass: finiteness fold + the norm sum, accumulated
-                // in the same order as the resident norm table (bit-identical).
+                // in index order over the *stored* values — the same order
+                // and width the resident norm table uses, so the bits are
+                // identical in both modes.
                 let mut finite = true;
                 let mut norm = 0.0f64;
-                for &v in &vals[lo..hi] {
-                    finite &= v.is_finite();
-                    norm += v * v;
+                match self.value_mode {
+                    ValueMode::F64 => {
+                        for &v in &vals[lo..hi] {
+                            finite &= v.is_finite();
+                            norm += v * v;
+                        }
+                    }
+                    ValueMode::F32 => {
+                        for &v in &vals32[lo..hi] {
+                            let w = f64::from(v);
+                            finite &= w.is_finite();
+                            norm += w * w;
+                        }
+                    }
                 }
                 if !finite {
                     return Err(corrupt("non-finite value".to_string()));
@@ -1116,6 +1184,7 @@ impl PagedColumnStore {
             base,
             rows,
             vals,
+            vals32,
             norms,
             pool: Arc::downgrade(&self.buffers),
         })
@@ -1517,11 +1586,18 @@ impl ColumnStore for PinnedReader<'_> {
             Some(page) => {
                 let lo = (self.store.col_ptr[j] - page.base) as usize;
                 let hi = (self.store.col_ptr[j + 1] - page.base) as usize;
-                Ok(f(ColumnView::from_slices(
-                    self.store.order,
-                    &page.rows[lo..hi],
-                    &page.vals[lo..hi],
-                )))
+                Ok(f(match self.store.value_mode {
+                    ValueMode::F64 => ColumnView::from_slices(
+                        self.store.order,
+                        &page.rows[lo..hi],
+                        &page.vals[lo..hi],
+                    ),
+                    ValueMode::F32 => ColumnView::from_slices_f32(
+                        self.store.order,
+                        &page.rows[lo..hi],
+                        &page.vals32[lo..hi],
+                    ),
+                }))
             }
             None => self.store.with_column(j, f),
         }
@@ -1565,11 +1641,14 @@ impl ColumnStore for PagedColumnStore {
         let page = self.page_for(j)?;
         let lo = (self.col_ptr[j] - page.base) as usize;
         let hi = (self.col_ptr[j + 1] - page.base) as usize;
-        Ok(f(ColumnView::from_slices(
-            self.order,
-            &page.rows[lo..hi],
-            &page.vals[lo..hi],
-        )))
+        Ok(f(match self.value_mode {
+            ValueMode::F64 => {
+                ColumnView::from_slices(self.order, &page.rows[lo..hi], &page.vals[lo..hi])
+            }
+            ValueMode::F32 => {
+                ColumnView::from_slices_f32(self.order, &page.rows[lo..hi], &page.vals32[lo..hi])
+            }
+        }))
     }
 
     fn column_norm_squared(&self, j: usize) -> Result<f64, EffresError> {
@@ -1815,6 +1894,15 @@ fn open_paged_impl(
 
     let cache = PageLru::new(options.cache_pages, options.cache_shards);
     let buffers = Arc::new(BufferPool::new(cache.capacity()));
+    // A v3 file's persisted norm table was summed over the full-precision
+    // values; in f32 mode the columns served are the *narrowed* values, so
+    // the table is dropped (still validated above) and per-page norms are
+    // recomputed from what is actually served — keeping paged f32 answers
+    // bit-identical to a resident estimator narrowed with the same mode.
+    let norms = match options.value_mode {
+        ValueMode::F64 => norms,
+        ValueMode::F32 => None,
+    };
     let store = PagedColumnStore {
         file,
         order: n,
@@ -1825,6 +1913,7 @@ fn open_paged_impl(
         norms: norms.map(Arc::new),
         rows_offset,
         vals_offset,
+        value_mode: options.value_mode,
         columns_per_page: options.columns_per_page,
         cache,
         retry: options.retry,

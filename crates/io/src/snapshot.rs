@@ -512,6 +512,19 @@ fn validate_for_write(
             "{n} nodes exceed the snapshot's u32 index space"
         )));
     }
+    // Snapshots are f64-canonical in every version: a narrowed estimator
+    // would persist rounded values (and a norm table summed over them),
+    // silently downgrading every future deployment of the file. Save the
+    // estimator *before* narrowing it (value-mode conversion is a serving
+    // concern; `effres-cli build --value-mode f32` saves first, then
+    // narrows for its own stats report).
+    if estimator.approximate_inverse().value_mode() != effres::ValueMode::F64 {
+        return Err(IoError::Format(
+            "snapshots are f64-canonical and this estimator was narrowed to f32; \
+             save the f64 estimator before converting with with_value_mode"
+                .into(),
+        ));
+    }
     if let Some(labels) = labels {
         if labels.len() != n {
             return Err(IoError::Format(format!(

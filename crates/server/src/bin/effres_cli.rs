@@ -6,6 +6,7 @@
 //! effres-cli query <dataset|snapshot> <p> <q>     one resistance
 //! effres-cli batch <dataset|snapshot> --random N  thousands of queries
 //! effres-cli batch <dataset|snapshot> --pairs f   ... from a pair file
+//! effres-cli centrality <dataset>                 all-edges centralities
 //! effres-cli stats <dataset|snapshot>             what's inside
 //! effres-cli stats <host:port>                    live server stats JSON
 //! effres-cli serve <dataset|snapshot> --port N    long-lived TCP front-end
@@ -27,7 +28,8 @@
 //! through an LRU cache sized by `--page-cache`. Answers are bit-identical
 //! to resident serving.
 
-use effres::{EffectiveResistanceEstimator, EffresConfig, Ordering, WorkerPool};
+use effres::centrality::centralities_from_resistances;
+use effres::{EffectiveResistanceEstimator, EffresConfig, Ordering, ValueMode, WorkerPool};
 use effres_graph::builder::MergePolicy;
 use effres_io::dataset::{load_graph, IngestOptions};
 use effres_io::paged::{open_paged, PagedOptions, PagedSnapshot};
@@ -52,6 +54,9 @@ USAGE:
     effres-cli batch <dataset|snapshot> (--pairs <file> | --random <count>)
                      [--threads N] [--cache N] [--seed S] [--output <file>]
                      [--paged [--page-cache N]] [ingest|build options]
+    effres-cli centrality <dataset> [--snapshot <file> [--paged]]
+                     [--value-mode f64|f32] [--threads N] [--output <file>]
+                     [ingest|build options]
     effres-cli stats <dataset|snapshot> [--paged [--page-cache N]]
     effres-cli stats <host:port>
     effres-cli serve <dataset|snapshot> [--host H] [--port N] [--threads N]
@@ -78,6 +83,18 @@ BUILD OPTIONS (dataset inputs):
     --build-threads <n>     approximate-inverse build workers
                             (0 = all cores, 1 = sequential; results are
                             bit-identical either way)     [default: 0]
+    --value-mode <m>        f64 | f32 — width of the served arena values.
+                            f32 halves the value stream the query kernels
+                            read, at a bounded relative rounding error per
+                            value (~6e-8); snapshots stay f64-canonical
+                            either way                    [default: f64]
+
+CENTRALITY OPTIONS (spanning-edge centrality of every edge):
+    --snapshot <file>       serve queries from this prebuilt snapshot
+                            instead of building from the dataset (the
+                            dataset still supplies the edges)
+    --paged                 with --snapshot: serve it out-of-core
+    --output <file>         write `u v centrality` lines here
 
 BATCH OPTIONS:
     --pairs <file>          pair file: one `p q` per line, # comments
@@ -185,6 +202,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "build" => cmd_build(rest),
         "query" => cmd_query(rest),
         "batch" => cmd_batch(rest),
+        "centrality" => cmd_centrality(rest),
         "stats" => cmd_stats(rest),
         "serve" => cmd_serve(rest),
         "ping" => cmd_ping(rest),
@@ -205,6 +223,7 @@ struct Options {
     ingest: IngestOptions,
     config: EffresConfig,
     output: Option<PathBuf>,
+    snapshot: Option<PathBuf>,
     pairs_file: Option<PathBuf>,
     random: Option<usize>,
     seed: u64,
@@ -240,6 +259,7 @@ impl Default for Options {
             ingest: IngestOptions::default(),
             config: EffresConfig::default().with_ordering(Ordering::MinimumDegree),
             output: None,
+            snapshot: None,
             pairs_file: None,
             random: None,
             seed: 42,
@@ -325,7 +345,16 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     parse_number(&value_of("--build-threads", &mut iter)?, "--build-threads")?;
                 options.config = options.config.with_build_threads(threads);
             }
+            "--value-mode" => {
+                let mode = match value_of("--value-mode", &mut iter)?.as_str() {
+                    "f64" => ValueMode::F64,
+                    "f32" => ValueMode::F32,
+                    other => return Err(CliError::Usage(format!("unknown value mode `{other}`"))),
+                };
+                options.config = options.config.with_value_mode(mode);
+            }
             "--output" | "-o" => options.output = Some(value_of("--output", &mut iter)?.into()),
+            "--snapshot" => options.snapshot = Some(value_of("--snapshot", &mut iter)?.into()),
             "--pairs" => options.pairs_file = Some(value_of("--pairs", &mut iter)?.into()),
             "--random" => {
                 options.random = Some(parse_number(&value_of("--random", &mut iter)?, "--random")?)
@@ -445,13 +474,24 @@ fn is_snapshot(path: &Path) -> bool {
 fn obtain_snapshot(path: &Path, options: &Options) -> Result<Snapshot, CliError> {
     if is_snapshot(path) {
         let start = Instant::now();
-        let snapshot = load_snapshot(path)?;
+        let mut snapshot = load_snapshot(path)?;
         println!(
             "loaded snapshot {} ({} nodes) in {:.3}s",
             path.display(),
             snapshot.estimator.node_count(),
             start.elapsed().as_secs_f64()
         );
+        // Snapshots are f64-canonical; a narrower serving width is applied
+        // here, after the load (dataset inputs narrow inside `build`).
+        if options.config.value_mode == ValueMode::F32 {
+            let start = Instant::now();
+            snapshot.estimator = snapshot.estimator.with_value_mode(ValueMode::F32)?;
+            println!(
+                "narrowed   values to f32 (max relative error {:.2e}) in {:.3}s",
+                snapshot.estimator.approximate_inverse().narrowing_error(),
+                start.elapsed().as_secs_f64()
+            );
+        }
         return Ok(snapshot);
     }
     let start = Instant::now();
@@ -488,8 +528,9 @@ fn obtain_paged(path: &Path, options: &Options) -> Result<PagedSnapshot, CliErro
         ));
     }
     let start = Instant::now();
-    let mut paged_options =
-        PagedOptions::default().with_cache_pages(options.config.page_cache_pages);
+    let mut paged_options = PagedOptions::default()
+        .with_cache_pages(options.config.page_cache_pages)
+        .with_value_mode(options.config.value_mode);
     if let Some(columns) = options.columns_per_page {
         paged_options = paged_options.with_columns_per_page(columns);
     }
@@ -570,16 +611,21 @@ fn cmd_load(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_build(args: &[String]) -> Result<(), CliError> {
-    let options = parse_options(args)?;
-    let path = require_input(&options)?;
-    if is_snapshot(path) {
+    let mut options = parse_options(args)?;
+    let path = require_input(&options)?.to_path_buf();
+    if is_snapshot(&path) {
         return Err(CliError::Run(format!(
             "{} is already a snapshot",
             path.display()
         )));
     }
-    let snapshot = obtain_snapshot(path, &options)?;
-    print_estimator_stats(&snapshot.estimator);
+    // Snapshots are f64-canonical, so build (and save) at full precision and
+    // only narrow afterwards for the stats report; `--value-mode f32` on a
+    // later `query`/`batch`/`centrality` run applies the same narrowing at
+    // load time.
+    let requested_mode = options.config.value_mode;
+    options.config = options.config.with_value_mode(ValueMode::F64);
+    let mut snapshot = obtain_snapshot(&path, &options)?;
     if let Some(output) = &options.output {
         let start = Instant::now();
         save_snapshot(output, &snapshot.estimator, snapshot.labels.as_deref())?;
@@ -591,6 +637,10 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
             start.elapsed().as_secs_f64()
         );
     }
+    if requested_mode == ValueMode::F32 {
+        snapshot.estimator = snapshot.estimator.with_value_mode(ValueMode::F32)?;
+    }
+    print_estimator_stats(&snapshot.estimator);
     Ok(())
 }
 
@@ -712,6 +762,17 @@ fn serve_batch(
         "cache      {} hits, {} misses",
         result.cache_hits, result.cache_misses
     );
+    let k = result.kernel;
+    if k.pairs() > 0 {
+        println!(
+            "kernel     {:.1} MiB streamed, {} hub load(s) × {:.1} pair(s)/hub column, \
+             {} isolated pair(s)",
+            k.bytes_streamed as f64 / (1024.0 * 1024.0),
+            k.hub_loads,
+            k.pairs_per_hub_load(),
+            k.isolated_pairs
+        );
+    }
     if let Some(page) = result.page_cache {
         // Per-batch traffic (the counters are snapshot/reset around the
         // batch), not process-lifetime totals.
@@ -867,6 +928,160 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     )
 }
 
+/// `centrality <dataset>` — spanning-edge centrality of every edge,
+/// `c(e) = min(w(e) · R(u, v), 1)`. The all-edges batch is the natural
+/// stress workload for the grouped multi-pair kernels: an edge list shares
+/// endpoints heavily, so after hub sorting most pairs ride a pinned hub
+/// column instead of re-streaming it.
+///
+/// By default the estimator is built from the dataset; `--snapshot <file>`
+/// serves the queries from a prebuilt snapshot instead (resident, or
+/// out-of-core with `--paged`) while the dataset still supplies the edge
+/// list — it must be the same dataset (same ingest options) the snapshot
+/// was built from, so the dense id spaces line up.
+fn cmd_centrality(args: &[String]) -> Result<(), CliError> {
+    let mut options = parse_options(args)?;
+    let path = require_input(&options)?.to_path_buf();
+    if is_snapshot(&path) {
+        return Err(CliError::Usage(
+            "centrality needs the dataset for its edge list; pass a prebuilt snapshot \
+             with --snapshot <file>"
+                .into(),
+        ));
+    }
+    if options.paged && options.snapshot.is_none() {
+        return Err(CliError::Usage(
+            "--paged serves a prebuilt snapshot; add --snapshot <file>".into(),
+        ));
+    }
+    // One persistent pool for build-then-serve, exactly like `batch`.
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let resolve = |threads: usize| if threads == 0 { cores } else { threads };
+    let pool = WorkerPool::new(resolve(options.threads).max(resolve(options.config.build.threads)));
+    options.config = options.config.with_worker_pool(pool.clone());
+
+    let start = Instant::now();
+    let ds = load_graph(&path, &options.ingest)?;
+    println!(
+        "ingested {} ({} nodes, {} edges kept) in {:.3}s",
+        path.display(),
+        ds.graph.node_count(),
+        ds.graph.edge_count(),
+        start.elapsed().as_secs_f64()
+    );
+    let graph = ds.graph;
+    let batch = QueryBatch::all_edges(&graph);
+
+    let engine_options = EngineOptions {
+        threads: options.threads,
+        cache_capacity: options.cache,
+        pool: Some(pool.clone()),
+        readahead_pages: options.readahead,
+        ..EngineOptions::default()
+    };
+    let check_nodes = |served: usize| -> Result<(), CliError> {
+        if graph.node_count() > served {
+            return Err(CliError::Run(format!(
+                "snapshot covers {served} nodes but the dataset has {}; build the snapshot \
+                 from this dataset with the same ingest options",
+                graph.node_count()
+            )));
+        }
+        Ok(())
+    };
+    let result = match options.snapshot.clone() {
+        Some(snap) if options.paged => {
+            let paged = obtain_paged(&snap, &options)?;
+            check_nodes(paged.node_count())?;
+            let engine = QueryEngine::new(Arc::new(paged), engine_options);
+            if options.no_schedule {
+                engine.execute(&batch)?
+            } else {
+                engine.execute_scheduled(&batch)?
+            }
+        }
+        Some(snap) => {
+            let snapshot = obtain_snapshot(&snap, &options)?;
+            check_nodes(snapshot.estimator.node_count())?;
+            let engine = QueryEngine::new(Arc::new(snapshot.estimator), engine_options);
+            engine.execute(&batch)?
+        }
+        None => {
+            let start = Instant::now();
+            let estimator = EffectiveResistanceEstimator::build(&graph, &options.config)?;
+            println!(
+                "built estimator (factor nnz {}, inverse nnz {}) in {:.3}s",
+                estimator.stats().factor_nnz,
+                estimator.stats().inverse_nnz,
+                start.elapsed().as_secs_f64()
+            );
+            let engine = QueryEngine::new(Arc::new(estimator), engine_options);
+            engine.execute(&batch)?
+        }
+    };
+
+    let centralities = centralities_from_resistances(&graph, &result.values);
+    println!(
+        "centrality {} edge(s) in {:.3}s, {} chunk(s) on a {}-worker pool — {:.0} queries/s",
+        batch.len(),
+        result.elapsed.as_secs_f64(),
+        result.threads,
+        pool.threads(),
+        result.throughput()
+    );
+    let k = result.kernel;
+    if k.pairs() > 0 {
+        println!(
+            "kernel     {:.1} MiB streamed, {} hub load(s) × {:.1} pair(s)/hub column, \
+             {} isolated pair(s)",
+            k.bytes_streamed as f64 / (1024.0 * 1024.0),
+            k.hub_loads,
+            k.pairs_per_hub_load(),
+            k.isolated_pairs
+        );
+    }
+    if let Some(page) = result.page_cache {
+        let lookups = page.hits + page.misses;
+        println!(
+            "page cache {} hits, {} misses ({:.1}% hit rate), {:.1} MiB read — this batch",
+            page.hits,
+            page.misses,
+            if lookups == 0 {
+                100.0
+            } else {
+                100.0 * page.hits as f64 / lookups as f64
+            },
+            page.bytes_read as f64 / (1024.0 * 1024.0)
+        );
+    }
+    if let Some(schedule) = result.schedule {
+        println!(
+            "schedule   {} page-pair cluster(s) -> {} pinned block(s), {} readahead window(s)",
+            schedule.clusters, schedule.blocks, schedule.windows
+        );
+    }
+    // For exact resistances the centralities of a connected graph sum to
+    // n − 1 (every spanning tree has n − 1 edges); the approximate sum
+    // landing near it is a cheap whole-workload sanity check.
+    let sum: f64 = centralities.iter().sum();
+    println!(
+        "sum        {sum:.3} (spanning-tree identity: n - 1 = {})",
+        graph.node_count().saturating_sub(1)
+    );
+
+    if let Some(output) = &options.output {
+        let file = std::fs::File::create(output).map_err(IoError::Io)?;
+        let mut writer = std::io::BufWriter::new(file);
+        use std::io::Write;
+        for ((_, e), &c) in graph.edges().zip(&centralities) {
+            writeln!(writer, "{} {} {c}", ds.labels[e.u], ds.labels[e.v]).map_err(IoError::Io)?;
+        }
+        writer.flush().map_err(IoError::Io)?;
+        println!("results    {}", output.display());
+    }
+    Ok(())
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let options = parse_options(args)?;
     let path = require_input(&options)?;
@@ -927,6 +1142,13 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
                 "persisted (v3)"
             } else {
                 "per-page (v2)"
+            }
+        );
+        println!(
+            "values     {}",
+            match paged.store.value_mode() {
+                ValueMode::F64 => "f64",
+                ValueMode::F32 => "f32 (narrowed at page decode; disk stays f64)",
             }
         );
         println!("max depth  {}", s.max_depth);
@@ -1364,5 +1586,12 @@ fn print_estimator_stats(estimator: &EffectiveResistanceEstimator) {
         mib(f.total_bytes()),
         f.index_width_bytes
     );
+    match estimator.approximate_inverse().value_mode() {
+        ValueMode::F64 => println!("values     f64"),
+        ValueMode::F32 => println!(
+            "values     f32 (max relative narrowing error {:.2e})",
+            estimator.approximate_inverse().narrowing_error()
+        ),
+    }
     println!("max depth  {}", s.max_depth);
 }

@@ -26,7 +26,7 @@ use crate::admission::{AdmissionLedger, AdmissionStats};
 use crate::backend::ResistanceBackend;
 use crate::batch::QueryBatch;
 use crate::cache::ShardedLru;
-use effres::column_store::{self, ColumnStore};
+use effres::column_store::{self, ColumnStore, HubScratch, KernelStats};
 use effres::{EffectiveResistanceEstimator, EffresError, WorkerPool};
 use effres_io::PageCacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -172,6 +172,11 @@ pub struct BatchResult {
     /// backends. Exact when batches on the engine do not overlap;
     /// overlapping batches split the totals between them.
     pub page_cache: Option<PageCacheStats>,
+    /// What the multi-pair kernels streamed for **this batch** (hub loads,
+    /// pairs per hub, arena bytes read) — exact per batch: the counters
+    /// ride the scratch buffers each job drains before returning them, so
+    /// concurrent batches never mix.
+    pub kernel: KernelStats,
     /// How the locality scheduler organized this batch (scheduled paged
     /// executions only).
     pub schedule: Option<ScheduleReport>,
@@ -224,6 +229,9 @@ pub struct PartialBatchResult {
     pub cache_misses: u64,
     /// Page traffic of this batch (see [`BatchResult::page_cache`]).
     pub page_cache: Option<PageCacheStats>,
+    /// Multi-pair kernel traffic of this batch (see
+    /// [`BatchResult::kernel`]).
+    pub kernel: KernelStats,
     /// How the locality scheduler organized this batch (scheduled paged
     /// executions only).
     pub schedule: Option<ScheduleReport>,
@@ -241,80 +249,11 @@ impl PartialBatchResult {
     }
 }
 
-/// Per-thread scratch: one approximate-inverse column scattered into a dense
-/// buffer, so consecutive queries sharing an endpoint pay the scatter once
-/// and each dot product only walks the *other* column. Works over any
-/// [`ColumnStore`]: the column is borrowed from the store only for the
-/// duration of the scatter, so a paged store can evict the page afterwards.
-#[derive(Debug)]
-struct ColumnScratch {
-    dense: Vec<f64>,
-    /// Indices of the entries currently scattered into `dense` — kept
-    /// locally so clearing never goes back to the store (on the paged
-    /// backend the previous column's page may already be evicted, and a
-    /// failed re-fetch must not be able to poison the buffer).
-    loaded_indices: Vec<u32>,
-    loaded: Option<usize>,
-}
-
-impl ColumnScratch {
-    fn new(n: usize) -> Self {
-        ColumnScratch {
-            dense: vec![0.0; n],
-            loaded_indices: Vec::new(),
-            loaded: None,
-        }
-    }
-
-    /// Ensures column `j` (permuted domain) is scattered into the buffer.
-    ///
-    /// On error the scratch is left *empty* (cleared buffer, no loaded
-    /// marker), never half-loaded: scratches go back to a shared free list
-    /// even when a batch aborts, and a stale marker would make a later
-    /// batch silently dot against a zeroed buffer.
-    fn load<S: ColumnStore>(&mut self, store: &S, j: usize) -> Result<(), EffresError> {
-        if self.loaded == Some(j) {
-            return Ok(());
-        }
-        for &i in &self.loaded_indices {
-            self.dense[i as usize] = 0.0;
-        }
-        self.loaded_indices.clear();
-        self.loaded = None;
-        let dense = &mut self.dense;
-        let indices = &mut self.loaded_indices;
-        store.with_column(j, |column| {
-            indices.extend_from_slice(column.indices());
-            for (i, v) in column.iter() {
-                dense[i] = v;
-            }
-        })?;
-        self.loaded = Some(j);
-        Ok(())
-    }
-
-    /// Dot product of the loaded column with column `j`, restricted to the
-    /// suffix `bound..` (the columns' support intersection — see
-    /// [`column_store::column_dot`]). No merge at all: one dense lookup per
-    /// surviving entry of column `j`.
-    fn suffix_dot<S: ColumnStore>(
-        &self,
-        store: &S,
-        j: usize,
-        bound: usize,
-    ) -> Result<f64, EffresError> {
-        let dense = &self.dense;
-        store.with_column(j, |column| {
-            let (indices, values) = (column.indices(), column.values());
-            let start = indices.partition_point(|&row| (row as usize) < bound);
-            indices[start..]
-                .iter()
-                .zip(&values[start..])
-                .map(|(&i, v)| dense[i as usize] * v)
-                .sum()
-        })
-    }
-}
+/// Shards of the scratch free list: enough that concurrent batch jobs
+/// rarely contend on the same `Mutex` (the PR-8 bench showed the single
+/// shared list serializing multi-thread batches), small enough that stray
+/// scratches (one dense column each) stay bounded.
+const SCRATCH_SHARDS: usize = 8;
 
 /// The shareable heart of the engine: everything a pool worker needs to
 /// answer a slice of queries — the backend, the (optional) norm table, the
@@ -335,22 +274,31 @@ pub(crate) struct EngineCore<B: ResistanceBackend> {
     /// ([`ResistanceBackend::pin_budget_pages`]); `None` for resident
     /// backends, which pin nothing.
     pub(crate) admission: Option<Arc<AdmissionLedger>>,
-    /// Reusable scratch columns: a worker pops one per job and returns it,
-    /// so steady-state batch traffic allocates no dense buffers at all.
-    scratches: Mutex<Vec<ColumnScratch>>,
+    /// Reusable hub-scratch columns (see [`HubScratch`]), sharded so
+    /// parallel batch jobs don't serialize on one free-list lock: each job
+    /// hits the shard named by its job index first and steals from the
+    /// others only when its own is empty.
+    scratches: [Mutex<Vec<HubScratch>>; SCRATCH_SHARDS],
 }
 
 impl<B: ResistanceBackend> EngineCore<B> {
-    fn take_scratch(&self) -> ColumnScratch {
-        self.scratches
-            .lock()
-            .expect("scratch free list poisoned")
-            .pop()
-            .unwrap_or_else(|| ColumnScratch::new(self.backend.node_count()))
+    /// Pops a scratch, preferring the `hint` shard (callers pass their job
+    /// index so concurrent jobs start on distinct locks). Any stats a
+    /// previous aborted batch left behind are discarded — per-batch kernel
+    /// counters must start at zero.
+    pub(crate) fn take_scratch(&self, hint: usize) -> HubScratch {
+        for probe in 0..SCRATCH_SHARDS {
+            let shard = &self.scratches[(hint + probe) % SCRATCH_SHARDS];
+            if let Some(mut scratch) = shard.lock().expect("scratch free list poisoned").pop() {
+                let _ = scratch.take_stats();
+                return scratch;
+            }
+        }
+        HubScratch::new(self.backend.node_count())
     }
 
-    fn return_scratch(&self, scratch: ColumnScratch) {
-        self.scratches
+    pub(crate) fn return_scratch(&self, hint: usize, scratch: HubScratch) {
+        self.scratches[hint % SCRATCH_SHARDS]
             .lock()
             .expect("scratch free list poisoned")
             .push(scratch);
@@ -440,7 +388,7 @@ impl<B: ResistanceBackend> QueryEngine<B> {
                 norms,
                 cache,
                 admission,
-                scratches: Mutex::new(Vec::new()),
+                scratches: std::array::from_fn(|_| Mutex::new(Vec::new())),
             }),
             options,
             owned_pool: OnceLock::new(),
@@ -655,14 +603,7 @@ impl<B: ResistanceBackend> QueryEngine<B> {
         let threads = self.effective_threads(batch.len());
         self.begin_page_window();
         let start = Instant::now();
-        let (values, hits, misses) = if threads <= 1 {
-            let mut scratch = self.core.take_scratch();
-            let out = self.core.run_slice(batch.pairs(), &mut scratch);
-            self.core.return_scratch(scratch);
-            out?
-        } else {
-            self.run_parallel(batch.pairs(), threads)?
-        };
+        let (values, hits, misses, kernel) = self.run_parallel(batch.pairs(), threads)?;
         let elapsed = start.elapsed();
         self.queries
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
@@ -676,6 +617,7 @@ impl<B: ResistanceBackend> QueryEngine<B> {
             cache_hits: hits,
             cache_misses: misses,
             page_cache: self.end_page_window(),
+            kernel,
             schedule: None,
         })
     }
@@ -695,17 +637,9 @@ impl<B: ResistanceBackend> QueryEngine<B> {
         let threads = self.effective_threads(batch.len());
         self.begin_page_window();
         let start = Instant::now();
-        let (statuses, hits, misses) = if threads <= 1 {
-            let mut scratch = self.core.take_scratch();
-            let out = self
-                .core
-                .run_slice_statuses(batch.pairs(), &mut scratch, false);
-            self.core.return_scratch(scratch);
-            out.expect("partial-mode slice never aborts")
-        } else {
-            self.run_parallel_statuses(batch.pairs(), threads, false)
-                .expect("partial-mode parallel run never aborts")
-        };
+        let (statuses, hits, misses, kernel) = self
+            .run_parallel_statuses(batch.pairs(), threads, false)
+            .expect("partial-mode run never aborts");
         let elapsed = start.elapsed();
         self.queries
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
@@ -719,6 +653,7 @@ impl<B: ResistanceBackend> QueryEngine<B> {
             cache_hits: hits,
             cache_misses: misses,
             page_cache: self.end_page_window(),
+            kernel,
             schedule: None,
         }
     }
@@ -745,70 +680,103 @@ impl<B: ResistanceBackend> QueryEngine<B> {
         &self,
         pairs: &[(usize, usize)],
         threads: usize,
-    ) -> Result<(Vec<f64>, u64, u64), EffresError> {
-        let (statuses, hits, misses) = self.run_parallel_statuses(pairs, threads, true)?;
+    ) -> Result<(Vec<f64>, u64, u64, KernelStats), EffresError> {
+        let (statuses, hits, misses, kernel) = self.run_parallel_statuses(pairs, threads, true)?;
         let values = statuses
             .into_iter()
             .map(|s| s.expect("fail-fast parallel run aborts on the first error"))
             .collect();
-        Ok((values, hits, misses))
+        Ok((values, hits, misses, kernel))
     }
 
-    /// The status-returning parallel path (see
-    /// [`EngineCore::run_slice_statuses`] for the two modes): chunks are
-    /// still sorted and scattered back identically, so values are
-    /// bit-identical across modes.
+    /// The status-returning batch path, sequential (`threads <= 1`) or
+    /// parallel. Both modes sort and scatter back identically — the
+    /// sequential mode just answers the whole sorted batch inline instead of
+    /// dispatching chunk jobs to the pool — so values are bit-identical
+    /// across modes. Sorting even the sequential batch is what lets the
+    /// hub-run kernel engage on a single worker.
     #[allow(clippy::type_complexity)]
     fn run_parallel_statuses(
         &self,
         pairs: &[(usize, usize)],
         threads: usize,
         fail_fast: bool,
-    ) -> Result<(Vec<Result<f64, EffresError>>, u64, u64), EffresError> {
-        // Sort query indices by normalized pair so queries sharing an
-        // endpoint land in the same chunk and reuse the scattered column
-        // (and, on the paged backend, the same decoded pages).
+    ) -> Result<(Vec<Result<f64, EffresError>>, u64, u64, KernelStats), EffresError> {
+        // Sort query indices by **permuted** normalized pair so queries
+        // sharing a permuted endpoint land in the same chunk and reuse the
+        // scattered column (and, on the paged backend, the same decoded
+        // pages). Sorting in the permuted domain also makes the suffix
+        // bounds ascend within a run, so one suffix-bounded scatter serves
+        // the whole run. Out-of-bounds pairs (possible in partial mode)
+        // sort last, past every valid pair.
+        let n = self.core.backend.node_count();
+        let permutation = self.core.backend.permutation();
         let mut order: Vec<u32> = (0..pairs.len() as u32).collect();
         order.sort_unstable_by_key(|&i| {
             let (p, q) = pairs[i as usize];
-            (p.min(q), p.max(q))
+            if p >= n || q >= n {
+                return (usize::MAX, usize::MAX);
+            }
+            let (pp, qq) = (permutation.new(p), permutation.new(q));
+            (pp.min(qq), pp.max(qq))
         });
-        let sorted_pairs: Vec<(usize, usize)> = order.iter().map(|&i| pairs[i as usize]).collect();
+        // One shared copy of the sorted batch: jobs borrow disjoint ranges
+        // of it through the Arc instead of each owning a `to_vec` of its
+        // chunk (the per-job copies were measurable at batch sizes where
+        // the parallel path engages).
+        let sorted_pairs: Arc<Vec<(usize, usize)>> =
+            Arc::new(order.iter().map(|&i| pairs[i as usize]).collect());
 
-        let chunk_len = sorted_pairs.len().div_ceil(threads);
-        // One pool job per chunk: the job owns its pairs and a clone of the
-        // engine core, answers the chunk with a scratch column drawn from the
-        // core's free list, and hands the statuses back through `run`.
-        let jobs: Vec<_> = sorted_pairs
-            .chunks(chunk_len)
-            .map(|chunk| {
-                let core = Arc::clone(&self.core);
-                let chunk = chunk.to_vec();
-                move || {
-                    let mut scratch = core.take_scratch();
-                    let out = core.run_slice_statuses(&chunk, &mut scratch, fail_fast);
-                    core.return_scratch(scratch);
-                    out
-                }
-            })
-            .collect();
-        let results = self.worker_pool().run(jobs);
+        let results = if threads <= 1 {
+            let mut scratch = self.core.take_scratch(0);
+            let out = self
+                .core
+                .run_slice_statuses(&sorted_pairs, &mut scratch, fail_fast);
+            self.core.return_scratch(0, scratch);
+            vec![out]
+        } else {
+            let chunk_len = sorted_pairs.len().div_ceil(threads);
+            // One pool job per chunk: the job takes a clone of the engine
+            // core and its chunk's range, answers it with a scratch column
+            // drawn from the core's sharded free list (the job index spreads
+            // jobs over distinct shards), and hands back the statuses plus
+            // the kernel counters its scratch accumulated.
+            let jobs: Vec<_> = (0..sorted_pairs.len())
+                .step_by(chunk_len)
+                .enumerate()
+                .map(|(job, lo)| {
+                    let hi = (lo + chunk_len).min(sorted_pairs.len());
+                    let core = Arc::clone(&self.core);
+                    let sorted_pairs = Arc::clone(&sorted_pairs);
+                    move || {
+                        let mut scratch = core.take_scratch(job);
+                        let out =
+                            core.run_slice_statuses(&sorted_pairs[lo..hi], &mut scratch, fail_fast);
+                        core.return_scratch(job, scratch);
+                        out
+                    }
+                })
+                .collect();
+            self.worker_pool().run(jobs)
+        };
 
         let mut sorted_statuses = Vec::with_capacity(sorted_pairs.len());
         let mut hits = 0u64;
         let mut misses = 0u64;
+        let mut kernel = KernelStats::default();
         for result in results {
-            let (statuses, h, m) = result?;
+            let (statuses, h, m, k) = result?;
             sorted_statuses.extend(statuses);
             hits += h;
             misses += m;
+            kernel.merge(k);
         }
         let mut statuses: Vec<Result<f64, EffresError>> =
             (0..pairs.len()).map(|_| Ok(0.0)).collect();
         for (&original, status) in order.iter().zip(sorted_statuses) {
             statuses[original as usize] = status;
         }
-        Ok((statuses, hits, misses))
+        Ok((statuses, hits, misses, kernel))
     }
 }
 
@@ -818,23 +786,6 @@ pub(crate) fn cache_key(p: usize, q: usize) -> u64 {
 }
 
 impl<B: ResistanceBackend> EngineCore<B> {
-    /// Answers `pairs` in order with the given scratch buffer; returns the
-    /// values and the (hits, misses) the slice generated. Bounds are already
-    /// validated; store failures abort the slice.
-    #[allow(clippy::type_complexity)]
-    fn run_slice(
-        &self,
-        pairs: &[(usize, usize)],
-        scratch: &mut ColumnScratch,
-    ) -> Result<(Vec<f64>, u64, u64), EffresError> {
-        let (statuses, hits, misses) = self.run_slice_statuses(pairs, scratch, true)?;
-        let values = statuses
-            .into_iter()
-            .map(|s| s.expect("fail-fast slice aborts on the first error"))
-            .collect();
-        Ok((values, hits, misses))
-    }
-
     /// The status-returning heart of both batch modes: answers `pairs` in
     /// order, producing a per-query `Result`. With `fail_fast` the first
     /// failure aborts the slice (the all-or-nothing contract of
@@ -849,9 +800,9 @@ impl<B: ResistanceBackend> EngineCore<B> {
     fn run_slice_statuses(
         &self,
         pairs: &[(usize, usize)],
-        scratch: &mut ColumnScratch,
+        scratch: &mut HubScratch,
         fail_fast: bool,
-    ) -> Result<(Vec<Result<f64, EffresError>>, u64, u64), EffresError> {
+    ) -> Result<(Vec<Result<f64, EffresError>>, u64, u64, KernelStats), EffresError> {
         let mut statuses = Vec::with_capacity(pairs.len());
         let mut hits = 0u64;
         let mut misses = 0u64;
@@ -885,24 +836,28 @@ impl<B: ResistanceBackend> EngineCore<B> {
             misses += 1;
             let pp = permutation.new(p);
             let qq = permutation.new(q);
-            let bound = pp.max(qq);
-            // Batches are sorted by first endpoint, so runs of queries
-            // sharing it are contiguous. For a run, scatter that endpoint's
-            // column once into the dense scratch and answer each query with
-            // suffix lookups; isolated queries use the two-pointer suffix
-            // merge directly (a scatter would cost more than it saves).
-            let anchor = p.min(q);
-            let shares_anchor = |other: &(usize, usize)| other.0.min(other.1) == anchor;
-            let run = scratch.loaded == Some(permutation.new(anchor))
-                || pairs.get(slot + 1).is_some_and(shares_anchor);
+            // Batches are sorted by permuted `(min, max)`, so runs of
+            // queries sharing a permuted anchor are contiguous and their
+            // suffix bounds ascend. For a run, scatter the anchor column's
+            // suffix once — from the run's first (smallest) bound — and
+            // answer each query with suffix lookups; isolated queries use
+            // the two-pointer suffix merge directly (a scatter would cost
+            // more than it saves).
+            let (hub, partner) = (pp.min(qq), pp.max(qq));
+            let shares_hub = |other: &(usize, usize)| {
+                let (op, oq) = *other;
+                op < n && oq < n && {
+                    let (opp, oqq) = (permutation.new(op), permutation.new(oq));
+                    opp.min(oqq) == hub
+                }
+            };
+            let run = scratch.hub() == Some(hub) || pairs.get(slot + 1).is_some_and(shares_hub);
             let outcome = (|| {
                 let dot = if run {
-                    let aa = permutation.new(anchor);
-                    scratch.load(store, aa)?;
-                    let other = if aa == pp { qq } else { pp };
-                    scratch.suffix_dot(store, other, bound)?
+                    scratch.load_suffix(store, hub, partner as u32)?;
+                    scratch.suffix_dot(store, partner)?
                 } else {
-                    column_store::column_dot(store, pp, qq)?
+                    scratch.isolated_dot(store, pp, qq)?
                 };
                 let (np, nq) = self.norms_of(pp, qq)?;
                 Ok((np + nq - 2.0 * dot).max(0.0))
@@ -922,7 +877,7 @@ impl<B: ResistanceBackend> EngineCore<B> {
                 }
             }
         }
-        Ok((statuses, hits, misses))
+        Ok((statuses, hits, misses, scratch.take_stats()))
     }
 }
 
@@ -1065,29 +1020,27 @@ mod tests {
     fn a_failed_scratch_load_leaves_no_stale_column_behind() {
         // Regression test: scratches return to a shared free list even when
         // a batch aborts, so a load that fails halfway must leave the
-        // scratch *empty* — a stale `loaded` marker over a cleared buffer
-        // would make a later batch silently compute dot = 0.
+        // scratch *empty* — a stale hub marker over a cleared buffer would
+        // make a later batch silently compute dot = 0.
         let engine = engine_for(64, EngineOptions::default());
         let estimator = Arc::clone(engine.estimator());
         let store = estimator.approximate_inverse();
-        let mut scratch = ColumnScratch::new(store.order());
+        let mut scratch = HubScratch::new(store.order());
         scratch.load(store, 3).expect("resident load");
-        assert_eq!(scratch.loaded, Some(3));
-        let reference = scratch.suffix_dot(store, 5, 3).expect("resident dot");
+        assert_eq!(scratch.hub(), Some(3));
+        let reference = scratch.suffix_dot(store, 5).expect("resident dot");
 
-        // A failing fetch clears the buffer and the marker...
+        // A failing fetch clears the hub marker...
         let failing = FailingStore {
             order: store.order(),
         };
         assert!(scratch.load(&failing, 7).is_err());
-        assert_eq!(scratch.loaded, None);
-        assert!(scratch.loaded_indices.is_empty());
-        assert!(scratch.dense.iter().all(|&v| v == 0.0));
+        assert_eq!(scratch.hub(), None);
 
         // ...so reloading the original column really rescatters it instead
         // of trusting a stale marker, and the dot product is unchanged.
         scratch.load(store, 3).expect("resident reload");
-        let again = scratch.suffix_dot(store, 5, 3).expect("resident dot");
+        let again = scratch.suffix_dot(store, 5).expect("resident dot");
         assert_eq!(reference.to_bits(), again.to_bits());
     }
 

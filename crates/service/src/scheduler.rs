@@ -35,11 +35,13 @@
 //! (block by block) instead of over-pinning it — an uncontended lease gets
 //! the full budget and the plan is exactly the solo plan. Results are scattered
 //! back into the batch's original request order, and each query is evaluated
-//! by exactly the same store-generic kernels as the unscheduled path
-//! ([`column_dot`](effres::column_store::column_dot) + the norm identity),
-//! so the values are **bit-identical** to unscheduled paged — and to
-//! resident — execution; only the evaluation order and the I/O pattern
-//! change. Query independence makes that reordering safe by construction,
+//! by exactly the same store-generic kernels as the unscheduled path (the
+//! grouped multi-pair kernel
+//! [`column_distances_squared_grouped`](effres::column_store::column_distances_squared_grouped),
+//! property-pinned bit-identical to the pairwise
+//! [`column_dot`](effres::column_store::column_dot) loop), so the values are
+//! **bit-identical** to unscheduled paged — and to resident — execution;
+//! only the evaluation order and the I/O pattern change. Query independence makes that reordering safe by construction,
 //! and the property tests in `tests/io_service_end_to_end.rs` pin it.
 
 use crate::admission::PinLease;
@@ -48,7 +50,7 @@ use crate::batch::QueryBatch;
 use crate::engine::{
     cache_key, BatchResult, EngineCore, PartialBatchResult, QueryEngine, ScheduleReport,
 };
-use effres::column_store;
+use effres::column_store::{self, KernelStats};
 use effres::EffresError;
 use effres_io::{PagedSnapshot, PinnedPages, PinnedReader};
 use std::sync::atomic::Ordering;
@@ -209,6 +211,7 @@ impl QueryEngine<PagedSnapshot> {
             blocks: 0,
             windows: 0,
         };
+        let mut kernel = KernelStats::default();
         let mut parallel_fan = 1usize;
         let mut at = 0usize;
         while at < pending.len() {
@@ -280,24 +283,30 @@ impl QueryEngine<PagedSnapshot> {
                 parallel_fan = parallel_fan.max(job_bounds.len().min(fan));
                 let mut jobs: Vec<_> = job_bounds
                     .into_iter()
-                    .map(|(pids, lo, hi)| {
+                    .enumerate()
+                    .map(|(job, (pids, lo, hi))| {
                         let core = Arc::clone(&self.core);
                         let pinned = Arc::clone(&pinned);
                         let queries = block[lo..hi].to_vec();
-                        move || drain_window(&core, &pinned, &pids, &queries)
+                        move || drain_window(&core, &pinned, &pids, &queries, job)
                     })
                     .collect();
                 while !jobs.is_empty() {
                     let wave: Vec<_> = jobs.drain(..fan.min(jobs.len())).collect();
                     for result in self.worker_pool().run(wave) {
-                        for (slot, value) in result? {
+                        let (drained, window_kernel) = result?;
+                        kernel.merge(window_kernel);
+                        for (slot, value) in drained {
                             values[slot as usize] = value;
                         }
                     }
                 }
             } else {
                 for (pids, lo, hi) in job_bounds {
-                    for (slot, value) in drain_window(&self.core, &pinned, &pids, &block[lo..hi])? {
+                    let (drained, window_kernel) =
+                        drain_window(&self.core, &pinned, &pids, &block[lo..hi], 0)?;
+                    kernel.merge(window_kernel);
+                    for (slot, value) in drained {
                         values[slot as usize] = value;
                     }
                 }
@@ -321,6 +330,7 @@ impl QueryEngine<PagedSnapshot> {
             cache_hits: hits,
             cache_misses: misses,
             page_cache: self.end_page_window(),
+            kernel,
             schedule: Some(report),
         })
     }
@@ -444,6 +454,7 @@ impl QueryEngine<PagedSnapshot> {
             blocks: 0,
             windows: 0,
         };
+        let mut kernel = KernelStats::default();
         let mut parallel_fan = 1usize;
         let mut at = 0usize;
         while at < pending.len() {
@@ -525,16 +536,18 @@ impl QueryEngine<PagedSnapshot> {
                 parallel_fan = parallel_fan.max(job_bounds.len().min(fan));
                 let mut jobs: Vec<_> = job_bounds
                     .into_iter()
-                    .map(|(pids, lo, hi)| {
+                    .enumerate()
+                    .map(|(job, (pids, lo, hi))| {
                         let core = Arc::clone(&self.core);
                         let pinned = Arc::clone(&pinned);
                         let queries = drainable[lo..hi].to_vec();
-                        move || drain_window_partial(&core, &pinned, &pids, &queries)
+                        move || drain_window_partial(&core, &pinned, &pids, &queries, job)
                     })
                     .collect();
                 while !jobs.is_empty() {
                     let wave: Vec<_> = jobs.drain(..fan.min(jobs.len())).collect();
-                    for window_statuses in self.worker_pool().run(wave) {
+                    for (window_statuses, window_kernel) in self.worker_pool().run(wave) {
+                        kernel.merge(window_kernel);
                         for (slot, status) in window_statuses {
                             statuses[slot as usize] = status;
                         }
@@ -542,9 +555,10 @@ impl QueryEngine<PagedSnapshot> {
                 }
             } else {
                 for (pids, lo, hi) in job_bounds {
-                    for (slot, status) in
-                        drain_window_partial(&self.core, &pinned, &pids, &drainable[lo..hi])
-                    {
+                    let (window_statuses, window_kernel) =
+                        drain_window_partial(&self.core, &pinned, &pids, &drainable[lo..hi], 0);
+                    kernel.merge(window_kernel);
+                    for (slot, status) in window_statuses {
                         statuses[slot as usize] = status;
                     }
                 }
@@ -568,6 +582,7 @@ impl QueryEngine<PagedSnapshot> {
             cache_hits: hits,
             cache_misses: misses,
             page_cache: self.end_page_window(),
+            kernel,
             schedule: Some(report),
         })
     }
@@ -575,49 +590,69 @@ impl QueryEngine<PagedSnapshot> {
 
 /// Drains one readahead window: pins its hi pages (one coalesced read for
 /// adjacent pages — the sweep keeps them mostly adjacent), then answers the
-/// window's queries through the store-generic batched kernel
-/// ([`column_store::column_distances_squared_batch`]) — the same arithmetic
-/// and norm sourcing as every other path — via a reader that prefers the
-/// pinned pages and never touches the cache locks for them.
+/// window's queries through the store-generic grouped multi-pair kernel
+/// ([`column_store::column_distances_squared_grouped`]) — bit-identical to
+/// the pairwise kernel, but a window's queries sharing a hub column stream
+/// that column once — via a reader that prefers the pinned pages and never
+/// touches the cache locks for them. The hub scratch comes from the
+/// engine's sharded free list (`scratch_hint` spreads concurrent windows
+/// over distinct shards), and the kernel counters it accumulated ride back
+/// alongside the values.
 fn drain_window(
     core: &EngineCore<PagedSnapshot>,
     block_pin: &PinnedPages,
     window_pids: &[usize],
     queries: &[Pending],
-) -> Result<Vec<(u32, f64)>, EffresError> {
+    scratch_hint: usize,
+) -> Result<(Vec<(u32, f64)>, KernelStats), EffresError> {
     let store = &core.backend.store;
     let window_pin = store.pin_pages(window_pids)?;
     let reader = PinnedReader::new(store, block_pin, Some(&window_pin));
-    let pairs: Vec<(usize, usize)> = queries
+    // Re-sort the window by normalized column pair: pages hold neighbouring
+    // columns, so the page-sorted window is nearly column-sorted already,
+    // and this makes runs sharing a hub column contiguous for the grouped
+    // kernel. Safe because queries are independent and answers scatter back
+    // by slot.
+    let mut sorted: Vec<Pending> = queries.to_vec();
+    sorted.sort_unstable_by_key(|t| (t.pp.min(t.qq), t.pp.max(t.qq), t.slot));
+    let pairs: Vec<(usize, usize)> = sorted
         .iter()
         .map(|t| (t.pp as usize, t.qq as usize))
         .collect();
-    let values = column_store::column_distances_squared_batch(
+    let mut scratch = core.take_scratch(scratch_hint);
+    let outcome = column_store::column_distances_squared_grouped(
         &reader,
         &pairs,
         core.norms.as_ref().map(|table| table.as_slice()),
-    )?;
-    let mut out = Vec::with_capacity(queries.len());
-    for (t, &value) in queries.iter().zip(&values) {
+        &mut scratch,
+    );
+    let kernel = scratch.take_stats();
+    core.return_scratch(scratch_hint, scratch);
+    let values = outcome?;
+    let mut out = Vec::with_capacity(sorted.len());
+    for (t, &value) in sorted.iter().zip(&values) {
         if let Some(cache) = &core.cache {
             cache.insert(t.key, value);
         }
         out.push((t.slot, value));
     }
-    Ok(out)
+    Ok((out, kernel))
 }
 
 /// The degrading twin of [`drain_window`]: window pins degrade page by page,
-/// and a failed batched kernel is re-run **query by query** over the same
-/// pinned reader — the batched kernel on a one-pair slice computes exactly
-/// the full-window arithmetic per pair, so the successes stay bit-identical
-/// and only queries actually touching an unproducible page fail.
+/// and a failed grouped kernel is re-run **query by query** over the same
+/// pinned reader — the grouped kernel on a one-pair slice computes the
+/// bit-identical per-pair value (the multi-pair property tests pin this),
+/// so the successes stay bit-identical and only queries actually touching
+/// an unproducible page fail.
+#[allow(clippy::type_complexity)]
 fn drain_window_partial(
     core: &EngineCore<PagedSnapshot>,
     block_pin: &PinnedPages,
     window_pids: &[usize],
     queries: &[Pending],
-) -> Vec<(u32, Result<f64, EffresError>)> {
+    scratch_hint: usize,
+) -> (Vec<(u32, Result<f64, EffresError>)>, KernelStats) {
     let store = &core.backend.store;
     // Failed window pins are not fatal: the reader falls back to the store
     // for unpinned pages, and any page that truly cannot be produced fails
@@ -625,12 +660,20 @@ fn drain_window_partial(
     let (window_pin, _window_failures) = store.pin_pages_partial(window_pids);
     let reader = PinnedReader::new(store, block_pin, Some(&window_pin));
     let norms = core.norms.as_ref().map(|table| table.as_slice());
-    let pairs: Vec<(usize, usize)> = queries
+    let mut sorted: Vec<Pending> = queries.to_vec();
+    sorted.sort_unstable_by_key(|t| (t.pp.min(t.qq), t.pp.max(t.qq), t.slot));
+    let pairs: Vec<(usize, usize)> = sorted
         .iter()
         .map(|t| (t.pp as usize, t.qq as usize))
         .collect();
-    match column_store::column_distances_squared_batch(&reader, &pairs, norms) {
-        Ok(values) => queries
+    let mut scratch = core.take_scratch(scratch_hint);
+    let out = match column_store::column_distances_squared_grouped(
+        &reader,
+        &pairs,
+        norms,
+        &mut scratch,
+    ) {
+        Ok(values) => sorted
             .iter()
             .zip(&values)
             .map(|(t, &value)| {
@@ -640,11 +683,16 @@ fn drain_window_partial(
                 (t.slot, Ok(value))
             })
             .collect(),
-        Err(_) => queries
+        Err(_) => sorted
             .iter()
             .map(|t| {
                 let pair = [(t.pp as usize, t.qq as usize)];
-                match column_store::column_distances_squared_batch(&reader, &pair, norms) {
+                match column_store::column_distances_squared_grouped(
+                    &reader,
+                    &pair,
+                    norms,
+                    &mut scratch,
+                ) {
                     Ok(values) => {
                         let value = values[0];
                         if let Some(cache) = &core.cache {
@@ -656,7 +704,10 @@ fn drain_window_partial(
                 }
             })
             .collect(),
-    }
+    };
+    let kernel = scratch.take_stats();
+    core.return_scratch(scratch_hint, scratch);
+    (out, kernel)
 }
 
 #[cfg(test)]

@@ -186,6 +186,42 @@ tuple_strategy! {
     (A, B, C, D, E);
 }
 
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.len.start + 1 == self.len.end {
+                self.len.start
+            } else {
+                self.len.clone().sample(rng)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy producing a `Vec` of `element` samples with a length drawn
+    /// from `len` (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            !len.is_empty(),
+            "cannot sample a length from an empty range"
+        );
+        VecStrategy { element, len }
+    }
+}
+
 /// Runner configuration (mirrors `proptest::test_runner::ProptestConfig`).
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
