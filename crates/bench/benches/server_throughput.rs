@@ -31,10 +31,11 @@ use effres::prelude::*;
 use effres_bench::report::{write_report, Json};
 use effres_io::paged::{open_paged, PagedOptions};
 use effres_io::snapshot::save_snapshot;
-use effres_server::{Client, ServedEngine, Server};
+use effres_server::{Client, ClientError, ServedEngine, Server};
 use effres_service::{EngineOptions, LatencyHistogram, QueryBatch, QueryEngine};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const SIDE: usize = 320; // 320 × 320 = 102 400 nodes, same graph as query_throughput
 const QUERIES: usize = 20_000;
@@ -164,7 +165,10 @@ fn main() {
         );
         paged_rows.push(row);
     }
+
+    // ---- deadline: live goodput under an overload storm, on vs off ----
     std::fs::remove_file(&snap_path).ok();
+    let deadline_report = deadline_goodput();
 
     let body = Json::Obj(vec![
         ("graph", Json::Str(format!("grid_2d_{SIDE}x{SIDE}"))),
@@ -191,11 +195,183 @@ fn main() {
                 ("connections", Json::Arr(paged_rows)),
             ]),
         ),
+        ("deadline", deadline_report),
     ]);
     match write_report("server_throughput", body) {
         Ok(path) => println!("report: {}", path.display()),
         Err(e) => eprintln!("could not write report: {e}"),
     }
+}
+
+/// Pulls `"key":<u64>` out of the hand-rendered stats JSON.
+fn stats_u64(stats: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    stats[stats.find(&needle).expect("stats key") + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("stats number")
+}
+
+/// Measures what a well-behaved client gets out of an overloaded server:
+/// one live connection streams small batches while a storm connection
+/// hammers full-size batches it will never wait for. With the legacy
+/// opcode (cancellation off) every storm batch grinds to completion,
+/// monopolizing the page cache and the core; with 1 ms deadlines
+/// (cancellation on) the service-time EWMA sheds the doomed batches
+/// before they take a queue slot and the brownout controller keeps the
+/// engine lean. The ratio of live goodput between the two modes is the
+/// payoff of the deadline-aware lifecycle.
+///
+/// Runs in the cache-starved regime where overload actually bites — a
+/// 16×16 grid served through a 6-page cache, one column per page, the
+/// same setup the `deadline_lifecycle` chaos test pins at ≥2× (the
+/// big-snapshot rows above have cache to spare, so a storm there
+/// interleaves at block granularity instead of starving anyone). Each
+/// measured phase starts only once the storm demonstrably has hold:
+/// a lease taken (off) or brownout engaged (on).
+fn deadline_goodput() -> Json {
+    const GRID: usize = 16;
+    const NODES: u64 = (GRID * GRID) as u64;
+    const LIVE_REQUESTS: u64 = 4;
+    const LIVE_PAIRS: u64 = 100;
+    const STORM_PAIRS: u64 = 20_000;
+
+    let graph = effres_graph::generators::grid_2d(GRID, GRID, 0.5, 2.0, 11).expect("generator");
+    let estimator =
+        EffectiveResistanceEstimator::build(&graph, &EffresConfig::default()).expect("build");
+    let snap_path = std::env::temp_dir().join("effres_bench_deadline_storm.snap");
+    save_snapshot(&snap_path, &estimator, None).expect("snapshot");
+    drop(estimator);
+    let engine = QueryEngine::new(
+        Arc::new(
+            open_paged(
+                &snap_path,
+                &PagedOptions {
+                    columns_per_page: 1,
+                    cache_pages: 6,
+                    cache_shards: 1,
+                    ..PagedOptions::default()
+                },
+            )
+            .expect("open"),
+        ),
+        EngineOptions {
+            cache_capacity: 0,
+            threads: 2,
+            parallel_threshold: 8,
+            admission_queue_depth: Some(8),
+            admission_timeout: Duration::from_secs(60),
+            ..EngineOptions::default()
+        },
+    );
+    let server = Server::bind("127.0.0.1:0", ServedEngine::Paged(engine), Some(3)).expect("bind");
+    let addr = server.local_addr();
+    let runner = std::thread::spawn(move || server.run());
+
+    let live_pairs: Vec<(u64, u64)> = (0..LIVE_PAIRS)
+        .map(|i| ((i * 7 + 3) % NODES, (i * 29 + 11) % NODES))
+        .collect();
+    let storm_pairs: Vec<(u64, u64)> = (0..STORM_PAIRS)
+        .map(|i| ((i * 37 + 5) % NODES, (i * 13 + 1) % NODES))
+        .collect();
+
+    let mut live = Client::connect(addr).expect("live connect");
+    // Seed the service-time EWMA so the deadline run can judge storm
+    // batches doomed before they queue.
+    live.query_batch(&live_pairs).expect("seed batch");
+
+    let mut run_mode = |deadline: Option<Duration>| -> f64 {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let storm_pairs = storm_pairs.clone();
+        let storm = std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("storm connect");
+            while !flag.load(Ordering::Relaxed) {
+                match deadline {
+                    Some(budget) => match client.query_batch_deadline(&storm_pairs, budget) {
+                        Ok(_) | Err(ClientError::DeadlineExceeded(_)) => {}
+                        Err(other) => panic!("storm must be shed cleanly: {other}"),
+                    },
+                    None => {
+                        client.query_batch(&storm_pairs).expect("legacy storm");
+                    }
+                }
+            }
+        });
+        // Measure only once the storm demonstrably has hold of the engine.
+        let waited = Instant::now();
+        loop {
+            let stats = live.stats_json().expect("stats");
+            let storm_holds = match deadline {
+                None => stats_u64(&stats, "available") < stats_u64(&stats, "budget"),
+                Some(_) => stats_u64(&stats, "brownout_entries") >= 1,
+            };
+            if storm_holds {
+                break;
+            }
+            assert!(
+                waited.elapsed() < Duration::from_secs(30),
+                "storm never took hold: {stats}"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let begun = Instant::now();
+        for _ in 0..LIVE_REQUESTS {
+            live.query_batch(&live_pairs).expect("live batch");
+        }
+        let seconds = begun.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        storm.join().expect("storm thread");
+        seconds
+    };
+
+    let off_seconds = run_mode(None);
+    let off_qps = (LIVE_REQUESTS * LIVE_PAIRS) as f64 / off_seconds;
+    println!("deadline storm, cancellation off: {off_seconds:.3}s  ({off_qps:.0} live queries/s)");
+    let on_seconds = run_mode(Some(Duration::from_millis(1)));
+    let on_qps = (LIVE_REQUESTS * LIVE_PAIRS) as f64 / on_seconds;
+    println!("deadline storm, cancellation on:  {on_seconds:.3}s  ({on_qps:.0} live queries/s)");
+    println!(
+        "deadline storm goodput ratio:     {:.1}x with cancellation",
+        on_qps / off_qps
+    );
+
+    let stats = live.stats_json().expect("stats");
+    let counter = |key: &str| -> u64 { stats_u64(&stats, key) };
+    let report = Json::Obj(vec![
+        ("graph", Json::Str(format!("grid_2d_{GRID}x{GRID}"))),
+        ("cache_pages", Json::Int(6)),
+        ("storm_pairs", Json::Int(STORM_PAIRS)),
+        ("live_requests", Json::Int(LIVE_REQUESTS)),
+        ("live_request_pairs", Json::Int(LIVE_PAIRS)),
+        (
+            "cancellation_off",
+            Json::Obj(vec![
+                ("live_seconds", Json::Num(off_seconds)),
+                ("live_queries_per_second", Json::Num(off_qps)),
+            ]),
+        ),
+        (
+            "cancellation_on",
+            Json::Obj(vec![
+                ("live_seconds", Json::Num(on_seconds)),
+                ("live_queries_per_second", Json::Num(on_qps)),
+                ("deadline_exceeded", Json::Int(counter("deadline_exceeded"))),
+                ("abandoned_pairs", Json::Int(counter("abandoned_pairs"))),
+                ("shed_doomed", Json::Int(counter("shed_doomed"))),
+                ("brownout_entries", Json::Int(counter("brownout_entries"))),
+                ("brownout_exits", Json::Int(counter("brownout_exits"))),
+            ]),
+        ),
+        ("goodput_ratio", Json::Num(on_qps / off_qps)),
+    ]);
+
+    live.shutdown_server().expect("shutdown");
+    runner.join().expect("server thread").expect("serve loop");
+    std::fs::remove_file(&snap_path).ok();
+    report
 }
 
 /// Minimum wall time over `samples` runs after one warm-up pass.

@@ -58,6 +58,41 @@ pub enum EffresError {
         /// Why the request was shed.
         reason: BusyReason,
     },
+    /// The request was cancelled before it finished: its deadline passed,
+    /// its client went away, or admission judged the deadline unmeetable
+    /// up front. Distinct from [`EffresError::Busy`] — retrying the same
+    /// request with the same deadline would meet the same fate; the caller
+    /// should relax the deadline (or give up), not just back off.
+    DeadlineExceeded {
+        /// Why the request was cancelled.
+        reason: CancelReason,
+    },
+}
+
+/// Why an [`EffresError::DeadlineExceeded`] request was cancelled (see
+/// `CancelToken` in `effres-service`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The wall-clock deadline passed while the request waited or ran.
+    DeadlineExpired,
+    /// The client disconnected while the request was being computed.
+    Disconnected,
+    /// Rejected before queueing: the estimated service time already
+    /// exceeded the request's deadline, so running it could only waste
+    /// capacity that live requests need.
+    Unmeetable,
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelReason::DeadlineExpired => write!(f, "deadline expired"),
+            CancelReason::Disconnected => write!(f, "client disconnected"),
+            CancelReason::Unmeetable => {
+                write!(f, "deadline unmeetable at admission")
+            }
+        }
+    }
 }
 
 /// Why an [`EffresError::Busy`] request was shed (see
@@ -106,6 +141,9 @@ impl fmt::Display for EffresError {
             }
             EffresError::Busy { reason } => {
                 write!(f, "service busy ({reason}); back off and retry")
+            }
+            EffresError::DeadlineExceeded { reason } => {
+                write!(f, "request cancelled ({reason}); remaining work abandoned")
             }
         }
     }

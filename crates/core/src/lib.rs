@@ -59,7 +59,7 @@ pub mod stats;
 pub use approx_inverse::{SparseApproximateInverse, ValueMode};
 pub use config::{BuildOptions, EffresConfig, Ordering};
 pub use effres_sparse::WorkerPool;
-pub use error::{BusyReason, EffresError};
+pub use error::{BusyReason, CancelReason, EffresError};
 pub use estimator::EffectiveResistanceEstimator;
 pub use exact::ExactEffectiveResistance;
 pub use random_projection::{RandomProjectionEstimator, RandomProjectionOptions, SolverKind};
@@ -71,7 +71,7 @@ pub mod prelude {
     pub use crate::approx_inverse::{SparseApproximateInverse, ValueMode};
     pub use crate::column_store::{ColumnStore, HubScratch, KernelStats};
     pub use crate::config::{BuildOptions, EffresConfig, Ordering};
-    pub use crate::error::{BusyReason, EffresError};
+    pub use crate::error::{BusyReason, CancelReason, EffresError};
     pub use crate::estimator::EffectiveResistanceEstimator;
     pub use crate::exact::ExactEffectiveResistance;
     pub use crate::random_projection::{

@@ -64,11 +64,12 @@ USAGE:
                      [--frame-deadline S] [--idle-deadline S]
                      [--drain-deadline S] [--scrub-rate M]
                      [--admission-depth N [--admission-timeout-ms T]]
+                     [--brownout-enter X] [--brownout-exit Y]
     effres-cli ping  <host:port>
     effres-cli reload <host:port> <snapshot>
     effres-cli bench-client <host:port> [--connections N] [--requests N]
                      [--batch K [--batch-every J]] [--rate R] [--seed S]
-                     [--check K] [--shutdown]
+                     [--deadline-ms T] [--check K] [--shutdown]
 
 INGEST OPTIONS (dataset inputs):
     --keep-all-components   keep every component (default: largest only)
@@ -139,6 +140,11 @@ SERVE OPTIONS:
                             paged only: shed a queued batch that has not
                             been granted pin capacity after t milliseconds
                             [default: 2000]
+    --brownout-enter <x>    enter brownout (degraded, partial-mode batches)
+                            when the shed-rate EWMA crosses x; set above 1.0
+                            to disable                   [default: 0.5]
+    --brownout-exit <y>     leave brownout once the shed-rate EWMA decays
+                            below y                      [default: 0.1]
 
 BENCH-CLIENT OPTIONS:
     --connections <n>       concurrent client connections [default: 4]
@@ -148,6 +154,9 @@ BENCH-CLIENT OPTIONS:
     --batch-every <j>       every j-th request is a batch [default: 8]
     --rate <r>              open-loop target rate per connection, in
                             requests/s (0 = closed loop)  [default: 0]
+    --deadline-ms <t>       attach a t-millisecond deadline to every batch
+                            request; missed deadlines and busy sheds are
+                            counted, not fatal (0 = off)  [default: 0]
     --check <k>             after the run, print k deterministic `p q R`
                             lines (cross-check against `query --dense`)
     --shutdown              ask the server to shut down once done
@@ -242,11 +251,14 @@ struct Options {
     scrub_mibps: f64,
     admission_depth: usize,
     admission_timeout_ms: u64,
+    brownout_enter: f64,
+    brownout_exit: f64,
     connections: usize,
     requests: usize,
     batch: usize,
     batch_every: usize,
     rate: f64,
+    deadline_ms: u64,
     check: usize,
     shutdown: bool,
 }
@@ -278,11 +290,14 @@ impl Default for Options {
             scrub_mibps: 0.0,
             admission_depth: 0,
             admission_timeout_ms: 2000,
+            brownout_enter: 0.5,
+            brownout_exit: 0.1,
             connections: 4,
             requests: 1000,
             batch: 0,
             batch_every: 8,
             rate: 0.0,
+            deadline_ms: 0,
             check: 0,
             shutdown: false,
         }
@@ -415,6 +430,16 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     "--admission-timeout-ms",
                 )?
             }
+            "--brownout-enter" => {
+                options.brownout_enter = parse_number(
+                    &value_of("--brownout-enter", &mut iter)?,
+                    "--brownout-enter",
+                )?
+            }
+            "--brownout-exit" => {
+                options.brownout_exit =
+                    parse_number(&value_of("--brownout-exit", &mut iter)?, "--brownout-exit")?
+            }
             "--connections" => {
                 options.connections =
                     parse_number(&value_of("--connections", &mut iter)?, "--connections")?
@@ -428,6 +453,10 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     parse_number(&value_of("--batch-every", &mut iter)?, "--batch-every")?
             }
             "--rate" => options.rate = parse_number(&value_of("--rate", &mut iter)?, "--rate")?,
+            "--deadline-ms" => {
+                options.deadline_ms =
+                    parse_number(&value_of("--deadline-ms", &mut iter)?, "--deadline-ms")?
+            }
             "--check" => options.check = parse_number(&value_of("--check", &mut iter)?, "--check")?,
             "--shutdown" => options.shutdown = true,
             flag if flag.starts_with('-') => {
@@ -1284,6 +1313,8 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         idle_deadline: Duration::from_secs(options.idle_deadline_secs.max(1)),
         drain_deadline: Duration::from_secs(options.drain_deadline_secs),
         scrub_bytes_per_sec: (options.scrub_mibps * 1024.0 * 1024.0) as u64,
+        brownout_enter: options.brownout_enter,
+        brownout_exit: options.brownout_exit,
     };
     let snapshot_path = is_snapshot(&path).then(|| path.clone());
     let server = Server::bind_with(&addr, engine, version, snapshot_path, server_options)
@@ -1357,12 +1388,13 @@ fn cmd_ping(args: &[String]) -> Result<(), CliError> {
         .ping()
         .map_err(|e| CliError::Run(format!("ping failed: {e}")))?;
     println!(
-        "{addr} alive — {} backend, {} nodes, epoch {}, health {}, up {:.1}s \
+        "{addr} alive — {} backend, {} nodes, epoch {}, health {}{}, up {:.1}s \
          (round trip {:.1} ms)",
         if report.paged { "paged" } else { "resident" },
         report.node_count,
         report.epoch,
         report.health.as_str(),
+        if report.brownout { " (brownout)" } else { "" },
         report.uptime_secs,
         started.elapsed().as_secs_f64() * 1e3
     );
@@ -1405,6 +1437,15 @@ fn cmd_reload(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Per-connection batch outcomes under `--deadline-ms` (all zero without it).
+#[derive(Default)]
+struct DeadlineTally {
+    batches: u64,
+    ok_batches: u64,
+    missed: u64,
+    shed: u64,
+}
+
 fn cmd_bench_client(args: &[String]) -> Result<(), CliError> {
     let options = parse_options(args)?;
     let addr = require_input(&options)?
@@ -1445,46 +1486,75 @@ fn cmd_bench_client(args: &[String]) -> Result<(), CliError> {
         let batch = options.batch;
         let batch_every = options.batch_every.max(1);
         let rate = options.rate;
+        let deadline_ms = options.deadline_ms;
         let mut rng = options.seed ^ (0x9E37 + connection as u64);
-        workers.push(std::thread::spawn(move || -> Result<(), ClientError> {
-            let mut client = Client::connect(addr.as_str())?;
-            let begun = Instant::now();
-            for request in 0..requests {
-                if rate > 0.0 {
-                    // Open loop: stick to the schedule; if we are behind,
-                    // fire immediately (no catch-up bursts beyond that).
-                    let due = Duration::from_secs_f64(request as f64 / rate);
-                    if let Some(pause) = due.checked_sub(begun.elapsed()) {
-                        std::thread::sleep(pause);
+        workers.push(std::thread::spawn(
+            move || -> Result<DeadlineTally, ClientError> {
+                let mut client = Client::connect(addr.as_str())?;
+                let mut tally = DeadlineTally::default();
+                let begun = Instant::now();
+                for request in 0..requests {
+                    if rate > 0.0 {
+                        // Open loop: stick to the schedule; if we are behind,
+                        // fire immediately (no catch-up bursts beyond that).
+                        let due = Duration::from_secs_f64(request as f64 / rate);
+                        if let Some(pause) = due.checked_sub(begun.elapsed()) {
+                            std::thread::sleep(pause);
+                        }
                     }
+                    let sent = Instant::now();
+                    if batch > 0 && request % batch_every == batch_every - 1 {
+                        let pairs: Vec<(u64, u64)> = (0..batch)
+                            .map(|_| {
+                                (
+                                    splitmix64(&mut rng) % node_count,
+                                    splitmix64(&mut rng) % node_count,
+                                )
+                            })
+                            .collect();
+                        tally.batches += 1;
+                        let outcome = if deadline_ms > 0 {
+                            client.query_batch_deadline(&pairs, Duration::from_millis(deadline_ms))
+                        } else {
+                            client.query_batch(&pairs)
+                        };
+                        match outcome {
+                            Ok(_) => {
+                                tally.ok_batches += 1;
+                                queries_done.fetch_add(batch as u64, MemOrder::Relaxed);
+                            }
+                            // Under a deadline, misses and sheds are the
+                            // measurement, not a failure — count and go on.
+                            Err(ClientError::DeadlineExceeded(_)) if deadline_ms > 0 => {
+                                tally.missed += 1;
+                            }
+                            Err(ClientError::Busy(_)) if deadline_ms > 0 => {
+                                tally.shed += 1;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    } else {
+                        let p = splitmix64(&mut rng) % node_count;
+                        let q = splitmix64(&mut rng) % node_count;
+                        client.query(p, q)?;
+                        queries_done.fetch_add(1, MemOrder::Relaxed);
+                    }
+                    latency.record(sent.elapsed());
                 }
-                let sent = Instant::now();
-                if batch > 0 && request % batch_every == batch_every - 1 {
-                    let pairs: Vec<(u64, u64)> = (0..batch)
-                        .map(|_| {
-                            (
-                                splitmix64(&mut rng) % node_count,
-                                splitmix64(&mut rng) % node_count,
-                            )
-                        })
-                        .collect();
-                    client.query_batch(&pairs)?;
-                    queries_done.fetch_add(batch as u64, MemOrder::Relaxed);
-                } else {
-                    let p = splitmix64(&mut rng) % node_count;
-                    let q = splitmix64(&mut rng) % node_count;
-                    client.query(p, q)?;
-                    queries_done.fetch_add(1, MemOrder::Relaxed);
-                }
-                latency.record(sent.elapsed());
-            }
-            Ok(())
-        }));
+                Ok(tally)
+            },
+        ));
     }
     let mut failures = Vec::new();
+    let mut tally = DeadlineTally::default();
     for (connection, worker) in workers.into_iter().enumerate() {
         match worker.join() {
-            Ok(Ok(())) => {}
+            Ok(Ok(t)) => {
+                tally.batches += t.batches;
+                tally.ok_batches += t.ok_batches;
+                tally.missed += t.missed;
+                tally.shed += t.shed;
+            }
             Ok(Err(e)) => failures.push(format!("connection {connection}: {e}")),
             Err(_) => failures.push(format!("connection {connection}: worker panicked")),
         }
@@ -1519,6 +1589,19 @@ fn cmd_bench_client(args: &[String]) -> Result<(), CliError> {
                 ""
             }
         );
+        if options.deadline_ms > 0 {
+            let cancelled = tally.missed + tally.shed;
+            println!(
+                "deadline   {} ms budget — {} batch(es): {} ok, {} deadline-missed, \
+                 {} shed busy ({:.1}% cancelled)",
+                options.deadline_ms,
+                tally.batches,
+                tally.ok_batches,
+                tally.missed,
+                tally.shed,
+                100.0 * cancelled as f64 / (tally.batches.max(1)) as f64,
+            );
+        }
     }
 
     // ---- check phase: deterministic pairs, greppable `p q R` lines ----

@@ -17,9 +17,10 @@
 //! back off and retry rather than give up.
 
 use crate::protocol::{
-    read_frame, write_frame, Health, PayloadReader, OP_BATCH, OP_BATCH_OK, OP_BATCH_PARTIAL,
-    OP_BATCH_PARTIAL_OK, OP_BUSY, OP_ERROR, OP_HELLO, OP_HELLO_OK, OP_PING, OP_PING_OK, OP_QUERY,
-    OP_QUERY_OK, OP_RELOAD, OP_RELOAD_OK, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STATS, OP_STATS_OK,
+    read_frame, write_frame, Health, PayloadReader, OP_BATCH, OP_BATCH_DEADLINE, OP_BATCH_OK,
+    OP_BATCH_PARTIAL, OP_BATCH_PARTIAL_DEADLINE, OP_BATCH_PARTIAL_OK, OP_BUSY, OP_DEADLINE,
+    OP_ERROR, OP_HELLO, OP_HELLO_OK, OP_PING, OP_PING_OK, OP_QUERY, OP_QUERY_OK, OP_RELOAD,
+    OP_RELOAD_OK, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STATS, OP_STATS_OK, STATUS_BUSY, STATUS_DEADLINE,
     STATUS_OK,
 };
 use std::fmt;
@@ -51,9 +52,13 @@ pub struct PingReport {
     /// Serving epoch: 1 for the engine the server started with, +1 per hot
     /// reload since.
     pub epoch: u64,
-    /// Server health: ok, degraded (integrity failures on the books) or
-    /// draining (shutdown in progress).
+    /// Server health: ok, degraded (integrity failures on the books, or
+    /// brownout) or draining (shutdown in progress).
     pub health: Health,
+    /// Whether the brownout overload controller currently holds the server
+    /// in degraded mode (trimmed readahead, `OP_BATCH` served in partial
+    /// mode).
+    pub brownout: bool,
     /// The snapshot file the current epoch serves, when it came from one.
     pub snapshot_path: Option<String>,
 }
@@ -142,6 +147,11 @@ pub enum ClientError {
     /// The server shed the request under overload; it was well-formed and
     /// the connection stays usable — back off and retry.
     Busy(String),
+    /// The request's deadline expired before the server finished (or the
+    /// server judged it unmeetable up front and shed it whole). Unlike
+    /// [`ClientError::Busy`], retrying the same request with the same
+    /// deadline is pointless — relax the deadline or shrink the batch.
+    DeadlineExceeded(String),
     /// The server answered with bytes this client cannot interpret.
     Protocol(String),
 }
@@ -152,6 +162,9 @@ impl fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Remote(message) => write!(f, "server error: {message}"),
             ClientError::Busy(message) => write!(f, "server busy: {message}"),
+            ClientError::DeadlineExceeded(message) => {
+                write!(f, "deadline exceeded: {message}")
+            }
             ClientError::Protocol(message) => write!(f, "protocol error: {message}"),
         }
     }
@@ -251,6 +264,7 @@ impl Client {
         let health_byte = reader.u8().map_err(bad_reply)?;
         let health = Health::from_u8(health_byte)
             .ok_or_else(|| ClientError::Protocol(format!("unknown health state {health_byte}")))?;
+        let brownout = reader.u8().map_err(bad_reply)? != 0;
         let path = String::from_utf8_lossy(reader.rest()).into_owned();
         Ok(PingReport {
             paged,
@@ -258,6 +272,7 @@ impl Client {
             uptime_secs,
             epoch,
             health,
+            brownout,
             snapshot_path: (!path.is_empty()).then_some(path),
         })
     }
@@ -297,23 +312,60 @@ impl Client {
     }
 
     /// Effective resistances for a batch of dense node-id pairs, in the
-    /// order given.
+    /// order given. A server in brownout answers in partial mode; a fully
+    /// answered batch still returns its (bit-identical) values, a cut-short
+    /// one surfaces as the typed error of its dominant failure.
     pub fn query_batch(&mut self, pairs: &[(u64, u64)]) -> Result<Vec<f64>, ClientError> {
-        let payload = self.round_trip(&batch_request(OP_BATCH, pairs), OP_BATCH_OK)?;
-        let mut reader = PayloadReader::new(&payload);
-        let count = reader.u32().map_err(bad_reply)? as usize;
-        if count != pairs.len() {
-            return Err(ClientError::Protocol(format!(
-                "batch answered {count} values for {} pairs",
-                pairs.len()
-            )));
+        self.batch_values(&batch_request(OP_BATCH, pairs), pairs.len())
+    }
+
+    /// [`Client::query_batch`] with a deadline: the server sheds the batch
+    /// up front when the deadline cannot be met, abandons remaining work
+    /// the moment it expires mid-computation, and answers
+    /// [`ClientError::DeadlineExceeded`] either way. The deadline is also
+    /// the disconnect budget — hanging up cancels the server-side work.
+    pub fn query_batch_deadline(
+        &mut self,
+        pairs: &[(u64, u64)],
+        deadline: Duration,
+    ) -> Result<Vec<f64>, ClientError> {
+        let request = batch_request_deadline(OP_BATCH_DEADLINE, deadline, pairs);
+        self.batch_values(&request, pairs.len())
+    }
+
+    fn batch_values(&mut self, request: &[u8], expected: usize) -> Result<Vec<f64>, ClientError> {
+        let (opcode, payload) =
+            self.round_trip_any(request, &[OP_BATCH_OK, OP_BATCH_PARTIAL_OK])?;
+        if opcode == OP_BATCH_OK {
+            let mut reader = PayloadReader::new(&payload);
+            let count = reader.u32().map_err(bad_reply)? as usize;
+            if count != expected {
+                return Err(ClientError::Protocol(format!(
+                    "batch answered {count} values for {expected} pairs"
+                )));
+            }
+            let mut values = Vec::with_capacity(count);
+            for _ in 0..count {
+                values.push(reader.f64().map_err(bad_reply)?);
+            }
+            reader.finish().map_err(bad_reply)?;
+            return Ok(values);
         }
-        let mut values = Vec::with_capacity(count);
-        for _ in 0..count {
-            values.push(reader.f64().map_err(bad_reply)?);
+        // Brownout alternate: the server answered in partial mode. Complete
+        // answers are as good as OP_BATCH_OK; otherwise surface the typed
+        // error of the dominant failure.
+        let partial = parse_partial(&payload, expected)?;
+        if partial.failed == 0 {
+            return Ok(partial.values);
         }
-        reader.finish().map_err(bad_reply)?;
-        Ok(values)
+        let message = partial.first_failure.clone().unwrap_or_default();
+        if partial.statuses.contains(&STATUS_DEADLINE) {
+            Err(ClientError::DeadlineExceeded(message))
+        } else if partial.statuses.contains(&STATUS_BUSY) {
+            Err(ClientError::Busy(message))
+        } else {
+            Err(ClientError::Remote(message))
+        }
     }
 
     /// Like [`Client::query_batch`], but in partial-results mode: queries
@@ -326,36 +378,23 @@ impl Client {
     ) -> Result<PartialBatch, ClientError> {
         let payload =
             self.round_trip(&batch_request(OP_BATCH_PARTIAL, pairs), OP_BATCH_PARTIAL_OK)?;
-        let mut reader = PayloadReader::new(&payload);
-        let count = reader.u32().map_err(bad_reply)? as usize;
-        if count != pairs.len() {
-            return Err(ClientError::Protocol(format!(
-                "partial batch answered {count} statuses for {} pairs",
-                pairs.len()
-            )));
-        }
-        let failed = reader.u32().map_err(bad_reply)?;
-        let mut statuses = Vec::with_capacity(count);
-        for _ in 0..count {
-            statuses.push(reader.u8().map_err(bad_reply)?);
-        }
-        let mut values = Vec::with_capacity(count);
-        for _ in 0..count {
-            values.push(reader.f64().map_err(bad_reply)?);
-        }
-        let message = String::from_utf8_lossy(reader.rest()).into_owned();
-        let observed = statuses.iter().filter(|&&s| s != STATUS_OK).count();
-        if observed != failed as usize {
-            return Err(ClientError::Protocol(format!(
-                "partial batch declared {failed} failures but carried {observed}"
-            )));
-        }
-        Ok(PartialBatch {
-            statuses,
-            values,
-            failed,
-            first_failure: (failed > 0).then_some(message),
-        })
+        parse_partial(&payload, pairs.len())
+    }
+
+    /// [`Client::query_batch_partial`] with a deadline: queries answered
+    /// before the deadline tripped keep their bit-identical values; the
+    /// abandoned tail carries
+    /// [`STATUS_DEADLINE`](crate::protocol::STATUS_DEADLINE) statuses. A
+    /// batch shed whole (deadline unmeetable up front) answers
+    /// [`ClientError::DeadlineExceeded`].
+    pub fn query_batch_partial_deadline(
+        &mut self,
+        pairs: &[(u64, u64)],
+        deadline: Duration,
+    ) -> Result<PartialBatch, ClientError> {
+        let request = batch_request_deadline(OP_BATCH_PARTIAL_DEADLINE, deadline, pairs);
+        let payload = self.round_trip(&request, OP_BATCH_PARTIAL_OK)?;
+        parse_partial(&payload, pairs.len())
     }
 
     /// The server's stats document (JSON).
@@ -381,6 +420,18 @@ impl Client {
     /// Writes one request frame and reads the matching response, returning
     /// the response body past the opcode after checking it is `expected`.
     fn round_trip(&mut self, request: &[u8], expected: u8) -> Result<Vec<u8>, ClientError> {
+        self.round_trip_any(request, &[expected])
+            .map(|(_, payload)| payload)
+    }
+
+    /// [`Client::round_trip`] for requests with more than one acceptable
+    /// response opcode (a brownout server answers `OP_BATCH` in partial
+    /// mode); returns which one arrived alongside the body.
+    fn round_trip_any(
+        &mut self,
+        request: &[u8],
+        expected: &[u8],
+    ) -> Result<(u8, Vec<u8>), ClientError> {
         write_frame(&mut self.writer, request)?;
         self.writer.flush()?;
         let Some(mut payload) = read_frame(&mut self.reader)? else {
@@ -403,12 +454,18 @@ impl Client {
                 String::from_utf8_lossy(&payload).into_owned(),
             ));
         }
-        if opcode != expected {
+        if opcode == OP_DEADLINE {
+            return Err(ClientError::DeadlineExceeded(
+                String::from_utf8_lossy(&payload).into_owned(),
+            ));
+        }
+        if !expected.contains(&opcode) {
             return Err(ClientError::Protocol(format!(
-                "expected opcode {expected:#04x}, got {opcode:#04x}"
+                "expected opcode {:#04x}, got {opcode:#04x}",
+                expected.first().copied().unwrap_or(0)
             )));
         }
-        Ok(payload)
+        Ok((opcode, payload))
     }
 }
 
@@ -426,6 +483,58 @@ fn batch_request(opcode: u8, pairs: &[(u64, u64)]) -> Vec<u8> {
         request.extend_from_slice(&q.to_le_bytes());
     }
     request
+}
+
+/// Encodes a deadline-carrying batch request: `u32 deadline_ms` before the
+/// count. Sub-millisecond deadlines round up to 1 ms (0 means "no deadline"
+/// on the wire).
+fn batch_request_deadline(opcode: u8, deadline: Duration, pairs: &[(u64, u64)]) -> Vec<u8> {
+    let deadline_ms = u32::try_from(deadline.as_millis())
+        .unwrap_or(u32::MAX)
+        .max(1);
+    let mut request = Vec::with_capacity(9 + pairs.len() * 16);
+    request.push(opcode);
+    request.extend_from_slice(&deadline_ms.to_le_bytes());
+    request.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for &(p, q) in pairs {
+        request.extend_from_slice(&p.to_le_bytes());
+        request.extend_from_slice(&q.to_le_bytes());
+    }
+    request
+}
+
+/// Decodes an [`OP_BATCH_PARTIAL_OK`] body into a [`PartialBatch`],
+/// checking the counts against the request.
+fn parse_partial(payload: &[u8], expected: usize) -> Result<PartialBatch, ClientError> {
+    let mut reader = PayloadReader::new(payload);
+    let count = reader.u32().map_err(bad_reply)? as usize;
+    if count != expected {
+        return Err(ClientError::Protocol(format!(
+            "partial batch answered {count} statuses for {expected} pairs"
+        )));
+    }
+    let failed = reader.u32().map_err(bad_reply)?;
+    let mut statuses = Vec::with_capacity(count);
+    for _ in 0..count {
+        statuses.push(reader.u8().map_err(bad_reply)?);
+    }
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        values.push(reader.f64().map_err(bad_reply)?);
+    }
+    let message = String::from_utf8_lossy(reader.rest()).into_owned();
+    let observed = statuses.iter().filter(|&&s| s != STATUS_OK).count();
+    if observed != failed as usize {
+        return Err(ClientError::Protocol(format!(
+            "partial batch declared {failed} failures but carried {observed}"
+        )));
+    }
+    Ok(PartialBatch {
+        statuses,
+        values,
+        failed,
+        first_failure: (failed > 0).then_some(message),
+    })
 }
 
 /// Dials the first reachable address under `policy`.

@@ -15,7 +15,9 @@
 //! | [`OP_QUERY`] | `u64 p, u64 q` | [`OP_QUERY_OK`] | `f64 resistance` |
 //! | [`OP_BATCH`] | `u32 count, count × (u64 p, u64 q)` | [`OP_BATCH_OK`] | `u32 count, count × f64` |
 //! | [`OP_BATCH_PARTIAL`] | `u32 count, count × (u64 p, u64 q)` | [`OP_BATCH_PARTIAL_OK`] | `u32 count, u32 failed, count × u8 status, count × f64, UTF-8 first-failure message` |
-//! | [`OP_PING`] | — | [`OP_PING_OK`] | `u8 backend (0 resident / 1 paged), u64 node_count, f64 uptime_secs, u64 epoch, u8 health (0 ok / 1 degraded / 2 draining), UTF-8 snapshot path (may be empty)` |
+//! | [`OP_BATCH_DEADLINE`] | `u32 deadline_ms, u32 count, count × (u64 p, u64 q)` | [`OP_BATCH_OK`] | as `OP_BATCH` (may instead draw [`OP_BATCH_PARTIAL_OK`] under brownout, or [`OP_DEADLINE`]) |
+//! | [`OP_BATCH_PARTIAL_DEADLINE`] | `u32 deadline_ms, u32 count, count × (u64 p, u64 q)` | [`OP_BATCH_PARTIAL_OK`] | as `OP_BATCH_PARTIAL` (may instead draw [`OP_DEADLINE`]) |
+//! | [`OP_PING`] | — | [`OP_PING_OK`] | `u8 backend (0 resident / 1 paged), u64 node_count, f64 uptime_secs, u64 epoch, u8 health (0 ok / 1 degraded / 2 draining), u8 brownout (0 off / 1 on), UTF-8 snapshot path (may be empty)` |
 //! | [`OP_STATS`] | — | [`OP_STATS_OK`] | UTF-8 JSON (see [`crate::server`]) |
 //! | [`OP_SHUTDOWN`] | — | [`OP_SHUTDOWN_OK`] | — (the server then stops accepting and drains) |
 //! | [`OP_RELOAD`] | UTF-8 snapshot path | [`OP_RELOAD_OK`] | `u64 epoch, u64 node_count, u32 snapshot_version` (the swapped-in engine) |
@@ -24,6 +26,13 @@
 //! node id, malformed body, unknown opcode) — the connection stays usable —
 //! or [`OP_BUSY`] when the server sheds the request under overload: the
 //! request was well-formed, the client should back off and retry.
+//! A deadline-carrying batch whose deadline expired — or that the server
+//! judged unmeetable up front — draws [`OP_DEADLINE`] instead: unlike
+//! `OP_BUSY`, retrying the same request with the same deadline is
+//! pointless; the client should relax the deadline or shrink the batch.
+//! `deadline_ms` is the client's end-to-end budget in milliseconds from the
+//! moment the server parses the request; `0` means no deadline (the request
+//! is still cancelled if the client disconnects mid-computation).
 //! Frames over [`MAX_FRAME_BYTES`] are rejected without allocation — that
 //! caps a batch at about four million pairs, far above anything the engine
 //! wants in one piece anyway.
@@ -56,6 +65,17 @@ pub const OP_BATCH_PARTIAL: u8 = 0x07;
 /// finish on the old epoch; every request accepted after the swap serves the
 /// new one.
 pub const OP_RELOAD: u8 = 0x08;
+/// [`OP_BATCH`] with a deadline: the body carries a `u32 deadline_ms`
+/// budget before the count. The server sheds the batch up front when its
+/// service-time estimate says the deadline cannot be met, and abandons the
+/// remaining work — at the next chunk boundary, never mid-kernel — when the
+/// deadline expires or the client disconnects mid-computation.
+pub const OP_BATCH_DEADLINE: u8 = 0x09;
+/// [`OP_BATCH_PARTIAL`] with a deadline (same body prefix as
+/// [`OP_BATCH_DEADLINE`]): queries answered before the deadline tripped
+/// keep their bit-identical values; the abandoned tail carries
+/// [`STATUS_DEADLINE`].
+pub const OP_BATCH_PARTIAL_DEADLINE: u8 = 0x0A;
 
 /// Response to [`OP_HELLO`].
 pub const OP_HELLO_OK: u8 = 0x81;
@@ -73,6 +93,11 @@ pub const OP_PING_OK: u8 = 0x86;
 pub const OP_BATCH_PARTIAL_OK: u8 = 0x87;
 /// Response to [`OP_RELOAD`]: the new engine is live.
 pub const OP_RELOAD_OK: u8 = 0x88;
+/// Deadline response to a deadline-carrying batch: the deadline expired
+/// mid-computation (or was judged unmeetable up front) and the whole batch
+/// was abandoned; body is a UTF-8 message. Unlike [`OP_BUSY`] this is not
+/// an invitation to retry as-is — relax the deadline or shrink the batch.
+pub const OP_DEADLINE: u8 = 0xFD;
 /// Overload response to any request: the server shed it (admission queue
 /// full or lease timeout); body is a UTF-8 message. Back off and retry.
 pub const OP_BUSY: u8 = 0xFE;
@@ -90,6 +115,12 @@ pub const STATUS_OUT_OF_BOUNDS: u8 = 2;
 pub const STATUS_BUSY: u8 = 3;
 /// Partial-batch per-query status: any other typed engine failure.
 pub const STATUS_OTHER: u8 = 4;
+/// Partial-batch per-query status: the deadline expired (or the client
+/// disconnected) before this query ran; its work was abandoned at a chunk
+/// boundary. Queries with [`STATUS_OK`] in the same response completed
+/// before the trip and their values are bit-identical to an undisturbed
+/// run.
+pub const STATUS_DEADLINE: u8 = 5;
 
 /// Largest accepted frame payload (64 MiB).
 pub const MAX_FRAME_BYTES: usize = 64 << 20;

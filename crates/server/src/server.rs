@@ -43,16 +43,17 @@
 //! and overall queries-per-second throughput.
 
 use crate::protocol::{
-    write_frame, Health, PayloadReader, MAX_FRAME_BYTES, OP_BATCH, OP_BATCH_OK, OP_BATCH_PARTIAL,
-    OP_BATCH_PARTIAL_OK, OP_BUSY, OP_ERROR, OP_HELLO, OP_HELLO_OK, OP_PING, OP_PING_OK, OP_QUERY,
-    OP_QUERY_OK, OP_RELOAD, OP_RELOAD_OK, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STATS, OP_STATS_OK,
-    STATUS_BUSY, STATUS_OK, STATUS_OTHER, STATUS_OUT_OF_BOUNDS, STATUS_STORE_FAILURE,
+    write_frame, Health, PayloadReader, MAX_FRAME_BYTES, OP_BATCH, OP_BATCH_DEADLINE, OP_BATCH_OK,
+    OP_BATCH_PARTIAL, OP_BATCH_PARTIAL_DEADLINE, OP_BATCH_PARTIAL_OK, OP_BUSY, OP_DEADLINE,
+    OP_ERROR, OP_HELLO, OP_HELLO_OK, OP_PING, OP_PING_OK, OP_QUERY, OP_QUERY_OK, OP_RELOAD,
+    OP_RELOAD_OK, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STATS, OP_STATS_OK, STATUS_BUSY, STATUS_DEADLINE,
+    STATUS_OK, STATUS_OTHER, STATUS_OUT_OF_BOUNDS, STATUS_STORE_FAILURE,
 };
-use effres::{EffectiveResistanceEstimator, EffresError};
+use effres::{CancelReason, EffectiveResistanceEstimator, EffresError};
 use effres_io::{PagedSnapshot, ScrubStats};
 use effres_service::{
-    AdmissionStats, BatchResult, LatencyHistogram, PartialBatchResult, QueryBatch, QueryEngine,
-    ServiceStats,
+    AdmissionStats, BatchAbort, BatchResult, CancelToken, LatencyHistogram, PartialBatchResult,
+    QueryBatch, QueryEngine, ServiceStats,
 };
 use std::fmt::Write as _;
 use std::io::{self, Read, Write};
@@ -65,8 +66,23 @@ use std::time::{Duration, Instant};
 /// How often an idle connection handler re-checks the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(200);
 
+/// Batches below this size skip the disconnect-monitor thread: they finish
+/// in well under one monitor poll interval, so the thread could never trip
+/// the token before the answer ships.
+const MONITOR_MIN_PAIRS: usize = 512;
+
+/// How often the disconnect monitor peeks at the socket while a batch
+/// computes — the bound on how long an abandoned connection keeps its
+/// admission lease and pinned pages past the next chunk boundary.
+const MONITOR_POLL: Duration = Duration::from_millis(50);
+
+/// Smoothing factor of the brownout pressure EWMA: one shed/ok sample per
+/// batch outcome, so ~10 consecutive sheds saturate it and ~20 consecutive
+/// successes drain it back below the default exit threshold.
+const BROWNOUT_ALPHA: f64 = 0.1;
+
 /// Connection-level tuning of a [`Server`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerOptions {
     /// How long a connection may sit **mid-frame** (a length prefix
     /// arrived, the payload did not finish) before the server closes it. A
@@ -91,6 +107,19 @@ pub struct ServerOptions {
     /// this rate — size it well below the disk's bandwidth so serving
     /// traffic keeps priority.
     pub scrub_bytes_per_sec: u64,
+    /// Brownout entry threshold: when the EWMA of batch outcomes (1.0 for a
+    /// shed or deadline miss, 0.0 for a success) reaches this value the
+    /// server enters **brownout** — `health` flips to degraded, paged
+    /// readahead windows shrink to one page (less speculative I/O per
+    /// lease), and `OP_BATCH` is served in partial mode so answers computed
+    /// before pressure cuts a batch short still ship. Set above `1.0` to
+    /// disable brownout entirely.
+    pub brownout_enter: f64,
+    /// Brownout exit threshold: the pressure EWMA must decay to this value
+    /// (successes drain it) before the server leaves brownout. Keep it well
+    /// below `brownout_enter` so the controller has hysteresis instead of
+    /// flapping at the boundary.
+    pub brownout_exit: f64,
 }
 
 impl Default for ServerOptions {
@@ -100,6 +129,8 @@ impl Default for ServerOptions {
             idle_deadline: Duration::from_secs(300),
             drain_deadline: Duration::from_secs(30),
             scrub_bytes_per_sec: 0,
+            brownout_enter: 0.5,
+            brownout_exit: 0.1,
         }
     }
 }
@@ -149,6 +180,45 @@ impl ServedEngine {
         match self {
             ServedEngine::Resident(engine) => engine.execute(batch),
             ServedEngine::Paged(engine) => engine.execute_scheduled(batch),
+        }
+    }
+
+    /// [`ServedEngine::execute`] under a cancellation token: the batch is
+    /// shed up front when its deadline is unmeetable, and abandoned at the
+    /// next chunk boundary when the token trips mid-computation.
+    pub fn execute_with_cancel(
+        &self,
+        batch: &QueryBatch,
+        cancel: &Arc<CancelToken>,
+    ) -> Result<BatchResult, BatchAbort> {
+        match self {
+            ServedEngine::Resident(engine) => engine.execute_with_cancel(batch, cancel),
+            ServedEngine::Paged(engine) => engine.execute_scheduled_with_cancel(batch, cancel),
+        }
+    }
+
+    /// [`ServedEngine::execute_partial`] under a cancellation token: a trip
+    /// mid-batch keeps everything already answered (bit-identical) and marks
+    /// the abandoned tail [`EffresError::DeadlineExceeded`].
+    pub fn execute_partial_with_cancel(
+        &self,
+        batch: &QueryBatch,
+        cancel: &Arc<CancelToken>,
+    ) -> Result<PartialBatchResult, EffresError> {
+        match self {
+            ServedEngine::Resident(engine) => engine.execute_partial_with_cancel(batch, cancel),
+            ServedEngine::Paged(engine) => {
+                engine.execute_scheduled_partial_with_cancel(batch, cancel)
+            }
+        }
+    }
+
+    /// Flips the engine's brownout flag (trimmed readahead windows on the
+    /// paged backend; see `QueryEngine::set_brownout`).
+    pub fn set_brownout(&self, on: bool) {
+        match self {
+            ServedEngine::Resident(engine) => engine.set_brownout(on),
+            ServedEngine::Paged(engine) => engine.set_brownout(on),
         }
     }
 
@@ -267,6 +337,29 @@ struct Shared {
     store_failures: AtomicU64,
     /// Partial batches that carried at least one failed query.
     partial_batches: AtomicU64,
+    /// Batches cut short by a tripped cancellation token — deadline expiry,
+    /// disconnect, or an unmeetable deadline shed up front.
+    cancelled_batches: AtomicU64,
+    /// Batch requests whose deadline expired mid-computation or was judged
+    /// unmeetable at admission (answered [`OP_DEADLINE`] or with
+    /// [`STATUS_DEADLINE`] tails).
+    deadline_exceeded: AtomicU64,
+    /// Cancellations tripped by the disconnect monitor: the client hung up
+    /// while its batch was computing, and the remaining work was reclaimed.
+    disconnect_cancels: AtomicU64,
+    /// Pairs whose computation was abandoned by cancellation — work the
+    /// engine never spent because the answer had no recipient.
+    abandoned_pairs: AtomicU64,
+    /// Whether the brownout controller currently holds the server in
+    /// degraded overload mode.
+    brownout_active: AtomicBool,
+    /// Times the pressure EWMA crossed [`ServerOptions::brownout_enter`].
+    brownout_entries: AtomicU64,
+    /// Times the pressure EWMA decayed past [`ServerOptions::brownout_exit`].
+    brownout_exits: AtomicU64,
+    /// Bit pattern of the `f64` pressure EWMA over batch outcomes (1.0 =
+    /// shed or deadline miss, 0.0 = success).
+    pressure_bits: AtomicU64,
 }
 
 impl std::fmt::Debug for Shared {
@@ -294,6 +387,9 @@ impl Shared {
             .get()
             .ok_or_else(|| "this server has no reloader installed".to_string())?;
         let (engine, snapshot_version) = reloader(path)?;
+        // The swapped-in engine inherits the controller's brownout state:
+        // pressure is a property of the traffic, not of the epoch.
+        engine.set_brownout(self.brownout_active.load(Ordering::Relaxed));
         let node_count = engine.node_count() as u64;
         let version = snapshot_version.unwrap_or(0);
         let mut guard = self.engine.write().expect("engine lock poisoned");
@@ -310,13 +406,14 @@ impl Shared {
     }
 
     /// The server's health state: draining once shutdown is requested,
-    /// degraded while typed store failures or scrubber findings are on the
-    /// books, ok otherwise.
+    /// degraded while brownout holds or typed store failures or scrubber
+    /// findings are on the books, ok otherwise.
     fn health(&self) -> Health {
         if self.shutdown.load(Ordering::SeqCst) {
             return Health::Draining;
         }
-        let degraded = self.store_failures.load(Ordering::Relaxed) > 0
+        let degraded = self.brownout_active.load(Ordering::Relaxed)
+            || self.store_failures.load(Ordering::Relaxed) > 0
             || self
                 .current_epoch()
                 .engine
@@ -326,6 +423,57 @@ impl Shared {
             Health::Degraded
         } else {
             Health::Ok
+        }
+    }
+
+    /// Feeds one batch outcome into the brownout controller: updates the
+    /// pressure EWMA (1.0 for a shed or deadline miss, 0.0 for a success)
+    /// and flips brownout on crossing [`ServerOptions::brownout_enter`] /
+    /// off on decaying past [`ServerOptions::brownout_exit`]. The engine's
+    /// own brownout flag follows every transition.
+    fn note_batch_outcome(&self, shed: bool) {
+        let sample = if shed { 1.0 } else { 0.0 };
+        let mut old_bits = self.pressure_bits.load(Ordering::Relaxed);
+        let pressure = loop {
+            let old = f64::from_bits(old_bits);
+            let new = old + BROWNOUT_ALPHA * (sample - old);
+            match self.pressure_bits.compare_exchange_weak(
+                old_bits,
+                new.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break new,
+                Err(current) => old_bits = current,
+            }
+        };
+        if !self.brownout_active.load(Ordering::Relaxed) {
+            if pressure >= self.options.brownout_enter
+                && !self.brownout_active.swap(true, Ordering::SeqCst)
+            {
+                self.brownout_entries.fetch_add(1, Ordering::Relaxed);
+                self.current_epoch().engine.set_brownout(true);
+            }
+        } else if pressure <= self.options.brownout_exit
+            && self.brownout_active.swap(false, Ordering::SeqCst)
+        {
+            self.brownout_exits.fetch_add(1, Ordering::Relaxed);
+            self.current_epoch().engine.set_brownout(false);
+        }
+    }
+
+    /// Books a cancellation: one cancelled batch, its abandoned pairs, and
+    /// the per-cause counter (`disconnect_cancels` or `deadline_exceeded`).
+    fn note_cancellation(&self, reason: CancelReason, abandoned: u64) {
+        self.cancelled_batches.fetch_add(1, Ordering::Relaxed);
+        self.abandoned_pairs.fetch_add(abandoned, Ordering::Relaxed);
+        match reason {
+            CancelReason::Disconnected => {
+                self.disconnect_cancels.fetch_add(1, Ordering::Relaxed);
+            }
+            CancelReason::DeadlineExpired | CancelReason::Unmeetable => {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -401,6 +549,14 @@ impl Server {
                 busy_rejections: AtomicU64::new(0),
                 store_failures: AtomicU64::new(0),
                 partial_batches: AtomicU64::new(0),
+                cancelled_batches: AtomicU64::new(0),
+                deadline_exceeded: AtomicU64::new(0),
+                disconnect_cancels: AtomicU64::new(0),
+                abandoned_pairs: AtomicU64::new(0),
+                brownout_active: AtomicBool::new(false),
+                brownout_entries: AtomicU64::new(0),
+                brownout_exits: AtomicU64::new(0),
+                pressure_bits: AtomicU64::new(0.0f64.to_bits()),
             }),
         })
     }
@@ -612,7 +768,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
             };
             let payload: Vec<u8> = buffer.drain(..consumed).skip(4).collect();
             shared.requests.fetch_add(1, Ordering::Relaxed);
-            let proceed = handle_request(&payload, shared, &mut writer)?;
+            let proceed = handle_request(&payload, shared, &stream, &mut writer)?;
             writer.flush()?;
             last_activity = Instant::now();
             if !proceed {
@@ -658,6 +814,77 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     }
 }
 
+/// Keeps a disconnect-monitor thread alive for the duration of one batch
+/// computation. Dropping the guard tells the monitor to stand down and
+/// restores the connection's normal poll-interval read timeout (the monitor
+/// shortens it — the two handles share one socket, so socket options are
+/// shared too).
+struct MonitorGuard<'a> {
+    stream: &'a TcpStream,
+    done: Arc<AtomicBool>,
+}
+
+impl Drop for MonitorGuard<'_> {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Relaxed);
+        let _ = self.stream.set_read_timeout(Some(POLL_INTERVAL));
+    }
+}
+
+/// Watches `stream` while a batch computes and trips `cancel` with
+/// [`CancelReason::Disconnected`] the moment the peer hangs up — so an
+/// abandoned request releases its admission lease, pinned pages and scratch
+/// at the next chunk boundary instead of computing answers nobody will
+/// read. The watcher `peek`s (never consumes — a pipelined follow-up
+/// request stays intact) on a cloned handle with a short timeout; `Ok(0)`
+/// is the peer's FIN, a hard error is a reset. Returns `None` when the
+/// socket cannot be cloned or configured — the batch then simply runs
+/// unmonitored, as before.
+fn watch_for_disconnect<'a>(
+    stream: &'a TcpStream,
+    cancel: &Arc<CancelToken>,
+) -> Option<MonitorGuard<'a>> {
+    let probe = stream.try_clone().ok()?;
+    probe.set_read_timeout(Some(MONITOR_POLL)).ok()?;
+    let done = Arc::new(AtomicBool::new(false));
+    let monitor_done = Arc::clone(&done);
+    let cancel = Arc::clone(cancel);
+    let spawned = std::thread::Builder::new()
+        .name("effres-disconnect".to_string())
+        .spawn(move || {
+            let mut byte = [0u8; 1];
+            while !monitor_done.load(Ordering::Relaxed) {
+                match probe.peek(&mut byte) {
+                    // FIN: the peer is gone; reclaim the in-flight work.
+                    Ok(0) => {
+                        cancel.cancel(CancelReason::Disconnected);
+                        return;
+                    }
+                    // Bytes waiting (a pipelined request): alive — idle a
+                    // beat, since peek would return instantly again.
+                    Ok(_) => std::thread::sleep(MONITOR_POLL),
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock
+                                | io::ErrorKind::TimedOut
+                                | io::ErrorKind::Interrupted
+                        ) => {}
+                    // Reset or any other hard failure: also gone.
+                    Err(_) => {
+                        cancel.cancel(CancelReason::Disconnected);
+                        return;
+                    }
+                }
+            }
+        });
+    if spawned.is_err() {
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        return None;
+    }
+    Some(MonitorGuard { stream, done })
+}
+
 /// Length of the first complete frame in `buffer` (prefix + payload), or
 /// `None` if more bytes are needed; errors on an oversized length prefix.
 fn frame_length(buffer: &[u8]) -> io::Result<Option<usize>> {
@@ -685,7 +912,12 @@ fn frame_length(buffer: &[u8]) -> io::Result<Option<usize>> {
 /// front** — a reload arriving mid-request swaps the shared handle but this
 /// request keeps the epoch it pinned, so a batch never mixes columns from
 /// two snapshots.
-fn handle_request(payload: &[u8], shared: &Shared, writer: &mut impl Write) -> io::Result<bool> {
+fn handle_request(
+    payload: &[u8],
+    shared: &Shared,
+    stream: &TcpStream,
+    writer: &mut impl Write,
+) -> io::Result<bool> {
     let Some((&opcode, body)) = payload.split_first() else {
         shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
         return write_error(writer, "empty frame").map(|()| true);
@@ -726,78 +958,31 @@ fn handle_request(payload: &[u8], shared: &Shared, writer: &mut impl Write) -> i
                 },
             }
         }
-        OP_BATCH => {
+        OP_BATCH | OP_BATCH_PARTIAL | OP_BATCH_DEADLINE | OP_BATCH_PARTIAL_DEADLINE => {
             let started = Instant::now();
-            let mut reader = PayloadReader::new(body);
-            let parsed = (|| -> io::Result<Vec<(usize, usize)>> {
-                let count = reader.u32()? as usize;
-                if count * 16 != body.len() - 4 {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        "batch count disagrees with payload size",
-                    ));
-                }
-                let mut pairs = Vec::with_capacity(count);
-                for _ in 0..count {
-                    pairs.push((reader.u64()? as usize, reader.u64()? as usize));
-                }
-                reader.finish()?;
-                Ok(pairs)
-            })();
-            match parsed {
+            let with_deadline = matches!(opcode, OP_BATCH_DEADLINE | OP_BATCH_PARTIAL_DEADLINE);
+            match parse_batch_body(body, with_deadline) {
                 Err(e) => {
                     shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     write_error(writer, &format!("malformed batch: {e}"))?;
                 }
-                Ok(pairs) => {
+                Ok((deadline, pairs)) => {
                     let batch = QueryBatch::from_pairs(pairs);
-                    match shared.current_epoch().engine.execute(&batch) {
-                        Ok(result) => {
-                            let mut out = Vec::with_capacity(5 + result.values.len() * 8);
-                            out.push(OP_BATCH_OK);
-                            out.extend_from_slice(&(result.values.len() as u32).to_le_bytes());
-                            for value in &result.values {
-                                out.extend_from_slice(&value.to_le_bytes());
-                            }
-                            write_frame(writer, &out)?;
-                            shared.latency.record(started.elapsed());
-                        }
-                        Err(e) => write_engine_error(writer, shared, &e)?,
-                    }
-                }
-            }
-        }
-        OP_BATCH_PARTIAL => {
-            let started = Instant::now();
-            let mut reader = PayloadReader::new(body);
-            let parsed = (|| -> io::Result<Vec<(usize, usize)>> {
-                let count = reader.u32()? as usize;
-                if count * 16 != body.len() - 4 {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        "batch count disagrees with payload size",
-                    ));
-                }
-                let mut pairs = Vec::with_capacity(count);
-                for _ in 0..count {
-                    pairs.push((reader.u64()? as usize, reader.u64()? as usize));
-                }
-                reader.finish()?;
-                Ok(pairs)
-            })();
-            match parsed {
-                Err(e) => {
-                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    write_error(writer, &format!("malformed batch: {e}"))?;
-                }
-                Ok(pairs) => {
-                    let batch = QueryBatch::from_pairs(pairs);
-                    match shared.current_epoch().engine.execute_partial(&batch) {
-                        Ok(result) => {
-                            write_partial_batch(writer, shared, &result)?;
-                            shared.latency.record(started.elapsed());
-                        }
-                        Err(e) => write_engine_error(writer, shared, &e)?,
+                    let cancel = Arc::new(match deadline {
+                        Some(budget) => CancelToken::after(budget),
+                        None => CancelToken::unbounded(),
+                    });
+                    // A batch big enough to outlive a monitor poll gets a
+                    // watcher: if the client hangs up mid-computation the
+                    // token trips and the remaining work is reclaimed at
+                    // the next chunk boundary.
+                    let _guard = (batch.len() >= MONITOR_MIN_PAIRS)
+                        .then(|| watch_for_disconnect(stream, &cancel))
+                        .flatten();
+                    if matches!(opcode, OP_BATCH_PARTIAL | OP_BATCH_PARTIAL_DEADLINE) {
+                        answer_batch_partial(writer, shared, started, &batch, &cancel)?;
+                    } else {
+                        answer_batch(writer, shared, started, &batch, &cancel)?;
                     }
                 }
             }
@@ -809,13 +994,14 @@ fn handle_request(payload: &[u8], shared: &Shared, writer: &mut impl Write) -> i
                 .as_ref()
                 .map(|p| p.to_string_lossy().into_owned())
                 .unwrap_or_default();
-            let mut out = Vec::with_capacity(1 + 1 + 8 + 8 + 8 + 1 + path.len());
+            let mut out = Vec::with_capacity(1 + 1 + 8 + 8 + 8 + 1 + 1 + path.len());
             out.push(OP_PING_OK);
             out.push(u8::from(epoch.engine.backend_kind() == "paged"));
             out.extend_from_slice(&(epoch.engine.node_count() as u64).to_le_bytes());
             out.extend_from_slice(&shared.started.elapsed().as_secs_f64().to_le_bytes());
             out.extend_from_slice(&epoch.epoch.to_le_bytes());
             out.push(shared.health().as_u8());
+            out.push(u8::from(shared.brownout_active.load(Ordering::Relaxed)));
             out.extend_from_slice(path.as_bytes());
             write_frame(writer, &out)?;
         }
@@ -861,6 +1047,157 @@ fn handle_request(payload: &[u8], shared: &Shared, writer: &mut impl Write) -> i
     Ok(true)
 }
 
+/// A parsed batch body: the request's deadline budget (`None` when absent
+/// or zero) and its pairs.
+type ParsedBatch = (Option<Duration>, Vec<(usize, usize)>);
+
+/// Parses an `OP_BATCH`-shaped body — optionally prefixed by the
+/// `u32 deadline_ms` of the deadline opcodes.
+fn parse_batch_body(body: &[u8], with_deadline: bool) -> io::Result<ParsedBatch> {
+    let mut reader = PayloadReader::new(body);
+    let deadline_ms = if with_deadline { reader.u32()? } else { 0 };
+    let count = reader.u32()? as usize;
+    let header = if with_deadline { 8 } else { 4 };
+    if body.len() < header || count * 16 != body.len() - header {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "batch count disagrees with payload size",
+        ));
+    }
+    let mut pairs = Vec::with_capacity(count);
+    for _ in 0..count {
+        pairs.push((reader.u64()? as usize, reader.u64()? as usize));
+    }
+    reader.finish()?;
+    let deadline = (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
+    Ok((deadline, pairs))
+}
+
+/// Answers an all-or-nothing batch under a cancellation token. Outside
+/// brownout this is the plain `OP_BATCH_OK`-or-abort path; under brownout
+/// the batch runs in partial mode instead, so answers computed before
+/// pressure (or the deadline) cut it short still ship — a complete run
+/// still encodes as `OP_BATCH_OK`, bit-identical to the normal path.
+fn answer_batch(
+    writer: &mut impl Write,
+    shared: &Shared,
+    started: Instant,
+    batch: &QueryBatch,
+    cancel: &Arc<CancelToken>,
+) -> io::Result<()> {
+    let epoch = shared.current_epoch();
+    if shared.brownout_active.load(Ordering::Relaxed) {
+        return match epoch.engine.execute_partial_with_cancel(batch, cancel) {
+            Ok(result) => {
+                note_partial_outcome(shared, &result);
+                if result.is_complete() {
+                    let mut out = Vec::with_capacity(5 + result.statuses.len() * 8);
+                    out.push(OP_BATCH_OK);
+                    out.extend_from_slice(&(result.statuses.len() as u32).to_le_bytes());
+                    for status in &result.statuses {
+                        let value = status.as_ref().copied().unwrap_or(0.0);
+                        out.extend_from_slice(&value.to_le_bytes());
+                    }
+                    write_frame(writer, &out)?;
+                } else {
+                    write_partial_batch(writer, shared, &result)?;
+                }
+                shared.latency.record(started.elapsed());
+                Ok(())
+            }
+            Err(e) => {
+                note_batch_error(shared, &e, batch.len() as u64);
+                write_engine_error(writer, shared, &e)
+            }
+        };
+    }
+    match epoch.engine.execute_with_cancel(batch, cancel) {
+        Ok(result) => {
+            shared.note_batch_outcome(false);
+            let mut out = Vec::with_capacity(5 + result.values.len() * 8);
+            out.push(OP_BATCH_OK);
+            out.extend_from_slice(&(result.values.len() as u32).to_le_bytes());
+            for value in &result.values {
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            write_frame(writer, &out)?;
+            shared.latency.record(started.elapsed());
+            Ok(())
+        }
+        Err(abort) => {
+            note_batch_error(shared, &abort.error, abort.abandoned_pairs);
+            write_engine_error(writer, shared, &abort.error)
+        }
+    }
+}
+
+/// Answers a partial-mode batch under a cancellation token.
+fn answer_batch_partial(
+    writer: &mut impl Write,
+    shared: &Shared,
+    started: Instant,
+    batch: &QueryBatch,
+    cancel: &Arc<CancelToken>,
+) -> io::Result<()> {
+    match shared
+        .current_epoch()
+        .engine
+        .execute_partial_with_cancel(batch, cancel)
+    {
+        Ok(result) => {
+            note_partial_outcome(shared, &result);
+            write_partial_batch(writer, shared, &result)?;
+            shared.latency.record(started.elapsed());
+            Ok(())
+        }
+        Err(e) => {
+            note_batch_error(shared, &e, batch.len() as u64);
+            write_engine_error(writer, shared, &e)
+        }
+    }
+}
+
+/// Books a whole-batch failure: cancellations land in the lifecycle
+/// counters, and sheds or deadline misses feed the brownout pressure EWMA
+/// (a disconnect says nothing about server pressure, so it does not).
+fn note_batch_error(shared: &Shared, error: &EffresError, abandoned: u64) {
+    match error {
+        EffresError::DeadlineExceeded { reason } => {
+            shared.note_cancellation(*reason, abandoned);
+            if !matches!(reason, CancelReason::Disconnected) {
+                shared.note_batch_outcome(true);
+            }
+        }
+        EffresError::Busy { .. } => shared.note_batch_outcome(true),
+        _ => {}
+    }
+}
+
+/// Books a partial batch's outcome: an abandoned tail counts as one
+/// cancellation (with its cause and pair count), and the brownout EWMA
+/// samples shed/miss pressure exactly as the all-or-nothing path does.
+fn note_partial_outcome(shared: &Shared, result: &PartialBatchResult) {
+    let abandoned = result.abandoned_pairs();
+    if abandoned > 0 {
+        let reason = result
+            .statuses
+            .iter()
+            .find_map(|status| match status {
+                Err(EffresError::DeadlineExceeded { reason }) => Some(*reason),
+                _ => None,
+            })
+            .expect("abandoned pairs carry DeadlineExceeded statuses");
+        shared.note_cancellation(reason, abandoned);
+        shared.note_batch_outcome(!matches!(reason, CancelReason::Disconnected));
+    } else {
+        let shed = result
+            .statuses
+            .iter()
+            .any(|status| matches!(status, Err(EffresError::Busy { .. })));
+        shared.note_batch_outcome(shed);
+    }
+}
+
 fn write_error(writer: &mut impl Write, message: &str) -> io::Result<()> {
     let mut out = Vec::with_capacity(1 + message.len());
     out.push(OP_ERROR);
@@ -875,9 +1212,18 @@ fn write_busy(writer: &mut impl Write, message: &str) -> io::Result<()> {
     write_frame(writer, &out)
 }
 
+fn write_deadline(writer: &mut impl Write, message: &str) -> io::Result<()> {
+    let mut out = Vec::with_capacity(1 + message.len());
+    out.push(OP_DEADLINE);
+    out.extend_from_slice(message.as_bytes());
+    write_frame(writer, &out)
+}
+
 /// Maps a typed engine failure onto the wire: overload draws [`OP_BUSY`]
-/// (the request was fine; back off), everything else [`OP_ERROR`]. Counts
-/// the per-cause statistic either way.
+/// (the request was fine; back off), a cancelled request [`OP_DEADLINE`]
+/// (retrying as-is is pointless), everything else [`OP_ERROR`]. Counts the
+/// per-cause statistic either way (cancellation counters are booked by the
+/// batch paths, which know the abandoned-pair count).
 fn write_engine_error(
     writer: &mut impl Write,
     shared: &Shared,
@@ -888,6 +1234,7 @@ fn write_engine_error(
             shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
             write_busy(writer, &error.to_string())
         }
+        EffresError::DeadlineExceeded { .. } => write_deadline(writer, &error.to_string()),
         EffresError::StoreFailure { .. } => {
             shared.store_failures.fetch_add(1, Ordering::Relaxed);
             write_error(writer, &error.to_string())
@@ -903,6 +1250,7 @@ fn partial_status(status: &Result<f64, EffresError>) -> u8 {
         Err(EffresError::StoreFailure { .. }) => STATUS_STORE_FAILURE,
         Err(EffresError::NodeOutOfBounds { .. }) => STATUS_OUT_OF_BOUNDS,
         Err(EffresError::Busy { .. }) => STATUS_BUSY,
+        Err(EffresError::DeadlineExceeded { .. }) => STATUS_DEADLINE,
         Err(_) => STATUS_OTHER,
     }
 }
@@ -1032,6 +1380,20 @@ fn stats_json(shared: &Shared) -> String {
     .expect("write to string");
     write!(
         out,
+        "\"lifecycle\":{{\"cancelled_batches\":{},\"deadline_exceeded\":{},\
+         \"disconnect_cancels\":{},\"abandoned_pairs\":{},\"brownout_entries\":{},\
+         \"brownout_exits\":{},\"brownout_active\":{}}},",
+        shared.cancelled_batches.load(Ordering::Relaxed),
+        shared.deadline_exceeded.load(Ordering::Relaxed),
+        shared.disconnect_cancels.load(Ordering::Relaxed),
+        shared.abandoned_pairs.load(Ordering::Relaxed),
+        shared.brownout_entries.load(Ordering::Relaxed),
+        shared.brownout_exits.load(Ordering::Relaxed),
+        shared.brownout_active.load(Ordering::Relaxed),
+    )
+    .expect("write to string");
+    write!(
+        out,
         "\"service\":{{\"queries\":{},\"batches\":{},\"pair_cache_hits\":{},\
          \"pair_cache_misses\":{},\"pair_cache_entries\":{},\"pair_cache_capacity\":{},\
          \"page_cache_hits\":{},\"page_cache_misses\":{},\"page_bytes_read\":{},\
@@ -1054,8 +1416,15 @@ fn stats_json(shared: &Shared) -> String {
         Some(a) => write!(
             out,
             "\"admission\":{{\"budget\":{},\"available\":{},\"waiting\":{},\"leases\":{},\
-             \"queued\":{},\"shed_queue_full\":{},\"shed_timeout\":{}}},",
-            a.budget, a.available, a.waiting, a.leases, a.queued, a.shed_queue_full, a.shed_timeout
+             \"queued\":{},\"shed_queue_full\":{},\"shed_timeout\":{},\"shed_doomed\":{}}},",
+            a.budget,
+            a.available,
+            a.waiting,
+            a.leases,
+            a.queued,
+            a.shed_queue_full,
+            a.shed_timeout,
+            a.shed_doomed
         )
         .expect("write to string"),
         None => out.push_str("\"admission\":null,"),

@@ -31,7 +31,7 @@
 //! ([`pinned_pages_high_water`](effres_io::PagedColumnStore::pinned_pages_high_water)),
 //! which the over-pin regression test asserts against.
 
-use effres::{BusyReason, EffresError};
+use effres::{BusyReason, CancelReason, EffresError};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -53,6 +53,10 @@ pub struct AdmissionStats {
     pub shed_queue_full: u64,
     /// Bounded requests that timed out waiting for capacity.
     pub shed_timeout: u64,
+    /// Deadlined requests rejected up front because their deadline was
+    /// closer than the estimated service time (see
+    /// [`AdmissionLedger::admit_by_deadline`]).
+    pub shed_doomed: u64,
 }
 
 #[derive(Debug)]
@@ -65,6 +69,7 @@ struct LedgerState {
     queued: u64,
     shed_queue_full: u64,
     shed_timeout: u64,
+    shed_doomed: u64,
 }
 
 /// A FIFO budget ledger concurrent batch executions lease page-pin capacity
@@ -89,6 +94,7 @@ impl AdmissionLedger {
                 queued: 0,
                 shed_queue_full: 0,
                 shed_timeout: 0,
+                shed_doomed: 0,
             }),
             freed: Condvar::new(),
             budget,
@@ -111,7 +117,35 @@ impl AdmissionLedger {
             queued: state.queued,
             shed_queue_full: state.shed_queue_full,
             shed_timeout: state.shed_timeout,
+            shed_doomed: state.shed_doomed,
         }
+    }
+
+    /// Rejects a request whose deadline cannot be met: if now plus the
+    /// `estimated` service time overshoots `deadline`, the request is
+    /// *doomed* — running it could only burn capacity that live requests
+    /// need — so it is shed up front with a typed
+    /// [`EffresError::DeadlineExceeded`] without ever touching the queue
+    /// (no slot consumed, FIFO order of real waiters untouched). Counted in
+    /// [`AdmissionStats::shed_doomed`].
+    ///
+    /// The check is advisory by design: callers only invoke it when a
+    /// service-time estimate exists (see
+    /// [`ServiceTimeEwma`](crate::metrics::ServiceTimeEwma)), so a cold
+    /// server never sheds on a guess.
+    pub fn admit_by_deadline(
+        &self,
+        estimated: Duration,
+        deadline: Instant,
+    ) -> Result<(), EffresError> {
+        if Instant::now() + estimated <= deadline {
+            return Ok(());
+        }
+        let mut state = self.state.lock().expect("admission ledger lock poisoned");
+        state.shed_doomed += 1;
+        Err(EffresError::DeadlineExceeded {
+            reason: CancelReason::Unmeetable,
+        })
     }
 
     /// Leases between `min` and `desired` units, blocking until capacity is
@@ -435,6 +469,60 @@ mod tests {
         assert_eq!(ledger.stats().shed_queue_full, 1);
         // The decision is immediate — the 10s timeout never ran.
         assert_eq!(ledger.stats().waiting, 0);
+    }
+
+    #[test]
+    fn a_doomed_deadline_is_shed_without_consuming_a_queue_slot() {
+        let ledger = Arc::new(AdmissionLedger::new(4));
+        let holder = ledger.lease(2, 4); // budget exhausted
+                                         // Two live requests queue FIFO behind the holder.
+        let first = {
+            let ledger = Arc::clone(&ledger);
+            std::thread::spawn(move || ledger.lease(3, 3).granted())
+        };
+        while ledger.stats().waiting < 1 {
+            std::thread::yield_now();
+        }
+        let second = {
+            let ledger = Arc::clone(&ledger);
+            std::thread::spawn(move || ledger.lease(4, 4).granted())
+        };
+        while ledger.stats().waiting < 2 {
+            std::thread::yield_now();
+        }
+        // A doomed request — estimated service time far beyond its deadline —
+        // is rejected immediately: typed error, no queue slot consumed, even
+        // though the queue-depth bound (1) is already exceeded by the live
+        // waiters. A `lease_within` with the same bound would have shed them.
+        let doomed = ledger.admit_by_deadline(
+            Duration::from_secs(60),
+            Instant::now() + Duration::from_millis(1),
+        );
+        assert_eq!(
+            doomed.unwrap_err(),
+            EffresError::DeadlineExceeded {
+                reason: CancelReason::Unmeetable
+            }
+        );
+        let stats = ledger.stats();
+        assert_eq!(stats.shed_doomed, 1);
+        assert_eq!(stats.waiting, 2, "doomed request never queued");
+        // A meetable deadline sails through without queueing either.
+        ledger
+            .admit_by_deadline(
+                Duration::from_millis(1),
+                Instant::now() + Duration::from_secs(60),
+            )
+            .expect("meetable deadline admitted");
+        assert_eq!(ledger.stats().waiting, 2);
+        // FIFO for the live waiters is preserved: when the holder releases,
+        // the first request is granted (3 of 4), and the second — whose min
+        // of 4 cannot be met while the first holds 3 — only after it.
+        drop(holder);
+        assert_eq!(first.join().expect("first waiter"), 3);
+        assert_eq!(second.join().expect("second waiter"), 4);
+        assert_eq!(ledger.stats().available, 4);
+        assert_eq!(ledger.stats().shed_doomed, 1);
     }
 
     #[test]

@@ -61,6 +61,20 @@ impl QueryBatch {
     pub fn is_empty(&self) -> bool {
         self.pairs.is_empty()
     }
+
+    /// Number of *distinct* non-trivial queries: unique unordered pairs with
+    /// `p != q`. Self-pairs short-circuit to `0.0` and duplicates are result
+    /// cache hits, so this is the tighter (optimistic) work bound the
+    /// deadline admission gate multiplies by the per-pair service-time EWMA
+    /// — an optimistic bound only ever sheds *less*, never a meetable
+    /// request.
+    pub fn distinct_len(&self) -> usize {
+        let mut seen = std::collections::HashSet::with_capacity(self.pairs.len());
+        self.pairs
+            .iter()
+            .filter(|&&(p, q)| p != q && seen.insert((p.min(q), p.max(q))))
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -76,6 +90,13 @@ mod tests {
         let c = QueryBatch::random(1000, 37, 8);
         assert_ne!(a, c);
         assert_eq!(QueryBatch::random(0, 0, 1).len(), 0);
+    }
+
+    #[test]
+    fn distinct_len_ignores_self_pairs_duplicates_and_orientation() {
+        let batch = QueryBatch::from_pairs(vec![(0, 1), (1, 0), (2, 2), (0, 1), (3, 4)]);
+        assert_eq!(batch.distinct_len(), 2);
+        assert_eq!(QueryBatch::default().distinct_len(), 0);
     }
 
     #[test]

@@ -26,10 +26,12 @@ use crate::admission::{AdmissionLedger, AdmissionStats};
 use crate::backend::ResistanceBackend;
 use crate::batch::QueryBatch;
 use crate::cache::ShardedLru;
+use crate::cancel::CancelToken;
+use crate::metrics::ServiceTimeEwma;
 use effres::column_store::{self, ColumnStore, HubScratch, KernelStats};
-use effres::{EffectiveResistanceEstimator, EffresError, WorkerPool};
+use effres::{CancelReason, EffectiveResistanceEstimator, EffresError, WorkerPool};
 use effres_io::PageCacheStats;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -205,6 +207,43 @@ impl BatchResult {
     }
 }
 
+/// Why an all-or-nothing batch with a cancellation token produced no
+/// [`BatchResult`], and how much of it never ran — the error type of the
+/// `_with_cancel` execution paths.
+///
+/// `abandoned_pairs` is the reclamation receipt: queries the engine *skipped*
+/// because the token tripped (or the whole batch, when admission judged the
+/// deadline unmeetable up front). It is zero for ordinary failures
+/// (validation, store faults, admission `Busy`) — those batches failed, they
+/// were not abandoned.
+#[derive(Debug, Clone)]
+pub struct BatchAbort {
+    /// The typed error that ended the batch (for cancellation,
+    /// [`EffresError::DeadlineExceeded`] carrying the [`CancelReason`]).
+    pub error: EffresError,
+    /// Queries the engine never ran because the batch was cancelled.
+    pub abandoned_pairs: u64,
+}
+
+impl std::fmt::Display for BatchAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} pairs abandoned)",
+            self.error, self.abandoned_pairs
+        )
+    }
+}
+
+impl From<EffresError> for BatchAbort {
+    fn from(error: EffresError) -> Self {
+        BatchAbort {
+            error,
+            abandoned_pairs: 0,
+        }
+    }
+}
+
 /// Result of one batch executed in **partial-results mode**
 /// ([`QueryEngine::execute_partial`],
 /// `QueryEngine::<PagedSnapshot>::execute_scheduled_partial`): instead of
@@ -246,6 +285,16 @@ impl PartialBatchResult {
     /// `true` when every query succeeded.
     pub fn is_complete(&self) -> bool {
         self.statuses.iter().all(Result::is_ok)
+    }
+
+    /// Queries this batch never ran because its cancellation token tripped
+    /// (statuses carrying [`EffresError::DeadlineExceeded`]) — the work the
+    /// lifecycle layer reclaimed for live requests.
+    pub fn abandoned_pairs(&self) -> u64 {
+        self.statuses
+            .iter()
+            .filter(|s| matches!(s, Err(EffresError::DeadlineExceeded { .. })))
+            .count() as u64
     }
 }
 
@@ -350,6 +399,13 @@ pub struct QueryEngine<B: ResistanceBackend = EffectiveResistanceEstimator> {
     /// Service counters drained by [`QueryEngine::take_service_stats`], so
     /// cumulative [`QueryEngine::stats`] survive the per-interval resets.
     drained_service_stats: Mutex<ServiceStats>,
+    /// Smoothed per-pair service time of completed batches, feeding the
+    /// doomed-deadline check of the `_with_cancel` paths.
+    pub(crate) service_time: ServiceTimeEwma,
+    /// Brownout flag (set by the server's overload controller): while on,
+    /// the locality scheduler trims its readahead windows to the minimum so
+    /// a pressured cache stops speculating.
+    brownout: AtomicBool,
 }
 
 impl QueryEngine {
@@ -398,7 +454,25 @@ impl<B: ResistanceBackend> QueryEngine<B> {
             cache_misses: AtomicU64::new(0),
             drained_page_stats: Mutex::new(PageCacheStats::default()),
             drained_service_stats: Mutex::new(ServiceStats::default()),
+            service_time: ServiceTimeEwma::new(),
+            brownout: AtomicBool::new(false),
         }
+    }
+
+    /// The smoothed per-pair service time of completed batches (the figure
+    /// the doomed-deadline admission check divides deadlines by).
+    pub fn service_time(&self) -> &ServiceTimeEwma {
+        &self.service_time
+    }
+
+    /// Flips brownout mode (see the field docs); idempotent.
+    pub fn set_brownout(&self, on: bool) {
+        self.brownout.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the engine is currently in brownout mode.
+    pub fn brownout_active(&self) -> bool {
+        self.brownout.load(Ordering::Relaxed)
     }
 
     /// The shared backend.
@@ -610,6 +684,7 @@ impl<B: ResistanceBackend> QueryEngine<B> {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.cache_hits.fetch_add(hits, Ordering::Relaxed);
         self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+        self.service_time.record(batch.len(), elapsed);
         Ok(BatchResult {
             values,
             elapsed,
@@ -634,11 +709,117 @@ impl<B: ResistanceBackend> QueryEngine<B> {
     /// degrades the answers that touch it instead of killing 20k-query
     /// batches wholesale.
     pub fn execute_partial(&self, batch: &QueryBatch) -> PartialBatchResult {
+        self.execute_partial_inner(batch, None)
+    }
+
+    /// [`QueryEngine::execute`] with a cancellation token: the run checks
+    /// `cancel` at every chunk boundary (between pairs of a job slice, never
+    /// mid-kernel) and stops as soon as it trips, releasing scratch and page
+    /// budget with the abandoned tail. On cancellation the whole batch
+    /// reports as a [`BatchAbort`] carrying the [`CancelReason`] and how many
+    /// pairs never ran; answers produced before the trip went through exactly
+    /// the kernel calls a completed run would have made, they are just not
+    /// returned (the all-or-nothing contract — use
+    /// [`execute_partial_with_cancel`](Self::execute_partial_with_cancel) to
+    /// keep the prefix).
+    ///
+    /// When the token carries a deadline and the engine has a service-time
+    /// estimate, a *doomed* batch — estimated time already past the deadline
+    /// — is rejected up front ([`CancelReason::Unmeetable`]) without touching
+    /// the admission queue.
+    pub fn execute_with_cancel(
+        &self,
+        batch: &QueryBatch,
+        cancel: &Arc<CancelToken>,
+    ) -> Result<BatchResult, BatchAbort> {
+        let n = self.core.backend.node_count();
+        for &(p, q) in batch.pairs() {
+            if p >= n || q >= n {
+                return Err(BatchAbort::from(EffresError::NodeOutOfBounds {
+                    node: p.max(q),
+                    node_count: n,
+                }));
+            }
+        }
+        if let Err(error) = self.admit_deadline(batch, cancel) {
+            return Err(BatchAbort {
+                error,
+                abandoned_pairs: batch.len() as u64,
+            });
+        }
+        let threads = self.effective_threads(batch.len());
+        self.begin_page_window();
+        let start = Instant::now();
+        let run = self.run_parallel_statuses(batch.pairs(), threads, true, Some(cancel));
+        let elapsed = start.elapsed();
+        let (statuses, hits, misses, kernel) = match run {
+            Ok(out) => out,
+            Err(error) => {
+                self.end_page_window();
+                return Err(BatchAbort::from(error));
+            }
+        };
+        // In fail-fast mode a non-cancellation failure aborted above, so any
+        // `Err` statuses here are the cancelled tail.
+        let abandoned = statuses.iter().filter(|s| s.is_err()).count() as u64;
+        self.queries
+            .fetch_add(batch.len() as u64 - abandoned, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+        if abandoned > 0 {
+            self.end_page_window();
+            let error = statuses
+                .into_iter()
+                .find_map(Result::err)
+                .expect("an abandoned batch has an Err status");
+            return Err(BatchAbort {
+                error,
+                abandoned_pairs: abandoned,
+            });
+        }
+        self.service_time.record(batch.len(), elapsed);
+        Ok(BatchResult {
+            values: statuses
+                .into_iter()
+                .map(|s| s.expect("no Err statuses survive the abandoned check"))
+                .collect(),
+            elapsed,
+            threads,
+            cache_hits: hits,
+            cache_misses: misses,
+            page_cache: self.end_page_window(),
+            kernel,
+            schedule: None,
+        })
+    }
+
+    /// [`QueryEngine::execute_partial`] with a cancellation token: when the
+    /// token trips mid-batch, queries answered before the trip keep their
+    /// (bit-identical) values and the abandoned tail carries
+    /// [`EffresError::DeadlineExceeded`] statuses — count them with
+    /// [`PartialBatchResult::abandoned_pairs`]. A batch judged doomed up
+    /// front (deadline closer than the estimated service time) is rejected
+    /// as a whole with `Err`.
+    pub fn execute_partial_with_cancel(
+        &self,
+        batch: &QueryBatch,
+        cancel: &Arc<CancelToken>,
+    ) -> Result<PartialBatchResult, EffresError> {
+        self.admit_deadline(batch, cancel)?;
+        Ok(self.execute_partial_inner(batch, Some(cancel)))
+    }
+
+    fn execute_partial_inner(
+        &self,
+        batch: &QueryBatch,
+        cancel: Option<&Arc<CancelToken>>,
+    ) -> PartialBatchResult {
         let threads = self.effective_threads(batch.len());
         self.begin_page_window();
         let start = Instant::now();
         let (statuses, hits, misses, kernel) = self
-            .run_parallel_statuses(batch.pairs(), threads, false)
+            .run_parallel_statuses(batch.pairs(), threads, false, cancel)
             .expect("partial-mode run never aborts");
         let elapsed = start.elapsed();
         self.queries
@@ -646,7 +827,7 @@ impl<B: ResistanceBackend> QueryEngine<B> {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.cache_hits.fetch_add(hits, Ordering::Relaxed);
         self.cache_misses.fetch_add(misses, Ordering::Relaxed);
-        PartialBatchResult {
+        let result = PartialBatchResult {
             statuses,
             elapsed,
             threads,
@@ -655,6 +836,42 @@ impl<B: ResistanceBackend> QueryEngine<B> {
             page_cache: self.end_page_window(),
             kernel,
             schedule: None,
+        };
+        if result.is_complete() {
+            self.service_time.record(batch.len(), elapsed);
+        }
+        result
+    }
+
+    /// The doomed-deadline gate of every `_with_cancel` path: an
+    /// already-tripped token fails immediately, and a deadline the
+    /// service-time EWMA says cannot be met is shed up front
+    /// ([`CancelReason::Unmeetable`]) — through the admission ledger when the
+    /// backend has one (so the shed is counted in
+    /// [`AdmissionStats::shed_doomed`]), directly otherwise. With no
+    /// estimate yet (cold engine) every deadline is admitted: the gate only
+    /// sheds on evidence.
+    pub(crate) fn admit_deadline(
+        &self,
+        batch: &QueryBatch,
+        cancel: &CancelToken,
+    ) -> Result<(), EffresError> {
+        cancel.check()?;
+        let Some(deadline) = cancel.deadline() else {
+            return Ok(());
+        };
+        // `distinct_len` is the tighter work bound (duplicates are cache
+        // hits, self-pairs short-circuit), and only deadline-carrying
+        // requests pay for computing it.
+        let Some(estimated) = self.service_time.estimate(batch.distinct_len()) else {
+            return Ok(());
+        };
+        match &self.core.admission {
+            Some(ledger) => ledger.admit_by_deadline(estimated, deadline),
+            None if Instant::now() + estimated > deadline => Err(EffresError::DeadlineExceeded {
+                reason: CancelReason::Unmeetable,
+            }),
+            None => Ok(()),
         }
     }
 
@@ -681,7 +898,8 @@ impl<B: ResistanceBackend> QueryEngine<B> {
         pairs: &[(usize, usize)],
         threads: usize,
     ) -> Result<(Vec<f64>, u64, u64, KernelStats), EffresError> {
-        let (statuses, hits, misses, kernel) = self.run_parallel_statuses(pairs, threads, true)?;
+        let (statuses, hits, misses, kernel) =
+            self.run_parallel_statuses(pairs, threads, true, None)?;
         let values = statuses
             .into_iter()
             .map(|s| s.expect("fail-fast parallel run aborts on the first error"))
@@ -701,6 +919,7 @@ impl<B: ResistanceBackend> QueryEngine<B> {
         pairs: &[(usize, usize)],
         threads: usize,
         fail_fast: bool,
+        cancel: Option<&Arc<CancelToken>>,
     ) -> Result<(Vec<Result<f64, EffresError>>, u64, u64, KernelStats), EffresError> {
         // Sort query indices by **permuted** normalized pair so queries
         // sharing a permuted endpoint land in the same chunk and reuse the
@@ -729,9 +948,12 @@ impl<B: ResistanceBackend> QueryEngine<B> {
 
         let results = if threads <= 1 {
             let mut scratch = self.core.take_scratch(0);
-            let out = self
-                .core
-                .run_slice_statuses(&sorted_pairs, &mut scratch, fail_fast);
+            let out = self.core.run_slice_statuses(
+                &sorted_pairs,
+                &mut scratch,
+                fail_fast,
+                cancel.map(Arc::as_ref),
+            );
             self.core.return_scratch(0, scratch);
             vec![out]
         } else {
@@ -748,10 +970,15 @@ impl<B: ResistanceBackend> QueryEngine<B> {
                     let hi = (lo + chunk_len).min(sorted_pairs.len());
                     let core = Arc::clone(&self.core);
                     let sorted_pairs = Arc::clone(&sorted_pairs);
+                    let cancel = cancel.map(Arc::clone);
                     move || {
                         let mut scratch = core.take_scratch(job);
-                        let out =
-                            core.run_slice_statuses(&sorted_pairs[lo..hi], &mut scratch, fail_fast);
+                        let out = core.run_slice_statuses(
+                            &sorted_pairs[lo..hi],
+                            &mut scratch,
+                            fail_fast,
+                            cancel.as_deref(),
+                        );
                         core.return_scratch(job, scratch);
                         out
                     }
@@ -796,12 +1023,21 @@ impl<B: ResistanceBackend> EngineCore<B> {
     /// mode and of failures elsewhere in the slice (a failed scratch load
     /// leaves the scratch empty, which only means the next run re-scatters —
     /// same arithmetic).
+    ///
+    /// A `cancel` token is checked **between pairs, never mid-kernel**: when
+    /// it trips, the pair about to run and everything after it get
+    /// [`EffresError::DeadlineExceeded`] statuses and the slice stops — in
+    /// *both* modes (cancellation is stop-and-report, not a fault, so even
+    /// fail-fast slices return `Ok` and let the caller account the
+    /// abandoned tail). Answers produced before the trip are untouched,
+    /// which keeps them bit-identical to an uncancelled run.
     #[allow(clippy::type_complexity)]
     fn run_slice_statuses(
         &self,
         pairs: &[(usize, usize)],
         scratch: &mut HubScratch,
         fail_fast: bool,
+        cancel: Option<&CancelToken>,
     ) -> Result<(Vec<Result<f64, EffresError>>, u64, u64, KernelStats), EffresError> {
         let mut statuses = Vec::with_capacity(pairs.len());
         let mut hits = 0u64;
@@ -810,6 +1046,12 @@ impl<B: ResistanceBackend> EngineCore<B> {
         let store = self.backend.store();
         let permutation = self.backend.permutation();
         for (slot, &(p, q)) in pairs.iter().enumerate() {
+            if let Some(reason) = cancel.and_then(CancelToken::cancelled) {
+                statuses.extend(
+                    (slot..pairs.len()).map(|_| Err(EffresError::DeadlineExceeded { reason })),
+                );
+                break;
+            }
             if p >= n || q >= n {
                 let err = EffresError::NodeOutOfBounds {
                     node: p.max(q),
@@ -1042,6 +1284,164 @@ mod tests {
         scratch.load(store, 3).expect("resident reload");
         let again = scratch.suffix_dot(store, 5).expect("resident dot");
         assert_eq!(reference.to_bits(), again.to_bits());
+    }
+
+    #[test]
+    fn pair_value_clamps_negative_cancellation_to_zero() {
+        // Pins the clamp in `pair_value` and `run_slice_statuses`:
+        // floating-point cancellation in ‖z̃_p‖² + ‖z̃_q‖² − 2⟨z̃_p, z̃_q⟩ can
+        // go slightly negative for near-identical columns, and resistances
+        // are nonnegative, so the engine must return exactly 0.0 — never a
+        // negative value. Drive the identity negative deterministically with
+        // a norm table that understates the true norms.
+        let engine = engine_for(64, EngineOptions::default());
+        let estimator = Arc::clone(engine.estimator());
+        let store = estimator.approximate_inverse();
+        let permutation = estimator.permutation();
+        let n = store.order();
+        let (a, b, pp, qq, dot) = (0..n)
+            .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+            .find_map(|(a, b)| {
+                let (pp, qq) = (permutation.new(a), permutation.new(b));
+                let dot = column_store::column_dot(store, pp, qq).expect("resident dot");
+                (dot > 0.0).then_some((a, b, pp, qq, dot))
+            })
+            .expect("some pair of columns overlaps");
+        let mut norms = vec![1.0; n];
+        norms[pp] = 0.9 * dot;
+        norms[qq] = 0.9 * dot;
+        let unclamped = norms[pp] + norms[qq] - 2.0 * dot;
+        assert!(
+            unclamped < 0.0,
+            "identity must evaluate negative: {unclamped}"
+        );
+        let core = EngineCore {
+            backend: Arc::clone(&estimator),
+            norms: Some(Arc::new(norms)),
+            cache: None,
+            admission: None,
+            scratches: std::array::from_fn(|_| Mutex::new(Vec::new())),
+        };
+        let value = core.pair_value(pp, qq).expect("pair value");
+        assert_eq!(value, 0.0, "clamped exactly to zero, not {unclamped}");
+        // The batch kernel path applies the same clamp.
+        let mut scratch = HubScratch::new(n);
+        let (statuses, _, _, _) = core
+            .run_slice_statuses(&[(a, b)], &mut scratch, true, None)
+            .expect("slice");
+        assert_eq!(*statuses[0].as_ref().expect("status"), 0.0);
+    }
+
+    #[test]
+    fn a_pretripped_token_abandons_the_whole_batch() {
+        let engine = engine_for(64, EngineOptions::default());
+        let batch = QueryBatch::random(100, engine.node_count(), 5);
+        let cancel = Arc::new(CancelToken::unbounded());
+        cancel.cancel(CancelReason::Disconnected);
+        let before = engine.stats();
+        let abort = engine.execute_with_cancel(&batch, &cancel).unwrap_err();
+        assert_eq!(
+            abort.error,
+            EffresError::DeadlineExceeded {
+                reason: CancelReason::Disconnected
+            }
+        );
+        assert_eq!(abort.abandoned_pairs, batch.len() as u64);
+        assert_eq!(engine.stats().queries, before.queries, "no query ran");
+    }
+
+    #[test]
+    fn an_untripped_token_changes_nothing() {
+        let engine = engine_for(
+            400,
+            EngineOptions {
+                parallel_threshold: 8,
+                threads: 4,
+                cache_capacity: 0,
+                ..EngineOptions::default()
+            },
+        );
+        let batch = QueryBatch::random(3000, engine.node_count(), 13);
+        let reference = engine.execute(&batch).expect("reference");
+        let cancel = Arc::new(CancelToken::after(Duration::from_secs(3600)));
+        let result = engine
+            .execute_with_cancel(&batch, &cancel)
+            .expect("nowhere near the deadline");
+        assert_eq!(result.values.len(), reference.values.len());
+        for (value, reference) in result.values.iter().zip(&reference.values) {
+            assert_eq!(value.to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn cancellation_keeps_completed_answers_bit_identical() {
+        let engine = engine_for(
+            400,
+            EngineOptions {
+                parallel_threshold: 8,
+                threads: 4,
+                cache_capacity: 0,
+                ..EngineOptions::default()
+            },
+        );
+        let batch = QueryBatch::random(20_000, engine.node_count(), 11);
+        let reference = engine.execute(&batch).expect("reference").values;
+        let cancel = Arc::new(CancelToken::unbounded());
+        let canceller = {
+            let cancel = Arc::clone(&cancel);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_micros(300));
+                cancel.cancel(CancelReason::Disconnected);
+            })
+        };
+        let outcome = engine.execute_partial_with_cancel(&batch, &cancel);
+        canceller.join().expect("canceller");
+        match outcome {
+            Ok(result) => {
+                // Whatever the race decided, every completed answer is
+                // bit-identical to the solo run and the abandoned tail is
+                // typed and fully accounted.
+                let mut completed = 0u64;
+                for (status, reference) in result.statuses.iter().zip(&reference) {
+                    match status {
+                        Ok(value) => {
+                            completed += 1;
+                            assert_eq!(value.to_bits(), reference.to_bits());
+                        }
+                        Err(EffresError::DeadlineExceeded { reason }) => {
+                            assert_eq!(*reason, CancelReason::Disconnected);
+                        }
+                        Err(other) => panic!("unexpected status: {other}"),
+                    }
+                }
+                assert_eq!(completed + result.abandoned_pairs(), batch.len() as u64);
+            }
+            // The canceller won the race to admission: nothing ran at all.
+            Err(EffresError::DeadlineExceeded { .. }) => {}
+            Err(other) => panic!("unexpected batch error: {other}"),
+        }
+    }
+
+    #[test]
+    fn a_doomed_deadline_is_rejected_up_front() {
+        let engine = engine_for(100, EngineOptions::default());
+        // Teach the service-time estimator that pairs are outrageously slow
+        // (one second each), so a 100-pair batch estimates at 100 s — far
+        // beyond a 5 s deadline that itself has no chance of expiring
+        // spuriously before admission runs. Deterministic either way.
+        engine.service_time().record(1, Duration::from_secs(1));
+        let batch = QueryBatch::random(100, engine.node_count(), 8);
+        let before = engine.stats();
+        let cancel = Arc::new(CancelToken::after(Duration::from_secs(5)));
+        let abort = engine.execute_with_cancel(&batch, &cancel).unwrap_err();
+        assert_eq!(
+            abort.error,
+            EffresError::DeadlineExceeded {
+                reason: CancelReason::Unmeetable
+            }
+        );
+        assert_eq!(abort.abandoned_pairs, batch.len() as u64);
+        assert_eq!(engine.stats().queries, before.queries, "no query ran");
     }
 
     #[test]

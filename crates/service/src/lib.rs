@@ -56,6 +56,7 @@ pub mod admission;
 pub mod backend;
 pub mod batch;
 pub mod cache;
+pub mod cancel;
 pub mod engine;
 pub mod metrics;
 pub mod scheduler;
@@ -64,10 +65,12 @@ pub use admission::{AdmissionLedger, AdmissionStats, PinLease};
 pub use backend::ResistanceBackend;
 pub use batch::QueryBatch;
 pub use cache::ShardedLru;
+pub use cancel::CancelToken;
 pub use engine::{
-    BatchResult, EngineOptions, PartialBatchResult, QueryEngine, ScheduleReport, ServiceStats,
+    BatchAbort, BatchResult, EngineOptions, PartialBatchResult, QueryEngine, ScheduleReport,
+    ServiceStats,
 };
-pub use metrics::{HistogramSnapshot, LatencyHistogram};
+pub use metrics::{HistogramSnapshot, LatencyHistogram, ServiceTimeEwma};
 
 /// Compile-time audit that everything shared across query workers is
 /// `Send + Sync`: the estimator and its constituents are plain owned data
@@ -92,6 +95,8 @@ mod send_sync_audit {
         assert_send_sync::<crate::engine::QueryEngine>();
         assert_send_sync::<crate::batch::QueryBatch>();
         assert_send_sync::<crate::admission::AdmissionLedger>();
+        assert_send_sync::<crate::cancel::CancelToken>();
         assert_send_sync::<crate::metrics::LatencyHistogram>();
+        assert_send_sync::<crate::metrics::ServiceTimeEwma>();
     }
 }

@@ -17,6 +17,75 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Smoothing factor of [`ServiceTimeEwma`]: each new batch contributes 20%
+/// of the estimate, so the figure tracks regime changes (cold vs warm page
+/// cache) within a handful of batches without whipsawing on one outlier.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// An exponentially weighted moving average of per-pair service time, used
+/// by admission control to reject *doomed* requests — ones whose deadline is
+/// closer than the time they would take to serve — before they consume a
+/// queue slot.
+///
+/// The state is a single `f64` (nanoseconds per pair) packed into an
+/// `AtomicU64`, updated with a compare-exchange loop: recording is lock-free
+/// and reading is one relaxed load, so both sit comfortably on the batch
+/// hot path. Zero means "no completed batch yet", in which case
+/// [`estimate`](Self::estimate) returns `None` and admission waves the
+/// request through — the estimator only ever *sheds* on evidence.
+#[derive(Debug, Default)]
+pub struct ServiceTimeEwma {
+    /// `f64` nanos-per-pair as bits; `0` (== `0.0f64.to_bits()`) is "empty".
+    bits: AtomicU64,
+}
+
+impl ServiceTimeEwma {
+    /// An estimator with no samples.
+    pub fn new() -> ServiceTimeEwma {
+        ServiceTimeEwma::default()
+    }
+
+    /// Folds one completed batch (`pairs` queries served in `elapsed`) into
+    /// the average. Batches with zero pairs are ignored.
+    pub fn record(&self, pairs: usize, elapsed: Duration) {
+        if pairs == 0 {
+            return;
+        }
+        let sample = elapsed.as_nanos() as f64 / pairs as f64;
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let old = f64::from_bits(current);
+            let next = if old == 0.0 {
+                sample
+            } else {
+                old + EWMA_ALPHA * (sample - old)
+            };
+            match self.bits.compare_exchange_weak(
+                current,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Smoothed service time per pair; `None` until the first batch lands.
+    pub fn nanos_per_pair(&self) -> Option<f64> {
+        let nanos = f64::from_bits(self.bits.load(Ordering::Relaxed));
+        (nanos > 0.0).then_some(nanos)
+    }
+
+    /// Estimated wall time to serve a batch of `pairs` queries; `None`
+    /// until the first batch lands.
+    pub fn estimate(&self, pairs: usize) -> Option<Duration> {
+        self.nanos_per_pair()
+            .map(|nanos| Duration::from_nanos((nanos * pairs as f64).ceil() as u64))
+    }
+}
+
 /// Linear sub-buckets per octave (and the width of the exact low range).
 pub const SUBBUCKETS: u64 = 32;
 const K: u32 = SUBBUCKETS.trailing_zeros(); // log2(SUBBUCKETS)
@@ -233,6 +302,29 @@ mod tests {
         assert_eq!(snap.count, 0);
         assert_eq!(snap.quantile_micros(0.99), 0);
         assert_eq!(snap.mean_micros(), 0.0);
+    }
+
+    #[test]
+    fn service_time_ewma_starts_empty_and_converges() {
+        let ewma = ServiceTimeEwma::new();
+        assert_eq!(ewma.estimate(100), None);
+        ewma.record(0, Duration::from_secs(1)); // ignored: no pairs
+        assert_eq!(ewma.estimate(100), None);
+        // First sample seeds the average exactly: 1ms / 10 pairs = 100µs.
+        ewma.record(10, Duration::from_millis(1));
+        assert_eq!(ewma.estimate(10), Some(Duration::from_millis(1)));
+        // Repeated identical samples keep it there.
+        for _ in 0..20 {
+            ewma.record(10, Duration::from_millis(1));
+        }
+        assert_eq!(ewma.estimate(10), Some(Duration::from_millis(1)));
+        // A regime change (10× slower) pulls the estimate most of the way
+        // there within a handful of batches.
+        for _ in 0..20 {
+            ewma.record(10, Duration::from_millis(10));
+        }
+        let est = ewma.estimate(10).expect("seeded").as_secs_f64();
+        assert!(est > 0.009 && est < 0.0101, "estimate {est}");
     }
 
     #[test]

@@ -47,12 +47,14 @@
 use crate::admission::PinLease;
 use crate::backend::ResistanceBackend;
 use crate::batch::QueryBatch;
+use crate::cancel::CancelToken;
 use crate::engine::{
-    cache_key, BatchResult, EngineCore, PartialBatchResult, QueryEngine, ScheduleReport,
+    cache_key, BatchAbort, BatchResult, EngineCore, PartialBatchResult, QueryEngine, ScheduleReport,
 };
 use effres::column_store::{self, KernelStats};
 use effres::EffresError;
 use effres_io::{PagedSnapshot, PinnedPages, PinnedReader};
+use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -79,15 +81,46 @@ impl QueryEngine<PagedSnapshot> {
     /// [`EffresError::Busy`] when
     /// [`admission_queue_depth`](crate::engine::EngineOptions::admission_queue_depth)
     /// is configured.
-    fn lease_block(&self, desired: usize) -> Result<Option<PinLease<'_>>, EffresError> {
-        match self.core.admission.as_deref() {
-            None => Ok(None),
-            Some(ledger) => match self.options.admission_queue_depth {
-                None => Ok(Some(ledger.lease(2, desired))),
-                Some(depth) => ledger
-                    .lease_within(2, desired, depth, self.options.admission_timeout)
-                    .map(Some),
-            },
+    /// A cancellation token bounds the wait further: an already-tripped
+    /// token fails before queueing, a deadline caps the lease wait at the
+    /// time actually left, and a wait that runs out the deadline surfaces as
+    /// [`EffresError::DeadlineExceeded`] rather than a retryable `Busy`.
+    fn lease_block(
+        &self,
+        desired: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Option<PinLease<'_>>, EffresError> {
+        if let Some(token) = cancel {
+            token.check()?;
+        }
+        let Some(ledger) = self.core.admission.as_deref() else {
+            return Ok(None);
+        };
+        let remaining = cancel.and_then(CancelToken::remaining);
+        let lease = match (self.options.admission_queue_depth, remaining) {
+            (None, None) => Ok(ledger.lease(2, desired)),
+            (None, Some(remaining)) => ledger.lease_within(2, desired, usize::MAX, remaining),
+            (Some(depth), None) => {
+                ledger.lease_within(2, desired, depth, self.options.admission_timeout)
+            }
+            (Some(depth), Some(remaining)) => ledger.lease_within(
+                2,
+                desired,
+                depth,
+                self.options.admission_timeout.min(remaining),
+            ),
+        };
+        match lease {
+            Ok(lease) => Ok(Some(lease)),
+            Err(err) => {
+                // A lease timeout that coincides with the token's deadline
+                // *is* the deadline: report it as such, not as a retryable
+                // overload shed.
+                if let Some(token) = cancel {
+                    token.check()?;
+                }
+                Err(err)
+            }
         }
     }
 
@@ -103,6 +136,37 @@ impl QueryEngine<PagedSnapshot> {
     /// store failed mid-batch (in which case the batch produced no values),
     /// or [`EffresError::Busy`] if bounded admission shed the batch.
     pub fn execute_scheduled(&self, batch: &QueryBatch) -> Result<BatchResult, EffresError> {
+        self.validate_batch(batch)?;
+        self.execute_scheduled_inner(batch, None)
+            .map_err(|abort| abort.error)
+    }
+
+    /// [`execute_scheduled`](Self::execute_scheduled) with a cancellation
+    /// token, checked at every **block boundary and readahead-wave
+    /// boundary** — the scheduler's natural chunk edges, where the block
+    /// lease, the pinned pages and the window pins all release by RAII, so a
+    /// trip frees page-cache budget for live batches within one chunk and
+    /// never interrupts a kernel (answers already drained went through
+    /// exactly the calls a completed run makes). On cancellation the batch
+    /// reports as a [`BatchAbort`] counting the queries that never drained;
+    /// a deadline the service-time EWMA says cannot be met is shed up front
+    /// through the admission ledger's doomed gate.
+    pub fn execute_scheduled_with_cancel(
+        &self,
+        batch: &QueryBatch,
+        cancel: &Arc<CancelToken>,
+    ) -> Result<BatchResult, BatchAbort> {
+        self.validate_batch(batch)?;
+        if let Err(error) = self.admit_deadline(batch, cancel) {
+            return Err(BatchAbort {
+                error,
+                abandoned_pairs: batch.len() as u64,
+            });
+        }
+        self.execute_scheduled_inner(batch, Some(cancel))
+    }
+
+    fn validate_batch(&self, batch: &QueryBatch) -> Result<(), EffresError> {
         let n = self.core.backend.node_count();
         for &(p, q) in batch.pairs() {
             if p >= n || q >= n {
@@ -112,6 +176,16 @@ impl QueryEngine<PagedSnapshot> {
                 });
             }
         }
+        Ok(())
+    }
+
+    fn execute_scheduled_inner(
+        &self,
+        batch: &QueryBatch,
+        cancel: Option<&Arc<CancelToken>>,
+    ) -> Result<BatchResult, BatchAbort> {
+        let n = self.core.backend.node_count();
+        debug_assert!(batch.pairs().iter().all(|&(p, q)| p < n && q < n));
         self.begin_page_window();
         let start = Instant::now();
 
@@ -187,10 +261,19 @@ impl QueryEngine<PagedSnapshot> {
         // block boundary, so competing traffic interleaves.
         let budget = store.cache_capacity_pages().max(2);
         let threads = self.effective_threads(batch.len()).max(1);
+        // Brownout trims readahead to the single-page minimum: a pressured
+        // cache stops speculating, at the cost of more, smaller reads. The
+        // plan changes shape but the kernels and their inputs do not, so
+        // values stay bit-identical.
+        let brownout = self.brownout_active();
         let window_of = |grant: usize| {
-            match self.options.readahead_pages {
-                0 => (grant / 8).clamp(1, 64),
-                w => w,
+            if brownout {
+                1
+            } else {
+                match self.options.readahead_pages {
+                    0 => (grant / 8).clamp(1, 64),
+                    w => w,
+                }
             }
             .min(grant - 1)
             .max(1)
@@ -214,7 +297,16 @@ impl QueryEngine<PagedSnapshot> {
         let mut kernel = KernelStats::default();
         let mut parallel_fan = 1usize;
         let mut at = 0usize;
-        while at < pending.len() {
+        let total_pending = pending.len();
+        while at < total_pending {
+            // Block boundary: the cheapest place to notice a tripped token —
+            // no lease held, nothing pinned, everything after `at` unread.
+            if let Some(reason) = cancel.and_then(|token| token.cancelled()) {
+                return Err(BatchAbort {
+                    error: EffresError::DeadlineExceeded { reason },
+                    abandoned_pairs: (total_pending - at) as u64,
+                });
+            }
             let desired = if distinct_lo_from[at] >= full_block_cap {
                 budget
             } else {
@@ -224,7 +316,20 @@ impl QueryEngine<PagedSnapshot> {
             // one window page. The lease blocks until capacity is free and
             // returns it when dropped at the end of the block (or sheds
             // with `Busy` under bounded admission).
-            let lease = self.lease_block(desired)?;
+            let lease = match self.lease_block(desired, cancel.map(Arc::as_ref)) {
+                Ok(lease) => lease,
+                Err(error) => {
+                    let abandoned = if matches!(error, EffresError::DeadlineExceeded { .. }) {
+                        (total_pending - at) as u64
+                    } else {
+                        0
+                    };
+                    return Err(BatchAbort {
+                        error,
+                        abandoned_pairs: abandoned,
+                    });
+                }
+            };
             let grant = lease.as_ref().map_or(budget, |l| l.granted());
             // Re-derive the split from the grant. `fan` caps how many
             // windows may be pinned at once so block + concurrent windows
@@ -279,20 +384,33 @@ impl QueryEngine<PagedSnapshot> {
                 // Jobs are submitted in waves of at most `fan`, because the
                 // pin bound is per *concurrent* window — a pool with more
                 // workers than `fan` would otherwise pin every window of the
-                // block at once and blow through the lease.
+                // block at once and blow through the lease. The closures are
+                // built per wave, not up front, so a token that trips
+                // between waves abandons the un-dispatched windows without
+                // ever materializing them.
                 parallel_fan = parallel_fan.max(job_bounds.len().min(fan));
-                let mut jobs: Vec<_> = job_bounds
-                    .into_iter()
-                    .enumerate()
-                    .map(|(job, (pids, lo, hi))| {
-                        let core = Arc::clone(&self.core);
-                        let pinned = Arc::clone(&pinned);
-                        let queries = block[lo..hi].to_vec();
-                        move || drain_window(&core, &pinned, &pids, &queries, job)
-                    })
-                    .collect();
-                while !jobs.is_empty() {
-                    let wave: Vec<_> = jobs.drain(..fan.min(jobs.len())).collect();
+                let mut bounds: VecDeque<(Vec<usize>, usize, usize)> = job_bounds.into();
+                let mut job_index = 0usize;
+                while !bounds.is_empty() {
+                    if let Some(reason) = cancel.and_then(|token| token.cancelled()) {
+                        let undrained: u64 =
+                            bounds.iter().map(|&(_, lo, hi)| (hi - lo) as u64).sum();
+                        return Err(BatchAbort {
+                            error: EffresError::DeadlineExceeded { reason },
+                            abandoned_pairs: undrained + (total_pending - at) as u64,
+                        });
+                    }
+                    let wave: Vec<_> = bounds
+                        .drain(..fan.min(bounds.len()))
+                        .map(|(pids, lo, hi)| {
+                            let job = job_index;
+                            job_index += 1;
+                            let core = Arc::clone(&self.core);
+                            let pinned = Arc::clone(&pinned);
+                            let queries = block[lo..hi].to_vec();
+                            move || drain_window(&core, &pinned, &pids, &queries, job)
+                        })
+                        .collect();
                     for result in self.worker_pool().run(wave) {
                         let (drained, window_kernel) = result?;
                         kernel.merge(window_kernel);
@@ -302,9 +420,19 @@ impl QueryEngine<PagedSnapshot> {
                     }
                 }
             } else {
-                for (pids, lo, hi) in job_bounds {
+                for (index, (pids, lo, hi)) in job_bounds.iter().enumerate() {
+                    if let Some(reason) = cancel.and_then(|token| token.cancelled()) {
+                        let undrained: u64 = job_bounds[index..]
+                            .iter()
+                            .map(|&(_, lo, hi)| (hi - lo) as u64)
+                            .sum();
+                        return Err(BatchAbort {
+                            error: EffresError::DeadlineExceeded { reason },
+                            abandoned_pairs: undrained + (total_pending - at) as u64,
+                        });
+                    }
                     let (drained, window_kernel) =
-                        drain_window(&self.core, &pinned, &pids, &block[lo..hi], 0)?;
+                        drain_window(&self.core, &pinned, pids, &block[*lo..*hi], 0)?;
                     kernel.merge(window_kernel);
                     for (slot, value) in drained {
                         values[slot as usize] = value;
@@ -323,6 +451,7 @@ impl QueryEngine<PagedSnapshot> {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.cache_hits.fetch_add(hits, Ordering::Relaxed);
         self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+        self.service_time.record(batch.len(), elapsed);
         Ok(BatchResult {
             values,
             elapsed,
@@ -367,6 +496,30 @@ impl QueryEngine<PagedSnapshot> {
     pub fn execute_scheduled_partial(
         &self,
         batch: &QueryBatch,
+    ) -> Result<PartialBatchResult, EffresError> {
+        self.execute_scheduled_partial_inner(batch, None)
+    }
+
+    /// [`execute_scheduled_partial`](Self::execute_scheduled_partial) with a
+    /// cancellation token: a trip at a block or readahead-wave boundary
+    /// keeps everything already drained (bit-identical, as always) and marks
+    /// the rest [`EffresError::DeadlineExceeded`] — count the tail with
+    /// [`PartialBatchResult::abandoned_pairs`]. A batch whose deadline the
+    /// service-time EWMA says cannot be met is shed whole with `Err` before
+    /// anything is queued or pinned.
+    pub fn execute_scheduled_partial_with_cancel(
+        &self,
+        batch: &QueryBatch,
+        cancel: &Arc<CancelToken>,
+    ) -> Result<PartialBatchResult, EffresError> {
+        self.admit_deadline(batch, cancel)?;
+        self.execute_scheduled_partial_inner(batch, Some(cancel))
+    }
+
+    fn execute_scheduled_partial_inner(
+        &self,
+        batch: &QueryBatch,
+        cancel: Option<&Arc<CancelToken>>,
     ) -> Result<PartialBatchResult, EffresError> {
         let n = self.core.backend.node_count();
         self.begin_page_window();
@@ -432,10 +585,15 @@ impl QueryEngine<PagedSnapshot> {
         // therefore the evaluation order — must not depend on the mode.
         let budget = store.cache_capacity_pages().max(2);
         let threads = self.effective_threads(batch.len()).max(1);
+        let brownout = self.brownout_active();
         let window_of = |grant: usize| {
-            match self.options.readahead_pages {
-                0 => (grant / 8).clamp(1, 64),
-                w => w,
+            if brownout {
+                1
+            } else {
+                match self.options.readahead_pages {
+                    0 => (grant / 8).clamp(1, 64),
+                    w => w,
+                }
             }
             .min(grant - 1)
             .max(1)
@@ -458,19 +616,29 @@ impl QueryEngine<PagedSnapshot> {
         let mut parallel_fan = 1usize;
         let mut at = 0usize;
         while at < pending.len() {
+            // Block boundary: a tripped token keeps the drained prefix and
+            // types the rest — partial mode never aborts mid-batch.
+            if let Some(reason) = cancel.and_then(|token| token.cancelled()) {
+                for t in &pending[at..] {
+                    statuses[t.slot as usize] = Err(EffresError::DeadlineExceeded { reason });
+                }
+                break;
+            }
             let desired = if distinct_lo_from[at] >= full_block_cap {
                 budget
             } else {
                 (distinct_lo_from[at] + full_window * threads).min(budget)
             };
-            let lease = match self.lease_block(desired) {
+            let lease = match self.lease_block(desired, cancel.map(Arc::as_ref)) {
                 Ok(lease) => lease,
-                Err(busy) if at == 0 => return Err(busy),
-                Err(busy) => {
-                    // Mid-batch shed: everything drained so far stands;
-                    // the rest is typed Busy for the client to retry.
+                Err(busy @ EffresError::Busy { .. }) if at == 0 => return Err(busy),
+                Err(err) => {
+                    // Mid-batch shed (or a deadline run out waiting for the
+                    // lease): everything drained so far stands; the rest is
+                    // typed for the client — `Busy` to retry,
+                    // `DeadlineExceeded` to give up on.
                     for t in &pending[at..] {
-                        statuses[t.slot as usize] = Err(busy.clone());
+                        statuses[t.slot as usize] = Err(err.clone());
                     }
                     break;
                 }
@@ -534,18 +702,32 @@ impl QueryEngine<PagedSnapshot> {
 
             if fan > 1 && job_bounds.len() > 1 {
                 parallel_fan = parallel_fan.max(job_bounds.len().min(fan));
-                let mut jobs: Vec<_> = job_bounds
-                    .into_iter()
-                    .enumerate()
-                    .map(|(job, (pids, lo, hi))| {
-                        let core = Arc::clone(&self.core);
-                        let pinned = Arc::clone(&pinned);
-                        let queries = drainable[lo..hi].to_vec();
-                        move || drain_window_partial(&core, &pinned, &pids, &queries, job)
-                    })
-                    .collect();
-                while !jobs.is_empty() {
-                    let wave: Vec<_> = jobs.drain(..fan.min(jobs.len())).collect();
+                let mut bounds: VecDeque<(Vec<usize>, usize, usize)> = job_bounds.into();
+                let mut job_index = 0usize;
+                while !bounds.is_empty() {
+                    // Wave boundary: abandon the un-dispatched windows of
+                    // this block (the sticky token marks the later blocks at
+                    // the top of the outer loop).
+                    if let Some(reason) = cancel.and_then(|token| token.cancelled()) {
+                        for &(_, lo, hi) in &bounds {
+                            for t in &drainable[lo..hi] {
+                                statuses[t.slot as usize] =
+                                    Err(EffresError::DeadlineExceeded { reason });
+                            }
+                        }
+                        break;
+                    }
+                    let wave: Vec<_> = bounds
+                        .drain(..fan.min(bounds.len()))
+                        .map(|(pids, lo, hi)| {
+                            let job = job_index;
+                            job_index += 1;
+                            let core = Arc::clone(&self.core);
+                            let pinned = Arc::clone(&pinned);
+                            let queries = drainable[lo..hi].to_vec();
+                            move || drain_window_partial(&core, &pinned, &pids, &queries, job)
+                        })
+                        .collect();
                     for (window_statuses, window_kernel) in self.worker_pool().run(wave) {
                         kernel.merge(window_kernel);
                         for (slot, status) in window_statuses {
@@ -554,9 +736,18 @@ impl QueryEngine<PagedSnapshot> {
                     }
                 }
             } else {
-                for (pids, lo, hi) in job_bounds {
+                for (index, (pids, lo, hi)) in job_bounds.iter().enumerate() {
+                    if let Some(reason) = cancel.and_then(|token| token.cancelled()) {
+                        for &(_, lo, hi) in &job_bounds[index..] {
+                            for t in &drainable[lo..hi] {
+                                statuses[t.slot as usize] =
+                                    Err(EffresError::DeadlineExceeded { reason });
+                            }
+                        }
+                        break;
+                    }
                     let (window_statuses, window_kernel) =
-                        drain_window_partial(&self.core, &pinned, &pids, &drainable[lo..hi], 0);
+                        drain_window_partial(&self.core, &pinned, pids, &drainable[*lo..*hi], 0);
                     kernel.merge(window_kernel);
                     for (slot, status) in window_statuses {
                         statuses[slot as usize] = status;
@@ -575,7 +766,7 @@ impl QueryEngine<PagedSnapshot> {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.cache_hits.fetch_add(hits, Ordering::Relaxed);
         self.cache_misses.fetch_add(misses, Ordering::Relaxed);
-        Ok(PartialBatchResult {
+        let result = PartialBatchResult {
             statuses,
             elapsed,
             threads: parallel_fan,
@@ -584,7 +775,11 @@ impl QueryEngine<PagedSnapshot> {
             page_cache: self.end_page_window(),
             kernel,
             schedule: Some(report),
-        })
+        };
+        if result.is_complete() {
+            self.service_time.record(batch.len(), elapsed);
+        }
+        Ok(result)
     }
 }
 
@@ -870,6 +1065,95 @@ mod tests {
         );
         // The repeat batch paged almost nothing back in.
         assert!(second_page.bytes_read < first_page.bytes_read / 2);
+    }
+
+    #[test]
+    fn a_pretripped_token_abandons_the_scheduled_batch() {
+        use effres::CancelReason;
+        let (path, _estimator) = temp_snapshot("sched16_cancel.snap");
+        let engine = paged_engine(
+            &path,
+            &PagedOptions {
+                columns_per_page: 4,
+                cache_pages: 8,
+                cache_shards: 2,
+                ..PagedOptions::default()
+            },
+            EngineOptions {
+                cache_capacity: 0,
+                ..EngineOptions::default()
+            },
+        );
+        let batch = QueryBatch::random(500, 256, 21);
+        let cancel = Arc::new(CancelToken::unbounded());
+        cancel.cancel(CancelReason::Disconnected);
+        let abort = engine
+            .execute_scheduled_with_cancel(&batch, &cancel)
+            .unwrap_err();
+        assert_eq!(
+            abort.error,
+            EffresError::DeadlineExceeded {
+                reason: CancelReason::Disconnected
+            }
+        );
+        assert_eq!(abort.abandoned_pairs, batch.len() as u64);
+        // Nothing was pinned or leased: the full budget is still available.
+        let admission = engine.admission_stats().expect("paged ledger");
+        assert_eq!(admission.available, admission.budget);
+        // The partial twin rejects whole too when nothing has run.
+        assert!(matches!(
+            engine.execute_scheduled_partial_with_cancel(&batch, &cancel),
+            Err(EffresError::DeadlineExceeded { .. })
+        ));
+        // An untripped token executes normally, bit-identical.
+        let live = Arc::new(CancelToken::unbounded());
+        let reference = engine.execute_scheduled(&batch).expect("reference");
+        let result = engine
+            .execute_scheduled_with_cancel(&batch, &live)
+            .expect("live batch");
+        for (x, y) in reference.values.iter().zip(&result.values) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn brownout_trims_readahead_windows_but_not_values() {
+        let (path, _estimator) = temp_snapshot("sched16_brownout.snap");
+        let paged_options = PagedOptions {
+            columns_per_page: 2,
+            cache_pages: 16,
+            cache_shards: 2,
+            ..PagedOptions::default()
+        };
+        let options = || EngineOptions {
+            cache_capacity: 0,
+            parallel_threshold: usize::MAX,
+            ..EngineOptions::default()
+        };
+        let normal = paged_engine(&path, &paged_options, options());
+        let browned = paged_engine(&path, &paged_options, options());
+        browned.set_brownout(true);
+        assert!(browned.brownout_active());
+        let batch = QueryBatch::random(2000, 256, 33);
+        let a = normal.execute_scheduled(&batch).expect("normal");
+        let b = browned.execute_scheduled(&batch).expect("brownout");
+        // Brownout only reshapes the I/O plan — single-page readahead means
+        // strictly more, smaller windows — while every value stays
+        // bit-identical.
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let (sa, sb) = (a.schedule.expect("normal"), b.schedule.expect("brownout"));
+        assert!(
+            sb.windows > sa.windows,
+            "brownout must trim readahead: {} vs {}",
+            sb.windows,
+            sa.windows
+        );
+        // Clearing brownout restores the original plan.
+        browned.set_brownout(false);
+        let c = browned.execute_scheduled(&batch).expect("recovered");
+        assert_eq!(c.schedule.expect("recovered").windows, sa.windows);
     }
 
     #[test]
